@@ -1,0 +1,174 @@
+//! The schedule search space.
+
+use ndirect_core::{PackingMode, Schedule};
+use ndirect_tensor::ConvShape;
+use ndirect_threads::Grid2;
+use rand::Rng;
+
+/// Candidate values per parameter, specialized to a problem.
+///
+/// The space mirrors what Ansor explores for a conv2d subgraph: tile sizes
+/// at every loop level plus the parallel split. Register-tile candidates
+/// stay within the monomorphized kernel set (`Vw ≤ 12`, `Vk ≤ 12`), which
+/// is also what a JIT would emit.
+#[derive(Debug, Clone)]
+pub struct ScheduleSpace {
+    /// Register-tile width candidates.
+    pub vw: Vec<usize>,
+    /// Register-tile depth candidates.
+    pub vk: Vec<usize>,
+    /// Channel cache-tile candidates.
+    pub tc: Vec<usize>,
+    /// `Tk` expressed as multiples of `Vk`.
+    pub tk_multiplier: Vec<usize>,
+    /// Output-row tile candidates.
+    pub th: Vec<usize>,
+    /// Packing strategies.
+    pub packing: Vec<PackingMode>,
+    /// Thread-grid factorizations of the team size.
+    pub grids: Vec<Grid2>,
+}
+
+impl ScheduleSpace {
+    /// The space for a problem and a fixed thread count.
+    pub fn for_shape(shape: &ConvShape, threads: usize) -> Self {
+        let p = shape.p();
+        let tc_max = shape.c;
+        let tc: Vec<usize> = [4, 8, 16, 32, 64, 128, 256, 512, 1024]
+            .iter()
+            .copied()
+            .filter(|&t| t <= tc_max)
+            .chain(std::iter::once(tc_max))
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        let th: Vec<usize> = [1, 2, 4, 8, 16, 32, 64]
+            .iter()
+            .copied()
+            .filter(|&t| t <= p)
+            .chain(std::iter::once(p))
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        ScheduleSpace {
+            vw: vec![4, 8, 12],
+            vk: vec![4, 8, 12],
+            tc,
+            // Tk = multiplier × Vk, capped later by sanitize.
+            tk_multiplier: vec![1, 2, 4, 8, 16, 32, 64],
+            th,
+            packing: vec![PackingMode::Fused, PackingMode::Sequential],
+            grids: Grid2::factorizations(threads),
+        }
+    }
+
+    /// Number of distinct points (for reporting).
+    pub fn size(&self) -> usize {
+        self.vw.len()
+            * self.vk.len()
+            * self.tc.len()
+            * self.tk_multiplier.len()
+            * self.th.len()
+            * self.packing.len()
+            * self.grids.len()
+    }
+}
+
+/// Draws a uniformly random schedule from the space.
+pub fn random_schedule(space: &ScheduleSpace, shape: &ConvShape, rng: &mut impl Rng) -> Schedule {
+    let pick = |v: &Vec<usize>, rng: &mut dyn rand::RngCore| v[rng.gen_range(0..v.len())];
+    let vk = pick(&space.vk, rng);
+    let sched = Schedule {
+        vw: pick(&space.vw, rng),
+        vk,
+        tc: pick(&space.tc, rng),
+        tk: pick(&space.tk_multiplier, rng) * vk,
+        th: pick(&space.th, rng),
+        grid: space.grids[rng.gen_range(0..space.grids.len())],
+        packing: space.packing[rng.gen_range(0..space.packing.len())],
+        filter_state: ndirect_core::FilterState::OnTheFly,
+    };
+    sched.sanitized(shape)
+}
+
+/// Mutates exactly one parameter of a schedule — the evolutionary search's
+/// neighborhood move.
+pub fn mutate(
+    sched: &Schedule,
+    space: &ScheduleSpace,
+    shape: &ConvShape,
+    rng: &mut impl Rng,
+) -> Schedule {
+    let mut s = sched.clone();
+    match rng.gen_range(0..6) {
+        0 => s.vw = space.vw[rng.gen_range(0..space.vw.len())],
+        1 => {
+            s.vk = space.vk[rng.gen_range(0..space.vk.len())];
+            s.tk = (s.tk / s.vk.max(1)).max(1) * s.vk;
+        }
+        2 => s.tc = space.tc[rng.gen_range(0..space.tc.len())],
+        3 => s.tk = space.tk_multiplier[rng.gen_range(0..space.tk_multiplier.len())] * s.vk,
+        4 => s.th = space.th[rng.gen_range(0..space.th.len())],
+        _ => {
+            if space.grids.len() > 1 {
+                s.grid = space.grids[rng.gen_range(0..space.grids.len())];
+            } else {
+                s.packing = if s.packing == PackingMode::Fused {
+                    PackingMode::Sequential
+                } else {
+                    PackingMode::Fused
+                };
+            }
+        }
+    }
+    s.sanitized(shape)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn shape() -> ConvShape {
+        ConvShape::square(2, 64, 64, 28, 3, 1)
+    }
+
+    #[test]
+    fn space_candidates_are_bounded_by_problem() {
+        let sp = ScheduleSpace::for_shape(&shape(), 4);
+        assert!(sp.tc.iter().all(|&t| t <= 64));
+        assert!(sp.th.iter().all(|&t| t <= 28));
+        assert!(sp.tc.contains(&64), "full-C candidate present");
+        assert!(sp.grids.len() == 3); // 1x4, 2x2, 4x1
+        assert!(sp.size() > 1000);
+    }
+
+    #[test]
+    fn random_schedules_are_valid_and_varied() {
+        let sp = ScheduleSpace::for_shape(&shape(), 4);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut distinct = std::collections::HashSet::new();
+        for _ in 0..100 {
+            let s = random_schedule(&sp, &shape(), &mut rng);
+            assert!(s.tc >= 1 && s.tc <= 64);
+            assert_eq!(s.tk % s.vk, 0);
+            assert!(s.threads() <= 4);
+            distinct.insert(format!("{s:?}"));
+        }
+        assert!(distinct.len() > 30, "search space sampling too narrow");
+    }
+
+    #[test]
+    fn mutation_changes_at_most_one_axis() {
+        let sp = ScheduleSpace::for_shape(&shape(), 4);
+        let mut rng = StdRng::seed_from_u64(2);
+        let base = random_schedule(&sp, &shape(), &mut rng);
+        for _ in 0..50 {
+            let m = mutate(&base, &sp, &shape(), &mut rng);
+            // sanitize keeps it valid:
+            assert!(m.tc >= 1 && m.tc <= 64);
+            assert_eq!(m.tk % m.vk, 0);
+        }
+    }
+}

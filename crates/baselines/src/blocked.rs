@@ -1,0 +1,296 @@
+//! The LIBXSMM-style blocked direct convolution baseline.
+//!
+//! Reproduces the design the paper describes in §2.3: activations in
+//! `NCHWc` (channel blocks of [`CB`] matching the vector width), filters in
+//! `[⌈K/kb⌉, ⌈C/cb⌉, R, S, cb, kb]`, and a Batch-Reduce-GEMM-style
+//! micro-kernel that accumulates a strip of output pixels over all
+//! `(cblock, r, s)` combinations with lane-broadcast FMAs.
+//!
+//! Like LIBXSMM, this backend is fast *once the data is in its layout* but
+//! needs format conversions at the `NCHW` boundary; [`conv_blocked_timed`]
+//! measures the conversion and kernel phases separately, which is how the
+//! paper's Figure 1a attributes up to 90% of runtime to `transform`, and
+//! how Figure 4 can report micro-kernel-only throughput
+//! ([`conv_blocked`] on pre-converted operands).
+
+use ndirect_simd::{F32x4, SimdVec};
+use ndirect_tensor::{
+    pad::pad_input, ActLayout, BlockedFilter, BlockedTensor, ConvShape, Filter, Tensor4,
+};
+use ndirect_platform::Stopwatch;
+use ndirect_threads::{split_static, SharedSlice, StaticPool};
+
+/// Input-channel block (`c` of `NCHWc`) — one 4-lane vector.
+pub const CB: usize = 4;
+
+/// Output-channel block (`k`) — two 4-lane vectors, LIBXSMM's typical
+/// register blocking on 128-bit ISAs.
+pub const KB: usize = 8;
+
+const KBV: usize = KB / 4;
+
+/// Output-pixel strip width processed per micro-kernel invocation.
+const WT: usize = 4;
+
+/// Blocked direct convolution on pre-converted operands.
+///
+/// * `input` must already be zero-padded spatially and blocked with
+///   `cb == CB`;
+/// * `filter` must be blocked with `(cb, kb) == (CB, KB)`;
+/// * the result is a `NCHWc`-blocked output with `cb == KB`.
+///
+/// Parallelism: the `(n, kblock)` pairs are split statically across the
+/// pool — LIBXSMM's natural decomposition, deterministic by construction.
+pub fn conv_blocked(
+    pool: &StaticPool,
+    input: &BlockedTensor,
+    filter: &BlockedFilter,
+    shape: &ConvShape,
+) -> BlockedTensor {
+    assert_eq!(input.cb(), CB, "input channel block");
+    assert_eq!(filter.cb(), CB, "filter c block");
+    assert_eq!(filter.kb(), KB, "filter k block");
+    let (fk, fc, fr, fs) = filter.dims();
+    assert_eq!((fk, fc, fr, fs), (shape.k, shape.c, shape.r, shape.s), "filter dims");
+    let (inb, ic, ih, iw) = input.dims();
+    assert_eq!(inb, shape.n, "input batch");
+    assert_eq!(ic, shape.c, "input channels");
+    assert_eq!(ih, shape.padded_h(), "input must be pre-padded");
+    assert_eq!(iw, shape.padded_w(), "input must be pre-padded");
+
+    let (p, q) = (shape.p(), shape.q());
+    let mut out = BlockedTensor::zeros(shape.n, shape.k, p, q, KB);
+    let kblocks = filter.kblocks();
+    let cblocks = filter.cblocks();
+    let work = shape.n * kblocks;
+    let threads = pool.size();
+
+    let shared = SharedSlice::new(out.as_mut_slice());
+    pool.run(|tid| {
+        for item in split_static(work, threads, tid) {
+            let n = item / kblocks;
+            let kblk = item % kblocks;
+            let plane_off = (n * shape.k.div_ceil(KB) + kblk) * p * q * KB;
+            // SAFETY: each (n, kblk) work item owns its [p][q][KB] plane —
+            // a disjoint contiguous range; the pool barrier orders all
+            // writes before `run` returns.
+            let out_plane = unsafe { shared.range_mut(plane_off, p * q * KB) };
+            conv_plane(input, filter, shape, n, kblk, cblocks, out_plane, p, q);
+        }
+    });
+    out
+}
+
+/// Computes one `(image, k-block)` output plane.
+#[allow(clippy::too_many_arguments)]
+fn conv_plane(
+    input: &BlockedTensor,
+    filter: &BlockedFilter,
+    shape: &ConvShape,
+    n: usize,
+    kblk: usize,
+    cblocks: usize,
+    out_plane: &mut [f32],
+    p: usize,
+    q: usize,
+) {
+    let (_, _, ih, iw) = input.dims();
+    let in_data = input.as_slice();
+    let f_data = filter.as_slice();
+    let in_cblocks = input.cblocks();
+    let in_image = &in_data[n * in_cblocks * ih * iw * CB..(n + 1) * in_cblocks * ih * iw * CB];
+
+    for oj in 0..p {
+        let mut oi = 0;
+        while oi < q {
+            if oi + WT <= q {
+                pixel_strip::<WT>(
+                    in_image, f_data, filter, shape, cblocks, ih, iw, kblk, oj, oi, out_plane, q,
+                );
+                oi += WT;
+            } else {
+                pixel_strip::<1>(
+                    in_image, f_data, filter, shape, cblocks, ih, iw, kblk, oj, oi, out_plane, q,
+                );
+                oi += 1;
+            }
+        }
+    }
+}
+
+/// The BRGEMM-style micro-kernel: `W` output pixels × `KB` output channels,
+/// reduced over every `(cblock, r, s)`.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn pixel_strip<const W: usize>(
+    in_image: &[f32],
+    f_data: &[f32],
+    filter: &BlockedFilter,
+    shape: &ConvShape,
+    cblocks: usize,
+    ih: usize,
+    iw: usize,
+    kblk: usize,
+    oj: usize,
+    oi: usize,
+    out_plane: &mut [f32],
+    q: usize,
+) {
+    let mut acc = [[F32x4::zero(); KBV]; W];
+    let str = shape.stride;
+    for cblk in 0..cblocks {
+        for r in 0..shape.r {
+            let ijr = oj * str + r;
+            for s in 0..shape.s {
+                // CB×KB filter block, contiguous: [clane][kb].
+                let f0 = filter.vector_offset(kblk, cblk, r, s, 0);
+                let fblk = &f_data[f0..f0 + CB * KB];
+                let mut fv = [F32x4::zero(); CB * KBV];
+                for (j, v) in fv.iter_mut().enumerate() {
+                    *v = F32x4::load(&fblk[j * 4..]);
+                }
+                for (wi, accw) in acc.iter_mut().enumerate() {
+                    let iwp = (oi + wi) * str + s;
+                    let ioff = ((cblk * ih + ijr) * iw + iwp) * CB;
+                    let iv = F32x4::load(&in_image[ioff..]);
+                    for j in 0..KBV {
+                        accw[j] = accw[j].fma_lane::<0>(fv[j], iv);
+                        accw[j] = accw[j].fma_lane::<1>(fv[KBV + j], iv);
+                        accw[j] = accw[j].fma_lane::<2>(fv[2 * KBV + j], iv);
+                        accw[j] = accw[j].fma_lane::<3>(fv[3 * KBV + j], iv);
+                    }
+                }
+            }
+        }
+    }
+    for (wi, accw) in acc.iter().enumerate() {
+        let o = (oj * q + oi + wi) * KB;
+        for (j, v) in accw.iter().enumerate() {
+            v.store(&mut out_plane[o + j * 4..]);
+        }
+    }
+}
+
+/// Full pipeline from `NCHW`/`KCRS`: pad + convert in, convolve, convert
+/// out. This is what integrating LIBXSMM into an `NCHW` framework costs.
+pub fn conv_blocked_nchw(
+    pool: &StaticPool,
+    input: &Tensor4,
+    filter: &Filter,
+    shape: &ConvShape,
+) -> Tensor4 {
+    let (out, _sw) = conv_blocked_timed(pool, input, filter, shape);
+    out
+}
+
+/// As [`conv_blocked_nchw`], with `transform` / `micro-kernel` phase timing
+/// (Figure 1a's LIBXSMM breakdown).
+pub fn conv_blocked_timed(
+    pool: &StaticPool,
+    input: &Tensor4,
+    filter: &Filter,
+    shape: &ConvShape,
+) -> (Tensor4, Stopwatch) {
+    let mut sw = Stopwatch::new();
+    let (binput, bfilter) = sw.time("transform", || {
+        let padded = pad_input(input, shape.pad);
+        (
+            BlockedTensor::from_tensor(&padded, CB),
+            BlockedFilter::from_filter(filter, CB, KB),
+        )
+    });
+    let bout = sw.time("micro-kernel", || conv_blocked(pool, &binput, &bfilter, shape));
+    let out = sw.time("transform", || bout.to_tensor(ActLayout::Nchw));
+    (out, sw)
+}
+
+/// Pre-converted operands for kernel-only measurements (Figure 4 measures
+/// LIBXSMM's micro-kernels without conversion cost).
+pub struct BlockedOperands {
+    /// `NCHWc` pre-padded activation tensor.
+    pub input: BlockedTensor,
+    /// Channel-blocked filter.
+    pub filter: BlockedFilter,
+}
+
+/// Converts once, outside the timed region.
+pub fn prepare_blocked(input: &Tensor4, filter: &Filter, shape: &ConvShape) -> BlockedOperands {
+    let padded = pad_input(input, shape.pad);
+    BlockedOperands {
+        input: BlockedTensor::from_tensor(&padded, CB),
+        filter: BlockedFilter::from_filter(filter, CB, KB),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive;
+    use ndirect_tensor::{assert_close, fill, FilterLayout, Padding};
+
+    fn check(shape: ConvShape, threads: usize) {
+        let input = fill::random_tensor(Tensor4::input_for(&shape, ActLayout::Nchw), 21);
+        let filter = fill::random_filter(Filter::for_shape(&shape, FilterLayout::Kcrs), 21);
+        let expect = naive::conv_ref(&input, &filter, &shape);
+        let pool = StaticPool::new(threads);
+        let got = conv_blocked_nchw(&pool, &input, &filter, &shape);
+        assert_close(got.as_slice(), expect.as_slice(), 2e-4, "blocked vs naive");
+    }
+
+    #[test]
+    fn matches_naive_aligned_channels() {
+        check(ConvShape::new(1, 8, 6, 6, 8, 3, 3, 1, Padding::NONE), 1);
+    }
+
+    #[test]
+    fn matches_naive_unaligned_channels() {
+        // C=5 (partial c block), K=10 (partial k block).
+        check(ConvShape::new(1, 5, 7, 7, 10, 3, 3, 1, Padding::NONE), 1);
+    }
+
+    #[test]
+    fn matches_naive_with_padding() {
+        check(ConvShape::new(2, 4, 8, 8, 8, 3, 3, 1, Padding::same(1)), 1);
+    }
+
+    #[test]
+    fn matches_naive_strided() {
+        check(ConvShape::new(1, 4, 9, 9, 8, 3, 3, 2, Padding::same(1)), 1);
+        check(ConvShape::new(1, 8, 8, 8, 16, 1, 1, 2, Padding::NONE), 1);
+    }
+
+    #[test]
+    fn matches_naive_multithreaded() {
+        check(ConvShape::new(3, 8, 6, 6, 24, 3, 3, 1, Padding::same(1)), 4);
+    }
+
+    #[test]
+    fn odd_output_width_uses_tail_strip() {
+        // q = 5 exercises both the WT=4 strip and the WT=1 tail.
+        check(ConvShape::new(1, 4, 7, 7, 8, 3, 3, 1, Padding::NONE), 1);
+    }
+
+    #[test]
+    fn timed_variant_reports_transform_and_kernel() {
+        let shape = ConvShape::new(1, 4, 6, 6, 8, 3, 3, 1, Padding::same(1));
+        let input = fill::random_tensor(Tensor4::input_for(&shape, ActLayout::Nchw), 2);
+        let filter = fill::random_filter(Filter::for_shape(&shape, FilterLayout::Kcrs), 2);
+        let pool = StaticPool::new(1);
+        let (_, sw) = conv_blocked_timed(&pool, &input, &filter, &shape);
+        let names: Vec<&str> = sw.phases().iter().map(|(p, _)| *p).collect();
+        assert_eq!(names, vec!["transform", "micro-kernel"]);
+    }
+
+    #[test]
+    fn kernel_only_entry_point_matches() {
+        let shape = ConvShape::new(2, 8, 6, 6, 16, 3, 3, 1, Padding::same(1));
+        let input = fill::random_tensor(Tensor4::input_for(&shape, ActLayout::Nchw), 9);
+        let filter = fill::random_filter(Filter::for_shape(&shape, FilterLayout::Kcrs), 9);
+        let ops = prepare_blocked(&input, &filter, &shape);
+        let pool = StaticPool::new(2);
+        let bout = conv_blocked(&pool, &ops.input, &ops.filter, &shape);
+        let got = bout.to_tensor(ActLayout::Nchw);
+        let expect = naive::conv_ref(&input, &filter, &shape);
+        assert_close(got.as_slice(), expect.as_slice(), 2e-4, "kernel-only");
+    }
+}

@@ -1,0 +1,316 @@
+//! FFT-based convolution — the second fast-algorithm family the paper's
+//! §2.1 sets aside, built on a from-scratch iterative radix-2
+//! Cooley–Tukey FFT so its memory footprint and numeric behaviour can be
+//! measured against the direct methods.
+//!
+//! The filter frames are transformed eagerly and serially at entry and the
+//! only parallel axis is the batch — again: a measured comparison point
+//! quantifying §2.1's argument, not a tuned FFT convolution.
+//!
+//! Method: zero-pad each (padded) input channel and each spatially-flipped
+//! filter channel to a power-of-two frame, transform, multiply-accumulate
+//! over `C` in the frequency domain (one inverse transform per `(n, k)`),
+//! then read the valid correlation region (subsampled for stride > 1).
+//! The workspace is `O(C·L²)` complex values per image — the "memory
+//! pressure" §2.1 cites — and a frame much larger than the 3×3 kernels of
+//! CNNs, which is why FFT only pays off for very large kernels.
+
+use ndirect_tensor::{pad::at_padded, ActLayout, ConvShape, Filter, Tensor4};
+use ndirect_threads::{split_static, SharedSlice, StaticPool};
+
+/// In-place iterative radix-2 FFT of `re/im` (lengths must be equal powers
+/// of two). `invert` computes the inverse transform including the `1/n`
+/// scale.
+pub fn fft1d(re: &mut [f32], im: &mut [f32], invert: bool) {
+    let n = re.len();
+    assert_eq!(n, im.len(), "re/im length mismatch");
+    assert!(n.is_power_of_two(), "FFT length must be a power of two");
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            re.swap(i, j);
+            im.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let mut len = 2;
+    while len <= n {
+        let ang = 2.0 * std::f64::consts::PI / len as f64 * if invert { 1.0 } else { -1.0 };
+        let (wr, wi) = (ang.cos(), ang.sin());
+        let mut i = 0;
+        while i < n {
+            let (mut cr, mut ci) = (1.0f64, 0.0f64);
+            for k in 0..len / 2 {
+                let (ur, ui) = (re[i + k] as f64, im[i + k] as f64);
+                let (vr0, vi0) = (re[i + k + len / 2] as f64, im[i + k + len / 2] as f64);
+                let vr = vr0 * cr - vi0 * ci;
+                let vi = vr0 * ci + vi0 * cr;
+                re[i + k] = (ur + vr) as f32;
+                im[i + k] = (ui + vi) as f32;
+                re[i + k + len / 2] = (ur - vr) as f32;
+                im[i + k + len / 2] = (ui - vi) as f32;
+                let ncr = cr * wr - ci * wi;
+                ci = cr * wi + ci * wr;
+                cr = ncr;
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+    if invert {
+        let inv = 1.0 / n as f32;
+        for (r, i) in re.iter_mut().zip(im.iter_mut()) {
+            *r *= inv;
+            *i *= inv;
+        }
+    }
+}
+
+/// A `ly × lx` complex frame with row-major storage.
+#[derive(Clone)]
+pub struct Frame {
+    /// Real parts, row-major.
+    pub re: Vec<f32>,
+    /// Imaginary parts, row-major.
+    pub im: Vec<f32>,
+    /// Frame height (power of two).
+    pub ly: usize,
+    /// Frame width (power of two).
+    pub lx: usize,
+}
+
+impl Frame {
+    /// Zero frame.
+    pub fn zeros(ly: usize, lx: usize) -> Self {
+        assert!(ly.is_power_of_two() && lx.is_power_of_two());
+        Frame {
+            re: vec![0.0; ly * lx],
+            im: vec![0.0; ly * lx],
+            ly,
+            lx,
+        }
+    }
+
+    /// In-place 2-D FFT (rows then columns).
+    pub fn fft2d(&mut self, invert: bool) {
+        for y in 0..self.ly {
+            fft1d(
+                &mut self.re[y * self.lx..(y + 1) * self.lx],
+                &mut self.im[y * self.lx..(y + 1) * self.lx],
+                invert,
+            );
+        }
+        let mut col_re = vec![0.0f32; self.ly];
+        let mut col_im = vec![0.0f32; self.ly];
+        for x in 0..self.lx {
+            for y in 0..self.ly {
+                col_re[y] = self.re[y * self.lx + x];
+                col_im[y] = self.im[y * self.lx + x];
+            }
+            fft1d(&mut col_re, &mut col_im, invert);
+            for y in 0..self.ly {
+                self.re[y * self.lx + x] = col_re[y];
+                self.im[y * self.lx + x] = col_im[y];
+            }
+        }
+    }
+
+    /// `self += a ⊙ b` (pointwise complex multiply-accumulate).
+    pub fn mul_acc(&mut self, a: &Frame, b: &Frame) {
+        for i in 0..self.re.len() {
+            let (ar, ai) = (a.re[i], a.im[i]);
+            let (br, bi) = (b.re[i], b.im[i]);
+            self.re[i] += ar * br - ai * bi;
+            self.im[i] += ar * bi + ai * br;
+        }
+    }
+}
+
+/// FFT-based convolution over `NCHW` activations and `KCRS` filters.
+/// Supports any kernel size, stride and padding (stride by subsampling the
+/// dense correlation).
+pub fn conv_fft(
+    pool: &StaticPool,
+    input: &Tensor4,
+    filter: &Filter,
+    shape: &ConvShape,
+) -> Tensor4 {
+    assert_eq!(input.layout(), ActLayout::Nchw, "fft baseline takes NCHW");
+    assert_eq!(input.dims(), (shape.n, shape.c, shape.h, shape.w), "input dims");
+    assert_eq!(
+        filter.dims(),
+        (shape.k, shape.c, shape.r, shape.s),
+        "filter dims"
+    );
+    let (hp, wp) = (shape.padded_h(), shape.padded_w());
+    let ly = (hp + shape.r - 1).next_power_of_two();
+    let lx = (wp + shape.s - 1).next_power_of_two();
+    let (p, q) = (shape.p(), shape.q());
+    let mut out = Tensor4::output_for(shape, ActLayout::Nchw);
+
+    // Filter frames: flipped spatially so the convolution theorem yields
+    // the CNN correlation. One frame per (k, c).
+    let mut f_frames = Vec::with_capacity(shape.k * shape.c);
+    for k in 0..shape.k {
+        for c in 0..shape.c {
+            let mut fr = Frame::zeros(ly, lx);
+            for r in 0..shape.r {
+                for s in 0..shape.s {
+                    fr.re[(shape.r - 1 - r) * lx + (shape.s - 1 - s)] = filter.at(k, c, r, s);
+                }
+            }
+            fr.fft2d(false);
+            f_frames.push(fr);
+        }
+    }
+
+    let threads = pool.size();
+    let shared = SharedSlice::new(out.as_mut_slice());
+    pool.run(|tid| {
+        for n in split_static(shape.n, threads, tid) {
+            // SAFETY: each image's K·P·Q output block is a disjoint
+            // contiguous range owned by this thread; pool barrier before
+            // return.
+            let out_image = unsafe { shared.range_mut(n * shape.k * p * q, shape.k * p * q) };
+            // Transform every input channel of this image once.
+            let x_frames: Vec<Frame> = (0..shape.c)
+                .map(|c| {
+                    let mut fr = Frame::zeros(ly, lx);
+                    for y in 0..hp {
+                        for x in 0..wp {
+                            fr.re[y * lx + x] = at_padded(
+                                input,
+                                n,
+                                c,
+                                y as isize - shape.pad.h as isize,
+                                x as isize - shape.pad.w as isize,
+                            );
+                        }
+                    }
+                    fr.fft2d(false);
+                    fr
+                })
+                .collect();
+            for k in 0..shape.k {
+                let mut acc = Frame::zeros(ly, lx);
+                for (c, xf) in x_frames.iter().enumerate() {
+                    acc.mul_acc(xf, &f_frames[k * shape.c + c]);
+                }
+                acc.fft2d(true);
+                // Valid correlation starts at (R−1, S−1) of the linear
+                // convolution; subsample by the stride.
+                for oy in 0..p {
+                    for ox in 0..q {
+                        let y = shape.r - 1 + oy * shape.stride;
+                        let x = shape.s - 1 + ox * shape.stride;
+                        out_image[(k * p + oy) * q + ox] = acc.re[y * lx + x];
+                    }
+                }
+            }
+        }
+    });
+    out
+}
+
+/// Workspace floats the FFT path materializes per image
+/// (`(C + 1) · L² · 2` for channel frames + the accumulator) plus the
+/// `K·C` filter frames — §2.1's memory-pressure argument, quantified.
+pub fn fft_workspace_floats(shape: &ConvShape) -> usize {
+    let ly = (shape.padded_h() + shape.r - 1).next_power_of_two();
+    let lx = (shape.padded_w() + shape.s - 1).next_power_of_two();
+    2 * ly * lx * (shape.c + 1 + shape.k * shape.c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive;
+    use ndirect_tensor::{assert_close, fill, FilterLayout, Padding};
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut re = vec![0.0f32; 8];
+        let mut im = vec![0.0f32; 8];
+        re[0] = 1.0;
+        fft1d(&mut re, &mut im, false);
+        for i in 0..8 {
+            assert!((re[i] - 1.0).abs() < 1e-6 && im[i].abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn fft_round_trip_recovers_signal() {
+        let orig: Vec<f32> = (0..16).map(|i| (i as f32 * 0.71).sin()).collect();
+        let mut re = orig.clone();
+        let mut im = vec![0.0f32; 16];
+        fft1d(&mut re, &mut im, false);
+        fft1d(&mut re, &mut im, true);
+        for (a, b) in re.iter().zip(&orig) {
+            assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+        }
+        assert!(im.iter().all(|x| x.abs() < 1e-5));
+    }
+
+    #[test]
+    fn fft_parseval_energy_is_preserved() {
+        let sig: Vec<f32> = (0..32).map(|i| ((i * 7 % 13) as f32 - 6.0) * 0.3).collect();
+        let mut re = sig.clone();
+        let mut im = vec![0.0f32; 32];
+        fft1d(&mut re, &mut im, false);
+        let time: f32 = sig.iter().map(|x| x * x).sum();
+        let freq: f32 = re.iter().zip(&im).map(|(r, i)| r * r + i * i).sum::<f32>() / 32.0;
+        assert!((time - freq).abs() < 1e-3 * time.max(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn fft_rejects_non_power_of_two() {
+        let mut re = vec![0.0f32; 6];
+        let mut im = vec![0.0f32; 6];
+        fft1d(&mut re, &mut im, false);
+    }
+
+    fn check(shape: ConvShape, threads: usize) {
+        let input = fill::random_tensor(Tensor4::input_for(&shape, ActLayout::Nchw), 51);
+        let filter = fill::random_filter(Filter::for_shape(&shape, FilterLayout::Kcrs), 51);
+        let expect = naive::conv_ref(&input, &filter, &shape);
+        let pool = StaticPool::new(threads);
+        let got = conv_fft(&pool, &input, &filter, &shape);
+        assert_close(got.as_slice(), expect.as_slice(), 2e-3, "fft vs naive");
+    }
+
+    #[test]
+    fn matches_oracle_3x3() {
+        check(ConvShape::new(1, 3, 8, 8, 4, 3, 3, 1, Padding::same(1)), 1);
+    }
+
+    #[test]
+    fn matches_oracle_large_kernel() {
+        // 7x7 — the regime where FFT is actually attractive.
+        check(ConvShape::new(1, 2, 12, 12, 3, 7, 7, 1, Padding::same(3)), 1);
+    }
+
+    #[test]
+    fn matches_oracle_strided_multithreaded() {
+        check(ConvShape::new(3, 2, 9, 11, 4, 3, 3, 2, Padding::same(1)), 2);
+    }
+
+    #[test]
+    fn workspace_dwarfs_direct_footprint() {
+        // The paper's memory-pressure point: a 3x3 conv on 14x14 inflates
+        // to 16x16 complex frames per channel.
+        let shape = ConvShape::new(1, 256, 14, 14, 256, 3, 3, 1, Padding::same(1));
+        let ws = fft_workspace_floats(&shape);
+        assert!(ws > 10 * shape.input_len(), "workspace {ws} floats");
+    }
+}

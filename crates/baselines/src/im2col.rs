@@ -1,0 +1,282 @@
+//! The im2col+GEMM baseline (MXNet's default convolution path).
+//!
+//! For each image, the input patch under every output position is flattened
+//! into one column of a `(C·R·S) × (P·Q)` matrix; the `KCRS` filter tensor
+//! is *already* a `K × (C·R·S)` row-major matrix, so the convolution becomes
+//! one GEMM per image with the output written directly into the `NCHW`
+//! output slice (`K × (P·Q)` row-major).
+//!
+//! Memory note: the column matrix is `C·R·S·P·Q` floats *per image* — the
+//! duplication the paper criticizes im2col for. The batch-split parallel
+//! path allocates one such buffer per thread, so transient scratch scales
+//! with the team size (e.g. ~115 MiB/thread for VGG's conv1 at 224²) —
+//! faithful to how MXNet-era frameworks behaved, and exactly the footprint
+//! argument of §1/§2.2.
+//!
+//! The paper's Figure 1a attributes this baseline's runtime to three phases
+//! — `im2col` (column-matrix materialization), `packing` (GEMM-internal
+//! operand packing) and `micro-kernel` — which [`conv_im2col_timed`]
+//! measures with an instrumented copy of the Goto loop nest.
+
+use ndirect_gemm::kernel::{microkernel, microkernel_edge};
+use ndirect_gemm::pack::{pack_a, pack_b};
+use ndirect_gemm::{gemm_strided, BlockSizes, MR, NR};
+use ndirect_platform::Stopwatch;
+use ndirect_tensor::{pad::at_padded, ActLayout, AlignedBuf, ConvShape, Filter, Tensor4};
+use ndirect_threads::{split_static, SharedSlice, StaticPool};
+
+/// Materializes the column matrix for image `n`: `buf[(c·R+r)·S+s][oj·Q+oi] =
+/// I[n][c][str·oj−pad.h+r][str·oi−pad.w+s]` (zero outside the input).
+///
+/// `buf` must hold `C·R·S·P·Q` floats.
+pub fn im2col_image(input: &Tensor4, shape: &ConvShape, n: usize, buf: &mut [f32]) {
+    let (p, q) = (shape.p(), shape.q());
+    let cols = p * q;
+    assert!(buf.len() >= shape.c * shape.r * shape.s * cols, "im2col buffer");
+    let (ph, pw) = (shape.pad.h as isize, shape.pad.w as isize);
+    let mut row = 0;
+    for c in 0..shape.c {
+        for r in 0..shape.r {
+            for s in 0..shape.s {
+                let dst = &mut buf[row * cols..(row + 1) * cols];
+                let mut idx = 0;
+                for oj in 0..p {
+                    let ij = (shape.stride * oj) as isize - ph + r as isize;
+                    for oi in 0..q {
+                        let ii = (shape.stride * oi) as isize - pw + s as isize;
+                        dst[idx] = at_padded(input, n, c, ij, ii);
+                        idx += 1;
+                    }
+                }
+                row += 1;
+            }
+        }
+    }
+}
+
+/// im2col+GEMM convolution into a preallocated `NCHW` output.
+///
+/// Parallelization follows the baseline's natural strategy: with at least
+/// one image per thread the batch dimension is split statically; otherwise
+/// each image's GEMM is run on the whole team.
+pub fn conv_im2col_into(
+    pool: &StaticPool,
+    input: &Tensor4,
+    filter: &Filter,
+    shape: &ConvShape,
+    output: &mut Tensor4,
+) {
+    validate(input, filter, shape, output);
+    let (p, q) = (shape.p(), shape.q());
+    let cols = p * q;
+    let crs = shape.c * shape.r * shape.s;
+    let f_mat = filter.as_slice(); // KCRS == K x CRS row-major
+    let threads = pool.size();
+
+    if shape.n >= threads && threads > 1 {
+        let shared = SharedSlice::new(output.as_mut_slice());
+        pool.run(|tid| {
+            let mut col = AlignedBuf::zeroed(crs * cols);
+            for n in split_static(shape.n, threads, tid) {
+                im2col_image(input, shape, n, &mut col);
+                // SAFETY: image slices of the output are disjoint per n, and
+                // the pool barrier orders all writes before `run` returns.
+                let out_image =
+                    unsafe { shared.range_mut(n * shape.k * cols, shape.k * cols) };
+                gemm_strided(
+                    shape.k,
+                    cols,
+                    crs,
+                    f_mat,
+                    crs,
+                    &col,
+                    cols,
+                    out_image,
+                    cols,
+                    BlockSizes::default(),
+                );
+            }
+        });
+    } else {
+        let mut col = AlignedBuf::zeroed(crs * cols);
+        for n in 0..shape.n {
+            im2col_image(input, shape, n, &mut col);
+            let out_image = &mut output.as_mut_slice()[n * shape.k * cols..(n + 1) * shape.k * cols];
+            ndirect_gemm::par_gemm(pool, shape.k, cols, crs, f_mat, &col, out_image, BlockSizes::default());
+        }
+    }
+}
+
+/// im2col+GEMM, allocating the output.
+pub fn conv_im2col(
+    pool: &StaticPool,
+    input: &Tensor4,
+    filter: &Filter,
+    shape: &ConvShape,
+) -> Tensor4 {
+    let mut out = Tensor4::output_for(shape, ActLayout::Nchw);
+    conv_im2col_into(pool, input, filter, shape, &mut out);
+    out
+}
+
+/// Sequential im2col+GEMM with per-phase timing (`im2col`, `packing`,
+/// `micro-kernel`) — the Figure 1a breakdown. Runs single-threaded so the
+/// phase attribution is exact.
+pub fn conv_im2col_timed(
+    input: &Tensor4,
+    filter: &Filter,
+    shape: &ConvShape,
+) -> (Tensor4, Stopwatch) {
+    let mut output = Tensor4::output_for(shape, ActLayout::Nchw);
+    validate_unpooled(input, filter, shape);
+    let (p, q) = (shape.p(), shape.q());
+    let cols = p * q;
+    let crs = shape.c * shape.r * shape.s;
+    let f_mat = filter.as_slice();
+    let mut sw = Stopwatch::new();
+    let mut col = AlignedBuf::zeroed(crs * cols);
+    for n in 0..shape.n {
+        sw.time("im2col", || im2col_image(input, shape, n, &mut col));
+        let out_image = &mut output.as_mut_slice()[n * shape.k * cols..(n + 1) * shape.k * cols];
+        gemm_timed(shape.k, cols, crs, f_mat, &col, out_image, &mut sw);
+    }
+    (output, sw)
+}
+
+/// The Goto loop nest with packing and micro-kernel phases timed
+/// separately. Mirrors `ndirect_gemm::gemm_strided` exactly; kept here (not
+/// in the gemm crate) because timing instrumentation does not belong on the
+/// production hot path.
+fn gemm_timed(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    sw: &mut Stopwatch,
+) {
+    let BlockSizes { mc, kc, nc } = BlockSizes::default();
+    let mut packed_a = AlignedBuf::zeroed(mc.div_ceil(MR) * MR * kc);
+    let mut packed_b = AlignedBuf::zeroed(nc.div_ceil(NR) * NR * kc);
+    const NRV: usize = NR / 4;
+
+    for jc in (0..n).step_by(nc) {
+        let ncb = nc.min(n - jc);
+        for pc in (0..k).step_by(kc) {
+            let kcb = kc.min(k - pc);
+            sw.time("packing", || pack_b::<NR>(&b[pc * n + jc..], n, kcb, ncb, &mut packed_b));
+            for ic in (0..m).step_by(mc) {
+                let mcb = mc.min(m - ic);
+                sw.time("packing", || pack_a::<MR>(&a[ic * k + pc..], k, mcb, kcb, &mut packed_a));
+                sw.time("micro-kernel", || {
+                    for jr in (0..ncb).step_by(NR) {
+                        let colsn = NR.min(ncb - jr);
+                        let b_panel = &packed_b[(jr / NR) * NR * kcb..];
+                        for ir in (0..mcb).step_by(MR) {
+                            let rows = MR.min(mcb - ir);
+                            let a_panel = &packed_a[(ir / MR) * MR * kcb..];
+                            let c_tile = &mut c[(ic + ir) * n + jc + jr..];
+                            if rows == MR && colsn == NR {
+                                microkernel::<MR, NRV>(kcb, a_panel, b_panel, c_tile, n);
+                            } else {
+                                microkernel_edge::<MR, NRV>(
+                                    kcb, a_panel, b_panel, c_tile, n, rows, colsn,
+                                );
+                            }
+                        }
+                    }
+                });
+            }
+        }
+    }
+}
+
+fn validate(input: &Tensor4, filter: &Filter, shape: &ConvShape, output: &Tensor4) {
+    validate_unpooled(input, filter, shape);
+    assert_eq!(
+        output.dims(),
+        (shape.n, shape.k, shape.p(), shape.q()),
+        "output dims"
+    );
+    assert_eq!(output.layout(), ActLayout::Nchw, "im2col writes NCHW");
+}
+
+fn validate_unpooled(input: &Tensor4, filter: &Filter, shape: &ConvShape) {
+    assert_eq!(input.layout(), ActLayout::Nchw, "im2col baseline takes NCHW");
+    assert_eq!(
+        filter.layout(),
+        ndirect_tensor::FilterLayout::Kcrs,
+        "im2col baseline takes KCRS"
+    );
+    assert_eq!(input.dims(), (shape.n, shape.c, shape.h, shape.w), "input dims");
+    assert_eq!(filter.dims(), (shape.k, shape.c, shape.r, shape.s), "filter dims");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive;
+    use ndirect_tensor::{assert_close, fill, FilterLayout, Padding};
+
+    fn check(shape: ConvShape, threads: usize) {
+        let input = fill::random_tensor(Tensor4::input_for(&shape, ActLayout::Nchw), 3);
+        let filter = fill::random_filter(Filter::for_shape(&shape, FilterLayout::Kcrs), 3);
+        let expect = naive::conv_ref(&input, &filter, &shape);
+        let pool = StaticPool::new(threads);
+        let got = conv_im2col(&pool, &input, &filter, &shape);
+        assert_close(got.as_slice(), expect.as_slice(), 2e-4, "im2col vs naive");
+    }
+
+    #[test]
+    fn matches_naive_basic() {
+        check(ConvShape::new(2, 3, 8, 8, 4, 3, 3, 1, Padding::NONE), 1);
+    }
+
+    #[test]
+    fn matches_naive_with_padding_and_stride() {
+        check(ConvShape::new(2, 5, 9, 11, 7, 3, 3, 2, Padding::same(1)), 1);
+        check(ConvShape::new(1, 3, 12, 12, 6, 5, 5, 2, Padding::same(2)), 1);
+    }
+
+    #[test]
+    fn matches_naive_pointwise() {
+        check(ConvShape::new(3, 8, 6, 6, 10, 1, 1, 1, Padding::NONE), 1);
+    }
+
+    #[test]
+    fn parallel_batch_split_matches() {
+        check(ConvShape::new(4, 4, 8, 8, 6, 3, 3, 1, Padding::same(1)), 4);
+    }
+
+    #[test]
+    fn parallel_gemm_path_matches() {
+        // n < threads forces the per-image par_gemm path.
+        check(ConvShape::new(1, 4, 12, 12, 8, 3, 3, 1, Padding::same(1)), 4);
+    }
+
+    #[test]
+    fn timed_variant_matches_and_reports_phases() {
+        let shape = ConvShape::new(1, 4, 8, 8, 6, 3, 3, 1, Padding::same(1));
+        let input = fill::random_tensor(Tensor4::input_for(&shape, ActLayout::Nchw), 5);
+        let filter = fill::random_filter(Filter::for_shape(&shape, FilterLayout::Kcrs), 5);
+        let expect = naive::conv_ref(&input, &filter, &shape);
+        let (got, sw) = conv_im2col_timed(&input, &filter, &shape);
+        assert_close(got.as_slice(), expect.as_slice(), 2e-4, "timed im2col");
+        let phases: Vec<&str> = sw.phases().iter().map(|(p, _)| *p).collect();
+        assert!(phases.contains(&"im2col"));
+        assert!(phases.contains(&"packing"));
+        assert!(phases.contains(&"micro-kernel"));
+    }
+
+    #[test]
+    fn im2col_matrix_layout() {
+        // 2x2 input, 1 channel, 2x2 kernel, valid conv -> single column.
+        let shape = ConvShape::new(1, 1, 2, 2, 1, 2, 2, 1, Padding::NONE);
+        let mut input = Tensor4::input_for(&shape, ActLayout::Nchw);
+        fill::fill_iota(input.as_mut_slice());
+        let mut buf = vec![0.0; 4];
+        im2col_image(&input, &shape, 0, &mut buf);
+        assert_eq!(buf, vec![0.0, 1.0, 2.0, 3.0]);
+    }
+}

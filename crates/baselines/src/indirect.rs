@@ -1,0 +1,326 @@
+//! The XNNPACK-style indirect convolution baseline.
+//!
+//! The indirect algorithm (Dukhan, 2019) avoids im2col's data duplication by
+//! materializing an *indirection buffer*: for every output pixel and every
+//! kernel tap `(r, s)` it records where that tap's input row starts (or a
+//! shared zero row for taps that fall into the padding). The kernel is then
+//! GEMM-shaped — `(P·Q) × K` output, reduced over `R·S` indirect rows of
+//! `C` contiguous channels — with `NHWC` activations and pre-packed
+//! `[⌈K/KB⌉, R·S, C, KB]` weights (packed once at setup, like XNNPACK's
+//! operator creation).
+
+use ndirect_simd::{F32x4, SimdVec};
+use ndirect_tensor::{ActLayout, AlignedBuf, ConvShape, Filter, FilterLayout, Tensor4};
+use ndirect_threads::{split_static, SharedSlice, StaticPool};
+
+/// Output-channel block: two 4-lane vectors per pixel.
+pub const KB: usize = 8;
+const KBV: usize = KB / 4;
+
+/// Output pixels per micro-kernel invocation.
+const MT: usize = 4;
+
+/// Sentinel for "this tap reads the zero row".
+const ZERO: usize = usize::MAX;
+
+/// Weights packed for the indirect kernel: `[kblock][r·s][c][KB]`,
+/// zero-padded in the `K` remainder.
+pub struct PackedWeights {
+    data: AlignedBuf,
+    k: usize,
+    c: usize,
+    rs: usize,
+}
+
+impl PackedWeights {
+    /// Packs a `KRSC` filter.
+    pub fn pack(filter: &Filter) -> Self {
+        assert_eq!(filter.layout(), FilterLayout::Krsc, "indirect conv packs KRSC");
+        let (k, c, r, s) = filter.dims();
+        let rs = r * s;
+        let kblocks = k.div_ceil(KB);
+        let mut data = AlignedBuf::zeroed(kblocks * rs * c * KB);
+        for kb in 0..kblocks {
+            for t in 0..rs {
+                let (ri, si) = (t / s, t % s);
+                for ci in 0..c {
+                    let base = ((kb * rs + t) * c + ci) * KB;
+                    for kl in 0..KB.min(k - kb * KB) {
+                        data[base + kl] = filter.at(kb * KB + kl, ci, ri, si);
+                    }
+                }
+            }
+        }
+        Self { data, k, c, rs }
+    }
+
+    fn kblocks(&self) -> usize {
+        self.k.div_ceil(KB)
+    }
+
+    #[inline]
+    fn block(&self, kblock: usize) -> &[f32] {
+        let len = self.rs * self.c * KB;
+        &self.data[kblock * len..(kblock + 1) * len]
+    }
+}
+
+/// Builds the indirection buffer: `P·Q·R·S` entries, each the offset (in
+/// floats, relative to an image's `NHWC` data) of the input row feeding
+/// output pixel `(oj, oi)` through tap `(r, s)`, or the zero-row sentinel
+/// (`usize::MAX`) when the tap
+/// lands in padding. Identical for every image in the batch.
+pub fn build_indirection(shape: &ConvShape) -> Vec<usize> {
+    let (p, q) = (shape.p(), shape.q());
+    let rs = shape.r * shape.s;
+    let mut buf = vec![ZERO; p * q * rs];
+    let (ph, pw) = (shape.pad.h as isize, shape.pad.w as isize);
+    for oj in 0..p {
+        for oi in 0..q {
+            for r in 0..shape.r {
+                for s in 0..shape.s {
+                    let ij = (shape.stride * oj) as isize - ph + r as isize;
+                    let ii = (shape.stride * oi) as isize - pw + s as isize;
+                    let entry = &mut buf[(oj * q + oi) * rs + r * shape.s + s];
+                    if ij >= 0 && ii >= 0 && (ij as usize) < shape.h && (ii as usize) < shape.w {
+                        *entry = (ij as usize * shape.w + ii as usize) * shape.c;
+                    }
+                }
+            }
+        }
+    }
+    buf
+}
+
+/// Indirect convolution over `NHWC` input with pre-packed weights and a
+/// pre-built indirection buffer, into a preallocated `NHWC` output.
+///
+/// Parallelism: `(image, output-row)` pairs split statically.
+pub fn conv_indirect_prepacked(
+    pool: &StaticPool,
+    input: &Tensor4,
+    weights: &PackedWeights,
+    indirection: &[usize],
+    shape: &ConvShape,
+    output: &mut Tensor4,
+) {
+    assert_eq!(input.layout(), ActLayout::Nhwc, "indirect conv takes NHWC");
+    assert_eq!(output.layout(), ActLayout::Nhwc, "indirect conv writes NHWC");
+    assert_eq!(input.dims(), (shape.n, shape.c, shape.h, shape.w), "input dims");
+    assert_eq!(weights.k, shape.k, "weight K");
+    assert_eq!(weights.c, shape.c, "weight C");
+    assert_eq!(weights.rs, shape.r * shape.s, "weight RS");
+    let (p, q) = (shape.p(), shape.q());
+    assert_eq!(output.dims(), (shape.n, shape.k, p, q), "output dims");
+    assert_eq!(indirection.len(), p * q * shape.r * shape.s, "indirection size");
+
+    let zero_row = AlignedBuf::zeroed(shape.c);
+    let work = shape.n * p;
+    let threads = pool.size();
+    let image_len = shape.h * shape.w * shape.c;
+    let out_row_len = q * shape.k;
+    let in_data = input.as_slice();
+
+    let shared = SharedSlice::new(output.as_mut_slice());
+    pool.run(|tid| {
+        for item in split_static(work, threads, tid) {
+            let n = item / p;
+            let oj = item % p;
+            let image = &in_data[n * image_len..(n + 1) * image_len];
+            // SAFETY: each (n, oj) owns a distinct output row; the pool
+            // barrier orders all writes before `run` returns.
+            let out_row =
+                unsafe { shared.range_mut((n * p + oj) * out_row_len, out_row_len) };
+            conv_output_row(image, weights, indirection, shape, &zero_row, oj, q, out_row);
+        }
+    });
+}
+
+/// One `NHWC` output row (`q` pixels × `K` channels).
+#[allow(clippy::too_many_arguments)]
+fn conv_output_row(
+    image: &[f32],
+    weights: &PackedWeights,
+    indirection: &[usize],
+    shape: &ConvShape,
+    zero_row: &[f32],
+    oj: usize,
+    q: usize,
+    out_row: &mut [f32],
+) {
+    let rs = shape.r * shape.s;
+    let mut oi = 0;
+    while oi < q {
+        if oi + MT <= q {
+            pixel_tile::<MT>(image, weights, indirection, shape, zero_row, oj, q, oi, out_row);
+            oi += MT;
+        } else {
+            pixel_tile::<1>(image, weights, indirection, shape, zero_row, oj, q, oi, out_row);
+            oi += 1;
+        }
+    }
+    let _ = rs;
+}
+
+/// `M` pixels × `KB` channels per k-block, reduced over `R·S` indirect rows
+/// × `C` channels with broadcast FMAs.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn pixel_tile<const M: usize>(
+    image: &[f32],
+    weights: &PackedWeights,
+    indirection: &[usize],
+    shape: &ConvShape,
+    zero_row: &[f32],
+    oj: usize,
+    q: usize,
+    oi: usize,
+    out_row: &mut [f32],
+) {
+    let rs = shape.r * shape.s;
+    let c = shape.c;
+    let k = shape.k;
+    for kblock in 0..weights.kblocks() {
+        let wblock = weights.block(kblock);
+        let mut acc = [[F32x4::zero(); KBV]; M];
+        for t in 0..rs {
+            // Resolve the M input rows for this tap.
+            let mut rows: [&[f32]; M] = [zero_row; M];
+            for (m, row) in rows.iter_mut().enumerate() {
+                let off = indirection[((oj * q) + oi + m) * rs + t];
+                if off != ZERO {
+                    *row = &image[off..off + c];
+                }
+            }
+            let wtap = &wblock[t * c * KB..(t + 1) * c * KB];
+            for ci in 0..c {
+                let wv0 = F32x4::load(&wtap[ci * KB..]);
+                let wv1 = F32x4::load(&wtap[ci * KB + 4..]);
+                for m in 0..M {
+                    let x = F32x4::splat(rows[m][ci]);
+                    acc[m][0] = acc[m][0].fma(wv0, x);
+                    acc[m][1] = acc[m][1].fma(wv1, x);
+                }
+            }
+        }
+        // Store: NHWC output row, K innermost; mask the K remainder.
+        let k0 = kblock * KB;
+        let valid = KB.min(k - k0);
+        for (m, accm) in acc.iter().enumerate() {
+            let dst = &mut out_row[(oi + m) * k + k0..(oi + m) * k + k0 + valid];
+            if valid == KB {
+                accm[0].store(&mut dst[..4]);
+                accm[1].store(&mut dst[4..]);
+            } else {
+                let mut tmp = [0.0f32; KB];
+                accm[0].store(&mut tmp[..4]);
+                accm[1].store(&mut tmp[4..]);
+                dst.copy_from_slice(&tmp[..valid]);
+            }
+        }
+    }
+}
+
+/// Indirect convolution from scratch: packs weights, builds the indirection
+/// buffer, runs. `NHWC` in, `NHWC` out.
+pub fn conv_indirect(
+    pool: &StaticPool,
+    input: &Tensor4,
+    filter: &Filter,
+    shape: &ConvShape,
+) -> Tensor4 {
+    let weights = PackedWeights::pack(filter);
+    let indirection = build_indirection(shape);
+    let mut out = Tensor4::output_for(shape, ActLayout::Nhwc);
+    conv_indirect_prepacked(pool, input, &weights, &indirection, shape, &mut out);
+    out
+}
+
+/// Adapter from the workspace's `NCHW`/`KCRS` convention, converting on
+/// both sides (the cost an `NCHW` framework pays to call XNNPACK).
+pub fn conv_indirect_nchw(
+    pool: &StaticPool,
+    input: &Tensor4,
+    filter: &Filter,
+    shape: &ConvShape,
+) -> Tensor4 {
+    let in_nhwc = input.to_layout(ActLayout::Nhwc);
+    let f_krsc = filter.to_layout(FilterLayout::Krsc);
+    let out = conv_indirect(pool, &in_nhwc, &f_krsc, shape);
+    out.to_layout(ActLayout::Nchw)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive;
+    use ndirect_tensor::{assert_close, fill, Padding};
+
+    fn check(shape: ConvShape, threads: usize) {
+        let input = fill::random_tensor(Tensor4::input_for(&shape, ActLayout::Nchw), 31);
+        let filter = fill::random_filter(Filter::for_shape(&shape, FilterLayout::Kcrs), 31);
+        let expect = naive::conv_ref(&input, &filter, &shape);
+        let pool = StaticPool::new(threads);
+        let got = conv_indirect_nchw(&pool, &input, &filter, &shape);
+        assert_close(got.as_slice(), expect.as_slice(), 2e-4, "indirect vs naive");
+    }
+
+    #[test]
+    fn matches_naive_basic() {
+        check(ConvShape::new(1, 4, 6, 6, 8, 3, 3, 1, Padding::NONE), 1);
+    }
+
+    #[test]
+    fn matches_naive_with_padding() {
+        check(ConvShape::new(2, 3, 8, 8, 8, 3, 3, 1, Padding::same(1)), 1);
+    }
+
+    #[test]
+    fn matches_naive_k_remainder() {
+        // K=10 exercises the masked store path.
+        check(ConvShape::new(1, 4, 6, 6, 10, 3, 3, 1, Padding::same(1)), 1);
+    }
+
+    #[test]
+    fn matches_naive_strided_and_pointwise() {
+        check(ConvShape::new(1, 6, 9, 9, 8, 3, 3, 2, Padding::same(1)), 1);
+        check(ConvShape::new(2, 8, 5, 5, 16, 1, 1, 1, Padding::NONE), 1);
+    }
+
+    #[test]
+    fn matches_naive_multithreaded() {
+        check(ConvShape::new(3, 4, 7, 9, 8, 3, 3, 1, Padding::same(1)), 4);
+    }
+
+    #[test]
+    fn odd_width_uses_tail_tile() {
+        check(ConvShape::new(1, 4, 7, 7, 8, 3, 3, 1, Padding::NONE), 1);
+    }
+
+    #[test]
+    fn indirection_buffer_marks_padding() {
+        let shape = ConvShape::new(1, 2, 4, 4, 2, 3, 3, 1, Padding::same(1));
+        let ind = build_indirection(&shape);
+        let rs = 9;
+        // Top-left pixel, tap (0,0) is padding; tap (1,1) is input (0,0).
+        assert_eq!(ind[0], ZERO);
+        assert_eq!(ind[4], 0);
+        // Interior pixel (1,1): no padding taps.
+        let base = (4 + 1) * rs;
+        assert!(ind[base..base + rs].iter().all(|&o| o != ZERO));
+    }
+
+    #[test]
+    fn packed_weights_layout() {
+        // K=KB, one tap, C=2: block is [c][kb].
+        let mut f = Filter::zeros(KB, 2, 1, 1, FilterLayout::Krsc);
+        for kl in 0..KB {
+            *f.at_mut(kl, 0, 0, 0) = kl as f32;
+            *f.at_mut(kl, 1, 0, 0) = 100.0 + kl as f32;
+        }
+        let w = PackedWeights::pack(&f);
+        let b = w.block(0);
+        assert_eq!(b[0..8], (0..8).map(|x| x as f32).collect::<Vec<_>>()[..]);
+        assert_eq!(b[8], 100.0);
+    }
+}

@@ -1,0 +1,162 @@
+//! The convolution implementations the paper compares nDirect against.
+//!
+//! | Module | Paper baseline | Character |
+//! |---|---|---|
+//! | [`naive`] | Algorithm 1 | seven nested loops; the correctness oracle |
+//! | [`im2col`] | im2col + OpenBLAS GEMM (MXNet's default) | materializes the column matrix, then calls the Goto GEMM; per-phase timing for Fig. 1a |
+//! | [`blocked`] | LIBXSMM direct convolution | `NCHWc`/blocked-filter layouts + BRGEMM-style micro-kernel; layout-conversion step timed separately, as the paper measures it |
+//! | [`indirect`] | XNNPACK indirect convolution | `NHWC`, indirection buffer instead of im2col, GEMM-shaped kernel |
+//! | [`winograd`] | the fast-algorithm family §2.1 sets aside | `F(2×2, 3×3)` with GEMM-formulated tile products; lets the memory/accuracy trade-off be measured |
+//! | [`fft`] | the other §2.1 family | frequency-domain convolution on a from-scratch radix-2 FFT |
+//!
+//! Every backend computes the same operator (validated against [`naive`]),
+//! differing only in data movement and kernel structure — which is precisely
+//! what the paper's evaluation isolates.
+
+#![warn(missing_docs)]
+
+pub mod blocked;
+pub mod fft;
+pub mod im2col;
+pub mod indirect;
+pub mod naive;
+pub mod winograd;
+
+use ndirect_tensor::{ConvShape, Filter, Tensor4};
+use ndirect_threads::StaticPool;
+
+/// A pluggable convolution implementation over `NCHW` activations and
+/// `KCRS` filters — the interface the end-to-end inference engine swaps
+/// backends through (mirroring how the paper integrates nDirect into
+/// MXNet).
+///
+/// Implementations convert internally if they prefer another layout and
+/// must include that conversion in their runtime, matching the paper's
+/// methodology for layout-compatibility costs (§7.4).
+pub trait Convolution: Sync {
+    /// Short name for reports ("im2col+GEMM", "LIBXSMM-like", …).
+    fn name(&self) -> &'static str;
+
+    /// Whether [`Convolution::conv`] *accumulates* into the output
+    /// (`O += conv`) rather than overwriting it. Accumulating backends can
+    /// fuse a residual add by receiving the shortcut as the initial output
+    /// (the engine's fusion optimization); overwriting backends cannot.
+    fn accumulates(&self) -> bool {
+        false
+    }
+
+    /// Computes `output = conv(input, filter)` for `shape`, using `pool`
+    /// for parallelism. `input` is `NCHW`, `filter` is `KCRS`, `output` is
+    /// `NCHW` and arrives zeroed.
+    fn conv(
+        &self,
+        pool: &StaticPool,
+        input: &Tensor4,
+        filter: &Filter,
+        shape: &ConvShape,
+        output: &mut Tensor4,
+    );
+}
+
+/// Runs a [`Convolution`] backend, allocating the output.
+pub fn run_backend(
+    backend: &dyn Convolution,
+    pool: &StaticPool,
+    input: &Tensor4,
+    filter: &Filter,
+    shape: &ConvShape,
+) -> Tensor4 {
+    let mut out = Tensor4::output_for(shape, ndirect_tensor::ActLayout::Nchw);
+    backend.conv(pool, input, filter, shape, &mut out);
+    out
+}
+
+/// The naive oracle as a [`Convolution`] backend.
+pub struct NaiveBackend;
+
+impl Convolution for NaiveBackend {
+    fn name(&self) -> &'static str {
+        "naive"
+    }
+
+    fn conv(
+        &self,
+        _pool: &StaticPool,
+        input: &Tensor4,
+        filter: &Filter,
+        shape: &ConvShape,
+        output: &mut Tensor4,
+    ) {
+        let result = naive::conv_ref(input, filter, shape);
+        output.as_mut_slice().copy_from_slice(result.as_slice());
+    }
+}
+
+/// im2col+GEMM as a [`Convolution`] backend.
+pub struct Im2colBackend;
+
+impl Convolution for Im2colBackend {
+    fn name(&self) -> &'static str {
+        "im2col+GEMM"
+    }
+
+    fn accumulates(&self) -> bool {
+        true // the GEMM computes C += A·B
+    }
+
+    fn conv(
+        &self,
+        pool: &StaticPool,
+        input: &Tensor4,
+        filter: &Filter,
+        shape: &ConvShape,
+        output: &mut Tensor4,
+    ) {
+        im2col::conv_im2col_into(pool, input, filter, shape, output);
+    }
+}
+
+/// The LIBXSMM-style blocked direct convolution as a [`Convolution`]
+/// backend (includes its layout conversions, as integration into an
+/// `NCHW` framework would).
+pub struct BlockedBackend;
+
+impl Convolution for BlockedBackend {
+    fn name(&self) -> &'static str {
+        "LIBXSMM-like"
+    }
+
+    fn conv(
+        &self,
+        pool: &StaticPool,
+        input: &Tensor4,
+        filter: &Filter,
+        shape: &ConvShape,
+        output: &mut Tensor4,
+    ) {
+        let result = blocked::conv_blocked_nchw(pool, input, filter, shape);
+        output.as_mut_slice().copy_from_slice(result.as_slice());
+    }
+}
+
+/// The XNNPACK-style indirect convolution as a [`Convolution`] backend
+/// (includes its `NCHW → NHWC` conversions).
+pub struct IndirectBackend;
+
+impl Convolution for IndirectBackend {
+    fn name(&self) -> &'static str {
+        "XNNPACK-like"
+    }
+
+    fn conv(
+        &self,
+        pool: &StaticPool,
+        input: &Tensor4,
+        filter: &Filter,
+        shape: &ConvShape,
+        output: &mut Tensor4,
+    ) {
+        let result = indirect::conv_indirect_nchw(pool, input, filter, shape);
+        output.as_mut_slice().copy_from_slice(result.as_slice());
+    }
+}

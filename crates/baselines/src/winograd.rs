@@ -1,0 +1,301 @@
+//! Winograd `F(2×2, 3×3)` convolution — one of the two fast-algorithm
+//! families the paper's §2.1 sets aside ("FFT and Winograd … can increase
+//! the memory pressure and reduce the prediction accuracy"). Implemented
+//! here so that trade-off can be *measured* rather than asserted: the
+//! `figures -- winograd` target reports throughput and numerical error
+//! against the direct methods.
+//!
+//! The algorithm (Lavin & Gray, 2016) computes each 2×2 output tile with
+//! 16 multiplies instead of 36 (2.25× fewer):
+//!
+//! * filter transform `U = G·g·Gᵀ` (3×3 → 4×4, once per `(k, c)`);
+//! * input transform `V = Bᵀ·d·B` (4×4 tiles, stride 2);
+//! * per tile position `(ξ, ν) ∈ 4×4`, a `K×C · C×T` GEMM `M = U·V`
+//!   over all `T` tiles (the standard GEMM formulation, reusing the
+//!   workspace's Goto GEMM);
+//! * output transform `Y = Aᵀ·m·A` (4×4 → 2×2).
+//!
+//! Restrictions: `R = S = 3`, stride 1 (the algorithm's domain). The
+//! input/output transforms run single-threaded (only the 16 GEMMs use the
+//! pool) — adequate for a measured comparison point, not a production
+//! Winograd.
+
+use ndirect_gemm::{par_gemm, BlockSizes};
+use ndirect_tensor::{pad::at_padded, ActLayout, AlignedBuf, ConvShape, Filter, Tensor4};
+use ndirect_threads::StaticPool;
+
+/// Transformed-filter tensor: `U[16][K][C]`.
+pub struct WinogradFilter {
+    data: AlignedBuf,
+    k: usize,
+    c: usize,
+}
+
+impl WinogradFilter {
+    /// `U = G·g·Gᵀ` for every `(k, c)` 3×3 kernel.
+    ///
+    /// `G = [[1,0,0], [½,½,½], [½,−½,½], [0,0,1]]`.
+    pub fn transform(filter: &Filter) -> Self {
+        let (k, c, r, s) = filter.dims();
+        assert_eq!((r, s), (3, 3), "Winograd F(2x2,3x3) needs 3x3 kernels");
+        let mut data = AlignedBuf::zeroed(16 * k * c);
+        for ki in 0..k {
+            for ci in 0..c {
+                let mut g = [[0.0f32; 3]; 3];
+                for (i, row) in g.iter_mut().enumerate() {
+                    for (j, v) in row.iter_mut().enumerate() {
+                        *v = filter.at(ki, ci, i, j);
+                    }
+                }
+                // temp = G (4x3) · g (3x3)  -> 4x3
+                let mut t = [[0.0f32; 3]; 4];
+                for j in 0..3 {
+                    t[0][j] = g[0][j];
+                    t[1][j] = 0.5 * (g[0][j] + g[1][j] + g[2][j]);
+                    t[2][j] = 0.5 * (g[0][j] - g[1][j] + g[2][j]);
+                    t[3][j] = g[2][j];
+                }
+                // u = temp · Gᵀ -> 4x4 (same combination across columns)
+                for (i, trow) in t.iter().enumerate() {
+                    let u0 = trow[0];
+                    let u1 = 0.5 * (trow[0] + trow[1] + trow[2]);
+                    let u2 = 0.5 * (trow[0] - trow[1] + trow[2]);
+                    let u3 = trow[2];
+                    for (pos, val) in [(0, u0), (1, u1), (2, u2), (3, u3)] {
+                        data[((i * 4 + pos) * k + ki) * c + ci] = val;
+                    }
+                }
+            }
+        }
+        Self { data, k, c }
+    }
+
+    /// The `K×C` matrix at tile position `xi·4 + nu`.
+    fn matrix(&self, pos: usize) -> &[f32] {
+        &self.data[pos * self.k * self.c..(pos + 1) * self.k * self.c]
+    }
+}
+
+/// `Bᵀ·d·B` for a 4×4 input tile `d` (in place, two passes of the
+/// butterfly `[d0−d2, d1+d2, d2−d1, d1−d3]`).
+#[inline]
+fn input_transform(d: &mut [[f32; 4]; 4]) {
+    // Rows: Bᵀ·d.
+    #[allow(clippy::needless_range_loop)] // j addresses a column across rows
+    for j in 0..4 {
+        let (d0, d1, d2, d3) = (d[0][j], d[1][j], d[2][j], d[3][j]);
+        d[0][j] = d0 - d2;
+        d[1][j] = d1 + d2;
+        d[2][j] = d2 - d1;
+        d[3][j] = d1 - d3;
+    }
+    // Columns: (·)·B.
+    for row in d.iter_mut() {
+        let (d0, d1, d2, d3) = (row[0], row[1], row[2], row[3]);
+        row[0] = d0 - d2;
+        row[1] = d1 + d2;
+        row[2] = d2 - d1;
+        row[3] = d1 - d3;
+    }
+}
+
+/// `Aᵀ·m·A` for a 4×4 accumulator tile → 2×2 output.
+#[inline]
+fn output_transform(m: &[[f32; 4]; 4]) -> [[f32; 2]; 2] {
+    let mut t = [[0.0f32; 4]; 2];
+    #[allow(clippy::needless_range_loop)] // index mirrors the A^T matrix rows
+    for j in 0..4 {
+        t[0][j] = m[0][j] + m[1][j] + m[2][j];
+        t[1][j] = m[1][j] - m[2][j] - m[3][j];
+    }
+    [
+        [t[0][0] + t[0][1] + t[0][2], t[0][1] - t[0][2] - t[0][3]],
+        [t[1][0] + t[1][1] + t[1][2], t[1][1] - t[1][2] - t[1][3]],
+    ]
+}
+
+/// Winograd `F(2×2, 3×3)` convolution over `NCHW` activations and `KCRS`
+/// filters (3×3, stride 1 only). Padding handled implicitly during the
+/// input transform.
+pub fn conv_winograd(
+    pool: &StaticPool,
+    input: &Tensor4,
+    filter: &Filter,
+    shape: &ConvShape,
+) -> Tensor4 {
+    assert_eq!(input.layout(), ActLayout::Nchw, "winograd takes NCHW");
+    assert_eq!((shape.r, shape.s), (3, 3), "winograd F(2x2,3x3) needs 3x3");
+    assert_eq!(shape.stride, 1, "winograd F(2x2,3x3) needs stride 1");
+    assert_eq!(input.dims(), (shape.n, shape.c, shape.h, shape.w), "input dims");
+    assert_eq!(filter.dims(), (shape.k, shape.c, 3, 3), "filter dims");
+
+    let (p, q) = (shape.p(), shape.q());
+    let tiles_y = p.div_ceil(2);
+    let tiles_x = q.div_ceil(2);
+    let tiles_per_image = tiles_y * tiles_x;
+    let t_total = shape.n * tiles_per_image;
+
+    let u = WinogradFilter::transform(filter);
+
+    // V[16][C][T]: transformed input, gathered tile by tile.
+    let mut v = AlignedBuf::zeroed(16 * shape.c * t_total);
+    {
+        let (ph, pw) = (shape.pad.h as isize, shape.pad.w as isize);
+        let ct = shape.c * t_total;
+        for n in 0..shape.n {
+            for c in 0..shape.c {
+                for ty in 0..tiles_y {
+                    for tx in 0..tiles_x {
+                        let mut d = [[0.0f32; 4]; 4];
+                        let y0 = (2 * ty) as isize - ph;
+                        let x0 = (2 * tx) as isize - pw;
+                        for (i, row) in d.iter_mut().enumerate() {
+                            for (j, val) in row.iter_mut().enumerate() {
+                                *val = at_padded(input, n, c, y0 + i as isize, x0 + j as isize);
+                            }
+                        }
+                        input_transform(&mut d);
+                        let t_idx = (n * tiles_y + ty) * tiles_x + tx;
+                        for (i, row) in d.iter().enumerate() {
+                            for (j, val) in row.iter().enumerate() {
+                                v[(i * 4 + j) * ct + c * t_total + t_idx] = *val;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // M[16][K][T] = U[pos]·V[pos] — 16 independent GEMMs.
+    let mut m = AlignedBuf::zeroed(16 * shape.k * t_total);
+    for pos in 0..16 {
+        let v_pos = &v[pos * shape.c * t_total..(pos + 1) * shape.c * t_total];
+        let m_pos = &mut m[pos * shape.k * t_total..(pos + 1) * shape.k * t_total];
+        par_gemm(
+            pool,
+            shape.k,
+            t_total,
+            shape.c,
+            u.matrix(pos),
+            v_pos,
+            m_pos,
+            BlockSizes::default(),
+        );
+    }
+
+    // Output transform, tile by tile, masking the P/Q remainder.
+    let mut out = Tensor4::output_for(shape, ActLayout::Nchw);
+    let kt = shape.k * t_total;
+    let _ = kt;
+    for n in 0..shape.n {
+        for k in 0..shape.k {
+            for ty in 0..tiles_y {
+                for tx in 0..tiles_x {
+                    let t_idx = (n * tiles_y + ty) * tiles_x + tx;
+                    let mut acc = [[0.0f32; 4]; 4];
+                    for (i, row) in acc.iter_mut().enumerate() {
+                        for (j, val) in row.iter_mut().enumerate() {
+                            *val = m[(i * 4 + j) * shape.k * t_total + k * t_total + t_idx];
+                        }
+                    }
+                    let y = output_transform(&acc);
+                    #[allow(clippy::needless_range_loop)] // dy/dx address both y and out
+                    for dy in 0..2 {
+                        for dx in 0..2 {
+                            let (oy, ox) = (2 * ty + dy, 2 * tx + dx);
+                            if oy < p && ox < q {
+                                *out.at_mut(n, k, oy, ox) = y[dy][dx];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Extra memory Winograd materializes, in floats (`V` + `M` + `U`) — the
+/// "memory pressure" the paper cites.
+pub fn winograd_workspace_floats(shape: &ConvShape) -> usize {
+    let tiles = shape.n * shape.p().div_ceil(2) * shape.q().div_ceil(2);
+    16 * (shape.c * tiles + shape.k * tiles + shape.k * shape.c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive;
+    use ndirect_tensor::{assert_close, fill, FilterLayout, Padding};
+
+    fn check(shape: ConvShape, threads: usize, tol: f32) {
+        let input = fill::random_tensor(Tensor4::input_for(&shape, ActLayout::Nchw), 41);
+        let filter = fill::random_filter(Filter::for_shape(&shape, FilterLayout::Kcrs), 41);
+        let expect = naive::conv_ref(&input, &filter, &shape);
+        let pool = StaticPool::new(threads);
+        let got = conv_winograd(&pool, &input, &filter, &shape);
+        assert_close(got.as_slice(), expect.as_slice(), tol, "winograd vs naive");
+    }
+
+    #[test]
+    fn matches_oracle_even_output() {
+        check(ConvShape::new(1, 4, 10, 10, 6, 3, 3, 1, Padding::same(1)), 1, 1e-3);
+    }
+
+    #[test]
+    fn matches_oracle_odd_output_masks_tail() {
+        // P = Q = 7: the last tile row/column is half outside.
+        check(ConvShape::new(2, 3, 7, 7, 5, 3, 3, 1, Padding::same(1)), 1, 1e-3);
+    }
+
+    #[test]
+    fn matches_oracle_valid_convolution() {
+        check(ConvShape::new(1, 2, 9, 12, 4, 3, 3, 1, Padding::NONE), 2, 1e-3);
+    }
+
+    #[test]
+    fn filter_transform_reference_values() {
+        // An impulse kernel (center tap = 1): U = G·e11·Gᵀ has the known
+        // pattern [0,±¼…] — check one value.
+        let mut f = Filter::zeros(1, 1, 3, 3, FilterLayout::Kcrs);
+        *f.at_mut(0, 0, 1, 1) = 1.0;
+        let u = WinogradFilter::transform(&f);
+        // U[1][1] = row-G(½·g1)·col-G = ¼.
+        assert!((u.matrix(5)[0] - 0.25).abs() < 1e-6);
+        // Corner positions are 0 for the impulse.
+        assert_eq!(u.matrix(0)[0], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs 3x3")]
+    fn rejects_non_3x3() {
+        let shape = ConvShape::new(1, 1, 6, 6, 1, 1, 1, 1, Padding::NONE);
+        let input = Tensor4::input_for(&shape, ActLayout::Nchw);
+        let filter = Filter::for_shape(&shape, FilterLayout::Kcrs);
+        conv_winograd(&StaticPool::new(1), &input, &filter, &shape);
+    }
+
+    #[test]
+    fn error_grows_with_channel_count() {
+        // The accuracy concern the paper cites: Winograd's transforms
+        // amplify rounding relative to direct summation as C grows.
+        let mut errs = Vec::new();
+        for c in [4usize, 256] {
+            let shape = ConvShape::new(1, c, 8, 8, 4, 3, 3, 1, Padding::same(1));
+            let input = fill::random_tensor(Tensor4::input_for(&shape, ActLayout::Nchw), 1);
+            let filter = fill::random_filter(Filter::for_shape(&shape, FilterLayout::Kcrs), 1);
+            let expect = naive::conv_ref(&input, &filter, &shape);
+            let got = conv_winograd(&StaticPool::new(1), &input, &filter, &shape);
+            errs.push(ndirect_tensor::max_abs_diff(got.as_slice(), expect.as_slice()));
+        }
+        assert!(errs[1] > errs[0], "error should grow with C: {errs:?}");
+    }
+
+    #[test]
+    fn workspace_accounting() {
+        let shape = ConvShape::new(1, 8, 8, 8, 8, 3, 3, 1, Padding::same(1));
+        // tiles = 16, so V and M are 16·8·16 each plus U = 16·64.
+        assert_eq!(winograd_workspace_floats(&shape), 16 * (8 * 16 + 8 * 16 + 64));
+    }
+}

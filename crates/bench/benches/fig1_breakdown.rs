@@ -1,0 +1,49 @@
+//! Figure 1a as a Criterion bench: the phases of the im2col+GEMM and
+//! LIBXSMM-style paths, timed separately on a representative layer so
+//! regressions in any single phase are visible.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ndirect_baselines::{blocked, im2col};
+use ndirect_tensor::{ActLayout, AlignedBuf, FilterLayout};
+use ndirect_threads::StaticPool;
+use ndirect_workloads::{make_problem, table4};
+
+fn bench_breakdown(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1a_breakdown");
+    group.sample_size(10);
+
+    // Layer 10: C128 K128 28x28 3x3 — mid-sized, im2col-transform-heavy.
+    let layer = table4::layer_by_id(10).unwrap();
+    let shape = layer.shape(1);
+    let p = make_problem(shape, ActLayout::Nchw, FilterLayout::Kcrs, 1);
+    let pool = StaticPool::new(1);
+
+    group.bench_function("im2col_transform_only", |b| {
+        let cols = shape.p() * shape.q();
+        let crs = shape.c * shape.r * shape.s;
+        let mut buf = AlignedBuf::zeroed(crs * cols);
+        b.iter(|| im2col::im2col_image(&p.input, &shape, 0, &mut buf));
+    });
+
+    group.bench_function("im2col_full_pipeline", |b| {
+        b.iter(|| im2col::conv_im2col(&pool, &p.input, &p.filter, &shape));
+    });
+
+    group.bench_function("libxsmm_transform_only", |b| {
+        b.iter(|| blocked::prepare_blocked(&p.input, &p.filter, &shape));
+    });
+
+    let ops = blocked::prepare_blocked(&p.input, &p.filter, &shape);
+    group.bench_function("libxsmm_kernel_only", |b| {
+        b.iter(|| blocked::conv_blocked(&pool, &ops.input, &ops.filter, &shape));
+    });
+
+    group.bench_function("libxsmm_with_transform", |b| {
+        b.iter(|| blocked::conv_blocked_nchw(&pool, &p.input, &p.filter, &shape));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_breakdown);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Figure 4 as a Criterion bench: the four methods on representative
+//! Table 4 layers (one per regime — stem, strided 3x3, stride-1 3x3,
+//! pointwise, small-spatial, VGG-wide). The `figures` binary covers all
+//! 28 layers; this guards the relative standings in CI.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ndirect_baselines::{blocked, im2col, indirect};
+use ndirect_core::{conv_ndirect_with, Schedule};
+use ndirect_tensor::{ActLayout, FilterLayout};
+use ndirect_threads::StaticPool;
+use ndirect_workloads::{make_problem, table4};
+
+const REPRESENTATIVE_LAYERS: [usize; 6] = [1, 2, 10, 19, 16, 26];
+
+fn bench_layers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_layerwise");
+    group.sample_size(10);
+    let pool = StaticPool::new(1);
+    let platform = ndirect_platform::host();
+
+    for id in REPRESENTATIVE_LAYERS {
+        let layer = table4::layer_by_id(id).unwrap();
+        let shape = layer.shape(1);
+        let p = make_problem(shape, ActLayout::Nchw, FilterLayout::Kcrs, id as u64);
+        group.throughput(Throughput::Elements(shape.flops()));
+
+        let sched = Schedule::derive(&platform, &shape, 1);
+        group.bench_with_input(BenchmarkId::new("NDIRECT", id), &id, |b, _| {
+            b.iter(|| conv_ndirect_with(&pool, &p.input, &p.filter, &shape, &sched));
+        });
+        group.bench_with_input(BenchmarkId::new("im2col+GEMM", id), &id, |b, _| {
+            b.iter(|| im2col::conv_im2col(&pool, &p.input, &p.filter, &shape));
+        });
+        let ops = blocked::prepare_blocked(&p.input, &p.filter, &shape);
+        group.bench_with_input(BenchmarkId::new("LIBXSMM", id), &id, |b, _| {
+            b.iter(|| blocked::conv_blocked(&pool, &ops.input, &ops.filter, &shape));
+        });
+        let in_nhwc = p.input.to_layout(ActLayout::Nhwc);
+        let f_krsc = p.filter.to_layout(FilterLayout::Krsc);
+        group.bench_with_input(BenchmarkId::new("XNNPACK", id), &id, |b, _| {
+            b.iter(|| indirect::conv_indirect(&pool, &in_nhwc, &f_krsc, &shape));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_layers);
+criterion_main!(benches);

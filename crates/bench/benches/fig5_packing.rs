@@ -1,0 +1,40 @@
+//! Figure 5 as a Criterion bench: fused vs sequential packing on the VGG
+//! layers (24–28).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ndirect_core::{conv_ndirect_with, PackingMode, Schedule};
+use ndirect_tensor::{ActLayout, FilterLayout};
+use ndirect_threads::StaticPool;
+use ndirect_workloads::{make_problem, vgg16_layers};
+
+fn bench_packing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_packing");
+    group.sample_size(10);
+    let pool = StaticPool::new(1);
+    let platform = ndirect_platform::host();
+
+    for layer in vgg16_layers() {
+        // Batch 1 and reduced spatial for the 224/112 layers to keep the
+        // bench fast; the figures harness runs them full-size.
+        let mut shape = layer.shape(1);
+        if shape.h > 56 {
+            shape = shape.with_spatial(56, 56);
+        }
+        let p = make_problem(shape, ActLayout::Nchw, FilterLayout::Kcrs, layer.id as u64);
+        group.throughput(Throughput::Elements(shape.flops()));
+        let base = Schedule::derive(&platform, &shape, 1);
+        for (name, mode) in [
+            ("fused", PackingMode::Fused),
+            ("sequential", PackingMode::Sequential),
+        ] {
+            let sched = base.with_packing(mode);
+            group.bench_with_input(BenchmarkId::new(name, layer.id), &layer.id, |b, _| {
+                b.iter(|| conv_ndirect_with(&pool, &p.input, &p.filter, &shape, &sched));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_packing);
+criterion_main!(benches);

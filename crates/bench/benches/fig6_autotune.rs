@@ -1,0 +1,51 @@
+//! Figure 6 as a Criterion bench: the model-derived schedule against a
+//! short Ansor-like search's best schedule (search runs once in setup —
+//! the paper excludes tuning time).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ndirect_autotune::{tune, TuneSettings};
+use ndirect_core::{conv_ndirect_with, Schedule};
+use ndirect_tensor::{ActLayout, FilterLayout};
+use ndirect_threads::StaticPool;
+use ndirect_workloads::{make_problem, table4};
+
+fn bench_model_vs_tuned(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_model_vs_tuned");
+    group.sample_size(10);
+    let pool = StaticPool::new(1);
+    let platform = ndirect_platform::host();
+
+    for id in [3usize, 10, 16] {
+        let layer = table4::layer_by_id(id).unwrap();
+        let shape = layer.shape(1);
+        let p = make_problem(shape, ActLayout::Nchw, FilterLayout::Kcrs, id as u64);
+        group.throughput(Throughput::Elements(shape.flops()));
+
+        let model_sched = Schedule::derive(&platform, &shape, 1);
+        let report = tune(
+            &pool,
+            &shape,
+            &p.input,
+            &p.filter,
+            &TuneSettings {
+                trials: 12,
+                population: 6,
+                pool: 16,
+                measured_per_round: 3,
+                reps: 1,
+                seed: id as u64,
+            },
+        );
+
+        group.bench_with_input(BenchmarkId::new("model_schedule", id), &id, |b, _| {
+            b.iter(|| conv_ndirect_with(&pool, &p.input, &p.filter, &shape, &model_sched));
+        });
+        group.bench_with_input(BenchmarkId::new("tuned_schedule", id), &id, |b, _| {
+            b.iter(|| conv_ndirect_with(&pool, &p.input, &p.filter, &shape, &report.best));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_model_vs_tuned);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Figure 7 as a Criterion bench: end-to-end forward passes with nDirect
+//! vs im2col+GEMM backends. The bench uses the scaled-down `tiny_resnet`
+//! plus batch-1 ResNet-50 (full 224×224); the figures harness covers all
+//! four networks and the Ansor-like backend.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ndirect_baselines::Im2colBackend;
+use ndirect_models::{zoo, Engine, NDirectBackend};
+use ndirect_tensor::{fill, ActLayout, Tensor4};
+use ndirect_threads::StaticPool;
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_end_to_end");
+    group.sample_size(10);
+    let pool = StaticPool::with_hardware_threads();
+    let ndirect = NDirectBackend::host();
+
+    let tiny = zoo::tiny_resnet(1);
+    let x_tiny = fill::random_tensor(Tensor4::zeros(4, 3, 32, 32, ActLayout::Nchw), 2);
+    group.bench_function("tiny_resnet/NDIRECT", |b| {
+        let engine = Engine::new(&ndirect, &pool);
+        b.iter(|| engine.run(&tiny, &x_tiny));
+    });
+    group.bench_function("tiny_resnet/im2col", |b| {
+        let engine = Engine::new(&Im2colBackend, &pool);
+        b.iter(|| engine.run(&tiny, &x_tiny));
+    });
+
+    let resnet = zoo::resnet50(1);
+    let x = fill::random_tensor(Tensor4::zeros(1, 3, 224, 224, ActLayout::Nchw), 3);
+    group.sample_size(10);
+    group.bench_function("resnet50_b1/NDIRECT", |b| {
+        let engine = Engine::new(&ndirect, &pool);
+        b.iter(|| engine.run(&resnet, &x));
+    });
+    group.bench_function("resnet50_b1/im2col", |b| {
+        let engine = Engine::new(&Im2colBackend, &pool);
+        b.iter(|| engine.run(&resnet, &x));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

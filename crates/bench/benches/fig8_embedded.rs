@@ -1,0 +1,47 @@
+//! Figure 8 as a Criterion bench: the embedded regime — single-thread,
+//! batch-1 runs of small layers (the RPi 4 experiment's single-core half;
+//! the multi-core half is in the figures harness where thread count is
+//! configurable).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ndirect_baselines::{blocked, im2col, indirect};
+use ndirect_core::{conv_ndirect_with, Schedule};
+use ndirect_tensor::{ActLayout, FilterLayout};
+use ndirect_threads::StaticPool;
+use ndirect_workloads::{make_problem, table4};
+
+fn bench_single_core(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_single_core");
+    group.sample_size(10);
+    let pool = StaticPool::new(1);
+    let platform = ndirect_platform::host();
+
+    // The small-spatial layers that dominate the RPi plot's right half.
+    for id in [15usize, 16, 18, 20] {
+        let layer = table4::layer_by_id(id).unwrap();
+        let shape = layer.shape(1);
+        let p = make_problem(shape, ActLayout::Nchw, FilterLayout::Kcrs, id as u64);
+        group.throughput(Throughput::Elements(shape.flops()));
+
+        let sched = Schedule::derive(&platform, &shape, 1);
+        group.bench_with_input(BenchmarkId::new("NDIRECT", id), &id, |b, _| {
+            b.iter(|| conv_ndirect_with(&pool, &p.input, &p.filter, &shape, &sched));
+        });
+        group.bench_with_input(BenchmarkId::new("im2col+GEMM", id), &id, |b, _| {
+            b.iter(|| im2col::conv_im2col(&pool, &p.input, &p.filter, &shape));
+        });
+        let ops = blocked::prepare_blocked(&p.input, &p.filter, &shape);
+        group.bench_with_input(BenchmarkId::new("LIBXSMM", id), &id, |b, _| {
+            b.iter(|| blocked::conv_blocked(&pool, &ops.input, &ops.filter, &shape));
+        });
+        let in_nhwc = p.input.to_layout(ActLayout::Nhwc);
+        let f_krsc = p.filter.to_layout(FilterLayout::Krsc);
+        group.bench_with_input(BenchmarkId::new("XNNPACK", id), &id, |b, _| {
+            b.iter(|| indirect::conv_indirect(&pool, &in_nhwc, &f_krsc, &shape));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_core);
+criterion_main!(benches);

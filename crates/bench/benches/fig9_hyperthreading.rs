@@ -1,0 +1,43 @@
+//! Figure 9 as a Criterion bench: SMT-style oversubscription — the thread
+//! team is 4× the hardware parallelism and the batch matches the logical
+//! thread count, as in the paper's ThunderX2 4-way-SMT experiment.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ndirect_baselines::{im2col, indirect};
+use ndirect_core::{conv_ndirect_with, Schedule};
+use ndirect_tensor::{ActLayout, FilterLayout};
+use ndirect_threads::StaticPool;
+use ndirect_workloads::{make_problem, table4};
+
+fn bench_smt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_smt");
+    group.sample_size(10);
+    let threads = 4 * ndirect_threads::hardware_threads();
+    let batch = threads;
+    let pool = StaticPool::new(threads);
+    let platform = ndirect_platform::host();
+
+    for id in [10usize, 16] {
+        let layer = table4::layer_by_id(id).unwrap();
+        let shape = layer.shape(batch);
+        let p = make_problem(shape, ActLayout::Nchw, FilterLayout::Kcrs, id as u64);
+        group.throughput(Throughput::Elements(shape.flops()));
+
+        let sched = Schedule::derive(&platform, &shape, threads);
+        group.bench_with_input(BenchmarkId::new("NDIRECT", id), &id, |b, _| {
+            b.iter(|| conv_ndirect_with(&pool, &p.input, &p.filter, &shape, &sched));
+        });
+        group.bench_with_input(BenchmarkId::new("im2col+GEMM", id), &id, |b, _| {
+            b.iter(|| im2col::conv_im2col(&pool, &p.input, &p.filter, &shape));
+        });
+        let in_nhwc = p.input.to_layout(ActLayout::Nhwc);
+        let f_krsc = p.filter.to_layout(FilterLayout::Krsc);
+        group.bench_with_input(BenchmarkId::new("XNNPACK", id), &id, |b, _| {
+            b.iter(|| indirect::conv_indirect(&pool, &in_nhwc, &f_krsc, &shape));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_smt);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Substrate benches: the Goto GEMM against the naive triple loop, plus
+//! the packing routines — guards the baseline's own quality (a slow GEMM
+//! would flatter nDirect unfairly in every comparison figure).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ndirect_gemm::{gemm, naive, pack, BlockSizes, MR, NR};
+use ndirect_tensor::fill;
+use ndirect_threads::StaticPool;
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm");
+    group.sample_size(10);
+    for &n in &[64usize, 256, 512] {
+        let (m, k) = (n, n);
+        let mut a = vec![0.0f32; m * k];
+        let mut b = vec![0.0f32; k * n];
+        fill::fill_random(&mut a, 1);
+        fill::fill_random(&mut b, 2);
+        group.throughput(Throughput::Elements(2 * (m * n * k) as u64));
+
+        group.bench_with_input(BenchmarkId::new("goto", n), &n, |bench, _| {
+            let mut cbuf = vec![0.0f32; m * n];
+            bench.iter(|| {
+                cbuf.fill(0.0);
+                gemm(m, n, k, &a, &b, &mut cbuf);
+            });
+        });
+        if n <= 256 {
+            group.bench_with_input(BenchmarkId::new("naive", n), &n, |bench, _| {
+                let mut cbuf = vec![0.0f32; m * n];
+                bench.iter(|| {
+                    cbuf.fill(0.0);
+                    naive::matmul(m, n, k, &a, &b, &mut cbuf);
+                });
+            });
+        }
+        group.bench_with_input(BenchmarkId::new("par_goto_4t", n), &n, |bench, _| {
+            let pool = StaticPool::new(4);
+            let mut cbuf = vec![0.0f32; m * n];
+            bench.iter(|| {
+                cbuf.fill(0.0);
+                ndirect_gemm::par_gemm(&pool, m, n, k, &a, &b, &mut cbuf, BlockSizes::default());
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_packing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm_packing");
+    group.sample_size(10);
+    let (mc, kc, nc) = (264usize, 256usize, 2048usize);
+    let mut a = vec![0.0f32; mc * kc];
+    let mut b = vec![0.0f32; kc * nc];
+    fill::fill_random(&mut a, 3);
+    fill::fill_random(&mut b, 4);
+
+    group.throughput(Throughput::Bytes((mc * kc * 4) as u64));
+    group.bench_function("pack_a", |bench| {
+        let mut packed = vec![0.0f32; mc.div_ceil(MR) * MR * kc];
+        bench.iter(|| pack::pack_a::<MR>(&a, kc, mc, kc, &mut packed));
+    });
+    group.throughput(Throughput::Bytes((kc * nc * 4) as u64));
+    group.bench_function("pack_b", |bench| {
+        let mut packed = vec![0.0f32; nc.div_ceil(NR) * NR * kc];
+        bench.iter(|| pack::pack_b::<NR>(&b, nc, kc, nc, &mut packed));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_gemm, bench_packing);
+criterion_main!(benches);

@@ -1,0 +1,256 @@
+//! Shared measurement infrastructure for the figure harness and the
+//! Criterion benches.
+//!
+//! Everything here is about running one convolution workload under one
+//! *method* (the paper's term for a convolution implementation) and
+//! reporting GFLOPS, with per-method setup (layout conversion, weight
+//! packing, tuning) handled the way the paper's methodology (§7.4)
+//! prescribes for that method:
+//!
+//! * `im2col+GEMM`, `nDirect` — no setup excluded; every cost inside the
+//!   call is measured (nDirect's filter transform happens on the fly);
+//! * `LIBXSMM-like` — layout conversion excluded (the paper measures its
+//!   micro-kernels on pre-converted data, Fig. 1b/4) but reported
+//!   separately by the breakdown experiment;
+//! * `XNNPACK-like` — weights pre-packed at operator-creation time (as in
+//!   XNNPACK), the indirection buffer built per call;
+//! * `ACL-direct-like` — the naive-parallelization strawman of §3.2:
+//!   correct direct convolution parallelized only over `K`;
+//! * `Ansor-like` — nDirect's kernel space tuned per shape by the
+//!   evolutionary searcher, tuning time excluded (§7.3 excludes Ansor's
+//!   search overhead).
+
+use std::time::Instant;
+
+use ndirect_autotune::{tune, TuneSettings};
+use ndirect_baselines::{blocked, im2col, indirect};
+use ndirect_core::{conv_ndirect_with, Schedule};
+use ndirect_platform::Platform;
+use ndirect_tensor::{ActLayout, ConvShape, FilterLayout, Tensor4};
+use ndirect_threads::{Grid2, StaticPool};
+use ndirect_workloads::make_problem;
+use serde::Serialize;
+
+/// The convolution implementations compared across the figures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Method {
+    Im2colGemm,
+    Xnnpack,
+    Libxsmm,
+    NDirect,
+    AclDirect,
+    AnsorTuned,
+}
+
+impl Method {
+    /// Display name matching the paper's legends.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Method::Im2colGemm => "im2col+GEMM",
+            Method::Xnnpack => "XNNPACK",
+            Method::Libxsmm => "LIBXSMM",
+            Method::NDirect => "NDIRECT",
+            Method::AclDirect => "ACL_DIRECT",
+            Method::AnsorTuned => "Ansor",
+        }
+    }
+
+    /// The method set of Figures 4, 8 and 9.
+    pub const FIG4: [Method; 4] = [
+        Method::Im2colGemm,
+        Method::Xnnpack,
+        Method::Libxsmm,
+        Method::NDirect,
+    ];
+}
+
+/// One measured data point.
+#[derive(Debug, Clone, Serialize)]
+pub struct Measurement {
+    pub layer_id: usize,
+    pub method: Method,
+    pub threads: usize,
+    pub batch: usize,
+    pub gflops: f64,
+}
+
+/// Times `f` `reps` times after one warm-up, returning the minimum.
+pub fn best_seconds<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
+    std::hint::black_box(f());
+    let mut best = f64::MAX;
+    for _ in 0..reps.max(1) {
+        let t = Instant::now();
+        let out = f();
+        best = best.min(t.elapsed().as_secs_f64());
+        std::hint::black_box(out);
+    }
+    best
+}
+
+/// Runs one `(shape, method)` workload and reports throughput.
+pub fn run_method(
+    method: Method,
+    shape: &ConvShape,
+    pool: &StaticPool,
+    platform: &Platform,
+    reps: usize,
+) -> f64 {
+    let p = make_problem(*shape, ActLayout::Nchw, FilterLayout::Kcrs, 0xbe9c4);
+    let secs = match method {
+        Method::Im2colGemm => best_seconds(reps, || {
+            im2col::conv_im2col(pool, &p.input, &p.filter, shape)
+        }),
+        Method::Xnnpack => {
+            let in_nhwc = p.input.to_layout(ActLayout::Nhwc);
+            let f_krsc = p.filter.to_layout(FilterLayout::Krsc);
+            // Weights packed once (operator creation); indirection buffer
+            // built per call (depends on input geometry).
+            let weights = indirect::PackedWeights::pack(&f_krsc);
+            best_seconds(reps, || {
+                let ind = indirect::build_indirection(shape);
+                let mut out = Tensor4::output_for(shape, ActLayout::Nhwc);
+                indirect::conv_indirect_prepacked(pool, &in_nhwc, &weights, &ind, shape, &mut out);
+                out
+            })
+        }
+        Method::Libxsmm => {
+            let ops = blocked::prepare_blocked(&p.input, &p.filter, shape);
+            best_seconds(reps, || blocked::conv_blocked(pool, &ops.input, &ops.filter, shape))
+        }
+        Method::NDirect => {
+            let sched = Schedule::derive(platform, shape, pool.size());
+            best_seconds(reps, || {
+                conv_ndirect_with(pool, &p.input, &p.filter, shape, &sched)
+            })
+        }
+        Method::AclDirect => {
+            // §3.2's failure mode: parallelize only K, sequential batches.
+            let mut sched = Schedule::derive(platform, shape, pool.size());
+            sched.grid = Grid2::new(1, pool.size());
+            best_seconds(reps, || {
+                conv_ndirect_with(pool, &p.input, &p.filter, shape, &sched)
+            })
+        }
+        Method::AnsorTuned => {
+            let settings = tune_settings_for_budget(reps);
+            let report = tune(pool, shape, &p.input, &p.filter, &settings);
+            best_seconds(reps, || {
+                conv_ndirect_with(pool, &p.input, &p.filter, shape, &report.best)
+            })
+        }
+    };
+    shape.gflops(secs)
+}
+
+/// Tuning budget: modest by default so the harness completes on a laptop;
+/// the paper's 1,000-trial budget is available via `figures --paper-trials`.
+pub fn tune_settings_for_budget(reps: usize) -> TuneSettings {
+    TuneSettings {
+        trials: 16,
+        population: 8,
+        pool: 32,
+        measured_per_round: 4,
+        reps: reps.min(2),
+        seed: 0xa45,
+    }
+}
+
+/// Formats a GFLOPS table: one row per layer, one column per method.
+pub fn format_table(
+    title: &str,
+    methods: &[Method],
+    rows: &[(usize, Vec<f64>)],
+    peak_for_pct: Option<f64>,
+) -> String {
+    use std::fmt::Write;
+    let mut s = String::new();
+    let _ = writeln!(s, "### {title}");
+    let _ = write!(s, "{:>5} ", "layer");
+    for m in methods {
+        let _ = write!(s, "{:>14} ", m.label());
+    }
+    if peak_for_pct.is_some() {
+        let _ = write!(s, "{:>10}", "%peak(nD)");
+    }
+    let _ = writeln!(s);
+    let mut geo: Vec<f64> = vec![0.0; methods.len()];
+    for (id, vals) in rows {
+        let _ = write!(s, "{id:>5} ");
+        for (i, v) in vals.iter().enumerate() {
+            let _ = write!(s, "{v:>14.2} ");
+            geo[i] += v.max(1e-9).ln();
+        }
+        if let Some(peak) = peak_for_pct {
+            if let Some(last) = vals.last() {
+                let _ = write!(s, "{:>9.1}%", 100.0 * last / peak);
+            }
+        }
+        let _ = writeln!(s);
+    }
+    let _ = write!(s, "{:>5} ", "Geo");
+    for g in &geo {
+        let _ = write!(s, "{:>14.2} ", (g / rows.len().max(1) as f64).exp());
+    }
+    let _ = writeln!(s);
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndirect_platform::host;
+
+    #[test]
+    fn best_seconds_returns_minimum_positive() {
+        let s = best_seconds(3, || {
+            std::hint::black_box((0..1000).sum::<u64>())
+        });
+        assert!((0.0..1.0).contains(&s));
+    }
+
+    #[test]
+    fn every_method_measures_a_small_layer() {
+        let shape = ConvShape::square(1, 8, 8, 10, 3, 1);
+        let pool = StaticPool::new(1);
+        let platform = host();
+        for m in [
+            Method::Im2colGemm,
+            Method::Xnnpack,
+            Method::Libxsmm,
+            Method::NDirect,
+            Method::AclDirect,
+        ] {
+            let g = run_method(m, &shape, &pool, &platform, 1);
+            assert!(g > 0.0, "{m:?}");
+        }
+    }
+
+    #[test]
+    fn tuned_method_measures_too() {
+        // Separate (slower) case: runs a real 6-trial search first.
+        let shape = ConvShape::square(1, 4, 4, 8, 3, 1);
+        let pool = StaticPool::new(1);
+        let g = run_method(Method::AnsorTuned, &shape, &pool, &host(), 1);
+        assert!(g > 0.0);
+    }
+
+    #[test]
+    fn acl_method_uses_all_k_grid() {
+        // With >1 threads the ACL strawman pins ptn = 1.
+        let shape = ConvShape::square(2, 4, 8, 8, 3, 1);
+        let pool = StaticPool::new(2);
+        let g = run_method(Method::AclDirect, &shape, &pool, &host(), 1);
+        assert!(g > 0.0);
+    }
+
+    #[test]
+    fn table_formatting_includes_geomean() {
+        let rows = vec![(1, vec![10.0, 20.0]), (2, vec![40.0, 80.0])];
+        let t = format_table("t", &[Method::Im2colGemm, Method::NDirect], &rows, Some(100.0));
+        assert!(t.contains("Geo"));
+        assert!(t.contains("im2col+GEMM"));
+        assert!(t.contains("20.00"), "{t}");
+        // Geomean of 10 and 40 = 20.
+        assert!(t.lines().last().unwrap().contains("20.00"));
+    }
+}

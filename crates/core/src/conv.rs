@@ -1,0 +1,477 @@
+//! The nDirect convolution driver — Algorithm 2's loop nest.
+//!
+//! Loop structure (paper numbering):
+//!
+//! ```text
+//! parallel over the PTn × PTk thread grid:        (§6)
+//!   L1  n  over this thread's images
+//!   L2  ht over output-row tiles of Th            (LLC)
+//!   L3  ct over channel tiles of Tc               (L1)
+//!   L4  kt over this thread's K tiles of Tk       (L2)
+//!         transform_filter(kt, ct block)          (line 5)
+//!   L5  oh over rows of the tile
+//!   L6  wv over output-column strips of Vw
+//!   L7  kv over Vk groups of the K tile
+//!         first kv: packing fused with compute    (line 8, §5.3)
+//!         rest:     main micro-kernel on B        (line 10)
+//! ```
+//!
+//! Work distribution: `PTk` threads split `K` at `Vk` granularity; `PTn`
+//! threads split the flat `N·P` output-row space (which realizes the
+//! paper's `N`-before-`H` parallelization priority, since rows are ordered
+//! by `(n, oh)`). No reduction dimension is parallelized, so every output
+//! element is written by exactly one thread and results are bitwise
+//! identical for every grid — a property the integration tests assert.
+//!
+//! Faithfulness note: Algorithm 2's loop order places `ct`/`kt` *inside*
+//! `n`/`ht`, so the on-the-fly filter transform re-runs per `(n, ht)` tile
+//! and the input strip re-packs per `kt` tile — redundancies the paper
+//! amortizes via tile sizing. This driver keeps the paper's order; callers
+//! who want the transform paid exactly once use
+//! [`crate::FilterState::PreTransformed`] (the ablation benches compare
+//! both), and the native-NHWC driver demonstrates the hoisted ordering.
+
+use ndirect_tensor::{ActLayout, AlignedBuf, ConvShape, Filter, FilterLayout, Tensor4};
+use ndirect_threads::{split_static, SharedSlice, StaticPool};
+
+use crate::filter::{transform_filter_block, TransformedFilter};
+use crate::kernel::{run_tile, RowSource, TileArgs};
+use crate::pack::{pack_strip, StripGeom};
+use crate::schedule::{FilterState, PackingMode, Schedule};
+
+/// nDirect convolution with a model-derived schedule for the host machine.
+///
+/// `input` is `NCHW`, `filter` is `KCRS`; the output is `NCHW`. The
+/// schedule is derived from [`ndirect_platform::host`] with the pool's
+/// thread count.
+pub fn conv_ndirect(
+    pool: &StaticPool,
+    input: &Tensor4,
+    filter: &Filter,
+    shape: &ConvShape,
+) -> Tensor4 {
+    let schedule = Schedule::derive(&ndirect_platform::host(), shape, pool.size());
+    conv_ndirect_with(pool, input, filter, shape, &schedule)
+}
+
+/// nDirect convolution with an explicit [`Schedule`].
+///
+/// The schedule's grid may use fewer threads than the pool provides
+/// (surplus threads idle); it must not require more.
+pub fn conv_ndirect_with(
+    pool: &StaticPool,
+    input: &Tensor4,
+    filter: &Filter,
+    shape: &ConvShape,
+    schedule: &Schedule,
+) -> Tensor4 {
+    let mut out = Tensor4::output_for(shape, ActLayout::Nchw);
+    conv_ndirect_into(pool, input, filter, shape, schedule, &mut out);
+    out
+}
+
+/// nDirect convolution into a preallocated zeroed `NCHW` output.
+pub fn conv_ndirect_into(
+    pool: &StaticPool,
+    input: &Tensor4,
+    filter: &Filter,
+    shape: &ConvShape,
+    schedule: &Schedule,
+    out: &mut Tensor4,
+) {
+    assert_eq!(input.layout(), ActLayout::Nchw, "nDirect NCHW entry takes NCHW");
+    assert_eq!(filter.layout(), FilterLayout::Kcrs, "nDirect takes KCRS filters");
+    assert_eq!(input.dims(), (shape.n, shape.c, shape.h, shape.w), "input dims");
+    assert_eq!(
+        filter.dims(),
+        (shape.k, shape.c, shape.r, shape.s),
+        "filter dims"
+    );
+    let (p, q) = (shape.p(), shape.q());
+    assert_eq!(out.dims(), (shape.n, shape.k, p, q), "output dims");
+    assert_eq!(out.layout(), ActLayout::Nchw, "nDirect writes NCHW");
+
+    let sched = schedule.sanitized(shape);
+    assert!(
+        sched.grid.threads() <= pool.size(),
+        "schedule needs {} threads, pool has {}",
+        sched.grid.threads(),
+        pool.size()
+    );
+
+    // Pre-transform once if the schedule asks for it.
+    let pre_tf = match sched.filter_state {
+        FilterState::PreTransformed => Some(TransformedFilter::new(filter, sched.vk)),
+        FilterState::OnTheFly => None,
+    };
+
+    let grid = sched.grid;
+    let kv_total = shape.k.div_ceil(sched.vk);
+    let out_shared = SharedSlice::new(out.as_mut_slice());
+    let in_data = input.as_slice();
+    let image_len = shape.c * shape.h * shape.w;
+
+    pool.run(|tid| {
+        if tid >= grid.threads() {
+            return;
+        }
+        let (tn, tk) = grid.coords(tid);
+
+        // This thread's K range, at Vk granularity.
+        let kvr = split_static(kv_total, grid.ptk(), tk);
+        let k_lo = kvr.start * sched.vk;
+        let k_hi = (kvr.end * sched.vk).min(shape.k);
+        if k_lo >= k_hi {
+            return;
+        }
+        // This thread's slice of the flat N·P output-row space.
+        let rows = split_static(shape.n * p, grid.ptn(), tn);
+        if rows.is_empty() {
+            return;
+        }
+
+        // Disjointness for the SharedSlice writes below: K ranges are
+        // disjoint across `tk` and (n, oh) row ranges across `tn`, so each
+        // output element has exactly one writer; the pool barrier orders
+        // all writes before `run` returns.
+        let out_all = &out_shared;
+
+        // Per-thread scratch: strip buffer and filter-transform block.
+        let win_max = (sched.vw - 1) * shape.stride + shape.s;
+        let mut bbuf = AlignedBuf::zeroed(sched.tc * shape.r * win_max);
+        let tf_block_len = sched.tc * shape.r * shape.s * sched.vk;
+        let mut tfbuf = AlignedBuf::zeroed(sched.tk.div_ceil(sched.vk) * tf_block_len);
+
+        let n_first = rows.start / p;
+        let n_last = (rows.end - 1) / p;
+        for n in n_first..=n_last {
+            let oh_lo = rows.start.saturating_sub(n * p).min(p);
+            let oh_hi = (rows.end - n * p).min(p);
+            let image = &in_data[n * image_len..(n + 1) * image_len];
+            let mut ht = oh_lo;
+            while ht < oh_hi {
+                let ht_end = (ht + sched.th).min(oh_hi);
+                let mut ct = 0;
+                while ct < shape.c {
+                    let tcb = sched.tc.min(shape.c - ct);
+                    let mut kt = k_lo;
+                    while kt < k_hi {
+                        let tkb = sched.tk.min(k_hi - kt);
+                        let kv_blocks = tkb.div_ceil(sched.vk);
+                        // Per-kv block length in the transform buffer uses
+                        // the *live* channel count of this tile.
+                        let tf_block_len = tcb * shape.r * shape.s * sched.vk;
+                        if pre_tf.is_none() {
+                            transform_filter_block(
+                                filter, kt, tkb, ct, tcb, sched.vk, &mut tfbuf,
+                            );
+                        }
+                        for oh in ht..ht_end {
+                            let mut wv = 0;
+                            while wv < q {
+                                let valid_w = sched.vw.min(q - wv);
+                                let geom = StripGeom::new(shape, oh, wv, valid_w);
+                                compute_strip(
+                                    StripCtx {
+                                        image,
+                                        shape,
+                                        sched: &sched,
+                                        pre_tf: pre_tf.as_ref(),
+                                        tfbuf: &tfbuf,
+                                        tf_block_len,
+                                        n,
+                                        ct,
+                                        tcb,
+                                        kt,
+                                        kv_blocks,
+                                        k_hi,
+                                        oh,
+                                        wv,
+                                        valid_w,
+                                        geom,
+                                        p,
+                                        q,
+                                    },
+                                    &mut bbuf,
+                                    out_all,
+                                );
+                                wv += sched.vw;
+                            }
+                        }
+                        kt += sched.tk;
+                    }
+                    ct += sched.tc;
+                }
+                ht = ht_end;
+            }
+        }
+    });
+}
+
+/// Everything one `(oh, wv)` strip needs.
+struct StripCtx<'a> {
+    image: &'a [f32],
+    shape: &'a ConvShape,
+    sched: &'a Schedule,
+    pre_tf: Option<&'a TransformedFilter>,
+    tfbuf: &'a [f32],
+    tf_block_len: usize,
+    n: usize,
+    ct: usize,
+    tcb: usize,
+    kt: usize,
+    kv_blocks: usize,
+    k_hi: usize,
+    oh: usize,
+    wv: usize,
+    valid_w: usize,
+    geom: StripGeom,
+    p: usize,
+    q: usize,
+}
+
+/// Runs loop L7 for one output strip: the first `kv` iteration packs
+/// (fused or sequential per the schedule), the rest consume the packed
+/// buffer.
+fn compute_strip(ctx: StripCtx<'_>, bbuf: &mut AlignedBuf, out_all: &SharedSlice<'_, f32>) {
+    let shape = ctx.shape;
+    let sched = ctx.sched;
+    let kstride = ctx.p * ctx.q;
+    for kv in 0..ctx.kv_blocks {
+        let k0 = ctx.kt + kv * sched.vk;
+        let valid_k = sched.vk.min(ctx.k_hi - k0);
+        let tf = match ctx.pre_tf {
+            Some(full) => full.block(k0 / sched.vk, ctx.ct, ctx.tcb),
+            None => &ctx.tfbuf[kv * ctx.tf_block_len..(kv + 1) * ctx.tf_block_len],
+        };
+        let args = TileArgs {
+            tcb: ctx.tcb,
+            rdim: shape.r,
+            sdim: shape.s,
+            stride: shape.stride,
+            tf,
+            vk: sched.vk,
+            obase: ((ctx.n * shape.k + k0) * ctx.p + ctx.oh) * ctx.q + ctx.wv,
+            kstride,
+            valid_w: ctx.valid_w,
+            valid_k,
+        };
+        if kv == 0 {
+            match sched.packing {
+                PackingMode::Fused => {
+                    let mut rows = RowSource::Gather {
+                        image: ctx.image,
+                        ct: ctx.ct,
+                        h: shape.h,
+                        w: shape.w,
+                        ih0: ctx.geom.ih0,
+                        iw0: ctx.geom.iw0,
+                        buf: bbuf,
+                        win: ctx.geom.win,
+                        rdim: shape.r,
+                    };
+                    run_tile(&mut rows, &args, sched.vw, out_all);
+                }
+                PackingMode::Sequential => {
+                    pack_strip(
+                        ctx.image, ctx.ct, ctx.tcb, shape.r, shape.h, shape.w, ctx.geom, bbuf,
+                    );
+                    let mut rows = RowSource::Packed {
+                        buf: bbuf,
+                        win: ctx.geom.win,
+                        rdim: shape.r,
+                    };
+                    run_tile(&mut rows, &args, sched.vw, out_all);
+                }
+            }
+        } else {
+            let mut rows = RowSource::Packed {
+                buf: bbuf,
+                win: ctx.geom.win,
+                rdim: shape.r,
+            };
+            run_tile(&mut rows, &args, sched.vw, out_all);
+        }
+    }
+}
+
+/// nDirect for `NHWC` activations / `KRSC` filters — delegates to the
+/// native `NHWC` kernel ([`crate::nhwc`]), no layout conversion involved.
+pub fn conv_ndirect_nhwc(
+    pool: &StaticPool,
+    input: &Tensor4,
+    filter: &Filter,
+    shape: &ConvShape,
+) -> Tensor4 {
+    crate::nhwc::conv_ndirect_nhwc_native(pool, input, filter, shape)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndirect_baselines::naive;
+    use ndirect_tensor::{assert_close, fill, Padding};
+    use ndirect_threads::Grid2;
+
+    fn problem(shape: &ConvShape, seed: u64) -> (Tensor4, Filter) {
+        (
+            fill::random_tensor(Tensor4::input_for(shape, ActLayout::Nchw), seed),
+            fill::random_filter(Filter::for_shape(shape, FilterLayout::Kcrs), seed),
+        )
+    }
+
+    fn check_with(shape: ConvShape, schedule: &Schedule, pool_size: usize, what: &str) {
+        let (input, filter) = problem(&shape, 5);
+        let expect = naive::conv_ref(&input, &filter, &shape);
+        let pool = StaticPool::new(pool_size);
+        let got = conv_ndirect_with(&pool, &input, &filter, &shape, schedule);
+        assert_close(got.as_slice(), expect.as_slice(), 2e-4, what);
+    }
+
+    #[test]
+    fn matches_naive_minimal_schedule() {
+        let shape = ConvShape::new(1, 3, 8, 10, 5, 3, 3, 1, Padding::NONE);
+        check_with(shape, &Schedule::minimal(&shape), 1, "minimal");
+    }
+
+    #[test]
+    fn matches_naive_derived_schedule() {
+        let shape = ConvShape::square(2, 16, 24, 14, 3, 1);
+        let sched = Schedule::derive(&ndirect_platform::host(), &shape, 1);
+        check_with(shape, &sched, 1, "derived");
+    }
+
+    #[test]
+    fn matches_naive_with_padding_and_stride() {
+        for (rs, stride) in [(3, 1), (3, 2), (1, 1), (1, 2), (5, 2), (7, 2)] {
+            let shape = ConvShape::square(1, 5, 9, 19, rs, stride);
+            check_with(shape, &Schedule::minimal(&shape), 1, "pad/stride");
+        }
+    }
+
+    #[test]
+    fn wide_register_tile_executes() {
+        // The Eq. 4 optimum for 5x5 on NEON is (Vw, Vk) = (24, 4); run it
+        // on the actual kernels (monomorphized wide arms + tails).
+        let shape = ConvShape::square(1, 4, 8, 30, 5, 1);
+        let mut sched = Schedule::minimal(&shape);
+        sched.vw = 24;
+        sched.vk = 4;
+        check_with(shape, &sched, 1, "wide (24,4) tile");
+    }
+
+    #[test]
+    fn matches_naive_odd_sizes() {
+        // Dimensions chosen to exercise every tail: K=13 (vk tail), C=5
+        // (tc tail), Q=17 (vw tail).
+        let shape = ConvShape::new(2, 5, 9, 17, 13, 3, 3, 1, Padding::same(1));
+        let mut sched = Schedule::minimal(&shape);
+        sched.vw = 8;
+        sched.vk = 4;
+        sched.tc = 3;
+        sched.tk = 8;
+        sched.th = 2;
+        check_with(shape, &sched, 1, "odd sizes");
+    }
+
+    #[test]
+    fn sequential_packing_matches_fused() {
+        let shape = ConvShape::square(1, 8, 16, 12, 3, 1);
+        let (input, filter) = problem(&shape, 9);
+        let pool = StaticPool::new(1);
+        let fused = conv_ndirect_with(
+            &pool, &input, &filter, &shape,
+            &Schedule::minimal(&shape).with_packing(PackingMode::Fused),
+        );
+        let seq = conv_ndirect_with(
+            &pool, &input, &filter, &shape,
+            &Schedule::minimal(&shape).with_packing(PackingMode::Sequential),
+        );
+        assert_eq!(fused.as_slice(), seq.as_slice(), "packing modes agree bitwise");
+    }
+
+    #[test]
+    fn pretransformed_matches_on_the_fly() {
+        let shape = ConvShape::square(1, 6, 20, 10, 3, 1);
+        let (input, filter) = problem(&shape, 11);
+        let pool = StaticPool::new(1);
+        let otf = conv_ndirect_with(
+            &pool, &input, &filter, &shape,
+            &Schedule::minimal(&shape).with_filter_state(FilterState::OnTheFly),
+        );
+        let pre = conv_ndirect_with(
+            &pool, &input, &filter, &shape,
+            &Schedule::minimal(&shape).with_filter_state(FilterState::PreTransformed),
+        );
+        assert_eq!(otf.as_slice(), pre.as_slice(), "filter states agree bitwise");
+    }
+
+    #[test]
+    fn thread_grids_agree_bitwise() {
+        let shape = ConvShape::square(2, 8, 24, 10, 3, 1);
+        let (input, filter) = problem(&shape, 13);
+        let base = {
+            let pool = StaticPool::new(1);
+            conv_ndirect_with(&pool, &input, &filter, &shape, &Schedule::minimal(&shape))
+        };
+        for (ptn, ptk) in [(1, 2), (2, 1), (2, 2), (4, 1), (1, 4), (3, 2)] {
+            let pool = StaticPool::new(ptn * ptk);
+            let sched = Schedule::minimal(&shape).with_grid(Grid2::new(ptn, ptk));
+            let got = conv_ndirect_with(&pool, &input, &filter, &shape, &sched);
+            assert_eq!(
+                got.as_slice(),
+                base.as_slice(),
+                "grid {ptn}x{ptk} must be bitwise identical"
+            );
+        }
+    }
+
+    #[test]
+    fn more_threads_than_work() {
+        // 1 image, tiny P, K=4: most threads idle but result is right.
+        let shape = ConvShape::new(1, 3, 4, 6, 4, 3, 3, 1, Padding::NONE);
+        let sched = Schedule::minimal(&shape).with_grid(Grid2::new(4, 2));
+        check_with(shape, &sched, 8, "idle threads");
+    }
+
+    #[test]
+    fn default_entry_point_works() {
+        let shape = ConvShape::square(1, 8, 8, 9, 3, 1);
+        let (input, filter) = problem(&shape, 15);
+        let expect = naive::conv_ref(&input, &filter, &shape);
+        let pool = StaticPool::new(2);
+        let got = conv_ndirect(&pool, &input, &filter, &shape);
+        assert_close(got.as_slice(), expect.as_slice(), 2e-4, "default entry");
+    }
+
+    #[test]
+    fn nhwc_entry_point_matches() {
+        let shape = ConvShape::square(2, 5, 7, 8, 3, 1);
+        let (input, filter) = problem(&shape, 19);
+        let expect = naive::conv_ref(&input, &filter, &shape);
+        let pool = StaticPool::new(1);
+        let got = conv_ndirect_nhwc(
+            &pool,
+            &input.to_layout(ActLayout::Nhwc),
+            &filter.to_layout(FilterLayout::Krsc),
+            &shape,
+        );
+        assert_eq!(got.layout(), ActLayout::Nhwc);
+        assert_close(
+            got.to_layout(ActLayout::Nchw).as_slice(),
+            expect.as_slice(),
+            2e-4,
+            "nhwc entry",
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "schedule needs")]
+    fn rejects_grid_larger_than_pool() {
+        let shape = ConvShape::square(1, 4, 4, 6, 3, 1);
+        let (input, filter) = problem(&shape, 1);
+        let pool = StaticPool::new(1);
+        let sched = Schedule::minimal(&shape).with_grid(Grid2::new(2, 2));
+        conv_ndirect_with(&pool, &input, &filter, &shape, &sched);
+    }
+}

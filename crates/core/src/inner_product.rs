@@ -1,0 +1,156 @@
+//! The inner-product ablation kernel.
+//!
+//! Algorithm 2 deliberately uses an *outer-product* update (§3.3: "We use
+//! the outer-product method to update the output tensor O since its FAI is
+//! higher than the inner-product method"). This module implements the
+//! alternative the paper rejects — each output element computed as a
+//! vectorized dot product over the packed strip — so the benchmark suite
+//! can quantify that design decision (`ablation_product_mode`).
+//!
+//! Structure: the same strip packing as the main path (`pack_strip`), then
+//! for every `(pixel, k)` pair a dot product over `(c, r, s)`: the `s`
+//! dimension is contiguous in both the packed buffer and the `KCRS` filter
+//! row, so it vectorizes with 4-lane loads and one horizontal reduction per
+//! `(c, r)`. FAI per output element is `2·C·R·S / (2·C·R·S loads)` — every
+//! operand is loaded once per use, the reuse the outer product gets from
+//! its register tile is absent by construction.
+
+use ndirect_simd::{F32x4, SimdVec};
+use ndirect_tensor::{ActLayout, AlignedBuf, ConvShape, Filter, FilterLayout, Tensor4};
+use ndirect_threads::{split_static, SharedSlice, StaticPool};
+
+use crate::pack::{pack_strip, StripGeom};
+
+/// Direct convolution with the inner-product kernel — ablation only; the
+/// production entry point is [`crate::conv_ndirect`].
+pub fn conv_inner_product(
+    pool: &StaticPool,
+    input: &Tensor4,
+    filter: &Filter,
+    shape: &ConvShape,
+) -> Tensor4 {
+    assert_eq!(input.layout(), ActLayout::Nchw, "inner-product ablation takes NCHW");
+    assert_eq!(filter.layout(), FilterLayout::Kcrs, "inner-product ablation takes KCRS");
+    assert_eq!(input.dims(), (shape.n, shape.c, shape.h, shape.w), "input dims");
+    assert_eq!(filter.dims(), (shape.k, shape.c, shape.r, shape.s), "filter dims");
+
+    let (p, q) = (shape.p(), shape.q());
+    let mut out = Tensor4::output_for(shape, ActLayout::Nchw);
+    let threads = pool.size();
+    let rows_total = shape.n * p;
+    let in_data = input.as_slice();
+    let image_len = shape.c * shape.h * shape.w;
+    let f_data = filter.as_slice();
+
+    const VW: usize = 8;
+
+    let out_shared = SharedSlice::new(out.as_mut_slice());
+    pool.run(|tid| {
+        // Disjointness: threads own disjoint output rows; barrier before
+        // return.
+        let out_all = &out_shared;
+        let win_max = (VW - 1) * shape.stride + shape.s;
+        let mut buf = AlignedBuf::zeroed(shape.c * shape.r * win_max);
+        for row in split_static(rows_total, threads, tid) {
+            let n = row / p;
+            let oh = row % p;
+            let image = &in_data[n * image_len..(n + 1) * image_len];
+            let mut wv = 0;
+            while wv < q {
+                let valid_w = VW.min(q - wv);
+                let geom = StripGeom::new(shape, oh, wv, valid_w);
+                pack_strip(image, 0, shape.c, shape.r, shape.h, shape.w, geom, &mut buf);
+                for k in 0..shape.k {
+                    let frow = &f_data[k * shape.c * shape.r * shape.s..];
+                    for wi in 0..valid_w {
+                        let v = dot_strip(
+                            &buf,
+                            frow,
+                            shape.c,
+                            shape.r,
+                            shape.s,
+                            geom.win,
+                            wi * shape.stride,
+                        );
+                        // SAFETY: this output row has one owner.
+                        unsafe { out_all.write(((n * shape.k + k) * p + oh) * q + wv + wi, v) };
+                    }
+                }
+                wv += valid_w;
+            }
+        }
+    });
+    out
+}
+
+/// Dot product of one output element: `Σ_{c,r,s} B[c][r][off+s]·F[c][r][s]`.
+#[inline]
+fn dot_strip(
+    buf: &[f32],
+    frow: &[f32],
+    c: usize,
+    r: usize,
+    s: usize,
+    win: usize,
+    off: usize,
+) -> f32 {
+    let mut acc_v = F32x4::zero();
+    let mut acc_s = 0.0f32;
+    for ci in 0..c {
+        for ri in 0..r {
+            let b = &buf[(ci * r + ri) * win + off..(ci * r + ri) * win + off + s];
+            let f = &frow[(ci * r + ri) * s..(ci * r + ri) * s + s];
+            let mut si = 0;
+            while si + 4 <= s {
+                acc_v = acc_v.fma(F32x4::load(&b[si..]), F32x4::load(&f[si..]));
+                si += 4;
+            }
+            while si < s {
+                acc_s += b[si] * f[si];
+                si += 1;
+            }
+        }
+    }
+    acc_v.reduce_sum() + acc_s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndirect_tensor::{assert_close, fill, Padding};
+
+    fn check(shape: ConvShape, threads: usize) {
+        let input = fill::random_tensor(Tensor4::input_for(&shape, ActLayout::Nchw), 8);
+        let filter = fill::random_filter(Filter::for_shape(&shape, FilterLayout::Kcrs), 8);
+        let expect = ndirect_baselines::naive::conv_ref(&input, &filter, &shape);
+        let pool = StaticPool::new(threads);
+        let got = conv_inner_product(&pool, &input, &filter, &shape);
+        assert_close(got.as_slice(), expect.as_slice(), 2e-4, "inner product");
+    }
+
+    #[test]
+    fn matches_oracle_3x3() {
+        check(ConvShape::new(1, 5, 9, 11, 7, 3, 3, 1, Padding::same(1)), 1);
+    }
+
+    #[test]
+    fn matches_oracle_strided_and_wide_kernels() {
+        check(ConvShape::new(1, 3, 12, 12, 4, 5, 5, 2, Padding::same(2)), 1);
+        check(ConvShape::new(2, 2, 10, 14, 3, 7, 7, 1, Padding::same(3)), 1);
+    }
+
+    #[test]
+    fn matches_oracle_pointwise_multithreaded() {
+        check(ConvShape::new(2, 9, 6, 6, 5, 1, 1, 1, Padding::NONE), 4);
+    }
+
+    #[test]
+    fn thread_count_invariant() {
+        let shape = ConvShape::new(2, 4, 8, 8, 6, 3, 3, 1, Padding::same(1));
+        let input = fill::random_tensor(Tensor4::input_for(&shape, ActLayout::Nchw), 9);
+        let filter = fill::random_filter(Filter::for_shape(&shape, FilterLayout::Kcrs), 9);
+        let a = conv_inner_product(&StaticPool::new(1), &input, &filter, &shape);
+        let b = conv_inner_product(&StaticPool::new(3), &input, &filter, &shape);
+        assert_eq!(a.as_slice(), b.as_slice());
+    }
+}

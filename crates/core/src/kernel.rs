@@ -1,0 +1,587 @@
+//! The main micro-kernel (Algorithm 3) and its fused-packing variant.
+//!
+//! One invocation updates a `Vw × Vk` output register tile — `Vw`
+//! consecutive output pixels of one row × `Vk` consecutive output channels —
+//! accumulating over the current channel tile (`Tc`), all kernel rows `R`
+//! and taps `S`:
+//!
+//! * the **filter** is read as dense `Vk`-vectors from the transformed
+//!   layout (`[c][r][s][Vk]`), the streaming operand;
+//! * the **input** is read as broadcast scalars from the packed strip
+//!   buffer `B` (lane-indexed registers in the paper; `splat` here, which
+//!   LLVM lowers to `ld1r`/lane-`fmla` on NEON) — the outer-product
+//!   update that gives direct convolution a higher FAI than a GEMM-shaped
+//!   inner product;
+//! * the **output** tile lives entirely in `Vw · Vk/4` accumulator
+//!   registers until the final read-add-write scatter into `NCHW`.
+//!
+//! [`RowSource::Gather`] fuses §5.3's packing into the first `kv`
+//! iteration: each `(c, r)` input row is gathered into `B` immediately
+//! before its FMA burst, so the buffer stores overlap with computation
+//! exactly as the paper interleaves `st` with `fma`.
+
+use ndirect_simd::{prefetch_read, F32x4, SimdVec};
+use ndirect_threads::SharedSlice;
+
+use crate::pack::gather_row;
+
+/// Upper bound on `Vw` the dynamic kernel supports.
+pub const VW_MAX: usize = 32;
+/// Upper bound on `Vk/4` the dynamic kernel supports.
+pub const VKV_MAX: usize = 8;
+
+/// Where the micro-kernel gets its input rows: the packed buffer (later
+/// `kv` iterations) or a gather that fills the buffer as it goes (first
+/// `kv` iteration in fused-packing mode).
+pub enum RowSource<'a> {
+    /// Read rows from an already-packed strip buffer (`[c][r][win]`).
+    Packed {
+        /// The packed strip (`[c][r][win]`).
+        buf: &'a [f32],
+        /// Elements per row.
+        win: usize,
+        /// Rows per channel (`R`, or `T·R` for 3-D).
+        rdim: usize,
+    },
+    /// Gather each row from the image into the strip buffer on first use.
+    Gather {
+        /// One image's `C·H·W` data.
+        image: &'a [f32],
+        /// First channel of the tile.
+        ct: usize,
+        /// Input height.
+        h: usize,
+        /// Input width.
+        w: usize,
+        /// Strip origin row (`oh·str − pad.h`).
+        ih0: isize,
+        /// Strip origin column (`wv·str − pad.w`).
+        iw0: isize,
+        /// The strip buffer being filled (`[c][r][win]`).
+        buf: &'a mut [f32],
+        /// Elements per row.
+        win: usize,
+        /// Rows per channel.
+        rdim: usize,
+    },
+}
+
+impl RowSource<'_> {
+    /// The `win`-element input row for tile channel `c`, kernel row `rr`
+    /// (used by the dynamic edge kernel; the monomorphized kernels stream
+    /// rows with `chunks_exact` instead).
+    #[inline(always)]
+    fn row(&mut self, c: usize, rr: usize) -> &[f32] {
+        match self {
+            RowSource::Packed { buf, win, rdim } => {
+                &buf[(c * *rdim + rr) * *win..(c * *rdim + rr + 1) * *win]
+            }
+            RowSource::Gather {
+                image,
+                ct,
+                h,
+                w,
+                ih0,
+                iw0,
+                buf,
+                win,
+                rdim,
+            } => {
+                let dst = &mut buf[(c * *rdim + rr) * *win..(c * *rdim + rr + 1) * *win];
+                gather_row(image, *ct + c, *ih0 + rr as isize, *iw0, *h, *w, dst);
+                dst
+            }
+        }
+    }
+}
+
+/// Geometry + operand bundle shared by every kernel variant.
+pub struct TileArgs<'a> {
+    /// Live channels in the current `Tc` tile.
+    pub tcb: usize,
+    /// Kernel height `R`.
+    pub rdim: usize,
+    /// Kernel width `S`.
+    pub sdim: usize,
+    /// Convolution stride.
+    pub stride: usize,
+    /// Transformed filter slice for this `kv` block: `[c][r][s][vk]`.
+    pub tf: &'a [f32],
+    /// `Vk` of the transformed filter.
+    pub vk: usize,
+    /// Offset of output element `(n, k0, oh, wv)` in `out`.
+    pub obase: usize,
+    /// Distance between consecutive output channels (`P·Q` for `NCHW`).
+    pub kstride: usize,
+    /// Live output pixels (≤ scheduled `Vw`).
+    pub valid_w: usize,
+    /// Live output channels in this `kv` block (≤ `vk`).
+    pub valid_k: usize,
+}
+
+/// Expands to the stride dispatch for one `(VW, VKV)` instantiation.
+macro_rules! stride_dispatch {
+    ($rows:expr, $args:expr, $out:expr, $vw:literal, $vkv:literal) => {
+        match $args.stride {
+            1 => return main_kernel::<$vw, $vkv, 1>($rows, $args, $out),
+            2 => return main_kernel::<$vw, $vkv, 2>($rows, $args, $out),
+            _ => {}
+        }
+    };
+}
+
+/// Dispatches to a monomorphized kernel, falling back to the dynamic
+/// kernel only for exotic parameters (`Vw > 12`, `Vk > 12`, stride > 2).
+///
+/// Dispatch is on the strip's *live* width (`valid_w`), so `Q`-tail strips
+/// run register-resident kernels too; `K`-tails are handled inside the
+/// kernel by masking the accumulator store (the zero-padded filter lanes
+/// compute zeros, which the mask discards). `vw` — the scheduled width — is
+/// unused beyond diagnostics now but kept so callers state their schedule.
+pub fn run_tile(rows: &mut RowSource<'_>, args: &TileArgs<'_>, vw: usize, out: &SharedSlice<'_, f32>) {
+    debug_assert!(args.tf.len() >= args.tcb * args.rdim * args.sdim * args.vk);
+    debug_assert!(args.valid_w <= vw);
+    match (args.valid_w, args.vk / 4) {
+        (1, 1) => stride_dispatch!(rows, args, out, 1, 1),
+        (1, 2) => stride_dispatch!(rows, args, out, 1, 2),
+        (1, 3) => stride_dispatch!(rows, args, out, 1, 3),
+        (2, 1) => stride_dispatch!(rows, args, out, 2, 1),
+        (2, 2) => stride_dispatch!(rows, args, out, 2, 2),
+        (2, 3) => stride_dispatch!(rows, args, out, 2, 3),
+        (3, 1) => stride_dispatch!(rows, args, out, 3, 1),
+        (3, 2) => stride_dispatch!(rows, args, out, 3, 2),
+        (3, 3) => stride_dispatch!(rows, args, out, 3, 3),
+        (4, 1) => stride_dispatch!(rows, args, out, 4, 1),
+        (4, 2) => stride_dispatch!(rows, args, out, 4, 2),
+        (4, 3) => stride_dispatch!(rows, args, out, 4, 3),
+        (5, 1) => stride_dispatch!(rows, args, out, 5, 1),
+        (5, 2) => stride_dispatch!(rows, args, out, 5, 2),
+        (5, 3) => stride_dispatch!(rows, args, out, 5, 3),
+        (6, 1) => stride_dispatch!(rows, args, out, 6, 1),
+        (6, 2) => stride_dispatch!(rows, args, out, 6, 2),
+        (6, 3) => stride_dispatch!(rows, args, out, 6, 3),
+        (7, 1) => stride_dispatch!(rows, args, out, 7, 1),
+        (7, 2) => stride_dispatch!(rows, args, out, 7, 2),
+        (7, 3) => stride_dispatch!(rows, args, out, 7, 3),
+        (8, 1) => stride_dispatch!(rows, args, out, 8, 1),
+        (8, 2) => stride_dispatch!(rows, args, out, 8, 2),
+        (8, 3) => stride_dispatch!(rows, args, out, 8, 3),
+        (9, 1) => stride_dispatch!(rows, args, out, 9, 1),
+        (9, 2) => stride_dispatch!(rows, args, out, 9, 2),
+        (9, 3) => stride_dispatch!(rows, args, out, 9, 3),
+        (10, 1) => stride_dispatch!(rows, args, out, 10, 1),
+        (10, 2) => stride_dispatch!(rows, args, out, 10, 2),
+        (10, 3) => stride_dispatch!(rows, args, out, 10, 3),
+        (11, 1) => stride_dispatch!(rows, args, out, 11, 1),
+        (11, 2) => stride_dispatch!(rows, args, out, 11, 2),
+        (11, 3) => stride_dispatch!(rows, args, out, 11, 3),
+        (12, 1) => stride_dispatch!(rows, args, out, 12, 1),
+        (12, 2) => stride_dispatch!(rows, args, out, 12, 2),
+        (12, 3) => stride_dispatch!(rows, args, out, 12, 3),
+        // Wide, shallow tiles the Eq. 4 model picks for 5x5/7x7 kernels on
+        // 32-register ISAs (Vk = 4 only — deeper tiles with these widths
+        // exceed every register file we target).
+        (16, 1) => stride_dispatch!(rows, args, out, 16, 1),
+        (20, 1) => stride_dispatch!(rows, args, out, 20, 1),
+        (24, 1) => stride_dispatch!(rows, args, out, 24, 1),
+        _ => {}
+    }
+    dyn_kernel(rows, args, out);
+}
+
+/// The monomorphized Algorithm 3 kernel: `VW` pixels × `VKV·4` channels,
+/// accumulators pinned in registers for the whole `(c, r, s)` reduction.
+/// `STRIDE` is also a const so every input index is a compile-time offset.
+fn main_kernel<const VW: usize, const VKV: usize, const STRIDE: usize>(
+    rows: &mut RowSource<'_>,
+    args: &TileArgs<'_>,
+    out: &SharedSlice<'_, f32>,
+) {
+    let vk = VKV * 4;
+    debug_assert_eq!(args.vk, vk);
+    debug_assert_eq!(args.stride, STRIDE);
+    let (rdim, sdim) = (args.rdim, args.sdim);
+    if rdim == 1 && sdim == 1 {
+        // Pointwise convolutions get a dedicated loop: one row per channel
+        // feeds only Vw·Vk/4 FMAs, so generic per-row machinery would
+        // dominate the kernel.
+        return main_kernel_1x1::<VW, VKV, STRIDE>(rows, args, out);
+    }
+    let mut acc = [[F32x4::zero(); VKV]; VW];
+    // Resolve the row source once, then stream rows with `chunks_exact`
+    // (check-free iteration).
+    match rows {
+        RowSource::Packed { buf, win, rdim: rd } => {
+            debug_assert_eq!(*rd, rdim);
+            let win = *win;
+            for (crow, tfc) in buf
+                .chunks_exact(rdim * win)
+                .zip(args.tf.chunks_exact(rdim * sdim * vk))
+                .take(args.tcb)
+            {
+                prefetch_read(tfc.as_ptr());
+                for (brow, tfr) in crow.chunks_exact(win).zip(tfc.chunks_exact(sdim * vk)) {
+                    kernel_row::<VW, VKV, STRIDE>(&mut acc, brow, tfr, sdim);
+                }
+            }
+        }
+        RowSource::Gather {
+            image,
+            ct,
+            h,
+            w,
+            ih0,
+            iw0,
+            buf,
+            win,
+            rdim: rd,
+        } => {
+            debug_assert_eq!(*rd, rdim);
+            let win = *win;
+            for ((c, crow), tfc) in buf
+                .chunks_exact_mut(rdim * win)
+                .enumerate()
+                .zip(args.tf.chunks_exact(rdim * sdim * vk))
+                .take(args.tcb)
+            {
+                for ((rr, brow), tfr) in crow
+                    .chunks_exact_mut(win)
+                    .enumerate()
+                    .zip(tfc.chunks_exact(sdim * vk))
+                {
+                    gather_row(image, *ct + c, *ih0 + rr as isize, *iw0, *h, *w, brow);
+                    kernel_row::<VW, VKV, STRIDE>(&mut acc, brow, tfr, sdim);
+                }
+            }
+        }
+    }
+    // Read-add-write scatter into NCHW: pixel wi is contiguous along Q,
+    // channel l is `kstride` apart. `valid_k` masks the zero-padded filter
+    // lanes of a K-tail block.
+    for (wi, accw) in acc.iter().enumerate() {
+        for (j, v) in accw.iter().enumerate() {
+            let lanes = v.to_array();
+            for (l, &x) in lanes.iter().enumerate() {
+                let k_local = j * 4 + l;
+                if k_local < args.valid_k {
+                    // SAFETY: the driver's thread grid gives this tile's
+                    // (K-range × output-row) region a single writer.
+                    unsafe { out.add_assign(args.obase + k_local * args.kstride + wi, x) };
+                }
+            }
+        }
+    }
+}
+
+/// Pointwise (`R = S = 1`) kernel: both operands stream linearly — the
+/// packed input as `win`-float rows, the transformed filter as `Vk`-float
+/// vectors — with one zipped loop over the channel tile and no inner tap
+/// loop.
+fn main_kernel_1x1<const VW: usize, const VKV: usize, const STRIDE: usize>(
+    rows: &mut RowSource<'_>,
+    args: &TileArgs<'_>,
+    out: &SharedSlice<'_, f32>,
+) {
+    let vk = VKV * 4;
+    let win = (VW - 1) * STRIDE + 1;
+    let mut acc = [[F32x4::zero(); VKV]; VW];
+
+    // A pointwise row is kernel_row with a single tap (sdim = 1); both
+    // operands stream linearly, one zipped pass over the channel tile.
+    match rows {
+        RowSource::Packed { buf, win: w_in, .. } => {
+            debug_assert_eq!(*w_in, win);
+            for (brow, frow) in buf
+                .chunks_exact(win)
+                .zip(args.tf.chunks_exact(vk))
+                .take(args.tcb)
+            {
+                kernel_row::<VW, VKV, STRIDE>(&mut acc, brow, frow, 1);
+            }
+        }
+        RowSource::Gather {
+            image,
+            ct,
+            h,
+            w,
+            ih0,
+            iw0,
+            buf,
+            win: w_in,
+            ..
+        } => {
+            debug_assert_eq!(*w_in, win);
+            for ((c, brow), frow) in buf
+                .chunks_exact_mut(win)
+                .enumerate()
+                .zip(args.tf.chunks_exact(vk))
+                .take(args.tcb)
+            {
+                gather_row(image, *ct + c, *ih0, *iw0, *h, *w, brow);
+                kernel_row::<VW, VKV, STRIDE>(&mut acc, brow, frow, 1);
+            }
+        }
+    }
+
+    for (wi, accw) in acc.iter().enumerate() {
+        for (j, v) in accw.iter().enumerate() {
+            let lanes = v.to_array();
+            for (l, &x) in lanes.iter().enumerate() {
+                let k_local = j * 4 + l;
+                if k_local < args.valid_k {
+                    // SAFETY: single writer per tile region (see driver).
+                    unsafe { out.add_assign(args.obase + k_local * args.kstride + wi, x) };
+                }
+            }
+        }
+    }
+}
+
+/// One `(c, r)` row's contribution: `S` taps × `VW` pixels × `VKV` vectors
+/// of broadcast FMAs. `STRIDE` being const makes every input offset a
+/// compile-time constant.
+#[inline(always)]
+fn kernel_row<const VW: usize, const VKV: usize, const STRIDE: usize>(
+    acc: &mut [[F32x4; VKV]; VW],
+    brow: &[f32],
+    tfr: &[f32],
+    sdim: usize,
+) {
+    let vk = VKV * 4;
+    for ss in 0..sdim {
+        let frow = &tfr[ss * vk..(ss + 1) * vk];
+        let mut fv = [F32x4::zero(); VKV];
+        for (j, v) in fv.iter_mut().enumerate() {
+            *v = F32x4::load(&frow[j * 4..]);
+        }
+        // One slice whose length the optimizer can see, so the constant-
+        // offset reads below are check-free.
+        let seg = &brow[ss..ss + (VW - 1) * STRIDE + 1];
+        for wi in 0..VW {
+            let x = F32x4::splat(seg[wi * STRIDE]);
+            for j in 0..VKV {
+                acc[wi][j] = acc[wi][j].fma(fv[j], x);
+            }
+        }
+    }
+}
+
+/// The dynamic edge kernel: identical math with runtime tile bounds, used
+/// for `W`/`K` tails and for unusual schedules outside the monomorphized
+/// set. Accumulators may spill for large bounds; edges are a vanishing
+/// fraction of the iteration space.
+fn dyn_kernel(rows: &mut RowSource<'_>, args: &TileArgs<'_>, out: &SharedSlice<'_, f32>) {
+    let vk = args.vk;
+    let vkv = vk / 4;
+    assert!(args.valid_w <= VW_MAX && vkv <= VKV_MAX, "tile exceeds dyn kernel bounds");
+    let (rdim, sdim, stride) = (args.rdim, args.sdim, args.stride);
+    let mut acc = [[F32x4::zero(); VKV_MAX]; VW_MAX];
+    for c in 0..args.tcb {
+        for rr in 0..rdim {
+            let brow = rows.row(c, rr);
+            let tfrow = &args.tf[((c * rdim + rr) * sdim) * vk..((c * rdim + rr) * sdim + sdim) * vk];
+            for ss in 0..sdim {
+                for wi in 0..args.valid_w {
+                    let x = F32x4::splat(brow[wi * stride + ss]);
+                    for j in 0..vkv {
+                        let fv = F32x4::load(&tfrow[ss * vk + j * 4..]);
+                        acc[wi][j] = acc[wi][j].fma(fv, x);
+                    }
+                }
+            }
+        }
+    }
+    for (wi, accw) in acc.iter().enumerate().take(args.valid_w) {
+        for (j, v) in accw.iter().enumerate().take(vkv) {
+            let lanes = v.to_array();
+            for (l, &x) in lanes.iter().enumerate() {
+                let k_local = j * 4 + l;
+                if k_local < args.valid_k {
+                    // SAFETY: single writer per tile region (see driver).
+                    unsafe { out.add_assign(args.obase + k_local * args.kstride + wi, x) };
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filter::transform_filter_block;
+    use crate::pack::{pack_strip, StripGeom};
+    use ndirect_tensor::{fill, ActLayout, ConvShape, Filter, FilterLayout, Padding, Tensor4};
+
+    /// Scalar reference for one tile.
+    #[allow(clippy::too_many_arguments)]
+    fn reference_tile(
+        input: &Tensor4,
+        filter: &Filter,
+        shape: &ConvShape,
+        n: usize,
+        k0: usize,
+        oh: usize,
+        wv: usize,
+        valid_w: usize,
+        valid_k: usize,
+        ct: usize,
+        tcb: usize,
+    ) -> Vec<f32> {
+        let mut tile = vec![0.0; valid_k * valid_w];
+        for kk in 0..valid_k {
+            for wi in 0..valid_w {
+                let mut acc = 0.0;
+                for c in ct..ct + tcb {
+                    for rr in 0..shape.r {
+                        for ss in 0..shape.s {
+                            let ih = (oh * shape.stride) as isize - shape.pad.h as isize
+                                + rr as isize;
+                            let iw = ((wv + wi) * shape.stride) as isize
+                                - shape.pad.w as isize
+                                + ss as isize;
+                            let x = ndirect_tensor::pad::at_padded(input, n, c, ih, iw);
+                            acc += x * filter.at(k0 + kk, c, rr, ss);
+                        }
+                    }
+                }
+                tile[kk * valid_w + wi] = acc;
+            }
+        }
+        tile
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_and_check(
+        shape: ConvShape,
+        vw: usize,
+        vk: usize,
+        valid_w: usize,
+        valid_k: usize,
+        fused: bool,
+    ) {
+        let input = fill::random_tensor(Tensor4::input_for(&shape, ActLayout::Nchw), 17);
+        let filter = fill::random_filter(Filter::for_shape(&shape, FilterLayout::Kcrs), 17);
+        let (n, k0, oh, wv, ct) = (0, 0, 0, 0, 0);
+        let tcb = shape.c;
+
+        let mut tf = vec![0.0; valid_k.div_ceil(vk) * tcb * shape.r * shape.s * vk];
+        transform_filter_block(&filter, k0, valid_k.min(vk), ct, tcb, vk, &mut tf);
+
+        let geom = StripGeom::new(&shape, oh, wv, vw);
+        let mut buf = vec![0.0; tcb * shape.r * geom.win];
+        let image = input.as_slice();
+
+        let (p, q) = (shape.p(), shape.q());
+        let mut out_vec = vec![0.0; shape.k * p * q];
+        let out = SharedSlice::new(&mut out_vec);
+        let args = TileArgs {
+            tcb,
+            rdim: shape.r,
+            sdim: shape.s,
+            stride: shape.stride,
+            tf: &tf,
+            vk,
+            obase: (k0 * p + oh) * q + wv,
+            kstride: p * q,
+            valid_w,
+            valid_k: valid_k.min(vk),
+        };
+        if fused {
+            let mut rows = RowSource::Gather {
+                image,
+                ct,
+                h: shape.h,
+                w: shape.w,
+                ih0: geom.ih0,
+                iw0: geom.iw0,
+                buf: &mut buf,
+                win: geom.win,
+                rdim: shape.r,
+            };
+            run_tile(&mut rows, &args, vw, &out);
+        } else {
+            pack_strip(image, ct, tcb, shape.r, shape.h, shape.w, geom, &mut buf);
+            let mut rows = RowSource::Packed {
+                buf: &buf,
+                win: geom.win,
+                rdim: shape.r,
+            };
+            run_tile(&mut rows, &args, vw, &out);
+        }
+
+        let expect = reference_tile(
+            &input, &filter, &shape, n, k0, oh, wv, valid_w, args.valid_k, ct, tcb,
+        );
+        for kk in 0..args.valid_k {
+            for wi in 0..valid_w {
+                let got = out_vec[(k0 + kk) * p * q + oh * q + wv + wi];
+                let want = expect[kk * valid_w + wi];
+                assert!(
+                    (got - want).abs() <= 2e-4 * want.abs().max(1.0),
+                    "k={kk} w={wi}: {got} vs {want}"
+                );
+            }
+        }
+        // Untouched output stays zero (check one pixel outside the tile).
+        if valid_w < q {
+            assert_eq!(out_vec[oh * q + wv + valid_w], 0.0);
+        }
+    }
+
+    #[test]
+    fn full_tile_monomorphized_8x8() {
+        let shape = ConvShape::new(1, 3, 10, 16, 8, 3, 3, 1, Padding::NONE);
+        run_and_check(shape, 8, 8, 8, 8, false);
+    }
+
+    #[test]
+    fn full_tile_12x8_paper_config() {
+        let shape = ConvShape::new(1, 2, 8, 20, 8, 3, 3, 1, Padding::NONE);
+        run_and_check(shape, 12, 8, 12, 8, false);
+    }
+
+    #[test]
+    fn fused_gather_matches_packed() {
+        let shape = ConvShape::new(1, 3, 10, 16, 8, 3, 3, 1, Padding::same(1));
+        run_and_check(shape, 8, 8, 8, 8, true);
+        run_and_check(shape, 8, 8, 8, 8, false);
+    }
+
+    #[test]
+    fn w_tail_uses_dyn_kernel() {
+        let shape = ConvShape::new(1, 2, 8, 16, 8, 3, 3, 1, Padding::NONE);
+        run_and_check(shape, 8, 8, 5, 8, false);
+    }
+
+    #[test]
+    fn k_tail_masks_channels() {
+        let shape = ConvShape::new(1, 2, 8, 16, 6, 3, 3, 1, Padding::NONE);
+        run_and_check(shape, 8, 8, 8, 6, true);
+    }
+
+    #[test]
+    fn stride_two_tiles() {
+        let shape = ConvShape::new(1, 2, 9, 17, 8, 3, 3, 2, Padding::same(1));
+        run_and_check(shape, 4, 8, 4, 8, false);
+        run_and_check(shape, 4, 8, 3, 8, true);
+    }
+
+    #[test]
+    fn pointwise_kernel() {
+        let shape = ConvShape::new(1, 4, 6, 12, 8, 1, 1, 1, Padding::NONE);
+        run_and_check(shape, 8, 8, 8, 8, false);
+    }
+
+    #[test]
+    fn seven_by_seven_kernel() {
+        let shape = ConvShape::new(1, 2, 12, 18, 4, 7, 7, 1, Padding::same(3));
+        run_and_check(shape, 8, 4, 8, 4, true);
+    }
+
+    #[test]
+    fn unusual_schedule_falls_back_to_dyn() {
+        // vw=6 has no monomorphized kernel.
+        let shape = ConvShape::new(1, 2, 8, 14, 8, 3, 3, 1, Padding::NONE);
+        run_and_check(shape, 6, 8, 6, 8, false);
+    }
+}

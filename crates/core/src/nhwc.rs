@@ -1,0 +1,493 @@
+//! Native `NHWC` nDirect convolution.
+//!
+//! The paper claims nDirect "preserves the conventional `NCHW` and `NHWC`
+//! data layouts" and presents the `NCHW` variant in detail. This module is
+//! the `NHWC` sibling, built from the same ingredients with the layout's
+//! natural advantages:
+//!
+//! * the register tile is the same `Vw` pixels × `Vk` output channels, but
+//!   the output store is **contiguous vectors** (channels are innermost in
+//!   `NHWC`), so the scatter of the `NCHW` kernel becomes vector
+//!   read-add-writes;
+//! * the filter transform is `KRSC → [kv][r][s][c][Vk]` — for a fixed tap
+//!   `(r, s)` the kernel streams `(c, Vk)` blocks linearly;
+//! * the packed strip keeps `NHWC`'s `[row][pixel][channel]` interleaving
+//!   (`[r][win][Tc]`), so interior rows pack with one `memcpy` when the
+//!   channel tile covers all of `C`.
+//!
+//! Parallelization and cache tiling reuse the same [`crate::Schedule`]
+//! machinery as the `NCHW` path.
+
+use ndirect_simd::{F32x4, SimdVec};
+use ndirect_tensor::{ActLayout, AlignedBuf, ConvShape, Filter, FilterLayout, Tensor4};
+use ndirect_threads::{split_static, SharedSlice, StaticPool};
+
+use crate::schedule::Schedule;
+
+/// Transforms the filter block `k ∈ [kt, kt+tkb)`, `c ∈ [ct, ct+tcb)` into
+/// `[kv][r][s][c][Vk]` (zero-padded `K` remainder). Accepts either filter
+/// layout (it reads through logical indexing).
+pub fn transform_filter_nhwc_block(
+    filter: &Filter,
+    kt: usize,
+    tkb: usize,
+    ct: usize,
+    tcb: usize,
+    vk: usize,
+    out: &mut [f32],
+) {
+    let (k, c, r, s) = filter.dims();
+    assert!(kt + tkb <= k && ct + tcb <= c, "block out of range");
+    let kvb = tkb.div_ceil(vk);
+    assert!(out.len() >= kvb * r * s * tcb * vk, "transform buffer too small");
+    for kv in 0..kvb {
+        let lanes = vk.min(tkb - kv * vk);
+        for rr in 0..r {
+            for ss in 0..s {
+                for cc in 0..tcb {
+                    let base = (((kv * r + rr) * s + ss) * tcb + cc) * vk;
+                    let dst = &mut out[base..base + vk];
+                    for (l, d) in dst.iter_mut().enumerate().take(lanes) {
+                        *d = filter.at(kt + kv * vk + l, ct + cc, rr, ss);
+                    }
+                    for d in dst[lanes..].iter_mut() {
+                        *d = 0.0;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Packs one strip: `R` rows of `win` pixels × `tcb` channels from an
+/// `NHWC` image into `buf[r][col][c_local]`, zero-filling padding.
+#[allow(clippy::too_many_arguments)]
+fn pack_strip_nhwc(
+    image: &[f32],
+    shape: &ConvShape,
+    ct: usize,
+    tcb: usize,
+    ih0: isize,
+    iw0: isize,
+    win: usize,
+    buf: &mut [f32],
+) {
+    let (h, w, c) = (shape.h, shape.w, shape.c);
+    for rr in 0..shape.r {
+        let ih = ih0 + rr as isize;
+        let dst = &mut buf[rr * win * tcb..(rr + 1) * win * tcb];
+        if ih < 0 || ih as usize >= h {
+            dst.fill(0.0);
+            continue;
+        }
+        let row0 = ih as usize * w * c;
+        if tcb == c {
+            // Full channel tile: the (pixel, channel) slab is contiguous,
+            // so the gather is the shared clipped copy with elem = C.
+            crate::pack::fill_row_clipped(&image[row0..row0 + w * c], iw0, w, c, dst);
+        } else {
+            for col in 0..win {
+                let iw = iw0 + col as isize;
+                let d = &mut dst[col * tcb..(col + 1) * tcb];
+                if iw < 0 || iw as usize >= w {
+                    d.fill(0.0);
+                } else {
+                    let src = row0 + iw as usize * c + ct;
+                    d.copy_from_slice(&image[src..src + tcb]);
+                }
+            }
+        }
+    }
+}
+
+/// The NHWC micro-kernel: `VW` pixels × `VKV·4` channels. Both operands
+/// stream linearly per tap; the output is stored as contiguous vectors.
+#[allow(clippy::too_many_arguments)]
+fn kernel_nhwc<const VW: usize, const VKV: usize, const STRIDE: usize>(
+    buf: &[f32],
+    tf: &[f32],
+    shape_r: usize,
+    shape_s: usize,
+    tcb: usize,
+    win: usize,
+    out_row: &SharedSlice<'_, f32>,
+    obase: usize,
+    kdim: usize,
+    valid_k: usize,
+) {
+    let vk = VKV * 4;
+    let mut acc = [[F32x4::zero(); VKV]; VW];
+    for rr in 0..shape_r {
+        let brow = &buf[rr * win * tcb..(rr + 1) * win * tcb];
+        for ss in 0..shape_s {
+            let tap = &tf[((rr * shape_s + ss) * tcb) * vk..((rr * shape_s + ss) * tcb + tcb) * vk];
+            for cc in 0..tcb {
+                let frow = &tap[cc * vk..(cc + 1) * vk];
+                let mut fv = [F32x4::zero(); VKV];
+                for (j, v) in fv.iter_mut().enumerate() {
+                    *v = F32x4::load(&frow[j * 4..]);
+                }
+                for (wi, accw) in acc.iter_mut().enumerate() {
+                    let x = F32x4::splat(brow[(wi * STRIDE + ss) * tcb + cc]);
+                    for j in 0..VKV {
+                        accw[j] = accw[j].fma(fv[j], x);
+                    }
+                }
+            }
+        }
+    }
+    // Contiguous vector read-add-write per pixel; K-tail masked.
+    for (wi, accw) in acc.iter().enumerate() {
+        let o = obase + wi * kdim;
+        if valid_k == vk {
+            for (j, v) in accw.iter().enumerate() {
+                // SAFETY: this (K-range × row) region has a single writer
+                // under the driver's thread grid.
+                let dst = unsafe { out_row.range_mut(o + j * 4, 4) };
+                let sum = F32x4::load(dst).add(*v);
+                sum.store(dst);
+            }
+        } else {
+            for (j, v) in accw.iter().enumerate() {
+                let lanes = v.to_array();
+                for (l, &x) in lanes.iter().enumerate() {
+                    if j * 4 + l < valid_k {
+                        // SAFETY: single writer (see above).
+                        unsafe { out_row.add_assign(o + j * 4 + l, x) };
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Dynamic-width fallback for `Q` tails and exotic schedules.
+#[allow(clippy::too_many_arguments)]
+fn kernel_nhwc_dyn(
+    buf: &[f32],
+    tf: &[f32],
+    shape_r: usize,
+    shape_s: usize,
+    stride: usize,
+    tcb: usize,
+    win: usize,
+    out_row: &SharedSlice<'_, f32>,
+    obase: usize,
+    kdim: usize,
+    valid_w: usize,
+    vk: usize,
+    valid_k: usize,
+) {
+    const VW_MAX: usize = crate::kernel::VW_MAX;
+    const VKV_MAX: usize = crate::kernel::VKV_MAX;
+    let vkv = vk / 4;
+    assert!(valid_w <= VW_MAX && vkv <= VKV_MAX, "dyn kernel bounds");
+    let mut acc = [[F32x4::zero(); VKV_MAX]; VW_MAX];
+    for rr in 0..shape_r {
+        let brow = &buf[rr * win * tcb..(rr + 1) * win * tcb];
+        for ss in 0..shape_s {
+            let tap = &tf[((rr * shape_s + ss) * tcb) * vk..((rr * shape_s + ss) * tcb + tcb) * vk];
+            for cc in 0..tcb {
+                let frow = &tap[cc * vk..(cc + 1) * vk];
+                for (wi, accw) in acc.iter_mut().enumerate().take(valid_w) {
+                    let x = F32x4::splat(brow[(wi * stride + ss) * tcb + cc]);
+                    for (j, a) in accw.iter_mut().enumerate().take(vkv) {
+                        *a = a.fma(F32x4::load(&frow[j * 4..]), x);
+                    }
+                }
+            }
+        }
+    }
+    for (wi, accw) in acc.iter().enumerate().take(valid_w) {
+        let o = obase + wi * kdim;
+        for (j, v) in accw.iter().enumerate().take(vkv) {
+            let lanes = v.to_array();
+            for (l, &x) in lanes.iter().enumerate() {
+                if j * 4 + l < valid_k {
+                    // SAFETY: single writer per (K-range × row) region.
+                    unsafe { out_row.add_assign(o + j * 4 + l, x) };
+                }
+            }
+        }
+    }
+}
+
+macro_rules! nhwc_dispatch {
+    ($vw:literal, $vkv:literal, $args:expr) => {{
+        let (buf, tf, r, s, stride, tcb, win, out, obase, kdim, vk_valid) = $args;
+        match stride {
+            1 => {
+                kernel_nhwc::<$vw, $vkv, 1>(buf, tf, r, s, tcb, win, out, obase, kdim, vk_valid);
+                return;
+            }
+            2 => {
+                kernel_nhwc::<$vw, $vkv, 2>(buf, tf, r, s, tcb, win, out, obase, kdim, vk_valid);
+                return;
+            }
+            _ => {}
+        }
+    }};
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_nhwc_tile(
+    buf: &[f32],
+    tf: &[f32],
+    shape: &ConvShape,
+    tcb: usize,
+    win: usize,
+    out_row: &SharedSlice<'_, f32>,
+    obase: usize,
+    kdim: usize,
+    valid_w: usize,
+    vk: usize,
+    valid_k: usize,
+) {
+    let (r, s, stride) = (shape.r, shape.s, shape.stride);
+    if valid_k <= vk {
+        let args = (buf, tf, r, s, stride, tcb, win, out_row, obase, kdim, valid_k);
+        match (valid_w, vk / 4) {
+            (4, 1) => nhwc_dispatch!(4, 1, args),
+            (4, 2) => nhwc_dispatch!(4, 2, args),
+            (4, 3) => nhwc_dispatch!(4, 3, args),
+            (8, 1) => nhwc_dispatch!(8, 1, args),
+            (8, 2) => nhwc_dispatch!(8, 2, args),
+            (8, 3) => nhwc_dispatch!(8, 3, args),
+            (12, 1) => nhwc_dispatch!(12, 1, args),
+            (12, 2) => nhwc_dispatch!(12, 2, args),
+            (12, 3) => nhwc_dispatch!(12, 3, args),
+            _ => {}
+        }
+    }
+    kernel_nhwc_dyn(
+        buf, tf, shape.r, shape.s, shape.stride, tcb, win, out_row, obase, kdim, valid_w, vk,
+        valid_k,
+    );
+}
+
+/// Native-`NHWC` nDirect convolution with an explicit schedule.
+///
+/// `input` is `NHWC`, `filter` is `KRSC` (the pairing XNNPACK-era
+/// frameworks use); the output is `NHWC`.
+pub fn conv_ndirect_nhwc_with(
+    pool: &StaticPool,
+    input: &Tensor4,
+    filter: &Filter,
+    shape: &ConvShape,
+    schedule: &Schedule,
+) -> Tensor4 {
+    assert_eq!(input.layout(), ActLayout::Nhwc, "native NHWC entry takes NHWC");
+    assert_eq!(filter.layout(), FilterLayout::Krsc, "native NHWC entry takes KRSC");
+    assert_eq!(input.dims(), (shape.n, shape.c, shape.h, shape.w), "input dims");
+    assert_eq!(
+        filter.dims(),
+        (shape.k, shape.c, shape.r, shape.s),
+        "filter dims"
+    );
+    let sched = schedule.sanitized(shape);
+    assert!(
+        sched.grid.threads() <= pool.size(),
+        "schedule needs {} threads, pool has {}",
+        sched.grid.threads(),
+        pool.size()
+    );
+    let (p, q) = (shape.p(), shape.q());
+    let mut out = Tensor4::zeros(shape.n, shape.k, p, q, ActLayout::Nhwc);
+
+    let grid = sched.grid;
+    let kv_total = shape.k.div_ceil(sched.vk);
+    let in_data = input.as_slice();
+    let image_len = shape.h * shape.w * shape.c;
+    let kdim = shape.k;
+
+    let out_shared = SharedSlice::new(out.as_mut_slice());
+    pool.run(|tid| {
+        if tid >= grid.threads() {
+            return;
+        }
+        let (tn, tk) = grid.coords(tid);
+        let kvr = split_static(kv_total, grid.ptk(), tk);
+        let k_lo = kvr.start * sched.vk;
+        let k_hi = (kvr.end * sched.vk).min(shape.k);
+        if k_lo >= k_hi {
+            return;
+        }
+        let rows = split_static(shape.n * p, grid.ptn(), tn);
+        if rows.is_empty() {
+            return;
+        }
+        // Disjointness: (K-range × row-range) output regions are unique
+        // per thread; the pool barrier orders writes. NHWC writes are
+        // K-segments of pixels within the thread's own rows.
+        let out_all = &out_shared;
+
+        let win_max = (sched.vw - 1) * shape.stride + shape.s;
+        let mut buf = AlignedBuf::zeroed(shape.r * win_max * sched.tc);
+        let tf_block_len_max = shape.r * shape.s * sched.tc * sched.vk;
+        let mut tfbuf = AlignedBuf::zeroed(sched.tk.div_ceil(sched.vk) * tf_block_len_max);
+
+        // Loop order mirrors Algorithm 2: cache tiles outermost so each
+        // filter-block transform amortizes over every row and strip the
+        // thread owns.
+        let mut ct = 0;
+        while ct < shape.c {
+            let tcb = sched.tc.min(shape.c - ct);
+            let tf_block_len = shape.r * shape.s * tcb * sched.vk;
+            let mut kt = k_lo;
+            while kt < k_hi {
+                let tkb = sched.tk.min(k_hi - kt);
+                let kv_blocks = tkb.div_ceil(sched.vk);
+                transform_filter_nhwc_block(filter, kt, tkb, ct, tcb, sched.vk, &mut tfbuf);
+                for row in rows.clone() {
+                    let n = row / p;
+                    let oh = row % p;
+                    let image = &in_data[n * image_len..(n + 1) * image_len];
+                    let ih0 = (oh * shape.stride) as isize - shape.pad.h as isize;
+                    let mut wv = 0;
+                    while wv < q {
+                        let valid_w = sched.vw.min(q - wv);
+                        let win = (valid_w - 1) * shape.stride + shape.s;
+                        let iw0 = (wv * shape.stride) as isize - shape.pad.w as isize;
+                        pack_strip_nhwc(image, shape, ct, tcb, ih0, iw0, win, &mut buf);
+                        for kv in 0..kv_blocks {
+                            let k0 = kt + kv * sched.vk;
+                            let valid_k = sched.vk.min(k_hi - k0);
+                            run_nhwc_tile(
+                                &buf,
+                                &tfbuf[kv * tf_block_len..(kv + 1) * tf_block_len],
+                                shape,
+                                tcb,
+                                win,
+                                out_all,
+                                ((n * p + oh) * q + wv) * kdim + k0,
+                                kdim,
+                                valid_w,
+                                sched.vk,
+                                valid_k,
+                            );
+                        }
+                        wv += sched.vw;
+                    }
+                }
+                kt += sched.tk;
+            }
+            ct += sched.tc;
+        }
+    });
+    out
+}
+
+/// Native-`NHWC` nDirect with a model-derived schedule.
+pub fn conv_ndirect_nhwc_native(
+    pool: &StaticPool,
+    input: &Tensor4,
+    filter: &Filter,
+    shape: &ConvShape,
+) -> Tensor4 {
+    let schedule = Schedule::derive(&ndirect_platform::host(), shape, pool.size());
+    conv_ndirect_nhwc_with(pool, input, filter, shape, &schedule)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndirect_baselines::naive;
+    use ndirect_tensor::{assert_close, fill, Padding};
+    use ndirect_threads::Grid2;
+
+    fn problem(shape: &ConvShape, seed: u64) -> (Tensor4, Filter) {
+        (
+            fill::random_tensor(Tensor4::input_for(shape, ActLayout::Nhwc), seed),
+            fill::random_filter(Filter::for_shape(shape, FilterLayout::Krsc), seed),
+        )
+    }
+
+    fn check(shape: ConvShape, sched: &Schedule, threads: usize, what: &str) {
+        let (input, filter) = problem(&shape, 23);
+        let expect = naive::conv_ref(&input, &filter, &shape);
+        let pool = StaticPool::new(threads);
+        let got = conv_ndirect_nhwc_with(&pool, &input, &filter, &shape, sched);
+        assert_eq!(got.layout(), ActLayout::Nhwc);
+        assert_close(got.as_slice(), expect.as_slice(), 2e-4, what);
+    }
+
+    #[test]
+    fn matches_oracle_basic() {
+        let shape = ConvShape::new(1, 5, 9, 11, 8, 3, 3, 1, Padding::same(1));
+        check(shape, &Schedule::minimal(&shape), 1, "nhwc basic");
+    }
+
+    #[test]
+    fn matches_oracle_channel_tiling() {
+        // tc < C exercises the strided pack path.
+        let shape = ConvShape::new(1, 10, 8, 8, 8, 3, 3, 1, Padding::NONE);
+        let mut s = Schedule::minimal(&shape);
+        s.tc = 3;
+        check(shape, &s, 1, "nhwc channel tiles");
+    }
+
+    #[test]
+    fn matches_oracle_strided_and_tails() {
+        // K=13 (vk tail), Q tail, stride 2, padding.
+        let shape = ConvShape::new(2, 6, 9, 13, 13, 3, 3, 2, Padding::same(1));
+        let mut s = Schedule::minimal(&shape);
+        s.vw = 4;
+        s.vk = 8;
+        s.tk = 8;
+        check(shape, &s, 1, "nhwc tails");
+    }
+
+    #[test]
+    fn matches_oracle_pointwise_and_7x7() {
+        let shape = ConvShape::new(1, 8, 6, 10, 12, 1, 1, 1, Padding::NONE);
+        check(shape, &Schedule::minimal(&shape), 1, "nhwc 1x1");
+        let shape = ConvShape::new(1, 3, 12, 12, 6, 7, 7, 2, Padding::same(3));
+        check(shape, &Schedule::minimal(&shape), 1, "nhwc 7x7");
+    }
+
+    #[test]
+    fn thread_grids_bitwise_identical() {
+        let shape = ConvShape::new(2, 8, 10, 10, 16, 3, 3, 1, Padding::same(1));
+        let (input, filter) = problem(&shape, 29);
+        let base = conv_ndirect_nhwc_with(
+            &StaticPool::new(1),
+            &input,
+            &filter,
+            &shape,
+            &Schedule::minimal(&shape),
+        );
+        for (ptn, ptk) in [(2, 1), (1, 2), (2, 2), (4, 1)] {
+            let pool = StaticPool::new(ptn * ptk);
+            let sched = Schedule::minimal(&shape).with_grid(Grid2::new(ptn, ptk));
+            let got = conv_ndirect_nhwc_with(&pool, &input, &filter, &shape, &sched);
+            assert_eq!(got.as_slice(), base.as_slice(), "grid {ptn}x{ptk}");
+        }
+    }
+
+    #[test]
+    fn derived_schedule_entry_point() {
+        let shape = ConvShape::square(1, 16, 24, 12, 3, 1);
+        let (input, filter) = problem(&shape, 31);
+        let expect = naive::conv_ref(&input, &filter, &shape);
+        let pool = StaticPool::new(2);
+        let got = conv_ndirect_nhwc_native(&pool, &input, &filter, &shape);
+        assert_close(got.as_slice(), expect.as_slice(), 2e-4, "derived nhwc");
+    }
+
+    #[test]
+    fn filter_transform_nhwc_layout() {
+        let mut f = Filter::zeros(8, 2, 1, 1, FilterLayout::Krsc);
+        for k in 0..8 {
+            *f.at_mut(k, 0, 0, 0) = k as f32;
+            *f.at_mut(k, 1, 0, 0) = 100.0 + k as f32;
+        }
+        let mut out = vec![0.0; 2 * 2 * 4];
+        transform_filter_nhwc_block(&f, 0, 8, 0, 2, 4, &mut out);
+        // [kv=0][r=0][s=0][c=0][vk]: k=0..4 at c=0.
+        assert_eq!(&out[0..4], &[0.0, 1.0, 2.0, 3.0]);
+        // c=1 follows.
+        assert_eq!(&out[4..8], &[100.0, 101.0, 102.0, 103.0]);
+        // kv=1: k=4..8.
+        assert_eq!(&out[8..12], &[4.0, 5.0, 6.0, 7.0]);
+    }
+}

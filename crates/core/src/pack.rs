@@ -1,0 +1,186 @@
+//! Input packing: the linear buffer `B` and its gather (§5.3, Figure 3).
+//!
+//! For one output strip — `Vw` consecutive output pixels of row `oh`, all
+//! channels of the current `Tc` tile — the micro-kernel reads
+//! `Tc · R · WIN` input elements, where `WIN = (Vw−1)·str + S` is the input
+//! footprint of the strip along `W`. In `NCHW` those elements sit in `Tc·R`
+//! separate rows; [`gather_row`] copies each row into the dense buffer `B`
+//! (zero-filling the parts that fall into padding), after which every
+//! subsequent `kv` iteration of loop L7 reads `B` with perfect L1 locality.
+//!
+//! In [`crate::PackingMode::Fused`] mode the driver never calls a separate
+//! packing pass: the first `kv` iteration's kernel gathers each `(c, r)`
+//! row right before using it (see [`crate::kernel`]), placing the buffer
+//! stores between FMA bursts exactly as the paper places `st` after `fma`
+//! to let out-of-order execution hide them.
+
+/// Geometry of one packed strip.
+#[derive(Debug, Clone, Copy)]
+pub struct StripGeom {
+    /// Input elements per `(c, r)` row: `(vw_actual − 1)·str + S`.
+    pub win: usize,
+    /// First input row of the strip: `oh·str − pad.h` (may be negative).
+    pub ih0: isize,
+    /// First input column: `wv·str − pad.w` (may be negative).
+    pub iw0: isize,
+}
+
+impl StripGeom {
+    /// Geometry for output row `oh`, starting output column `wv`, strip
+    /// width `vw` under `shape`.
+    pub fn new(shape: &ndirect_tensor::ConvShape, oh: usize, wv: usize, vw: usize) -> Self {
+        StripGeom {
+            win: (vw - 1) * shape.stride + shape.s,
+            ih0: (oh * shape.stride) as isize - shape.pad.h as isize,
+            iw0: (wv * shape.stride) as isize - shape.pad.w as isize,
+        }
+    }
+}
+
+/// Copies `dst.len()/elem` logical columns starting at signed column
+/// `iw0` from `row` (a `w`-column source with `elem` floats per column)
+/// into `dst`, zero-filling columns outside `[0, w)` — the shared
+/// clipped-copy every gather in the workspace is built on (`elem = 1` for
+/// `NCHW` rows, `elem = C` for `NHWC` pixel slabs).
+#[inline]
+pub fn fill_row_clipped(row: &[f32], iw0: isize, w: usize, elem: usize, dst: &mut [f32]) {
+    let win = dst.len() / elem;
+    // Columns [lo, hi) of dst are in-bounds.
+    let lo = (-iw0).max(0) as usize;
+    let hi = ((w as isize - iw0).max(0) as usize).min(win);
+    if lo >= hi {
+        dst.fill(0.0);
+        return;
+    }
+    dst[..lo * elem].fill(0.0);
+    let src0 = (iw0 + lo as isize) as usize * elem;
+    dst[lo * elem..hi * elem].copy_from_slice(&row[src0..src0 + (hi - lo) * elem]);
+    dst[hi * elem..].fill(0.0);
+}
+
+/// Copies one `(c, r)` input row into `dst[0..win]`, zero-filling where the
+/// row leaves the input (padding). `image` is one image's `CHW` data.
+///
+/// Split into the out-of-range memset case and an interior `copy_from_slice`
+/// (via [`fill_row_clipped`]) so the common unpadded path is a straight
+/// memcpy.
+#[inline]
+pub fn gather_row(
+    image: &[f32],
+    c: usize,
+    ih: isize,
+    iw0: isize,
+    h: usize,
+    w: usize,
+    dst: &mut [f32],
+) {
+    if ih < 0 || ih as usize >= h {
+        dst.fill(0.0);
+        return;
+    }
+    let row0 = c * h * w + ih as usize * w;
+    fill_row_clipped(&image[row0..row0 + w], iw0, w, 1, dst);
+}
+
+/// Packs a whole strip (`tcb` channels × `R` rows) into `buf` — the
+/// [`crate::PackingMode::Sequential`] path and the pre-pass for testing.
+///
+/// `buf` layout: `[c][r][win]`, `c` relative to `ct`.
+#[allow(clippy::too_many_arguments)]
+pub fn pack_strip(
+    image: &[f32],
+    ct: usize,
+    tcb: usize,
+    r: usize,
+    h: usize,
+    w: usize,
+    geom: StripGeom,
+    buf: &mut [f32],
+) {
+    assert!(buf.len() >= tcb * r * geom.win, "packing buffer too small");
+    for c in 0..tcb {
+        for rr in 0..r {
+            let dst = &mut buf[(c * r + rr) * geom.win..(c * r + rr + 1) * geom.win];
+            gather_row(image, ct + c, geom.ih0 + rr as isize, geom.iw0, h, w, dst);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndirect_tensor::{fill, ActLayout, ConvShape, Padding, Tensor4};
+
+    fn image(c: usize, h: usize, w: usize) -> Vec<f32> {
+        let mut t = Tensor4::zeros(1, c, h, w, ActLayout::Nchw);
+        fill::fill_iota(t.as_mut_slice());
+        t.as_slice().to_vec()
+    }
+
+    #[test]
+    fn interior_row_is_plain_copy() {
+        let img = image(1, 4, 5);
+        let mut dst = vec![9.0; 3];
+        gather_row(&img, 0, 1, 1, 4, 5, &mut dst);
+        assert_eq!(dst, vec![6.0, 7.0, 8.0]);
+    }
+
+    #[test]
+    fn negative_row_zero_fills() {
+        let img = image(1, 4, 5);
+        let mut dst = vec![9.0; 3];
+        gather_row(&img, 0, -1, 0, 4, 5, &mut dst);
+        assert_eq!(dst, vec![0.0; 3]);
+    }
+
+    #[test]
+    fn left_edge_zero_fills_prefix() {
+        let img = image(1, 4, 5);
+        let mut dst = vec![9.0; 4];
+        gather_row(&img, 0, 0, -2, 4, 5, &mut dst);
+        assert_eq!(dst, vec![0.0, 0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn right_edge_zero_fills_suffix() {
+        let img = image(1, 4, 5);
+        let mut dst = vec![9.0; 4];
+        gather_row(&img, 0, 0, 3, 4, 5, &mut dst);
+        assert_eq!(dst, vec![3.0, 4.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn second_channel_offsets_correctly() {
+        let img = image(3, 2, 2);
+        let mut dst = vec![0.0; 2];
+        gather_row(&img, 2, 1, 0, 2, 2, &mut dst);
+        assert_eq!(dst, vec![10.0, 11.0]);
+    }
+
+    #[test]
+    fn strip_geometry_for_stride_two() {
+        let shape = ConvShape::new(1, 1, 9, 9, 1, 3, 3, 2, Padding::same(1));
+        let g = StripGeom::new(&shape, 2, 1, 4);
+        // WIN = 3*2 + 3 = 9; ih0 = 2*2-1 = 3; iw0 = 1*2-1 = 1.
+        assert_eq!(g.win, 9);
+        assert_eq!(g.ih0, 3);
+        assert_eq!(g.iw0, 1);
+    }
+
+    #[test]
+    fn pack_strip_matches_manual_gather() {
+        let shape = ConvShape::new(1, 2, 5, 5, 1, 3, 3, 1, Padding::same(1));
+        let img = image(2, 5, 5);
+        let g = StripGeom::new(&shape, 0, 0, 4);
+        let mut buf = vec![7.0; 2 * 3 * g.win];
+        pack_strip(&img, 0, 2, 3, 5, 5, g, &mut buf);
+        // (c=0, r=0) is input row -1: zeros.
+        assert!(buf[..g.win].iter().all(|&x| x == 0.0));
+        // (c=0, r=1) is input row 0 starting at col -1.
+        assert_eq!(&buf[g.win..g.win + 3], &[0.0, 0.0, 1.0]);
+        // (c=1, r=2) is channel 1, input row 1.
+        let off = (3 + 2) * g.win;
+        assert_eq!(buf[off], 0.0);
+        assert_eq!(buf[off + 1], 30.0);
+    }
+}

@@ -1,0 +1,201 @@
+//! Execution schedules: every tunable parameter of the nDirect algorithm.
+
+use ndirect_platform::Platform;
+use ndirect_tensor::ConvShape;
+use ndirect_threads::Grid2;
+
+use crate::model;
+
+/// How input packing interacts with computation (§5.3, Figure 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum PackingMode {
+    /// The paper's optimization: the packing gather for each `(c, r)` row is
+    /// fused with the first `kv` iteration's FMAs, so stores into the linear
+    /// buffer overlap with computation.
+    Fused,
+    /// The conventional strategy (im2col-style): pack the whole strip into
+    /// the buffer, then start computing. The Figure 5 ablation baseline.
+    Sequential,
+}
+
+/// Whether the filter is transformed per cache block on the fly (the
+/// paper's design, zero preprocessing between framework calls) or once
+/// ahead of time (the ablation: what a weight-caching integration would do).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum FilterState {
+    /// Transform each `Tk × Tc` filter block inside loop L4 (Algorithm 2
+    /// line 5). The transform cost is incurred once per block and amortized
+    /// over the `L5 × L6` iterations.
+    OnTheFly,
+    /// Transform the whole filter before the main loops (excluded from the
+    /// algorithm in the paper, measured as an ablation here).
+    PreTransformed,
+}
+
+/// A complete parameterization of the nDirect convolution.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Schedule {
+    /// Register-tile width: output pixels per micro-kernel call (`Vw`).
+    pub vw: usize,
+    /// Register-tile depth: output channels per micro-kernel call (`Vk`,
+    /// a multiple of 4).
+    pub vk: usize,
+    /// Channel cache tile (`Tc`, Eq. 1 — L1 occupancy).
+    pub tc: usize,
+    /// Output-channel cache tile (`Tk`, Eq. 2 — L2 occupancy; multiple of
+    /// `vk`).
+    pub tk: usize,
+    /// Output-row cache tile (`Th`, L3 occupancy; `P` when no L3).
+    pub th: usize,
+    /// Static thread grid `PTn × PTk` (Eqs. 5–6).
+    pub grid: Grid2,
+    /// Packing strategy.
+    pub packing: PackingMode,
+    /// Filter transform strategy.
+    pub filter_state: FilterState,
+}
+
+impl Schedule {
+    /// Derives the model-optimal schedule for `shape` on `platform` with
+    /// `threads` threads — the pipeline the paper describes: register tile
+    /// from Eqs. 3–4, cache tiles from Eqs. 1–2, thread grid from Eqs. 5–6.
+    pub fn derive(platform: &Platform, shape: &ConvShape, threads: usize) -> Schedule {
+        let (vw, vk) = model::register_tile::optimal_tile(&platform.simd, shape.s);
+        let tiles = model::cache_tiles::derive(platform, shape, vw, vk);
+        let grid = model::thread_map::derive(platform, shape, threads);
+        Schedule {
+            vw,
+            vk,
+            tc: tiles.tc,
+            tk: tiles.tk,
+            th: tiles.th,
+            grid,
+            packing: PackingMode::Fused,
+            filter_state: FilterState::OnTheFly,
+        }
+    }
+
+    /// A small, always-valid schedule for tests: 4×4 register tile, modest
+    /// cache tiles, sequential grid.
+    pub fn minimal(shape: &ConvShape) -> Schedule {
+        Schedule {
+            vw: 4,
+            vk: 4,
+            tc: shape.c.min(8),
+            tk: shape.k.clamp(4, 8),
+            th: shape.p(),
+            grid: Grid2::sequential(),
+            packing: PackingMode::Fused,
+            filter_state: FilterState::OnTheFly,
+        }
+    }
+
+    /// Clamps the schedule's tiles to a specific problem (tiles never exceed
+    /// the dimension they tile) and normalizes granularities (`vk` multiple
+    /// of 4, `tk` multiple of `vk`). Register tiles are clamped to the
+    /// dynamic kernels' hard bounds (`VW_MAX`, `4·VKV_MAX`) so schedules
+    /// derived for wider-vector platforms (e.g. the SVE analysis presets)
+    /// still *execute* on the 4-lane kernels instead of panicking. Returns
+    /// the sanitized copy used by the driver.
+    pub fn sanitized(&self, shape: &ConvShape) -> Schedule {
+        let mut s = self.clone();
+        s.vk = (s.vk.max(4) / 4 * 4).min(4 * crate::kernel::VKV_MAX);
+        s.vw = s.vw.clamp(1, crate::kernel::VW_MAX);
+        s.tc = s.tc.clamp(1, shape.c);
+        s.tk = s.tk.max(s.vk).min(shape.k.div_ceil(s.vk) * s.vk);
+        s.tk = (s.tk / s.vk) * s.vk;
+        s.th = s.th.clamp(1, shape.p());
+        s
+    }
+
+    /// Total threads the schedule uses.
+    pub fn threads(&self) -> usize {
+        self.grid.threads()
+    }
+
+    /// Returns a copy with a different packing mode (ablation helper).
+    pub fn with_packing(&self, packing: PackingMode) -> Schedule {
+        let mut s = self.clone();
+        s.packing = packing;
+        s
+    }
+
+    /// Returns a copy with a different filter-transform strategy.
+    pub fn with_filter_state(&self, filter_state: FilterState) -> Schedule {
+        let mut s = self.clone();
+        s.filter_state = filter_state;
+        s
+    }
+
+    /// Returns a copy with a different thread grid.
+    pub fn with_grid(&self, grid: Grid2) -> Schedule {
+        let mut s = self.clone();
+        s.grid = grid;
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndirect_platform::phytium_2000p;
+
+    #[test]
+    fn derive_produces_paper_register_tile() {
+        let shape = ConvShape::square(64, 128, 128, 28, 3, 1);
+        let s = Schedule::derive(&phytium_2000p(), &shape, 64);
+        assert_eq!((s.vw, s.vk), (12, 8), "paper's (Vw, Vk) for 3x3 on NEON");
+    }
+
+    #[test]
+    fn sanitize_clamps_to_problem() {
+        let shape = ConvShape::square(1, 3, 5, 8, 3, 1);
+        let s = Schedule::derive(&phytium_2000p(), &shape, 4).sanitized(&shape);
+        assert!(s.tc <= 3);
+        assert!(s.th <= shape.p());
+        assert_eq!(s.tk % s.vk, 0);
+        assert!(s.tk >= s.vk);
+    }
+
+    #[test]
+    fn minimal_schedule_is_self_consistent() {
+        let shape = ConvShape::square(2, 16, 16, 10, 3, 1);
+        let s = Schedule::minimal(&shape).sanitized(&shape);
+        assert_eq!(s.vk % 4, 0);
+        assert!(s.tc >= 1 && s.tc <= 16);
+        assert_eq!(s.threads(), 1);
+    }
+
+    #[test]
+    fn sve_derived_schedules_are_executable_after_sanitize() {
+        // A schedule derived for the SVE analysis preset picks 16-lane
+        // multiples; sanitize must clamp it into the 4-lane kernels' dyn
+        // bounds rather than letting the driver panic.
+        let shape = ConvShape::square(1, 32, 64, 14, 3, 1);
+        let s = Schedule::derive(&ndirect_platform::presets::a64fx_like(), &shape, 1)
+            .sanitized(&shape);
+        assert!(s.vw <= crate::kernel::VW_MAX);
+        assert!(s.vk / 4 <= crate::kernel::VKV_MAX);
+    }
+
+    #[test]
+    fn wide_5x5_model_tiles_survive_sanitize() {
+        // Eq. 4 picks (24, 4) for 5x5 on NEON; sanitize must keep it (the
+        // dispatch has wide arms), not silently shrink it.
+        let shape = ConvShape::square(1, 8, 8, 16, 5, 1);
+        let s = Schedule::derive(&phytium_2000p(), &shape, 1).sanitized(&shape);
+        assert_eq!(s.vw, 24, "{s:?}");
+    }
+
+    #[test]
+    fn ablation_helpers_change_one_field() {
+        let shape = ConvShape::square(1, 8, 8, 8, 3, 1);
+        let s = Schedule::minimal(&shape);
+        assert_eq!(s.with_packing(PackingMode::Sequential).packing, PackingMode::Sequential);
+        assert_eq!(
+            s.with_filter_state(FilterState::PreTransformed).filter_state,
+            FilterState::PreTransformed
+        );
+        assert_eq!(s.with_grid(Grid2::new(2, 2)).threads(), 4);
+    }
+}

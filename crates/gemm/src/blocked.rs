@@ -1,0 +1,219 @@
+//! The blocked (cache-tiled) GEMM driver.
+
+use ndirect_tensor::AlignedBuf;
+
+use crate::kernel::{microkernel, microkernel_edge};
+use crate::pack::{pack_a, pack_b};
+use crate::{MR, NR};
+
+/// Cache block sizes for the Goto loop nest.
+///
+/// Defaults follow the usual heuristics for a 32 KB L1 / 512 KB L2 machine:
+/// `kc` sized so an `MR×kc` A-panel plus an `NR×kc` B-panel stay in L1,
+/// `mc×kc` of packed A in L2, `kc×nc` of packed B in L3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockSizes {
+    /// Rows of packed `A` kept L2-resident.
+    pub mc: usize,
+    /// Reduction depth per packed panel (L1-resident).
+    pub kc: usize,
+    /// Columns of packed `B` kept L3-resident.
+    pub nc: usize,
+}
+
+impl Default for BlockSizes {
+    fn default() -> Self {
+        BlockSizes {
+            mc: 264,
+            kc: 256,
+            nc: 2048,
+        }
+    }
+}
+
+impl BlockSizes {
+    /// Derives block sizes from cache capacities in bytes (used by the
+    /// platform-aware callers; the constants mirror Goto's occupancy rules).
+    pub fn for_caches(l1d: usize, l2: usize, l3: Option<usize>) -> Self {
+        let f = std::mem::size_of::<f32>();
+        // Half of L1 for the two hot panels (`MR+NR` floats per k step).
+        let kc = (l1d / (2 * f * (MR + NR))).clamp(64, 1024);
+        // Half of L2 for the packed A block, rounded to MR.
+        let mc = ((l2 / (2 * f * kc)).max(MR) / MR) * MR;
+        // Half of L3 (or 4 MB) for the packed B block, rounded to NR.
+        let l3 = l3.unwrap_or(8 << 20);
+        let nc = ((l3 / (2 * f * kc)).max(NR) / NR) * NR;
+        BlockSizes { mc, kc, nc }
+    }
+}
+
+/// `C += A·B` for contiguous row-major operands
+/// (`A: m×k`, `B: k×n`, `C: m×n`).
+pub fn gemm(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    assert_eq!(a.len(), m * k, "A size");
+    assert_eq!(b.len(), k * n, "B size");
+    assert_eq!(c.len(), m * n, "C size");
+    gemm_strided(m, n, k, a, k, b, n, c, n, BlockSizes::default());
+}
+
+/// `C += A·B` with explicit leading dimensions and block sizes.
+///
+/// `a` is `m×k` with row stride `lda`, `b` is `k×n` with row stride `ldb`,
+/// `c` is `m×n` with row stride `ldc`.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_strided(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    lda: usize,
+    b: &[f32],
+    ldb: usize,
+    c: &mut [f32],
+    ldc: usize,
+    blocks: BlockSizes,
+) {
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    assert!(lda >= k && ldb >= n && ldc >= n, "leading dims too small");
+    assert!(a.len() >= (m - 1) * lda + k, "A too small");
+    assert!(b.len() >= (k - 1) * ldb + n, "B too small");
+    assert!(c.len() >= (m - 1) * ldc + n, "C too small");
+
+    let BlockSizes { mc, kc, nc } = blocks;
+    let mut packed_a = AlignedBuf::zeroed(mc.div_ceil(MR) * MR * kc);
+    let mut packed_b = AlignedBuf::zeroed(nc.div_ceil(NR) * NR * kc);
+
+    // Loop 5 (jc): N blocks sized for L3-resident packed B.
+    for jc in (0..n).step_by(nc) {
+        let ncb = nc.min(n - jc);
+        // Loop 4 (pc): K blocks; pack B once per (jc, pc).
+        for pc in (0..k).step_by(kc) {
+            let kcb = kc.min(k - pc);
+            pack_b::<NR>(&b[pc * ldb + jc..], ldb, kcb, ncb, &mut packed_b);
+            // Loop 3 (ic): M blocks; pack A once per (ic, pc).
+            for ic in (0..m).step_by(mc) {
+                let mcb = mc.min(m - ic);
+                pack_a::<MR>(&a[ic * lda + pc..], lda, mcb, kcb, &mut packed_a);
+                inner_kernel(
+                    mcb,
+                    ncb,
+                    kcb,
+                    &packed_a,
+                    &packed_b,
+                    &mut c[ic * ldc + jc..],
+                    ldc,
+                );
+            }
+        }
+    }
+}
+
+/// Macro-kernel: sweeps the packed block with the register-tiled
+/// micro-kernel (loops 2 and 1 of the Goto nest).
+fn inner_kernel(
+    mcb: usize,
+    ncb: usize,
+    kcb: usize,
+    packed_a: &[f32],
+    packed_b: &[f32],
+    c: &mut [f32],
+    ldc: usize,
+) {
+    const NRV: usize = NR / 4;
+    for jr in (0..ncb).step_by(NR) {
+        let cols = NR.min(ncb - jr);
+        let b_panel = &packed_b[(jr / NR) * NR * kcb..];
+        for ir in (0..mcb).step_by(MR) {
+            let rows = MR.min(mcb - ir);
+            let a_panel = &packed_a[(ir / MR) * MR * kcb..];
+            let c_tile = &mut c[ir * ldc + jr..];
+            if rows == MR && cols == NR {
+                microkernel::<MR, NRV>(kcb, a_panel, b_panel, c_tile, ldc);
+            } else {
+                microkernel_edge::<MR, NRV>(kcb, a_panel, b_panel, c_tile, ldc, rows, cols);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive;
+
+    fn check(m: usize, n: usize, k: usize, blocks: BlockSizes) {
+        let a: Vec<f32> = (0..m * k).map(|i| ((i * 7 % 13) as f32 - 6.0) * 0.25).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| ((i * 5 % 11) as f32 - 5.0) * 0.5).collect();
+        let mut c: Vec<f32> = (0..m * n).map(|i| i as f32 * 0.01).collect();
+        let mut expect = c.clone();
+        naive::matmul(m, n, k, &a, &b, &mut expect);
+        gemm_strided(m, n, k, &a, k, &b, n, &mut c, n, blocks);
+        for (i, (x, y)) in c.iter().zip(&expect).enumerate() {
+            assert!(
+                (x - y).abs() <= 1e-3 * y.abs().max(1.0),
+                "({m},{n},{k}) idx {i}: {x} vs {y}"
+            );
+        }
+    }
+
+    #[test]
+    fn small_shapes_match_naive() {
+        for (m, n, k) in [(1, 1, 1), (3, 5, 7), (6, 8, 16), (7, 9, 5), (13, 17, 19)] {
+            check(m, n, k, BlockSizes::default());
+        }
+    }
+
+    #[test]
+    fn shapes_larger_than_blocks() {
+        // Force multiple (jc, pc, ic) iterations with tiny blocks.
+        let blocks = BlockSizes { mc: 12, kc: 8, nc: 16 };
+        for (m, n, k) in [(25, 33, 17), (30, 16, 8), (12, 16, 9), (40, 40, 40)] {
+            check(m, n, k, blocks);
+        }
+    }
+
+    #[test]
+    fn gemm_contiguous_entry_point() {
+        let m = 20;
+        let n = 24;
+        let k = 12;
+        let a = vec![0.5; m * k];
+        let b = vec![2.0; k * n];
+        let mut c = vec![1.0; m * n];
+        gemm(m, n, k, &a, &b, &mut c);
+        // 1 + 0.5*2*12 = 13 everywhere.
+        assert!(c.iter().all(|&x| (x - 13.0).abs() < 1e-5));
+    }
+
+    #[test]
+    fn strided_c_submatrix_untouched_outside() {
+        // C is a 2x2 window in a 2x4 buffer; other columns must not change.
+        let a = [1.0, 0.0, 0.0, 1.0]; // 2x2 identity
+        let b = [3.0, 4.0, 5.0, 6.0]; // 2x2
+        let mut c = vec![9.0; 8];
+        gemm_strided(2, 2, 2, &a, 2, &b, 2, &mut c, 4, BlockSizes::default());
+        assert_eq!(&c[0..2], &[12.0, 13.0]);
+        assert_eq!(&c[4..6], &[14.0, 15.0]);
+        assert_eq!(&c[2..4], &[9.0, 9.0]);
+        assert_eq!(&c[6..8], &[9.0, 9.0]);
+    }
+
+    #[test]
+    fn zero_sized_dims_are_noops() {
+        let mut c = vec![1.0; 4];
+        gemm_strided(0, 2, 2, &[], 2, &[0.0; 4], 2, &mut c, 2, BlockSizes::default());
+        gemm_strided(2, 2, 0, &[], 0, &[], 2, &mut c, 2, BlockSizes::default());
+        assert_eq!(c, vec![1.0; 4]);
+    }
+
+    #[test]
+    fn block_sizes_from_caches_are_reasonable() {
+        let b = BlockSizes::for_caches(32 * 1024, 512 * 1024, Some(32 << 20));
+        assert!(b.kc >= 64 && b.kc <= 1024);
+        assert_eq!(b.mc % MR, 0);
+        assert_eq!(b.nc % NR, 0);
+        assert!(b.mc >= MR && b.nc >= NR);
+    }
+}

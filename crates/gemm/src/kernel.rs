@@ -1,0 +1,147 @@
+//! The `MR×NR` register-tiled GEMM micro-kernel.
+
+use ndirect_simd::{F32x4, SimdVec};
+
+/// Computes `C[0..MR][0..NR] += Apanel · Bpanel` over `kc` rank-1 updates.
+///
+/// * `a_panel` — `kc × MR`, laid out `[p*MR + r]` (from [`crate::pack::pack_a`]);
+/// * `b_panel` — `kc × NR`, laid out `[p*NR + c]` (from [`crate::pack::pack_b`]);
+/// * `c` — row-major with leading dimension `ldc`; the full `MR×NR` tile
+///   must be in bounds (edge tiles go through [`microkernel_edge`]).
+///
+/// `NRV = NR/4` is the number of vector registers per row of the accumulator
+/// file; the accumulators live in `MR × NRV` `F32x4`s for the whole `kc`
+/// loop, mirroring the fixed register allocation of a hand-written kernel.
+#[inline]
+pub fn microkernel<const MR: usize, const NRV: usize>(
+    kc: usize,
+    a_panel: &[f32],
+    b_panel: &[f32],
+    c: &mut [f32],
+    ldc: usize,
+) {
+    let nr = NRV * 4;
+    debug_assert!(a_panel.len() >= kc * MR);
+    debug_assert!(b_panel.len() >= kc * nr);
+    debug_assert!(c.len() >= (MR - 1) * ldc + nr);
+
+    let mut acc = [[F32x4::zero(); NRV]; MR];
+    for p in 0..kc {
+        let brow = &b_panel[p * nr..(p + 1) * nr];
+        let mut bv = [F32x4::zero(); NRV];
+        for (j, v) in bv.iter_mut().enumerate() {
+            *v = F32x4::load(&brow[j * 4..]);
+        }
+        let arow = &a_panel[p * MR..(p + 1) * MR];
+        for i in 0..MR {
+            let ai = F32x4::splat(arow[i]);
+            for j in 0..NRV {
+                acc[i][j] = acc[i][j].fma(bv[j], ai);
+            }
+        }
+    }
+    for i in 0..MR {
+        let crow = &mut c[i * ldc..i * ldc + nr];
+        for j in 0..NRV {
+            let sum = F32x4::load(&crow[j * 4..]).add(acc[i][j]);
+            sum.store(&mut crow[j * 4..]);
+        }
+    }
+}
+
+/// Edge variant: computes into a private `MR×NR` tile, then accumulates only
+/// the `rows × cols` live region into `C`. Used when a tile sticks out past
+/// the matrix edge.
+#[inline]
+pub fn microkernel_edge<const MR: usize, const NRV: usize>(
+    kc: usize,
+    a_panel: &[f32],
+    b_panel: &[f32],
+    c: &mut [f32],
+    ldc: usize,
+    rows: usize,
+    cols: usize,
+) {
+    let nr = NRV * 4;
+    debug_assert!(rows <= MR && cols <= nr);
+    // 64-float stack tile covers MR·NR up to 8×8; the assert guards any
+    // future wider instantiation.
+    let mut tile = [0.0f32; 64];
+    assert!(MR * nr <= tile.len(), "edge tile buffer too small");
+    microkernel::<MR, NRV>(kc, a_panel, b_panel, &mut tile, nr);
+    for i in 0..rows {
+        let crow = &mut c[i * ldc..i * ldc + cols];
+        for (cj, t) in crow.iter_mut().zip(&tile[i * nr..i * nr + cols]) {
+            *cj += t;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive;
+    use crate::pack::{pack_a, pack_b};
+
+    fn run_kernel(m: usize, n: usize, k: usize) {
+        const MR: usize = 6;
+        const NRV: usize = 2;
+        let nr = NRV * 4;
+        assert!(m <= MR && n <= nr);
+        let a: Vec<f32> = (0..m * k).map(|i| (i as f32 * 0.3).sin()).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| (i as f32 * 0.7).cos()).collect();
+
+        let mut pa = vec![0.0; MR * k];
+        let mut pb = vec![0.0; nr * k];
+        pack_a::<MR>(&a, k, m, k, &mut pa);
+        pack_b::<{ NRV * 4 }>(&b, n, k, n, &mut pb);
+
+        let mut c = vec![0.5; m * n];
+        let mut expect = c.clone();
+        naive::matmul(m, n, k, &a, &b, &mut expect);
+
+        if m == MR && n == nr {
+            microkernel::<MR, NRV>(k, &pa, &pb, &mut c, n);
+        } else {
+            microkernel_edge::<MR, NRV>(k, &pa, &pb, &mut c, n, m, n);
+        }
+        for (x, y) in c.iter().zip(&expect) {
+            assert!((x - y).abs() < 1e-4, "m={m} n={n} k={k}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn full_tile_matches_naive() {
+        run_kernel(6, 8, 17);
+    }
+
+    #[test]
+    fn full_tile_k_one() {
+        run_kernel(6, 8, 1);
+    }
+
+    #[test]
+    fn edge_tiles_match_naive() {
+        for m in 1..=6 {
+            for n in 1..=8 {
+                run_kernel(m, n, 5);
+            }
+        }
+    }
+
+    #[test]
+    fn accumulates_rather_than_overwrites() {
+        const MR: usize = 6;
+        const NRV: usize = 2;
+        let k = 3;
+        let a = vec![1.0; MR * k];
+        let b = vec![1.0; 8 * k];
+        let mut pa = vec![0.0; MR * k];
+        let mut pb = vec![0.0; 8 * k];
+        pack_a::<MR>(&a, k, MR, k, &mut pa);
+        pack_b::<8>(&b, 8, k, 8, &mut pb);
+        let mut c = vec![100.0; MR * 8];
+        microkernel::<MR, NRV>(k, &pa, &pb, &mut c, 8);
+        assert!(c.iter().all(|&x| (x - 103.0).abs() < 1e-6));
+    }
+}

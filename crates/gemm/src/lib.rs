@@ -1,0 +1,36 @@
+//! Goto-algorithm FP32 GEMM.
+//!
+//! The im2col baseline in the paper calls OpenBLAS; this crate is the
+//! workspace's from-scratch replacement, implementing the classical Goto &
+//! van de Geijn blocked algorithm the paper's Algorithm 2 is modelled on:
+//!
+//! * `B` is packed into `NR`-column panels sized to stay in L3/L2 (`KC×NC`);
+//! * `A` is packed into `MR`-row panels sized for L2 (`MC×KC`);
+//! * an `MR×NR` register-tiled micro-kernel ([`kernel`]) runs over the
+//!   packed panels with broadcast-FMA updates;
+//! * the parallel driver splits the `N` dimension statically across a
+//!   [`ndirect_threads::StaticPool`], each thread running the full blocked
+//!   algorithm on its column stripe (deterministic, no shared packing).
+//!
+//! All matrices are row-major `f32` slices. The only public entry points are
+//! [`gemm`] / [`gemm_strided`] / [`par_gemm`] plus [`naive::matmul`] as the
+//! testing oracle.
+
+#![warn(missing_docs)]
+
+pub mod blocked;
+pub mod kernel;
+pub mod naive;
+pub mod pack;
+pub mod parallel;
+
+pub use blocked::{gemm, gemm_strided, BlockSizes};
+pub use parallel::par_gemm;
+
+/// Rows per register tile (`MR`). Sized so the accumulator file
+/// (`MR × NR/4` vectors) plus operand registers fits the 16 XMM registers of
+/// baseline x86_64 as well as NEON's 32.
+pub const MR: usize = 6;
+
+/// Columns per register tile (`NR`); a multiple of the 4-lane vector width.
+pub const NR: usize = 8;

@@ -1,0 +1,52 @@
+//! Triple-loop reference matrix multiplication — the GEMM oracle.
+
+/// `C += A·B` with row-major contiguous operands:
+/// `A` is `m×k`, `B` is `k×n`, `C` is `m×n`.
+pub fn matmul(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    assert_eq!(a.len(), m * k, "A size");
+    assert_eq!(b.len(), k * n, "B size");
+    assert_eq!(c.len(), m * n, "C size");
+    for i in 0..m {
+        for p in 0..k {
+            let aip = a[i * k + p];
+            let brow = &b[p * n..(p + 1) * n];
+            let crow = &mut c[i * n..(i + 1) * n];
+            for j in 0..n {
+                crow[j] += aip * brow[j];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_by_two() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [5.0, 6.0, 7.0, 8.0];
+        let mut c = [0.0; 4];
+        matmul(2, 2, 2, &a, &b, &mut c);
+        assert_eq!(c, [19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn accumulates_into_c() {
+        let a = [1.0];
+        let b = [2.0];
+        let mut c = [10.0];
+        matmul(1, 1, 1, &a, &b, &mut c);
+        assert_eq!(c, [12.0]);
+    }
+
+    #[test]
+    fn rectangular_shapes() {
+        // 1x3 times 3x2.
+        let a = [1.0, 2.0, 3.0];
+        let b = [1.0, 4.0, 2.0, 5.0, 3.0, 6.0];
+        let mut c = [0.0; 2];
+        matmul(1, 2, 3, &a, &b, &mut c);
+        assert_eq!(c, [14.0, 32.0]);
+    }
+}

@@ -1,0 +1,112 @@
+//! Operand packing for the Goto algorithm.
+//!
+//! Packing rewrites a cache block of each operand into the exact order the
+//! micro-kernel consumes, so the inner loop issues only unit-stride vector
+//! loads. Partial edge panels are zero-padded to full `MR`/`NR` width, which
+//! keeps the micro-kernel branch-free (the driver masks the copy-out
+//! instead).
+
+/// Packs an `mc×kc` block of `A` (row-major, leading dimension `lda`)
+/// into `⌈mc/MR⌉` panels; panel `i` holds columns-of-`MR`-rows:
+/// `packed[p*MR + r] = A[i*MR + r][p]`.
+pub fn pack_a<const MR: usize>(
+    a: &[f32],
+    lda: usize,
+    mc: usize,
+    kc: usize,
+    packed: &mut [f32],
+) {
+    let panels = mc.div_ceil(MR);
+    assert!(packed.len() >= panels * MR * kc, "packed A too small");
+    for pi in 0..panels {
+        let row0 = pi * MR;
+        let rows = MR.min(mc - row0);
+        let panel = &mut packed[pi * MR * kc..(pi + 1) * MR * kc];
+        for p in 0..kc {
+            let dst = &mut panel[p * MR..p * MR + MR];
+            for r in 0..rows {
+                dst[r] = a[(row0 + r) * lda + p];
+            }
+            for d in dst[rows..].iter_mut() {
+                *d = 0.0;
+            }
+        }
+    }
+}
+
+/// Packs a `kc×nc` block of `B` (row-major, leading dimension `ldb`)
+/// into `⌈nc/NR⌉` panels; panel `j` holds rows-of-`NR`-columns:
+/// `packed[p*NR + c] = B[p][j*NR + c]`.
+pub fn pack_b<const NR: usize>(
+    b: &[f32],
+    ldb: usize,
+    kc: usize,
+    nc: usize,
+    packed: &mut [f32],
+) {
+    let panels = nc.div_ceil(NR);
+    assert!(packed.len() >= panels * NR * kc, "packed B too small");
+    for pj in 0..panels {
+        let col0 = pj * NR;
+        let cols = NR.min(nc - col0);
+        let panel = &mut packed[pj * NR * kc..(pj + 1) * NR * kc];
+        for p in 0..kc {
+            let src = &b[p * ldb + col0..p * ldb + col0 + cols];
+            let dst = &mut panel[p * NR..p * NR + NR];
+            dst[..cols].copy_from_slice(src);
+            for d in dst[cols..].iter_mut() {
+                *d = 0.0;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_a_full_panel() {
+        // A = 2x3 with MR=2: one panel, column-major within panel.
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let mut packed = vec![0.0; 6];
+        pack_a::<2>(&a, 3, 2, 3, &mut packed);
+        assert_eq!(packed, vec![1.0, 4.0, 2.0, 5.0, 3.0, 6.0]);
+    }
+
+    #[test]
+    fn pack_a_zero_pads_partial_panel() {
+        // 3 rows with MR=2: second panel has one live row.
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0]; // 3x2
+        let mut packed = vec![9.0; 8];
+        pack_a::<2>(&a, 2, 3, 2, &mut packed);
+        assert_eq!(packed, vec![1.0, 3.0, 2.0, 4.0, 5.0, 0.0, 6.0, 0.0]);
+    }
+
+    #[test]
+    fn pack_b_full_panel() {
+        // B = 2x4 with NR=4: identity ordering.
+        let b = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0];
+        let mut packed = vec![0.0; 8];
+        pack_b::<4>(&b, 4, 2, 4, &mut packed);
+        assert_eq!(packed, b.to_vec());
+    }
+
+    #[test]
+    fn pack_b_zero_pads_partial_panel() {
+        // B = 2x3 with NR=2: panels [cols 0..2], [col 2 + pad].
+        let b = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let mut packed = vec![9.0; 8];
+        pack_b::<2>(&b, 3, 2, 3, &mut packed);
+        assert_eq!(packed, vec![1.0, 2.0, 4.0, 5.0, 3.0, 0.0, 6.0, 0.0]);
+    }
+
+    #[test]
+    fn pack_respects_leading_dimension() {
+        // Take the left 2x2 block of a 2x3 matrix.
+        let b = [1.0, 2.0, 99.0, 3.0, 4.0, 99.0];
+        let mut packed = vec![0.0; 4];
+        pack_b::<2>(&b, 3, 2, 2, &mut packed);
+        assert_eq!(packed, vec![1.0, 2.0, 3.0, 4.0]);
+    }
+}

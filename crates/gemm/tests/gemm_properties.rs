@@ -1,0 +1,82 @@
+//! Property tests for the Goto GEMM against the naive oracle, including
+//! strided views and extreme block configurations.
+
+use ndirect_gemm::{gemm_strided, naive, par_gemm, BlockSizes};
+use ndirect_tensor::fill;
+use ndirect_threads::StaticPool;
+use proptest::prelude::*;
+
+fn close_all(got: &[f32], want: &[f32]) -> Result<(), TestCaseError> {
+    for (i, (x, y)) in got.iter().zip(want).enumerate() {
+        prop_assert!(
+            (x - y).abs() <= 2e-4 * y.abs().max(1.0),
+            "idx {i}: {x} vs {y}"
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn strided_gemm_matches_naive(
+        m in 1usize..30, n in 1usize..30, k in 1usize..30,
+        extra_lda in 0usize..4, extra_ldb in 0usize..4, extra_ldc in 0usize..4,
+        seed in 0u64..1000,
+    ) {
+        let (lda, ldb, ldc) = (k + extra_lda, n + extra_ldb, n + extra_ldc);
+        let mut a = vec![0.0f32; m * lda];
+        let mut b = vec![0.0f32; k * ldb];
+        fill::fill_random(&mut a, seed);
+        fill::fill_random(&mut b, seed ^ 0xff);
+        let mut c = vec![0.0f32; m * ldc];
+        let mut c_ref = c.clone();
+
+        // Dense copies for the oracle.
+        let a_d: Vec<f32> = (0..m).flat_map(|i| a[i * lda..i * lda + k].to_vec()).collect();
+        let b_d: Vec<f32> = (0..k).flat_map(|i| b[i * ldb..i * ldb + n].to_vec()).collect();
+        let mut cd = vec![0.0f32; m * n];
+        naive::matmul(m, n, k, &a_d, &b_d, &mut cd);
+        for i in 0..m {
+            c_ref[i * ldc..i * ldc + n].copy_from_slice(&cd[i * n..(i + 1) * n]);
+        }
+
+        gemm_strided(m, n, k, &a, lda, &b, ldb, &mut c, ldc, BlockSizes::default());
+        close_all(&c, &c_ref)?;
+    }
+
+    #[test]
+    fn tiny_blocks_still_correct(
+        m in 1usize..25, n in 1usize..25, k in 1usize..25, seed in 0u64..200,
+    ) {
+        let mut a = vec![0.0f32; m * k];
+        let mut b = vec![0.0f32; k * n];
+        fill::fill_random(&mut a, seed);
+        fill::fill_random(&mut b, seed ^ 1);
+        let mut want = vec![0.0f32; m * n];
+        naive::matmul(m, n, k, &a, &b, &mut want);
+        let mut got = vec![0.0f32; m * n];
+        // Pathologically small blocks force every loop boundary.
+        let blocks = BlockSizes { mc: 6, kc: 4, nc: 8 };
+        gemm_strided(m, n, k, &a, k, &b, n, &mut got, n, blocks);
+        close_all(&got, &want)?;
+    }
+
+    #[test]
+    fn parallel_gemm_matches_for_any_team(
+        m in 1usize..20, n in 1usize..50, k in 1usize..20,
+        threads in 1usize..6, seed in 0u64..200,
+    ) {
+        let mut a = vec![0.0f32; m * k];
+        let mut b = vec![0.0f32; k * n];
+        fill::fill_random(&mut a, seed);
+        fill::fill_random(&mut b, seed ^ 2);
+        let mut want = vec![0.0f32; m * n];
+        naive::matmul(m, n, k, &a, &b, &mut want);
+        let pool = StaticPool::new(threads);
+        let mut got = vec![0.0f32; m * n];
+        par_gemm(&pool, m, n, k, &a, &b, &mut got, BlockSizes::default());
+        close_all(&got, &want)?;
+    }
+}

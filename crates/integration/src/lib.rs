@@ -1,0 +1,3 @@
+//! Carrier crate for the workspace-level integration tests in `tests/`
+//! and the runnable examples in `examples/` (see the `[[test]]` and
+//! `[[example]]` sections of this crate's manifest). It exports nothing.

@@ -1,0 +1,175 @@
+//! Convolution backends for the engine, beyond the baseline set.
+//!
+//! The baselines crate defines the [`Convolution`] interface and implements
+//! it for naive / im2col / blocked / indirect. Here we add the two nDirect
+//! flavours the end-to-end figures need: model-scheduled nDirect (what
+//! "MXNet+NDIRECT" measures) and per-shape autotuned nDirect (the Ansor
+//! proxy, with the search cost paid offline exactly as the paper excludes
+//! Ansor's tuning time).
+
+use std::collections::HashMap;
+
+use ndirect_baselines::Convolution;
+use ndirect_core::{conv_ndirect_into, Schedule};
+use ndirect_platform::Platform;
+use ndirect_tensor::{ConvShape, Filter, Tensor4};
+use ndirect_threads::StaticPool;
+use parking_lot::Mutex;
+
+/// nDirect with schedules derived from the analytic models at call time.
+pub struct NDirectBackend {
+    platform: Platform,
+    /// Schedules are derived once per distinct shape and cached.
+    cache: Mutex<HashMap<ConvShape, Schedule>>,
+}
+
+impl NDirectBackend {
+    /// Backend deriving schedules for `platform`.
+    pub fn new(platform: Platform) -> Self {
+        Self {
+            platform,
+            cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Backend for the host machine.
+    pub fn host() -> Self {
+        Self::new(ndirect_platform::host())
+    }
+
+    fn schedule_for(&self, shape: &ConvShape, threads: usize) -> Schedule {
+        let mut cache = self.cache.lock();
+        cache
+            .entry(*shape)
+            .or_insert_with(|| Schedule::derive(&self.platform, shape, threads))
+            .clone()
+    }
+}
+
+impl Convolution for NDirectBackend {
+    fn name(&self) -> &'static str {
+        "nDirect"
+    }
+
+    fn accumulates(&self) -> bool {
+        true // the micro-kernel's store is a read-add-write
+    }
+
+    fn conv(
+        &self,
+        pool: &StaticPool,
+        input: &Tensor4,
+        filter: &Filter,
+        shape: &ConvShape,
+        output: &mut Tensor4,
+    ) {
+        let schedule = self.schedule_for(shape, pool.size());
+        conv_ndirect_into(pool, input, filter, shape, &schedule, output);
+    }
+}
+
+/// nDirect with externally supplied (e.g. autotuned) per-shape schedules;
+/// shapes without an entry fall back to the analytic model.
+pub struct TunedBackend {
+    fallback: NDirectBackend,
+    schedules: HashMap<ConvShape, Schedule>,
+    name: &'static str,
+}
+
+impl TunedBackend {
+    /// Builds a tuned backend from a schedule table.
+    pub fn new(schedules: HashMap<ConvShape, Schedule>, name: &'static str) -> Self {
+        Self {
+            fallback: NDirectBackend::host(),
+            schedules,
+            name,
+        }
+    }
+
+    /// Number of tuned shapes.
+    pub fn tuned_shapes(&self) -> usize {
+        self.schedules.len()
+    }
+}
+
+impl Convolution for TunedBackend {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn accumulates(&self) -> bool {
+        true
+    }
+
+    fn conv(
+        &self,
+        pool: &StaticPool,
+        input: &Tensor4,
+        filter: &Filter,
+        shape: &ConvShape,
+        output: &mut Tensor4,
+    ) {
+        match self.schedules.get(shape) {
+            Some(schedule) => conv_ndirect_into(pool, input, filter, shape, schedule, output),
+            None => self.fallback.conv(pool, input, filter, shape, output),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndirect_baselines::naive;
+    use ndirect_tensor::{assert_close, fill, ActLayout, FilterLayout};
+
+    fn problem() -> (ConvShape, Tensor4, Filter) {
+        let shape = ConvShape::square(1, 6, 10, 9, 3, 1);
+        (
+            shape,
+            fill::random_tensor(Tensor4::input_for(&shape, ActLayout::Nchw), 2),
+            fill::random_filter(Filter::for_shape(&shape, FilterLayout::Kcrs), 2),
+        )
+    }
+
+    #[test]
+    fn ndirect_backend_matches_oracle() {
+        let (shape, input, filter) = problem();
+        let pool = StaticPool::new(2);
+        let backend = NDirectBackend::host();
+        let got = ndirect_baselines::run_backend(&backend, &pool, &input, &filter, &shape);
+        let expect = naive::conv_ref(&input, &filter, &shape);
+        assert_close(got.as_slice(), expect.as_slice(), 2e-4, "NDirectBackend");
+    }
+
+    #[test]
+    fn schedule_cache_returns_consistent_entries() {
+        let (shape, input, filter) = problem();
+        let pool = StaticPool::new(1);
+        let backend = NDirectBackend::host();
+        let a = ndirect_baselines::run_backend(&backend, &pool, &input, &filter, &shape);
+        let b = ndirect_baselines::run_backend(&backend, &pool, &input, &filter, &shape);
+        assert_eq!(a.as_slice(), b.as_slice());
+        assert_eq!(backend.cache.lock().len(), 1);
+    }
+
+    #[test]
+    fn tuned_backend_uses_table_and_fallback() {
+        let (shape, input, filter) = problem();
+        let pool = StaticPool::new(1);
+        let mut table = HashMap::new();
+        table.insert(shape, Schedule::minimal(&shape));
+        let backend = TunedBackend::new(table, "tuned");
+        assert_eq!(backend.tuned_shapes(), 1);
+        let got = ndirect_baselines::run_backend(&backend, &pool, &input, &filter, &shape);
+        let expect = naive::conv_ref(&input, &filter, &shape);
+        assert_close(got.as_slice(), expect.as_slice(), 2e-4, "TunedBackend");
+
+        // A shape missing from the table falls back to the model.
+        let other = ConvShape::square(1, 6, 8, 7, 3, 1);
+        let input2 = fill::random_tensor(Tensor4::input_for(&other, ActLayout::Nchw), 3);
+        let filter2 = fill::random_filter(Filter::for_shape(&other, FilterLayout::Kcrs), 3);
+        let got2 = ndirect_baselines::run_backend(&backend, &pool, &input2, &filter2, &other);
+        let expect2 = naive::conv_ref(&input2, &filter2, &other);
+        assert_close(got2.as_slice(), expect2.as_slice(), 2e-4, "fallback");
+    }
+}

@@ -1,0 +1,297 @@
+//! The model zoo: ResNet-50/101 and VGG-16/19 with seeded random weights.
+//!
+//! Weights use He-style uniform initialization (`±√(6/fan_in)`) so
+//! activations stay numerically sane through deep stacks — the data
+//! substitution DESIGN.md documents (throughput is data-independent; we
+//! validate numerics, not ImageNet accuracy).
+
+use ndirect_tensor::{Filter, FilterLayout};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::layer::{ConvLayer, FcLayer, Model, Node};
+
+fn he_filter(k: usize, c: usize, rs: usize, rng: &mut StdRng) -> Filter {
+    let mut f = Filter::zeros(k, c, rs, rs, FilterLayout::Kcrs);
+    let bound = (6.0 / (c * rs * rs) as f32).sqrt();
+    for x in f.as_mut_slice() {
+        *x = rng.gen_range(-bound..bound);
+    }
+    f
+}
+
+fn conv(c: usize, k: usize, rs: usize, stride: usize, pad: usize, relu: bool, rng: &mut StdRng) -> ConvLayer {
+    ConvLayer {
+        k,
+        rs,
+        stride,
+        pad,
+        filter: he_filter(k, c, rs, rng),
+        scale: vec![1.0; k],
+        shift: vec![0.0; k],
+        relu,
+    }
+}
+
+fn fc(input: usize, out: usize, relu: bool, rng: &mut StdRng) -> FcLayer {
+    let bound = (6.0 / input as f32).sqrt();
+    FcLayer {
+        out,
+        weight: (0..out * input).map(|_| rng.gen_range(-bound..bound)).collect(),
+        bias: vec![0.0; out],
+        relu,
+    }
+}
+
+/// One ResNet bottleneck: `1×1 → 3×3(stride) → 1×1(×4)` with identity or
+/// projection shortcut.
+fn bottleneck(
+    nodes: &mut Vec<Node>,
+    in_ch: usize,
+    mid: usize,
+    stride: usize,
+    project: bool,
+    rng: &mut StdRng,
+) -> usize {
+    let out_ch = mid * 4;
+    nodes.push(Node::Save);
+    nodes.push(Node::Conv(conv(in_ch, mid, 1, 1, 0, true, rng)));
+    nodes.push(Node::Conv(conv(mid, mid, 3, stride, 1, true, rng)));
+    nodes.push(Node::Conv(conv(mid, out_ch, 1, 1, 0, false, rng)));
+    let shortcut = if project || stride != 1 || in_ch != out_ch {
+        Some(conv(in_ch, out_ch, 1, stride, 0, false, rng))
+    } else {
+        None
+    };
+    nodes.push(Node::ResidualJoin(shortcut));
+    out_ch
+}
+
+/// A ResNet with bottleneck counts per stage (ResNet-50: `[3,4,6,3]`,
+/// ResNet-101: `[3,4,23,3]`), ImageNet geometry (3×224×224 input,
+/// 1000 classes).
+fn resnet(name: &str, blocks: [usize; 4], seed: u64) -> Model {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut nodes = Vec::new();
+    // Stem: 7x7/2 + 3x3/2 max pool.
+    nodes.push(Node::Conv(conv(3, 64, 7, 2, 3, true, &mut rng)));
+    nodes.push(Node::MaxPool(3, 2, 1));
+    let mut ch = 64;
+    let mids = [64usize, 128, 256, 512];
+    for (stage, (&count, &mid)) in blocks.iter().zip(&mids).enumerate() {
+        for b in 0..count {
+            let stride = if stage > 0 && b == 0 { 2 } else { 1 };
+            ch = bottleneck(&mut nodes, ch, mid, stride, b == 0, &mut rng);
+        }
+    }
+    nodes.push(Node::GlobalAvgPool);
+    nodes.push(Node::Fc(fc(ch, 1000, false, &mut rng)));
+    nodes.push(Node::Softmax);
+    Model {
+        name: name.into(),
+        input: (3, 224, 224),
+        nodes,
+    }
+}
+
+/// ResNet-50.
+pub fn resnet50(seed: u64) -> Model {
+    resnet("ResNet-50", [3, 4, 6, 3], seed)
+}
+
+/// ResNet-101.
+pub fn resnet101(seed: u64) -> Model {
+    resnet("ResNet-101", [3, 4, 23, 3], seed)
+}
+
+/// A VGG with per-stage 3×3-conv counts (VGG-16: `[2,2,3,3,3]`,
+/// VGG-19: `[2,2,4,4,4]`), ImageNet geometry.
+fn vgg(name: &str, convs_per_stage: [usize; 5], seed: u64) -> Model {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let widths = [64usize, 128, 256, 512, 512];
+    let mut nodes = Vec::new();
+    let mut ch = 3;
+    for (&count, &width) in convs_per_stage.iter().zip(&widths) {
+        for _ in 0..count {
+            nodes.push(Node::Conv(conv(ch, width, 3, 1, 1, true, &mut rng)));
+            ch = width;
+        }
+        nodes.push(Node::MaxPool(2, 2, 0));
+    }
+    // 224 / 2^5 = 7 spatial, so the classifier sees 512·7·7.
+    nodes.push(Node::Fc(fc(512 * 7 * 7, 4096, true, &mut rng)));
+    nodes.push(Node::Fc(fc(4096, 4096, true, &mut rng)));
+    nodes.push(Node::Fc(fc(4096, 1000, false, &mut rng)));
+    nodes.push(Node::Softmax);
+    Model {
+        name: name.into(),
+        input: (3, 224, 224),
+        nodes,
+    }
+}
+
+/// VGG-16.
+pub fn vgg16(seed: u64) -> Model {
+    vgg("VGG-16", [2, 2, 3, 3, 3], seed)
+}
+
+/// VGG-19.
+pub fn vgg19(seed: u64) -> Model {
+    vgg("VGG-19", [2, 2, 4, 4, 4], seed)
+}
+
+/// A MobileNet-v1-style network built from depthwise-separable blocks
+/// (§10.2's DSC workload): stem conv, then `dw3×3 → pw1×1` pairs with the
+/// standard width/stride progression, at 0.25× width so end-to-end runs
+/// stay light. ImageNet geometry (3×224×224, 1000 classes).
+pub fn mobilenet_lite(seed: u64) -> Model {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut nodes = Vec::new();
+    let widths_and_strides: [(usize, usize); 13] = [
+        (16, 1),
+        (32, 2),
+        (32, 1),
+        (64, 2),
+        (64, 1),
+        (128, 2),
+        (128, 1),
+        (128, 1),
+        (128, 1),
+        (128, 1),
+        (128, 1),
+        (256, 2),
+        (256, 1),
+    ];
+    // Stem: 3x3/2 to 8 channels (0.25 × MobileNet's 32).
+    nodes.push(Node::Conv(conv(3, 8, 3, 2, 1, true, &mut rng)));
+    let mut ch = 8;
+    for (width, stride) in widths_and_strides {
+        // Depthwise 3x3 (stride on the dw stage, as in MobileNet)…
+        nodes.push(Node::DepthwiseConv(ConvLayer {
+            k: ch,
+            rs: 3,
+            stride,
+            pad: 1,
+            filter: he_filter(ch, 1, 3, &mut rng),
+            scale: vec![1.0; ch],
+            shift: vec![0.0; ch],
+            relu: true,
+        }));
+        // …then pointwise 1x1 to the new width.
+        nodes.push(Node::Conv(conv(ch, width, 1, 1, 0, true, &mut rng)));
+        ch = width;
+    }
+    nodes.push(Node::GlobalAvgPool);
+    nodes.push(Node::Fc(fc(ch, 1000, false, &mut rng)));
+    nodes.push(Node::Softmax);
+    Model {
+        name: "MobileNet-lite".into(),
+        input: (3, 224, 224),
+        nodes,
+    }
+}
+
+/// A scaled-down ResNet-style model for tests: same block structure on a
+/// `3×32×32` input with thin channels, 10 classes.
+pub fn tiny_resnet(seed: u64) -> Model {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut nodes = Vec::new();
+    nodes.push(Node::Conv(conv(3, 8, 3, 1, 1, true, &mut rng)));
+    let mut ch = 8;
+    for (stage, mid) in [4usize, 8].iter().enumerate() {
+        for b in 0..2 {
+            let stride = if stage > 0 && b == 0 { 2 } else { 1 };
+            ch = bottleneck(&mut nodes, ch, *mid, stride, b == 0, &mut rng);
+        }
+    }
+    nodes.push(Node::GlobalAvgPool);
+    nodes.push(Node::Fc(fc(ch, 10, false, &mut rng)));
+    nodes.push(Node::Softmax);
+    Model {
+        name: "TinyResNet".into(),
+        input: (3, 32, 32),
+        nodes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resnet50_structure() {
+        let m = resnet50(0);
+        // 1 stem + (3+4+6+3) blocks × 3 convs + 4 projections = 53 convs.
+        assert_eq!(m.conv_count(), 1 + 16 * 3 + 4);
+        // ~25.5M parameters in the reference network; random weights have
+        // identical shapes.
+        let params = m.params();
+        assert!((24_000_000..27_500_000).contains(&params), "{params}");
+    }
+
+    #[test]
+    fn resnet101_has_more_blocks() {
+        let m = resnet101(0);
+        assert_eq!(m.conv_count(), 1 + 33 * 3 + 4);
+        assert!(m.params() > resnet50(0).params());
+    }
+
+    #[test]
+    fn vgg16_structure_and_flops() {
+        let m = vgg16(0);
+        assert_eq!(m.conv_count(), 13);
+        // Conv FLOPs of VGG-16 at batch 1 ≈ 30.7 GFLOP (2 per MAC).
+        let gflop = m.conv_flops(1) as f64 / 1e9;
+        assert!((28.0..33.0).contains(&gflop), "{gflop}");
+        // ~138M params (dominated by the classifier).
+        assert!((130_000_000..145_000_000).contains(&m.params()));
+    }
+
+    #[test]
+    fn vgg19_has_four_more_convs() {
+        assert_eq!(vgg19(0).conv_count(), vgg16(0).conv_count() + 3);
+    }
+
+    #[test]
+    fn resnet50_conv_flops_match_reference() {
+        // Reference conv-only forward cost ≈ 8.2 GFLOP at batch 1
+        // (2 FLOPs per MAC convention).
+        let gflop = resnet50(0).conv_flops(1) as f64 / 1e9;
+        assert!((7.0..9.0).contains(&gflop), "{gflop}");
+    }
+
+    #[test]
+    fn seeded_builders_are_deterministic() {
+        let a = resnet50(42);
+        let b = resnet50(42);
+        let (Node::Conv(ca), Node::Conv(cb)) = (&a.nodes[0], &b.nodes[0]) else {
+            panic!("stem must be a conv");
+        };
+        assert_eq!(ca.filter.as_slice(), cb.filter.as_slice());
+    }
+
+    #[test]
+    fn mobilenet_lite_structure() {
+        let m = mobilenet_lite(0);
+        // 1 stem + 13 dw + 13 pw = 27 conv nodes.
+        assert_eq!(m.conv_count(), 27);
+        // Depthwise flops are counted without channel reduction; the total
+        // is dominated by the pointwise stages.
+        let flops = m.conv_flops(1);
+        assert!(flops > 0);
+        let shapes = m.conv_shapes(1);
+        // conv_shapes excludes depthwise nodes (dedicated kernel).
+        assert_eq!(shapes.len(), 14);
+        // Final feature map is 7x7x256.
+        let last = shapes.last().unwrap();
+        assert_eq!((last.k, last.p(), last.q()), (256, 7, 7));
+    }
+
+    #[test]
+    fn tiny_resnet_is_small_and_well_formed() {
+        let m = tiny_resnet(1);
+        assert!(m.params() < 100_000);
+        assert_eq!(m.input, (3, 32, 32));
+        assert_eq!(m.conv_count(), 1 + 4 * 3 + 2);
+    }
+}

@@ -1,0 +1,123 @@
+//! The α microbenchmark (paper §6.2).
+//!
+//! The thread-mapping model weighs accesses to the filter (streamed:
+//! consecutive addresses, hardware prefetcher friendly) differently from
+//! accesses to the input tensor (non-streamed: strided row gathers). The
+//! paper determines the cost ratio `α ≥ 1` offline by timing both access
+//! patterns over a buffer larger than the LLC; this module reproduces that
+//! measurement.
+
+use std::time::Instant;
+
+use ndirect_tensor::AlignedBuf;
+
+/// Result of the α microbenchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct AlphaMeasurement {
+    /// Nanoseconds per element, streaming traversal.
+    pub streaming_ns: f64,
+    /// Nanoseconds per element, strided (non-streaming) traversal.
+    pub non_streaming_ns: f64,
+    /// The coefficient `α = non_streaming / streaming`, clamped to ≥ 1.
+    pub alpha: f64,
+}
+
+/// Measures α on the current machine.
+///
+/// * `buffer_bytes` should exceed the LLC so both traversals hit DRAM; the
+///   presets pass `4 × LLC`.
+/// * `reps` full traversals are timed after one warm-up pass.
+///
+/// The streaming pass reads the buffer in address order. The non-streaming
+/// pass reads it with a page-crossing stride (one element per 1024, then the
+/// next offset), defeating both spatial locality and the stride prefetcher —
+/// the same access pattern a convolution's row gathers exhibit across `H`.
+pub fn measure_alpha(buffer_bytes: usize, reps: usize) -> AlphaMeasurement {
+    let len = (buffer_bytes / 4).max(STRIDE * 4);
+    let mut buf = AlignedBuf::zeroed(len);
+    for (i, x) in buf.as_mut_slice().iter_mut().enumerate() {
+        *x = (i % 251) as f32 * 0.25;
+    }
+    let reps = reps.max(1);
+
+    let streaming_ns = time_per_element(reps, || streaming_sum(&buf), len);
+    let non_streaming_ns = time_per_element(reps, || strided_sum(&buf), len);
+
+    AlphaMeasurement {
+        streaming_ns,
+        non_streaming_ns,
+        alpha: (non_streaming_ns / streaming_ns).max(1.0),
+    }
+}
+
+const STRIDE: usize = 1024;
+
+fn time_per_element(reps: usize, mut pass: impl FnMut() -> f32, len: usize) -> f64 {
+    // Warm-up pass populates caches/TLB and forces page allocation.
+    let mut sink = pass();
+    let start = Instant::now();
+    for _ in 0..reps {
+        sink += pass();
+    }
+    let elapsed = start.elapsed().as_nanos() as f64;
+    // Keep the optimizer from deleting the loop.
+    std::hint::black_box(sink);
+    elapsed / (reps * len) as f64
+}
+
+fn streaming_sum(buf: &AlignedBuf) -> f32 {
+    let mut acc = [0.0f32; 8];
+    let chunks = buf.as_slice().chunks_exact(8);
+    let tail: f32 = chunks.remainder().iter().sum();
+    for chunk in buf.as_slice().chunks_exact(8) {
+        for (a, &x) in acc.iter_mut().zip(chunk) {
+            *a += x;
+        }
+    }
+    acc.iter().sum::<f32>() + tail
+}
+
+fn strided_sum(buf: &AlignedBuf) -> f32 {
+    let data = buf.as_slice();
+    let len = data.len();
+    let mut acc = 0.0f32;
+    // Visit every element exactly once, in stride-STRIDE passes.
+    for offset in 0..STRIDE {
+        let mut i = offset;
+        while i < len {
+            acc += data[i];
+            i += STRIDE;
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alpha_is_at_least_one() {
+        let m = measure_alpha(1 << 20, 2);
+        assert!(m.alpha >= 1.0, "alpha={}", m.alpha);
+        assert!(m.streaming_ns > 0.0);
+        assert!(m.non_streaming_ns > 0.0);
+    }
+
+    #[test]
+    fn traversals_sum_same_elements() {
+        let mut buf = AlignedBuf::zeroed(STRIDE * 3 + 7);
+        for (i, x) in buf.as_mut_slice().iter_mut().enumerate() {
+            *x = (i % 13) as f32;
+        }
+        let a = streaming_sum(&buf);
+        let b = strided_sum(&buf);
+        assert!((a - b).abs() < 1.0, "streaming={a} strided={b}");
+    }
+
+    #[test]
+    fn tiny_buffer_is_clamped_not_crashed() {
+        let m = measure_alpha(16, 1);
+        assert!(m.alpha >= 1.0);
+    }
+}

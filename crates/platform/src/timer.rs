@@ -1,0 +1,134 @@
+//! Wall-clock timing utilities for per-phase breakdowns.
+
+use std::time::{Duration, Instant};
+
+/// A restartable stopwatch accumulating named phase durations.
+///
+/// The breakdown experiments (Figure 1a) time the `im2col`, `transform`,
+/// `packing`, and `micro-kernel` phases of each baseline separately; each
+/// backend's `*_timed` entry point feeds one of these.
+#[derive(Debug, Default, Clone)]
+pub struct Stopwatch {
+    phases: Vec<(&'static str, Duration)>,
+}
+
+impl Stopwatch {
+    /// A stopwatch with no recorded phases.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Times `f`, accumulating the elapsed wall time under `phase`.
+    pub fn time<T>(&mut self, phase: &'static str, f: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let out = f();
+        self.add(phase, start.elapsed());
+        out
+    }
+
+    /// Adds an externally measured duration under `phase`.
+    pub fn add(&mut self, phase: &'static str, d: Duration) {
+        if let Some(entry) = self.phases.iter_mut().find(|(p, _)| *p == phase) {
+            entry.1 += d;
+        } else {
+            self.phases.push((phase, d));
+        }
+    }
+
+    /// Accumulated duration of one phase (zero if never recorded).
+    pub fn get(&self, phase: &str) -> Duration {
+        self.phases
+            .iter()
+            .find(|(p, _)| *p == phase)
+            .map(|(_, d)| *d)
+            .unwrap_or_default()
+    }
+
+    /// Total across all phases.
+    pub fn total(&self) -> Duration {
+        self.phases.iter().map(|(_, d)| *d).sum()
+    }
+
+    /// All `(phase, duration)` pairs in first-recorded order.
+    pub fn phases(&self) -> &[(&'static str, Duration)] {
+        &self.phases
+    }
+
+    /// Each phase's share of the total, in percent (Figure 1a's y-axis).
+    pub fn percentages(&self) -> Vec<(&'static str, f64)> {
+        let total = self.total().as_secs_f64();
+        self.phases
+            .iter()
+            .map(|(p, d)| {
+                let pct = if total > 0.0 {
+                    100.0 * d.as_secs_f64() / total
+                } else {
+                    0.0
+                };
+                (*p, pct)
+            })
+            .collect()
+    }
+
+    /// Merges another stopwatch's phases into this one (for averaging over
+    /// repetitions).
+    pub fn merge(&mut self, other: &Stopwatch) {
+        for (p, d) in &other.phases {
+            self.add(p, *d);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_records_and_returns() {
+        let mut sw = Stopwatch::new();
+        let v = sw.time("work", || 21 * 2);
+        assert_eq!(v, 42);
+        assert!(sw.get("work") > Duration::ZERO || sw.get("work") == Duration::ZERO);
+        assert_eq!(sw.phases().len(), 1);
+    }
+
+    #[test]
+    fn repeated_phases_accumulate() {
+        let mut sw = Stopwatch::new();
+        sw.add("a", Duration::from_millis(10));
+        sw.add("a", Duration::from_millis(5));
+        sw.add("b", Duration::from_millis(5));
+        assert_eq!(sw.get("a"), Duration::from_millis(15));
+        assert_eq!(sw.total(), Duration::from_millis(20));
+    }
+
+    #[test]
+    fn percentages_sum_to_hundred() {
+        let mut sw = Stopwatch::new();
+        sw.add("x", Duration::from_millis(30));
+        sw.add("y", Duration::from_millis(70));
+        let pct = sw.percentages();
+        let sum: f64 = pct.iter().map(|(_, p)| p).sum();
+        assert!((sum - 100.0).abs() < 1e-9);
+        assert!((pct[1].1 - 70.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_stopwatch_has_zero_percentages() {
+        let sw = Stopwatch::new();
+        assert!(sw.percentages().is_empty());
+        assert_eq!(sw.total(), Duration::ZERO);
+    }
+
+    #[test]
+    fn merge_combines_phase_lists() {
+        let mut a = Stopwatch::new();
+        a.add("p", Duration::from_millis(1));
+        let mut b = Stopwatch::new();
+        b.add("p", Duration::from_millis(2));
+        b.add("q", Duration::from_millis(3));
+        a.merge(&b);
+        assert_eq!(a.get("p"), Duration::from_millis(3));
+        assert_eq!(a.get("q"), Duration::from_millis(3));
+    }
+}

@@ -1,0 +1,138 @@
+//! Integer SIMD for the INT16 convolution path (§3.3's "other data
+//! types"). The workhorse is the pairwise multiply-accumulate every
+//! quantized kernel is built on: 8 × i16 products summed in pairs into
+//! 4 × i32 lanes (`pmaddwd` on x86, `smlal`/`vmlal_s16` on NEON).
+
+/// Eight `i16` lanes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct I16x8(pub [i16; 8]);
+
+/// Four `i32` lanes (the accumulator type for INT16 kernels).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct I32x4(pub [i32; 4]);
+
+impl I16x8 {
+    /// Loads eight consecutive values.
+    #[inline(always)]
+    pub fn load(src: &[i16]) -> Self {
+        let mut a = [0i16; 8];
+        a.copy_from_slice(&src[..8]);
+        I16x8(a)
+    }
+
+    /// Broadcasts an adjacent pair `(lo, hi)` into all four pair slots —
+    /// the input operand of the pair-broadcast MAC (one 32-bit splat on
+    /// real ISAs).
+    #[inline(always)]
+    pub fn splat_pair(lo: i16, hi: i16) -> Self {
+        I16x8([lo, hi, lo, hi, lo, hi, lo, hi])
+    }
+}
+
+impl I32x4 {
+    /// Vector of four zeros.
+    #[inline(always)]
+    pub fn zero() -> Self {
+        I32x4([0; 4])
+    }
+
+    /// Lane-wise wrapping addition (named distinctly from `ops::Add` on
+    /// purpose: wrapping semantics).
+    #[inline(always)]
+    #[allow(clippy::should_implement_trait)]
+    pub fn add(self, rhs: Self) -> Self {
+        let mut out = self.0;
+        for (o, r) in out.iter_mut().zip(rhs.0) {
+            *o = o.wrapping_add(r);
+        }
+        I32x4(out)
+    }
+
+    /// `self[i] += a[2i]·b[2i] + a[2i+1]·b[2i+1]` — the pairwise
+    /// multiply-accumulate (`pmaddwd` semantics; products widen to i32
+    /// before the sum, so no i16 overflow is possible).
+    #[inline(always)]
+    pub fn madd_acc(self, a: I16x8, b: I16x8) -> Self {
+        #[cfg(all(target_arch = "x86_64", not(feature = "force-scalar")))]
+        // SAFETY: SSE2 is in the x86_64 baseline; all loads/stores go
+        // through properly sized local arrays.
+        unsafe {
+            use core::arch::x86_64::*;
+            let va = _mm_loadu_si128(a.0.as_ptr() as *const __m128i);
+            let vb = _mm_loadu_si128(b.0.as_ptr() as *const __m128i);
+            let prod = _mm_madd_epi16(va, vb);
+            let acc = _mm_loadu_si128(self.0.as_ptr() as *const __m128i);
+            let sum = _mm_add_epi32(acc, prod);
+            let mut out = [0i32; 4];
+            _mm_storeu_si128(out.as_mut_ptr() as *mut __m128i, sum);
+            I32x4(out)
+        }
+        #[cfg(not(all(target_arch = "x86_64", not(feature = "force-scalar"))))]
+        {
+            let mut out = self.0;
+            for i in 0..4 {
+                let p = a.0[2 * i] as i32 * b.0[2 * i] as i32
+                    + a.0[2 * i + 1] as i32 * b.0[2 * i + 1] as i32;
+                out[i] = out[i].wrapping_add(p);
+            }
+            I32x4(out)
+        }
+    }
+
+    /// Stores the four lanes.
+    #[inline(always)]
+    pub fn store(self, dst: &mut [i32]) {
+        dst[..4].copy_from_slice(&self.0);
+    }
+
+    /// The lanes as an array.
+    #[inline(always)]
+    pub fn to_array(self) -> [i32; 4] {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn madd_matches_scalar_reference() {
+        let a = I16x8([1, 2, 3, 4, -5, 6, 7, -8]);
+        let b = I16x8([10, 20, 30, 40, 50, 60, -70, 80]);
+        let acc = I32x4([100, 200, 300, 400]);
+        let got = acc.madd_acc(a, b).to_array();
+        let expect = [
+            100 + 10 + 2 * 20,
+            200 + 3 * 30 + 4 * 40,
+            300 + -5 * 50 + 6 * 60,
+            400 + 7 * -70 + -8 * 80,
+        ];
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn madd_handles_extremes_without_i16_overflow() {
+        // i16::MIN * i16::MIN * 2 fits i32 after widening (pmaddwd's one
+        // saturation corner is (MIN,MIN)·(MIN,MIN); avoid asserting it).
+        let a = I16x8([i16::MAX; 8]);
+        let b = I16x8([i16::MAX; 8]);
+        let got = I32x4::zero().madd_acc(a, b).to_array();
+        let p = i16::MAX as i32 * i16::MAX as i32;
+        assert_eq!(got, [2 * p; 4]);
+    }
+
+    #[test]
+    fn splat_pair_layout() {
+        let v = I16x8::splat_pair(3, -4);
+        assert_eq!(v.0, [3, -4, 3, -4, 3, -4, 3, -4]);
+    }
+
+    #[test]
+    fn add_and_store() {
+        let a = I32x4([1, 2, 3, 4]).add(I32x4([10, 20, 30, 40]));
+        let mut out = [0i32; 4];
+        a.store(&mut out);
+        assert_eq!(out, [11, 22, 33, 44]);
+    }
+}

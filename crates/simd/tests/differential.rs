@@ -1,0 +1,93 @@
+//! Differential property tests: the native SIMD backend must agree with
+//! the scalar reference on random inputs for every operation, within FMA
+//! rounding.
+
+use ndirect_simd::{F32x4, F32x4Scalar, SimdVec};
+use proptest::prelude::*;
+
+fn close(a: f32, b: f32) -> bool {
+    (a - b).abs() <= 1e-5 * a.abs().max(b.abs()).max(1.0)
+}
+
+fn arr() -> impl Strategy<Value = [f32; 4]> {
+    prop::array::uniform4(-100.0f32..100.0)
+}
+
+proptest! {
+    #[test]
+    fn add_sub_mul_max_agree(a in arr(), b in arr()) {
+        let (na, nb) = (F32x4::from_array(a), F32x4::from_array(b));
+        let (sa, sb) = (F32x4Scalar::from_array(a), F32x4Scalar::from_array(b));
+        prop_assert_eq!(na.add(nb).to_array(), sa.add(sb).to_array());
+        prop_assert_eq!(na.sub(nb).to_array(), sa.sub(sb).to_array());
+        prop_assert_eq!(na.mul(nb).to_array(), sa.mul(sb).to_array());
+        prop_assert_eq!(na.max(nb).to_array(), sa.max(sb).to_array());
+    }
+
+    #[test]
+    fn fma_agrees_within_rounding(acc in arr(), a in arr(), b in arr()) {
+        let n = F32x4::from_array(acc)
+            .fma(F32x4::from_array(a), F32x4::from_array(b))
+            .to_array();
+        let s = F32x4Scalar::from_array(acc)
+            .fma(F32x4Scalar::from_array(a), F32x4Scalar::from_array(b))
+            .to_array();
+        for l in 0..4 {
+            prop_assert!(close(n[l], s[l]), "lane {l}: {} vs {}", n[l], s[l]);
+        }
+    }
+
+    #[test]
+    fn fma_lane_agrees_for_every_lane(acc in arr(), a in arr(), b in arr()) {
+        macro_rules! check_lane {
+            ($lane:literal) => {{
+                let n = F32x4::from_array(acc)
+                    .fma_lane::<$lane>(F32x4::from_array(a), F32x4::from_array(b))
+                    .to_array();
+                let s = F32x4Scalar::from_array(acc)
+                    .fma_lane::<$lane>(F32x4Scalar::from_array(a), F32x4Scalar::from_array(b))
+                    .to_array();
+                for l in 0..4 {
+                    prop_assert!(close(n[l], s[l]), "lane const {} idx {l}", $lane);
+                }
+            }};
+        }
+        check_lane!(0);
+        check_lane!(1);
+        check_lane!(2);
+        check_lane!(3);
+    }
+
+    #[test]
+    fn reduce_sum_agrees(a in arr()) {
+        let n = F32x4::from_array(a).reduce_sum();
+        let s = F32x4Scalar::from_array(a).reduce_sum();
+        prop_assert!(close(n, s), "{n} vs {s}");
+    }
+
+    #[test]
+    fn load_store_round_trip(a in arr()) {
+        let mut out = [0.0f32; 4];
+        F32x4::from_array(a).store(&mut out);
+        prop_assert_eq!(out, a);
+        let mut padded = [0.0f32; 7];
+        padded[..4].copy_from_slice(&a);
+        prop_assert_eq!(F32x4::load(&padded).to_array(), a);
+    }
+
+    #[test]
+    fn splat_fills_lanes(v in -1e6f32..1e6) {
+        prop_assert_eq!(F32x4::splat(v).to_array(), [v; 4]);
+    }
+}
+
+#[test]
+fn special_values_pass_through() {
+    let a = [f32::INFINITY, f32::NEG_INFINITY, 0.0, -0.0];
+    let x = F32x4::from_array(a);
+    assert_eq!(x.add(F32x4::zero()).to_array()[0], f32::INFINITY);
+    assert_eq!(x.to_array()[1], f32::NEG_INFINITY);
+    // NaN propagates through fma.
+    let nan = F32x4::splat(f32::NAN);
+    assert!(nan.fma(F32x4::splat(1.0), F32x4::splat(1.0)).to_array()[0].is_nan());
+}

@@ -1,0 +1,221 @@
+//! Cache-line-aligned FP32 storage.
+//!
+//! All kernel buffers in the workspace are allocated through [`AlignedBuf`]
+//! so that vector loads/stores in the micro-kernels are naturally aligned and
+//! never straddle a cache line. 64 bytes covers the line size of every
+//! platform in the paper's Table 3.
+
+use std::alloc::{alloc_zeroed, dealloc, handle_alloc_error, Layout};
+use std::ops::{Deref, DerefMut, Index, IndexMut};
+
+/// Alignment (bytes) for all tensor storage: one cache line on every
+/// evaluation platform, and ≥ the 16-byte NEON/SSE vector alignment.
+pub const BUF_ALIGN: usize = 64;
+
+/// A heap buffer of `f32` guaranteed to start on a [`BUF_ALIGN`]-byte
+/// boundary, zero-initialized at allocation.
+///
+/// Unlike `Vec<f32>`, the alignment is part of the type's contract, which the
+/// SIMD micro-kernels rely on for aligned vector loads of *packed* buffers
+/// (packing always writes from the start of an `AlignedBuf`).
+pub struct AlignedBuf {
+    ptr: *mut f32,
+    len: usize,
+}
+
+// SAFETY: `AlignedBuf` uniquely owns its allocation; `f32` is `Send + Sync`.
+unsafe impl Send for AlignedBuf {}
+unsafe impl Sync for AlignedBuf {}
+
+impl AlignedBuf {
+    /// Allocates a zero-filled buffer of `len` floats.
+    ///
+    /// A `len` of 0 is valid and performs no allocation.
+    pub fn zeroed(len: usize) -> Self {
+        if len == 0 {
+            return Self {
+                ptr: std::ptr::NonNull::<f32>::dangling().as_ptr(),
+                len: 0,
+            };
+        }
+        let layout = Self::layout(len);
+        // SAFETY: `layout` has non-zero size (len > 0) and valid alignment.
+        let raw = unsafe { alloc_zeroed(layout) };
+        if raw.is_null() {
+            handle_alloc_error(layout);
+        }
+        Self {
+            ptr: raw.cast::<f32>(),
+            len,
+        }
+    }
+
+    /// Builds a buffer by copying `src`.
+    pub fn from_slice(src: &[f32]) -> Self {
+        let mut buf = Self::zeroed(src.len());
+        buf.as_mut_slice().copy_from_slice(src);
+        buf
+    }
+
+    fn layout(len: usize) -> Layout {
+        Layout::from_size_align(len * std::mem::size_of::<f32>(), BUF_ALIGN)
+            .expect("buffer size overflows Layout")
+    }
+
+    /// Number of floats in the buffer.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the buffer holds no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Immutable view of the whole buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        // SAFETY: `ptr` is valid for `len` initialized floats for the
+        // lifetime of `self` (zeroed at allocation, only mutated through
+        // `&mut self`).
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+
+    /// Mutable view of the whole buffer.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        // SAFETY: as above, plus `&mut self` guarantees uniqueness.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr, self.len) }
+    }
+
+    /// Raw const pointer to the first element.
+    #[inline]
+    pub fn as_ptr(&self) -> *const f32 {
+        self.ptr
+    }
+
+    /// Raw mutable pointer to the first element.
+    #[inline]
+    pub fn as_mut_ptr(&mut self) -> *mut f32 {
+        self.ptr
+    }
+
+    /// Resets every element to zero.
+    pub fn fill_zero(&mut self) {
+        self.as_mut_slice().fill(0.0);
+    }
+}
+
+impl Drop for AlignedBuf {
+    fn drop(&mut self) {
+        if self.len != 0 {
+            // SAFETY: allocated in `zeroed` with the identical layout.
+            unsafe { dealloc(self.ptr.cast::<u8>(), Self::layout(self.len)) };
+        }
+    }
+}
+
+impl Clone for AlignedBuf {
+    fn clone(&self) -> Self {
+        Self::from_slice(self.as_slice())
+    }
+}
+
+impl Deref for AlignedBuf {
+    type Target = [f32];
+    #[inline]
+    fn deref(&self) -> &[f32] {
+        self.as_slice()
+    }
+}
+
+impl DerefMut for AlignedBuf {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut [f32] {
+        self.as_mut_slice()
+    }
+}
+
+impl<I: std::slice::SliceIndex<[f32]>> Index<I> for AlignedBuf {
+    type Output = I::Output;
+    #[inline]
+    fn index(&self, i: I) -> &I::Output {
+        &self.as_slice()[i]
+    }
+}
+
+impl<I: std::slice::SliceIndex<[f32]>> IndexMut<I> for AlignedBuf {
+    #[inline]
+    fn index_mut(&mut self, i: I) -> &mut I::Output {
+        &mut self.as_mut_slice()[i]
+    }
+}
+
+impl std::fmt::Debug for AlignedBuf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "AlignedBuf(len={})", self.len)
+    }
+}
+
+impl PartialEq for AlignedBuf {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alignment_is_64_bytes() {
+        for len in [1, 3, 16, 1000, 4097] {
+            let buf = AlignedBuf::zeroed(len);
+            assert_eq!(buf.as_ptr() as usize % BUF_ALIGN, 0, "len={len}");
+        }
+    }
+
+    #[test]
+    fn zeroed_contents() {
+        let buf = AlignedBuf::zeroed(129);
+        assert!(buf.iter().all(|&x| x == 0.0));
+        assert_eq!(buf.len(), 129);
+    }
+
+    #[test]
+    fn empty_buffer_is_usable() {
+        let buf = AlignedBuf::zeroed(0);
+        assert!(buf.is_empty());
+        assert_eq!(buf.as_slice(), &[] as &[f32]);
+        let _clone = buf.clone();
+    }
+
+    #[test]
+    fn from_slice_round_trips() {
+        let data: Vec<f32> = (0..77).map(|i| i as f32 * 0.5).collect();
+        let buf = AlignedBuf::from_slice(&data);
+        assert_eq!(buf.as_slice(), data.as_slice());
+    }
+
+    #[test]
+    fn clone_is_deep() {
+        let mut a = AlignedBuf::from_slice(&[1.0, 2.0, 3.0]);
+        let b = a.clone();
+        a[0] = 9.0;
+        assert_eq!(b[0], 1.0);
+        assert_eq!(a[0], 9.0);
+    }
+
+    #[test]
+    fn write_then_read() {
+        let mut buf = AlignedBuf::zeroed(8);
+        for i in 0..8 {
+            buf[i] = (i * i) as f32;
+        }
+        assert_eq!(buf[7], 49.0);
+        buf.fill_zero();
+        assert!(buf.iter().all(|&x| x == 0.0));
+    }
+}

@@ -1,0 +1,282 @@
+//! Channel-blocked layouts used by the LIBXSMM-style baseline.
+//!
+//! LIBXSMM's direct convolution converts `NCHW` activations into
+//! `NCHWc = [N, ⌈C/c⌉, H, W, c]` and `KCRS` filters into
+//! `[⌈K/k⌉, ⌈C/c⌉, R, S, c, k]` (the paper's §2.3). The innermost block sizes
+//! `c`/`k` match the vector length so the BRGEMM micro-kernel reads and
+//! writes unit-stride vectors.
+
+use crate::alloc::AlignedBuf;
+use crate::tensor::{ActLayout, Filter, Tensor4};
+
+/// Activation tensor in `NCHWc` blocked layout.
+///
+/// Channels are split into `⌈C/cb⌉` blocks of `cb`; the trailing partial
+/// block (when `C % cb != 0`) is zero-padded, which keeps the micro-kernel
+/// free of channel-tail branches.
+#[derive(Debug, Clone)]
+pub struct BlockedTensor {
+    data: AlignedBuf,
+    n: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+    /// Channel block size (`c` in `NCHWc`).
+    cb: usize,
+}
+
+impl BlockedTensor {
+    /// Zero-filled blocked tensor.
+    pub fn zeros(n: usize, c: usize, h: usize, w: usize, cb: usize) -> Self {
+        assert!(cb >= 1);
+        let cblocks = c.div_ceil(cb);
+        Self {
+            data: AlignedBuf::zeroed(n * cblocks * h * w * cb),
+            n,
+            c,
+            h,
+            w,
+            cb,
+        }
+    }
+
+    /// Converts a logical `NCHW`/`NHWC` tensor into `NCHWc`.
+    pub fn from_tensor(t: &Tensor4, cb: usize) -> Self {
+        let (n, c, h, w) = t.dims();
+        let mut out = Self::zeros(n, c, h, w, cb);
+        for ni in 0..n {
+            for ci in 0..c {
+                for hi in 0..h {
+                    for wi in 0..w {
+                        let off = out.offset(ni, ci, hi, wi);
+                        out.data[off] = t.at(ni, ci, hi, wi);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Converts back into a dense tensor in `layout`, dropping block padding.
+    pub fn to_tensor(&self, layout: ActLayout) -> Tensor4 {
+        let mut out = Tensor4::zeros(self.n, self.c, self.h, self.w, layout);
+        for ni in 0..self.n {
+            for ci in 0..self.c {
+                for hi in 0..self.h {
+                    for wi in 0..self.w {
+                        *out.at_mut(ni, ci, hi, wi) = self.data[self.offset(ni, ci, hi, wi)];
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Logical dims `(n, c, h, w)` (unpadded channel count).
+    #[inline]
+    pub fn dims(&self) -> (usize, usize, usize, usize) {
+        (self.n, self.c, self.h, self.w)
+    }
+
+    /// Channel block size.
+    #[inline]
+    pub fn cb(&self) -> usize {
+        self.cb
+    }
+
+    /// Number of channel blocks (`⌈C/cb⌉`).
+    #[inline]
+    pub fn cblocks(&self) -> usize {
+        self.c.div_ceil(self.cb)
+    }
+
+    /// Physical offset of logical `(n, c, h, w)`.
+    #[inline]
+    pub fn offset(&self, n: usize, c: usize, h: usize, w: usize) -> usize {
+        let (blk, lane) = (c / self.cb, c % self.cb);
+        (((n * self.cblocks() + blk) * self.h + h) * self.w + w) * self.cb + lane
+    }
+
+    /// Offset of the start of `(n, cblock, h, w)`'s lane vector.
+    #[inline]
+    pub fn block_offset(&self, n: usize, cblock: usize, h: usize, w: usize) -> usize {
+        (((n * self.cblocks() + cblock) * self.h + h) * self.w + w) * self.cb
+    }
+
+    /// Raw backing storage.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable raw backing storage.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+}
+
+/// Filter tensor in `[⌈K/kb⌉, ⌈C/cb⌉, R, S, cb, kb]` blocked layout.
+#[derive(Debug, Clone)]
+pub struct BlockedFilter {
+    data: AlignedBuf,
+    k: usize,
+    c: usize,
+    r: usize,
+    s: usize,
+    cb: usize,
+    kb: usize,
+}
+
+impl BlockedFilter {
+    /// Zero-filled blocked filter.
+    pub fn zeros(k: usize, c: usize, r: usize, s: usize, cb: usize, kb: usize) -> Self {
+        assert!(cb >= 1 && kb >= 1);
+        let kblocks = k.div_ceil(kb);
+        let cblocks = c.div_ceil(cb);
+        Self {
+            data: AlignedBuf::zeroed(kblocks * cblocks * r * s * cb * kb),
+            k,
+            c,
+            r,
+            s,
+            cb,
+            kb,
+        }
+    }
+
+    /// Converts a logical filter into blocked layout (partial blocks are
+    /// zero-padded).
+    pub fn from_filter(f: &Filter, cb: usize, kb: usize) -> Self {
+        let (k, c, r, s) = f.dims();
+        let mut out = Self::zeros(k, c, r, s, cb, kb);
+        for ki in 0..k {
+            for ci in 0..c {
+                for ri in 0..r {
+                    for si in 0..s {
+                        let off = out.offset(ki, ci, ri, si);
+                        out.data[off] = f.at(ki, ci, ri, si);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Logical dims `(k, c, r, s)`.
+    #[inline]
+    pub fn dims(&self) -> (usize, usize, usize, usize) {
+        (self.k, self.c, self.r, self.s)
+    }
+
+    /// Input-channel block size.
+    #[inline]
+    pub fn cb(&self) -> usize {
+        self.cb
+    }
+
+    /// Output-channel block size.
+    #[inline]
+    pub fn kb(&self) -> usize {
+        self.kb
+    }
+
+    /// Number of K blocks.
+    #[inline]
+    pub fn kblocks(&self) -> usize {
+        self.k.div_ceil(self.kb)
+    }
+
+    /// Number of C blocks.
+    #[inline]
+    pub fn cblocks(&self) -> usize {
+        self.c.div_ceil(self.cb)
+    }
+
+    /// Physical offset of logical `(k, c, r, s)`.
+    #[inline]
+    pub fn offset(&self, k: usize, c: usize, r: usize, s: usize) -> usize {
+        let (kblk, klane) = (k / self.kb, k % self.kb);
+        let (cblk, clane) = (c / self.cb, c % self.cb);
+        ((((kblk * self.cblocks() + cblk) * self.r + r) * self.s + s) * self.cb + clane) * self.kb
+            + klane
+    }
+
+    /// Offset of the `kb`-wide vector for `(kblock, cblock, r, s, clane)`.
+    #[inline]
+    pub fn vector_offset(&self, kblock: usize, cblock: usize, r: usize, s: usize, clane: usize) -> usize {
+        ((((kblock * self.cblocks() + cblock) * self.r + r) * self.s + s) * self.cb + clane)
+            * self.kb
+    }
+
+    /// Raw backing storage.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fill;
+
+    #[test]
+    fn blocked_tensor_round_trip_exact_blocks() {
+        let mut t = Tensor4::zeros(2, 8, 3, 3, ActLayout::Nchw);
+        fill::fill_iota(t.as_mut_slice());
+        let b = BlockedTensor::from_tensor(&t, 4);
+        assert_eq!(b.cblocks(), 2);
+        let back = b.to_tensor(ActLayout::Nchw);
+        assert_eq!(back.as_slice(), t.as_slice());
+    }
+
+    #[test]
+    fn blocked_tensor_round_trip_partial_block() {
+        let mut t = Tensor4::zeros(1, 5, 2, 2, ActLayout::Nchw);
+        fill::fill_iota(t.as_mut_slice());
+        let b = BlockedTensor::from_tensor(&t, 4);
+        assert_eq!(b.cblocks(), 2);
+        // Padding lanes stay zero.
+        let pad_off = b.offset(0, 4, 0, 0) + 1; // lane 5..8 of second block
+        assert_eq!(b.as_slice()[pad_off], 0.0);
+        let back = b.to_tensor(ActLayout::Nchw);
+        assert_eq!(back.as_slice(), t.as_slice());
+    }
+
+    #[test]
+    fn blocked_tensor_lane_is_innermost() {
+        let t = Tensor4::zeros(1, 8, 2, 2, ActLayout::Nchw);
+        let b = BlockedTensor::from_tensor(&t, 4);
+        assert_eq!(b.offset(0, 1, 0, 0), b.offset(0, 0, 0, 0) + 1);
+        assert_eq!(b.offset(0, 0, 0, 1), b.offset(0, 0, 0, 0) + 4);
+        assert_eq!(b.offset(0, 4, 0, 0), b.block_offset(0, 1, 0, 0));
+    }
+
+    #[test]
+    fn blocked_filter_round_trip_values() {
+        let mut f = Filter::zeros(6, 5, 3, 3, crate::tensor::FilterLayout::Kcrs);
+        fill::fill_iota(f.as_mut_slice());
+        let b = BlockedFilter::from_filter(&f, 4, 4);
+        assert_eq!(b.kblocks(), 2);
+        assert_eq!(b.cblocks(), 2);
+        for k in 0..6 {
+            for c in 0..5 {
+                for r in 0..3 {
+                    for s in 0..3 {
+                        assert_eq!(b.as_slice()[b.offset(k, c, r, s)], f.at(k, c, r, s));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_filter_klane_innermost() {
+        let f = Filter::zeros(8, 8, 1, 1, crate::tensor::FilterLayout::Kcrs);
+        let b = BlockedFilter::from_filter(&f, 4, 4);
+        assert_eq!(b.offset(1, 0, 0, 0), b.offset(0, 0, 0, 0) + 1);
+        assert_eq!(b.offset(0, 1, 0, 0), b.offset(0, 0, 0, 0) + 4);
+        assert_eq!(b.vector_offset(0, 0, 0, 0, 1), 4);
+    }
+}

@@ -1,0 +1,92 @@
+//! Numeric comparison utilities for validating kernels against the oracle.
+
+/// Maximum absolute element-wise difference. Panics on length mismatch.
+pub fn max_abs_diff(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "length mismatch: {} vs {}", a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0f32, f32::max)
+}
+
+/// Maximum relative difference `|a−b| / max(|a|,|b|,1)`.
+///
+/// The `1` floor keeps near-zero outputs from exploding the metric; it suits
+/// convolution outputs whose magnitudes are O(√(C·R·S)) for unit-variance
+/// inputs.
+pub fn max_rel_diff(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "length mismatch: {} vs {}", a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs() / x.abs().max(y.abs()).max(1.0))
+        .fold(0.0f32, f32::max)
+}
+
+/// Default tolerance for comparing two FP32 convolution implementations that
+/// reduce in different orders. `C·R·S` up to ~2·10⁴ with [-1,1) data keeps
+/// accumulated error well under this bound.
+pub const DEFAULT_TOL: f32 = 2e-4;
+
+/// Asserts element-wise closeness under [`max_rel_diff`], printing the first
+/// offending index on failure.
+#[track_caller]
+pub fn assert_close(actual: &[f32], expected: &[f32], tol: f32, what: &str) {
+    assert_eq!(
+        actual.len(),
+        expected.len(),
+        "{what}: length mismatch {} vs {}",
+        actual.len(),
+        expected.len()
+    );
+    for (i, (x, y)) in actual.iter().zip(expected).enumerate() {
+        let denom = x.abs().max(y.abs()).max(1.0);
+        let rel = (x - y).abs() / denom;
+        assert!(
+            rel <= tol && x.is_finite(),
+            "{what}: mismatch at index {i}: actual={x}, expected={y}, rel={rel:e} > tol={tol:e}"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_slices_have_zero_diff() {
+        let a = [1.0, -2.0, 3.5];
+        assert_eq!(max_abs_diff(&a, &a), 0.0);
+        assert_eq!(max_rel_diff(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn abs_diff_finds_worst_element() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [1.0, 2.5, 3.1];
+        assert!((max_abs_diff(&a, &b) - 0.5).abs() < 1e-7);
+    }
+
+    #[test]
+    fn rel_diff_floors_denominator_at_one() {
+        let a = [1e-8];
+        let b = [2e-8];
+        assert!(max_rel_diff(&a, &b) < 1e-7);
+    }
+
+    #[test]
+    fn assert_close_accepts_within_tol() {
+        assert_close(&[100.0, 0.0], &[100.01, 1e-6], 2e-4, "test");
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch at index 1")]
+    fn assert_close_rejects_and_names_index() {
+        assert_close(&[1.0, 2.0], &[1.0, 3.0], 1e-4, "unit");
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch at index 0")]
+    fn assert_close_rejects_nan() {
+        assert_close(&[f32::NAN], &[f32::NAN], 1e-4, "nan");
+    }
+}

@@ -1,0 +1,79 @@
+//! Standalone layout conversions.
+//!
+//! These free functions exist (in addition to the `to_layout` methods) so the
+//! benchmark harness can time the *format conversion* step of each approach
+//! in isolation — the cost the paper's Figure 1a attributes to LIBXSMM when
+//! it is fed mainstream `NCHW` data.
+
+use crate::blocked::{BlockedFilter, BlockedTensor};
+use crate::tensor::{ActLayout, Filter, FilterLayout, Tensor4};
+
+/// `NCHW → NHWC` (or the reverse), returning a new tensor.
+pub fn convert_activation(t: &Tensor4, target: ActLayout) -> Tensor4 {
+    t.to_layout(target)
+}
+
+/// `KCRS → KRSC` (or the reverse), returning a new filter.
+pub fn convert_filter(f: &Filter, target: FilterLayout) -> Filter {
+    f.to_layout(target)
+}
+
+/// `NCHW/NHWC → NCHWc` with channel block `cb` (LIBXSMM input format).
+pub fn to_blocked_activation(t: &Tensor4, cb: usize) -> BlockedTensor {
+    BlockedTensor::from_tensor(t, cb)
+}
+
+/// `NCHWc → NCHW/NHWC`.
+pub fn from_blocked_activation(b: &BlockedTensor, layout: ActLayout) -> Tensor4 {
+    b.to_tensor(layout)
+}
+
+/// `KCRS/KRSC → [⌈K/kb⌉,⌈C/cb⌉,R,S,cb,kb]` (LIBXSMM filter format).
+pub fn to_blocked_filter(f: &Filter, cb: usize, kb: usize) -> BlockedFilter {
+    BlockedFilter::from_filter(f, cb, kb)
+}
+
+/// Bytes moved by an activation layout conversion (read + write), for
+/// bandwidth accounting in the breakdown experiments.
+pub fn activation_conversion_bytes(t: &Tensor4) -> u64 {
+    2 * (t.len() as u64) * std::mem::size_of::<f32>() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fill;
+
+    #[test]
+    fn activation_conversion_round_trip() {
+        let mut t = Tensor4::zeros(2, 3, 4, 5, ActLayout::Nchw);
+        fill::fill_random(t.as_mut_slice(), 3);
+        let u = convert_activation(&t, ActLayout::Nhwc);
+        let back = convert_activation(&u, ActLayout::Nchw);
+        assert_eq!(back.as_slice(), t.as_slice());
+    }
+
+    #[test]
+    fn blocked_activation_round_trip() {
+        let mut t = Tensor4::zeros(2, 6, 3, 3, ActLayout::Nchw);
+        fill::fill_random(t.as_mut_slice(), 4);
+        let b = to_blocked_activation(&t, 4);
+        let back = from_blocked_activation(&b, ActLayout::Nchw);
+        assert_eq!(back.as_slice(), t.as_slice());
+    }
+
+    #[test]
+    fn filter_conversion_round_trip() {
+        let mut f = Filter::zeros(3, 5, 2, 2, FilterLayout::Kcrs);
+        fill::fill_random(f.as_mut_slice(), 5);
+        let g = convert_filter(&f, FilterLayout::Krsc);
+        let back = convert_filter(&g, FilterLayout::Kcrs);
+        assert_eq!(back.as_slice(), f.as_slice());
+    }
+
+    #[test]
+    fn conversion_bytes_counts_read_plus_write() {
+        let t = Tensor4::zeros(1, 2, 2, 2, ActLayout::Nchw);
+        assert_eq!(activation_conversion_bytes(&t), 2 * 8 * 4);
+    }
+}

@@ -1,0 +1,38 @@
+//! Dense FP32 tensors and data-layout machinery for the nDirect workspace.
+//!
+//! The paper ("Optimizing Direct Convolutions on ARM Multi-Cores", SC'23)
+//! centres on *data-layout compatibility*: nDirect keeps the mainstream
+//! `NCHW`/`NHWC` activation layouts and only re-lays-out the small filter
+//! tensor on the fly. This crate provides:
+//!
+//! * [`AlignedBuf`] — 64-byte-aligned FP32 storage so SIMD loads never split
+//!   cache lines;
+//! * [`ConvShape`] — the notation of the paper's Table 1 (`N,C,H,W,K,R,S,str`
+//!   plus padding) with derived output sizes and FLOP accounting;
+//! * [`Tensor4`] — a 4-D tensor carrying an activation layout
+//!   ([`ActLayout::Nchw`] / [`ActLayout::Nhwc`]);
+//! * [`Filter`] — a 4-D filter tensor carrying [`FilterLayout::Kcrs`] or
+//!   [`FilterLayout::Krsc`];
+//! * [`BlockedTensor`] / [`BlockedFilter`] — the `NCHWc` and `KCRSck` blocked
+//!   layouts used by the LIBXSMM-style baseline;
+//! * conversion routines between all of the above, zero-padding helpers,
+//!   deterministic random fills, and numeric comparison utilities.
+
+#![warn(missing_docs)]
+
+pub mod alloc;
+pub mod blocked;
+pub mod compare;
+pub mod convert;
+pub mod fill;
+pub mod pad;
+pub mod shape;
+pub mod tensor;
+pub mod tensor5;
+
+pub use alloc::AlignedBuf;
+pub use blocked::{BlockedFilter, BlockedTensor};
+pub use compare::{assert_close, max_abs_diff, max_rel_diff};
+pub use shape::{ConvShape, Padding};
+pub use tensor::{ActLayout, Filter, FilterLayout, Tensor4};
+pub use tensor5::{Filter5, Tensor5};

@@ -1,0 +1,121 @@
+//! Spatial zero-padding.
+//!
+//! Backends that do not handle borders implicitly (naive oracle, the
+//! LIBXSMM-style blocked baseline) materialize a padded input once; nDirect's
+//! packing micro-kernel instead zero-fills border lanes while gathering, so
+//! it never calls these helpers on the hot path.
+
+use crate::shape::Padding;
+use crate::tensor::{ActLayout, Tensor4};
+
+/// Returns a copy of `t` with `pad.h` rows / `pad.w` columns of zeros on each
+/// spatial border. With `Padding::NONE` this is a plain clone.
+pub fn pad_input(t: &Tensor4, pad: Padding) -> Tensor4 {
+    if pad.h == 0 && pad.w == 0 {
+        return t.clone();
+    }
+    let (n, c, h, w) = t.dims();
+    let mut out = Tensor4::zeros(n, c, h + 2 * pad.h, w + 2 * pad.w, t.layout());
+    match t.layout() {
+        ActLayout::Nchw => {
+            // Copy whole contiguous rows.
+            let src = t.as_slice();
+            let dst_w = w + 2 * pad.w;
+            for ni in 0..n {
+                for ci in 0..c {
+                    for hi in 0..h {
+                        let s0 = ((ni * c + ci) * h + hi) * w;
+                        let d0 = out.offset(ni, ci, hi + pad.h, pad.w);
+                        out.as_mut_slice()[d0..d0 + w].copy_from_slice(&src[s0..s0 + w]);
+                        debug_assert!(d0 % dst_w >= pad.w);
+                    }
+                }
+            }
+        }
+        ActLayout::Nhwc => {
+            // Copy whole contiguous pixel rows (w*c floats).
+            let src = t.as_slice();
+            for ni in 0..n {
+                for hi in 0..h {
+                    let s0 = (ni * h + hi) * w * c;
+                    let d0 = out.offset(ni, 0, hi + pad.h, pad.w);
+                    out.as_mut_slice()[d0..d0 + w * c].copy_from_slice(&src[s0..s0 + w * c]);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Reads `t[n][c][h][w]` treating out-of-bounds `h`/`w` (given as signed
+/// coordinates) as zero — the implicit-padding access used by oracles.
+#[inline]
+pub fn at_padded(t: &Tensor4, n: usize, c: usize, h: isize, w: isize) -> f32 {
+    let (_, _, th, tw) = t.dims();
+    if h < 0 || w < 0 || h as usize >= th || w as usize >= tw {
+        0.0
+    } else {
+        t.at(n, c, h as usize, w as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fill;
+
+    fn filled(n: usize, c: usize, h: usize, w: usize, layout: ActLayout) -> Tensor4 {
+        let mut t = Tensor4::zeros(n, c, h, w, layout);
+        fill::fill_iota(t.as_mut_slice());
+        t
+    }
+
+    #[test]
+    fn pad_none_is_identity() {
+        let t = filled(1, 2, 3, 3, ActLayout::Nchw);
+        let p = pad_input(&t, Padding::NONE);
+        assert_eq!(p.as_slice(), t.as_slice());
+    }
+
+    #[test]
+    fn pad_nchw_places_interior_correctly() {
+        let t = filled(2, 2, 3, 4, ActLayout::Nchw);
+        let p = pad_input(&t, Padding { h: 1, w: 2 });
+        assert_eq!(p.dims(), (2, 2, 5, 8));
+        for n in 0..2 {
+            for c in 0..2 {
+                for h in 0..5usize {
+                    for w in 0..8usize {
+                        let expect = at_padded(&t, n, c, h as isize - 1, w as isize - 2);
+                        assert_eq!(p.at(n, c, h, w), expect, "at {n},{c},{h},{w}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pad_nhwc_places_interior_correctly() {
+        let t = filled(1, 3, 2, 2, ActLayout::Nhwc);
+        let p = pad_input(&t, Padding::same(1));
+        assert_eq!(p.dims(), (1, 3, 4, 4));
+        for c in 0..3 {
+            for h in 0..4usize {
+                for w in 0..4usize {
+                    let expect = at_padded(&t, 0, c, h as isize - 1, w as isize - 1);
+                    assert_eq!(p.at(0, c, h, w), expect);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn at_padded_returns_zero_outside() {
+        let t = filled(1, 1, 2, 2, ActLayout::Nchw);
+        assert_eq!(at_padded(&t, 0, 0, -1, 0), 0.0);
+        assert_eq!(at_padded(&t, 0, 0, 0, -1), 0.0);
+        assert_eq!(at_padded(&t, 0, 0, 2, 0), 0.0);
+        assert_eq!(at_padded(&t, 0, 0, 0, 2), 0.0);
+        assert_eq!(at_padded(&t, 0, 0, 1, 1), t.at(0, 0, 1, 1));
+    }
+}

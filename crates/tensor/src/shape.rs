@@ -1,0 +1,289 @@
+//! Convolution problem shapes — the paper's Table 1 notation.
+
+/// Spatial zero-padding applied symmetrically to input height and width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Padding {
+    /// Rows of zeros added above and below the input.
+    pub h: usize,
+    /// Columns of zeros added left and right of the input.
+    pub w: usize,
+}
+
+impl Padding {
+    /// No padding ("valid" convolution) — the convention of the paper's
+    /// Algorithm 1.
+    pub const NONE: Padding = Padding { h: 0, w: 0 };
+
+    /// Symmetric padding with the same amount on both axes.
+    pub const fn same(p: usize) -> Padding {
+        Padding { h: p, w: p }
+    }
+
+    /// "Same" padding for odd kernels with stride 1: output size == input
+    /// size. Panics if the kernel size is even.
+    pub fn same_for_kernel(r: usize, s: usize) -> Padding {
+        assert!(r % 2 == 1 && s % 2 == 1, "same padding needs odd kernels");
+        Padding {
+            h: (r - 1) / 2,
+            w: (s - 1) / 2,
+        }
+    }
+}
+
+/// A convolution problem in the paper's Table 1 notation.
+///
+/// * `n` — batch size (N), `c` — input channels (C), `h`/`w` — input
+///   height/width (H/W);
+/// * `k` — output channels (K), `r`/`s` — kernel height/width (R/S);
+/// * `stride` — `str`; `pad` — symmetric zero padding (0 in the paper's
+///   presentation; ResNet/VGG layers use same-padding in practice, which the
+///   workloads crate sets explicitly).
+///
+/// Output height `P` and width `Q` are derived:
+/// `P = (H + 2·pad.h − R)/str + 1`, `Q = (W + 2·pad.w − S)/str + 1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConvShape {
+    /// Batch size `N`.
+    pub n: usize,
+    /// Input channels `C`.
+    pub c: usize,
+    /// Input height `H`.
+    pub h: usize,
+    /// Input width `W`.
+    pub w: usize,
+    /// Output channels `K`.
+    pub k: usize,
+    /// Kernel height `R`.
+    pub r: usize,
+    /// Kernel width `S`.
+    pub s: usize,
+    /// Stride `str`.
+    pub stride: usize,
+    /// Symmetric spatial zero padding.
+    pub pad: Padding,
+}
+
+impl ConvShape {
+    /// Builds a shape, validating that the kernel fits into the (padded)
+    /// input and that the stride is non-zero.
+    #[allow(clippy::too_many_arguments)] // mirrors the paper's 9-symbol notation
+    pub fn new(
+        n: usize,
+        c: usize,
+        h: usize,
+        w: usize,
+        k: usize,
+        r: usize,
+        s: usize,
+        stride: usize,
+        pad: Padding,
+    ) -> Self {
+        let shape = ConvShape {
+            n,
+            c,
+            h,
+            w,
+            k,
+            r,
+            s,
+            stride,
+            pad,
+        };
+        shape.validate();
+        shape
+    }
+
+    /// Square-input / square-kernel convenience constructor matching the
+    /// columns of the paper's Table 4 (`C K H/W R/S str`), batch `n`,
+    /// same-padding for odd kernels so ResNet/VGG shapes compose.
+    pub fn square(n: usize, c: usize, k: usize, hw: usize, rs: usize, stride: usize) -> Self {
+        let pad = if rs % 2 == 1 {
+            Padding::same_for_kernel(rs, rs)
+        } else {
+            Padding::NONE
+        };
+        Self::new(n, c, hw, hw, k, rs, rs, stride, pad)
+    }
+
+    fn validate(&self) {
+        assert!(self.stride >= 1, "stride must be >= 1");
+        assert!(
+            self.n >= 1 && self.c >= 1 && self.k >= 1,
+            "N, C, K must be >= 1"
+        );
+        assert!(self.r >= 1 && self.s >= 1, "kernel must be >= 1x1");
+        assert!(
+            self.h + 2 * self.pad.h >= self.r,
+            "kernel height {} exceeds padded input height {}",
+            self.r,
+            self.h + 2 * self.pad.h
+        );
+        assert!(
+            self.w + 2 * self.pad.w >= self.s,
+            "kernel width {} exceeds padded input width {}",
+            self.w,
+            self.w + 2 * self.pad.w
+        );
+    }
+
+    /// Output height `P`.
+    #[inline]
+    pub fn p(&self) -> usize {
+        (self.h + 2 * self.pad.h - self.r) / self.stride + 1
+    }
+
+    /// Output width `Q`.
+    #[inline]
+    pub fn q(&self) -> usize {
+        (self.w + 2 * self.pad.w - self.s) / self.stride + 1
+    }
+
+    /// Padded input height.
+    #[inline]
+    pub fn padded_h(&self) -> usize {
+        self.h + 2 * self.pad.h
+    }
+
+    /// Padded input width.
+    #[inline]
+    pub fn padded_w(&self) -> usize {
+        self.w + 2 * self.pad.w
+    }
+
+    /// Whether this shape needs zero-padding handling.
+    #[inline]
+    pub fn has_padding(&self) -> bool {
+        self.pad.h != 0 || self.pad.w != 0
+    }
+
+    /// Number of elements in the input tensor `I[N][C][H][W]`.
+    pub fn input_len(&self) -> usize {
+        self.n * self.c * self.h * self.w
+    }
+
+    /// Number of elements in the filter tensor `F[K][C][R][S]`.
+    pub fn filter_len(&self) -> usize {
+        self.k * self.c * self.r * self.s
+    }
+
+    /// Number of elements in the output tensor `O[N][K][P][Q]`.
+    pub fn output_len(&self) -> usize {
+        self.n * self.k * self.p() * self.q()
+    }
+
+    /// Floating-point operations for this convolution: each output element
+    /// consumes `C·R·S` fused multiply-adds, counted as 2 FLOPs apiece —
+    /// the convention the paper's GFLOPS numbers use.
+    pub fn flops(&self) -> u64 {
+        2 * (self.n * self.k * self.p() * self.q()) as u64 * (self.c * self.r * self.s) as u64
+    }
+
+    /// GFLOPS for `elapsed` seconds of this convolution.
+    pub fn gflops(&self, elapsed_secs: f64) -> f64 {
+        self.flops() as f64 / elapsed_secs / 1e9
+    }
+
+    /// The GEMM dimensions the paper maps convolution onto
+    /// (`K → M'`, `N·P·Q → N'`, `C·R·S → K'`).
+    pub fn gemm_dims(&self) -> (usize, usize, usize) {
+        (self.k, self.n * self.p() * self.q(), self.c * self.r * self.s)
+    }
+
+    /// Scales the spatial extent down (for fast tests), keeping the kernel
+    /// fitting and preserving stride/padding semantics.
+    pub fn with_spatial(&self, h: usize, w: usize) -> Self {
+        let mut s = *self;
+        s.h = h.max(s.r.saturating_sub(2 * s.pad.h).max(1));
+        s.w = w.max(s.s.saturating_sub(2 * s.pad.w).max(1));
+        s.validate();
+        s
+    }
+
+    /// Returns the shape with a different batch size.
+    pub fn with_batch(&self, n: usize) -> Self {
+        let mut s = *self;
+        s.n = n;
+        s
+    }
+}
+
+impl std::fmt::Display for ConvShape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "N{} C{} H{} W{} K{} R{} S{} str{} pad{}x{}",
+            self.n, self.c, self.h, self.w, self.k, self.r, self.s, self.stride, self.pad.h,
+            self.pad.w
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_dims_valid_conv() {
+        // 7x7 input, 3x3 kernel, stride 1, no padding -> 5x5 output.
+        let s = ConvShape::new(1, 1, 7, 7, 1, 3, 3, 1, Padding::NONE);
+        assert_eq!((s.p(), s.q()), (5, 5));
+    }
+
+    #[test]
+    fn output_dims_same_padding() {
+        let s = ConvShape::new(1, 3, 14, 14, 8, 3, 3, 1, Padding::same(1));
+        assert_eq!((s.p(), s.q()), (14, 14));
+    }
+
+    #[test]
+    fn output_dims_strided() {
+        // ResNet-50 layer 1: 224x224, 7x7, stride 2, pad 3 -> 112x112.
+        let s = ConvShape::new(1, 3, 224, 224, 64, 7, 7, 2, Padding::same(3));
+        assert_eq!((s.p(), s.q()), (112, 112));
+    }
+
+    #[test]
+    fn square_helper_matches_table4_conventions() {
+        // Table 4 layer 3: C64 K64 H/W56 R/S3 str1 (same padding).
+        let s = ConvShape::square(64, 64, 64, 56, 3, 1);
+        assert_eq!((s.p(), s.q()), (56, 56));
+        // Table 4 layer 5: 1x1 kernels get no padding.
+        let s = ConvShape::square(64, 64, 64, 56, 1, 1);
+        assert_eq!(s.pad, Padding::NONE);
+        assert_eq!((s.p(), s.q()), (56, 56));
+    }
+
+    #[test]
+    fn flops_counts_two_per_mac() {
+        let s = ConvShape::new(2, 3, 5, 5, 4, 3, 3, 1, Padding::NONE);
+        // outputs: 2*4*3*3 = 72, macs each: 3*3*3 = 27 -> 2*72*27 = 3888.
+        assert_eq!(s.flops(), 3888);
+    }
+
+    #[test]
+    fn gemm_dims_mapping() {
+        let s = ConvShape::new(4, 16, 10, 10, 32, 3, 3, 1, Padding::NONE);
+        let (m, n, kk) = s.gemm_dims();
+        assert_eq!(m, 32);
+        assert_eq!(n, 4 * 8 * 8);
+        assert_eq!(kk, 16 * 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "kernel height")]
+    fn rejects_kernel_larger_than_input() {
+        ConvShape::new(1, 1, 2, 2, 1, 3, 3, 1, Padding::NONE);
+    }
+
+    #[test]
+    #[should_panic(expected = "stride")]
+    fn rejects_zero_stride() {
+        ConvShape::new(1, 1, 4, 4, 1, 3, 3, 0, Padding::NONE);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let s = ConvShape::square(1, 3, 8, 16, 3, 1);
+        assert_eq!(format!("{s}"), "N1 C3 H16 W16 K8 R3 S3 str1 pad1x1");
+    }
+}

@@ -1,0 +1,396 @@
+//! 4-D activation and filter tensors with explicit data layouts.
+
+use crate::alloc::AlignedBuf;
+use crate::shape::ConvShape;
+
+/// Activation (input/output) tensor memory layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ActLayout {
+    /// `[batch, channels, height, width]` — the MXNet/PyTorch default the
+    /// paper presents nDirect with.
+    Nchw,
+    /// `[batch, height, width, channels]` — the TensorFlow/XNNPACK default.
+    Nhwc,
+}
+
+/// Filter tensor memory layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FilterLayout {
+    /// `[out_ch, in_ch, kh, kw]` — pairs with `NCHW`.
+    Kcrs,
+    /// `[out_ch, kh, kw, in_ch]` — pairs with `NHWC` (XNNPACK's `KRSC`).
+    Krsc,
+}
+
+/// A dense 4-D FP32 activation tensor.
+///
+/// Dimensions are always stored logically as `(n, c, h, w)` regardless of the
+/// memory layout; [`Tensor4::at`] translates to the physical offset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor4 {
+    data: AlignedBuf,
+    n: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+    layout: ActLayout,
+}
+
+impl Tensor4 {
+    /// Zero-filled tensor of logical shape `(n, c, h, w)` in `layout`.
+    pub fn zeros(n: usize, c: usize, h: usize, w: usize, layout: ActLayout) -> Self {
+        Self {
+            data: AlignedBuf::zeroed(n * c * h * w),
+            n,
+            c,
+            h,
+            w,
+            layout,
+        }
+    }
+
+    /// Wraps an existing buffer; `data.len()` must equal `n*c*h*w`.
+    pub fn from_buf(data: AlignedBuf, n: usize, c: usize, h: usize, w: usize, layout: ActLayout) -> Self {
+        assert_eq!(data.len(), n * c * h * w, "buffer/shape mismatch");
+        Self { data, n, c, h, w, layout }
+    }
+
+    /// Zero-filled *input* tensor for a convolution shape.
+    pub fn input_for(shape: &ConvShape, layout: ActLayout) -> Self {
+        Self::zeros(shape.n, shape.c, shape.h, shape.w, layout)
+    }
+
+    /// Zero-filled *output* tensor for a convolution shape.
+    pub fn output_for(shape: &ConvShape, layout: ActLayout) -> Self {
+        Self::zeros(shape.n, shape.k, shape.p(), shape.q(), layout)
+    }
+
+    /// Logical dimensions `(n, c, h, w)`.
+    #[inline]
+    pub fn dims(&self) -> (usize, usize, usize, usize) {
+        (self.n, self.c, self.h, self.w)
+    }
+
+    /// Batch size.
+    #[inline]
+    pub fn n(&self) -> usize { self.n }
+    /// Channel count.
+    #[inline]
+    pub fn c(&self) -> usize { self.c }
+    /// Height.
+    #[inline]
+    pub fn h(&self) -> usize { self.h }
+    /// Width.
+    #[inline]
+    pub fn w(&self) -> usize { self.w }
+
+    /// The memory layout of the backing buffer.
+    #[inline]
+    pub fn layout(&self) -> ActLayout {
+        self.layout
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Physical offset of logical index `(n, c, h, w)`.
+    #[inline]
+    pub fn offset(&self, n: usize, c: usize, h: usize, w: usize) -> usize {
+        debug_assert!(n < self.n && c < self.c && h < self.h && w < self.w);
+        match self.layout {
+            ActLayout::Nchw => ((n * self.c + c) * self.h + h) * self.w + w,
+            ActLayout::Nhwc => ((n * self.h + h) * self.w + w) * self.c + c,
+        }
+    }
+
+    /// Element at logical index `(n, c, h, w)`.
+    #[inline]
+    pub fn at(&self, n: usize, c: usize, h: usize, w: usize) -> f32 {
+        self.data[self.offset(n, c, h, w)]
+    }
+
+    /// Mutable element at logical index `(n, c, h, w)`.
+    #[inline]
+    pub fn at_mut(&mut self, n: usize, c: usize, h: usize, w: usize) -> &mut f32 {
+        let off = self.offset(n, c, h, w);
+        &mut self.data[off]
+    }
+
+    /// The raw backing storage in layout order.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable raw backing storage in layout order.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Raw const pointer to the first element.
+    #[inline]
+    pub fn as_ptr(&self) -> *const f32 {
+        self.data.as_ptr()
+    }
+
+    /// Raw mutable pointer to the first element.
+    #[inline]
+    pub fn as_mut_ptr(&mut self) -> *mut f32 {
+        self.data.as_mut_ptr()
+    }
+
+    /// Consumes the tensor, returning the backing buffer.
+    pub fn into_buf(self) -> AlignedBuf {
+        self.data
+    }
+
+    /// Copies this tensor into `layout`, converting element order if needed.
+    pub fn to_layout(&self, layout: ActLayout) -> Tensor4 {
+        if layout == self.layout {
+            return self.clone();
+        }
+        let mut out = Tensor4::zeros(self.n, self.c, self.h, self.w, layout);
+        for n in 0..self.n {
+            for c in 0..self.c {
+                for h in 0..self.h {
+                    for w in 0..self.w {
+                        *out.at_mut(n, c, h, w) = self.at(n, c, h, w);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Sets every element to zero.
+    pub fn fill_zero(&mut self) {
+        self.data.fill_zero();
+    }
+}
+
+/// A dense 4-D FP32 filter tensor with logical shape `(k, c, r, s)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Filter {
+    data: AlignedBuf,
+    k: usize,
+    c: usize,
+    r: usize,
+    s: usize,
+    layout: FilterLayout,
+}
+
+impl Filter {
+    /// Zero-filled filter of logical shape `(k, c, r, s)` in `layout`.
+    pub fn zeros(k: usize, c: usize, r: usize, s: usize, layout: FilterLayout) -> Self {
+        Self {
+            data: AlignedBuf::zeroed(k * c * r * s),
+            k,
+            c,
+            r,
+            s,
+            layout,
+        }
+    }
+
+    /// Zero-filled filter for a convolution shape.
+    pub fn for_shape(shape: &ConvShape, layout: FilterLayout) -> Self {
+        Self::zeros(shape.k, shape.c, shape.r, shape.s, layout)
+    }
+
+    /// Wraps an existing buffer; `data.len()` must equal `k*c*r*s`.
+    pub fn from_buf(data: AlignedBuf, k: usize, c: usize, r: usize, s: usize, layout: FilterLayout) -> Self {
+        assert_eq!(data.len(), k * c * r * s, "buffer/shape mismatch");
+        Self { data, k, c, r, s, layout }
+    }
+
+    /// Logical dimensions `(k, c, r, s)`.
+    #[inline]
+    pub fn dims(&self) -> (usize, usize, usize, usize) {
+        (self.k, self.c, self.r, self.s)
+    }
+
+    /// Output-channel count.
+    #[inline]
+    pub fn k(&self) -> usize { self.k }
+    /// Input-channel count.
+    #[inline]
+    pub fn c(&self) -> usize { self.c }
+    /// Kernel height.
+    #[inline]
+    pub fn r(&self) -> usize { self.r }
+    /// Kernel width.
+    #[inline]
+    pub fn s(&self) -> usize { self.s }
+
+    /// The memory layout of the backing buffer.
+    #[inline]
+    pub fn layout(&self) -> FilterLayout {
+        self.layout
+    }
+
+    /// Physical offset of logical index `(k, c, r, s)`.
+    #[inline]
+    pub fn offset(&self, k: usize, c: usize, r: usize, s: usize) -> usize {
+        debug_assert!(k < self.k && c < self.c && r < self.r && s < self.s);
+        match self.layout {
+            FilterLayout::Kcrs => ((k * self.c + c) * self.r + r) * self.s + s,
+            FilterLayout::Krsc => ((k * self.r + r) * self.s + s) * self.c + c,
+        }
+    }
+
+    /// Element at logical index `(k, c, r, s)`.
+    #[inline]
+    pub fn at(&self, k: usize, c: usize, r: usize, s: usize) -> f32 {
+        self.data[self.offset(k, c, r, s)]
+    }
+
+    /// Mutable element at logical index `(k, c, r, s)`.
+    #[inline]
+    pub fn at_mut(&mut self, k: usize, c: usize, r: usize, s: usize) -> &mut f32 {
+        let off = self.offset(k, c, r, s);
+        &mut self.data[off]
+    }
+
+    /// The raw backing storage in layout order.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable raw backing storage in layout order.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the filter has no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Copies this filter into `layout`, converting element order if needed.
+    pub fn to_layout(&self, layout: FilterLayout) -> Filter {
+        if layout == self.layout {
+            return self.clone();
+        }
+        let mut out = Filter::zeros(self.k, self.c, self.r, self.s, layout);
+        for k in 0..self.k {
+            for c in 0..self.c {
+                for r in 0..self.r {
+                    for s in 0..self.s {
+                        *out.at_mut(k, c, r, s) = self.at(k, c, r, s);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shape::Padding;
+
+    #[test]
+    fn nchw_offsets_are_row_major() {
+        let t = Tensor4::zeros(2, 3, 4, 5, ActLayout::Nchw);
+        assert_eq!(t.offset(0, 0, 0, 0), 0);
+        assert_eq!(t.offset(0, 0, 0, 1), 1);
+        assert_eq!(t.offset(0, 0, 1, 0), 5);
+        assert_eq!(t.offset(0, 1, 0, 0), 20);
+        assert_eq!(t.offset(1, 0, 0, 0), 60);
+        assert_eq!(t.offset(1, 2, 3, 4), 119);
+    }
+
+    #[test]
+    fn nhwc_offsets_put_channels_innermost() {
+        let t = Tensor4::zeros(2, 3, 4, 5, ActLayout::Nhwc);
+        assert_eq!(t.offset(0, 1, 0, 0), 1);
+        assert_eq!(t.offset(0, 0, 0, 1), 3);
+        assert_eq!(t.offset(0, 0, 1, 0), 15);
+        assert_eq!(t.offset(1, 0, 0, 0), 60);
+    }
+
+    #[test]
+    fn layout_conversion_preserves_logical_values() {
+        let mut t = Tensor4::zeros(2, 3, 2, 2, ActLayout::Nchw);
+        let mut v = 0.0;
+        for n in 0..2 {
+            for c in 0..3 {
+                for h in 0..2 {
+                    for w in 0..2 {
+                        *t.at_mut(n, c, h, w) = v;
+                        v += 1.0;
+                    }
+                }
+            }
+        }
+        let u = t.to_layout(ActLayout::Nhwc);
+        for n in 0..2 {
+            for c in 0..3 {
+                for h in 0..2 {
+                    for w in 0..2 {
+                        assert_eq!(t.at(n, c, h, w), u.at(n, c, h, w));
+                    }
+                }
+            }
+        }
+        // Round trip is exact.
+        let back = u.to_layout(ActLayout::Nchw);
+        assert_eq!(back.as_slice(), t.as_slice());
+    }
+
+    #[test]
+    fn filter_offsets_kcrs_vs_krsc() {
+        let f = Filter::zeros(2, 3, 2, 2, FilterLayout::Kcrs);
+        assert_eq!(f.offset(0, 0, 0, 1), 1);
+        assert_eq!(f.offset(0, 1, 0, 0), 4);
+        assert_eq!(f.offset(1, 0, 0, 0), 12);
+        let g = Filter::zeros(2, 3, 2, 2, FilterLayout::Krsc);
+        assert_eq!(g.offset(0, 1, 0, 0), 1);
+        assert_eq!(g.offset(0, 0, 0, 1), 3);
+        assert_eq!(g.offset(1, 0, 0, 0), 12);
+    }
+
+    #[test]
+    fn filter_layout_round_trip() {
+        let mut f = Filter::zeros(4, 2, 3, 3, FilterLayout::Kcrs);
+        for (i, x) in f.as_mut_slice().iter_mut().enumerate() {
+            *x = i as f32;
+        }
+        let g = f.to_layout(FilterLayout::Krsc);
+        let back = g.to_layout(FilterLayout::Kcrs);
+        assert_eq!(back.as_slice(), f.as_slice());
+        assert_eq!(f.at(3, 1, 2, 0), g.at(3, 1, 2, 0));
+    }
+
+    #[test]
+    fn shape_constructors_size_tensors_correctly() {
+        let s = ConvShape::new(2, 3, 8, 8, 5, 3, 3, 1, Padding::same(1));
+        let i = Tensor4::input_for(&s, ActLayout::Nchw);
+        let o = Tensor4::output_for(&s, ActLayout::Nchw);
+        let f = Filter::for_shape(&s, FilterLayout::Kcrs);
+        assert_eq!(i.len(), s.input_len());
+        assert_eq!(o.len(), s.output_len());
+        assert_eq!(f.len(), s.filter_len());
+        assert_eq!(o.dims(), (2, 5, 8, 8));
+    }
+}

@@ -1,0 +1,198 @@
+//! 5-D tensors for volumetric (3-D) convolution — the §10.2 extension.
+
+use crate::alloc::AlignedBuf;
+
+/// A dense 5-D FP32 activation tensor in `NCDHW` layout
+/// (`[batch, channels, depth, height, width]`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor5 {
+    data: AlignedBuf,
+    n: usize,
+    c: usize,
+    d: usize,
+    h: usize,
+    w: usize,
+}
+
+impl Tensor5 {
+    /// Zero-filled tensor of shape `(n, c, d, h, w)`.
+    pub fn zeros(n: usize, c: usize, d: usize, h: usize, w: usize) -> Self {
+        Self {
+            data: AlignedBuf::zeroed(n * c * d * h * w),
+            n,
+            c,
+            d,
+            h,
+            w,
+        }
+    }
+
+    /// Logical dimensions `(n, c, d, h, w)`.
+    #[inline]
+    pub fn dims(&self) -> (usize, usize, usize, usize, usize) {
+        (self.n, self.c, self.d, self.h, self.w)
+    }
+
+    /// Physical offset of `(n, c, d, h, w)`.
+    #[inline]
+    pub fn offset(&self, n: usize, c: usize, d: usize, h: usize, w: usize) -> usize {
+        debug_assert!(n < self.n && c < self.c && d < self.d && h < self.h && w < self.w);
+        (((n * self.c + c) * self.d + d) * self.h + h) * self.w + w
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn at(&self, n: usize, c: usize, d: usize, h: usize, w: usize) -> f32 {
+        self.data[self.offset(n, c, d, h, w)]
+    }
+
+    /// Mutable element accessor.
+    #[inline]
+    pub fn at_mut(&mut self, n: usize, c: usize, d: usize, h: usize, w: usize) -> &mut f32 {
+        let off = self.offset(n, c, d, h, w);
+        &mut self.data[off]
+    }
+
+    /// Reads with implicit zero padding (signed spatial coordinates).
+    #[inline]
+    pub fn at_padded(&self, n: usize, c: usize, d: isize, h: isize, w: isize) -> f32 {
+        if d < 0
+            || h < 0
+            || w < 0
+            || d as usize >= self.d
+            || h as usize >= self.h
+            || w as usize >= self.w
+        {
+            0.0
+        } else {
+            self.at(n, c, d as usize, h as usize, w as usize)
+        }
+    }
+
+    /// Raw storage in layout order.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable raw storage.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor holds no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+/// A 5-D filter tensor in `KCTRS` layout
+/// (`[out_ch, in_ch, kd, kh, kw]`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Filter5 {
+    data: AlignedBuf,
+    k: usize,
+    c: usize,
+    t: usize,
+    r: usize,
+    s: usize,
+}
+
+impl Filter5 {
+    /// Zero-filled filter of shape `(k, c, t, r, s)`.
+    pub fn zeros(k: usize, c: usize, t: usize, r: usize, s: usize) -> Self {
+        Self {
+            data: AlignedBuf::zeroed(k * c * t * r * s),
+            k,
+            c,
+            t,
+            r,
+            s,
+        }
+    }
+
+    /// Logical dimensions `(k, c, t, r, s)`.
+    #[inline]
+    pub fn dims(&self) -> (usize, usize, usize, usize, usize) {
+        (self.k, self.c, self.t, self.r, self.s)
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn at(&self, k: usize, c: usize, t: usize, r: usize, s: usize) -> f32 {
+        self.data[(((k * self.c + c) * self.t + t) * self.r + r) * self.s + s]
+    }
+
+    /// Mutable element accessor.
+    #[inline]
+    pub fn at_mut(&mut self, k: usize, c: usize, t: usize, r: usize, s: usize) -> &mut f32 {
+        let off = (((k * self.c + c) * self.t + t) * self.r + r) * self.s + s;
+        &mut self.data[off]
+    }
+
+    /// Raw storage.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable raw storage.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the filter holds no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offsets_are_row_major() {
+        let t = Tensor5::zeros(2, 3, 4, 5, 6);
+        assert_eq!(t.offset(0, 0, 0, 0, 0), 0);
+        assert_eq!(t.offset(0, 0, 0, 0, 1), 1);
+        assert_eq!(t.offset(0, 0, 0, 1, 0), 6);
+        assert_eq!(t.offset(0, 0, 1, 0, 0), 30);
+        assert_eq!(t.offset(0, 1, 0, 0, 0), 120);
+        assert_eq!(t.offset(1, 2, 3, 4, 5), 2 * 360 - 1);
+    }
+
+    #[test]
+    fn padded_reads() {
+        let mut t = Tensor5::zeros(1, 1, 2, 2, 2);
+        *t.at_mut(0, 0, 1, 1, 1) = 7.0;
+        assert_eq!(t.at_padded(0, 0, 1, 1, 1), 7.0);
+        assert_eq!(t.at_padded(0, 0, -1, 0, 0), 0.0);
+        assert_eq!(t.at_padded(0, 0, 2, 0, 0), 0.0);
+        assert_eq!(t.at_padded(0, 0, 0, 0, 2), 0.0);
+    }
+
+    #[test]
+    fn filter5_indexing() {
+        let mut f = Filter5::zeros(2, 3, 2, 2, 2);
+        *f.at_mut(1, 2, 1, 0, 1) = 3.5;
+        assert_eq!(f.at(1, 2, 1, 0, 1), 3.5);
+        assert_eq!(f.len(), 2 * 3 * 8);
+    }
+}

@@ -1,0 +1,110 @@
+//! 2-D thread grids: the paper's `PTn × PTk` mapping.
+
+/// A factorisation of a thread team into a `ptn × ptk` grid.
+///
+/// `ptn` threads split the batch/spatial (`N`, `H`, `W`) dimensions and
+/// `ptk` threads split the output-channel (`K`) dimension, mirroring §6.1:
+/// thread `tid`'s coordinates are `(tid / ptk, tid % ptk)` so threads with
+/// consecutive ids share the same `N/H/W` slice (and hence input-tensor
+/// working set) while covering different channel blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Grid2 {
+    ptn: usize,
+    ptk: usize,
+}
+
+impl Grid2 {
+    /// Builds a grid; both extents must be ≥ 1.
+    pub fn new(ptn: usize, ptk: usize) -> Self {
+        assert!(ptn >= 1 && ptk >= 1, "grid extents must be >= 1");
+        Self { ptn, ptk }
+    }
+
+    /// A degenerate 1×1 grid (sequential execution).
+    pub const fn sequential() -> Self {
+        Self { ptn: 1, ptk: 1 }
+    }
+
+    /// Total number of threads `PT = PTn · PTk`.
+    #[inline]
+    pub fn threads(&self) -> usize {
+        self.ptn * self.ptk
+    }
+
+    /// Extent along the batch/spatial axis.
+    #[inline]
+    pub fn ptn(&self) -> usize {
+        self.ptn
+    }
+
+    /// Extent along the output-channel axis.
+    #[inline]
+    pub fn ptk(&self) -> usize {
+        self.ptk
+    }
+
+    /// Grid coordinates `(tn, tk)` of a flat thread id.
+    #[inline]
+    pub fn coords(&self, tid: usize) -> (usize, usize) {
+        debug_assert!(tid < self.threads());
+        (tid / self.ptk, tid % self.ptk)
+    }
+
+    /// Flat thread id of grid coordinates.
+    #[inline]
+    pub fn tid(&self, tn: usize, tk: usize) -> usize {
+        debug_assert!(tn < self.ptn && tk < self.ptk);
+        tn * self.ptk + tk
+    }
+
+    /// All factorisations `ptn × ptk = threads`, used by the thread-mapping
+    /// model to pick the FAI-maximizing grid and by the ablation benches to
+    /// sweep alternatives.
+    pub fn factorizations(threads: usize) -> Vec<Grid2> {
+        assert!(threads >= 1);
+        (1..=threads)
+            .filter(|ptn| threads % ptn == 0)
+            .map(|ptn| Grid2::new(ptn, threads / ptn))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coords_round_trip() {
+        let g = Grid2::new(3, 4);
+        assert_eq!(g.threads(), 12);
+        for tid in 0..12 {
+            let (tn, tk) = g.coords(tid);
+            assert_eq!(g.tid(tn, tk), tid);
+            assert!(tn < 3 && tk < 4);
+        }
+    }
+
+    #[test]
+    fn consecutive_tids_share_tn() {
+        let g = Grid2::new(2, 4);
+        assert_eq!(g.coords(0).0, g.coords(3).0);
+        assert_ne!(g.coords(3).0, g.coords(4).0);
+    }
+
+    #[test]
+    fn factorizations_cover_all_divisors() {
+        let f = Grid2::factorizations(12);
+        let pairs: Vec<(usize, usize)> = f.iter().map(|g| (g.ptn(), g.ptk())).collect();
+        assert_eq!(
+            pairs,
+            vec![(1, 12), (2, 6), (3, 4), (4, 3), (6, 2), (12, 1)]
+        );
+    }
+
+    #[test]
+    fn sequential_grid() {
+        let g = Grid2::sequential();
+        assert_eq!(g.threads(), 1);
+        assert_eq!(g.coords(0), (0, 0));
+    }
+}

@@ -1,0 +1,39 @@
+//! Static-partition parallel runtime for the nDirect kernels.
+//!
+//! The paper parallelizes convolutions with OpenMP *static* scheduling: a
+//! fixed team of `PT` threads, each handed a precomputed slice of the
+//! iteration space, organised as a 2-D grid `PTn × PTk` over the
+//! batch/spatial dimensions and the output-channel dimension (§6). This
+//! crate reproduces those semantics:
+//!
+//! * [`StaticPool`] — a persistent fork-join pool; every [`StaticPool::run`]
+//!   invocation executes one closure on all `PT` threads (the caller
+//!   participates as thread 0) and returns when the last thread finishes,
+//!   exactly like entering/leaving an `omp parallel` region;
+//! * [`split_static`] / [`chunk_static`] — the `schedule(static)` iteration
+//!   split;
+//! * [`Grid2`] — the `PTn × PTk` thread-coordinate mapping.
+//!
+//! There is deliberately no work stealing: the paper's analytic model
+//! (Eq. 5–6) assumes deterministic static partitions, and determinism is
+//! what lets the test suite require bitwise-identical results across thread
+//! counts.
+
+#![warn(missing_docs)]
+
+mod grid;
+mod pool;
+mod shared;
+mod split;
+
+pub use grid::Grid2;
+pub use pool::StaticPool;
+pub use shared::SharedSlice;
+pub use split::{chunk_static, split_static};
+
+/// Number of hardware threads available to this process.
+pub fn hardware_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}

@@ -1,0 +1,349 @@
+//! A persistent fork-join pool with OpenMP `parallel`-region semantics.
+
+use std::any::Any;
+use std::panic::AssertUnwindSafe;
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Sender};
+use parking_lot::{Condvar, Mutex};
+
+/// A fixed team of `PT` threads executing one closure per [`StaticPool::run`]
+/// call — thread 0 is the caller, threads `1..PT` are persistent workers.
+///
+/// Matches `#pragma omp parallel num_threads(PT)`:
+///
+/// * every thread executes the same closure, receiving its thread id;
+/// * `run` returns only when all threads have finished (implicit barrier);
+/// * a panic on any thread is propagated to the caller after the barrier.
+///
+/// The closure borrows from the caller's stack (no `'static` bound); the
+/// barrier at the end of `run` is what makes that sound.
+pub struct StaticPool {
+    size: usize,
+    sender: Option<Sender<Job>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    /// Guards against nested `run` on the same pool, which would deadlock
+    /// (workers are busy executing the outer region's job).
+    in_region: std::sync::atomic::AtomicBool,
+}
+
+/// A lifetime-erased `&(dyn Fn(usize) + Sync)` plus completion accounting.
+struct Job {
+    /// Pointer to the caller's closure, valid until `latch` releases `run`.
+    data: *const (),
+    /// Monomorphized trampoline that reconstitutes the closure type.
+    call: unsafe fn(*const (), usize),
+    tid: usize,
+    latch: Arc<Latch>,
+}
+
+// SAFETY: `data` points at a `Sync` closure (enforced by `run`'s bounds),
+// and `run` keeps the closure alive until every job has signalled `latch`.
+unsafe impl Send for Job {}
+
+/// Countdown latch that also collects the first panic payload.
+struct Latch {
+    state: Mutex<LatchState>,
+    cv: Condvar,
+}
+
+struct LatchState {
+    remaining: usize,
+    panic: Option<Box<dyn Any + Send>>,
+}
+
+impl Latch {
+    fn new(count: usize) -> Self {
+        Self {
+            state: Mutex::new(LatchState {
+                remaining: count,
+                panic: None,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn count_down(&self, panic: Option<Box<dyn Any + Send>>) {
+        let mut st = self.state.lock();
+        if st.panic.is_none() {
+            st.panic = panic;
+        }
+        st.remaining -= 1;
+        if st.remaining == 0 {
+            self.cv.notify_all();
+        }
+    }
+
+    fn wait(&self) -> Option<Box<dyn Any + Send>> {
+        let mut st = self.state.lock();
+        while st.remaining != 0 {
+            self.cv.wait(&mut st);
+        }
+        st.panic.take()
+    }
+}
+
+impl StaticPool {
+    /// Creates a pool of `size ≥ 1` threads (spawning `size − 1` workers).
+    pub fn new(size: usize) -> Self {
+        assert!(size >= 1, "pool size must be >= 1");
+        if size == 1 {
+            return Self {
+                size,
+                sender: None,
+                handles: Vec::new(),
+                in_region: std::sync::atomic::AtomicBool::new(false),
+            };
+        }
+        let (sender, receiver) = unbounded::<Job>();
+        let handles = (1..size)
+            .map(|i| {
+                let rx = receiver.clone();
+                std::thread::Builder::new()
+                    .name(format!("ndirect-worker-{i}"))
+                    .spawn(move || {
+                        while let Ok(job) = rx.recv() {
+                            let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                                // SAFETY: `job.data`/`job.call` were erased
+                                // from a live `&F` in `run`, which blocks on
+                                // `latch` until we count down below.
+                                unsafe { (job.call)(job.data, job.tid) }
+                            }));
+                            job.latch.count_down(result.err());
+                        }
+                    })
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        Self {
+            size,
+            sender: Some(sender),
+            handles,
+            in_region: std::sync::atomic::AtomicBool::new(false),
+        }
+    }
+
+    /// A pool sized to the host's hardware parallelism.
+    pub fn with_hardware_threads() -> Self {
+        Self::new(crate::hardware_threads())
+    }
+
+    /// Number of threads in the team (including the caller).
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Executes `f(tid)` on every thread of the team and waits for all of
+    /// them (the caller runs `tid = 0`). Panics from any thread propagate
+    /// after the barrier.
+    ///
+    /// `run` is **not reentrant**: calling it again from inside a region on
+    /// the same pool would deadlock (the workers are occupied by the outer
+    /// region), so it panics immediately instead. Use a separate pool for
+    /// nested parallelism.
+    pub fn run<F>(&self, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        if self.size == 1 {
+            f(0);
+            return;
+        }
+        use std::sync::atomic::Ordering;
+        assert!(
+            !self.in_region.swap(true, Ordering::Acquire),
+            "StaticPool::run is not reentrant: nested run() on the same pool would deadlock"
+        );
+        // Release the reentrancy guard even if the region panics.
+        struct Guard<'a>(&'a std::sync::atomic::AtomicBool);
+        impl Drop for Guard<'_> {
+            fn drop(&mut self) {
+                self.0.store(false, std::sync::atomic::Ordering::Release);
+            }
+        }
+        let _guard = Guard(&self.in_region);
+
+        unsafe fn trampoline<F: Fn(usize) + Sync>(data: *const (), tid: usize) {
+            // SAFETY: `data` was produced from `&f` below and `f` is alive
+            // until the latch in `run` releases.
+            let f = unsafe { &*(data as *const F) };
+            f(tid);
+        }
+
+        let latch = Arc::new(Latch::new(self.size));
+        let sender = self.sender.as_ref().expect("pool has workers");
+        for tid in 1..self.size {
+            sender
+                .send(Job {
+                    data: &f as *const F as *const (),
+                    call: trampoline::<F>,
+                    tid,
+                    latch: Arc::clone(&latch),
+                })
+                .expect("worker channel closed");
+        }
+
+        // The caller is thread 0. Catch its panic so we still reach the
+        // barrier (the workers hold pointers into our stack frame).
+        let own = std::panic::catch_unwind(AssertUnwindSafe(|| f(0)));
+        latch.count_down(own.err());
+
+        if let Some(payload) = latch.wait() {
+            std::panic::resume_unwind(payload);
+        }
+    }
+
+    /// Convenience: static-partition `0..total` across the team and hand
+    /// each thread its `(tid, range)`.
+    pub fn run_partitioned<F>(&self, total: usize, f: F)
+    where
+        F: Fn(usize, std::ops::Range<usize>) + Sync,
+    {
+        let parts = self.size;
+        self.run(|tid| f(tid, crate::split_static(total, parts, tid)));
+    }
+}
+
+impl Drop for StaticPool {
+    fn drop(&mut self) {
+        // Closing the channel stops the worker loops.
+        self.sender.take();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn runs_every_tid_exactly_once() {
+        let pool = StaticPool::new(4);
+        let hits: Vec<AtomicUsize> = (0..4).map(|_| AtomicUsize::new(0)).collect();
+        pool.run(|tid| {
+            hits[tid].fetch_add(1, Ordering::Relaxed);
+        });
+        for h in &hits {
+            assert_eq!(h.load(Ordering::Relaxed), 1);
+        }
+    }
+
+    #[test]
+    fn single_thread_pool_runs_inline() {
+        let pool = StaticPool::new(1);
+        let hit = std::sync::atomic::AtomicBool::new(false);
+        pool.run(|tid| {
+            assert_eq!(tid, 0);
+            hit.store(true, Ordering::Relaxed);
+        });
+        assert!(hit.load(Ordering::Relaxed));
+    }
+
+    #[test]
+    fn reusable_across_calls() {
+        let pool = StaticPool::new(3);
+        let counter = AtomicUsize::new(0);
+        for _ in 0..50 {
+            pool.run(|_| {
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 150);
+    }
+
+    #[test]
+    fn closure_can_borrow_stack_data() {
+        let pool = StaticPool::new(4);
+        let data = [1usize, 2, 3, 4];
+        let sum = AtomicUsize::new(0);
+        pool.run(|tid| {
+            sum.fetch_add(data[tid], Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn run_partitioned_covers_range() {
+        let pool = StaticPool::new(3);
+        let total = 100;
+        let seen = (0..total).map(|_| AtomicUsize::new(0)).collect::<Vec<_>>();
+        pool.run_partitioned(total, |_tid, range| {
+            for i in range {
+                seen[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(seen.iter().all(|s| s.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_caller() {
+        let pool = StaticPool::new(2);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run(|tid| {
+                if tid == 1 {
+                    panic!("worker boom");
+                }
+            });
+        }));
+        assert!(result.is_err());
+        // Pool survives a panicking region.
+        let counter = AtomicUsize::new(0);
+        pool.run(|_| {
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn caller_panic_still_waits_for_workers() {
+        let pool = StaticPool::new(4);
+        let finished = AtomicUsize::new(0);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run(|tid| {
+                if tid == 0 {
+                    panic!("caller boom");
+                }
+                std::thread::sleep(std::time::Duration::from_millis(10));
+                finished.fetch_add(1, Ordering::Relaxed);
+            });
+        }));
+        assert!(result.is_err());
+        // All three workers completed before the panic escaped.
+        assert_eq!(finished.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn nested_run_panics_instead_of_deadlocking() {
+        let pool = StaticPool::new(2);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run(|tid| {
+                if tid == 0 {
+                    pool.run(|_| {});
+                }
+            });
+        }));
+        assert!(result.is_err());
+        // The guard resets; the pool remains usable.
+        let c = AtomicUsize::new(0);
+        pool.run(|_| {
+            c.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(c.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn oversubscription_works() {
+        // More threads than cores must still complete (the paper's Fig. 9
+        // hyper-threading experiment oversubscribes 4x).
+        let pool = StaticPool::new(16);
+        let counter = AtomicUsize::new(0);
+        pool.run(|_| {
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 16);
+    }
+}

@@ -1,0 +1,185 @@
+//! [`SharedSlice`]: sound disjoint writes into one buffer from many
+//! threads.
+//!
+//! Every parallel kernel in this workspace partitions an output tensor so
+//! that no element has two writers. Expressing that with per-thread
+//! `slice::from_raw_parts_mut` over the *whole* buffer violates that
+//! function's contract (the memory is accessed through other threads'
+//! overlapping slices during the region), even though the writes never
+//! race. `SharedSlice` provides the sound formulation: the buffer is held
+//! only as a raw pointer, threads write through it element-wise (or carve
+//! out provably disjoint contiguous subslices), and the pool's implicit
+//! barrier sequences all writes before the caller's `&mut` borrow ends.
+
+use std::marker::PhantomData;
+
+/// A length-tagged raw view of a `&mut [T]`, shareable across a fork-join
+/// region for *disjoint* writes.
+///
+/// The element accessors are `unsafe`: the caller asserts that no other
+/// thread concurrently accesses the same index (each call site documents
+/// its partitioning argument). Bounds are `debug_assert`ed — callers are
+/// inner kernels whose offsets are established by the surrounding driver.
+pub struct SharedSlice<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _borrow: PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: the accessors require callers to guarantee disjointness, which is
+// exactly the data-race-freedom condition; `T: Send` suffices because only
+// writes/reads of owned disjoint elements occur.
+unsafe impl<T: Send> Send for SharedSlice<'_, T> {}
+unsafe impl<T: Send> Sync for SharedSlice<'_, T> {}
+
+impl<'a, T> SharedSlice<'a, T> {
+    /// Wraps a mutable slice for the duration of a fork-join region. The
+    /// borrow keeps the underlying buffer alive and exclusively reserved
+    /// for this view.
+    pub fn new(slice: &'a mut [T]) -> Self {
+        Self {
+            ptr: slice.as_mut_ptr(),
+            len: slice.len(),
+            _borrow: PhantomData,
+        }
+    }
+
+    /// Number of elements.
+    #[inline(always)]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the view is empty.
+    #[inline(always)]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Writes `v` to index `i`.
+    ///
+    /// # Safety
+    /// `i < len`, and no other thread accesses index `i` concurrently.
+    #[inline(always)]
+    pub unsafe fn write(&self, i: usize, v: T) {
+        debug_assert!(i < self.len);
+        // SAFETY: per the function contract.
+        unsafe { *self.ptr.add(i) = v };
+    }
+
+    /// Reads the value at index `i`.
+    ///
+    /// # Safety
+    /// `i < len`, and no other thread writes index `i` concurrently.
+    #[inline(always)]
+    pub unsafe fn read(&self, i: usize) -> T
+    where
+        T: Copy,
+    {
+        debug_assert!(i < self.len);
+        // SAFETY: per the function contract.
+        unsafe { *self.ptr.add(i) }
+    }
+
+    /// A `&mut` view of the contiguous range `start..start + n`.
+    ///
+    /// # Safety
+    /// The range is in bounds and no other thread accesses any index in it
+    /// for the lifetime of the returned slice.
+    #[inline(always)]
+    #[allow(clippy::mut_from_ref)] // the whole point: caller-proven disjointness
+    pub unsafe fn range_mut(&self, start: usize, n: usize) -> &mut [T] {
+        debug_assert!(start.checked_add(n).is_some_and(|e| e <= self.len));
+        // SAFETY: in bounds per the contract; exclusivity of the range is
+        // the caller's partitioning argument, so no other pointer accesses
+        // this memory during the borrow.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.add(start), n) }
+    }
+}
+
+impl<T: Copy + std::ops::AddAssign> SharedSlice<'_, T> {
+    /// `self[i] += v` (read-modify-write of one element).
+    ///
+    /// # Safety
+    /// `i < len`, and no other thread accesses index `i` concurrently.
+    #[inline(always)]
+    pub unsafe fn add_assign(&self, i: usize, v: T) {
+        debug_assert!(i < self.len);
+        // SAFETY: per the function contract.
+        unsafe { *self.ptr.add(i) += v };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{split_static, StaticPool};
+
+    #[test]
+    fn disjoint_parallel_writes_land() {
+        let mut data = vec![0u64; 1000];
+        {
+            let shared = SharedSlice::new(&mut data);
+            let pool = StaticPool::new(4);
+            pool.run(|tid| {
+                for i in split_static(shared.len(), 4, tid) {
+                    // SAFETY: static split ⇒ each index has one owner.
+                    unsafe { shared.write(i, (tid * 10_000 + i) as u64) };
+                }
+            });
+        }
+        for (i, &v) in data.iter().enumerate() {
+            assert_eq!(v as usize % 10_000, i % 10_000);
+        }
+    }
+
+    #[test]
+    fn interleaved_ownership_is_fine() {
+        // Even/odd interleave: disjoint but non-contiguous.
+        let mut data = vec![0i32; 64];
+        {
+            let shared = SharedSlice::new(&mut data);
+            let pool = StaticPool::new(2);
+            pool.run(|tid| {
+                let mut i = tid;
+                while i < shared.len() {
+                    // SAFETY: parity partitions the index space.
+                    unsafe { shared.add_assign(i, 1 + tid as i32) };
+                    i += 2;
+                }
+            });
+        }
+        for (i, &v) in data.iter().enumerate() {
+            assert_eq!(v, 1 + (i % 2) as i32);
+        }
+    }
+
+    #[test]
+    fn range_mut_hands_out_disjoint_subslices() {
+        let mut data = vec![0.0f32; 40];
+        {
+            let shared = SharedSlice::new(&mut data);
+            let pool = StaticPool::new(4);
+            pool.run(|tid| {
+                // SAFETY: 10-element blocks per tid are disjoint.
+                let chunk = unsafe { shared.range_mut(tid * 10, 10) };
+                chunk.fill(tid as f32);
+            });
+        }
+        for (i, &v) in data.iter().enumerate() {
+            assert_eq!(v, (i / 10) as f32);
+        }
+    }
+
+    #[test]
+    fn read_back_after_write() {
+        let mut data = vec![7i64; 3];
+        let shared = SharedSlice::new(&mut data);
+        // SAFETY: single-threaded use.
+        unsafe {
+            shared.write(1, 9);
+            assert_eq!(shared.read(1), 9);
+            assert_eq!(shared.read(0), 7);
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! `schedule(static)` iteration-space splitting.
+
+use std::ops::Range;
+
+/// The contiguous subrange of `0..total` owned by thread `tid` out of
+/// `parts`, under OpenMP-style static scheduling: the first `total % parts`
+/// threads get one extra iteration, so sizes differ by at most one and the
+/// union is exactly `0..total`.
+///
+/// `tid >= parts` is a bug in the caller and panics.
+pub fn split_static(total: usize, parts: usize, tid: usize) -> Range<usize> {
+    assert!(parts >= 1, "parts must be >= 1");
+    assert!(tid < parts, "tid {tid} out of range for {parts} parts");
+    let base = total / parts;
+    let extra = total % parts;
+    let start = tid * base + tid.min(extra);
+    let len = base + usize::from(tid < extra);
+    start..start + len
+}
+
+/// All `parts` static chunks of `0..total` in order (empty chunks included
+/// when `total < parts`).
+pub fn chunk_static(total: usize, parts: usize) -> impl Iterator<Item = Range<usize>> {
+    (0..parts).map(move |tid| split_static(total, parts, tid))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn even_split() {
+        assert_eq!(split_static(8, 4, 0), 0..2);
+        assert_eq!(split_static(8, 4, 3), 6..8);
+    }
+
+    #[test]
+    fn uneven_split_front_loads_remainder() {
+        // 10 over 4 -> 3,3,2,2
+        assert_eq!(split_static(10, 4, 0), 0..3);
+        assert_eq!(split_static(10, 4, 1), 3..6);
+        assert_eq!(split_static(10, 4, 2), 6..8);
+        assert_eq!(split_static(10, 4, 3), 8..10);
+    }
+
+    #[test]
+    fn more_parts_than_work_gives_empty_tails() {
+        assert_eq!(split_static(2, 4, 0), 0..1);
+        assert_eq!(split_static(2, 4, 1), 1..2);
+        assert_eq!(split_static(2, 4, 2), 2..2);
+        assert_eq!(split_static(2, 4, 3), 2..2);
+    }
+
+    #[test]
+    fn single_part_takes_all() {
+        assert_eq!(split_static(17, 1, 0), 0..17);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_tid_out_of_range() {
+        split_static(10, 2, 2);
+    }
+
+    proptest! {
+        #[test]
+        fn chunks_partition_exactly(total in 0usize..5000, parts in 1usize..64) {
+            let mut next = 0;
+            let mut sizes = vec![];
+            for r in chunk_static(total, parts) {
+                prop_assert_eq!(r.start, next);
+                sizes.push(r.len());
+                next = r.end;
+            }
+            prop_assert_eq!(next, total);
+            let max = sizes.iter().max().unwrap();
+            let min = sizes.iter().min().unwrap();
+            prop_assert!(max - min <= 1, "static split must be balanced");
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Stress and property tests for the static pool.
+
+use ndirect_threads::{chunk_static, Grid2, StaticPool};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+#[test]
+fn many_small_regions_on_one_pool() {
+    // The conv drivers enter a parallel region per operator call; the pool
+    // must sustain thousands of fork-joins without leaking or deadlocking.
+    let pool = StaticPool::new(4);
+    let counter = AtomicUsize::new(0);
+    for _ in 0..2000 {
+        pool.run(|_| {
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+    }
+    assert_eq!(counter.load(Ordering::Relaxed), 8000);
+}
+
+#[test]
+fn pools_can_coexist() {
+    // Model + tuner may hold separate pools simultaneously.
+    let a = StaticPool::new(2);
+    let b = StaticPool::new(3);
+    let count = AtomicUsize::new(0);
+    a.run(|_| {
+        count.fetch_add(1, Ordering::Relaxed);
+    });
+    b.run(|_| {
+        count.fetch_add(10, Ordering::Relaxed);
+    });
+    a.run(|_| {
+        count.fetch_add(100, Ordering::Relaxed);
+    });
+    assert_eq!(count.load(Ordering::Relaxed), 2 + 30 + 200);
+}
+
+#[test]
+fn dropping_pool_mid_program_is_clean() {
+    for _ in 0..20 {
+        let pool = StaticPool::new(3);
+        let c = AtomicUsize::new(0);
+        pool.run(|_| {
+            c.fetch_add(1, Ordering::Relaxed);
+        });
+        drop(pool);
+    }
+}
+
+#[test]
+fn writes_before_barrier_are_visible_after_run() {
+    // The implicit barrier must publish all worker writes to the caller.
+    let pool = StaticPool::new(8);
+    let mut data = vec![0usize; 64];
+    {
+        let slices: Vec<std::sync::Mutex<&mut [usize]>> = data
+            .chunks_mut(8)
+            .map(std::sync::Mutex::new)
+            .collect();
+        pool.run(|tid| {
+            let mut guard = slices[tid].lock().unwrap();
+            for (i, x) in guard.iter_mut().enumerate() {
+                *x = tid * 100 + i;
+            }
+        });
+    }
+    for tid in 0..8 {
+        for i in 0..8 {
+            assert_eq!(data[tid * 8 + i], tid * 100 + i);
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn static_chunks_tile_grid_work(total in 0usize..10_000, threads in 1usize..32) {
+        let mut covered = 0usize;
+        for r in chunk_static(total, threads) {
+            covered += r.len();
+        }
+        prop_assert_eq!(covered, total);
+    }
+
+    #[test]
+    fn every_factorization_covers_all_threads(threads in 1usize..=64) {
+        for g in Grid2::factorizations(threads) {
+            prop_assert_eq!(g.threads(), threads);
+            let mut seen = std::collections::HashSet::new();
+            for tid in 0..threads {
+                prop_assert!(seen.insert(g.coords(tid)), "duplicate coords");
+            }
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! The paper's evaluation workloads.
+//!
+//! Table 4 lists 28 convolution operators: IDs 1–23 from ResNet-50 and
+//! 24–28 from VGG-16, specified as `(C, K, H/W, R/S, str)`. The paper sets
+//! the batch size `N` to the number of physical cores of the machine under
+//! test (§7.2) and uses FP32 everywhere. Padding is not printed in the
+//! table; the layers use the standard ImageNet-network convention (same
+//! padding for odd kernels: 1 for 3×3, 3 for 7×7, none for 1×1), which is
+//! what reproduces the networks' published feature-map sizes.
+
+#![warn(missing_docs)]
+
+pub mod table4;
+
+pub use table4::{
+    fig1_layers, fig4_layers, resnet50_layers, vgg16_layers, LayerConfig, TABLE4,
+};
+
+use ndirect_tensor::{fill, ActLayout, ConvShape, Filter, FilterLayout, Tensor4};
+
+/// A ready-to-run convolution problem: deterministic input and filter for a
+/// shape, in the requested layouts.
+pub struct Problem {
+    /// The convolution configuration.
+    pub shape: ConvShape,
+    /// Seeded random input activations.
+    pub input: Tensor4,
+    /// Seeded random filter weights.
+    pub filter: Filter,
+}
+
+/// Builds a seeded problem instance. The same `(shape, seed)` always yields
+/// identical data, so backends can be compared element-wise.
+pub fn make_problem(
+    shape: ConvShape,
+    act_layout: ActLayout,
+    filter_layout: FilterLayout,
+    seed: u64,
+) -> Problem {
+    let input = fill::random_tensor(Tensor4::input_for(&shape, act_layout), seed);
+    let filter = fill::random_filter(Filter::for_shape(&shape, filter_layout), seed);
+    Problem {
+        shape,
+        input,
+        filter,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn problem_generation_is_deterministic() {
+        let shape = ConvShape::square(1, 3, 4, 8, 3, 1);
+        let a = make_problem(shape, ActLayout::Nchw, FilterLayout::Kcrs, 11);
+        let b = make_problem(shape, ActLayout::Nchw, FilterLayout::Kcrs, 11);
+        assert_eq!(a.input.as_slice(), b.input.as_slice());
+        assert_eq!(a.filter.as_slice(), b.filter.as_slice());
+        let c = make_problem(shape, ActLayout::Nchw, FilterLayout::Kcrs, 12);
+        assert_ne!(a.input.as_slice(), c.input.as_slice());
+    }
+
+    #[test]
+    fn problem_respects_layouts() {
+        let shape = ConvShape::square(1, 3, 4, 8, 3, 1);
+        let p = make_problem(shape, ActLayout::Nhwc, FilterLayout::Krsc, 1);
+        assert_eq!(p.input.layout(), ActLayout::Nhwc);
+        assert_eq!(p.filter.layout(), FilterLayout::Krsc);
+    }
+}

@@ -1,0 +1,185 @@
+//! Table 4: the 28 convolution operator configurations.
+
+use ndirect_tensor::ConvShape;
+use serde::{Deserialize, Serialize};
+
+/// Source network of a Table 4 row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Network {
+    /// He et al., 2016 (Table 4 IDs 1–23).
+    ResNet50,
+    /// Simonyan & Zisserman, 2015 (Table 4 IDs 24–28).
+    Vgg16,
+}
+
+/// One row of Table 4: `(ID, C, K, H/W, R/S, str)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LayerConfig {
+    /// Layer ID as printed in the paper (1–28).
+    pub id: usize,
+    /// Input channels `C`.
+    pub c: usize,
+    /// Output channels `K`.
+    pub k: usize,
+    /// Input height = width.
+    pub hw: usize,
+    /// Kernel height = width.
+    pub rs: usize,
+    /// Stride.
+    pub stride: usize,
+    /// Which network the layer comes from.
+    pub network: Network,
+}
+
+impl LayerConfig {
+    /// The convolution shape for batch size `n` (same padding for odd
+    /// kernels, matching the source networks).
+    pub fn shape(&self, n: usize) -> ConvShape {
+        ConvShape::square(n, self.c, self.k, self.hw, self.rs, self.stride)
+    }
+
+    /// FLOPs at batch size `n`.
+    pub fn flops(&self, n: usize) -> u64 {
+        self.shape(n).flops()
+    }
+}
+
+const fn row(id: usize, c: usize, k: usize, hw: usize, rs: usize, stride: usize, network: Network) -> LayerConfig {
+    LayerConfig {
+        id,
+        c,
+        k,
+        hw,
+        rs,
+        stride,
+        network,
+    }
+}
+
+/// Table 4 verbatim. IDs 1–23: ResNet-50; 24–28: VGG-16.
+pub const TABLE4: [LayerConfig; 28] = [
+    row(1, 3, 64, 224, 7, 2, Network::ResNet50),
+    row(2, 128, 128, 56, 3, 2, Network::ResNet50),
+    row(3, 64, 64, 56, 3, 1, Network::ResNet50),
+    row(4, 256, 512, 56, 1, 2, Network::ResNet50),
+    row(5, 64, 64, 56, 1, 1, Network::ResNet50),
+    row(6, 64, 256, 56, 1, 1, Network::ResNet50),
+    row(7, 256, 64, 56, 1, 1, Network::ResNet50),
+    row(8, 256, 128, 56, 1, 1, Network::ResNet50),
+    row(9, 256, 256, 28, 3, 2, Network::ResNet50),
+    row(10, 128, 128, 28, 3, 1, Network::ResNet50),
+    row(11, 512, 1024, 28, 1, 2, Network::ResNet50),
+    row(12, 512, 256, 28, 1, 1, Network::ResNet50),
+    row(13, 512, 128, 28, 1, 1, Network::ResNet50),
+    row(14, 128, 512, 28, 1, 1, Network::ResNet50),
+    row(15, 512, 512, 14, 3, 2, Network::ResNet50),
+    row(16, 256, 256, 14, 3, 1, Network::ResNet50),
+    row(17, 1024, 2048, 14, 1, 2, Network::ResNet50),
+    row(18, 256, 1024, 14, 1, 1, Network::ResNet50),
+    row(19, 1024, 512, 14, 1, 1, Network::ResNet50),
+    row(20, 1024, 256, 14, 1, 1, Network::ResNet50),
+    row(21, 512, 512, 3, 3, 1, Network::ResNet50),
+    row(22, 512, 2048, 7, 1, 1, Network::ResNet50),
+    row(23, 2048, 512, 7, 1, 1, Network::ResNet50),
+    row(24, 64, 64, 224, 3, 1, Network::Vgg16),
+    row(25, 128, 128, 112, 3, 1, Network::Vgg16),
+    row(26, 256, 256, 56, 3, 1, Network::Vgg16),
+    row(27, 512, 512, 28, 3, 1, Network::Vgg16),
+    row(28, 512, 512, 14, 3, 1, Network::Vgg16),
+];
+
+/// Layer IDs 1–20, the subset used by Figures 1, 6, 8 and 9.
+pub fn fig1_layers() -> &'static [LayerConfig] {
+    &TABLE4[..20]
+}
+
+/// All 28 layers, the Figure 4 sweep.
+pub fn fig4_layers() -> &'static [LayerConfig] {
+    &TABLE4
+}
+
+/// The ResNet-50 rows (IDs 1–23).
+pub fn resnet50_layers() -> &'static [LayerConfig] {
+    &TABLE4[..23]
+}
+
+/// The VGG-16 rows (IDs 24–28) — also the Figure 5 packing-ablation set.
+pub fn vgg16_layers() -> &'static [LayerConfig] {
+    &TABLE4[23..]
+}
+
+/// Looks a layer up by its paper ID.
+pub fn layer_by_id(id: usize) -> Option<&'static LayerConfig> {
+    TABLE4.get(id.checked_sub(1)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_sequential() {
+        for (i, l) in TABLE4.iter().enumerate() {
+            assert_eq!(l.id, i + 1);
+        }
+    }
+
+    #[test]
+    fn network_split_matches_paper() {
+        assert!(resnet50_layers().iter().all(|l| l.network == Network::ResNet50));
+        assert!(vgg16_layers().iter().all(|l| l.network == Network::Vgg16));
+        assert_eq!(resnet50_layers().len(), 23);
+        assert_eq!(vgg16_layers().len(), 5);
+        assert_eq!(fig1_layers().len(), 20);
+    }
+
+    #[test]
+    fn layer1_is_resnet_stem() {
+        let l = layer_by_id(1).unwrap();
+        let s = l.shape(64);
+        // 224x224x3, 7x7/2 with pad 3 -> 112x112x64.
+        assert_eq!((s.p(), s.q()), (112, 112));
+        assert_eq!(s.k, 64);
+        assert_eq!(s.pad.h, 3);
+    }
+
+    #[test]
+    fn strided_3x3_layers_halve_spatial() {
+        for id in [2, 9, 15] {
+            let l = layer_by_id(id).unwrap();
+            let s = l.shape(1);
+            assert_eq!(s.p(), l.hw / 2, "layer {id}");
+        }
+    }
+
+    #[test]
+    fn pointwise_layers_have_no_padding() {
+        for l in TABLE4.iter().filter(|l| l.rs == 1) {
+            let s = l.shape(1);
+            assert_eq!(s.pad.h, 0);
+            assert_eq!(s.pad.w, 0);
+        }
+    }
+
+    #[test]
+    fn vgg_layers_preserve_spatial_size() {
+        for l in vgg16_layers() {
+            let s = l.shape(1);
+            assert_eq!(s.p(), l.hw);
+            assert_eq!(s.q(), l.hw);
+        }
+    }
+
+    #[test]
+    fn lookup_by_id() {
+        assert_eq!(layer_by_id(28).unwrap().hw, 14);
+        assert!(layer_by_id(0).is_none());
+        assert!(layer_by_id(29).is_none());
+    }
+
+    #[test]
+    fn flops_scale_linearly_with_batch() {
+        let l = layer_by_id(3).unwrap();
+        assert_eq!(l.flops(4), 4 * l.flops(1));
+    }
+}

@@ -1,0 +1,59 @@
+//! End-to-end CNN inference with a pluggable convolution backend —
+//! a single-model slice of the paper's Figure 7.
+//!
+//! ```sh
+//! cargo run --release -p ndirect-integration --example cnn_inference -- [resnet50|resnet101|vgg16|vgg19] [batch]
+//! ```
+
+use ndirect_baselines::Im2colBackend;
+use ndirect_models::{resnet101, resnet50, vgg16, vgg19, Engine, NDirectBackend};
+use ndirect_tensor::{fill, ActLayout, Tensor4};
+use ndirect_threads::StaticPool;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let which = args.first().map(String::as_str).unwrap_or("resnet50");
+    let batch: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(1);
+
+    let model = match which {
+        "resnet50" => resnet50(0),
+        "resnet101" => resnet101(0),
+        "vgg16" => vgg16(0),
+        "vgg19" => vgg19(0),
+        other => {
+            eprintln!("unknown model {other}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "{}: {} convolutions, {:.1}M params, {:.1} conv GFLOP at batch {batch}",
+        model.name,
+        model.conv_count(),
+        model.params() as f64 / 1e6,
+        model.conv_flops(batch) as f64 / 1e9
+    );
+
+    let pool = StaticPool::with_hardware_threads();
+    let input = fill::random_tensor(Tensor4::zeros(batch, 3, 224, 224, ActLayout::Nchw), 1);
+
+    let ndirect = NDirectBackend::host();
+    for backend in [
+        &ndirect as &dyn ndirect_baselines::Convolution,
+        &Im2colBackend,
+    ] {
+        let engine = Engine::new(backend, &pool);
+        let (probs, stats) = engine.run(&model, &input);
+        let top: (usize, f32) = (0..1000)
+            .map(|c| (c, probs.at(0, c, 0, 0)))
+            .fold((0, 0.0), |acc, x| if x.1 > acc.1 { x } else { acc });
+        println!(
+            "{:<12} total {:>8.3} s | conv {:>8.3} s ({:>4.1}% of runtime) | argmax class {} (p={:.4})",
+            backend.name(),
+            stats.total.as_secs_f64(),
+            stats.conv_time.as_secs_f64(),
+            100.0 * stats.conv_fraction(),
+            top.0,
+            top.1
+        );
+    }
+}

@@ -1,0 +1,106 @@
+//! The §10.2 extensions, end to end: depthwise-separable convolution
+//! (MobileNet's building block), 3-D convolution, and the native NHWC
+//! entry point.
+//!
+//! ```sh
+//! cargo run --release -p ndirect-integration --example extensions
+//! ```
+
+use ndirect_core::{
+    conv3d_naive, conv3d_ndirect, conv_depthwise_separable, conv_ndirect_nhwc, Conv3dShape,
+};
+use ndirect_tensor::{
+    fill, max_rel_diff, ActLayout, ConvShape, Filter, Filter5, FilterLayout, Tensor4, Tensor5,
+};
+use ndirect_threads::StaticPool;
+use std::time::Instant;
+
+fn main() {
+    let pool = StaticPool::with_hardware_threads();
+
+    // --- Depthwise separable block (MobileNet): dw3x3 + pw1x1 ---
+    let shape = ConvShape::square(1, 64, 64, 56, 3, 1); // geometry carrier
+    let input = fill::random_tensor(Tensor4::input_for(&shape, ActLayout::Nchw), 1);
+    let dw = fill::random_filter(Filter::zeros(64, 1, 3, 3, FilterLayout::Kcrs), 2);
+    let pw = fill::random_filter(Filter::zeros(128, 64, 1, 1, FilterLayout::Kcrs), 3);
+    let t = Instant::now();
+    let out = conv_depthwise_separable(&pool, &input, &dw, &pw, &shape);
+    let dsc_time = t.elapsed();
+    // The separable pair vs the dense 3x3 it approximates: count the MACs.
+    let dsc_macs = 64 * 56 * 56 * 9 + 128 * 64 * 56 * 56;
+    let dense_macs = 128 * 64 * 56 * 56 * 9;
+    println!(
+        "depthwise-separable 64->128 @56x56: {:?}, {}x fewer MACs than dense 3x3",
+        dsc_time,
+        dense_macs / dsc_macs
+    );
+    assert_eq!(out.dims(), (1, 128, 56, 56));
+
+    // --- 3-D convolution (video / volumetric) ---
+    let shape3 = Conv3dShape {
+        n: 1,
+        c: 4,
+        d: 16,
+        h: 32,
+        w: 32,
+        k: 8,
+        t: 3,
+        r: 3,
+        s: 3,
+        stride: 1,
+        pad_d: 1,
+        pad_h: 1,
+        pad_w: 1,
+    };
+    let mut vol = Tensor5::zeros(shape3.n, shape3.c, shape3.d, shape3.h, shape3.w);
+    fill::fill_random(vol.as_mut_slice(), 4);
+    let mut f3 = Filter5::zeros(shape3.k, shape3.c, shape3.t, shape3.r, shape3.s);
+    fill::fill_random(f3.as_mut_slice(), 5);
+
+    let t = Instant::now();
+    let got = conv3d_ndirect(&pool, &vol, &f3, &shape3);
+    let fast = t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    let expect = conv3d_naive(&vol, &f3, &shape3);
+    let slow = t.elapsed().as_secs_f64();
+    let err = max_rel_diff(got.as_slice(), expect.as_slice());
+    println!(
+        "conv3d 4->8 @16x32x32 3x3x3: {:.2} GFLOPS ({:.1}x over naive), max rel err {err:.1e}",
+        shape3.flops() as f64 / fast / 1e9,
+        slow / fast
+    );
+    assert!(err < 2e-4);
+
+    // --- Native NHWC entry (TensorFlow-style layouts) ---
+    let shape = ConvShape::square(1, 64, 64, 28, 3, 1);
+    let in_nhwc = fill::random_tensor(Tensor4::input_for(&shape, ActLayout::Nhwc), 6);
+    let f_krsc = fill::random_filter(Filter::for_shape(&shape, FilterLayout::Krsc), 7);
+    let t = Instant::now();
+    let out = conv_ndirect_nhwc(&pool, &in_nhwc, &f_krsc, &shape);
+    println!(
+        "native NHWC 64->64 @28x28 3x3: {:.2} GFLOPS, output layout {:?}",
+        shape.gflops(t.elapsed().as_secs_f64()),
+        out.layout()
+    );
+    let oracle = ndirect_baselines::naive::conv_ref(&in_nhwc, &f_krsc, &shape);
+    let err = max_rel_diff(out.as_slice(), oracle.as_slice());
+    assert!(err < 2e-4);
+
+    // --- INT16 quantized convolution ---
+    let shape = ConvShape::square(1, 64, 64, 28, 3, 1);
+    let input = fill::random_tensor(Tensor4::input_for(&shape, ActLayout::Nchw), 8);
+    let filter = fill::random_filter(Filter::for_shape(&shape, FilterLayout::Kcrs), 9);
+    let t = Instant::now();
+    let (qout, qx, qw) = ndirect_core::conv_quantized(&pool, &input, &filter, &shape);
+    let qt = t.elapsed().as_secs_f64();
+    let reference = ndirect_baselines::naive::conv_ref(&input, &filter, &shape);
+    let qerr = max_rel_diff(qout.as_slice(), reference.as_slice());
+    println!(
+        "INT16 quantized 64->64 @28x28 3x3: {:.2} effective GOPS, scales ({:.2e}, {:.2e}), max rel err {qerr:.1e}",
+        shape.gflops(qt),
+        qx.scale,
+        qw.scale
+    );
+    assert!(qerr < 1e-2);
+    println!("all extensions verified against oracles");
+}

@@ -1,0 +1,116 @@
+//! Cross-backend agreement: every convolution implementation in the
+//! workspace computes the same operator.
+//!
+//! The Table 4 shapes are run (spatially scaled down for test speed, which
+//! preserves channel structure, kernel size, stride and padding) through
+//! all backends and compared element-wise against the naive oracle.
+
+use ndirect_baselines::{
+    naive, run_backend, BlockedBackend, Convolution, Im2colBackend, IndirectBackend,
+};
+use ndirect_models::NDirectBackend;
+use ndirect_tensor::{assert_close, ActLayout, ConvShape, FilterLayout};
+use ndirect_threads::StaticPool;
+use ndirect_workloads::{fig4_layers, make_problem};
+
+/// Scales a Table 4 layer down for test runtime: spatial extent capped,
+/// channels capped, structure preserved.
+fn scaled_shape(c: usize, k: usize, hw: usize, rs: usize, stride: usize) -> ConvShape {
+    let hw = hw.min(14).max(rs + stride); // keep the kernel fitting
+    let c = c.min(48);
+    let k = k.min(48);
+    ConvShape::square(2, c, k, hw, rs, stride)
+}
+
+fn backends() -> Vec<Box<dyn Convolution>> {
+    vec![
+        Box::new(Im2colBackend),
+        Box::new(BlockedBackend),
+        Box::new(IndirectBackend),
+        Box::new(NDirectBackend::host()),
+    ]
+}
+
+#[test]
+fn all_backends_match_oracle_on_all_table4_shapes() {
+    let pool = StaticPool::new(2);
+    for layer in fig4_layers() {
+        let shape = scaled_shape(layer.c, layer.k, layer.hw, layer.rs, layer.stride);
+        let p = make_problem(shape, ActLayout::Nchw, FilterLayout::Kcrs, layer.id as u64);
+        let expect = naive::conv_ref(&p.input, &p.filter, &shape);
+        for backend in backends() {
+            let got = run_backend(backend.as_ref(), &pool, &p.input, &p.filter, &shape);
+            assert_close(
+                got.as_slice(),
+                expect.as_slice(),
+                2e-4,
+                &format!("layer {} ({shape}) via {}", layer.id, backend.name()),
+            );
+        }
+    }
+}
+
+#[test]
+fn backends_match_on_asymmetric_spatial_dims() {
+    // H != W and R != S exercise index plumbing the square Table 4 shapes
+    // cannot.
+    let pool = StaticPool::new(2);
+    for (h, w, r, s, stride, ph, pw) in [
+        (9usize, 15usize, 3usize, 1usize, 1usize, 1usize, 0usize),
+        (12, 7, 1, 3, 1, 0, 1),
+        (11, 13, 3, 5, 2, 1, 2),
+        (8, 20, 5, 3, 2, 2, 1),
+    ] {
+        let shape = ConvShape::new(
+            2,
+            5,
+            h,
+            w,
+            7,
+            r,
+            s,
+            stride,
+            ndirect_tensor::Padding { h: ph, w: pw },
+        );
+        let p = make_problem(shape, ActLayout::Nchw, FilterLayout::Kcrs, 77);
+        let expect = naive::conv_ref(&p.input, &p.filter, &shape);
+        for backend in backends() {
+            let got = run_backend(backend.as_ref(), &pool, &p.input, &p.filter, &shape);
+            assert_close(
+                got.as_slice(),
+                expect.as_slice(),
+                2e-4,
+                &format!("{shape} via {}", backend.name()),
+            );
+        }
+    }
+}
+
+#[test]
+fn backends_match_on_degenerate_sizes() {
+    let pool = StaticPool::new(1);
+    for shape in [
+        // Single pixel output.
+        ConvShape::new(1, 1, 3, 3, 1, 3, 3, 1, ndirect_tensor::Padding::NONE),
+        // Single channel in and out.
+        ConvShape::new(1, 1, 6, 6, 1, 3, 3, 1, ndirect_tensor::Padding::same(1)),
+        // K = 1 with many input channels.
+        ConvShape::new(1, 17, 5, 5, 1, 1, 1, 1, ndirect_tensor::Padding::NONE),
+        // Kernel as large as the input.
+        ConvShape::new(1, 2, 4, 4, 3, 4, 4, 1, ndirect_tensor::Padding::NONE),
+        // Output width 1 (W == S).
+        ConvShape::new(2, 3, 8, 3, 4, 3, 3, 1, ndirect_tensor::Padding::NONE),
+    ] {
+        let p = make_problem(shape, ActLayout::Nchw, FilterLayout::Kcrs, 3);
+        let expect = naive::conv_ref(&p.input, &p.filter, &shape);
+        for backend in backends() {
+            let got = run_backend(backend.as_ref(), &pool, &p.input, &p.filter, &shape);
+            assert_close(
+                got.as_slice(),
+                expect.as_slice(),
+                2e-4,
+                &format!("{shape} via {}", backend.name()),
+            );
+        }
+    }
+}

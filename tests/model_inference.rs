@@ -1,0 +1,141 @@
+//! End-to-end model inference across backends.
+
+use ndirect_baselines::{Im2colBackend, IndirectBackend, NaiveBackend};
+use ndirect_models::{zoo, Engine, NDirectBackend};
+use ndirect_tensor::{assert_close, fill, ActLayout, Tensor4};
+use ndirect_threads::StaticPool;
+
+fn input(n: usize, model: &ndirect_models::Model, seed: u64) -> Tensor4 {
+    let (c, h, w) = model.input;
+    fill::random_tensor(Tensor4::zeros(n, c, h, w, ActLayout::Nchw), seed)
+}
+
+#[test]
+fn tiny_resnet_backends_agree() {
+    let model = zoo::tiny_resnet(3);
+    let x = input(2, &model, 10);
+    let pool = StaticPool::new(2);
+    let (expect, _) = Engine::new(&NaiveBackend, &pool).run(&model, &x);
+    for backend in [
+        &Im2colBackend as &dyn ndirect_baselines::Convolution,
+        &IndirectBackend,
+        &NDirectBackend::host(),
+    ] {
+        let (got, stats) = Engine::new(backend, &pool).run(&model, &x);
+        assert_close(
+            got.as_slice(),
+            expect.as_slice(),
+            1e-3,
+            &format!("tiny_resnet via {}", backend.name()),
+        );
+        assert_eq!(stats.convs, model.conv_count());
+    }
+}
+
+#[test]
+fn inference_is_deterministic() {
+    let model = zoo::tiny_resnet(4);
+    let x = input(1, &model, 11);
+    let pool = StaticPool::new(4);
+    let nd = NDirectBackend::host();
+    let engine = Engine::new(&nd, &pool);
+    let (a, _) = engine.run(&model, &x);
+    let (b, _) = engine.run(&model, &x);
+    assert_eq!(a.as_slice(), b.as_slice(), "same engine, same bits");
+}
+
+#[test]
+fn batch_elements_are_independent() {
+    // Running [x; y] batched equals running x and y separately.
+    let model = zoo::tiny_resnet(5);
+    let x1 = input(1, &model, 20);
+    let x2 = input(1, &model, 21);
+    let mut xb = Tensor4::zeros(2, 3, 32, 32, ActLayout::Nchw);
+    xb.as_mut_slice()[..x1.len()].copy_from_slice(x1.as_slice());
+    xb.as_mut_slice()[x1.len()..].copy_from_slice(x2.as_slice());
+
+    let pool = StaticPool::new(1);
+    let nd = NDirectBackend::host();
+    let engine = Engine::new(&nd, &pool);
+    let (yb, _) = engine.run(&model, &xb);
+    let (y1, _) = engine.run(&model, &x1);
+    let (y2, _) = engine.run(&model, &x2);
+    assert_close(&yb.as_slice()[..10], y1.as_slice(), 1e-4, "batch elem 0");
+    assert_close(&yb.as_slice()[10..], y2.as_slice(), 1e-4, "batch elem 1");
+}
+
+#[test]
+fn full_resnet50_runs_one_forward_pass() {
+    // The real 224x224 graph, batch 1, nDirect backend — a smoke test that
+    // the full Fig. 7 pipeline is sound (timing happens in the harness).
+    let model = zoo::resnet50(1);
+    let x = input(1, &model, 30);
+    let pool = StaticPool::new(2);
+    let nd = NDirectBackend::host();
+    let (probs, stats) = Engine::new(&nd, &pool).run(&model, &x);
+    assert_eq!(probs.dims(), (1, 1000, 1, 1));
+    let sum: f32 = probs.as_slice().iter().sum();
+    assert!((sum - 1.0).abs() < 1e-3, "softmax sums to 1, got {sum}");
+    assert!(probs.as_slice().iter().all(|&p| (0.0..=1.0).contains(&p)));
+    assert_eq!(stats.convs, model.conv_count());
+    // The paper's premise: convolution dominates runtime.
+    assert!(
+        stats.conv_fraction() > 0.5,
+        "conv fraction = {}",
+        stats.conv_fraction()
+    );
+}
+
+#[test]
+fn mobilenet_lite_runs_and_backends_agree() {
+    // Depthwise-separable blocks (§10.2): depthwise stages always run
+    // nDirect's dedicated kernel; the pointwise stages go through the
+    // pluggable backend, so comparing backends still validates them.
+    let model = zoo::mobilenet_lite(2);
+    let x = input(1, &model, 40);
+    let pool = StaticPool::new(2);
+    let nd = NDirectBackend::host();
+    let (a, stats) = Engine::new(&nd, &pool).run(&model, &x);
+    assert_eq!(a.dims(), (1, 1000, 1, 1));
+    let sum: f32 = a.as_slice().iter().sum();
+    assert!((sum - 1.0).abs() < 1e-3);
+    assert_eq!(stats.convs, model.conv_count());
+
+    let (b, _) = Engine::new(&Im2colBackend, &pool).run(&model, &x);
+    assert_close(b.as_slice(), a.as_slice(), 1e-3, "mobilenet backends");
+}
+
+#[test]
+fn vgg16_conv_layers_match_table4_rows() {
+    // Table 4 rows 24–28 are VGG-16 layers; the zoo graph must contain
+    // convolutions with exactly those (C, K, H/W) combinations.
+    let model = zoo::vgg16(0);
+    let shapes = model.conv_shapes(1);
+    for row in ndirect_workloads::vgg16_layers() {
+        assert!(
+            shapes
+                .iter()
+                .any(|s| s.c == row.c && s.k == row.k && s.h == row.hw && s.s == row.rs),
+            "Table 4 layer {} missing from VGG-16 graph",
+            row.id
+        );
+    }
+}
+
+#[test]
+fn resnet50_contains_table4_rows() {
+    let model = zoo::resnet50(0);
+    let shapes = model.conv_shapes(1);
+    // Spot-check distinctive rows: the stem (id 1) and a bottleneck trio
+    // (ids 5, 3/10-style 3x3, 6).
+    for id in [1usize, 5, 6, 9, 17, 22, 23] {
+        let row = ndirect_workloads::table4::layer_by_id(id).unwrap();
+        assert!(
+            shapes
+                .iter()
+                .any(|s| s.c == row.c && s.k == row.k && s.h == row.hw && s.s == row.rs
+                    && s.stride == row.stride),
+            "Table 4 layer {id} missing from ResNet-50 graph"
+        );
+    }
+}

@@ -1,0 +1,143 @@
+//! Property-based tests over randomized problem shapes and data.
+
+use ndirect_baselines::{blocked, im2col, indirect, naive};
+use ndirect_core::{conv_ndirect_with, Schedule};
+use ndirect_tensor::{
+    assert_close, fill, ActLayout, ConvShape, Filter, FilterLayout, Padding, Tensor4,
+};
+use ndirect_threads::StaticPool;
+use proptest::prelude::*;
+
+/// Random-but-small convolution shapes: kernels 1–5, strides 1–2,
+/// padding 0–2, channels/outputs 1–20, spatial 1–16 (subject to fitting).
+fn conv_shapes() -> impl Strategy<Value = ConvShape> {
+    (
+        1usize..=3,  // n
+        1usize..=20, // c
+        1usize..=16, // h
+        1usize..=16, // w
+        1usize..=20, // k
+        1usize..=5,  // r
+        1usize..=5,  // s
+        1usize..=2,  // stride
+        0usize..=2,  // pad h
+        0usize..=2,  // pad w
+    )
+        .prop_filter_map("kernel must fit padded input", |(n, c, h, w, k, r, s, st, ph, pw)| {
+            if h + 2 * ph < r || w + 2 * pw < s {
+                return None;
+            }
+            Some(ConvShape::new(n, c, h, w, k, r, s, st, Padding { h: ph, w: pw }))
+        })
+}
+
+fn problem(shape: &ConvShape, seed: u64) -> (Tensor4, Filter) {
+    (
+        fill::random_tensor(Tensor4::input_for(shape, ActLayout::Nchw), seed),
+        fill::random_filter(Filter::for_shape(shape, FilterLayout::Kcrs), seed),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn ndirect_matches_oracle_on_random_shapes(shape in conv_shapes(), seed in 0u64..1000) {
+        let (input, filter) = problem(&shape, seed);
+        let expect = naive::conv_ref(&input, &filter, &shape);
+        let pool = StaticPool::new(1);
+        let got = conv_ndirect_with(&pool, &input, &filter, &shape, &Schedule::minimal(&shape));
+        assert_close(got.as_slice(), expect.as_slice(), 2e-4, &format!("{shape}"));
+    }
+
+    #[test]
+    fn im2col_matches_oracle_on_random_shapes(shape in conv_shapes(), seed in 0u64..1000) {
+        let (input, filter) = problem(&shape, seed);
+        let expect = naive::conv_ref(&input, &filter, &shape);
+        let pool = StaticPool::new(1);
+        let got = im2col::conv_im2col(&pool, &input, &filter, &shape);
+        assert_close(got.as_slice(), expect.as_slice(), 2e-4, &format!("{shape}"));
+    }
+
+    #[test]
+    fn blocked_matches_oracle_on_random_shapes(shape in conv_shapes(), seed in 0u64..1000) {
+        let (input, filter) = problem(&shape, seed);
+        let expect = naive::conv_ref(&input, &filter, &shape);
+        let pool = StaticPool::new(1);
+        let got = blocked::conv_blocked_nchw(&pool, &input, &filter, &shape);
+        assert_close(got.as_slice(), expect.as_slice(), 2e-4, &format!("{shape}"));
+    }
+
+    #[test]
+    fn indirect_matches_oracle_on_random_shapes(shape in conv_shapes(), seed in 0u64..1000) {
+        let (input, filter) = problem(&shape, seed);
+        let expect = naive::conv_ref(&input, &filter, &shape);
+        let pool = StaticPool::new(1);
+        let got = indirect::conv_indirect_nchw(&pool, &input, &filter, &shape);
+        assert_close(got.as_slice(), expect.as_slice(), 2e-4, &format!("{shape}"));
+    }
+
+    #[test]
+    fn convolution_is_linear_in_the_input(shape in conv_shapes(), seed in 0u64..500) {
+        // conv(a·x + y, F) == a·conv(x, F) + conv(y, F)
+        let (x, filter) = problem(&shape, seed);
+        let (y, _) = problem(&shape, seed.wrapping_add(101));
+        let a = 0.75f32;
+        let pool = StaticPool::new(1);
+        let sched = Schedule::minimal(&shape);
+
+        let mut combo = x.clone();
+        for (cx, cy) in combo.as_mut_slice().iter_mut().zip(y.as_slice()) {
+            *cx = a * *cx + cy;
+        }
+        let lhs = conv_ndirect_with(&pool, &combo, &filter, &shape, &sched);
+        let cx = conv_ndirect_with(&pool, &x, &filter, &shape, &sched);
+        let cy = conv_ndirect_with(&pool, &y, &filter, &shape, &sched);
+        for (i, l) in lhs.as_slice().iter().enumerate() {
+            let r = a * cx.as_slice()[i] + cy.as_slice()[i];
+            prop_assert!((l - r).abs() <= 5e-4 * r.abs().max(1.0), "idx {i}: {l} vs {r}");
+        }
+    }
+
+    #[test]
+    fn zero_filter_gives_zero_output(shape in conv_shapes(), seed in 0u64..100) {
+        let (input, _) = problem(&shape, seed);
+        let filter = Filter::for_shape(&shape, FilterLayout::Kcrs);
+        let pool = StaticPool::new(1);
+        let got = conv_ndirect_with(&pool, &input, &filter, &shape, &Schedule::minimal(&shape));
+        prop_assert!(got.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn gemm_matches_naive_matmul(
+        m in 1usize..40,
+        n in 1usize..40,
+        k in 1usize..40,
+        seed in 0u64..1000,
+    ) {
+        let mut a = vec![0.0f32; m * k];
+        let mut b = vec![0.0f32; k * n];
+        fill::fill_random(&mut a, seed);
+        fill::fill_random(&mut b, seed ^ 1);
+        let mut c1 = vec![0.0f32; m * n];
+        let mut c2 = vec![0.0f32; m * n];
+        ndirect_gemm::naive::matmul(m, n, k, &a, &b, &mut c1);
+        ndirect_gemm::gemm(m, n, k, &a, &b, &mut c2);
+        assert_close(&c2, &c1, 2e-4, "gemm");
+    }
+
+    #[test]
+    fn layout_round_trip_random_dims(
+        n in 1usize..4, c in 1usize..9, h in 1usize..9, w in 1usize..9, seed in 0u64..100,
+    ) {
+        let t = fill::random_tensor(Tensor4::zeros(n, c, h, w, ActLayout::Nchw), seed);
+        let back = t.to_layout(ActLayout::Nhwc).to_layout(ActLayout::Nchw);
+        prop_assert_eq!(back.as_slice(), t.as_slice());
+    }
+
+    #[test]
+    fn schedule_sanitize_is_idempotent(shape in conv_shapes()) {
+        let s = Schedule::minimal(&shape).sanitized(&shape);
+        prop_assert_eq!(s.sanitized(&shape), s.clone());
+    }
+}

@@ -1,0 +1,102 @@
+//! Determinism across parallel configurations.
+//!
+//! nDirect never parallelizes a reduction dimension, so the floating-point
+//! reduction order of every output element is independent of the thread
+//! grid — results must be *bitwise* identical across grids. The same holds
+//! for the baselines' batch/row/channel-block decompositions.
+
+use ndirect_baselines::{blocked, im2col, indirect};
+use ndirect_core::{conv_ndirect_with, Schedule};
+use ndirect_tensor::{ActLayout, ConvShape, FilterLayout};
+use ndirect_threads::{Grid2, StaticPool};
+use ndirect_workloads::make_problem;
+
+fn shape() -> ConvShape {
+    ConvShape::square(4, 24, 32, 12, 3, 1)
+}
+
+#[test]
+fn ndirect_bitwise_identical_across_grids() {
+    let shape = shape();
+    let p = make_problem(shape, ActLayout::Nchw, FilterLayout::Kcrs, 42);
+    let reference = {
+        let pool = StaticPool::new(1);
+        let sched = Schedule::minimal(&shape);
+        conv_ndirect_with(&pool, &p.input, &p.filter, &shape, &sched)
+    };
+    for (ptn, ptk) in [(1, 1), (2, 1), (1, 2), (2, 2), (4, 2), (3, 1), (1, 8)] {
+        let pool = StaticPool::new(ptn * ptk);
+        let sched = Schedule::minimal(&shape).with_grid(Grid2::new(ptn, ptk));
+        let got = conv_ndirect_with(&pool, &p.input, &p.filter, &shape, &sched);
+        assert_eq!(
+            got.as_slice(),
+            reference.as_slice(),
+            "grid {ptn}x{ptk} diverged bitwise"
+        );
+    }
+}
+
+#[test]
+fn ndirect_bitwise_identical_across_repeat_runs() {
+    let shape = shape();
+    let p = make_problem(shape, ActLayout::Nchw, FilterLayout::Kcrs, 43);
+    let pool = StaticPool::new(4);
+    let sched = Schedule::minimal(&shape).with_grid(Grid2::new(2, 2));
+    let a = conv_ndirect_with(&pool, &p.input, &p.filter, &shape, &sched);
+    for _ in 0..5 {
+        let b = conv_ndirect_with(&pool, &p.input, &p.filter, &shape, &sched);
+        assert_eq!(a.as_slice(), b.as_slice(), "repeat run diverged");
+    }
+}
+
+#[test]
+fn im2col_bitwise_identical_across_thread_counts() {
+    let shape = shape();
+    let p = make_problem(shape, ActLayout::Nchw, FilterLayout::Kcrs, 44);
+    let base = im2col::conv_im2col(&StaticPool::new(1), &p.input, &p.filter, &shape);
+    for threads in [2, 3, 4, 8] {
+        let got = im2col::conv_im2col(&StaticPool::new(threads), &p.input, &p.filter, &shape);
+        assert_eq!(got.as_slice(), base.as_slice(), "{threads} threads");
+    }
+}
+
+#[test]
+fn blocked_bitwise_identical_across_thread_counts() {
+    let shape = shape();
+    let p = make_problem(shape, ActLayout::Nchw, FilterLayout::Kcrs, 45);
+    let ops = blocked::prepare_blocked(&p.input, &p.filter, &shape);
+    let base = blocked::conv_blocked(&StaticPool::new(1), &ops.input, &ops.filter, &shape);
+    for threads in [2, 4, 7] {
+        let got = blocked::conv_blocked(&StaticPool::new(threads), &ops.input, &ops.filter, &shape);
+        assert_eq!(got.as_slice(), base.as_slice(), "{threads} threads");
+    }
+}
+
+#[test]
+fn indirect_bitwise_identical_across_thread_counts() {
+    let shape = shape();
+    let p = make_problem(shape, ActLayout::Nhwc, FilterLayout::Krsc, 46);
+    let base = indirect::conv_indirect(&StaticPool::new(1), &p.input, &p.filter, &shape);
+    for threads in [2, 4, 5] {
+        let got = indirect::conv_indirect(&StaticPool::new(threads), &p.input, &p.filter, &shape);
+        assert_eq!(got.as_slice(), base.as_slice(), "{threads} threads");
+    }
+}
+
+#[test]
+fn oversubscribed_pool_still_correct() {
+    // Fig. 9's SMT setting oversubscribes threads well past the core count.
+    let shape = ConvShape::square(2, 8, 16, 10, 3, 1);
+    let p = make_problem(shape, ActLayout::Nchw, FilterLayout::Kcrs, 47);
+    let seq = conv_ndirect_with(
+        &StaticPool::new(1),
+        &p.input,
+        &p.filter,
+        &shape,
+        &Schedule::minimal(&shape),
+    );
+    let pool = StaticPool::new(16);
+    let sched = Schedule::minimal(&shape).with_grid(Grid2::new(4, 4));
+    let got = conv_ndirect_with(&pool, &p.input, &p.filter, &shape, &sched);
+    assert_eq!(got.as_slice(), seq.as_slice());
+}
