@@ -10,15 +10,15 @@ use std::collections::HashMap;
 use std::path::Path;
 
 use ndirect_core::Schedule;
+use ndirect_support::{Json, JsonError};
 use ndirect_tensor::ConvShape;
-use serde::{Deserialize, Serialize};
 
 /// A persistent map from convolution shapes to tuned schedules.
 ///
 /// Keys are the canonical `Display` rendering of [`ConvShape`]
 /// (`"N1 C64 H56 …"`) — human-readable in the JSON and unambiguous, since
 /// `Display` covers every field.
-#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone)]
 pub struct ScheduleCache {
     entries: HashMap<String, Schedule>,
     /// Free-form provenance: machine description, trial budget, date.
@@ -54,14 +54,42 @@ impl ScheduleCache {
         self.entries.is_empty()
     }
 
-    /// Serializes to pretty JSON.
+    /// Serializes to pretty JSON. Entries are sorted by key so the output
+    /// is stable across runs.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("schedule cache serializes")
+        let mut keys: Vec<&String> = self.entries.keys().collect();
+        keys.sort();
+        let entries = keys
+            .into_iter()
+            .map(|k| (k.clone(), self.entries[k].to_json()))
+            .collect();
+        Json::Obj(vec![
+            ("provenance".into(), Json::str(self.provenance.clone())),
+            ("entries".into(), Json::Obj(entries)),
+        ])
+        .pretty()
     }
 
-    /// Parses from JSON.
-    pub fn from_json(text: &str) -> Result<Self, serde_json::Error> {
-        serde_json::from_str(text)
+    /// Parses from JSON; malformed text or schedules come back as a typed
+    /// [`JsonError`], never a panic.
+    pub fn from_json(text: &str) -> Result<Self, JsonError> {
+        let root = Json::parse(text)?;
+        let provenance = root.str_field("provenance")?.to_string();
+        let raw = root
+            .require("entries")?
+            .as_obj()
+            .ok_or(JsonError {
+                msg: "\"entries\" must be an object".into(),
+                at: 0,
+            })?;
+        let mut entries = HashMap::new();
+        for (key, value) in raw {
+            entries.insert(key.clone(), Schedule::from_json(value)?);
+        }
+        Ok(ScheduleCache {
+            entries,
+            provenance,
+        })
     }
 
     /// Writes the cache to a file.

@@ -137,8 +137,7 @@ fn solve(mut a: [[f64; NUM_FEATURES]; NUM_FEATURES], mut b: [f64; NUM_FEATURES])
 mod tests {
     use super::*;
     use crate::space::{random_schedule, ScheduleSpace};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use ndirect_support::Rng64;
 
     fn shape() -> ConvShape {
         ConvShape::square(1, 32, 32, 14, 3, 1)
@@ -149,7 +148,7 @@ mod tests {
         let m = CostModel::new();
         assert!(!m.is_trained());
         let sp = ScheduleSpace::for_shape(&shape(), 1);
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Rng64::seed_from_u64(3);
         let s = random_schedule(&sp, &shape(), &mut rng);
         assert_eq!(m.predict(&s, &shape()), 0.0);
     }
@@ -158,7 +157,7 @@ mod tests {
     fn model_learns_a_linear_relationship() {
         // Synthetic ground truth: y depends on ln(vw) and packing flag.
         let sp = ScheduleSpace::for_shape(&shape(), 4);
-        let mut rng = StdRng::seed_from_u64(4);
+        let mut rng = Rng64::seed_from_u64(4);
         let truth = |s: &Schedule| {
             3.0 * (s.vw as f64).ln()
                 + 2.0 * f64::from(s.packing == ndirect_core::PackingMode::Fused)
@@ -183,7 +182,7 @@ mod tests {
     #[test]
     fn fit_requires_enough_samples() {
         let sp = ScheduleSpace::for_shape(&shape(), 1);
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = Rng64::seed_from_u64(5);
         let samples: Vec<(Schedule, f64)> = (0..3)
             .map(|_| (random_schedule(&sp, &shape(), &mut rng), 1.0))
             .collect();
@@ -195,7 +194,7 @@ mod tests {
     #[test]
     fn features_have_expected_arity() {
         let sp = ScheduleSpace::for_shape(&shape(), 2);
-        let mut rng = StdRng::seed_from_u64(6);
+        let mut rng = Rng64::seed_from_u64(6);
         let s = random_schedule(&sp, &shape(), &mut rng);
         let f = features(&s, &shape());
         assert_eq!(f.len(), NUM_FEATURES);

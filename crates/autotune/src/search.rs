@@ -12,8 +12,7 @@
 use ndirect_core::{conv_ndirect_with, Schedule};
 use ndirect_tensor::{ConvShape, Filter, Tensor4};
 use ndirect_threads::StaticPool;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use ndirect_support::Rng64;
 use std::time::Instant;
 
 use crate::cost::CostModel;
@@ -88,7 +87,7 @@ pub fn tune(
     settings: &TuneSettings,
 ) -> TuneReport {
     let space = ScheduleSpace::for_shape(shape, pool.size());
-    let mut rng = StdRng::seed_from_u64(settings.seed);
+    let mut rng = Rng64::seed_from_u64(settings.seed);
     let mut model = CostModel::new();
     let mut measured: Vec<(Schedule, f64)> = Vec::new();
     let mut history = Vec::new();

@@ -3,7 +3,7 @@
 use ndirect_core::{PackingMode, Schedule};
 use ndirect_tensor::ConvShape;
 use ndirect_threads::Grid2;
-use rand::Rng;
+use ndirect_support::Rng64;
 
 /// Candidate values per parameter, specialized to a problem.
 ///
@@ -75,8 +75,8 @@ impl ScheduleSpace {
 }
 
 /// Draws a uniformly random schedule from the space.
-pub fn random_schedule(space: &ScheduleSpace, shape: &ConvShape, rng: &mut impl Rng) -> Schedule {
-    let pick = |v: &Vec<usize>, rng: &mut dyn rand::RngCore| v[rng.gen_range(0..v.len())];
+pub fn random_schedule(space: &ScheduleSpace, shape: &ConvShape, rng: &mut Rng64) -> Schedule {
+    let pick = |v: &Vec<usize>, rng: &mut Rng64| v[rng.gen_range_usize(0, v.len())];
     let vk = pick(&space.vk, rng);
     let sched = Schedule {
         vw: pick(&space.vw, rng),
@@ -84,8 +84,8 @@ pub fn random_schedule(space: &ScheduleSpace, shape: &ConvShape, rng: &mut impl 
         tc: pick(&space.tc, rng),
         tk: pick(&space.tk_multiplier, rng) * vk,
         th: pick(&space.th, rng),
-        grid: space.grids[rng.gen_range(0..space.grids.len())],
-        packing: space.packing[rng.gen_range(0..space.packing.len())],
+        grid: space.grids[rng.gen_range_usize(0, space.grids.len())],
+        packing: space.packing[rng.gen_range_usize(0, space.packing.len())],
         filter_state: ndirect_core::FilterState::OnTheFly,
     };
     sched.sanitized(shape)
@@ -97,21 +97,21 @@ pub fn mutate(
     sched: &Schedule,
     space: &ScheduleSpace,
     shape: &ConvShape,
-    rng: &mut impl Rng,
+    rng: &mut Rng64,
 ) -> Schedule {
     let mut s = sched.clone();
-    match rng.gen_range(0..6) {
-        0 => s.vw = space.vw[rng.gen_range(0..space.vw.len())],
+    match rng.gen_range_usize(0, 6) {
+        0 => s.vw = space.vw[rng.gen_range_usize(0, space.vw.len())],
         1 => {
-            s.vk = space.vk[rng.gen_range(0..space.vk.len())];
+            s.vk = space.vk[rng.gen_range_usize(0, space.vk.len())];
             s.tk = (s.tk / s.vk.max(1)).max(1) * s.vk;
         }
-        2 => s.tc = space.tc[rng.gen_range(0..space.tc.len())],
-        3 => s.tk = space.tk_multiplier[rng.gen_range(0..space.tk_multiplier.len())] * s.vk,
-        4 => s.th = space.th[rng.gen_range(0..space.th.len())],
+        2 => s.tc = space.tc[rng.gen_range_usize(0, space.tc.len())],
+        3 => s.tk = space.tk_multiplier[rng.gen_range_usize(0, space.tk_multiplier.len())] * s.vk,
+        4 => s.th = space.th[rng.gen_range_usize(0, space.th.len())],
         _ => {
             if space.grids.len() > 1 {
-                s.grid = space.grids[rng.gen_range(0..space.grids.len())];
+                s.grid = space.grids[rng.gen_range_usize(0, space.grids.len())];
             } else {
                 s.packing = if s.packing == PackingMode::Fused {
                     PackingMode::Sequential
@@ -127,8 +127,6 @@ pub fn mutate(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     fn shape() -> ConvShape {
         ConvShape::square(2, 64, 64, 28, 3, 1)
@@ -147,7 +145,7 @@ mod tests {
     #[test]
     fn random_schedules_are_valid_and_varied() {
         let sp = ScheduleSpace::for_shape(&shape(), 4);
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng64::seed_from_u64(1);
         let mut distinct = std::collections::HashSet::new();
         for _ in 0..100 {
             let s = random_schedule(&sp, &shape(), &mut rng);
@@ -162,7 +160,7 @@ mod tests {
     #[test]
     fn mutation_changes_at_most_one_axis() {
         let sp = ScheduleSpace::for_shape(&shape(), 4);
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Rng64::seed_from_u64(2);
         let base = random_schedule(&sp, &shape(), &mut rng);
         for _ in 0..50 {
             let m = mutate(&base, &sp, &shape(), &mut rng);

@@ -18,6 +18,8 @@ use ndirect_tensor::{
     pad::pad_input, ActLayout, BlockedFilter, BlockedTensor, ConvShape, Filter, Tensor4,
 };
 use ndirect_platform::Stopwatch;
+
+use crate::error::{check_dims, BaselineError};
 use ndirect_threads::{split_static, SharedSlice, StaticPool};
 
 /// Input-channel block (`c` of `NCHWc`) — one 4-lane vector.
@@ -47,16 +49,39 @@ pub fn conv_blocked(
     filter: &BlockedFilter,
     shape: &ConvShape,
 ) -> BlockedTensor {
-    assert_eq!(input.cb(), CB, "input channel block");
-    assert_eq!(filter.cb(), CB, "filter c block");
-    assert_eq!(filter.kb(), KB, "filter k block");
-    let (fk, fc, fr, fs) = filter.dims();
-    assert_eq!((fk, fc, fr, fs), (shape.k, shape.c, shape.r, shape.s), "filter dims");
-    let (inb, ic, ih, iw) = input.dims();
-    assert_eq!(inb, shape.n, "input batch");
-    assert_eq!(ic, shape.c, "input channels");
-    assert_eq!(ih, shape.padded_h(), "input must be pre-padded");
-    assert_eq!(iw, shape.padded_w(), "input must be pre-padded");
+    try_conv_blocked(pool, input, filter, shape).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible form of [`conv_blocked`].
+pub fn try_conv_blocked(
+    pool: &StaticPool,
+    input: &BlockedTensor,
+    filter: &BlockedFilter,
+    shape: &ConvShape,
+) -> Result<BlockedTensor, BaselineError> {
+    shape.validate()?;
+    if input.cb() != CB || filter.cb() != CB || filter.kb() != KB {
+        return Err(BaselineError::Unsupported {
+            context: format!(
+                "blocked baseline needs input channel block {CB} and filter blocks {CB}x{KB}, \
+                 got input cb {}, filter cb {}, filter kb {}",
+                input.cb(),
+                filter.cb(),
+                filter.kb()
+            ),
+        });
+    }
+    check_dims(
+        "filter dims",
+        (shape.k, shape.c, shape.r, shape.s),
+        filter.dims(),
+    )?;
+    // The blocked input must arrive pre-padded spatially.
+    check_dims(
+        "input dims",
+        (shape.n, shape.c, shape.padded_h(), shape.padded_w()),
+        input.dims(),
+    )?;
 
     let (p, q) = (shape.p(), shape.q());
     let mut out = BlockedTensor::zeros(shape.n, shape.k, p, q, KB);
@@ -78,7 +103,7 @@ pub fn conv_blocked(
             conv_plane(input, filter, shape, n, kblk, cblocks, out_plane, p, q);
         }
     });
-    out
+    Ok(out)
 }
 
 /// Computes one `(image, k-block)` output plane.
@@ -181,6 +206,29 @@ pub fn conv_blocked_nchw(
 ) -> Tensor4 {
     let (out, _sw) = conv_blocked_timed(pool, input, filter, shape);
     out
+}
+
+/// Fallible form of [`conv_blocked_nchw`]: validates the unblocked
+/// operands, then runs the full pad/convert/convolve pipeline.
+pub fn try_conv_blocked_nchw(
+    pool: &StaticPool,
+    input: &Tensor4,
+    filter: &Filter,
+    shape: &ConvShape,
+) -> Result<Tensor4, BaselineError> {
+    shape.validate()?;
+    check_dims(
+        "input dims",
+        (shape.n, shape.c, shape.h, shape.w),
+        input.dims(),
+    )?;
+    check_dims(
+        "filter dims",
+        (shape.k, shape.c, shape.r, shape.s),
+        filter.dims(),
+    )?;
+    let (out, _sw) = conv_blocked_timed(pool, input, filter, shape);
+    Ok(out)
 }
 
 /// As [`conv_blocked_nchw`], with `transform` / `micro-kernel` phase timing

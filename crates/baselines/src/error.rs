@@ -1,0 +1,108 @@
+//! Typed errors for the baseline convolutions.
+//!
+//! Every baseline validates its operands once at its public entry point;
+//! the `try_`-prefixed forms surface failures as a [`BaselineError`], and
+//! the legacy panicking forms format the same value into their panic
+//! message — so both API flavours agree on what is invalid.
+
+use ndirect_tensor::{ActLayout, Filter, FilterLayout, ShapeError, Tensor4};
+
+/// Why a baseline convolution rejected its operands.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BaselineError {
+    /// The [`ndirect_tensor::ConvShape`] itself is malformed.
+    Shape(ShapeError),
+    /// A tensor arrived in the wrong memory layout.
+    Layout {
+        /// What the baseline requires, e.g. `"im2col baseline takes NCHW"`.
+        context: &'static str,
+    },
+    /// A tensor's dimensions disagree with the shape descriptor.
+    DimMismatch {
+        /// Which operand (`"input dims"`, `"filter dims"`, `"output dims"`).
+        what: &'static str,
+        /// Dimensions the shape implies.
+        expected: (usize, usize, usize, usize),
+        /// Dimensions the tensor has.
+        got: (usize, usize, usize, usize),
+    },
+    /// The algorithm cannot handle this problem class at all.
+    Unsupported {
+        /// Human-readable constraint, e.g.
+        /// `"winograd F(2x2,3x3) needs 3x3 kernels"`.
+        context: String,
+    },
+}
+
+impl std::fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BaselineError::Shape(e) => write!(f, "{e}"),
+            BaselineError::Layout { context } => write!(f, "{context}"),
+            BaselineError::DimMismatch {
+                what,
+                expected,
+                got,
+            } => write!(
+                f,
+                "{what} do not match shape: shape implies {expected:?}, tensor is {got:?}"
+            ),
+            BaselineError::Unsupported { context } => write!(f, "{context}"),
+        }
+    }
+}
+
+impl std::error::Error for BaselineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BaselineError::Shape(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ShapeError> for BaselineError {
+    fn from(e: ShapeError) -> Self {
+        BaselineError::Shape(e)
+    }
+}
+
+pub(crate) fn check_act_layout(
+    t: &Tensor4,
+    want: ActLayout,
+    context: &'static str,
+) -> Result<(), BaselineError> {
+    if t.layout() == want {
+        Ok(())
+    } else {
+        Err(BaselineError::Layout { context })
+    }
+}
+
+pub(crate) fn check_filter_layout(
+    filter: &Filter,
+    want: FilterLayout,
+    context: &'static str,
+) -> Result<(), BaselineError> {
+    if filter.layout() == want {
+        Ok(())
+    } else {
+        Err(BaselineError::Layout { context })
+    }
+}
+
+pub(crate) fn check_dims(
+    what: &'static str,
+    expected: (usize, usize, usize, usize),
+    got: (usize, usize, usize, usize),
+) -> Result<(), BaselineError> {
+    if expected == got {
+        Ok(())
+    } else {
+        Err(BaselineError::DimMismatch {
+            what,
+            expected,
+            got,
+        })
+    }
+}

@@ -18,6 +18,8 @@
 use ndirect_tensor::{pad::at_padded, ActLayout, ConvShape, Filter, Tensor4};
 use ndirect_threads::{split_static, SharedSlice, StaticPool};
 
+use crate::error::{check_act_layout, check_dims, BaselineError};
+
 /// In-place iterative radix-2 FFT of `re/im` (lengths must be equal powers
 /// of two). `invert` computes the inverse transform including the `1/n`
 /// scale.
@@ -145,13 +147,28 @@ pub fn conv_fft(
     filter: &Filter,
     shape: &ConvShape,
 ) -> Tensor4 {
-    assert_eq!(input.layout(), ActLayout::Nchw, "fft baseline takes NCHW");
-    assert_eq!(input.dims(), (shape.n, shape.c, shape.h, shape.w), "input dims");
-    assert_eq!(
-        filter.dims(),
+    try_conv_fft(pool, input, filter, shape).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible form of [`conv_fft`].
+pub fn try_conv_fft(
+    pool: &StaticPool,
+    input: &Tensor4,
+    filter: &Filter,
+    shape: &ConvShape,
+) -> Result<Tensor4, BaselineError> {
+    shape.validate()?;
+    check_act_layout(input, ActLayout::Nchw, "fft baseline takes NCHW")?;
+    check_dims(
+        "input dims",
+        (shape.n, shape.c, shape.h, shape.w),
+        input.dims(),
+    )?;
+    check_dims(
+        "filter dims",
         (shape.k, shape.c, shape.r, shape.s),
-        "filter dims"
-    );
+        filter.dims(),
+    )?;
     let (hp, wp) = (shape.padded_h(), shape.padded_w());
     let ly = (hp + shape.r - 1).next_power_of_two();
     let lx = (wp + shape.s - 1).next_power_of_two();
@@ -219,7 +236,7 @@ pub fn conv_fft(
             }
         }
     });
-    out
+    Ok(out)
 }
 
 /// Workspace floats the FFT path materializes per image

@@ -25,6 +25,8 @@ use ndirect_platform::Stopwatch;
 use ndirect_tensor::{pad::at_padded, ActLayout, AlignedBuf, ConvShape, Filter, Tensor4};
 use ndirect_threads::{split_static, SharedSlice, StaticPool};
 
+use crate::error::{check_act_layout, check_dims, check_filter_layout, BaselineError};
+
 /// Materializes the column matrix for image `n`: `buf[(c·R+r)·S+s][oj·Q+oi] =
 /// I[n][c][str·oj−pad.h+r][str·oi−pad.w+s]` (zero outside the input).
 ///
@@ -66,7 +68,18 @@ pub fn conv_im2col_into(
     shape: &ConvShape,
     output: &mut Tensor4,
 ) {
-    validate(input, filter, shape, output);
+    try_conv_im2col_into(pool, input, filter, shape, output).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible form of [`conv_im2col_into`].
+pub fn try_conv_im2col_into(
+    pool: &StaticPool,
+    input: &Tensor4,
+    filter: &Filter,
+    shape: &ConvShape,
+    output: &mut Tensor4,
+) -> Result<(), BaselineError> {
+    validate(input, filter, shape, output)?;
     let (p, q) = (shape.p(), shape.q());
     let cols = p * q;
     let crs = shape.c * shape.r * shape.s;
@@ -105,6 +118,7 @@ pub fn conv_im2col_into(
             ndirect_gemm::par_gemm(pool, shape.k, cols, crs, f_mat, &col, out_image, BlockSizes::default());
         }
     }
+    Ok(())
 }
 
 /// im2col+GEMM, allocating the output.
@@ -114,9 +128,19 @@ pub fn conv_im2col(
     filter: &Filter,
     shape: &ConvShape,
 ) -> Tensor4 {
+    try_conv_im2col(pool, input, filter, shape).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible form of [`conv_im2col`].
+pub fn try_conv_im2col(
+    pool: &StaticPool,
+    input: &Tensor4,
+    filter: &Filter,
+    shape: &ConvShape,
+) -> Result<Tensor4, BaselineError> {
     let mut out = Tensor4::output_for(shape, ActLayout::Nchw);
-    conv_im2col_into(pool, input, filter, shape, &mut out);
-    out
+    try_conv_im2col_into(pool, input, filter, shape, &mut out)?;
+    Ok(out)
 }
 
 /// Sequential im2col+GEMM with per-phase timing (`im2col`, `packing`,
@@ -128,7 +152,7 @@ pub fn conv_im2col_timed(
     shape: &ConvShape,
 ) -> (Tensor4, Stopwatch) {
     let mut output = Tensor4::output_for(shape, ActLayout::Nchw);
-    validate_unpooled(input, filter, shape);
+    validate_unpooled(input, filter, shape).unwrap_or_else(|e| panic!("{e}"));
     let (p, q) = (shape.p(), shape.q());
     let cols = p * q;
     let crs = shape.c * shape.r * shape.s;
@@ -192,25 +216,43 @@ fn gemm_timed(
     }
 }
 
-fn validate(input: &Tensor4, filter: &Filter, shape: &ConvShape, output: &Tensor4) {
-    validate_unpooled(input, filter, shape);
-    assert_eq!(
-        output.dims(),
+fn validate(
+    input: &Tensor4,
+    filter: &Filter,
+    shape: &ConvShape,
+    output: &Tensor4,
+) -> Result<(), BaselineError> {
+    validate_unpooled(input, filter, shape)?;
+    check_dims(
+        "output dims",
         (shape.n, shape.k, shape.p(), shape.q()),
-        "output dims"
-    );
-    assert_eq!(output.layout(), ActLayout::Nchw, "im2col writes NCHW");
+        output.dims(),
+    )?;
+    check_act_layout(output, ActLayout::Nchw, "im2col writes NCHW")
 }
 
-fn validate_unpooled(input: &Tensor4, filter: &Filter, shape: &ConvShape) {
-    assert_eq!(input.layout(), ActLayout::Nchw, "im2col baseline takes NCHW");
-    assert_eq!(
-        filter.layout(),
+fn validate_unpooled(
+    input: &Tensor4,
+    filter: &Filter,
+    shape: &ConvShape,
+) -> Result<(), BaselineError> {
+    shape.validate()?;
+    check_act_layout(input, ActLayout::Nchw, "im2col baseline takes NCHW")?;
+    check_filter_layout(
+        filter,
         ndirect_tensor::FilterLayout::Kcrs,
-        "im2col baseline takes KCRS"
-    );
-    assert_eq!(input.dims(), (shape.n, shape.c, shape.h, shape.w), "input dims");
-    assert_eq!(filter.dims(), (shape.k, shape.c, shape.r, shape.s), "filter dims");
+        "im2col baseline takes KCRS",
+    )?;
+    check_dims(
+        "input dims",
+        (shape.n, shape.c, shape.h, shape.w),
+        input.dims(),
+    )?;
+    check_dims(
+        "filter dims",
+        (shape.k, shape.c, shape.r, shape.s),
+        filter.dims(),
+    )
 }
 
 #[cfg(test)]

@@ -13,6 +13,8 @@ use ndirect_simd::{F32x4, SimdVec};
 use ndirect_tensor::{ActLayout, AlignedBuf, ConvShape, Filter, FilterLayout, Tensor4};
 use ndirect_threads::{split_static, SharedSlice, StaticPool};
 
+use crate::error::{check_act_layout, check_dims, BaselineError};
+
 /// Output-channel block: two 4-lane vectors per pixel.
 pub const KB: usize = 8;
 const KBV: usize = KB / 4;
@@ -104,15 +106,47 @@ pub fn conv_indirect_prepacked(
     shape: &ConvShape,
     output: &mut Tensor4,
 ) {
-    assert_eq!(input.layout(), ActLayout::Nhwc, "indirect conv takes NHWC");
-    assert_eq!(output.layout(), ActLayout::Nhwc, "indirect conv writes NHWC");
-    assert_eq!(input.dims(), (shape.n, shape.c, shape.h, shape.w), "input dims");
-    assert_eq!(weights.k, shape.k, "weight K");
-    assert_eq!(weights.c, shape.c, "weight C");
-    assert_eq!(weights.rs, shape.r * shape.s, "weight RS");
+    try_conv_indirect_prepacked(pool, input, weights, indirection, shape, output)
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible form of [`conv_indirect_prepacked`].
+pub fn try_conv_indirect_prepacked(
+    pool: &StaticPool,
+    input: &Tensor4,
+    weights: &PackedWeights,
+    indirection: &[usize],
+    shape: &ConvShape,
+    output: &mut Tensor4,
+) -> Result<(), BaselineError> {
+    shape.validate()?;
+    check_act_layout(input, ActLayout::Nhwc, "indirect conv takes NHWC")?;
+    check_act_layout(output, ActLayout::Nhwc, "indirect conv writes NHWC")?;
+    check_dims(
+        "input dims",
+        (shape.n, shape.c, shape.h, shape.w),
+        input.dims(),
+    )?;
     let (p, q) = (shape.p(), shape.q());
-    assert_eq!(output.dims(), (shape.n, shape.k, p, q), "output dims");
-    assert_eq!(indirection.len(), p * q * shape.r * shape.s, "indirection size");
+    check_dims("output dims", (shape.n, shape.k, p, q), output.dims())?;
+    if (weights.k, weights.c, weights.rs) != (shape.k, shape.c, shape.r * shape.s)
+        || indirection.len() != p * q * shape.r * shape.s
+    {
+        return Err(BaselineError::Unsupported {
+            context: format!(
+                "indirect conv operands disagree with shape: packed weights K={} C={} RS={}, \
+                 indirection len {}, shape wants K={} C={} RS={} len {}",
+                weights.k,
+                weights.c,
+                weights.rs,
+                indirection.len(),
+                shape.k,
+                shape.c,
+                shape.r * shape.s,
+                p * q * shape.r * shape.s
+            ),
+        });
+    }
 
     let zero_row = AlignedBuf::zeroed(shape.c);
     let work = shape.n * p;
@@ -134,6 +168,7 @@ pub fn conv_indirect_prepacked(
             conv_output_row(image, weights, indirection, shape, &zero_row, oj, q, out_row);
         }
     });
+    Ok(())
 }
 
 /// One `NHWC` output row (`q` pixels × `K` channels).
@@ -229,11 +264,21 @@ pub fn conv_indirect(
     filter: &Filter,
     shape: &ConvShape,
 ) -> Tensor4 {
+    try_conv_indirect(pool, input, filter, shape).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible form of [`conv_indirect`].
+pub fn try_conv_indirect(
+    pool: &StaticPool,
+    input: &Tensor4,
+    filter: &Filter,
+    shape: &ConvShape,
+) -> Result<Tensor4, BaselineError> {
     let weights = PackedWeights::pack(filter);
     let indirection = build_indirection(shape);
     let mut out = Tensor4::output_for(shape, ActLayout::Nhwc);
-    conv_indirect_prepacked(pool, input, &weights, &indirection, shape, &mut out);
-    out
+    try_conv_indirect_prepacked(pool, input, &weights, &indirection, shape, &mut out)?;
+    Ok(out)
 }
 
 /// Adapter from the workspace's `NCHW`/`KCRS` convention, converting on
@@ -244,10 +289,25 @@ pub fn conv_indirect_nchw(
     filter: &Filter,
     shape: &ConvShape,
 ) -> Tensor4 {
+    try_conv_indirect_nchw(pool, input, filter, shape).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible form of [`conv_indirect_nchw`].
+pub fn try_conv_indirect_nchw(
+    pool: &StaticPool,
+    input: &Tensor4,
+    filter: &Filter,
+    shape: &ConvShape,
+) -> Result<Tensor4, BaselineError> {
+    check_dims(
+        "input dims",
+        (shape.n, shape.c, shape.h, shape.w),
+        input.dims(),
+    )?;
     let in_nhwc = input.to_layout(ActLayout::Nhwc);
     let f_krsc = filter.to_layout(FilterLayout::Krsc);
-    let out = conv_indirect(pool, &in_nhwc, &f_krsc, shape);
-    out.to_layout(ActLayout::Nchw)
+    let out = try_conv_indirect(pool, &in_nhwc, &f_krsc, shape)?;
+    Ok(out.to_layout(ActLayout::Nchw))
 }
 
 #[cfg(test)]

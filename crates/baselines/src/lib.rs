@@ -16,6 +16,7 @@
 #![warn(missing_docs)]
 
 pub mod blocked;
+pub mod error;
 pub mod fft;
 pub mod im2col;
 pub mod indirect;
@@ -24,6 +25,8 @@ pub mod winograd;
 
 use ndirect_tensor::{ConvShape, Filter, Tensor4};
 use ndirect_threads::StaticPool;
+
+pub use error::BaselineError;
 
 /// A pluggable convolution implementation over `NCHW` activations and
 /// `KCRS` filters — the interface the end-to-end inference engine swaps

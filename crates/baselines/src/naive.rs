@@ -7,21 +7,42 @@
 
 use ndirect_tensor::{pad::at_padded, ActLayout, ConvShape, Filter, Tensor4};
 
+use crate::error::{check_dims, BaselineError};
+
 /// Computes the convolution with the naive algorithm, returning an output
 /// tensor in the same layout family as the input (`NCHW` input → `NCHW`
 /// output, `NHWC` → `NHWC`).
 pub fn conv_ref(input: &Tensor4, filter: &Filter, shape: &ConvShape) -> Tensor4 {
-    validate(input, filter, shape);
+    try_conv_ref(input, filter, shape).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible form of [`conv_ref`].
+pub fn try_conv_ref(
+    input: &Tensor4,
+    filter: &Filter,
+    shape: &ConvShape,
+) -> Result<Tensor4, BaselineError> {
+    validate(input, filter, shape)?;
     let mut out = Tensor4::output_for(shape, input.layout());
-    conv_ref_into(input, filter, shape, &mut out);
-    out
+    try_conv_ref_into(input, filter, shape, &mut out)?;
+    Ok(out)
 }
 
 /// Naive convolution into a preallocated (zeroed) output tensor.
 pub fn conv_ref_into(input: &Tensor4, filter: &Filter, shape: &ConvShape, out: &mut Tensor4) {
-    validate(input, filter, shape);
+    try_conv_ref_into(input, filter, shape, out).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible form of [`conv_ref_into`].
+pub fn try_conv_ref_into(
+    input: &Tensor4,
+    filter: &Filter,
+    shape: &ConvShape,
+    out: &mut Tensor4,
+) -> Result<(), BaselineError> {
+    validate(input, filter, shape)?;
     let (p, q) = (shape.p(), shape.q());
-    assert_eq!(out.dims(), (shape.n, shape.k, p, q), "output dims");
+    check_dims("output dims", (shape.n, shape.k, p, q), out.dims())?;
     let (ph, pw) = (shape.pad.h as isize, shape.pad.w as isize);
     for n in 0..shape.n {
         for k in 0..shape.k {
@@ -43,19 +64,21 @@ pub fn conv_ref_into(input: &Tensor4, filter: &Filter, shape: &ConvShape, out: &
             }
         }
     }
+    Ok(())
 }
 
-fn validate(input: &Tensor4, filter: &Filter, shape: &ConvShape) {
-    assert_eq!(
-        input.dims(),
+fn validate(input: &Tensor4, filter: &Filter, shape: &ConvShape) -> Result<(), BaselineError> {
+    shape.validate()?;
+    check_dims(
+        "input dims",
         (shape.n, shape.c, shape.h, shape.w),
-        "input dims do not match shape"
-    );
-    assert_eq!(
-        filter.dims(),
+        input.dims(),
+    )?;
+    check_dims(
+        "filter dims",
         (shape.k, shape.c, shape.r, shape.s),
-        "filter dims do not match shape"
-    );
+        filter.dims(),
+    )
 }
 
 /// Convenience wrapper returning an `NCHW` output regardless of input

@@ -24,6 +24,8 @@ use ndirect_gemm::{par_gemm, BlockSizes};
 use ndirect_tensor::{pad::at_padded, ActLayout, AlignedBuf, ConvShape, Filter, Tensor4};
 use ndirect_threads::StaticPool;
 
+use crate::error::{check_act_layout, check_dims, BaselineError};
+
 /// Transformed-filter tensor: `U[16][K][C]`.
 pub struct WinogradFilter {
     data: AlignedBuf,
@@ -123,11 +125,41 @@ pub fn conv_winograd(
     filter: &Filter,
     shape: &ConvShape,
 ) -> Tensor4 {
-    assert_eq!(input.layout(), ActLayout::Nchw, "winograd takes NCHW");
-    assert_eq!((shape.r, shape.s), (3, 3), "winograd F(2x2,3x3) needs 3x3");
-    assert_eq!(shape.stride, 1, "winograd F(2x2,3x3) needs stride 1");
-    assert_eq!(input.dims(), (shape.n, shape.c, shape.h, shape.w), "input dims");
-    assert_eq!(filter.dims(), (shape.k, shape.c, 3, 3), "filter dims");
+    try_conv_winograd(pool, input, filter, shape).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible form of [`conv_winograd`]: non-3x3 kernels or strides other
+/// than 1 come back as [`BaselineError::Unsupported`].
+pub fn try_conv_winograd(
+    pool: &StaticPool,
+    input: &Tensor4,
+    filter: &Filter,
+    shape: &ConvShape,
+) -> Result<Tensor4, BaselineError> {
+    shape.validate()?;
+    check_act_layout(input, ActLayout::Nchw, "winograd takes NCHW")?;
+    if (shape.r, shape.s) != (3, 3) {
+        return Err(BaselineError::Unsupported {
+            context: format!(
+                "winograd F(2x2,3x3) needs 3x3 kernels, got {}x{}",
+                shape.r, shape.s
+            ),
+        });
+    }
+    if shape.stride != 1 {
+        return Err(BaselineError::Unsupported {
+            context: format!(
+                "winograd F(2x2,3x3) needs stride 1, got {}",
+                shape.stride
+            ),
+        });
+    }
+    check_dims(
+        "input dims",
+        (shape.n, shape.c, shape.h, shape.w),
+        input.dims(),
+    )?;
+    check_dims("filter dims", (shape.k, shape.c, 3, 3), filter.dims())?;
 
     let (p, q) = (shape.p(), shape.q());
     let tiles_y = p.div_ceil(2);
@@ -213,7 +245,7 @@ pub fn conv_winograd(
             }
         }
     }
-    out
+    Ok(out)
 }
 
 /// Extra memory Winograd materializes, in floats (`V` + `M` + `U`) — the

@@ -6,7 +6,8 @@
 //!   mode of §3.2) vs all-N;
 //! * register-tile sensitivity around the model's optimum.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ndirect_bench::harness::{BenchmarkId, Criterion, Throughput};
+use ndirect_bench::{bench_group, bench_main};
 use ndirect_core::{conv_ndirect_with, FilterState, PackingMode, Schedule};
 use ndirect_tensor::{ActLayout, FilterLayout};
 use ndirect_threads::{Grid2, StaticPool};
@@ -124,7 +125,7 @@ fn bench_product_mode(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(
+bench_group!(
     benches,
     bench_packing_mode,
     bench_filter_state,
@@ -132,4 +133,4 @@ criterion_group!(
     bench_register_tiles,
     bench_product_mode
 );
-criterion_main!(benches);
+bench_main!(benches);

@@ -1,8 +1,9 @@
-//! Figure 1a as a Criterion bench: the phases of the im2col+GEMM and
+//! Figure 1a as a bench: the phases of the im2col+GEMM and
 //! LIBXSMM-style paths, timed separately on a representative layer so
 //! regressions in any single phase are visible.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ndirect_bench::harness::Criterion;
+use ndirect_bench::{bench_group, bench_main};
 use ndirect_baselines::{blocked, im2col};
 use ndirect_tensor::{ActLayout, AlignedBuf, FilterLayout};
 use ndirect_threads::StaticPool;
@@ -45,5 +46,5 @@ fn bench_breakdown(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_breakdown);
-criterion_main!(benches);
+bench_group!(benches, bench_breakdown);
+bench_main!(benches);

@@ -1,9 +1,10 @@
-//! Figure 4 as a Criterion bench: the four methods on representative
+//! Figure 4 as a bench: the four methods on representative
 //! Table 4 layers (one per regime — stem, strided 3x3, stride-1 3x3,
 //! pointwise, small-spatial, VGG-wide). The `figures` binary covers all
 //! 28 layers; this guards the relative standings in CI.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ndirect_bench::harness::{BenchmarkId, Criterion, Throughput};
+use ndirect_bench::{bench_group, bench_main};
 use ndirect_baselines::{blocked, im2col, indirect};
 use ndirect_core::{conv_ndirect_with, Schedule};
 use ndirect_tensor::{ActLayout, FilterLayout};
@@ -44,5 +45,5 @@ fn bench_layers(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_layers);
-criterion_main!(benches);
+bench_group!(benches, bench_layers);
+bench_main!(benches);

@@ -1,7 +1,8 @@
-//! Figure 5 as a Criterion bench: fused vs sequential packing on the VGG
+//! Figure 5 as a bench: fused vs sequential packing on the VGG
 //! layers (24–28).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ndirect_bench::harness::{BenchmarkId, Criterion, Throughput};
+use ndirect_bench::{bench_group, bench_main};
 use ndirect_core::{conv_ndirect_with, PackingMode, Schedule};
 use ndirect_tensor::{ActLayout, FilterLayout};
 use ndirect_threads::StaticPool;
@@ -36,5 +37,5 @@ fn bench_packing(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_packing);
-criterion_main!(benches);
+bench_group!(benches, bench_packing);
+bench_main!(benches);

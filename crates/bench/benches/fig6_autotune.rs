@@ -1,8 +1,9 @@
-//! Figure 6 as a Criterion bench: the model-derived schedule against a
+//! Figure 6 as a bench: the model-derived schedule against a
 //! short Ansor-like search's best schedule (search runs once in setup —
 //! the paper excludes tuning time).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ndirect_bench::harness::{BenchmarkId, Criterion, Throughput};
+use ndirect_bench::{bench_group, bench_main};
 use ndirect_autotune::{tune, TuneSettings};
 use ndirect_core::{conv_ndirect_with, Schedule};
 use ndirect_tensor::{ActLayout, FilterLayout};
@@ -47,5 +48,5 @@ fn bench_model_vs_tuned(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_model_vs_tuned);
-criterion_main!(benches);
+bench_group!(benches, bench_model_vs_tuned);
+bench_main!(benches);

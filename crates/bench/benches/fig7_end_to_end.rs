@@ -1,9 +1,10 @@
-//! Figure 7 as a Criterion bench: end-to-end forward passes with nDirect
+//! Figure 7 as a bench: end-to-end forward passes with nDirect
 //! vs im2col+GEMM backends. The bench uses the scaled-down `tiny_resnet`
 //! plus batch-1 ResNet-50 (full 224×224); the figures harness covers all
 //! four networks and the Ansor-like backend.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ndirect_bench::harness::Criterion;
+use ndirect_bench::{bench_group, bench_main};
 use ndirect_baselines::Im2colBackend;
 use ndirect_models::{zoo, Engine, NDirectBackend};
 use ndirect_tensor::{fill, ActLayout, Tensor4};
@@ -40,5 +41,5 @@ fn bench_end_to_end(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_end_to_end);
-criterion_main!(benches);
+bench_group!(benches, bench_end_to_end);
+bench_main!(benches);

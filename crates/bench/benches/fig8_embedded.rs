@@ -1,9 +1,10 @@
-//! Figure 8 as a Criterion bench: the embedded regime — single-thread,
+//! Figure 8 as a bench: the embedded regime — single-thread,
 //! batch-1 runs of small layers (the RPi 4 experiment's single-core half;
 //! the multi-core half is in the figures harness where thread count is
 //! configurable).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ndirect_bench::harness::{BenchmarkId, Criterion, Throughput};
+use ndirect_bench::{bench_group, bench_main};
 use ndirect_baselines::{blocked, im2col, indirect};
 use ndirect_core::{conv_ndirect_with, Schedule};
 use ndirect_tensor::{ActLayout, FilterLayout};
@@ -43,5 +44,5 @@ fn bench_single_core(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_single_core);
-criterion_main!(benches);
+bench_group!(benches, bench_single_core);
+bench_main!(benches);

@@ -1,8 +1,9 @@
-//! Figure 9 as a Criterion bench: SMT-style oversubscription — the thread
+//! Figure 9 as a bench: SMT-style oversubscription — the thread
 //! team is 4× the hardware parallelism and the batch matches the logical
 //! thread count, as in the paper's ThunderX2 4-way-SMT experiment.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ndirect_bench::harness::{BenchmarkId, Criterion, Throughput};
+use ndirect_bench::{bench_group, bench_main};
 use ndirect_baselines::{im2col, indirect};
 use ndirect_core::{conv_ndirect_with, Schedule};
 use ndirect_tensor::{ActLayout, FilterLayout};
@@ -39,5 +40,5 @@ fn bench_smt(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_smt);
-criterion_main!(benches);
+bench_group!(benches, bench_smt);
+bench_main!(benches);

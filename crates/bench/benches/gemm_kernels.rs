@@ -2,7 +2,8 @@
 //! the packing routines — guards the baseline's own quality (a slow GEMM
 //! would flatter nDirect unfairly in every comparison figure).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ndirect_bench::harness::{BenchmarkId, Criterion, Throughput};
+use ndirect_bench::{bench_group, bench_main};
 use ndirect_gemm::{gemm, naive, pack, BlockSizes, MR, NR};
 use ndirect_tensor::fill;
 use ndirect_threads::StaticPool;
@@ -68,5 +69,5 @@ fn bench_packing(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_gemm, bench_packing);
-criterion_main!(benches);
+bench_group!(benches, bench_gemm, bench_packing);
+bench_main!(benches);

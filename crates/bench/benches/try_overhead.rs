@@ -1,0 +1,40 @@
+//! Overhead of the fallible API layer: `try_conv_ndirect_with` against
+//! the panicking wrapper on a representative ResNet layer. Validation
+//! happens once at the boundary (shape/layout/dim checks plus the
+//! runtime ISA probe), so both labels should report the same time to
+//! within run-to-run noise.
+
+use ndirect_bench::harness::{Criterion, Throughput};
+use ndirect_bench::{bench_group, bench_main};
+use ndirect_core::{conv_ndirect_with, try_conv_ndirect_with, Schedule};
+use ndirect_tensor::{ActLayout, FilterLayout};
+use ndirect_threads::StaticPool;
+use ndirect_workloads::{make_problem, table4};
+
+fn bench_try_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("try_overhead");
+    group.sample_size(20);
+    let pool = StaticPool::new(1);
+    let platform = ndirect_platform::host();
+
+    // Layer 10: C128 K128 28x28 3x3 — a mid-network ResNet-50 conv.
+    let layer = table4::layer_by_id(10).unwrap();
+    let shape = layer.shape(1);
+    let p = make_problem(shape, ActLayout::Nchw, FilterLayout::Kcrs, 10);
+    group.throughput(Throughput::Elements(shape.flops()));
+    let sched = Schedule::derive(&platform, &shape, 1);
+
+    group.bench_function("panicking", |b| {
+        b.iter(|| conv_ndirect_with(&pool, &p.input, &p.filter, &shape, &sched));
+    });
+    group.bench_function("fallible", |b| {
+        b.iter(|| {
+            try_conv_ndirect_with(&pool, &p.input, &p.filter, &shape, &sched)
+                .expect("valid problem")
+        });
+    });
+    group.finish();
+}
+
+bench_group!(benches, bench_try_overhead);
+bench_main!(benches);

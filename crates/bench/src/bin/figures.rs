@@ -22,7 +22,7 @@ use std::io::Write as _;
 
 use ndirect_autotune::tune;
 use ndirect_baselines::{blocked, im2col, Im2colBackend};
-use ndirect_bench::{format_table, run_method, tune_settings_for_budget, Measurement, Method};
+use ndirect_bench::{format_table, run_method, tune_settings_for_budget, Measurement, Method, ToJson};
 use ndirect_core::{conv_ndirect_with, PackingMode, Schedule};
 use ndirect_models::{resnet101, resnet50, vgg16, vgg19, Engine, NDirectBackend, TunedBackend};
 use ndirect_platform::{host, kp920, measure_alpha, phytium_2000p, rpi4, thunderx2, Platform};
@@ -134,11 +134,11 @@ fn main() {
     }
 }
 
-fn save_json<T: serde::Serialize>(opts: &Opts, name: &str, value: &T) {
+fn save_json<T: ToJson>(opts: &Opts, name: &str, value: &T) {
     let path = format!("{}/{}.json", opts.out, name);
     match std::fs::File::create(&path) {
         Ok(mut f) => {
-            let s = serde_json::to_string_pretty(value).expect("serialize");
+            let s = value.to_json().pretty();
             let _ = f.write_all(s.as_bytes());
             println!("  -> {path}");
         }

@@ -1,5 +1,6 @@
 //! Shared measurement infrastructure for the figure harness and the
-//! Criterion benches.
+//! `cargo bench` targets (which run on the in-tree [`harness`] — the
+//! offline container cannot pull in Criterion).
 //!
 //! Everything here is about running one convolution workload under one
 //! *method* (the paper's term for a convolution implementation) and
@@ -20,19 +21,21 @@
 //!   evolutionary searcher, tuning time excluded (§7.3 excludes Ansor's
 //!   search overhead).
 
+pub mod harness;
+
 use std::time::Instant;
 
 use ndirect_autotune::{tune, TuneSettings};
 use ndirect_baselines::{blocked, im2col, indirect};
 use ndirect_core::{conv_ndirect_with, Schedule};
 use ndirect_platform::Platform;
+use ndirect_support::Json;
 use ndirect_tensor::{ActLayout, ConvShape, FilterLayout, Tensor4};
 use ndirect_threads::{Grid2, StaticPool};
 use ndirect_workloads::make_problem;
-use serde::Serialize;
 
 /// The convolution implementations compared across the figures.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Method {
     Im2colGemm,
     Xnnpack,
@@ -65,13 +68,78 @@ impl Method {
 }
 
 /// One measured data point.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Measurement {
     pub layer_id: usize,
     pub method: Method,
     pub threads: usize,
     pub batch: usize,
     pub gflops: f64,
+}
+
+/// Conversion into the workspace's [`Json`] value, for the result files
+/// the `figures` binary writes.
+pub trait ToJson {
+    /// The JSON form of `self`.
+    fn to_json(&self) -> Json;
+}
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Json {
+        Json::num(*self)
+    }
+}
+
+impl ToJson for f32 {
+    fn to_json(&self) -> Json {
+        Json::num(f64::from(*self))
+    }
+}
+
+impl ToJson for usize {
+    fn to_json(&self) -> Json {
+        Json::usize(*self)
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Json {
+        Json::str(self.clone())
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+macro_rules! impl_tojson_tuple {
+    ($($t:ident : $i:tt),+) => {
+        impl<$($t: ToJson),+> ToJson for ($($t,)+) {
+            fn to_json(&self) -> Json {
+                Json::Arr(vec![$(self.$i.to_json()),+])
+            }
+        }
+    };
+}
+
+impl_tojson_tuple!(A: 0, B: 1);
+impl_tojson_tuple!(A: 0, B: 1, C: 2);
+impl_tojson_tuple!(A: 0, B: 1, C: 2, D: 3);
+impl_tojson_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4);
+impl_tojson_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+
+impl ToJson for Measurement {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("layer_id".into(), Json::usize(self.layer_id)),
+            ("method".into(), Json::str(self.method.label())),
+            ("threads".into(), Json::usize(self.threads)),
+            ("batch".into(), Json::usize(self.batch)),
+            ("gflops".into(), Json::num(self.gflops)),
+        ])
+    }
 }
 
 /// Times `f` `reps` times after one warm-up, returning the minimum.

@@ -31,9 +31,12 @@
 //! [`crate::FilterState::PreTransformed`] (the ablation benches compare
 //! both), and the native-NHWC driver demonstrates the hoisted ordering.
 
-use ndirect_tensor::{ActLayout, AlignedBuf, ConvShape, Filter, FilterLayout, Tensor4};
+use std::sync::Mutex;
+
+use ndirect_tensor::{ActLayout, AlignedBuf, ConvShape, Filter, Tensor4};
 use ndirect_threads::{split_static, SharedSlice, StaticPool};
 
+use crate::error::{check, Error};
 use crate::filter::{transform_filter_block, TransformedFilter};
 use crate::kernel::{run_tile, RowSource, TileArgs};
 use crate::pack::{pack_strip, StripGeom};
@@ -43,21 +46,35 @@ use crate::schedule::{FilterState, PackingMode, Schedule};
 ///
 /// `input` is `NCHW`, `filter` is `KCRS`; the output is `NCHW`. The
 /// schedule is derived from [`ndirect_platform::host`] with the pool's
-/// thread count.
+/// thread count. Panics on invalid inputs; see [`try_conv_ndirect`] for
+/// the fallible form.
 pub fn conv_ndirect(
     pool: &StaticPool,
     input: &Tensor4,
     filter: &Filter,
     shape: &ConvShape,
 ) -> Tensor4 {
+    try_conv_ndirect(pool, input, filter, shape).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible form of [`conv_ndirect`]: malformed shapes, layout/dimension
+/// mismatches and pool faults come back as typed [`Error`]s.
+pub fn try_conv_ndirect(
+    pool: &StaticPool,
+    input: &Tensor4,
+    filter: &Filter,
+    shape: &ConvShape,
+) -> Result<Tensor4, Error> {
+    shape.validate()?;
     let schedule = Schedule::derive(&ndirect_platform::host(), shape, pool.size());
-    conv_ndirect_with(pool, input, filter, shape, &schedule)
+    try_conv_ndirect_with(pool, input, filter, shape, &schedule)
 }
 
 /// nDirect convolution with an explicit [`Schedule`].
 ///
 /// The schedule's grid may use fewer threads than the pool provides
-/// (surplus threads idle); it must not require more.
+/// (surplus threads idle); it must not require more. Panics on invalid
+/// inputs; see [`try_conv_ndirect_with`] for the fallible form.
 pub fn conv_ndirect_with(
     pool: &StaticPool,
     input: &Tensor4,
@@ -65,12 +82,26 @@ pub fn conv_ndirect_with(
     shape: &ConvShape,
     schedule: &Schedule,
 ) -> Tensor4 {
-    let mut out = Tensor4::output_for(shape, ActLayout::Nchw);
-    conv_ndirect_into(pool, input, filter, shape, schedule, &mut out);
-    out
+    try_conv_ndirect_with(pool, input, filter, shape, schedule)
+        .unwrap_or_else(|e| panic!("{e}"))
 }
 
-/// nDirect convolution into a preallocated zeroed `NCHW` output.
+/// Fallible form of [`conv_ndirect_with`].
+pub fn try_conv_ndirect_with(
+    pool: &StaticPool,
+    input: &Tensor4,
+    filter: &Filter,
+    shape: &ConvShape,
+    schedule: &Schedule,
+) -> Result<Tensor4, Error> {
+    shape.validate()?;
+    let mut out = Tensor4::output_for(shape, ActLayout::Nchw);
+    try_conv_ndirect_into(pool, input, filter, shape, schedule, &mut out)?;
+    Ok(out)
+}
+
+/// nDirect convolution into a preallocated zeroed `NCHW` output. Panics on
+/// invalid inputs; see [`try_conv_ndirect_into`] for the fallible form.
 pub fn conv_ndirect_into(
     pool: &StaticPool,
     input: &Tensor4,
@@ -79,25 +110,103 @@ pub fn conv_ndirect_into(
     schedule: &Schedule,
     out: &mut Tensor4,
 ) {
-    assert_eq!(input.layout(), ActLayout::Nchw, "nDirect NCHW entry takes NCHW");
-    assert_eq!(filter.layout(), FilterLayout::Kcrs, "nDirect takes KCRS filters");
-    assert_eq!(input.dims(), (shape.n, shape.c, shape.h, shape.w), "input dims");
-    assert_eq!(
-        filter.dims(),
-        (shape.k, shape.c, shape.r, shape.s),
-        "filter dims"
-    );
-    let (p, q) = (shape.p(), shape.q());
-    assert_eq!(out.dims(), (shape.n, shape.k, p, q), "output dims");
-    assert_eq!(out.layout(), ActLayout::Nchw, "nDirect writes NCHW");
+    try_conv_ndirect_into(pool, input, filter, shape, schedule, out)
+        .unwrap_or_else(|e| panic!("{e}"))
+}
 
-    let sched = schedule.sanitized(shape);
-    assert!(
-        sched.grid.threads() <= pool.size(),
-        "schedule needs {} threads, pool has {}",
-        sched.grid.threads(),
-        pool.size()
-    );
+/// Per-thread driver scratch: the packing strip buffer and the on-the-fly
+/// filter-transform block.
+pub(crate) struct Scratch {
+    pub(crate) bbuf: AlignedBuf,
+    pub(crate) tfbuf: AlignedBuf,
+}
+
+/// Allocates one [`Scratch`] per grid thread for `sched`, with every size
+/// product checked. `Err` carries the element count of the request that
+/// failed (overflow or allocator refusal) so the caller can degrade.
+pub(crate) fn try_alloc_scratch(
+    sched: &Schedule,
+    shape: &ConvShape,
+    threads: usize,
+) -> Result<Vec<Mutex<Scratch>>, usize> {
+    let win_max = (sched.vw - 1)
+        .checked_mul(shape.stride)
+        .and_then(|x| x.checked_add(shape.s))
+        .ok_or(usize::MAX)?;
+    let bbuf_len = sched
+        .tc
+        .checked_mul(shape.r)
+        .and_then(|x| x.checked_mul(win_max))
+        .ok_or(usize::MAX)?;
+    let tf_block_len = sched
+        .tc
+        .checked_mul(shape.r)
+        .and_then(|x| x.checked_mul(shape.s))
+        .and_then(|x| x.checked_mul(sched.vk))
+        .ok_or(usize::MAX)?;
+    let tfbuf_len = sched
+        .tk
+        .div_ceil(sched.vk)
+        .checked_mul(tf_block_len)
+        .ok_or(usize::MAX)?;
+    (0..threads)
+        .map(|_| {
+            Ok(Mutex::new(Scratch {
+                bbuf: AlignedBuf::try_zeroed(bbuf_len)?,
+                tfbuf: AlignedBuf::try_zeroed(tfbuf_len)?,
+            }))
+        })
+        .collect()
+}
+
+/// Fallible form of [`conv_ndirect_into`]. Validation happens here, once,
+/// at the API boundary; the loop nest below runs on trusted values.
+///
+/// Graceful degradation: if the schedule's per-thread scratch cannot be
+/// allocated (huge tiles, allocator pressure), the driver retries with the
+/// minimal-tile schedule on the same thread grid — slower, but a correct
+/// answer beats an abort. Only if even that fails does it return
+/// [`Error::ScratchAlloc`].
+pub fn try_conv_ndirect_into(
+    pool: &StaticPool,
+    input: &Tensor4,
+    filter: &Filter,
+    shape: &ConvShape,
+    schedule: &Schedule,
+    out: &mut Tensor4,
+) -> Result<(), Error> {
+    check::standard_nchw(input, filter, shape, "nDirect NCHW entry takes NCHW/KCRS")?;
+    let (p, q) = (shape.p(), shape.q());
+    check::dims("output dims", (shape.n, shape.k, p, q), out.dims())?;
+    check::act_layout(out, ActLayout::Nchw, "nDirect writes NCHW")?;
+
+    let mut sched = schedule.sanitized(shape);
+    if sched.grid.threads() > pool.size() {
+        return Err(Error::GridExceedsPool {
+            needed: sched.grid.threads(),
+            available: pool.size(),
+        });
+    }
+
+    // Per-thread scratch, allocated up front so failure is recoverable.
+    let scratch = match try_alloc_scratch(&sched, shape, sched.grid.threads()) {
+        Ok(s) => s,
+        Err(_) => {
+            let mut fallback = Schedule::minimal(shape)
+                .with_grid(sched.grid)
+                .with_packing(sched.packing)
+                .with_filter_state(sched.filter_state)
+                .sanitized(shape);
+            fallback.vw = fallback.vw.min(sched.vw);
+            match try_alloc_scratch(&fallback, shape, fallback.grid.threads()) {
+                Ok(s) => {
+                    sched = fallback;
+                    s
+                }
+                Err(elements) => return Err(Error::ScratchAlloc { elements }),
+            }
+        }
+    };
 
     // Pre-transform once if the schedule asks for it.
     let pre_tf = match sched.filter_state {
@@ -111,7 +220,7 @@ pub fn conv_ndirect_into(
     let in_data = input.as_slice();
     let image_len = shape.c * shape.h * shape.w;
 
-    pool.run(|tid| {
+    pool.try_run(|tid| {
         if tid >= grid.threads() {
             return;
         }
@@ -136,11 +245,15 @@ pub fn conv_ndirect_into(
         // all writes before `run` returns.
         let out_all = &out_shared;
 
-        // Per-thread scratch: strip buffer and filter-transform block.
-        let win_max = (sched.vw - 1) * shape.stride + shape.s;
-        let mut bbuf = AlignedBuf::zeroed(sched.tc * shape.r * win_max);
-        let tf_block_len = sched.tc * shape.r * shape.s * sched.vk;
-        let mut tfbuf = AlignedBuf::zeroed(sched.tk.div_ceil(sched.vk) * tf_block_len);
+        // Per-thread scratch, preallocated above; the lock is uncontended
+        // (one thread per slot, taken once per region).
+        let mut guard = scratch[tid]
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        let Scratch {
+            ref mut bbuf,
+            ref mut tfbuf,
+        } = *guard;
 
         let n_first = rows.start / p;
         let n_last = (rows.end - 1) / p;
@@ -163,7 +276,7 @@ pub fn conv_ndirect_into(
                         let tf_block_len = tcb * shape.r * shape.s * sched.vk;
                         if pre_tf.is_none() {
                             transform_filter_block(
-                                filter, kt, tkb, ct, tcb, sched.vk, &mut tfbuf,
+                                filter, kt, tkb, ct, tcb, sched.vk, tfbuf,
                             );
                         }
                         for oh in ht..ht_end {
@@ -177,7 +290,7 @@ pub fn conv_ndirect_into(
                                         shape,
                                         sched: &sched,
                                         pre_tf: pre_tf.as_ref(),
-                                        tfbuf: &tfbuf,
+                                        tfbuf: &*tfbuf,
                                         tf_block_len,
                                         n,
                                         ct,
@@ -192,7 +305,7 @@ pub fn conv_ndirect_into(
                                         p,
                                         q,
                                     },
-                                    &mut bbuf,
+                                    bbuf,
                                     out_all,
                                 );
                                 wv += sched.vw;
@@ -205,7 +318,8 @@ pub fn conv_ndirect_into(
                 ht = ht_end;
             }
         }
-    });
+    })?;
+    Ok(())
 }
 
 /// Everything one `(oh, wv)` strip needs.
@@ -306,11 +420,21 @@ pub fn conv_ndirect_nhwc(
     crate::nhwc::conv_ndirect_nhwc_native(pool, input, filter, shape)
 }
 
+/// Fallible form of [`conv_ndirect_nhwc`].
+pub fn try_conv_ndirect_nhwc(
+    pool: &StaticPool,
+    input: &Tensor4,
+    filter: &Filter,
+    shape: &ConvShape,
+) -> Result<Tensor4, Error> {
+    crate::nhwc::try_conv_ndirect_nhwc_native(pool, input, filter, shape)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use ndirect_baselines::naive;
-    use ndirect_tensor::{assert_close, fill, Padding};
+    use ndirect_tensor::{assert_close, fill, FilterLayout, Padding};
     use ndirect_threads::Grid2;
 
     fn problem(shape: &ConvShape, seed: u64) -> (Tensor4, Filter) {
@@ -473,5 +597,42 @@ mod tests {
         let pool = StaticPool::new(1);
         let sched = Schedule::minimal(&shape).with_grid(Grid2::new(2, 2));
         conv_ndirect_with(&pool, &input, &filter, &shape, &sched);
+    }
+
+    #[test]
+    fn scratch_size_overflow_is_an_error_not_a_panic() {
+        // An unsanitized schedule with an absurd tile must fail in the
+        // checked size arithmetic, never in the allocator or a panic.
+        let shape = ConvShape::square(1, 8, 8, 10, 3, 1);
+        let mut sched = Schedule::minimal(&shape);
+        sched.tc = usize::MAX / 2;
+        assert!(try_alloc_scratch(&sched, &shape, 1).is_err());
+    }
+
+    #[test]
+    fn scratch_refusal_degrades_to_the_minimal_schedule() {
+        // A shape with an enormous channel count makes the derived scratch
+        // request exceed the address space; the driver's fallback (minimal
+        // tiles on the same grid) must still allocate for the same shape.
+        let shape = ConvShape::new(1, 1 << 48, 8, 8, 4, 3, 3, 1, Padding::NONE);
+        let mut sched = Schedule::minimal(&shape);
+        sched.tc = shape.c; // survives sanitize: tc is clamped to C
+        let sched = sched.sanitized(&shape);
+        assert!(
+            try_alloc_scratch(&sched, &shape, 1).is_err(),
+            "petabyte scratch request must be refused"
+        );
+
+        // Mirror the driver's degradation path.
+        let mut fallback = Schedule::minimal(&shape)
+            .with_grid(sched.grid)
+            .with_packing(sched.packing)
+            .with_filter_state(sched.filter_state)
+            .sanitized(&shape);
+        fallback.vw = fallback.vw.min(sched.vw);
+        assert!(
+            try_alloc_scratch(&fallback, &shape, 1).is_ok(),
+            "minimal fallback must allocate for the same shape"
+        );
     }
 }

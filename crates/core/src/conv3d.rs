@@ -14,6 +14,7 @@
 use ndirect_tensor::{AlignedBuf, Filter5, Tensor5};
 use ndirect_threads::{split_static, SharedSlice, StaticPool};
 
+use crate::error::Error;
 use crate::kernel::{run_tile, RowSource, TileArgs};
 
 /// A 3-D convolution problem: `NCDHW` input, `KCTRS` filter, symmetric
@@ -116,23 +117,58 @@ pub fn conv3d_ndirect(
     filter: &Filter5,
     shape: &Conv3dShape,
 ) -> Tensor5 {
-    assert_eq!(
-        input.dims(),
-        (shape.n, shape.c, shape.d, shape.h, shape.w),
-        "input dims"
-    );
-    assert_eq!(
-        filter.dims(),
-        (shape.k, shape.c, shape.t, shape.r, shape.s),
-        "filter dims"
-    );
-    assert!(shape.stride >= 1, "stride must be >= 1");
-    assert!(
-        shape.d + 2 * shape.pad_d >= shape.t
-            && shape.h + 2 * shape.pad_h >= shape.r
-            && shape.w + 2 * shape.pad_w >= shape.s,
-        "kernel does not fit the padded input volume"
-    );
+    try_conv3d_ndirect(pool, input, filter, shape).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible form of [`conv3d_ndirect`].
+pub fn try_conv3d_ndirect(
+    pool: &StaticPool,
+    input: &Tensor5,
+    filter: &Filter5,
+    shape: &Conv3dShape,
+) -> Result<Tensor5, Error> {
+    if input.dims() != (shape.n, shape.c, shape.d, shape.h, shape.w) {
+        return Err(Error::Config {
+            msg: format!(
+                "input dims mismatch: shape implies {:?}, tensor is {:?}",
+                (shape.n, shape.c, shape.d, shape.h, shape.w),
+                input.dims()
+            ),
+        });
+    }
+    if filter.dims() != (shape.k, shape.c, shape.t, shape.r, shape.s) {
+        return Err(Error::Config {
+            msg: format!(
+                "filter dims mismatch: shape implies {:?}, tensor is {:?}",
+                (shape.k, shape.c, shape.t, shape.r, shape.s),
+                filter.dims()
+            ),
+        });
+    }
+    if shape.stride < 1 {
+        return Err(Error::Shape(ndirect_tensor::ShapeError::ZeroStride));
+    }
+    if shape.d + 2 * shape.pad_d < shape.t {
+        return Err(Error::Shape(ndirect_tensor::ShapeError::KernelExceedsInput {
+            axis: 'd',
+            kernel: shape.t,
+            padded: shape.d + 2 * shape.pad_d,
+        }));
+    }
+    if shape.h + 2 * shape.pad_h < shape.r {
+        return Err(Error::Shape(ndirect_tensor::ShapeError::KernelExceedsInput {
+            axis: 'h',
+            kernel: shape.r,
+            padded: shape.h + 2 * shape.pad_h,
+        }));
+    }
+    if shape.w + 2 * shape.pad_w < shape.s {
+        return Err(Error::Shape(ndirect_tensor::ShapeError::KernelExceedsInput {
+            axis: 'w',
+            kernel: shape.s,
+            padded: shape.w + 2 * shape.pad_w,
+        }));
+    }
     let (od, p, q) = (shape.od(), shape.p(), shape.q());
     let mut out = Tensor5::zeros(shape.n, shape.k, od, p, q);
 
@@ -159,7 +195,7 @@ pub fn conv3d_ndirect(
     let tf_block_len = shape.c * rdim * shape.s * vk;
 
     let out_shared = SharedSlice::new(out.as_mut_slice());
-    pool.run(|tid| {
+    pool.try_run(|tid| {
         // Disjointness: threads own disjoint output rows (static split);
         // barrier before return.
         let out_all = &out_shared;
@@ -216,8 +252,8 @@ pub fn conv3d_ndirect(
                 wv += vw;
             }
         }
-    });
-    out
+    })?;
+    Ok(out)
 }
 
 /// One input row of a 3-D volume with zero fill outside any axis.

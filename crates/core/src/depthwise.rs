@@ -16,33 +16,53 @@ use ndirect_simd::{F32x4, SimdVec};
 use ndirect_tensor::{ActLayout, AlignedBuf, ConvShape, Filter, FilterLayout, Tensor4};
 use ndirect_threads::{split_static, SharedSlice, StaticPool};
 
+use crate::error::{check, Error};
 use crate::pack::gather_row;
 
 /// Shape check for depthwise problems: the filter is `(C, 1, R, S)` and
 /// the output has `C` channels (`shape.k == shape.c`, multiplier 1).
-fn validate(input: &Tensor4, filter: &Filter, shape: &ConvShape) {
-    assert_eq!(input.layout(), ActLayout::Nchw, "depthwise takes NCHW");
-    assert_eq!(
-        shape.k, shape.c,
-        "depthwise convolution needs K == C (channel multiplier 1)"
-    );
-    assert_eq!(input.dims(), (shape.n, shape.c, shape.h, shape.w), "input dims");
-    assert_eq!(
-        filter.dims(),
+fn validate(input: &Tensor4, filter: &Filter, shape: &ConvShape) -> Result<(), Error> {
+    shape.validate()?;
+    check::act_layout(input, ActLayout::Nchw, "depthwise takes NCHW")?;
+    if shape.k != shape.c {
+        return Err(Error::NotDepthwise {
+            k: shape.k,
+            c: shape.c,
+        });
+    }
+    check::dims(
+        "input dims",
+        (shape.n, shape.c, shape.h, shape.w),
+        input.dims(),
+    )?;
+    check::dims(
+        "filter dims",
         (shape.c, 1, shape.r, shape.s),
-        "depthwise filter is (C, 1, R, S)"
-    );
-    assert_eq!(filter.layout(), FilterLayout::Kcrs, "depthwise takes KCRS");
+        filter.dims(),
+    )?;
+    check::filter_layout(filter, FilterLayout::Kcrs, "depthwise takes KCRS")?;
+    Ok(())
 }
 
 /// Depthwise convolution: `O[n][c] = I[n][c] ⊛ F[c]`, `NCHW` in and out.
+/// Panics on invalid inputs; see [`try_conv_depthwise`].
 pub fn conv_depthwise(
     pool: &StaticPool,
     input: &Tensor4,
     filter: &Filter,
     shape: &ConvShape,
 ) -> Tensor4 {
-    validate(input, filter, shape);
+    try_conv_depthwise(pool, input, filter, shape).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible form of [`conv_depthwise`].
+pub fn try_conv_depthwise(
+    pool: &StaticPool,
+    input: &Tensor4,
+    filter: &Filter,
+    shape: &ConvShape,
+) -> Result<Tensor4, Error> {
+    validate(input, filter, shape)?;
     let (p, q) = (shape.p(), shape.q());
     let mut out = Tensor4::zeros(shape.n, shape.c, p, q, ActLayout::Nchw);
 
@@ -55,7 +75,7 @@ pub fn conv_depthwise(
     let image_len = shape.c * shape.h * shape.w;
 
     let out_shared = SharedSlice::new(out.as_mut_slice());
-    pool.run(|tid| {
+    pool.try_run(|tid| {
         // Disjointness: each (n, cgroup) item owns its own 4 output
         // planes; the pool barrier orders writes before `run` returns.
         let out_all = &out_shared;
@@ -71,8 +91,8 @@ pub fn conv_depthwise(
                 image, filter, shape, n, c0, lanes, vw, &mut rows, out_all, p, q,
             );
         }
-    });
-    out
+    })?;
+    Ok(out)
 }
 
 /// Computes four channels' output planes for one image.
@@ -150,13 +170,31 @@ pub fn conv_depthwise_separable(
     pw_filter: &Filter,
     shape: &ConvShape,
 ) -> Tensor4 {
-    let dw_shape = ConvShape::new(
+    try_conv_depthwise_separable(pool, input, dw_filter, pw_filter, shape)
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible form of [`conv_depthwise_separable`].
+pub fn try_conv_depthwise_separable(
+    pool: &StaticPool,
+    input: &Tensor4,
+    dw_filter: &Filter,
+    pw_filter: &Filter,
+    shape: &ConvShape,
+) -> Result<Tensor4, Error> {
+    let dw_shape = ConvShape::try_new(
         shape.n, shape.c, shape.h, shape.w, shape.c, shape.r, shape.s, shape.stride, shape.pad,
-    );
-    let mid = conv_depthwise(pool, input, dw_filter, &dw_shape);
+    )?;
+    let mid = try_conv_depthwise(pool, input, dw_filter, &dw_shape)?;
     let (k, c, r1, s1) = pw_filter.dims();
-    assert_eq!((c, r1, s1), (shape.c, 1, 1), "pointwise filter is (K, C, 1, 1)");
-    let pw_shape = ConvShape::new(
+    if (c, r1, s1) != (shape.c, 1, 1) {
+        return Err(Error::DimMismatch {
+            what: "filter dims",
+            expected: (k, shape.c, 1, 1),
+            got: pw_filter.dims(),
+        });
+    }
+    let pw_shape = ConvShape::try_new(
         shape.n,
         shape.c,
         dw_shape.p(),
@@ -166,8 +204,8 @@ pub fn conv_depthwise_separable(
         1,
         1,
         ndirect_tensor::Padding::NONE,
-    );
-    crate::conv::conv_ndirect(pool, &mid, pw_filter, &pw_shape)
+    )?;
+    crate::conv::try_conv_ndirect(pool, &mid, pw_filter, &pw_shape)
 }
 
 #[cfg(test)]

@@ -16,9 +16,10 @@
 //! its register tile is absent by construction.
 
 use ndirect_simd::{F32x4, SimdVec};
-use ndirect_tensor::{ActLayout, AlignedBuf, ConvShape, Filter, FilterLayout, Tensor4};
+use ndirect_tensor::{ActLayout, AlignedBuf, ConvShape, Filter, Tensor4};
 use ndirect_threads::{split_static, SharedSlice, StaticPool};
 
+use crate::error::{check, Error};
 use crate::pack::{pack_strip, StripGeom};
 
 /// Direct convolution with the inner-product kernel — ablation only; the
@@ -29,10 +30,17 @@ pub fn conv_inner_product(
     filter: &Filter,
     shape: &ConvShape,
 ) -> Tensor4 {
-    assert_eq!(input.layout(), ActLayout::Nchw, "inner-product ablation takes NCHW");
-    assert_eq!(filter.layout(), FilterLayout::Kcrs, "inner-product ablation takes KCRS");
-    assert_eq!(input.dims(), (shape.n, shape.c, shape.h, shape.w), "input dims");
-    assert_eq!(filter.dims(), (shape.k, shape.c, shape.r, shape.s), "filter dims");
+    try_conv_inner_product(pool, input, filter, shape).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible form of [`conv_inner_product`].
+pub fn try_conv_inner_product(
+    pool: &StaticPool,
+    input: &Tensor4,
+    filter: &Filter,
+    shape: &ConvShape,
+) -> Result<Tensor4, Error> {
+    check::standard_nchw(input, filter, shape, "inner-product ablation takes NCHW/KCRS")?;
 
     let (p, q) = (shape.p(), shape.q());
     let mut out = Tensor4::output_for(shape, ActLayout::Nchw);
@@ -45,7 +53,7 @@ pub fn conv_inner_product(
     const VW: usize = 8;
 
     let out_shared = SharedSlice::new(out.as_mut_slice());
-    pool.run(|tid| {
+    pool.try_run(|tid| {
         // Disjointness: threads own disjoint output rows; barrier before
         // return.
         let out_all = &out_shared;
@@ -79,8 +87,8 @@ pub fn conv_inner_product(
                 wv += valid_w;
             }
         }
-    });
-    out
+    })?;
+    Ok(out)
 }
 
 /// Dot product of one output element: `Σ_{c,r,s} B[c][r][off+s]·F[c][r][s]`.
@@ -117,7 +125,7 @@ fn dot_strip(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ndirect_tensor::{assert_close, fill, Padding};
+    use ndirect_tensor::{assert_close, fill, FilterLayout, Padding};
 
     fn check(shape: ConvShape, threads: usize) {
         let input = fill::random_tensor(Tensor4::input_for(&shape, ActLayout::Nchw), 8);

@@ -19,6 +19,8 @@ use ndirect_simd::{I16x8, I32x4};
 use ndirect_tensor::ConvShape;
 use ndirect_threads::{split_static, SharedSlice, StaticPool};
 
+use crate::error::{check, Error};
+
 /// A dense `NCHW` i16 activation tensor.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Int16Tensor {
@@ -91,7 +93,7 @@ impl Int16Filter {
 
 /// Naive INT16 oracle: exact i32 accumulation (wrapping).
 pub fn conv_int16_naive(input: &Int16Tensor, filter: &Int16Filter, shape: &ConvShape) -> Vec<i32> {
-    validate(input, filter, shape);
+    validate(input, filter, shape).unwrap_or_else(|e| panic!("{e}"));
     let (p, q) = (shape.p(), shape.q());
     let mut out = vec![0i32; shape.n * shape.k * p * q];
     for n in 0..shape.n {
@@ -132,7 +134,17 @@ pub fn conv_int16(
     filter: &Int16Filter,
     shape: &ConvShape,
 ) -> Vec<i32> {
-    validate(input, filter, shape);
+    try_conv_int16(pool, input, filter, shape).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible form of [`conv_int16`].
+pub fn try_conv_int16(
+    pool: &StaticPool,
+    input: &Int16Tensor,
+    filter: &Int16Filter,
+    shape: &ConvShape,
+) -> Result<Vec<i32>, Error> {
+    validate(input, filter, shape)?;
     let (p, q) = (shape.p(), shape.q());
     let mut out = vec![0i32; shape.n * shape.k * p * q];
 
@@ -167,7 +179,7 @@ pub fn conv_int16(
     let rows_total = shape.n * p;
 
     let out_shared = SharedSlice::new(&mut out);
-    pool.run(|tid| {
+    pool.try_run(|tid| {
         // Disjointness: output rows are statically split per thread;
         // barrier before return.
         let out_all = &out_shared;
@@ -243,39 +255,40 @@ pub fn conv_int16(
                 wv += VW;
             }
         }
-    });
-    out
+    })?;
+    Ok(out)
 }
 
-fn validate(input: &Int16Tensor, filter: &Int16Filter, shape: &ConvShape) {
-    assert_eq!(
-        (input.n, input.c, input.h, input.w),
+fn validate(input: &Int16Tensor, filter: &Int16Filter, shape: &ConvShape) -> Result<(), Error> {
+    shape.validate()?;
+    check::dims(
+        "input dims",
         (shape.n, shape.c, shape.h, shape.w),
-        "input dims"
-    );
-    assert_eq!(
-        (filter.k, filter.c, filter.r, filter.s),
+        (input.n, input.c, input.h, input.w),
+    )?;
+    check::dims(
+        "filter dims",
         (shape.k, shape.c, shape.r, shape.s),
-        "filter dims"
-    );
+        (filter.k, filter.c, filter.r, filter.s),
+    )?;
+    Ok(())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ndirect_support::Rng64;
     use ndirect_tensor::Padding;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
 
     fn problem(shape: &ConvShape, seed: u64) -> (Int16Tensor, Int16Filter) {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng64::seed_from_u64(seed);
         let mut input = Int16Tensor::zeros(shape.n, shape.c, shape.h, shape.w);
         for x in &mut input.data {
-            *x = rng.gen_range(-31..=31);
+            *x = rng.gen_range_i32(-31, 31) as i16;
         }
         let mut filter = Int16Filter::zeros(shape.k, shape.c, shape.r, shape.s);
         for x in &mut filter.data {
-            *x = rng.gen_range(-31..=31);
+            *x = rng.gen_range_i32(-31, 31) as i16;
         }
         (input, filter)
     }

@@ -47,6 +47,7 @@
 pub mod conv;
 pub mod conv3d;
 pub mod depthwise;
+pub mod error;
 pub mod filter;
 pub mod inner_product;
 pub mod int16;
@@ -58,13 +59,22 @@ pub mod quantize;
 pub mod sparse;
 pub mod schedule;
 
-pub use conv::{conv_ndirect, conv_ndirect_into, conv_ndirect_nhwc, conv_ndirect_with};
-pub use depthwise::{conv_depthwise, conv_depthwise_separable};
-pub use conv3d::{conv3d_naive, conv3d_ndirect, Conv3dShape};
-pub use inner_product::conv_inner_product;
-pub use int16::{conv_int16, conv_int16_naive, Int16Filter, Int16Tensor};
-pub use quantize::{conv_quantized, QuantParams};
-pub use sparse::{conv_ndirect_pruned, prune_channels, ChannelMask};
-pub use nhwc::{conv_ndirect_nhwc_native, conv_ndirect_nhwc_with};
+pub use conv::{
+    conv_ndirect, conv_ndirect_into, conv_ndirect_nhwc, conv_ndirect_with, try_conv_ndirect,
+    try_conv_ndirect_into, try_conv_ndirect_nhwc, try_conv_ndirect_with,
+};
+pub use depthwise::{
+    conv_depthwise, conv_depthwise_separable, try_conv_depthwise, try_conv_depthwise_separable,
+};
+pub use conv3d::{conv3d_naive, conv3d_ndirect, try_conv3d_ndirect, Conv3dShape};
+pub use error::Error;
+pub use inner_product::{conv_inner_product, try_conv_inner_product};
+pub use int16::{conv_int16, conv_int16_naive, try_conv_int16, Int16Filter, Int16Tensor};
+pub use quantize::{conv_quantized, try_conv_quantized, QuantParams};
+pub use sparse::{conv_ndirect_pruned, prune_channels, try_conv_ndirect_pruned, ChannelMask};
+pub use nhwc::{
+    conv_ndirect_nhwc_native, conv_ndirect_nhwc_with, try_conv_ndirect_nhwc_native,
+    try_conv_ndirect_nhwc_with,
+};
 pub use filter::{transform_filter, transform_filter_block, TransformedFilter};
 pub use schedule::{FilterState, PackingMode, Schedule};

@@ -19,9 +19,10 @@
 //! machinery as the `NCHW` path.
 
 use ndirect_simd::{F32x4, SimdVec};
-use ndirect_tensor::{ActLayout, AlignedBuf, ConvShape, Filter, FilterLayout, Tensor4};
+use ndirect_tensor::{ActLayout, ConvShape, Filter, FilterLayout, Tensor4};
 use ndirect_threads::{split_static, SharedSlice, StaticPool};
 
+use crate::error::{check, Error};
 use crate::schedule::Schedule;
 
 /// Transforms the filter block `k ∈ [kt, kt+tkb)`, `c ∈ [ct, ct+tcb)` into
@@ -276,23 +277,47 @@ pub fn conv_ndirect_nhwc_with(
     shape: &ConvShape,
     schedule: &Schedule,
 ) -> Tensor4 {
-    assert_eq!(input.layout(), ActLayout::Nhwc, "native NHWC entry takes NHWC");
-    assert_eq!(filter.layout(), FilterLayout::Krsc, "native NHWC entry takes KRSC");
-    assert_eq!(input.dims(), (shape.n, shape.c, shape.h, shape.w), "input dims");
-    assert_eq!(
-        filter.dims(),
+    try_conv_ndirect_nhwc_with(pool, input, filter, shape, schedule)
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible form of [`conv_ndirect_nhwc_with`]: malformed shapes,
+/// layout/dimension mismatches and pool faults come back as typed
+/// [`Error`]s.
+pub fn try_conv_ndirect_nhwc_with(
+    pool: &StaticPool,
+    input: &Tensor4,
+    filter: &Filter,
+    shape: &ConvShape,
+    schedule: &Schedule,
+) -> Result<Tensor4, Error> {
+    shape.validate()?;
+    check::act_layout(input, ActLayout::Nhwc, "native NHWC entry takes NHWC")?;
+    check::filter_layout(filter, FilterLayout::Krsc, "native NHWC entry takes KRSC")?;
+    check::dims(
+        "input dims",
+        (shape.n, shape.c, shape.h, shape.w),
+        input.dims(),
+    )?;
+    check::dims(
+        "filter dims",
         (shape.k, shape.c, shape.r, shape.s),
-        "filter dims"
-    );
+        filter.dims(),
+    )?;
     let sched = schedule.sanitized(shape);
-    assert!(
-        sched.grid.threads() <= pool.size(),
-        "schedule needs {} threads, pool has {}",
-        sched.grid.threads(),
-        pool.size()
-    );
+    if sched.grid.threads() > pool.size() {
+        return Err(Error::GridExceedsPool {
+            needed: sched.grid.threads(),
+            available: pool.size(),
+        });
+    }
     let (p, q) = (shape.p(), shape.q());
     let mut out = Tensor4::zeros(shape.n, shape.k, p, q, ActLayout::Nhwc);
+
+    // Per-thread scratch, preallocated so failure is a typed error (the
+    // NHWC strip/transform buffers have the same sizes as the NCHW ones).
+    let scratch = crate::conv::try_alloc_scratch(&sched, shape, sched.grid.threads())
+        .map_err(|elements| Error::ScratchAlloc { elements })?;
 
     let grid = sched.grid;
     let kv_total = shape.k.div_ceil(sched.vk);
@@ -301,7 +326,7 @@ pub fn conv_ndirect_nhwc_with(
     let kdim = shape.k;
 
     let out_shared = SharedSlice::new(out.as_mut_slice());
-    pool.run(|tid| {
+    pool.try_run(|tid| {
         if tid >= grid.threads() {
             return;
         }
@@ -321,10 +346,13 @@ pub fn conv_ndirect_nhwc_with(
         // K-segments of pixels within the thread's own rows.
         let out_all = &out_shared;
 
-        let win_max = (sched.vw - 1) * shape.stride + shape.s;
-        let mut buf = AlignedBuf::zeroed(shape.r * win_max * sched.tc);
-        let tf_block_len_max = shape.r * shape.s * sched.tc * sched.vk;
-        let mut tfbuf = AlignedBuf::zeroed(sched.tk.div_ceil(sched.vk) * tf_block_len_max);
+        let mut guard = scratch[tid]
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        let crate::conv::Scratch {
+            bbuf: ref mut buf,
+            ref mut tfbuf,
+        } = *guard;
 
         // Loop order mirrors Algorithm 2: cache tiles outermost so each
         // filter-block transform amortizes over every row and strip the
@@ -337,7 +365,7 @@ pub fn conv_ndirect_nhwc_with(
             while kt < k_hi {
                 let tkb = sched.tk.min(k_hi - kt);
                 let kv_blocks = tkb.div_ceil(sched.vk);
-                transform_filter_nhwc_block(filter, kt, tkb, ct, tcb, sched.vk, &mut tfbuf);
+                transform_filter_nhwc_block(filter, kt, tkb, ct, tcb, sched.vk, tfbuf);
                 for row in rows.clone() {
                     let n = row / p;
                     let oh = row % p;
@@ -348,12 +376,12 @@ pub fn conv_ndirect_nhwc_with(
                         let valid_w = sched.vw.min(q - wv);
                         let win = (valid_w - 1) * shape.stride + shape.s;
                         let iw0 = (wv * shape.stride) as isize - shape.pad.w as isize;
-                        pack_strip_nhwc(image, shape, ct, tcb, ih0, iw0, win, &mut buf);
+                        pack_strip_nhwc(image, shape, ct, tcb, ih0, iw0, win, buf);
                         for kv in 0..kv_blocks {
                             let k0 = kt + kv * sched.vk;
                             let valid_k = sched.vk.min(k_hi - k0);
                             run_nhwc_tile(
-                                &buf,
+                                buf,
                                 &tfbuf[kv * tf_block_len..(kv + 1) * tf_block_len],
                                 shape,
                                 tcb,
@@ -373,8 +401,8 @@ pub fn conv_ndirect_nhwc_with(
             }
             ct += sched.tc;
         }
-    });
-    out
+    })?;
+    Ok(out)
 }
 
 /// Native-`NHWC` nDirect with a model-derived schedule.
@@ -384,8 +412,19 @@ pub fn conv_ndirect_nhwc_native(
     filter: &Filter,
     shape: &ConvShape,
 ) -> Tensor4 {
+    try_conv_ndirect_nhwc_native(pool, input, filter, shape).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible form of [`conv_ndirect_nhwc_native`].
+pub fn try_conv_ndirect_nhwc_native(
+    pool: &StaticPool,
+    input: &Tensor4,
+    filter: &Filter,
+    shape: &ConvShape,
+) -> Result<Tensor4, Error> {
+    shape.validate()?;
     let schedule = Schedule::derive(&ndirect_platform::host(), shape, pool.size());
-    conv_ndirect_nhwc_with(pool, input, filter, shape, &schedule)
+    try_conv_ndirect_nhwc_with(pool, input, filter, shape, &schedule)
 }
 
 #[cfg(test)]

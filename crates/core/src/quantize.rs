@@ -3,10 +3,11 @@
 //! quantized convolution that returns dequantized FP32 — what a framework
 //! integrating [`crate::conv_int16`] actually calls.
 
-use ndirect_tensor::{ActLayout, ConvShape, Filter, FilterLayout, Tensor4};
+use ndirect_tensor::{ActLayout, ConvShape, Filter, Tensor4};
 use ndirect_threads::StaticPool;
 
-use crate::int16::{conv_int16, Int16Filter, Int16Tensor};
+use crate::error::{check, Error};
+use crate::int16::{Int16Filter, Int16Tensor};
 
 /// Symmetric per-tensor quantization parameters: `real = scale · code`.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -62,8 +63,17 @@ pub fn conv_quantized(
     filter: &Filter,
     shape: &ConvShape,
 ) -> (Tensor4, QuantParams, QuantParams) {
-    assert_eq!(input.layout(), ActLayout::Nchw, "quantized path takes NCHW");
-    assert_eq!(filter.layout(), FilterLayout::Kcrs, "quantized path takes KCRS");
+    try_conv_quantized(pool, input, filter, shape).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible form of [`conv_quantized`].
+pub fn try_conv_quantized(
+    pool: &StaticPool,
+    input: &Tensor4,
+    filter: &Filter,
+    shape: &ConvShape,
+) -> Result<(Tensor4, QuantParams, QuantParams), Error> {
+    check::standard_nchw(input, filter, shape, "quantized path takes NCHW/KCRS")?;
 
     let reduction = shape.c * shape.r * shape.s;
     let max_code = safe_max_code(reduction);
@@ -79,19 +89,19 @@ pub fn conv_quantized(
         *d = qw.quantize(x);
     }
 
-    let acc = conv_int16(pool, &qi, &qf, shape);
+    let acc = crate::int16::try_conv_int16(pool, &qi, &qf, shape)?;
     let mut out = Tensor4::output_for(shape, ActLayout::Nchw);
     let combined = qx.scale * qw.scale;
     for (o, &a) in out.as_mut_slice().iter_mut().zip(&acc) {
         *o = a as f32 * combined;
     }
-    (out, qx, qw)
+    Ok((out, qx, qw))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ndirect_tensor::{fill, max_rel_diff, Padding};
+    use ndirect_tensor::{fill, max_rel_diff, FilterLayout, Padding};
 
     #[test]
     fn quantize_round_trips_within_half_step() {

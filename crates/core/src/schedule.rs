@@ -1,13 +1,14 @@
 //! Execution schedules: every tunable parameter of the nDirect algorithm.
 
 use ndirect_platform::Platform;
+use ndirect_support::{Json, JsonError};
 use ndirect_tensor::ConvShape;
 use ndirect_threads::Grid2;
 
 use crate::model;
 
 /// How input packing interacts with computation (§5.3, Figure 5).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PackingMode {
     /// The paper's optimization: the packing gather for each `(c, r)` row is
     /// fused with the first `kv` iteration's FMAs, so stores into the linear
@@ -21,7 +22,7 @@ pub enum PackingMode {
 /// Whether the filter is transformed per cache block on the fly (the
 /// paper's design, zero preprocessing between framework calls) or once
 /// ahead of time (the ablation: what a weight-caching integration would do).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FilterState {
     /// Transform each `Tk × Tc` filter block inside loop L4 (Algorithm 2
     /// line 5). The transform cost is incurred once per block and amortized
@@ -33,7 +34,7 @@ pub enum FilterState {
 }
 
 /// A complete parameterization of the nDirect convolution.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Schedule {
     /// Register-tile width: output pixels per micro-kernel call (`Vw`).
     pub vw: usize,
@@ -133,6 +134,80 @@ impl Schedule {
         s.grid = grid;
         s
     }
+
+    /// JSON form for persistence (the autotune cache).
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("vw".into(), Json::usize(self.vw)),
+            ("vk".into(), Json::usize(self.vk)),
+            ("tc".into(), Json::usize(self.tc)),
+            ("tk".into(), Json::usize(self.tk)),
+            ("th".into(), Json::usize(self.th)),
+            ("grid".into(), self.grid.to_json()),
+            ("packing".into(), Json::str(self.packing.as_str())),
+            ("filter_state".into(), Json::str(self.filter_state.as_str())),
+        ])
+    }
+
+    /// Parses the [`Schedule::to_json`] form; malformed or degenerate
+    /// fields are typed errors, never panics.
+    pub fn from_json(v: &Json) -> Result<Schedule, JsonError> {
+        let field_err = |msg: String| JsonError { msg, at: 0 };
+        let s = Schedule {
+            vw: v.usize_field("vw")?,
+            vk: v.usize_field("vk")?,
+            tc: v.usize_field("tc")?,
+            tk: v.usize_field("tk")?,
+            th: v.usize_field("th")?,
+            grid: Grid2::from_json(v.require("grid")?)?,
+            packing: PackingMode::parse(v.str_field("packing")?)
+                .ok_or_else(|| field_err("unknown packing mode".into()))?,
+            filter_state: FilterState::parse(v.str_field("filter_state")?)
+                .ok_or_else(|| field_err("unknown filter state".into()))?,
+        };
+        if s.vw == 0 || s.vk == 0 || s.tc == 0 || s.tk == 0 || s.th == 0 {
+            return Err(field_err("schedule tiles must be >= 1".into()));
+        }
+        Ok(s)
+    }
+}
+
+impl PackingMode {
+    /// Stable string form used by the JSON schedule encoding.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            PackingMode::Fused => "fused",
+            PackingMode::Sequential => "sequential",
+        }
+    }
+
+    /// Inverse of [`PackingMode::as_str`].
+    pub fn parse(s: &str) -> Option<PackingMode> {
+        match s {
+            "fused" => Some(PackingMode::Fused),
+            "sequential" => Some(PackingMode::Sequential),
+            _ => None,
+        }
+    }
+}
+
+impl FilterState {
+    /// Stable string form used by the JSON schedule encoding.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            FilterState::OnTheFly => "on_the_fly",
+            FilterState::PreTransformed => "pre_transformed",
+        }
+    }
+
+    /// Inverse of [`FilterState::as_str`].
+    pub fn parse(s: &str) -> Option<FilterState> {
+        match s {
+            "on_the_fly" => Some(FilterState::OnTheFly),
+            "pre_transformed" => Some(FilterState::PreTransformed),
+            _ => None,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -197,5 +272,37 @@ mod tests {
             FilterState::PreTransformed
         );
         assert_eq!(s.with_grid(Grid2::new(2, 2)).threads(), 4);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let shape = ConvShape::square(2, 16, 32, 14, 3, 1);
+        let s = Schedule::derive(&phytium_2000p(), &shape, 8);
+        let parsed = Schedule::from_json(&Json::parse(&s.to_json().pretty()).unwrap()).unwrap();
+        assert_eq!(parsed, s);
+    }
+
+    #[test]
+    fn json_rejects_degenerate_tiles() {
+        let shape = ConvShape::square(1, 8, 8, 8, 3, 1);
+        let mut j = Schedule::minimal(&shape).to_json();
+        if let Json::Obj(fields) = &mut j {
+            fields[0].1 = Json::usize(0); // vw = 0
+        }
+        assert!(Schedule::from_json(&j).is_err());
+    }
+
+    #[test]
+    fn json_rejects_unknown_packing() {
+        let shape = ConvShape::square(1, 8, 8, 8, 3, 1);
+        let mut j = Schedule::minimal(&shape).to_json();
+        if let Json::Obj(fields) = &mut j {
+            for (k, v) in fields.iter_mut() {
+                if k == "packing" {
+                    *v = Json::str("vectorized-harder");
+                }
+            }
+        }
+        assert!(Schedule::from_json(&j).is_err());
     }
 }

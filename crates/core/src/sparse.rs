@@ -13,7 +13,8 @@
 use ndirect_tensor::{ActLayout, ConvShape, Filter, FilterLayout, Tensor4};
 use ndirect_threads::StaticPool;
 
-use crate::conv::conv_ndirect;
+use crate::conv::try_conv_ndirect;
+use crate::error::{check, Error};
 
 /// Which input channels carry any nonzero filter tap.
 #[derive(Debug, Clone)]
@@ -61,12 +62,23 @@ pub fn conv_ndirect_pruned(
     filter: &Filter,
     shape: &ConvShape,
 ) -> Tensor4 {
+    try_conv_ndirect_pruned(pool, input, filter, shape).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible form of [`conv_ndirect_pruned`].
+pub fn try_conv_ndirect_pruned(
+    pool: &StaticPool,
+    input: &Tensor4,
+    filter: &Filter,
+    shape: &ConvShape,
+) -> Result<Tensor4, Error> {
+    check::standard_nchw(input, filter, shape, "pruning expects NCHW/KCRS")?;
     let mask = prune_channels(filter);
     if mask.live.len() == mask.total {
-        return conv_ndirect(pool, input, filter, shape);
+        return try_conv_ndirect(pool, input, filter, shape);
     }
     if mask.live.is_empty() {
-        return Tensor4::output_for(shape, ActLayout::Nchw);
+        return Ok(Tensor4::output_for(shape, ActLayout::Nchw));
     }
 
     let c_live = mask.live.len();
@@ -96,12 +108,13 @@ pub fn conv_ndirect_pruned(
 
     let mut reduced = *shape;
     reduced.c = c_live;
-    conv_ndirect(pool, &i2, &f2, &reduced)
+    try_conv_ndirect(pool, &i2, &f2, &reduced)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::conv::conv_ndirect;
     use ndirect_baselines::naive;
     use ndirect_tensor::{assert_close, fill, Padding};
 

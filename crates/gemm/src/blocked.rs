@@ -3,6 +3,7 @@
 use ndirect_tensor::AlignedBuf;
 
 use crate::kernel::{microkernel, microkernel_edge};
+use crate::error::{check_ld, check_len, GemmError};
 use crate::pack::{pack_a, pack_b};
 use crate::{MR, NR};
 
@@ -50,10 +51,22 @@ impl BlockSizes {
 /// `C += A·B` for contiguous row-major operands
 /// (`A: m×k`, `B: k×n`, `C: m×n`).
 pub fn gemm(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
-    assert_eq!(a.len(), m * k, "A size");
-    assert_eq!(b.len(), k * n, "B size");
-    assert_eq!(c.len(), m * n, "C size");
-    gemm_strided(m, n, k, a, k, b, n, c, n, BlockSizes::default());
+    try_gemm(m, n, k, a, b, c).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible form of [`gemm`].
+pub fn try_gemm(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+) -> Result<(), GemmError> {
+    check_len("A", m * k, a.len())?;
+    check_len("B", k * n, b.len())?;
+    check_len("C", m * n, c.len())?;
+    try_gemm_strided(m, n, k, a, k, b, n, c, n, BlockSizes::default())
 }
 
 /// `C += A·B` with explicit leading dimensions and block sizes.
@@ -73,13 +86,32 @@ pub fn gemm_strided(
     ldc: usize,
     blocks: BlockSizes,
 ) {
+    try_gemm_strided(m, n, k, a, lda, b, ldb, c, ldc, blocks).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible form of [`gemm_strided`].
+#[allow(clippy::too_many_arguments)]
+pub fn try_gemm_strided(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    lda: usize,
+    b: &[f32],
+    ldb: usize,
+    c: &mut [f32],
+    ldc: usize,
+    blocks: BlockSizes,
+) -> Result<(), GemmError> {
     if m == 0 || n == 0 || k == 0 {
-        return;
+        return Ok(());
     }
-    assert!(lda >= k && ldb >= n && ldc >= n, "leading dims too small");
-    assert!(a.len() >= (m - 1) * lda + k, "A too small");
-    assert!(b.len() >= (k - 1) * ldb + n, "B too small");
-    assert!(c.len() >= (m - 1) * ldc + n, "C too small");
+    check_ld("lda", lda, k)?;
+    check_ld("ldb", ldb, n)?;
+    check_ld("ldc", ldc, n)?;
+    check_len("A", (m - 1) * lda + k, a.len())?;
+    check_len("B", (k - 1) * ldb + n, b.len())?;
+    check_len("C", (m - 1) * ldc + n, c.len())?;
 
     let BlockSizes { mc, kc, nc } = blocks;
     let mut packed_a = AlignedBuf::zeroed(mc.div_ceil(MR) * MR * kc);
@@ -108,6 +140,7 @@ pub fn gemm_strided(
             }
         }
     }
+    Ok(())
 }
 
 /// Macro-kernel: sweeps the packed block with the register-tiled

@@ -1,0 +1,56 @@
+//! Typed errors for the GEMM entry points.
+
+/// Why a GEMM call rejected its operands. The panicking entry points
+/// format these into their panic message, so both API flavours agree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GemmError {
+    /// An operand slice is smaller than the problem dimensions require.
+    OperandSize {
+        /// `"A"`, `"B"`, or `"C"`.
+        name: &'static str,
+        /// Minimum length the dimensions imply.
+        needed: usize,
+        /// Actual slice length.
+        got: usize,
+    },
+    /// A leading dimension is smaller than the row extent it strides over.
+    LeadingDim {
+        /// `"lda"`, `"ldb"`, or `"ldc"`.
+        name: &'static str,
+        /// The offending leading dimension.
+        ld: usize,
+        /// Minimum legal value.
+        min: usize,
+    },
+}
+
+impl std::fmt::Display for GemmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GemmError::OperandSize { name, needed, got } => {
+                write!(f, "{name} size: operand needs at least {needed} elements, got {got}")
+            }
+            GemmError::LeadingDim { name, ld, min } => {
+                write!(f, "leading dims too small: {name} = {ld} must be >= {min}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GemmError {}
+
+pub(crate) fn check_len(name: &'static str, needed: usize, got: usize) -> Result<(), GemmError> {
+    if got >= needed {
+        Ok(())
+    } else {
+        Err(GemmError::OperandSize { name, needed, got })
+    }
+}
+
+pub(crate) fn check_ld(name: &'static str, ld: usize, min: usize) -> Result<(), GemmError> {
+    if ld >= min {
+        Ok(())
+    } else {
+        Err(GemmError::LeadingDim { name, ld, min })
+    }
+}

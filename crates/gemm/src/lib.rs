@@ -19,13 +19,15 @@
 #![warn(missing_docs)]
 
 pub mod blocked;
+pub mod error;
 pub mod kernel;
 pub mod naive;
 pub mod pack;
 pub mod parallel;
 
-pub use blocked::{gemm, gemm_strided, BlockSizes};
-pub use parallel::par_gemm;
+pub use blocked::{gemm, gemm_strided, try_gemm, try_gemm_strided, BlockSizes};
+pub use error::GemmError;
+pub use parallel::{par_gemm, try_par_gemm};
 
 /// Rows per register tile (`MR`). Sized so the accumulator file
 /// (`MR × NR/4` vectors) plus operand registers fits the 16 XMM registers of

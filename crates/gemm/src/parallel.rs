@@ -2,7 +2,8 @@
 
 use ndirect_threads::{split_static, SharedSlice, StaticPool};
 
-use crate::blocked::{gemm_strided, BlockSizes};
+use crate::blocked::{gemm_strided, try_gemm_strided, BlockSizes};
+use crate::error::{check_len, GemmError};
 use crate::MR;
 
 /// `C += A·B` on a thread team: the `M` dimension is split statically into
@@ -22,17 +23,32 @@ pub fn par_gemm(
     c: &mut [f32],
     blocks: BlockSizes,
 ) {
-    assert_eq!(a.len(), m * k, "A size");
-    assert_eq!(b.len(), k * n, "B size");
-    assert_eq!(c.len(), m * n, "C size");
+    try_par_gemm(pool, m, n, k, a, b, c, blocks).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible form of [`par_gemm`]: bad operand sizes and pool faults come
+/// back as errors instead of panics/deadlocks.
+#[allow(clippy::too_many_arguments)]
+pub fn try_par_gemm(
+    pool: &StaticPool,
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    blocks: BlockSizes,
+) -> Result<(), GemmError> {
+    check_len("A", m * k, a.len())?;
+    check_len("B", k * n, b.len())?;
+    check_len("C", m * n, c.len())?;
     if m == 0 || n == 0 {
-        return;
+        return Ok(());
     }
 
     let threads = pool.size();
     if threads == 1 || m < MR * 2 {
-        gemm_strided(m, n, k, a, k, b, n, c, n, blocks);
-        return;
+        return try_gemm_strided(m, n, k, a, k, b, n, c, n, blocks);
     }
 
     // Split M into MR-granular row stripes.
@@ -51,6 +67,7 @@ pub fn par_gemm(
         let c_stripe = unsafe { shared.range_mut(i0 * n, mb * n) };
         gemm_strided(mb, n, k, &a[i0 * k..], k, b, n, c_stripe, n, blocks);
     });
+    Ok(())
 }
 
 #[cfg(test)]

@@ -1,31 +1,35 @@
 //! Property tests for the Goto GEMM against the naive oracle, including
-//! strided views and extreme block configurations.
+//! strided views and extreme block configurations. Cases are generated
+//! with the workspace's seeded [`Rng64`], so every failure message carries
+//! the case number and is exactly reproducible.
 
 use ndirect_gemm::{gemm_strided, naive, par_gemm, BlockSizes};
+use ndirect_support::Rng64;
 use ndirect_tensor::fill;
 use ndirect_threads::StaticPool;
-use proptest::prelude::*;
 
-fn close_all(got: &[f32], want: &[f32]) -> Result<(), TestCaseError> {
+fn close_all(case: usize, got: &[f32], want: &[f32]) {
     for (i, (x, y)) in got.iter().zip(want).enumerate() {
-        prop_assert!(
+        assert!(
             (x - y).abs() <= 2e-4 * y.abs().max(1.0),
-            "idx {i}: {x} vs {y}"
+            "case {case} idx {i}: {x} vs {y}"
         );
     }
-    Ok(())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn strided_gemm_matches_naive(
-        m in 1usize..30, n in 1usize..30, k in 1usize..30,
-        extra_lda in 0usize..4, extra_ldb in 0usize..4, extra_ldc in 0usize..4,
-        seed in 0u64..1000,
-    ) {
-        let (lda, ldb, ldc) = (k + extra_lda, n + extra_ldb, n + extra_ldc);
+#[test]
+fn strided_gemm_matches_naive() {
+    let mut rng = Rng64::seed_from_u64(0x6e44);
+    for case in 0..64 {
+        let m = rng.gen_range_usize(1, 30);
+        let n = rng.gen_range_usize(1, 30);
+        let k = rng.gen_range_usize(1, 30);
+        let (lda, ldb, ldc) = (
+            k + rng.gen_range_usize(0, 4),
+            n + rng.gen_range_usize(0, 4),
+            n + rng.gen_range_usize(0, 4),
+        );
+        let seed = rng.next_u64();
         let mut a = vec![0.0f32; m * lda];
         let mut b = vec![0.0f32; k * ldb];
         fill::fill_random(&mut a, seed);
@@ -43,13 +47,18 @@ proptest! {
         }
 
         gemm_strided(m, n, k, &a, lda, &b, ldb, &mut c, ldc, BlockSizes::default());
-        close_all(&c, &c_ref)?;
+        close_all(case, &c, &c_ref);
     }
+}
 
-    #[test]
-    fn tiny_blocks_still_correct(
-        m in 1usize..25, n in 1usize..25, k in 1usize..25, seed in 0u64..200,
-    ) {
+#[test]
+fn tiny_blocks_still_correct() {
+    let mut rng = Rng64::seed_from_u64(0x6e45);
+    for case in 0..64 {
+        let m = rng.gen_range_usize(1, 25);
+        let n = rng.gen_range_usize(1, 25);
+        let k = rng.gen_range_usize(1, 25);
+        let seed = rng.next_u64();
         let mut a = vec![0.0f32; m * k];
         let mut b = vec![0.0f32; k * n];
         fill::fill_random(&mut a, seed);
@@ -60,14 +69,19 @@ proptest! {
         // Pathologically small blocks force every loop boundary.
         let blocks = BlockSizes { mc: 6, kc: 4, nc: 8 };
         gemm_strided(m, n, k, &a, k, &b, n, &mut got, n, blocks);
-        close_all(&got, &want)?;
+        close_all(case, &got, &want);
     }
+}
 
-    #[test]
-    fn parallel_gemm_matches_for_any_team(
-        m in 1usize..20, n in 1usize..50, k in 1usize..20,
-        threads in 1usize..6, seed in 0u64..200,
-    ) {
+#[test]
+fn parallel_gemm_matches_for_any_team() {
+    let mut rng = Rng64::seed_from_u64(0x6e46);
+    for case in 0..48 {
+        let m = rng.gen_range_usize(1, 20);
+        let n = rng.gen_range_usize(1, 50);
+        let k = rng.gen_range_usize(1, 20);
+        let threads = rng.gen_range_usize(1, 6);
+        let seed = rng.next_u64();
         let mut a = vec![0.0f32; m * k];
         let mut b = vec![0.0f32; k * n];
         fill::fill_random(&mut a, seed);
@@ -77,6 +91,6 @@ proptest! {
         let pool = StaticPool::new(threads);
         let mut got = vec![0.0f32; m * n];
         par_gemm(&pool, m, n, k, &a, &b, &mut got, BlockSizes::default());
-        close_all(&got, &want)?;
+        close_all(case, &got, &want);
     }
 }

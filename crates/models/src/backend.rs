@@ -14,7 +14,7 @@ use ndirect_core::{conv_ndirect_into, Schedule};
 use ndirect_platform::Platform;
 use ndirect_tensor::{ConvShape, Filter, Tensor4};
 use ndirect_threads::StaticPool;
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 /// nDirect with schedules derived from the analytic models at call time.
 pub struct NDirectBackend {
@@ -38,7 +38,7 @@ impl NDirectBackend {
     }
 
     fn schedule_for(&self, shape: &ConvShape, threads: usize) -> Schedule {
-        let mut cache = self.cache.lock();
+        let mut cache = self.cache.lock().unwrap_or_else(|p| p.into_inner());
         cache
             .entry(*shape)
             .or_insert_with(|| Schedule::derive(&self.platform, shape, threads))
@@ -149,7 +149,7 @@ mod tests {
         let a = ndirect_baselines::run_backend(&backend, &pool, &input, &filter, &shape);
         let b = ndirect_baselines::run_backend(&backend, &pool, &input, &filter, &shape);
         assert_eq!(a.as_slice(), b.as_slice());
-        assert_eq!(backend.cache.lock().len(), 1);
+        assert_eq!(backend.cache.lock().unwrap().len(), 1);
     }
 
     #[test]

@@ -5,6 +5,7 @@ use ndirect_tensor::{ActLayout, Tensor4};
 use ndirect_threads::StaticPool;
 use std::time::{Duration, Instant};
 
+use crate::error::ModelError;
 use crate::layer::{ConvLayer, Model, Node};
 use crate::ops;
 
@@ -70,14 +71,28 @@ impl<'a> Engine<'a> {
     /// activation (post-softmax class probabilities for the zoo models)
     /// and timing stats.
     pub fn run(&self, model: &Model, input: &Tensor4) -> (Tensor4, InferenceStats) {
+        self.try_run(model, input).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`Engine::run`]: geometry mismatches anywhere in
+    /// the node list come back as a typed [`ModelError`] instead of a
+    /// panic mid-inference.
+    pub fn try_run(
+        &self,
+        model: &Model,
+        input: &Tensor4,
+    ) -> Result<(Tensor4, InferenceStats), ModelError> {
         let (c, h, w) = model.input;
-        assert_eq!(
-            (input.c(), input.h(), input.w()),
-            (c, h, w),
-            "input does not match model {}",
-            model.name
-        );
-        assert_eq!(input.layout(), ActLayout::Nchw, "engine runs NCHW");
+        if (input.c(), input.h(), input.w()) != (c, h, w) {
+            return Err(ModelError::InputMismatch {
+                model: model.name.clone(),
+                expected: (c, h, w),
+                got: (input.c(), input.h(), input.w()),
+            });
+        }
+        if input.layout() != ActLayout::Nchw {
+            return Err(ModelError::Layout);
+        }
 
         let mut stats = InferenceStats::default();
         let start = Instant::now();
@@ -98,13 +113,14 @@ impl<'a> Engine<'a> {
                         && layer.shift.iter().all(|&b| b == 0.0);
                     if fusable {
                         let (n, c, h, w) = act.dims();
-                        let shape = layer.shape_for(n, c, h, w);
-                        let shortcut = saved.take().expect("ResidualJoin without Save");
-                        assert_eq!(
-                            shortcut.dims(),
-                            (n, layer.k, shape.p(), shape.q()),
-                            "identity shortcut must match conv output"
-                        );
+                        let shape = layer.try_shape_for(n, c, h, w)?;
+                        let shortcut = saved.take().ok_or(ModelError::MissingSave)?;
+                        if shortcut.dims() != (n, layer.k, shape.p(), shape.q()) {
+                            return Err(ModelError::ShortcutMismatch {
+                                expected: (n, layer.k, shape.p(), shape.q()),
+                                got: shortcut.dims(),
+                            });
+                        }
                         let t0 = Instant::now();
                         let mut out = shortcut;
                         self.backend
@@ -116,11 +132,11 @@ impl<'a> Engine<'a> {
                         act = out;
                         skip_next_join = true;
                     } else {
-                        act = self.conv_node(layer, &act, &mut stats);
+                        act = self.conv_node(layer, &act, &mut stats)?;
                     }
                 }
                 Node::DepthwiseConv(layer) => {
-                    act = self.depthwise_node(layer, &act, &mut stats);
+                    act = self.depthwise_node(layer, &act, &mut stats)?;
                 }
                 Node::MaxPool(k, s, p) => act = ops::max_pool(&act, *k, *s, *p),
                 Node::GlobalAvgPool => act = ops::global_avg_pool(&act),
@@ -139,9 +155,9 @@ impl<'a> Engine<'a> {
                         skip_next_join = false;
                         continue;
                     }
-                    let shortcut_in = saved.take().expect("ResidualJoin without Save");
+                    let shortcut_in = saved.take().ok_or(ModelError::MissingSave)?;
                     let shortcut = match proj {
-                        Some(layer) => self.conv_node(layer, &shortcut_in, &mut stats),
+                        Some(layer) => self.conv_node(layer, &shortcut_in, &mut stats)?,
                         None => shortcut_in,
                     };
                     ops::add_inplace(&mut act, &shortcut);
@@ -150,7 +166,7 @@ impl<'a> Engine<'a> {
             }
         }
         stats.total = start.elapsed();
-        (act, stats)
+        Ok((act, stats))
     }
 
     /// Depthwise layers always run nDirect's depthwise kernel — none of
@@ -162,9 +178,9 @@ impl<'a> Engine<'a> {
         layer: &ConvLayer,
         act: &Tensor4,
         stats: &mut InferenceStats,
-    ) -> Tensor4 {
+    ) -> Result<Tensor4, ModelError> {
         let (n, c, h, w) = act.dims();
-        let shape = layer.depthwise_shape_for(n, c, h, w);
+        let shape = layer.try_depthwise_shape_for(n, c, h, w)?;
         let t0 = Instant::now();
         let mut out = ndirect_core::conv_depthwise(self.pool, act, &layer.filter, &shape);
         stats.conv_time += t0.elapsed();
@@ -173,12 +189,17 @@ impl<'a> Engine<'a> {
         if layer.relu {
             ops::relu(&mut out);
         }
-        out
+        Ok(out)
     }
 
-    fn conv_node(&self, layer: &ConvLayer, act: &Tensor4, stats: &mut InferenceStats) -> Tensor4 {
+    fn conv_node(
+        &self,
+        layer: &ConvLayer,
+        act: &Tensor4,
+        stats: &mut InferenceStats,
+    ) -> Result<Tensor4, ModelError> {
         let (n, c, h, w) = act.dims();
-        let shape = layer.shape_for(n, c, h, w);
+        let shape = layer.try_shape_for(n, c, h, w)?;
         let t0 = Instant::now();
         let mut out = Tensor4::output_for(&shape, ActLayout::Nchw);
         self.backend
@@ -189,7 +210,7 @@ impl<'a> Engine<'a> {
         if layer.relu {
             ops::relu(&mut out);
         }
-        out
+        Ok(out)
     }
 }
 

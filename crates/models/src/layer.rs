@@ -2,6 +2,8 @@
 
 use ndirect_tensor::{ConvShape, Filter, Padding};
 
+use crate::error::ModelError;
+
 /// A convolution layer with folded batch-norm and optional ReLU.
 #[derive(Debug, Clone)]
 pub struct ConvLayer {
@@ -26,8 +28,24 @@ pub struct ConvLayer {
 impl ConvLayer {
     /// The [`ConvShape`] this layer induces on an input of `(n, c, h, w)`.
     pub fn shape_for(&self, n: usize, c: usize, h: usize, w: usize) -> ConvShape {
-        assert_eq!(c, self.filter.c(), "channel mismatch entering conv layer");
-        ConvShape::new(
+        self.try_shape_for(n, c, h, w).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`ConvLayer::shape_for`].
+    pub fn try_shape_for(
+        &self,
+        n: usize,
+        c: usize,
+        h: usize,
+        w: usize,
+    ) -> Result<ConvShape, ModelError> {
+        if c != self.filter.c() {
+            return Err(ModelError::ChannelMismatch {
+                layer_c: self.filter.c(),
+                input_c: c,
+            });
+        }
+        Ok(ConvShape::try_new(
             n,
             c,
             h,
@@ -37,17 +55,44 @@ impl ConvLayer {
             self.rs,
             self.stride,
             Padding::same(self.pad),
-        )
+        )?)
     }
 
     /// The [`ConvShape`] of this layer used as a *depthwise* convolution
     /// on `(n, c, h, w)` input: filter is `(C, 1, R, S)`, output has `C`
     /// channels.
     pub fn depthwise_shape_for(&self, n: usize, c: usize, h: usize, w: usize) -> ConvShape {
-        assert_eq!(self.filter.c(), 1, "depthwise filter has one channel per group");
-        assert_eq!(self.filter.k(), c, "depthwise filter count must equal channels");
-        assert_eq!(self.k, c, "depthwise multiplier is 1");
-        ConvShape::new(
+        self.try_depthwise_shape_for(n, c, h, w)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`ConvLayer::depthwise_shape_for`].
+    pub fn try_depthwise_shape_for(
+        &self,
+        n: usize,
+        c: usize,
+        h: usize,
+        w: usize,
+    ) -> Result<ConvShape, ModelError> {
+        if self.filter.c() != 1 {
+            return Err(ModelError::Depthwise {
+                context: format!(
+                    "depthwise filter has one channel per group, got {}",
+                    self.filter.c()
+                ),
+            });
+        }
+        if self.filter.k() != c || self.k != c {
+            return Err(ModelError::Depthwise {
+                context: format!(
+                    "depthwise filter count must equal channels (multiplier 1): \
+                     filter K={}, layer k={}, activation C={c}",
+                    self.filter.k(),
+                    self.k
+                ),
+            });
+        }
+        Ok(ConvShape::try_new(
             n,
             c,
             h,
@@ -57,7 +102,7 @@ impl ConvLayer {
             self.rs,
             self.stride,
             Padding::same(self.pad),
-        )
+        )?)
     }
 
     /// Parameter count (weights + scale + shift).

@@ -23,11 +23,13 @@
 
 pub mod backend;
 pub mod engine;
+pub mod error;
 pub mod layer;
 pub mod ops;
 pub mod zoo;
 
 pub use backend::{NDirectBackend, TunedBackend};
 pub use engine::{Engine, InferenceStats};
+pub use error::ModelError;
 pub use layer::{ConvLayer, FcLayer, Model, Node};
 pub use zoo::{mobilenet_lite, resnet101, resnet50, tiny_resnet, vgg16, vgg19};

@@ -6,21 +6,20 @@
 //! validate numerics, not ImageNet accuracy).
 
 use ndirect_tensor::{Filter, FilterLayout};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ndirect_support::Rng64;
 
 use crate::layer::{ConvLayer, FcLayer, Model, Node};
 
-fn he_filter(k: usize, c: usize, rs: usize, rng: &mut StdRng) -> Filter {
+fn he_filter(k: usize, c: usize, rs: usize, rng: &mut Rng64) -> Filter {
     let mut f = Filter::zeros(k, c, rs, rs, FilterLayout::Kcrs);
     let bound = (6.0 / (c * rs * rs) as f32).sqrt();
     for x in f.as_mut_slice() {
-        *x = rng.gen_range(-bound..bound);
+        *x = rng.gen_range_f32(-bound, bound);
     }
     f
 }
 
-fn conv(c: usize, k: usize, rs: usize, stride: usize, pad: usize, relu: bool, rng: &mut StdRng) -> ConvLayer {
+fn conv(c: usize, k: usize, rs: usize, stride: usize, pad: usize, relu: bool, rng: &mut Rng64) -> ConvLayer {
     ConvLayer {
         k,
         rs,
@@ -33,11 +32,11 @@ fn conv(c: usize, k: usize, rs: usize, stride: usize, pad: usize, relu: bool, rn
     }
 }
 
-fn fc(input: usize, out: usize, relu: bool, rng: &mut StdRng) -> FcLayer {
+fn fc(input: usize, out: usize, relu: bool, rng: &mut Rng64) -> FcLayer {
     let bound = (6.0 / input as f32).sqrt();
     FcLayer {
         out,
-        weight: (0..out * input).map(|_| rng.gen_range(-bound..bound)).collect(),
+        weight: (0..out * input).map(|_| rng.gen_range_f32(-bound, bound)).collect(),
         bias: vec![0.0; out],
         relu,
     }
@@ -51,7 +50,7 @@ fn bottleneck(
     mid: usize,
     stride: usize,
     project: bool,
-    rng: &mut StdRng,
+    rng: &mut Rng64,
 ) -> usize {
     let out_ch = mid * 4;
     nodes.push(Node::Save);
@@ -71,7 +70,7 @@ fn bottleneck(
 /// ResNet-101: `[3,4,23,3]`), ImageNet geometry (3×224×224 input,
 /// 1000 classes).
 fn resnet(name: &str, blocks: [usize; 4], seed: u64) -> Model {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::seed_from_u64(seed);
     let mut nodes = Vec::new();
     // Stem: 7x7/2 + 3x3/2 max pool.
     nodes.push(Node::Conv(conv(3, 64, 7, 2, 3, true, &mut rng)));
@@ -107,7 +106,7 @@ pub fn resnet101(seed: u64) -> Model {
 /// A VGG with per-stage 3×3-conv counts (VGG-16: `[2,2,3,3,3]`,
 /// VGG-19: `[2,2,4,4,4]`), ImageNet geometry.
 fn vgg(name: &str, convs_per_stage: [usize; 5], seed: u64) -> Model {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::seed_from_u64(seed);
     let widths = [64usize, 128, 256, 512, 512];
     let mut nodes = Vec::new();
     let mut ch = 3;
@@ -145,7 +144,7 @@ pub fn vgg19(seed: u64) -> Model {
 /// standard width/stride progression, at 0.25× width so end-to-end runs
 /// stay light. ImageNet geometry (3×224×224, 1000 classes).
 pub fn mobilenet_lite(seed: u64) -> Model {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::seed_from_u64(seed);
     let mut nodes = Vec::new();
     let widths_and_strides: [(usize, usize); 13] = [
         (16, 1),
@@ -194,7 +193,7 @@ pub fn mobilenet_lite(seed: u64) -> Model {
 /// A scaled-down ResNet-style model for tests: same block structure on a
 /// `3×32×32` input with thin channels, 10 classes.
 pub fn tiny_resnet(seed: u64) -> Model {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::seed_from_u64(seed);
     let mut nodes = Vec::new();
     nodes.push(Node::Conv(conv(3, 8, 3, 1, 1, true, &mut rng)));
     let mut ch = 8;

@@ -1,11 +1,9 @@
 //! Machine parameter records (the paper's Table 3).
 
-use serde::{Deserialize, Serialize};
-
 /// Cache replacement policy — Figure 5's packing ablation behaves
 /// differently under Phytium 2000+'s pseudo-random policy than under LRU,
 /// so the spec records which one a machine uses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Replacement {
     /// Least-recently-used (KP920, ThunderX2, RPi 4).
     Lru,
@@ -14,7 +12,7 @@ pub enum Replacement {
 }
 
 /// Cache hierarchy parameters, all capacities in bytes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheSpec {
     /// Per-core L1 data cache capacity.
     pub l1d: usize,
@@ -47,7 +45,7 @@ impl CacheSpec {
 }
 
 /// SIMD register file parameters (Eq. 3's constraint inputs).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SimdSpec {
     /// Vector register width in bits (128 for NEON).
     pub vector_bits: usize,
@@ -80,7 +78,7 @@ impl SimdSpec {
 
 /// A complete machine description — one row of the paper's Table 3 plus the
 /// microarchitectural details the models need.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Platform {
     /// Human-readable machine name.
     pub name: String,

@@ -25,6 +25,7 @@
 #![warn(missing_docs)]
 
 mod int16;
+pub mod runtime;
 mod scalar;
 
 #[cfg(all(target_arch = "x86_64", not(feature = "force-scalar")))]
@@ -46,6 +47,7 @@ pub use neon::F32x4;
 pub use scalar::F32x4Scalar as F32x4;
 
 pub use int16::{I16x8, I32x4};
+pub use runtime::{detected_isa, force_unsupported, verify_host, Isa, UnsupportedIsa};
 pub use scalar::F32x4Scalar;
 
 /// Number of `f32` lanes per vector — fixed at 4 to model 128-bit NEON.

@@ -1,31 +1,43 @@
 //! Differential property tests: the native SIMD backend must agree with
 //! the scalar reference on random inputs for every operation, within FMA
-//! rounding.
+//! rounding. Cases come from the workspace's seeded [`Rng64`], so every
+//! failure carries its case number and reproduces exactly.
 
 use ndirect_simd::{F32x4, F32x4Scalar, SimdVec};
-use proptest::prelude::*;
+use ndirect_support::Rng64;
 
 fn close(a: f32, b: f32) -> bool {
     (a - b).abs() <= 1e-5 * a.abs().max(b.abs()).max(1.0)
 }
 
-fn arr() -> impl Strategy<Value = [f32; 4]> {
-    prop::array::uniform4(-100.0f32..100.0)
+fn arr(rng: &mut Rng64) -> [f32; 4] {
+    [
+        rng.gen_range_f32(-100.0, 100.0),
+        rng.gen_range_f32(-100.0, 100.0),
+        rng.gen_range_f32(-100.0, 100.0),
+        rng.gen_range_f32(-100.0, 100.0),
+    ]
 }
 
-proptest! {
-    #[test]
-    fn add_sub_mul_max_agree(a in arr(), b in arr()) {
+#[test]
+fn add_sub_mul_max_agree() {
+    let mut rng = Rng64::seed_from_u64(0xd1f1);
+    for case in 0..256 {
+        let (a, b) = (arr(&mut rng), arr(&mut rng));
         let (na, nb) = (F32x4::from_array(a), F32x4::from_array(b));
         let (sa, sb) = (F32x4Scalar::from_array(a), F32x4Scalar::from_array(b));
-        prop_assert_eq!(na.add(nb).to_array(), sa.add(sb).to_array());
-        prop_assert_eq!(na.sub(nb).to_array(), sa.sub(sb).to_array());
-        prop_assert_eq!(na.mul(nb).to_array(), sa.mul(sb).to_array());
-        prop_assert_eq!(na.max(nb).to_array(), sa.max(sb).to_array());
+        assert_eq!(na.add(nb).to_array(), sa.add(sb).to_array(), "case {case} add");
+        assert_eq!(na.sub(nb).to_array(), sa.sub(sb).to_array(), "case {case} sub");
+        assert_eq!(na.mul(nb).to_array(), sa.mul(sb).to_array(), "case {case} mul");
+        assert_eq!(na.max(nb).to_array(), sa.max(sb).to_array(), "case {case} max");
     }
+}
 
-    #[test]
-    fn fma_agrees_within_rounding(acc in arr(), a in arr(), b in arr()) {
+#[test]
+fn fma_agrees_within_rounding() {
+    let mut rng = Rng64::seed_from_u64(0xd1f2);
+    for case in 0..256 {
+        let (acc, a, b) = (arr(&mut rng), arr(&mut rng), arr(&mut rng));
         let n = F32x4::from_array(acc)
             .fma(F32x4::from_array(a), F32x4::from_array(b))
             .to_array();
@@ -33,12 +45,16 @@ proptest! {
             .fma(F32x4Scalar::from_array(a), F32x4Scalar::from_array(b))
             .to_array();
         for l in 0..4 {
-            prop_assert!(close(n[l], s[l]), "lane {l}: {} vs {}", n[l], s[l]);
+            assert!(close(n[l], s[l]), "case {case} lane {l}: {} vs {}", n[l], s[l]);
         }
     }
+}
 
-    #[test]
-    fn fma_lane_agrees_for_every_lane(acc in arr(), a in arr(), b in arr()) {
+#[test]
+fn fma_lane_agrees_for_every_lane() {
+    let mut rng = Rng64::seed_from_u64(0xd1f3);
+    for case in 0..128 {
+        let (acc, a, b) = (arr(&mut rng), arr(&mut rng), arr(&mut rng));
         macro_rules! check_lane {
             ($lane:literal) => {{
                 let n = F32x4::from_array(acc)
@@ -48,7 +64,7 @@ proptest! {
                     .fma_lane::<$lane>(F32x4Scalar::from_array(a), F32x4Scalar::from_array(b))
                     .to_array();
                 for l in 0..4 {
-                    prop_assert!(close(n[l], s[l]), "lane const {} idx {l}", $lane);
+                    assert!(close(n[l], s[l]), "case {case} lane const {} idx {l}", $lane);
                 }
             }};
         }
@@ -57,27 +73,39 @@ proptest! {
         check_lane!(2);
         check_lane!(3);
     }
+}
 
-    #[test]
-    fn reduce_sum_agrees(a in arr()) {
+#[test]
+fn reduce_sum_agrees() {
+    let mut rng = Rng64::seed_from_u64(0xd1f4);
+    for case in 0..256 {
+        let a = arr(&mut rng);
         let n = F32x4::from_array(a).reduce_sum();
         let s = F32x4Scalar::from_array(a).reduce_sum();
-        prop_assert!(close(n, s), "{n} vs {s}");
+        assert!(close(n, s), "case {case}: {n} vs {s}");
     }
+}
 
-    #[test]
-    fn load_store_round_trip(a in arr()) {
+#[test]
+fn load_store_round_trip() {
+    let mut rng = Rng64::seed_from_u64(0xd1f5);
+    for case in 0..256 {
+        let a = arr(&mut rng);
         let mut out = [0.0f32; 4];
         F32x4::from_array(a).store(&mut out);
-        prop_assert_eq!(out, a);
+        assert_eq!(out, a, "case {case} store");
         let mut padded = [0.0f32; 7];
         padded[..4].copy_from_slice(&a);
-        prop_assert_eq!(F32x4::load(&padded).to_array(), a);
+        assert_eq!(F32x4::load(&padded).to_array(), a, "case {case} load");
     }
+}
 
-    #[test]
-    fn splat_fills_lanes(v in -1e6f32..1e6) {
-        prop_assert_eq!(F32x4::splat(v).to_array(), [v; 4]);
+#[test]
+fn splat_fills_lanes() {
+    let mut rng = Rng64::seed_from_u64(0xd1f6);
+    for case in 0..256 {
+        let v = rng.gen_range_f32(-1e6, 1e6);
+        assert_eq!(F32x4::splat(v).to_array(), [v; 4], "case {case}");
     }
 }
 

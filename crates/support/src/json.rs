@@ -1,0 +1,496 @@
+//! A minimal JSON value, serializer, and strict parser.
+//!
+//! Covers exactly what the workspace persists — schedule caches, figure
+//! data, platform descriptions: objects, arrays, strings, finite numbers,
+//! booleans, and null. Object insertion order is preserved so serialized
+//! output is stable across runs (a property the figure-diffing scripts
+//! rely on).
+
+use std::fmt::Write as _;
+
+/// A parsed or to-be-serialized JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any finite number (stored as `f64`, like JavaScript).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; insertion order preserved.
+    Obj(Vec<(String, Json)>),
+}
+
+/// A parse or extraction failure, with a human-readable message and the
+/// byte offset where parsing stopped (0 for extraction errors).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// What went wrong.
+    pub msg: String,
+    /// Byte offset in the input where the error occurred.
+    pub at: usize,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JSON error at byte {}: {}", self.at, self.msg)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+fn err<T>(msg: impl Into<String>, at: usize) -> Result<T, JsonError> {
+    Err(JsonError {
+        msg: msg.into(),
+        at,
+    })
+}
+
+impl Json {
+    /// Convenience constructor for a string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Convenience constructor for a numeric value.
+    pub fn num(x: impl Into<f64>) -> Json {
+        Json::Num(x.into())
+    }
+
+    /// Convenience constructor for a `usize` value.
+    pub fn usize(x: usize) -> Json {
+        Json::Num(x as f64)
+    }
+
+    /// Member lookup on an object; `None` on missing key or non-object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Member lookup that reports a typed error instead of `None`.
+    pub fn require(&self, key: &str) -> Result<&Json, JsonError> {
+        self.get(key)
+            .ok_or_else(|| JsonError {
+                msg: format!("missing key {key:?}"),
+                at: 0,
+            })
+    }
+
+    /// The value as `f64`, if numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The value as `usize`, if it is a non-negative integer number.
+    pub fn as_usize(&self) -> Option<usize> {
+        match self {
+            Json::Num(x) if *x >= 0.0 && x.fract() == 0.0 && *x <= usize::MAX as f64 => {
+                Some(*x as usize)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as `&str`, if a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as `bool`, if boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The value's object members, if an object.
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(members) => Some(members),
+            _ => None,
+        }
+    }
+
+    /// `usize` member extraction with a typed error.
+    pub fn usize_field(&self, key: &str) -> Result<usize, JsonError> {
+        self.require(key)?.as_usize().ok_or_else(|| JsonError {
+            msg: format!("key {key:?} is not a non-negative integer"),
+            at: 0,
+        })
+    }
+
+    /// `&str` member extraction with a typed error.
+    pub fn str_field(&self, key: &str) -> Result<&str, JsonError> {
+        self.require(key)?.as_str().ok_or_else(|| JsonError {
+            msg: format!("key {key:?} is not a string"),
+            at: 0,
+        })
+    }
+
+    /// Serializes with two-space indentation and a trailing newline-free
+    /// final line, matching `serde_json::to_string_pretty` closely enough
+    /// for diffs.
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0);
+        out
+    }
+
+    /// Serializes compactly (no whitespace).
+    pub fn compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(x) => write_num(out, *x),
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(members) => {
+                out.push('{');
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    fn write_pretty(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Arr(items) if !items.is_empty() => {
+                out.push_str("[\n");
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    push_indent(out, indent + 1);
+                    v.write_pretty(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push(']');
+            }
+            Json::Obj(members) if !members.is_empty() => {
+                out.push_str("{\n");
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    push_indent(out, indent + 1);
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write_pretty(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            }
+            Json::Arr(_) => out.push_str("[]"),
+            Json::Obj(_) => out.push_str("{}"),
+            other => other.write_compact(out),
+        }
+    }
+
+    /// Parses a complete JSON document (trailing whitespace allowed,
+    /// anything else after the value is an error).
+    pub fn parse(text: &str) -> Result<Json, JsonError> {
+        let bytes = text.as_bytes();
+        let mut pos = 0;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return err("trailing characters after JSON value", pos);
+        }
+        Ok(value)
+    }
+}
+
+fn push_indent(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn write_num(out: &mut String, x: f64) {
+    if x.fract() == 0.0 && x.abs() < 1e15 {
+        let _ = write!(out, "{}", x as i64);
+    } else {
+        let _ = write!(out, "{x}");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => err("unexpected end of input", *pos),
+        Some(b'{') => parse_obj(bytes, pos),
+        Some(b'[') => parse_arr(bytes, pos),
+        Some(b'"') => Ok(Json::Str(parse_string(bytes, pos)?)),
+        Some(b't') => parse_lit(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_lit(bytes, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_lit(bytes, pos, "null", Json::Null),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_num(bytes, pos),
+        Some(c) => err(format!("unexpected character {:?}", *c as char), *pos),
+    }
+}
+
+fn parse_lit(bytes: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, JsonError> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        err(format!("expected {lit}"), *pos)
+    }
+}
+
+fn parse_num(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).expect("digits are UTF-8");
+    match text.parse::<f64>() {
+        Ok(x) if x.is_finite() => Ok(Json::Num(x)),
+        _ => err(format!("invalid number {text:?}"), start),
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
+    debug_assert_eq!(bytes[*pos], b'"');
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return err("unterminated string", *pos),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .and_then(|h| u32::from_str_radix(h, 16).ok());
+                        match hex.and_then(char::from_u32) {
+                            Some(c) => {
+                                out.push(c);
+                                *pos += 4;
+                            }
+                            // Surrogate pairs are not needed for our data.
+                            None => return err("invalid \\u escape", *pos),
+                        }
+                    }
+                    _ => return err("invalid escape", *pos),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Advance over one UTF-8 scalar.
+                let rest = std::str::from_utf8(&bytes[*pos..])
+                    .map_err(|_| JsonError {
+                        msg: "invalid UTF-8 in string".into(),
+                        at: *pos,
+                    })?;
+                let ch = rest.chars().next().expect("non-empty");
+                out.push(ch);
+                *pos += ch.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_arr(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    *pos += 1; // '['
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return err("expected ',' or ']'", *pos),
+        }
+    }
+}
+
+fn parse_obj(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    *pos += 1; // '{'
+    let mut members = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(members));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b'"') {
+            return err("expected string key", *pos);
+        }
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b':') {
+            return err("expected ':'", *pos);
+        }
+        *pos += 1;
+        let value = parse_value(bytes, pos)?;
+        members.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(members));
+            }
+            _ => return err("expected ',' or '}'", *pos),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_pretty_and_compact() {
+        let v = Json::Obj(vec![
+            ("name".into(), Json::str("nDirect")),
+            ("threads".into(), Json::usize(64)),
+            ("ratio".into(), Json::num(0.5)),
+            ("flags".into(), Json::Arr(vec![Json::Bool(true), Json::Null])),
+            ("nested".into(), Json::Obj(vec![("k".into(), Json::usize(3))])),
+        ]);
+        for text in [v.pretty(), v.compact()] {
+            assert_eq!(Json::parse(&text).unwrap(), v, "{text}");
+        }
+    }
+
+    #[test]
+    fn parses_escapes_and_unicode() {
+        let v = Json::parse(r#"{"s": "a\"b\\c\ndAé"}"#).unwrap();
+        assert_eq!(v.str_field("s").unwrap(), "a\"b\\c\ndAé");
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in ["{not json", "[1,", "{\"a\":}", "", "1 2", "{\"a\" 1}", "nul"] {
+            assert!(Json::parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn rejects_non_finite_numbers() {
+        assert!(Json::parse("1e999").is_err());
+    }
+
+    #[test]
+    fn extraction_helpers_give_typed_errors() {
+        let v = Json::parse(r#"{"n": 3, "s": "x", "neg": -1}"#).unwrap();
+        assert_eq!(v.usize_field("n").unwrap(), 3);
+        assert_eq!(v.str_field("s").unwrap(), "x");
+        assert!(v.usize_field("neg").is_err());
+        assert!(v.usize_field("missing").is_err());
+        assert!(v.str_field("n").is_err());
+    }
+
+    #[test]
+    fn integers_render_without_fraction() {
+        assert_eq!(Json::usize(42).compact(), "42");
+        assert_eq!(Json::num(2.5).compact(), "2.5");
+    }
+
+    #[test]
+    fn order_is_preserved() {
+        let text = r#"{"z": 1, "a": 2}"#;
+        let v = Json::parse(text).unwrap();
+        assert_eq!(v.compact(), r#"{"z":1,"a":2}"#);
+    }
+}

@@ -1,0 +1,20 @@
+//! Zero-dependency support utilities for the nDirect workspace.
+//!
+//! The workspace runs in offline, locked-down build environments, so
+//! everything that a third-party crate would normally provide — seeded
+//! pseudo-random data for experiments, JSON persistence for tuning caches
+//! and figure output — is implemented here against `std` only:
+//!
+//! * [`rng`] — a small, fast, deterministic PRNG (SplitMix64 seeding an
+//!   xoshiro256**-style generator) with the uniform-range helpers the
+//!   fillers, the autotuner, and the hand-rolled property tests need;
+//! * [`json`] — a minimal JSON value type with a serializer and a strict
+//!   recursive-descent parser, enough for schedule caches and figure data.
+
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod rng;
+
+pub use json::{Json, JsonError};
+pub use rng::Rng64;

@@ -1,0 +1,191 @@
+//! Deterministic pseudo-random numbers without external crates.
+//!
+//! [`Rng64`] is an xoshiro256** generator seeded through SplitMix64 (the
+//! seeding procedure its authors recommend). It is *not* cryptographic; it
+//! exists so experiments and property tests are reproducible from a `u64`
+//! seed on every platform — the same contract the workspace previously got
+//! from `rand::rngs::StdRng::seed_from_u64`.
+
+/// A seedable, deterministic pseudo-random generator (xoshiro256**).
+#[derive(Debug, Clone)]
+pub struct Rng64 {
+    s: [u64; 4],
+}
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl Rng64 {
+    /// Creates a generator from a 64-bit seed. Distinct seeds give
+    /// independent-looking streams; the same seed always gives the same
+    /// stream.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        Self {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+
+    /// Next raw 64 bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1]
+            .wrapping_mul(5)
+            .rotate_left(7)
+            .wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Next raw 32 bits.
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform `f32` in `[0, 1)`.
+    #[inline]
+    pub fn next_f32(&mut self) -> f32 {
+        // 24 mantissa-width bits -> exactly representable in [0, 1).
+        (self.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f32` in `[lo, hi)`.
+    #[inline]
+    pub fn gen_range_f32(&mut self, lo: f32, hi: f32) -> f32 {
+        debug_assert!(lo < hi, "empty f32 range");
+        lo + (hi - lo) * self.next_f32()
+    }
+
+    /// Uniform `usize` in `[lo, hi)`. Panics if the range is empty.
+    #[inline]
+    pub fn gen_range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "empty usize range {lo}..{hi}");
+        let span = (hi - lo) as u64;
+        // Multiply-shift bounded sampling; span is tiny relative to 2^64,
+        // so modulo bias is negligible for experiment data.
+        lo + ((self.next_u64() as u128 * span as u128) >> 64) as usize
+    }
+
+    /// Uniform `i32` in `[lo, hi]` (inclusive).
+    #[inline]
+    pub fn gen_range_i32(&mut self, lo: i32, hi: i32) -> i32 {
+        assert!(lo <= hi, "empty i32 range {lo}..={hi}");
+        let span = (hi as i64 - lo as i64 + 1) as u64;
+        lo + (((self.next_u64() as u128 * span as u128) >> 64) as i64) as i32
+    }
+
+    /// `true` with probability `p`.
+    #[inline]
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// A uniformly chosen element of `items`. Panics on an empty slice.
+    #[inline]
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.gen_range_usize(0, items.len())]
+    }
+
+    /// Fills `dst` with uniform values in `[lo, hi)`.
+    pub fn fill_f32(&mut self, dst: &mut [f32], lo: f32, hi: f32) {
+        for x in dst {
+            *x = self.gen_range_f32(lo, hi);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = Rng64::seed_from_u64(42);
+        let mut b = Rng64::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Rng64::seed_from_u64(1);
+        let mut b = Rng64::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn f32_stays_in_unit_interval() {
+        let mut r = Rng64::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = r.next_f32();
+            assert!((0.0..1.0).contains(&x), "{x}");
+        }
+    }
+
+    #[test]
+    fn range_endpoints_respected() {
+        let mut r = Rng64::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x = r.gen_range_f32(-1.0, 1.0);
+            assert!((-1.0..1.0).contains(&x), "{x}");
+            let n = r.gen_range_usize(5, 9);
+            assert!((5..9).contains(&n), "{n}");
+            let i = r.gen_range_i32(-31, 31);
+            assert!((-31..=31).contains(&i), "{i}");
+        }
+    }
+
+    #[test]
+    fn usize_range_hits_every_value() {
+        let mut r = Rng64::seed_from_u64(11);
+        let mut seen = [false; 4];
+        for _ in 0..1000 {
+            seen[r.gen_range_usize(0, 4)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_bool_probability_sane() {
+        let mut r = Rng64::seed_from_u64(13);
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "{hits}");
+    }
+
+    #[test]
+    fn choose_is_uniformish() {
+        let mut r = Rng64::seed_from_u64(17);
+        let items = [1, 2, 3];
+        let mut counts = [0usize; 3];
+        for _ in 0..3000 {
+            counts[*r.choose(&items) - 1] += 1;
+        }
+        assert!(counts.iter().all(|&c| c > 700), "{counts:?}");
+    }
+}

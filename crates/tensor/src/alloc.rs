@@ -30,24 +30,43 @@ unsafe impl Sync for AlignedBuf {}
 impl AlignedBuf {
     /// Allocates a zero-filled buffer of `len` floats.
     ///
-    /// A `len` of 0 is valid and performs no allocation.
+    /// A `len` of 0 is valid and performs no allocation. Aborts the process
+    /// on allocation failure (the global-allocator convention); callers that
+    /// can degrade gracefully use [`AlignedBuf::try_zeroed`] instead.
     pub fn zeroed(len: usize) -> Self {
+        match Self::try_zeroed(len) {
+            Ok(buf) => buf,
+            Err(_) => handle_alloc_error(Self::layout(len)),
+        }
+    }
+
+    /// Fallible allocation: returns `Err(len)` when the allocator refuses
+    /// (or the byte size would overflow a `Layout`), instead of aborting.
+    ///
+    /// The convolution driver uses this for its packing scratch buffers and
+    /// falls back to the unpacked gather path when the allocation fails, so
+    /// memory pressure degrades throughput rather than killing the process.
+    pub fn try_zeroed(len: usize) -> Result<Self, usize> {
         if len == 0 {
-            return Self {
+            return Ok(Self {
                 ptr: std::ptr::NonNull::<f32>::dangling().as_ptr(),
                 len: 0,
-            };
+            });
         }
-        let layout = Self::layout(len);
+        let layout = Layout::from_size_align(
+            len.checked_mul(std::mem::size_of::<f32>()).ok_or(len)?,
+            BUF_ALIGN,
+        )
+        .map_err(|_| len)?;
         // SAFETY: `layout` has non-zero size (len > 0) and valid alignment.
         let raw = unsafe { alloc_zeroed(layout) };
         if raw.is_null() {
-            handle_alloc_error(layout);
+            return Err(len);
         }
-        Self {
+        Ok(Self {
             ptr: raw.cast::<f32>(),
             len,
-        }
+        })
     }
 
     /// Builds a buffer by copying `src`.
@@ -206,6 +225,17 @@ mod tests {
         a[0] = 9.0;
         assert_eq!(b[0], 1.0);
         assert_eq!(a[0], 9.0);
+    }
+
+    #[test]
+    fn try_zeroed_rejects_absurd_sizes_without_aborting() {
+        // Larger than any allocator will grant; must be an Err, not an abort.
+        assert!(AlignedBuf::try_zeroed(usize::MAX / 8).is_err());
+        // Byte-size overflow is also an Err.
+        assert!(AlignedBuf::try_zeroed(usize::MAX / 2).is_err());
+        // And a normal size still works through the fallible path.
+        let buf = AlignedBuf::try_zeroed(64).unwrap();
+        assert_eq!(buf.len(), 64);
     }
 
     #[test]

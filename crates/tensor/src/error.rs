@@ -1,0 +1,71 @@
+//! Typed shape-validation errors.
+//!
+//! Every misuse a hostile or buggy caller can encode in a [`crate::ConvShape`]
+//! — zero dimensions, a kernel that does not fit the padded input, even
+//! kernels asking for "same" padding, element counts that overflow `usize` —
+//! maps to a [`ShapeError`] variant. The `try_*` constructors return these;
+//! the legacy panicking constructors format them into their panic message,
+//! so the two API flavours always agree on what is invalid.
+
+/// Why a convolution shape (or padding request) is invalid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShapeError {
+    /// One of `N`, `C`, `K` is zero. `N, C, K must be >= 1`.
+    ZeroDim {
+        /// Which dimension was zero (`"N"`, `"C"`, `"K"`, `"R"`, `"S"`,
+        /// `"H"`, `"W"`).
+        name: &'static str,
+    },
+    /// The stride is zero.
+    ZeroStride,
+    /// "Same" padding was requested for an even kernel size, which cannot
+    /// preserve the spatial extent symmetrically.
+    EvenKernelSamePadding {
+        /// Kernel height `R`.
+        r: usize,
+        /// Kernel width `S`.
+        s: usize,
+    },
+    /// The kernel does not fit into the padded input along one axis.
+    KernelExceedsInput {
+        /// `'h'` or `'w'`.
+        axis: char,
+        /// Kernel extent along the axis.
+        kernel: usize,
+        /// Padded input extent along the axis.
+        padded: usize,
+    },
+    /// An element count or stride product overflows `usize` — the shape can
+    /// never be materialized and index arithmetic on it would wrap.
+    Overflow {
+        /// Which product overflowed (e.g. `"input elements"`).
+        what: &'static str,
+    },
+}
+
+impl std::fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShapeError::ZeroDim { name } => {
+                write!(f, "dimension {name} must be >= 1 (N, C, K must be >= 1; kernel must be >= 1x1)")
+            }
+            ShapeError::ZeroStride => write!(f, "stride must be >= 1"),
+            ShapeError::EvenKernelSamePadding { r, s } => {
+                write!(f, "same padding needs odd kernels, got {r}x{s}")
+            }
+            ShapeError::KernelExceedsInput {
+                axis,
+                kernel,
+                padded,
+            } => {
+                let name = if *axis == 'h' { "height" } else { "width" };
+                write!(f, "kernel {name} {kernel} exceeds padded input {name} {padded}")
+            }
+            ShapeError::Overflow { what } => {
+                write!(f, "{what} count overflows usize — shape is unrepresentable")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ShapeError {}

@@ -5,17 +5,13 @@
 //! independent); fixed seeds keep every run and every backend comparison
 //! reproducible.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ndirect_support::Rng64;
 
 use crate::tensor::{Filter, Tensor4};
 
 /// Fills `data` with uniform values in `[-1, 1)` from a seeded RNG.
 pub fn fill_random(data: &mut [f32], seed: u64) {
-    let mut rng = StdRng::seed_from_u64(seed);
-    for x in data.iter_mut() {
-        *x = rng.gen_range(-1.0..1.0);
-    }
+    Rng64::seed_from_u64(seed).fill_f32(data, -1.0, 1.0);
 }
 
 /// Fills `data` with `0.0, 1.0, 2.0, …` (handy for layout tests).

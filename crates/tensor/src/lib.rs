@@ -24,6 +24,7 @@ pub mod alloc;
 pub mod blocked;
 pub mod compare;
 pub mod convert;
+pub mod error;
 pub mod fill;
 pub mod pad;
 pub mod shape;
@@ -33,6 +34,7 @@ pub mod tensor5;
 pub use alloc::AlignedBuf;
 pub use blocked::{BlockedFilter, BlockedTensor};
 pub use compare::{assert_close, max_abs_diff, max_rel_diff};
+pub use error::ShapeError;
 pub use shape::{ConvShape, Padding};
 pub use tensor::{ActLayout, Filter, FilterLayout, Tensor4};
 pub use tensor5::{Filter5, Tensor5};

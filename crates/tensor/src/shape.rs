@@ -1,4 +1,14 @@
 //! Convolution problem shapes — the paper's Table 1 notation.
+//!
+//! Shapes are validated at construction. Two API flavours exist: `try_*`
+//! constructors return a typed [`ShapeError`] (the production path — see
+//! DESIGN.md's "Error handling & degradation"), while the original
+//! constructors panic with the same message, preserving the seed API.
+//! Validation includes overflow checks: every element count and stride
+//! product is computed with `checked_mul`, so a validated shape can never
+//! hand wrapped index arithmetic to the `unsafe` micro-kernels downstream.
+
+use crate::error::ShapeError;
 
 /// Spatial zero-padding applied symmetrically to input height and width.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -20,13 +30,24 @@ impl Padding {
     }
 
     /// "Same" padding for odd kernels with stride 1: output size == input
-    /// size. Panics if the kernel size is even.
-    pub fn same_for_kernel(r: usize, s: usize) -> Padding {
-        assert!(r % 2 == 1 && s % 2 == 1, "same padding needs odd kernels");
-        Padding {
-            h: (r - 1) / 2,
-            w: (s - 1) / 2,
+    /// size. Returns [`ShapeError::EvenKernelSamePadding`] if either kernel
+    /// extent is even (an even kernel cannot pad symmetrically to preserve
+    /// the spatial size).
+    pub fn try_same_for_kernel(r: usize, s: usize) -> Result<Padding, ShapeError> {
+        if r % 2 == 1 && s % 2 == 1 {
+            Ok(Padding {
+                h: (r - 1) / 2,
+                w: (s - 1) / 2,
+            })
+        } else {
+            Err(ShapeError::EvenKernelSamePadding { r, s })
         }
+    }
+
+    /// Panicking wrapper around [`Padding::try_same_for_kernel`], kept for
+    /// callers that construct shapes from trusted constants.
+    pub fn same_for_kernel(r: usize, s: usize) -> Padding {
+        Self::try_same_for_kernel(r, s).unwrap_or_else(|e| panic!("{e}"))
     }
 }
 
@@ -63,9 +84,47 @@ pub struct ConvShape {
     pub pad: Padding,
 }
 
+/// Product of `factors` with overflow detection.
+fn checked_product(factors: &[usize], what: &'static str) -> Result<usize, ShapeError> {
+    factors
+        .iter()
+        .try_fold(1usize, |acc, &f| acc.checked_mul(f))
+        .ok_or(ShapeError::Overflow { what })
+}
+
 impl ConvShape {
-    /// Builds a shape, validating that the kernel fits into the (padded)
-    /// input and that the stride is non-zero.
+    /// Builds a shape, returning a typed error when the stride is zero, any
+    /// dimension is zero, the kernel does not fit into the padded input, or
+    /// any element count overflows `usize`.
+    #[allow(clippy::too_many_arguments)] // mirrors the paper's 9-symbol notation
+    pub fn try_new(
+        n: usize,
+        c: usize,
+        h: usize,
+        w: usize,
+        k: usize,
+        r: usize,
+        s: usize,
+        stride: usize,
+        pad: Padding,
+    ) -> Result<Self, ShapeError> {
+        let shape = ConvShape {
+            n,
+            c,
+            h,
+            w,
+            k,
+            r,
+            s,
+            stride,
+            pad,
+        };
+        shape.validate()?;
+        Ok(shape)
+    }
+
+    /// Panicking wrapper around [`ConvShape::try_new`], kept for call sites
+    /// built from trusted constants (tests, Table 4 rows).
     #[allow(clippy::too_many_arguments)] // mirrors the paper's 9-symbol notation
     pub fn new(
         n: usize,
@@ -78,52 +137,76 @@ impl ConvShape {
         stride: usize,
         pad: Padding,
     ) -> Self {
-        let shape = ConvShape {
-            n,
-            c,
-            h,
-            w,
-            k,
-            r,
-            s,
-            stride,
-            pad,
+        Self::try_new(n, c, h, w, k, r, s, stride, pad).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`ConvShape::square`].
+    pub fn try_square(
+        n: usize,
+        c: usize,
+        k: usize,
+        hw: usize,
+        rs: usize,
+        stride: usize,
+    ) -> Result<Self, ShapeError> {
+        let pad = if rs % 2 == 1 {
+            Padding::try_same_for_kernel(rs, rs)?
+        } else {
+            Padding::NONE
         };
-        shape.validate();
-        shape
+        Self::try_new(n, c, hw, hw, k, rs, rs, stride, pad)
     }
 
     /// Square-input / square-kernel convenience constructor matching the
     /// columns of the paper's Table 4 (`C K H/W R/S str`), batch `n`,
     /// same-padding for odd kernels so ResNet/VGG shapes compose.
     pub fn square(n: usize, c: usize, k: usize, hw: usize, rs: usize, stride: usize) -> Self {
-        let pad = if rs % 2 == 1 {
-            Padding::same_for_kernel(rs, rs)
-        } else {
-            Padding::NONE
-        };
-        Self::new(n, c, hw, hw, k, rs, rs, stride, pad)
+        Self::try_square(n, c, k, hw, rs, stride).unwrap_or_else(|e| panic!("{e}"))
     }
 
-    fn validate(&self) {
-        assert!(self.stride >= 1, "stride must be >= 1");
-        assert!(
-            self.n >= 1 && self.c >= 1 && self.k >= 1,
-            "N, C, K must be >= 1"
-        );
-        assert!(self.r >= 1 && self.s >= 1, "kernel must be >= 1x1");
-        assert!(
-            self.h + 2 * self.pad.h >= self.r,
-            "kernel height {} exceeds padded input height {}",
-            self.r,
-            self.h + 2 * self.pad.h
-        );
-        assert!(
-            self.w + 2 * self.pad.w >= self.s,
-            "kernel width {} exceeds padded input width {}",
-            self.w,
-            self.w + 2 * self.pad.w
-        );
+    /// Checks every invariant the constructors enforce. Public so APIs that
+    /// accept a caller-mutated `ConvShape` (the fields are `pub`) can
+    /// re-validate at their boundary before trusting derived quantities.
+    pub fn validate(&self) -> Result<(), ShapeError> {
+        if self.stride == 0 {
+            return Err(ShapeError::ZeroStride);
+        }
+        for (name, dim) in [
+            ("N", self.n),
+            ("C", self.c),
+            ("K", self.k),
+            ("H", self.h),
+            ("W", self.w),
+            ("R", self.r),
+            ("S", self.s),
+        ] {
+            if dim == 0 {
+                return Err(ShapeError::ZeroDim { name });
+            }
+        }
+        let ph = self.try_padded_h()?;
+        if ph < self.r {
+            return Err(ShapeError::KernelExceedsInput {
+                axis: 'h',
+                kernel: self.r,
+                padded: ph,
+            });
+        }
+        let pw = self.try_padded_w()?;
+        if pw < self.s {
+            return Err(ShapeError::KernelExceedsInput {
+                axis: 'w',
+                kernel: self.s,
+                padded: pw,
+            });
+        }
+        // All derived element counts must be representable; this is what
+        // lets the driver hand plain (unchecked) products to the kernels.
+        self.try_input_len()?;
+        self.try_filter_len()?;
+        self.try_output_len()?;
+        checked_product(&[self.c, self.r, self.s, self.k], "gemm reduction")?;
+        Ok(())
     }
 
     /// Output height `P`.
@@ -150,6 +233,28 @@ impl ConvShape {
         self.w + 2 * self.pad.w
     }
 
+    /// Padded input height with overflow detection.
+    pub fn try_padded_h(&self) -> Result<usize, ShapeError> {
+        self.pad
+            .h
+            .checked_mul(2)
+            .and_then(|p2| self.h.checked_add(p2))
+            .ok_or(ShapeError::Overflow {
+                what: "padded input height",
+            })
+    }
+
+    /// Padded input width with overflow detection.
+    pub fn try_padded_w(&self) -> Result<usize, ShapeError> {
+        self.pad
+            .w
+            .checked_mul(2)
+            .and_then(|p2| self.w.checked_add(p2))
+            .ok_or(ShapeError::Overflow {
+                what: "padded input width",
+            })
+    }
+
     /// Whether this shape needs zero-padding handling.
     #[inline]
     pub fn has_padding(&self) -> bool {
@@ -158,17 +263,34 @@ impl ConvShape {
 
     /// Number of elements in the input tensor `I[N][C][H][W]`.
     pub fn input_len(&self) -> usize {
-        self.n * self.c * self.h * self.w
+        self.try_input_len().unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Number of elements in the filter tensor `F[K][C][R][S]`.
     pub fn filter_len(&self) -> usize {
-        self.k * self.c * self.r * self.s
+        self.try_filter_len().unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Number of elements in the output tensor `O[N][K][P][Q]`.
     pub fn output_len(&self) -> usize {
-        self.n * self.k * self.p() * self.q()
+        self.try_output_len().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Checked input element count.
+    pub fn try_input_len(&self) -> Result<usize, ShapeError> {
+        checked_product(&[self.n, self.c, self.h, self.w], "input elements")
+    }
+
+    /// Checked filter element count.
+    pub fn try_filter_len(&self) -> Result<usize, ShapeError> {
+        checked_product(&[self.k, self.c, self.r, self.s], "filter elements")
+    }
+
+    /// Checked output element count (`P`/`Q` computed without wrapping).
+    pub fn try_output_len(&self) -> Result<usize, ShapeError> {
+        let p = (self.try_padded_h()? - self.r) / self.stride + 1;
+        let q = (self.try_padded_w()? - self.s) / self.stride + 1;
+        checked_product(&[self.n, self.k, p, q], "output elements")
     }
 
     /// Floating-point operations for this convolution: each output element
@@ -195,7 +317,7 @@ impl ConvShape {
         let mut s = *self;
         s.h = h.max(s.r.saturating_sub(2 * s.pad.h).max(1));
         s.w = w.max(s.s.saturating_sub(2 * s.pad.w).max(1));
-        s.validate();
+        s.validate().expect("with_spatial preserves validity");
         s
     }
 
@@ -279,6 +401,83 @@ mod tests {
     #[should_panic(expected = "stride")]
     fn rejects_zero_stride() {
         ConvShape::new(1, 1, 4, 4, 1, 3, 3, 0, Padding::NONE);
+    }
+
+    #[test]
+    fn try_new_reports_typed_errors() {
+        use crate::error::ShapeError;
+        assert_eq!(
+            ConvShape::try_new(1, 1, 4, 4, 1, 3, 3, 0, Padding::NONE),
+            Err(ShapeError::ZeroStride)
+        );
+        assert_eq!(
+            ConvShape::try_new(0, 1, 4, 4, 1, 3, 3, 1, Padding::NONE),
+            Err(ShapeError::ZeroDim { name: "N" })
+        );
+        assert_eq!(
+            ConvShape::try_new(1, 1, 2, 4, 1, 3, 3, 1, Padding::NONE),
+            Err(ShapeError::KernelExceedsInput {
+                axis: 'h',
+                kernel: 3,
+                padded: 2
+            })
+        );
+        assert!(ConvShape::try_new(1, 3, 8, 8, 4, 3, 3, 1, Padding::same(1)).is_ok());
+    }
+
+    #[test]
+    fn try_same_for_kernel_rejects_even() {
+        use crate::error::ShapeError;
+        assert_eq!(
+            Padding::try_same_for_kernel(2, 3),
+            Err(ShapeError::EvenKernelSamePadding { r: 2, s: 3 })
+        );
+        assert_eq!(
+            Padding::try_same_for_kernel(3, 3),
+            Ok(Padding { h: 1, w: 1 })
+        );
+    }
+
+    #[test]
+    fn overflowing_shape_is_rejected_not_wrapped() {
+        use crate::error::ShapeError;
+        let huge = usize::MAX / 2;
+        let err = ConvShape::try_new(huge, huge, 4, 4, 1, 3, 3, 1, Padding::NONE);
+        assert_eq!(
+            err,
+            Err(ShapeError::Overflow {
+                what: "input elements"
+            })
+        );
+        // Padding arithmetic is also checked.
+        let s = ConvShape {
+            n: 1,
+            c: 1,
+            h: 4,
+            w: 4,
+            k: 1,
+            r: 3,
+            s: 3,
+            stride: 1,
+            pad: Padding {
+                h: usize::MAX / 2 + 1,
+                w: 0,
+            },
+        };
+        assert_eq!(
+            s.validate(),
+            Err(ShapeError::Overflow {
+                what: "padded input height"
+            })
+        );
+    }
+
+    #[test]
+    fn checked_lens_match_plain_lens_for_valid_shapes() {
+        let s = ConvShape::square(2, 16, 32, 14, 3, 1);
+        assert_eq!(s.try_input_len().unwrap(), s.input_len());
+        assert_eq!(s.try_filter_len().unwrap(), s.filter_len());
+        assert_eq!(s.try_output_len().unwrap(), s.output_len());
     }
 
     #[test]

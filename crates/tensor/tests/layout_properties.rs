@@ -1,93 +1,143 @@
 //! Property tests for layouts, padding and blocked formats.
+//!
+//! Hand-rolled property testing: each case draws its inputs from a seeded
+//! [`Rng64`], so failures print the seed and replay deterministically with
+//! no external fuzzing dependency.
 
+use ndirect_support::Rng64;
 use ndirect_tensor::{
     fill, pad, ActLayout, BlockedFilter, BlockedTensor, Filter, FilterLayout, Padding, Tensor4,
 };
-use proptest::prelude::*;
 
-fn dims() -> impl Strategy<Value = (usize, usize, usize, usize)> {
-    (1usize..4, 1usize..10, 1usize..10, 1usize..10)
+const CASES: u64 = 64;
+
+fn dims(rng: &mut Rng64) -> (usize, usize, usize, usize) {
+    (
+        rng.gen_range_usize(1, 4),
+        rng.gen_range_usize(1, 10),
+        rng.gen_range_usize(1, 10),
+        rng.gen_range_usize(1, 10),
+    )
 }
 
-proptest! {
-    #[test]
-    fn offsets_are_a_bijection_nchw((n, c, h, w) in dims()) {
-        let t = Tensor4::zeros(n, c, h, w, ActLayout::Nchw);
-        let mut seen = vec![false; t.len()];
-        for ni in 0..n { for ci in 0..c { for hi in 0..h { for wi in 0..w {
-            let off = t.offset(ni, ci, hi, wi);
-            prop_assert!(!seen[off], "offset collision at {off}");
-            seen[off] = true;
-        }}}}
-        prop_assert!(seen.iter().all(|&s| s));
+#[test]
+fn offsets_are_a_bijection_nchw_and_nhwc() {
+    for case in 0..CASES {
+        let mut rng = Rng64::seed_from_u64(0x1a70_0000 + case);
+        let (n, c, h, w) = dims(&mut rng);
+        for layout in [ActLayout::Nchw, ActLayout::Nhwc] {
+            let t = Tensor4::zeros(n, c, h, w, layout);
+            let mut seen = vec![false; t.len()];
+            for ni in 0..n {
+                for ci in 0..c {
+                    for hi in 0..h {
+                        for wi in 0..w {
+                            let off = t.offset(ni, ci, hi, wi);
+                            assert!(!seen[off], "case {case}: offset collision at {off}");
+                            seen[off] = true;
+                        }
+                    }
+                }
+            }
+            assert!(seen.iter().all(|&s| s), "case {case}: offsets not surjective");
+        }
     }
+}
 
-    #[test]
-    fn offsets_are_a_bijection_nhwc((n, c, h, w) in dims()) {
-        let t = Tensor4::zeros(n, c, h, w, ActLayout::Nhwc);
-        let mut seen = vec![false; t.len()];
-        for ni in 0..n { for ci in 0..c { for hi in 0..h { for wi in 0..w {
-            let off = t.offset(ni, ci, hi, wi);
-            prop_assert!(!seen[off]);
-            seen[off] = true;
-        }}}}
-        prop_assert!(seen.iter().all(|&s| s));
-    }
-
-    #[test]
-    fn layout_conversion_preserves_logical_view((n, c, h, w) in dims(), seed in 0u64..100) {
-        let t = fill::random_tensor(Tensor4::zeros(n, c, h, w, ActLayout::Nchw), seed);
+#[test]
+fn layout_conversion_preserves_logical_view() {
+    for case in 0..CASES {
+        let mut rng = Rng64::seed_from_u64(0x1a70_1000 + case);
+        let (n, c, h, w) = dims(&mut rng);
+        let t = fill::random_tensor(Tensor4::zeros(n, c, h, w, ActLayout::Nchw), case);
         let u = t.to_layout(ActLayout::Nhwc);
-        for ni in 0..n { for ci in 0..c { for hi in 0..h { for wi in 0..w {
-            prop_assert_eq!(t.at(ni, ci, hi, wi), u.at(ni, ci, hi, wi));
-        }}}}
+        for ni in 0..n {
+            for ci in 0..c {
+                for hi in 0..h {
+                    for wi in 0..w {
+                        assert_eq!(t.at(ni, ci, hi, wi), u.at(ni, ci, hi, wi), "case {case}");
+                    }
+                }
+            }
+        }
     }
+}
 
-    #[test]
-    fn padding_preserves_interior_and_zeroes_border(
-        (n, c, h, w) in dims(),
-        ph in 0usize..3,
-        pw in 0usize..3,
-        seed in 0u64..100,
-    ) {
-        let t = fill::random_tensor(Tensor4::zeros(n, c, h, w, ActLayout::Nchw), seed);
+#[test]
+fn padding_preserves_interior_and_zeroes_border() {
+    for case in 0..CASES {
+        let mut rng = Rng64::seed_from_u64(0x1a70_2000 + case);
+        let (n, c, h, w) = dims(&mut rng);
+        let (ph, pw) = (rng.gen_range_usize(0, 3), rng.gen_range_usize(0, 3));
+        let t = fill::random_tensor(Tensor4::zeros(n, c, h, w, ActLayout::Nchw), case);
         let p = pad::pad_input(&t, Padding { h: ph, w: pw });
         let (_, _, hp, wp) = p.dims();
-        prop_assert_eq!((hp, wp), (h + 2 * ph, w + 2 * pw));
-        for ni in 0..n { for ci in 0..c {
-            for hi in 0..hp { for wi in 0..wp {
-                let expect = pad::at_padded(&t, ni, ci, hi as isize - ph as isize, wi as isize - pw as isize);
-                prop_assert_eq!(p.at(ni, ci, hi, wi), expect);
-            }}
-        }}
+        assert_eq!((hp, wp), (h + 2 * ph, w + 2 * pw), "case {case}");
+        for ni in 0..n {
+            for ci in 0..c {
+                for hi in 0..hp {
+                    for wi in 0..wp {
+                        let expect = pad::at_padded(
+                            &t,
+                            ni,
+                            ci,
+                            hi as isize - ph as isize,
+                            wi as isize - pw as isize,
+                        );
+                        assert_eq!(p.at(ni, ci, hi, wi), expect, "case {case}");
+                    }
+                }
+            }
+        }
     }
+}
 
-    #[test]
-    fn blocked_tensor_round_trip((n, c, h, w) in dims(), cb in 1usize..6, seed in 0u64..100) {
-        let t = fill::random_tensor(Tensor4::zeros(n, c, h, w, ActLayout::Nchw), seed);
+#[test]
+fn blocked_tensor_round_trip() {
+    for case in 0..CASES {
+        let mut rng = Rng64::seed_from_u64(0x1a70_3000 + case);
+        let (n, c, h, w) = dims(&mut rng);
+        let cb = rng.gen_range_usize(1, 6);
+        let t = fill::random_tensor(Tensor4::zeros(n, c, h, w, ActLayout::Nchw), case);
         let b = BlockedTensor::from_tensor(&t, cb);
         let back = b.to_tensor(ActLayout::Nchw);
-        prop_assert_eq!(back.as_slice(), t.as_slice());
+        assert_eq!(back.as_slice(), t.as_slice(), "case {case} cb={cb}");
     }
+}
 
-    #[test]
-    fn blocked_filter_round_trip(
-        k in 1usize..10, c in 1usize..10, r in 1usize..4, s in 1usize..4,
-        cb in 1usize..5, kb in 1usize..5, seed in 0u64..100,
-    ) {
-        let f = fill::random_filter(Filter::zeros(k, c, r, s, FilterLayout::Kcrs), seed);
+#[test]
+fn blocked_filter_round_trip() {
+    for case in 0..CASES {
+        let mut rng = Rng64::seed_from_u64(0x1a70_4000 + case);
+        let (k, c) = (rng.gen_range_usize(1, 10), rng.gen_range_usize(1, 10));
+        let (r, s) = (rng.gen_range_usize(1, 4), rng.gen_range_usize(1, 4));
+        let (cb, kb) = (rng.gen_range_usize(1, 5), rng.gen_range_usize(1, 5));
+        let f = fill::random_filter(Filter::zeros(k, c, r, s, FilterLayout::Kcrs), case);
         let b = BlockedFilter::from_filter(&f, cb, kb);
-        for ki in 0..k { for ci in 0..c { for ri in 0..r { for si in 0..s {
-            prop_assert_eq!(b.as_slice()[b.offset(ki, ci, ri, si)], f.at(ki, ci, ri, si));
-        }}}}
+        for ki in 0..k {
+            for ci in 0..c {
+                for ri in 0..r {
+                    for si in 0..s {
+                        assert_eq!(
+                            b.as_slice()[b.offset(ki, ci, ri, si)],
+                            f.at(ki, ci, ri, si),
+                            "case {case}"
+                        );
+                    }
+                }
+            }
+        }
     }
+}
 
-    #[test]
-    fn filter_layout_round_trip(
-        k in 1usize..8, c in 1usize..8, r in 1usize..4, s in 1usize..4, seed in 0u64..100,
-    ) {
-        let f = fill::random_filter(Filter::zeros(k, c, r, s, FilterLayout::Kcrs), seed);
+#[test]
+fn filter_layout_round_trip() {
+    for case in 0..CASES {
+        let mut rng = Rng64::seed_from_u64(0x1a70_5000 + case);
+        let (k, c) = (rng.gen_range_usize(1, 8), rng.gen_range_usize(1, 8));
+        let (r, s) = (rng.gen_range_usize(1, 4), rng.gen_range_usize(1, 4));
+        let f = fill::random_filter(Filter::zeros(k, c, r, s, FilterLayout::Kcrs), case);
         let back = f.to_layout(FilterLayout::Krsc).to_layout(FilterLayout::Kcrs);
-        prop_assert_eq!(back.as_slice(), f.as_slice());
+        assert_eq!(back.as_slice(), f.as_slice(), "case {case}");
     }
 }

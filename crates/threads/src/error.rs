@@ -1,0 +1,40 @@
+//! Typed thread-pool faults.
+
+/// Why a pool operation could not proceed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PoolError {
+    /// [`crate::StaticPool::try_new`] was asked for a pool of zero threads.
+    ZeroSize,
+    /// [`crate::StaticPool::try_run`] was called from inside a region on the
+    /// same pool. The workers are occupied by the outer region, so running
+    /// the nested region would deadlock; use a separate pool for nested
+    /// parallelism.
+    NestedRun,
+    /// Spawning (or respawning) a worker thread failed — typically thread
+    /// exhaustion under heavy load. The pool is still usable at reduced
+    /// parallelism once threads free up; callers may also retry with a
+    /// smaller pool.
+    WorkerSpawn {
+        /// Thread id of the worker that could not be spawned.
+        worker: usize,
+        /// The OS error category.
+        kind: std::io::ErrorKind,
+    },
+}
+
+impl std::fmt::Display for PoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PoolError::ZeroSize => write!(f, "pool size must be >= 1"),
+            PoolError::NestedRun => write!(
+                f,
+                "StaticPool::run is not reentrant: nested run() on the same pool would deadlock"
+            ),
+            PoolError::WorkerSpawn { worker, kind } => {
+                write!(f, "failed to spawn pool worker {worker}: {kind}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PoolError {}

@@ -7,7 +7,7 @@
 /// thread `tid`'s coordinates are `(tid / ptk, tid % ptk)` so threads with
 /// consecutive ids share the same `N/H/W` slice (and hence input-tensor
 /// working set) while covering different channel blocks.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Grid2 {
     ptn: usize,
     ptk: usize,
@@ -67,6 +67,26 @@ impl Grid2 {
             .map(|ptn| Grid2::new(ptn, threads / ptn))
             .collect()
     }
+
+    /// JSON form for schedule persistence: `{"ptn": …, "ptk": …}`.
+    pub fn to_json(&self) -> ndirect_support::Json {
+        ndirect_support::Json::Obj(vec![
+            ("ptn".into(), ndirect_support::Json::usize(self.ptn)),
+            ("ptk".into(), ndirect_support::Json::usize(self.ptk)),
+        ])
+    }
+
+    /// Parses the [`Grid2::to_json`] form, validating extents.
+    pub fn from_json(v: &ndirect_support::Json) -> Result<Grid2, ndirect_support::JsonError> {
+        let (ptn, ptk) = (v.usize_field("ptn")?, v.usize_field("ptk")?);
+        if ptn == 0 || ptk == 0 {
+            return Err(ndirect_support::JsonError {
+                msg: "grid extents must be >= 1".into(),
+                at: 0,
+            });
+        }
+        Ok(Grid2 { ptn, ptk })
+    }
 }
 
 #[cfg(test)]
@@ -106,5 +126,14 @@ mod tests {
         let g = Grid2::sequential();
         assert_eq!(g.threads(), 1);
         assert_eq!(g.coords(0), (0, 0));
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let g = Grid2::new(3, 4);
+        assert_eq!(Grid2::from_json(&g.to_json()).unwrap(), g);
+        // Degenerate extents parse as an error, not a panic.
+        let bad = ndirect_support::Json::parse(r#"{"ptn": 0, "ptk": 2}"#).unwrap();
+        assert!(Grid2::from_json(&bad).is_err());
     }
 }

@@ -21,11 +21,13 @@
 
 #![warn(missing_docs)]
 
+mod error;
 mod grid;
 mod pool;
 mod shared;
 mod split;
 
+pub use error::PoolError;
 pub use grid::Grid2;
 pub use pool::StaticPool;
 pub use shared::SharedSlice;

@@ -1,11 +1,25 @@
 //! A persistent fork-join pool with OpenMP `parallel`-region semantics.
+//!
+//! Built on `std::sync` only (a `Mutex`/`Condvar` job board) so the crate
+//! carries no external dependencies. Hardened for production use:
+//!
+//! * nested [`StaticPool::run`] is detected and reported as
+//!   [`PoolError::NestedRun`] from [`StaticPool::try_run`] (the panicking
+//!   `run` wrapper keeps the seed behaviour) instead of deadlocking;
+//! * the `in_region` reentrancy flag is cleared by an RAII guard, so a
+//!   panicking region closure cannot wedge the pool;
+//! * a worker whose thread has died (panic payload with a panicking `Drop`,
+//!   stack exhaustion recovery, anything that escapes `catch_unwind`) is
+//!   respawned at the next region entry — the pool degrades for one region
+//!   and then heals, it never silently loses parallelism.
 
 use std::any::Any;
+use std::collections::VecDeque;
 use std::panic::AssertUnwindSafe;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 
-use crossbeam::channel::{unbounded, Sender};
-use parking_lot::{Condvar, Mutex};
+use crate::PoolError;
 
 /// A fixed team of `PT` threads executing one closure per [`StaticPool::run`]
 /// call — thread 0 is the caller, threads `1..PT` are persistent workers.
@@ -20,11 +34,22 @@ use parking_lot::{Condvar, Mutex};
 /// barrier at the end of `run` is what makes that sound.
 pub struct StaticPool {
     size: usize,
-    sender: Option<Sender<Job>>,
-    handles: Vec<std::thread::JoinHandle<()>>,
+    board: Arc<JobBoard>,
+    /// Worker join handles, indexed by `tid - 1`; rebuilt lazily when a
+    /// worker dies (see [`StaticPool::ensure_workers`]).
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
     /// Guards against nested `run` on the same pool, which would deadlock
     /// (workers are busy executing the outer region's job).
-    in_region: std::sync::atomic::AtomicBool,
+    in_region: AtomicBool,
+}
+
+impl std::fmt::Debug for StaticPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StaticPool")
+            .field("size", &self.size)
+            .field("in_region", &self.in_region.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
 }
 
 /// A lifetime-erased `&(dyn Fn(usize) + Sync)` plus completion accounting.
@@ -40,6 +65,64 @@ struct Job {
 // SAFETY: `data` points at a `Sync` closure (enforced by `run`'s bounds),
 // and `run` keeps the closure alive until every job has signalled `latch`.
 unsafe impl Send for Job {}
+
+/// The shared queue workers pull jobs from. `closed` tells workers to exit.
+struct JobBoard {
+    queue: Mutex<BoardState>,
+    available: Condvar,
+}
+
+struct BoardState {
+    jobs: VecDeque<Job>,
+    closed: bool,
+}
+
+impl JobBoard {
+    fn new() -> Self {
+        Self {
+            queue: Mutex::new(BoardState {
+                jobs: VecDeque::new(),
+                closed: false,
+            }),
+            available: Condvar::new(),
+        }
+    }
+
+    fn push(&self, job: Job) {
+        let mut st = lock_unpoisoned(&self.queue);
+        st.jobs.push_back(job);
+        drop(st);
+        self.available.notify_one();
+    }
+
+    /// Blocks until a job arrives or the board closes (returns `None`).
+    fn pop(&self) -> Option<Job> {
+        let mut st = lock_unpoisoned(&self.queue);
+        loop {
+            if let Some(job) = st.jobs.pop_front() {
+                return Some(job);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self
+                .available
+                .wait(st)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+    }
+
+    fn close(&self) {
+        lock_unpoisoned(&self.queue).closed = true;
+        self.available.notify_all();
+    }
+}
+
+/// Locks a mutex, recovering from poisoning: a worker that panicked while
+/// holding the lock leaves the plain data (a queue of jobs) fully usable.
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
 
 /// Countdown latch that also collects the first panic payload.
 struct Latch {
@@ -64,7 +147,7 @@ impl Latch {
     }
 
     fn count_down(&self, panic: Option<Box<dyn Any + Send>>) {
-        let mut st = self.state.lock();
+        let mut st = lock_unpoisoned(&self.state);
         if st.panic.is_none() {
             st.panic = panic;
         }
@@ -75,52 +158,81 @@ impl Latch {
     }
 
     fn wait(&self) -> Option<Box<dyn Any + Send>> {
-        let mut st = self.state.lock();
+        let mut st = lock_unpoisoned(&self.state);
         while st.remaining != 0 {
-            self.cv.wait(&mut st);
+            st = self
+                .cv
+                .wait(st)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
         }
         st.panic.take()
     }
 }
 
+/// Clears the pool's `in_region` flag on drop, so the flag is released on
+/// every exit path out of a region — normal return, propagated worker
+/// panic, or a panic escaping the caller's own closure.
+struct RegionGuard<'a>(&'a AtomicBool);
+
+impl Drop for RegionGuard<'_> {
+    fn drop(&mut self) {
+        self.0.store(false, Ordering::Release);
+    }
+}
+
+fn spawn_worker(board: Arc<JobBoard>, index: usize) -> std::io::Result<std::thread::JoinHandle<()>> {
+    std::thread::Builder::new()
+        .name(format!("ndirect-worker-{index}"))
+        .spawn(move || {
+            while let Some(job) = board.pop() {
+                let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                    // SAFETY: `job.data`/`job.call` were erased from a live
+                    // `&F` in `try_run`, which blocks on `latch` until we
+                    // count down below.
+                    unsafe { (job.call)(job.data, job.tid) }
+                }));
+                job.latch.count_down(result.err());
+            }
+        })
+}
+
 impl StaticPool {
     /// Creates a pool of `size ≥ 1` threads (spawning `size − 1` workers).
     pub fn new(size: usize) -> Self {
-        assert!(size >= 1, "pool size must be >= 1");
-        if size == 1 {
-            return Self {
-                size,
-                sender: None,
-                handles: Vec::new(),
-                in_region: std::sync::atomic::AtomicBool::new(false),
-            };
+        Self::try_new(size).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible pool construction: `size` of 0 and worker-spawn failures
+    /// (thread exhaustion) become typed errors instead of panics.
+    pub fn try_new(size: usize) -> Result<Self, PoolError> {
+        if size == 0 {
+            return Err(PoolError::ZeroSize);
         }
-        let (sender, receiver) = unbounded::<Job>();
-        let handles = (1..size)
-            .map(|i| {
-                let rx = receiver.clone();
-                std::thread::Builder::new()
-                    .name(format!("ndirect-worker-{i}"))
-                    .spawn(move || {
-                        while let Ok(job) = rx.recv() {
-                            let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
-                                // SAFETY: `job.data`/`job.call` were erased
-                                // from a live `&F` in `run`, which blocks on
-                                // `latch` until we count down below.
-                                unsafe { (job.call)(job.data, job.tid) }
-                            }));
-                            job.latch.count_down(result.err());
-                        }
-                    })
-                    .expect("failed to spawn pool worker")
-            })
-            .collect();
-        Self {
+        let board = Arc::new(JobBoard::new());
+        let mut handles = Vec::new();
+        for i in 1..size {
+            match spawn_worker(Arc::clone(&board), i) {
+                Ok(h) => handles.push(h),
+                Err(e) => {
+                    // Unwind: close the board so already-spawned workers
+                    // exit, then report.
+                    board.close();
+                    for h in handles {
+                        let _ = h.join();
+                    }
+                    return Err(PoolError::WorkerSpawn {
+                        worker: i,
+                        kind: e.kind(),
+                    });
+                }
+            }
+        }
+        Ok(Self {
             size,
-            sender: Some(sender),
-            handles,
-            in_region: std::sync::atomic::AtomicBool::new(false),
-        }
+            board,
+            handles: Mutex::new(handles),
+            in_region: AtomicBool::new(false),
+        })
     }
 
     /// A pool sized to the host's hardware parallelism.
@@ -134,54 +246,102 @@ impl StaticPool {
         self.size
     }
 
+    /// Number of worker threads currently alive (excludes the caller).
+    /// After a worker death this reads low until the next region entry
+    /// respawns the worker; exposed for the hardening tests.
+    pub fn live_workers(&self) -> usize {
+        lock_unpoisoned(&self.handles)
+            .iter()
+            .filter(|h| !h.is_finished())
+            .count()
+    }
+
+    /// Respawns any worker whose thread has exited. A worker only dies when
+    /// something escapes its `catch_unwind` (e.g. a panic payload whose
+    /// `Drop` panics); the next region entry heals the team so one bad job
+    /// cannot permanently strand the pool. Spawn failures are reported, not
+    /// panicked, so the caller can fall back to fewer threads.
+    fn ensure_workers(&self) -> Result<(), PoolError> {
+        let mut handles = lock_unpoisoned(&self.handles);
+        for (i, slot) in handles.iter_mut().enumerate() {
+            if slot.is_finished() {
+                let dead = std::mem::replace(
+                    slot,
+                    spawn_worker(Arc::clone(&self.board), i + 1).map_err(|e| {
+                        PoolError::WorkerSpawn {
+                            worker: i + 1,
+                            kind: e.kind(),
+                        }
+                    })?,
+                );
+                // Collect the dead thread; its panic (if any) was already
+                // reported through the latch of the region that killed it.
+                let _ = dead.join();
+            }
+        }
+        Ok(())
+    }
+
     /// Executes `f(tid)` on every thread of the team and waits for all of
     /// them (the caller runs `tid = 0`). Panics from any thread propagate
     /// after the barrier.
     ///
     /// `run` is **not reentrant**: calling it again from inside a region on
     /// the same pool would deadlock (the workers are occupied by the outer
-    /// region), so it panics immediately instead. Use a separate pool for
-    /// nested parallelism.
+    /// region), so it panics immediately instead. Use [`StaticPool::try_run`]
+    /// to get the condition as a typed error, or a separate pool for nested
+    /// parallelism.
     pub fn run<F>(&self, f: F)
     where
         F: Fn(usize) + Sync,
     {
+        self.try_run(f).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`StaticPool::run`]: nested invocation returns
+    /// [`PoolError::NestedRun`] instead of deadlocking or panicking, and a
+    /// failure to heal the worker team surfaces as
+    /// [`PoolError::WorkerSpawn`]. Panics *from the region closure* still
+    /// propagate as panics — they are the caller's bug, not a pool fault —
+    /// after every thread has reached the barrier (so the pool stays
+    /// usable).
+    pub fn try_run<F>(&self, f: F) -> Result<(), PoolError>
+    where
+        F: Fn(usize) + Sync,
+    {
         if self.size == 1 {
-            f(0);
-            return;
-        }
-        use std::sync::atomic::Ordering;
-        assert!(
-            !self.in_region.swap(true, Ordering::Acquire),
-            "StaticPool::run is not reentrant: nested run() on the same pool would deadlock"
-        );
-        // Release the reentrancy guard even if the region panics.
-        struct Guard<'a>(&'a std::sync::atomic::AtomicBool);
-        impl Drop for Guard<'_> {
-            fn drop(&mut self) {
-                self.0.store(false, std::sync::atomic::Ordering::Release);
+            if self.in_region.swap(true, Ordering::Acquire) {
+                return Err(PoolError::NestedRun);
             }
+            let _guard = RegionGuard(&self.in_region);
+            f(0);
+            return Ok(());
         }
-        let _guard = Guard(&self.in_region);
+        if self.in_region.swap(true, Ordering::Acquire) {
+            return Err(PoolError::NestedRun);
+        }
+        // Release the reentrancy flag on every exit path (incl. panics).
+        let _guard = RegionGuard(&self.in_region);
+
+        // Heal the team before dispatching: a worker killed by a previous
+        // region must not leave its share of the iteration space undone.
+        self.ensure_workers()?;
 
         unsafe fn trampoline<F: Fn(usize) + Sync>(data: *const (), tid: usize) {
             // SAFETY: `data` was produced from `&f` below and `f` is alive
-            // until the latch in `run` releases.
+            // until the latch in `try_run` releases.
             let f = unsafe { &*(data as *const F) };
             f(tid);
         }
 
         let latch = Arc::new(Latch::new(self.size));
-        let sender = self.sender.as_ref().expect("pool has workers");
         for tid in 1..self.size {
-            sender
-                .send(Job {
-                    data: &f as *const F as *const (),
-                    call: trampoline::<F>,
-                    tid,
-                    latch: Arc::clone(&latch),
-                })
-                .expect("worker channel closed");
+            self.board.push(Job {
+                data: &f as *const F as *const (),
+                call: trampoline::<F>,
+                tid,
+                latch: Arc::clone(&latch),
+            });
         }
 
         // The caller is thread 0. Catch its panic so we still reach the
@@ -192,6 +352,7 @@ impl StaticPool {
         if let Some(payload) = latch.wait() {
             std::panic::resume_unwind(payload);
         }
+        Ok(())
     }
 
     /// Convenience: static-partition `0..total` across the team and hand
@@ -203,13 +364,34 @@ impl StaticPool {
         let parts = self.size;
         self.run(|tid| f(tid, crate::split_static(total, parts, tid)));
     }
+
+    /// Test-only fault injection: makes at least one worker thread exit its
+    /// loop (as if something had escaped its `catch_unwind`), so the
+    /// respawn path in [`StaticPool::ensure_workers`] can be exercised. The
+    /// board is briefly marked closed — long enough for a worker to observe
+    /// it and return — then reopened.
+    #[doc(hidden)]
+    pub fn __test_kill_one_worker(&self) {
+        let board = &self.board;
+        {
+            let mut st = lock_unpoisoned(&board.queue);
+            st.closed = true;
+        }
+        board.available.notify_one();
+        // Wait until exactly one worker exits, then reopen.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while self.live_workers() == self.size - 1 && std::time::Instant::now() < deadline {
+            std::thread::yield_now();
+        }
+        lock_unpoisoned(&board.queue).closed = false;
+    }
 }
 
 impl Drop for StaticPool {
     fn drop(&mut self) {
-        // Closing the channel stops the worker loops.
-        self.sender.take();
-        for h in self.handles.drain(..) {
+        // Closing the board stops the worker loops.
+        self.board.close();
+        for h in lock_unpoisoned(&self.handles).drain(..) {
             let _ = h.join();
         }
     }
@@ -241,6 +423,14 @@ mod tests {
             hit.store(true, Ordering::Relaxed);
         });
         assert!(hit.load(Ordering::Relaxed));
+    }
+
+    #[test]
+    fn zero_size_is_a_typed_error() {
+        match StaticPool::try_new(0) {
+            Err(PoolError::ZeroSize) => {}
+            other => panic!("expected ZeroSize, got {other:?}"),
+        }
     }
 
     #[test]
@@ -317,6 +507,42 @@ mod tests {
     }
 
     #[test]
+    fn nested_try_run_returns_typed_error() {
+        let pool = StaticPool::new(2);
+        let inner = Mutex::new(None);
+        pool.run(|tid| {
+            if tid == 0 {
+                *lock_unpoisoned(&inner) = Some(pool.try_run(|_| {}));
+            }
+        });
+        assert_eq!(
+            lock_unpoisoned(&inner).take(),
+            Some(Err(PoolError::NestedRun))
+        );
+        // The flag resets; the pool remains usable.
+        let c = AtomicUsize::new(0);
+        pool.run(|_| {
+            c.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(c.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn nested_run_on_single_thread_pool_is_detected() {
+        let pool = StaticPool::new(1);
+        let seen = Mutex::new(None);
+        pool.run(|_| {
+            *lock_unpoisoned(&seen) = Some(pool.try_run(|_| {}));
+        });
+        assert_eq!(
+            lock_unpoisoned(&seen).take(),
+            Some(Err(PoolError::NestedRun))
+        );
+        // And still usable afterwards.
+        pool.run(|_| {});
+    }
+
+    #[test]
     fn nested_run_panics_instead_of_deadlocking() {
         let pool = StaticPool::new(2);
         let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
@@ -333,6 +559,41 @@ mod tests {
             c.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(c.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn in_region_flag_cleared_when_region_closure_panics() {
+        // Regression test for the RAII region guard: after a panicking
+        // region, try_run must NOT report NestedRun.
+        let pool = StaticPool::new(2);
+        for _ in 0..3 {
+            let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                pool.run(|_| panic!("every thread panics"));
+            }));
+            assert!(result.is_err());
+            assert!(
+                !pool.in_region.load(Ordering::Acquire),
+                "in_region must be cleared by the RAII guard"
+            );
+            // A fresh region starts cleanly.
+            pool.try_run(|_| {}).expect("pool reusable after panic");
+        }
+    }
+
+    #[test]
+    fn dead_worker_is_respawned_on_next_region() {
+        let pool = StaticPool::new(3);
+        pool.run(|_| {});
+        assert_eq!(pool.live_workers(), 2);
+        pool.__test_kill_one_worker();
+        assert!(pool.live_workers() < 2, "test hook should kill a worker");
+        // The next region heals the team and computes the full result.
+        let counter = AtomicUsize::new(0);
+        pool.run(|_| {
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 3);
+        assert_eq!(pool.live_workers(), 2, "worker respawned");
     }
 
     #[test]

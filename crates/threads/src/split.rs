@@ -27,7 +27,7 @@ pub fn chunk_static(total: usize, parts: usize) -> impl Iterator<Item = Range<us
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use ndirect_support::Rng64;
 
     #[test]
     fn even_split() {
@@ -63,20 +63,28 @@ mod tests {
         split_static(10, 2, 2);
     }
 
-    proptest! {
-        #[test]
-        fn chunks_partition_exactly(total in 0usize..5000, parts in 1usize..64) {
+    #[test]
+    fn chunks_partition_exactly() {
+        // Hand-rolled property test: random (total, parts) pairs plus the
+        // boundary cases a fuzzer would shrink to.
+        let mut rng = Rng64::seed_from_u64(0x5117);
+        let mut cases: Vec<(usize, usize)> =
+            vec![(0, 1), (0, 63), (1, 1), (1, 63), (4999, 1), (4999, 63)];
+        cases.extend((0..256).map(|_| {
+            (rng.gen_range_usize(0, 5000), rng.gen_range_usize(1, 64))
+        }));
+        for (total, parts) in cases {
             let mut next = 0;
             let mut sizes = vec![];
             for r in chunk_static(total, parts) {
-                prop_assert_eq!(r.start, next);
+                assert_eq!(r.start, next, "total={total} parts={parts}");
                 sizes.push(r.len());
                 next = r.end;
             }
-            prop_assert_eq!(next, total);
+            assert_eq!(next, total, "total={total} parts={parts}");
             let max = sizes.iter().max().unwrap();
             let min = sizes.iter().min().unwrap();
-            prop_assert!(max - min <= 1, "static split must be balanced");
+            assert!(max - min <= 1, "static split must be balanced");
         }
     }
 }

@@ -1,7 +1,7 @@
 //! Stress and property tests for the static pool.
 
-use ndirect_threads::{chunk_static, Grid2, StaticPool};
-use proptest::prelude::*;
+use ndirect_support::Rng64;
+use ndirect_threads::{chunk_static, Grid2, PoolError, StaticPool};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 #[test]
@@ -72,24 +72,65 @@ fn writes_before_barrier_are_visible_after_run() {
     }
 }
 
-proptest! {
-    #[test]
-    fn static_chunks_tile_grid_work(total in 0usize..10_000, threads in 1usize..32) {
+#[test]
+fn static_chunks_tile_grid_work() {
+    let mut rng = Rng64::seed_from_u64(0xb001);
+    for case in 0..256 {
+        let total = rng.gen_range_usize(0, 10_000);
+        let threads = rng.gen_range_usize(1, 32);
         let mut covered = 0usize;
         for r in chunk_static(total, threads) {
             covered += r.len();
         }
-        prop_assert_eq!(covered, total);
+        assert_eq!(covered, total, "case {case}: total={total} threads={threads}");
     }
+}
 
-    #[test]
-    fn every_factorization_covers_all_threads(threads in 1usize..=64) {
+#[test]
+fn every_factorization_covers_all_threads() {
+    for threads in 1usize..=64 {
         for g in Grid2::factorizations(threads) {
-            prop_assert_eq!(g.threads(), threads);
+            assert_eq!(g.threads(), threads);
             let mut seen = std::collections::HashSet::new();
             for tid in 0..threads {
-                prop_assert!(seen.insert(g.coords(tid)), "duplicate coords");
+                assert!(seen.insert(g.coords(tid)), "duplicate coords");
             }
         }
     }
+}
+
+#[test]
+fn pool_survives_panicking_jobs_interleaved_with_real_work() {
+    // Poisoned-region stress: alternate panicking regions with productive
+    // ones and confirm the pool never wedges, never loses threads, and the
+    // reentrancy flag is always released.
+    let pool = StaticPool::new(4);
+    let good = AtomicUsize::new(0);
+    for round in 0..50 {
+        let boom = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run(|tid| {
+                if tid == round % 4 {
+                    panic!("round {round} poisons tid {tid}");
+                }
+            });
+        }));
+        assert!(boom.is_err(), "round {round} should propagate the panic");
+        pool.try_run(|_| {
+            good.fetch_add(1, Ordering::Relaxed);
+        })
+        .expect("pool must be reusable right after a panicking region");
+    }
+    assert_eq!(good.load(Ordering::Relaxed), 200);
+}
+
+#[test]
+fn nested_run_from_every_thread_is_rejected() {
+    let pool = StaticPool::new(3);
+    let rejected = AtomicUsize::new(0);
+    pool.run(|_| {
+        if pool.try_run(|_| {}) == Err(PoolError::NestedRun) {
+            rejected.fetch_add(1, Ordering::Relaxed);
+        }
+    });
+    assert_eq!(rejected.load(Ordering::Relaxed), 3);
 }

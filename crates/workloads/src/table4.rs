@@ -1,10 +1,9 @@
 //! Table 4: the 28 convolution operator configurations.
 
 use ndirect_tensor::ConvShape;
-use serde::{Deserialize, Serialize};
 
 /// Source network of a Table 4 row.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Network {
     /// He et al., 2016 (Table 4 IDs 1–23).
     ResNet50,
@@ -13,7 +12,7 @@ pub enum Network {
 }
 
 /// One row of Table 4: `(ID, C, K, H/W, R/S, str)`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LayerConfig {
     /// Layer ID as printed in the paper (1–28).
     pub id: usize,

@@ -101,6 +101,12 @@ fn main() {
         qx.scale,
         qw.scale
     );
-    assert!(qerr < 1e-2);
+    // Worst plausible quantization error for this reduction: each of the
+    // C·R·S products carries ≤ (scale_x + scale_w)/2 noise with [-1,1) data,
+    // accumulating ~√(C·R·S) in RMS; outputs near zero make the relative
+    // metric (denominator clamped at 1) see it directly.
+    let crs = (64 * 3 * 3) as f32;
+    let qbound = 2.0 * crs.sqrt() * (qx.scale + qw.scale);
+    assert!(qerr < qbound, "qerr {qerr} vs bound {qbound}");
     println!("all extensions verified against oracles");
 }

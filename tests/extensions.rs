@@ -5,12 +5,12 @@ use ndirect_core::{
     conv3d_naive, conv3d_ndirect, conv_depthwise, conv_ndirect, conv_ndirect_nhwc, Conv3dShape,
     Schedule,
 };
+use ndirect_support::Rng64;
 use ndirect_tensor::{
     assert_close, fill, ActLayout, ConvShape, Filter, Filter5, FilterLayout, Padding, Tensor4,
     Tensor5,
 };
 use ndirect_threads::StaticPool;
-use proptest::prelude::*;
 
 #[test]
 fn depthwise_then_pointwise_equals_grouped_dense() {
@@ -97,20 +97,24 @@ fn nhwc_native_matches_nchw_on_scaled_table4_rows() {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    #[test]
-    fn depthwise_matches_oracle_on_random_shapes(
-        n in 1usize..3, c in 1usize..14, hw in 3usize..12,
-        rs in prop::sample::select(vec![1usize, 3, 5]),
-        stride in 1usize..3, seed in 0u64..100,
-    ) {
-        prop_assume!(hw + 2 * (rs / 2) >= rs);
+#[test]
+fn depthwise_matches_oracle_on_random_shapes() {
+    let mut rng = Rng64::seed_from_u64(0xe071);
+    let pool = StaticPool::new(1);
+    for case in 0..16 {
+        let n = rng.gen_range_usize(1, 3);
+        let c = rng.gen_range_usize(1, 14);
+        let hw = rng.gen_range_usize(3, 12);
+        let rs = *rng.choose(&[1usize, 3, 5]);
+        let stride = rng.gen_range_usize(1, 3);
+        if hw + 2 * (rs / 2) < rs {
+            continue;
+        }
+        let seed = rng.next_u64();
         let shape = ConvShape::new(n, c, hw, hw, c, rs, rs, stride, Padding::same(rs / 2));
         let input = fill::random_tensor(Tensor4::input_for(&shape, ActLayout::Nchw), seed);
         let dw = fill::random_filter(Filter::zeros(c, 1, rs, rs, FilterLayout::Kcrs), seed ^ 1);
-        let got = conv_depthwise(&StaticPool::new(1), &input, &dw, &shape);
+        let got = conv_depthwise(&pool, &input, &dw, &shape);
 
         // Scalar oracle.
         for ni in 0..n { for ci in 0..c {
@@ -123,19 +127,32 @@ proptest! {
                         * dw.at(ci, 0, r, s);
                 }}
                 let g = got.at(ni, ci, oj, oi);
-                prop_assert!((g - acc).abs() <= 1e-4 * acc.abs().max(1.0), "{g} vs {acc}");
+                assert!(
+                    (g - acc).abs() <= 1e-4 * acc.abs().max(1.0),
+                    "case {case}: {g} vs {acc}"
+                );
             }}
         }}
     }
+}
 
-    #[test]
-    fn conv3d_matches_oracle_on_random_shapes(
-        c in 1usize..5, k in 1usize..6,
-        d in 2usize..6, hw in 3usize..8,
-        t in 1usize..3, rs in 1usize..4,
-        seed in 0u64..100,
-    ) {
-        prop_assume!(d >= t && hw >= rs);
+#[test]
+fn conv3d_matches_oracle_on_random_shapes() {
+    let mut rng = Rng64::seed_from_u64(0xe072);
+    let pool = StaticPool::new(1);
+    let mut case = 0;
+    while case < 16 {
+        let c = rng.gen_range_usize(1, 5);
+        let k = rng.gen_range_usize(1, 6);
+        let d = rng.gen_range_usize(2, 6);
+        let hw = rng.gen_range_usize(3, 8);
+        let t = rng.gen_range_usize(1, 3);
+        let rs = rng.gen_range_usize(1, 4);
+        if d < t || hw < rs {
+            continue;
+        }
+        case += 1;
+        let seed = rng.next_u64();
         let shape = Conv3dShape {
             n: 1, c, d, h: hw, w: hw, k, t, r: rs, s: rs,
             stride: 1, pad_d: 0, pad_h: 0, pad_w: 0,
@@ -144,26 +161,42 @@ proptest! {
         fill::fill_random(input.as_mut_slice(), seed);
         let mut filter = Filter5::zeros(k, c, t, rs, rs);
         fill::fill_random(filter.as_mut_slice(), seed ^ 2);
-        let got = conv3d_ndirect(&StaticPool::new(1), &input, &filter, &shape);
+        let got = conv3d_ndirect(&pool, &input, &filter, &shape);
         let expect = conv3d_naive(&input, &filter, &shape);
-        assert_close(got.as_slice(), expect.as_slice(), 2e-4, "conv3d proptest");
+        assert_close(
+            got.as_slice(),
+            expect.as_slice(),
+            2e-4,
+            &format!("conv3d case {case}"),
+        );
     }
+}
 
-    #[test]
-    fn nhwc_native_matches_oracle_on_random_shapes(
-        n in 1usize..3, c in 1usize..10, k in 1usize..14,
-        h in 3usize..10, w in 3usize..12,
-        rs in prop::sample::select(vec![1usize, 3]),
-        stride in 1usize..3, seed in 0u64..100,
-    ) {
-        prop_assume!(h + 2 * (rs / 2) >= rs && w + 2 * (rs / 2) >= rs);
+#[test]
+fn nhwc_native_matches_oracle_on_random_shapes() {
+    let mut rng = Rng64::seed_from_u64(0xe073);
+    let pool = StaticPool::new(1);
+    for case in 0..16 {
+        let n = rng.gen_range_usize(1, 3);
+        let c = rng.gen_range_usize(1, 10);
+        let k = rng.gen_range_usize(1, 14);
+        let h = rng.gen_range_usize(3, 10);
+        let w = rng.gen_range_usize(3, 12);
+        let rs = *rng.choose(&[1usize, 3]);
+        let stride = rng.gen_range_usize(1, 3);
+        let seed = rng.next_u64();
         let shape = ConvShape::new(n, c, h, w, k, rs, rs, stride, Padding::same(rs / 2));
         let input = fill::random_tensor(Tensor4::input_for(&shape, ActLayout::Nhwc), seed);
         let filter = fill::random_filter(Filter::for_shape(&shape, FilterLayout::Krsc), seed ^ 3);
         let expect = ndirect_baselines::naive::conv_ref(&input, &filter, &shape);
         let got = ndirect_core::conv_ndirect_nhwc_with(
-            &StaticPool::new(1), &input, &filter, &shape, &Schedule::minimal(&shape),
+            &pool, &input, &filter, &shape, &Schedule::minimal(&shape),
         );
-        assert_close(got.as_slice(), expect.as_slice(), 2e-4, &format!("{shape}"));
+        assert_close(
+            got.as_slice(),
+            expect.as_slice(),
+            2e-4,
+            &format!("case {case}: {shape}"),
+        );
     }
 }

@@ -3,10 +3,10 @@
 
 use ndirect_baselines::{fft, naive, winograd};
 use ndirect_core::conv_ndirect;
+use ndirect_support::Rng64;
 use ndirect_tensor::{assert_close, ActLayout, ConvShape, FilterLayout, Padding};
 use ndirect_threads::StaticPool;
 use ndirect_workloads::{fig4_layers, make_problem};
-use proptest::prelude::*;
 
 #[test]
 fn winograd_matches_direct_on_scaled_3x3_table4_rows() {
@@ -70,33 +70,56 @@ fn fft_thread_invariance() {
     assert_eq!(a.as_slice(), b.as_slice());
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    #[test]
-    fn winograd_matches_oracle_on_random_3x3_shapes(
-        n in 1usize..3, c in 1usize..12, k in 1usize..12,
-        h in 3usize..14, w in 3usize..14, pad in 0usize..2, seed in 0u64..100,
-    ) {
+#[test]
+fn winograd_matches_oracle_on_random_3x3_shapes() {
+    let mut rng = Rng64::seed_from_u64(0xfa57);
+    let pool = StaticPool::new(1);
+    for case in 0..12 {
+        let n = rng.gen_range_usize(1, 3);
+        let c = rng.gen_range_usize(1, 12);
+        let k = rng.gen_range_usize(1, 12);
+        let h = rng.gen_range_usize(3, 14);
+        let w = rng.gen_range_usize(3, 14);
+        let pad = rng.gen_range_usize(0, 2);
         let shape = ConvShape::new(n, c, h, w, k, 3, 3, 1, Padding::same(pad));
-        let p = make_problem(shape, ActLayout::Nchw, FilterLayout::Kcrs, seed);
+        let p = make_problem(shape, ActLayout::Nchw, FilterLayout::Kcrs, rng.next_u64());
         let expect = naive::conv_ref(&p.input, &p.filter, &shape);
-        let got = winograd::conv_winograd(&StaticPool::new(1), &p.input, &p.filter, &shape);
-        assert_close(got.as_slice(), expect.as_slice(), 2e-3, &format!("{shape}"));
+        let got = winograd::conv_winograd(&pool, &p.input, &p.filter, &shape);
+        assert_close(
+            got.as_slice(),
+            expect.as_slice(),
+            2e-3,
+            &format!("case {case}: {shape}"),
+        );
     }
+}
 
-    #[test]
-    fn fft_matches_oracle_on_random_shapes(
-        c in 1usize..6, k in 1usize..6,
-        h in 3usize..12, w in 3usize..12,
-        r in 1usize..4, s in 1usize..4,
-        stride in 1usize..3, seed in 0u64..100,
-    ) {
-        prop_assume!(h >= r && w >= s);
+#[test]
+fn fft_matches_oracle_on_random_shapes() {
+    let mut rng = Rng64::seed_from_u64(0xfa58);
+    let pool = StaticPool::new(1);
+    let mut case = 0;
+    while case < 12 {
+        let c = rng.gen_range_usize(1, 6);
+        let k = rng.gen_range_usize(1, 6);
+        let h = rng.gen_range_usize(3, 12);
+        let w = rng.gen_range_usize(3, 12);
+        let r = rng.gen_range_usize(1, 4);
+        let s = rng.gen_range_usize(1, 4);
+        let stride = rng.gen_range_usize(1, 3);
+        if h < r || w < s {
+            continue;
+        }
+        case += 1;
         let shape = ConvShape::new(1, c, h, w, k, r, s, stride, Padding::NONE);
-        let p = make_problem(shape, ActLayout::Nchw, FilterLayout::Kcrs, seed);
+        let p = make_problem(shape, ActLayout::Nchw, FilterLayout::Kcrs, rng.next_u64());
         let expect = naive::conv_ref(&p.input, &p.filter, &shape);
-        let got = fft::conv_fft(&StaticPool::new(1), &p.input, &p.filter, &shape);
-        assert_close(got.as_slice(), expect.as_slice(), 5e-3, &format!("{shape}"));
+        let got = fft::conv_fft(&pool, &p.input, &p.filter, &shape);
+        assert_close(
+            got.as_slice(),
+            expect.as_slice(),
+            5e-3,
+            &format!("case {case}: {shape}"),
+        );
     }
 }

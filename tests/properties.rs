@@ -1,34 +1,34 @@
-//! Property-based tests over randomized problem shapes and data.
+//! Property-based tests over randomized problem shapes and data, driven
+//! by the workspace's seeded [`Rng64`] so every failure message carries
+//! its case number and reproduces exactly.
 
 use ndirect_baselines::{blocked, im2col, indirect, naive};
 use ndirect_core::{conv_ndirect_with, Schedule};
+use ndirect_support::Rng64;
 use ndirect_tensor::{
     assert_close, fill, ActLayout, ConvShape, Filter, FilterLayout, Padding, Tensor4,
 };
 use ndirect_threads::StaticPool;
-use proptest::prelude::*;
 
 /// Random-but-small convolution shapes: kernels 1–5, strides 1–2,
 /// padding 0–2, channels/outputs 1–20, spatial 1–16 (subject to fitting).
-fn conv_shapes() -> impl Strategy<Value = ConvShape> {
-    (
-        1usize..=3,  // n
-        1usize..=20, // c
-        1usize..=16, // h
-        1usize..=16, // w
-        1usize..=20, // k
-        1usize..=5,  // r
-        1usize..=5,  // s
-        1usize..=2,  // stride
-        0usize..=2,  // pad h
-        0usize..=2,  // pad w
-    )
-        .prop_filter_map("kernel must fit padded input", |(n, c, h, w, k, r, s, st, ph, pw)| {
-            if h + 2 * ph < r || w + 2 * pw < s {
-                return None;
-            }
-            Some(ConvShape::new(n, c, h, w, k, r, s, st, Padding { h: ph, w: pw }))
-        })
+fn random_shape(rng: &mut Rng64) -> ConvShape {
+    loop {
+        let n = rng.gen_range_usize(1, 4);
+        let c = rng.gen_range_usize(1, 21);
+        let h = rng.gen_range_usize(1, 17);
+        let w = rng.gen_range_usize(1, 17);
+        let k = rng.gen_range_usize(1, 21);
+        let r = rng.gen_range_usize(1, 6);
+        let s = rng.gen_range_usize(1, 6);
+        let stride = rng.gen_range_usize(1, 3);
+        let ph = rng.gen_range_usize(0, 3);
+        let pw = rng.gen_range_usize(0, 3);
+        if h + 2 * ph < r || w + 2 * pw < s {
+            continue;
+        }
+        return ConvShape::new(n, c, h, w, k, r, s, stride, Padding { h: ph, w: pw });
+    }
 }
 
 fn problem(shape: &ConvShape, seed: u64) -> (Tensor4, Filter) {
@@ -38,52 +38,67 @@ fn problem(shape: &ConvShape, seed: u64) -> (Tensor4, Filter) {
     )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn ndirect_matches_oracle_on_random_shapes(shape in conv_shapes(), seed in 0u64..1000) {
-        let (input, filter) = problem(&shape, seed);
+/// Runs `cases` iterations of an oracle comparison for one method.
+fn against_oracle(
+    seed: u64,
+    cases: usize,
+    run: impl Fn(&StaticPool, &Tensor4, &Filter, &ConvShape) -> Tensor4,
+) {
+    let mut rng = Rng64::seed_from_u64(seed);
+    let pool = StaticPool::new(1);
+    for case in 0..cases {
+        let shape = random_shape(&mut rng);
+        let (input, filter) = problem(&shape, rng.next_u64());
         let expect = naive::conv_ref(&input, &filter, &shape);
-        let pool = StaticPool::new(1);
-        let got = conv_ndirect_with(&pool, &input, &filter, &shape, &Schedule::minimal(&shape));
-        assert_close(got.as_slice(), expect.as_slice(), 2e-4, &format!("{shape}"));
+        let got = run(&pool, &input, &filter, &shape);
+        assert_close(
+            got.as_slice(),
+            expect.as_slice(),
+            2e-4,
+            &format!("case {case}: {shape}"),
+        );
     }
+}
 
-    #[test]
-    fn im2col_matches_oracle_on_random_shapes(shape in conv_shapes(), seed in 0u64..1000) {
-        let (input, filter) = problem(&shape, seed);
-        let expect = naive::conv_ref(&input, &filter, &shape);
-        let pool = StaticPool::new(1);
-        let got = im2col::conv_im2col(&pool, &input, &filter, &shape);
-        assert_close(got.as_slice(), expect.as_slice(), 2e-4, &format!("{shape}"));
-    }
+#[test]
+fn ndirect_matches_oracle_on_random_shapes() {
+    against_oracle(0x9a01, 48, |pool, input, filter, shape| {
+        conv_ndirect_with(pool, input, filter, shape, &Schedule::minimal(shape))
+    });
+}
 
-    #[test]
-    fn blocked_matches_oracle_on_random_shapes(shape in conv_shapes(), seed in 0u64..1000) {
-        let (input, filter) = problem(&shape, seed);
-        let expect = naive::conv_ref(&input, &filter, &shape);
-        let pool = StaticPool::new(1);
-        let got = blocked::conv_blocked_nchw(&pool, &input, &filter, &shape);
-        assert_close(got.as_slice(), expect.as_slice(), 2e-4, &format!("{shape}"));
-    }
+#[test]
+fn im2col_matches_oracle_on_random_shapes() {
+    against_oracle(0x9a02, 48, |pool, input, filter, shape| {
+        im2col::conv_im2col(pool, input, filter, shape)
+    });
+}
 
-    #[test]
-    fn indirect_matches_oracle_on_random_shapes(shape in conv_shapes(), seed in 0u64..1000) {
-        let (input, filter) = problem(&shape, seed);
-        let expect = naive::conv_ref(&input, &filter, &shape);
-        let pool = StaticPool::new(1);
-        let got = indirect::conv_indirect_nchw(&pool, &input, &filter, &shape);
-        assert_close(got.as_slice(), expect.as_slice(), 2e-4, &format!("{shape}"));
-    }
+#[test]
+fn blocked_matches_oracle_on_random_shapes() {
+    against_oracle(0x9a03, 48, |pool, input, filter, shape| {
+        blocked::conv_blocked_nchw(pool, input, filter, shape)
+    });
+}
 
-    #[test]
-    fn convolution_is_linear_in_the_input(shape in conv_shapes(), seed in 0u64..500) {
-        // conv(a·x + y, F) == a·conv(x, F) + conv(y, F)
+#[test]
+fn indirect_matches_oracle_on_random_shapes() {
+    against_oracle(0x9a04, 48, |pool, input, filter, shape| {
+        indirect::conv_indirect_nchw(pool, input, filter, shape)
+    });
+}
+
+#[test]
+fn convolution_is_linear_in_the_input() {
+    // conv(a·x + y, F) == a·conv(x, F) + conv(y, F)
+    let mut rng = Rng64::seed_from_u64(0x9a05);
+    let pool = StaticPool::new(1);
+    for case in 0..24 {
+        let shape = random_shape(&mut rng);
+        let seed = rng.next_u64();
         let (x, filter) = problem(&shape, seed);
         let (y, _) = problem(&shape, seed.wrapping_add(101));
         let a = 0.75f32;
-        let pool = StaticPool::new(1);
         let sched = Schedule::minimal(&shape);
 
         let mut combo = x.clone();
@@ -95,26 +110,35 @@ proptest! {
         let cy = conv_ndirect_with(&pool, &y, &filter, &shape, &sched);
         for (i, l) in lhs.as_slice().iter().enumerate() {
             let r = a * cx.as_slice()[i] + cy.as_slice()[i];
-            prop_assert!((l - r).abs() <= 5e-4 * r.abs().max(1.0), "idx {i}: {l} vs {r}");
+            assert!(
+                (l - r).abs() <= 5e-4 * r.abs().max(1.0),
+                "case {case} idx {i}: {l} vs {r}"
+            );
         }
     }
+}
 
-    #[test]
-    fn zero_filter_gives_zero_output(shape in conv_shapes(), seed in 0u64..100) {
-        let (input, _) = problem(&shape, seed);
+#[test]
+fn zero_filter_gives_zero_output() {
+    let mut rng = Rng64::seed_from_u64(0x9a06);
+    let pool = StaticPool::new(1);
+    for case in 0..24 {
+        let shape = random_shape(&mut rng);
+        let (input, _) = problem(&shape, rng.next_u64());
         let filter = Filter::for_shape(&shape, FilterLayout::Kcrs);
-        let pool = StaticPool::new(1);
         let got = conv_ndirect_with(&pool, &input, &filter, &shape, &Schedule::minimal(&shape));
-        prop_assert!(got.as_slice().iter().all(|&v| v == 0.0));
+        assert!(got.as_slice().iter().all(|&v| v == 0.0), "case {case}");
     }
+}
 
-    #[test]
-    fn gemm_matches_naive_matmul(
-        m in 1usize..40,
-        n in 1usize..40,
-        k in 1usize..40,
-        seed in 0u64..1000,
-    ) {
+#[test]
+fn gemm_matches_naive_matmul() {
+    let mut rng = Rng64::seed_from_u64(0x9a07);
+    for case in 0..48 {
+        let m = rng.gen_range_usize(1, 40);
+        let n = rng.gen_range_usize(1, 40);
+        let k = rng.gen_range_usize(1, 40);
+        let seed = rng.next_u64();
         let mut a = vec![0.0f32; m * k];
         let mut b = vec![0.0f32; k * n];
         fill::fill_random(&mut a, seed);
@@ -123,21 +147,30 @@ proptest! {
         let mut c2 = vec![0.0f32; m * n];
         ndirect_gemm::naive::matmul(m, n, k, &a, &b, &mut c1);
         ndirect_gemm::gemm(m, n, k, &a, &b, &mut c2);
-        assert_close(&c2, &c1, 2e-4, "gemm");
+        assert_close(&c2, &c1, 2e-4, &format!("gemm case {case}"));
     }
+}
 
-    #[test]
-    fn layout_round_trip_random_dims(
-        n in 1usize..4, c in 1usize..9, h in 1usize..9, w in 1usize..9, seed in 0u64..100,
-    ) {
-        let t = fill::random_tensor(Tensor4::zeros(n, c, h, w, ActLayout::Nchw), seed);
+#[test]
+fn layout_round_trip_random_dims() {
+    let mut rng = Rng64::seed_from_u64(0x9a08);
+    for case in 0..48 {
+        let n = rng.gen_range_usize(1, 4);
+        let c = rng.gen_range_usize(1, 9);
+        let h = rng.gen_range_usize(1, 9);
+        let w = rng.gen_range_usize(1, 9);
+        let t = fill::random_tensor(Tensor4::zeros(n, c, h, w, ActLayout::Nchw), rng.next_u64());
         let back = t.to_layout(ActLayout::Nhwc).to_layout(ActLayout::Nchw);
-        prop_assert_eq!(back.as_slice(), t.as_slice());
+        assert_eq!(back.as_slice(), t.as_slice(), "case {case}");
     }
+}
 
-    #[test]
-    fn schedule_sanitize_is_idempotent(shape in conv_shapes()) {
+#[test]
+fn schedule_sanitize_is_idempotent() {
+    let mut rng = Rng64::seed_from_u64(0x9a09);
+    for case in 0..48 {
+        let shape = random_shape(&mut rng);
         let s = Schedule::minimal(&shape).sanitized(&shape);
-        prop_assert_eq!(s.sanitized(&shape), s.clone());
+        assert_eq!(s.sanitized(&shape), s, "case {case}: {shape}");
     }
 }

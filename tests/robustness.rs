@@ -1,0 +1,260 @@
+//! End-to-end robustness suite: malformed inputs must come back as typed
+//! errors from every fallible entry point, the thread pool must survive
+//! panicking jobs and dead workers, and an unsupported-ISA host must
+//! degrade to an error rather than crash.
+//!
+//! The ISA test flips a process-global hook, so every test that drives a
+//! conv entry point (they all probe the ISA at the boundary) shares the
+//! [`ISA_HOOK`] lock: conv tests take it shared, the hook test exclusively.
+
+use std::sync::RwLock;
+
+use ndirect_baselines::{naive, winograd, BaselineError};
+use ndirect_core::{
+    try_conv_depthwise, try_conv_ndirect, try_conv_ndirect_with, Error, Schedule,
+};
+use ndirect_gemm::GemmError;
+use ndirect_models::{zoo, Engine, ModelError, NDirectBackend};
+use ndirect_support::Rng64;
+use ndirect_tensor::{
+    fill, ActLayout, ConvShape, Filter, FilterLayout, Padding, ShapeError, Tensor4,
+};
+use ndirect_threads::{PoolError, StaticPool};
+
+static ISA_HOOK: RwLock<()> = RwLock::new(());
+
+fn read_hook() -> std::sync::RwLockReadGuard<'static, ()> {
+    ISA_HOOK.read().unwrap_or_else(|p| p.into_inner())
+}
+
+fn small_problem() -> (ConvShape, Tensor4, Filter) {
+    let shape = ConvShape::square(1, 4, 8, 6, 3, 1);
+    let input = fill::random_tensor(Tensor4::input_for(&shape, ActLayout::Nchw), 1);
+    let filter = fill::random_filter(Filter::for_shape(&shape, FilterLayout::Kcrs), 2);
+    (shape, input, filter)
+}
+
+// ------------------------------------------------------------- shapes
+
+#[test]
+fn invalid_shapes_are_typed_errors_not_panics() {
+    assert!(matches!(
+        ConvShape::try_new(0, 3, 8, 8, 4, 3, 3, 1, Padding::NONE),
+        Err(ShapeError::ZeroDim { name: "N" })
+    ));
+    assert!(matches!(
+        ConvShape::try_new(1, 3, 8, 8, 4, 3, 3, 0, Padding::NONE),
+        Err(ShapeError::ZeroStride)
+    ));
+    assert!(matches!(
+        ConvShape::try_new(1, 3, 2, 8, 4, 5, 3, 1, Padding::NONE),
+        Err(ShapeError::KernelExceedsInput { axis: 'h', .. })
+    ));
+    assert!(matches!(
+        ConvShape::try_new(1, usize::MAX / 2, 8, 8, 4, 3, 3, 1, Padding::NONE),
+        Err(ShapeError::Overflow { .. })
+    ));
+    assert!(matches!(
+        Padding::try_same_for_kernel(4, 3),
+        Err(ShapeError::EvenKernelSamePadding { r: 4, s: 3 })
+    ));
+}
+
+#[test]
+fn fuzzed_shape_construction_never_panics() {
+    // Any usize 9-tuple must produce Ok(valid shape) or a typed error —
+    // and an Ok shape must re-validate and have consistent element counts.
+    let mut rng = Rng64::seed_from_u64(0x20b5);
+    for case in 0..2000 {
+        let extreme = |rng: &mut Rng64| match rng.gen_range_usize(0, 4) {
+            0 => 0,
+            1 => rng.gen_range_usize(1, 9),
+            2 => rng.gen_range_usize(1, 1 << 20),
+            _ => usize::MAX - rng.gen_range_usize(0, 4),
+        };
+        let (n, c, h, w) = (extreme(&mut rng), extreme(&mut rng), extreme(&mut rng), extreme(&mut rng));
+        let (k, r, s) = (extreme(&mut rng), extreme(&mut rng), extreme(&mut rng));
+        let stride = extreme(&mut rng);
+        let pad = Padding {
+            h: rng.gen_range_usize(0, 4),
+            w: rng.gen_range_usize(0, 4),
+        };
+        if let Ok(shape) = ConvShape::try_new(n, c, h, w, k, r, s, stride, pad) {
+            assert!(shape.validate().is_ok(), "case {case}: Ok shape must re-validate");
+            assert!(
+                shape.try_input_len().is_ok()
+                    && shape.try_filter_len().is_ok()
+                    && shape.try_output_len().is_ok(),
+                "case {case}: Ok shape must have computable element counts"
+            );
+        }
+    }
+}
+
+// ------------------------------------------------------- conv entry points
+
+#[test]
+fn wrong_layout_is_a_typed_error() {
+    let _g = read_hook();
+    let (shape, input, filter) = small_problem();
+    let pool = StaticPool::new(1);
+    let err = try_conv_ndirect(&pool, &input.to_layout(ActLayout::Nhwc), &filter, &shape)
+        .expect_err("NHWC into the NCHW entry");
+    assert!(matches!(err, Error::Layout { .. }), "{err}");
+}
+
+#[test]
+fn wrong_dims_are_a_typed_error() {
+    let _g = read_hook();
+    let (shape, _, filter) = small_problem();
+    let pool = StaticPool::new(1);
+    let wrong = Tensor4::zeros(1, 4, 9, 9, ActLayout::Nchw);
+    let err = try_conv_ndirect(&pool, &wrong, &filter, &shape).expect_err("dims disagree");
+    assert!(matches!(err, Error::DimMismatch { what: "input dims", .. }), "{err}");
+}
+
+#[test]
+fn oversized_grid_is_a_typed_error() {
+    let _g = read_hook();
+    let (shape, input, filter) = small_problem();
+    let pool = StaticPool::new(1);
+    let mut sched = Schedule::minimal(&shape);
+    sched.grid = ndirect_threads::Grid2::new(2, 2);
+    let err = try_conv_ndirect_with(&pool, &input, &filter, &shape, &sched)
+        .expect_err("4-thread grid on 1-thread pool");
+    assert!(
+        matches!(err, Error::GridExceedsPool { needed: 4, available: 1 }),
+        "{err}"
+    );
+}
+
+#[test]
+fn non_depthwise_shape_is_a_typed_error() {
+    let _g = read_hook();
+    let shape = ConvShape::square(1, 4, 8, 8, 3, 1); // K=8 != C=4
+    let input = fill::random_tensor(Tensor4::input_for(&shape, ActLayout::Nchw), 3);
+    let dw = Filter::zeros(4, 1, 3, 3, FilterLayout::Kcrs);
+    let pool = StaticPool::new(1);
+    let err = try_conv_depthwise(&pool, &input, &dw, &shape).expect_err("K != C");
+    assert!(matches!(err, Error::NotDepthwise { k: 8, c: 4 }), "{err}");
+}
+
+#[test]
+fn baseline_rejects_malformed_input_with_typed_error() {
+    let (shape, _, filter) = small_problem();
+    let wrong = Tensor4::zeros(2, 4, 8, 8, ActLayout::Nchw);
+    let err = naive::try_conv_ref(&wrong, &filter, &shape).expect_err("batch mismatch");
+    assert!(matches!(err, BaselineError::DimMismatch { .. }), "{err}");
+
+    let pool = StaticPool::new(1);
+    let shape5 = ConvShape::square(1, 4, 8, 8, 5, 1);
+    let input5 = fill::random_tensor(Tensor4::input_for(&shape5, ActLayout::Nchw), 4);
+    let filter5 = fill::random_filter(Filter::for_shape(&shape5, FilterLayout::Kcrs), 5);
+    let err = winograd::try_conv_winograd(&pool, &input5, &filter5, &shape5)
+        .expect_err("winograd needs 3x3");
+    assert!(matches!(err, BaselineError::Unsupported { .. }), "{err}");
+}
+
+#[test]
+fn gemm_rejects_short_operands_with_typed_error() {
+    let a = vec![0.0f32; 4];
+    let b = vec![0.0f32; 9];
+    let mut c = vec![0.0f32; 6];
+    let err = ndirect_gemm::try_gemm(2, 3, 3, &a, &b, &mut c).expect_err("A is short");
+    assert!(matches!(err, GemmError::OperandSize { name: "A", .. }), "{err}");
+
+    let a = vec![0.0f32; 6];
+    let err = ndirect_gemm::try_gemm_strided(2, 3, 3, &a, 2, &b, 3, &mut c, 3, ndirect_gemm::BlockSizes::default())
+        .expect_err("lda < k");
+    assert!(matches!(err, GemmError::LeadingDim { name: "lda", .. }), "{err}");
+}
+
+#[test]
+fn engine_rejects_mismatched_input_with_typed_error() {
+    let _g = read_hook();
+    let pool = StaticPool::new(1);
+    let backend = NDirectBackend::host();
+    let engine = Engine::new(&backend, &pool);
+    let model = zoo::tiny_resnet(11);
+    let wrong = Tensor4::zeros(1, 3, 16, 16, ActLayout::Nchw);
+    let err = engine.try_run(&model, &wrong).expect_err("16x16 into a 32x32 model");
+    assert!(matches!(err, ModelError::InputMismatch { .. }), "{err}");
+
+    let bad_layout = Tensor4::zeros(1, 3, 32, 32, ActLayout::Nhwc);
+    let err = engine.try_run(&model, &bad_layout).expect_err("engine runs NCHW");
+    assert!(matches!(err, ModelError::Layout), "{err}");
+}
+
+// ------------------------------------------------------------- thread pool
+
+#[test]
+fn nested_region_is_a_typed_error() {
+    let pool = StaticPool::new(2);
+    let inner = std::sync::Mutex::new(None);
+    pool.run(|tid| {
+        if tid == 0 {
+            // Record, don't assert: panicking here would abort the region.
+            *inner.lock().unwrap() = Some(pool.try_run(|_| {}));
+        }
+    });
+    assert_eq!(inner.into_inner().unwrap(), Some(Err(PoolError::NestedRun)));
+    // The outer region exited cleanly; the pool is still usable.
+    assert!(pool.try_run(|_| {}).is_ok());
+}
+
+#[test]
+fn pool_survives_panicking_jobs_and_stays_usable() {
+    let pool = StaticPool::new(4);
+    for round in 0..3 {
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run(|tid| {
+                if tid == round % 4 {
+                    panic!("job failure in round {round}");
+                }
+            });
+        }));
+        assert!(result.is_err(), "round {round}: panic must propagate");
+
+        // The pool must heal and run the full team again.
+        let hits = std::sync::Mutex::new(vec![false; 4]);
+        pool.run(|tid| hits.lock().unwrap()[tid] = true);
+        assert!(
+            hits.lock().unwrap().iter().all(|&h| h),
+            "round {round}: all threads must run after a panic"
+        );
+    }
+}
+
+#[test]
+fn pool_respawns_dead_workers() {
+    let pool = StaticPool::new(3);
+    pool.run(|_| {});
+    pool.__test_kill_one_worker();
+    // The next region must heal the team before dispatching work.
+    let hits = std::sync::Mutex::new(vec![false; 3]);
+    pool.run(|tid| hits.lock().unwrap()[tid] = true);
+    assert!(hits.lock().unwrap().iter().all(|&h| h));
+    assert_eq!(pool.live_workers(), 2, "size-3 pool keeps 2 workers");
+}
+
+// ------------------------------------------------------------------ ISA
+
+#[test]
+fn unsupported_isa_degrades_to_typed_error() {
+    let _g = ISA_HOOK.write().unwrap_or_else(|p| p.into_inner());
+    let (shape, input, filter) = small_problem();
+    let pool = StaticPool::new(1);
+
+    ndirect_simd::force_unsupported(true);
+    let err = try_conv_ndirect(&pool, &input, &filter, &shape).expect_err("forced ISA miss");
+    ndirect_simd::force_unsupported(false);
+    match &err {
+        Error::Isa(e) => assert!(e.to_string().contains("host CPU only supports"), "{e}"),
+        other => panic!("expected Error::Isa, got {other}"),
+    }
+
+    // With the hook released, the same problem runs and matches the oracle.
+    let got = try_conv_ndirect(&pool, &input, &filter, &shape).expect("supported host");
+    let want = naive::conv_ref(&input, &filter, &shape);
+    ndirect_tensor::assert_close(got.as_slice(), want.as_slice(), 2e-4, "post-hook conv");
+}
