@@ -87,6 +87,7 @@ pub fn random_schedule(space: &ScheduleSpace, shape: &ConvShape, rng: &mut Rng64
         grid: space.grids[rng.gen_range_usize(0, space.grids.len())],
         packing: space.packing[rng.gen_range_usize(0, space.packing.len())],
         filter_state: ndirect_core::FilterState::OnTheFly,
+        prefetch: false,
     };
     sched.sanitized(shape)
 }

@@ -1,0 +1,62 @@
+//! What planning buys: per-call drivers re-derive the schedule, allocate
+//! scratch, and (for pre-transformed schedules) re-pack the filter on
+//! every invocation; a [`ConvPlan`] pays all of that once and its
+//! `execute` hot path is allocation-free. On a mid-network ResNet layer
+//! the plan label should beat both per-call labels — that gap is the
+//! amortized setup cost, which is the point of the plan layer.
+//!
+//! Pass `--smoke` for a 1-sample CI pass that only checks the harness
+//! runs end to end.
+
+use ndirect_bench::harness::{Criterion, Throughput};
+use ndirect_bench::{bench_group, bench_main};
+use ndirect_core::{try_conv_ndirect_with, ConvPlan, FilterState, Schedule};
+use ndirect_tensor::{ActLayout, FilterLayout, Tensor4};
+use ndirect_threads::StaticPool;
+use ndirect_workloads::{make_problem, table4};
+
+fn bench_plan_reuse(c: &mut Criterion) {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let mut group = c.benchmark_group("plan_reuse");
+    group.sample_size(if smoke { 1 } else { 20 });
+    let pool = StaticPool::new(1);
+    let platform = ndirect_platform::host();
+
+    // Layer 10: C128 K128 28x28 3x3 — a mid-network ResNet-50 conv.
+    let layer = table4::layer_by_id(10).unwrap();
+    let shape = layer.shape(1);
+    let p = make_problem(shape, ActLayout::Nchw, FilterLayout::Kcrs, 10);
+    group.throughput(Throughput::Elements(shape.flops()));
+    let sched = Schedule::derive(&platform, &shape, 1);
+
+    // Per-call, filter transformed per cache block inside the loop nest.
+    let otf = sched.with_filter_state(FilterState::OnTheFly);
+    group.bench_function("per_call_on_the_fly", |b| {
+        b.iter(|| {
+            try_conv_ndirect_with(&pool, &p.input, &p.filter, &shape, &otf)
+                .expect("valid problem")
+        });
+    });
+
+    // Per-call, whole filter packed up front — and thrown away — each call.
+    let pre = sched.with_filter_state(FilterState::PreTransformed);
+    group.bench_function("per_call_pre_transformed", |b| {
+        b.iter(|| {
+            try_conv_ndirect_with(&pool, &p.input, &p.filter, &shape, &pre)
+                .expect("valid problem")
+        });
+    });
+
+    // Plan built once (schedule sanitized, filter packed, scratch
+    // allocated), then only the allocation-free execute is timed — the
+    // steady state of framework inference with a preallocated activation.
+    let plan = ConvPlan::try_new(&platform, &shape, &p.filter, 1).expect("valid problem");
+    let mut out = Tensor4::output_for(&shape, ActLayout::Nchw);
+    group.bench_function("plan_reuse", |b| {
+        b.iter(|| plan.execute(&pool, &p.input, &mut out).expect("valid problem"));
+    });
+    group.finish();
+}
+
+bench_group!(benches, bench_plan_reuse);
+bench_main!(benches);

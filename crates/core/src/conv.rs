@@ -34,13 +34,13 @@
 use std::sync::Mutex;
 
 use ndirect_tensor::{ActLayout, AlignedBuf, ConvShape, Filter, Tensor4};
-use ndirect_threads::{split_static, SharedSlice, StaticPool};
+use ndirect_threads::{SharedSlice, StaticPool};
 
 use crate::error::{check, Error};
-use crate::filter::{transform_filter_block, TransformedFilter};
+use crate::filter::TransformedFilter;
 use crate::kernel::{run_tile, RowSource, TileArgs};
 use crate::pack::{pack_strip, StripGeom};
-use crate::schedule::{FilterState, PackingMode, Schedule};
+use crate::schedule::{PackingMode, Schedule};
 
 /// nDirect convolution with a model-derived schedule for the host machine.
 ///
@@ -160,13 +160,16 @@ pub(crate) fn try_alloc_scratch(
 }
 
 /// Fallible form of [`conv_ndirect_into`]. Validation happens here, once,
-/// at the API boundary; the loop nest below runs on trusted values.
+/// at the API boundary; the loop nest runs on trusted values.
 ///
-/// Graceful degradation: if the schedule's per-thread scratch cannot be
-/// allocated (huge tiles, allocator pressure), the driver retries with the
-/// minimal-tile schedule on the same thread grid — slower, but a correct
-/// answer beats an abort. Only if even that fails does it return
-/// [`Error::ScratchAlloc`].
+/// Since the plan layer exists this is a thin wrapper: build a throwaway
+/// [`ConvPlan`](crate::ConvPlan) that *borrows* the filter (so on-the-fly
+/// schedules stay zero-copy, exactly as before) and execute it once. The
+/// semantics — validation order, graceful scratch degradation to the
+/// minimal-tile schedule, [`Error::ScratchAlloc`] only when even that
+/// fails, bitwise-identical results — are unchanged; callers that run the
+/// same layer repeatedly should build a [`crate::ConvPlan`] themselves and
+/// amortize the setup.
 pub fn try_conv_ndirect_into(
     pool: &StaticPool,
     input: &Tensor4,
@@ -180,7 +183,7 @@ pub fn try_conv_ndirect_into(
     check::dims("output dims", (shape.n, shape.k, p, q), out.dims())?;
     check::act_layout(out, ActLayout::Nchw, "nDirect writes NCHW")?;
 
-    let mut sched = schedule.sanitized(shape);
+    let sched = schedule.sanitized(shape);
     if sched.grid.threads() > pool.size() {
         return Err(Error::GridExceedsPool {
             needed: sched.grid.threads(),
@@ -188,166 +191,36 @@ pub fn try_conv_ndirect_into(
         });
     }
 
-    // Per-thread scratch, allocated up front so failure is recoverable.
-    let scratch = match try_alloc_scratch(&sched, shape, sched.grid.threads()) {
-        Ok(s) => s,
-        Err(_) => {
-            let mut fallback = Schedule::minimal(shape)
-                .with_grid(sched.grid)
-                .with_packing(sched.packing)
-                .with_filter_state(sched.filter_state)
-                .sanitized(shape);
-            fallback.vw = fallback.vw.min(sched.vw);
-            match try_alloc_scratch(&fallback, shape, fallback.grid.threads()) {
-                Ok(s) => {
-                    sched = fallback;
-                    s
-                }
-                Err(elements) => return Err(Error::ScratchAlloc { elements }),
-            }
-        }
-    };
-
-    // Pre-transform once if the schedule asks for it.
-    let pre_tf = match sched.filter_state {
-        FilterState::PreTransformed => Some(TransformedFilter::new(filter, sched.vk)),
-        FilterState::OnTheFly => None,
-    };
-
-    let grid = sched.grid;
-    let kv_total = shape.k.div_ceil(sched.vk);
-    let out_shared = SharedSlice::new(out.as_mut_slice());
-    let in_data = input.as_slice();
-    let image_len = shape.c * shape.h * shape.w;
-
-    pool.try_run(|tid| {
-        if tid >= grid.threads() {
-            return;
-        }
-        let (tn, tk) = grid.coords(tid);
-
-        // This thread's K range, at Vk granularity.
-        let kvr = split_static(kv_total, grid.ptk(), tk);
-        let k_lo = kvr.start * sched.vk;
-        let k_hi = (kvr.end * sched.vk).min(shape.k);
-        if k_lo >= k_hi {
-            return;
-        }
-        // This thread's slice of the flat N·P output-row space.
-        let rows = split_static(shape.n * p, grid.ptn(), tn);
-        if rows.is_empty() {
-            return;
-        }
-
-        // Disjointness for the SharedSlice writes below: K ranges are
-        // disjoint across `tk` and (n, oh) row ranges across `tn`, so each
-        // output element has exactly one writer; the pool barrier orders
-        // all writes before `run` returns.
-        let out_all = &out_shared;
-
-        // Per-thread scratch, preallocated above; the lock is uncontended
-        // (one thread per slot, taken once per region).
-        let mut guard = scratch[tid]
-            .lock()
-            .unwrap_or_else(|poisoned| poisoned.into_inner());
-        let Scratch {
-            ref mut bbuf,
-            ref mut tfbuf,
-        } = *guard;
-
-        let n_first = rows.start / p;
-        let n_last = (rows.end - 1) / p;
-        for n in n_first..=n_last {
-            let oh_lo = rows.start.saturating_sub(n * p).min(p);
-            let oh_hi = (rows.end - n * p).min(p);
-            let image = &in_data[n * image_len..(n + 1) * image_len];
-            let mut ht = oh_lo;
-            while ht < oh_hi {
-                let ht_end = (ht + sched.th).min(oh_hi);
-                let mut ct = 0;
-                while ct < shape.c {
-                    let tcb = sched.tc.min(shape.c - ct);
-                    let mut kt = k_lo;
-                    while kt < k_hi {
-                        let tkb = sched.tk.min(k_hi - kt);
-                        let kv_blocks = tkb.div_ceil(sched.vk);
-                        // Per-kv block length in the transform buffer uses
-                        // the *live* channel count of this tile.
-                        let tf_block_len = tcb * shape.r * shape.s * sched.vk;
-                        if pre_tf.is_none() {
-                            transform_filter_block(
-                                filter, kt, tkb, ct, tcb, sched.vk, tfbuf,
-                            );
-                        }
-                        for oh in ht..ht_end {
-                            let mut wv = 0;
-                            while wv < q {
-                                let valid_w = sched.vw.min(q - wv);
-                                let geom = StripGeom::new(shape, oh, wv, valid_w);
-                                compute_strip(
-                                    StripCtx {
-                                        image,
-                                        shape,
-                                        sched: &sched,
-                                        pre_tf: pre_tf.as_ref(),
-                                        tfbuf: &*tfbuf,
-                                        tf_block_len,
-                                        n,
-                                        ct,
-                                        tcb,
-                                        kt,
-                                        kv_blocks,
-                                        k_hi,
-                                        oh,
-                                        wv,
-                                        valid_w,
-                                        geom,
-                                        p,
-                                        q,
-                                    },
-                                    bbuf,
-                                    out_all,
-                                );
-                                wv += sched.vw;
-                            }
-                        }
-                        kt += sched.tk;
-                    }
-                    ct += sched.tc;
-                }
-                ht = ht_end;
-            }
-        }
-    })?;
-    Ok(())
+    let plan = crate::plan::ConvPlan::try_borrowed(shape, filter, schedule)?;
+    plan.execute(pool, input, out)
 }
 
 /// Everything one `(oh, wv)` strip needs.
-struct StripCtx<'a> {
-    image: &'a [f32],
-    shape: &'a ConvShape,
-    sched: &'a Schedule,
-    pre_tf: Option<&'a TransformedFilter>,
-    tfbuf: &'a [f32],
-    tf_block_len: usize,
-    n: usize,
-    ct: usize,
-    tcb: usize,
-    kt: usize,
-    kv_blocks: usize,
-    k_hi: usize,
-    oh: usize,
-    wv: usize,
-    valid_w: usize,
-    geom: StripGeom,
-    p: usize,
-    q: usize,
+pub(crate) struct StripCtx<'a> {
+    pub(crate) image: &'a [f32],
+    pub(crate) shape: &'a ConvShape,
+    pub(crate) sched: &'a Schedule,
+    pub(crate) pre_tf: Option<&'a TransformedFilter>,
+    pub(crate) tfbuf: &'a [f32],
+    pub(crate) tf_block_len: usize,
+    pub(crate) n: usize,
+    pub(crate) ct: usize,
+    pub(crate) tcb: usize,
+    pub(crate) kt: usize,
+    pub(crate) kv_blocks: usize,
+    pub(crate) k_hi: usize,
+    pub(crate) oh: usize,
+    pub(crate) wv: usize,
+    pub(crate) valid_w: usize,
+    pub(crate) geom: StripGeom,
+    pub(crate) p: usize,
+    pub(crate) q: usize,
 }
 
 /// Runs loop L7 for one output strip: the first `kv` iteration packs
 /// (fused or sequential per the schedule), the rest consume the packed
 /// buffer.
-fn compute_strip(ctx: StripCtx<'_>, bbuf: &mut AlignedBuf, out_all: &SharedSlice<'_, f32>) {
+pub(crate) fn compute_strip(ctx: StripCtx<'_>, bbuf: &mut AlignedBuf, out_all: &SharedSlice<'_, f32>) {
     let shape = ctx.shape;
     let sched = ctx.sched;
     let kstride = ctx.p * ctx.q;
@@ -383,6 +256,7 @@ fn compute_strip(ctx: StripCtx<'_>, bbuf: &mut AlignedBuf, out_all: &SharedSlice
                         buf: bbuf,
                         win: ctx.geom.win,
                         rdim: shape.r,
+                        prefetch: sched.prefetch,
                     };
                     run_tile(&mut rows, &args, sched.vw, out_all);
                 }
@@ -433,6 +307,7 @@ pub fn try_conv_ndirect_nhwc(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::schedule::FilterState;
     use ndirect_baselines::naive;
     use ndirect_tensor::{assert_close, fill, FilterLayout, Padding};
     use ndirect_threads::Grid2;

@@ -14,7 +14,7 @@
 
 use ndirect_simd::{F32x4, SimdVec};
 use ndirect_tensor::{ActLayout, AlignedBuf, ConvShape, Filter, FilterLayout, Tensor4};
-use ndirect_threads::{split_static, SharedSlice, StaticPool};
+use ndirect_threads::{SharedSlice, StaticPool};
 
 use crate::error::{check, Error};
 use crate::pack::gather_row;
@@ -66,38 +66,17 @@ pub fn try_conv_depthwise(
     let (p, q) = (shape.p(), shape.q());
     let mut out = Tensor4::zeros(shape.n, shape.c, p, q, ActLayout::Nchw);
 
-    // Work items: (n, channel-group-of-4) — each writes a disjoint set of
-    // output planes, so the split is deterministic and race-free.
-    let cgroups = shape.c.div_ceil(4);
-    let work = shape.n * cgroups;
-    let threads = pool.size();
-    let in_data = input.as_slice();
-    let image_len = shape.c * shape.h * shape.w;
-
-    let out_shared = SharedSlice::new(out.as_mut_slice());
-    pool.try_run(|tid| {
-        // Disjointness: each (n, cgroup) item owns its own 4 output
-        // planes; the pool barrier orders writes before `run` returns.
-        let out_all = &out_shared;
-        let vw = 8usize;
-        let win_max = (vw - 1) * shape.stride + shape.s;
-        let mut rows = AlignedBuf::zeroed(4 * shape.r * win_max);
-        for item in split_static(work, threads, tid) {
-            let n = item / cgroups;
-            let c0 = (item % cgroups) * 4;
-            let lanes = 4.min(shape.c - c0);
-            let image = &in_data[n * image_len..(n + 1) * image_len];
-            depthwise_plane(
-                image, filter, shape, n, c0, lanes, vw, &mut rows, out_all, p, q,
-            );
-        }
-    })?;
+    // Thin wrapper since the plan layer exists: build a throwaway plan
+    // borrowing the filter and execute it once. Repeated callers build a
+    // [`crate::DepthwisePlan`] themselves to reuse the gather buffers.
+    let plan = crate::plan::DepthwisePlan::borrowed(shape, filter, pool.size())?;
+    plan.execute(pool, input, &mut out)?;
     Ok(out)
 }
 
 /// Computes four channels' output planes for one image.
 #[allow(clippy::too_many_arguments)]
-fn depthwise_plane(
+pub(crate) fn depthwise_plane(
     image: &[f32],
     filter: &Filter,
     shape: &ConvShape,

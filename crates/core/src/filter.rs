@@ -67,11 +67,32 @@ pub struct TransformedFilter {
 }
 
 impl TransformedFilter {
-    /// Transforms the whole filter.
+    /// Transforms the whole filter. Aborts on allocation failure; plan
+    /// building uses [`TransformedFilter::try_new`] to degrade instead.
     pub fn new(filter: &Filter, vk: usize) -> Self {
+        match Self::try_new(filter, vk) {
+            Ok(tf) => tf,
+            // Mirror AlignedBuf::zeroed's abort-on-OOM convention.
+            Err(len) => std::alloc::handle_alloc_error(
+                std::alloc::Layout::array::<f32>(len.min(isize::MAX as usize))
+                    .unwrap_or_else(|_| std::alloc::Layout::new::<f32>()),
+            ),
+        }
+    }
+
+    /// Fallible whole-filter transform: returns `Err(elements)` when the
+    /// buffer size overflows or the allocator refuses, so a caller (plan
+    /// building) can surface a typed error instead of aborting.
+    pub fn try_new(filter: &Filter, vk: usize) -> Result<Self, usize> {
         let (k, c, r, s) = filter.dims();
         let kvb = k.div_ceil(vk);
-        let mut data = AlignedBuf::zeroed(kvb * c * r * s * vk);
+        let len = kvb
+            .checked_mul(c)
+            .and_then(|x| x.checked_mul(r))
+            .and_then(|x| x.checked_mul(s))
+            .and_then(|x| x.checked_mul(vk))
+            .ok_or(usize::MAX)?;
+        let mut data = AlignedBuf::try_zeroed(len)?;
         for kv in 0..kvb {
             let lanes = vk.min(k - kv * vk);
             for cc in 0..c {
@@ -85,7 +106,7 @@ impl TransformedFilter {
                 }
             }
         }
-        Self { data, k, c, r, s, vk }
+        Ok(Self { data, k, c, r, s, vk })
     }
 
     /// The contiguous `[c-relative][r][s][vk]` slice for the `kv`-th group

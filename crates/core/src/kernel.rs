@@ -23,7 +23,7 @@
 use ndirect_simd::{prefetch_read, F32x4, SimdVec};
 use ndirect_threads::SharedSlice;
 
-use crate::pack::gather_row;
+use crate::pack::{gather_row, prefetch_row};
 
 /// Upper bound on `Vw` the dynamic kernel supports.
 pub const VW_MAX: usize = 32;
@@ -63,6 +63,9 @@ pub enum RowSource<'a> {
         win: usize,
         /// Rows per channel.
         rdim: usize,
+        /// Software-prefetch the next `(c, r)` row before gathering the
+        /// current one (see [`Schedule::prefetch`](crate::Schedule)).
+        prefetch: bool,
     },
 }
 
@@ -86,6 +89,7 @@ impl RowSource<'_> {
                 buf,
                 win,
                 rdim,
+                ..
             } => {
                 let dst = &mut buf[(c * *rdim + rr) * *win..(c * *rdim + rr + 1) * *win];
                 gather_row(image, *ct + c, *ih0 + rr as isize, *iw0, *h, *w, dst);
@@ -235,6 +239,7 @@ fn main_kernel<const VW: usize, const VKV: usize, const STRIDE: usize>(
             buf,
             win,
             rdim: rd,
+            prefetch,
         } => {
             debug_assert_eq!(*rd, rdim);
             let win = *win;
@@ -249,6 +254,14 @@ fn main_kernel<const VW: usize, const VKV: usize, const STRIDE: usize>(
                     .enumerate()
                     .zip(tfc.chunks_exact(sdim * vk))
                 {
+                    if *prefetch {
+                        // Touch the *next* row's source line now so its load
+                        // overlaps this row's gather + FMA burst.
+                        let (nc, nr) = if rr + 1 < rdim { (c, rr + 1) } else { (c + 1, 0) };
+                        if nc < args.tcb {
+                            prefetch_row(image, *ct + nc, *ih0 + nr as isize, *iw0, *h, *w);
+                        }
+                    }
                     gather_row(image, *ct + c, *ih0 + rr as isize, *iw0, *h, *w, brow);
                     kernel_row::<VW, VKV, STRIDE>(&mut acc, brow, tfr, sdim);
                 }
@@ -308,6 +321,7 @@ fn main_kernel_1x1<const VW: usize, const VKV: usize, const STRIDE: usize>(
             iw0,
             buf,
             win: w_in,
+            prefetch,
             ..
         } => {
             debug_assert_eq!(*w_in, win);
@@ -317,6 +331,9 @@ fn main_kernel_1x1<const VW: usize, const VKV: usize, const STRIDE: usize>(
                 .zip(args.tf.chunks_exact(vk))
                 .take(args.tcb)
             {
+                if *prefetch && c + 1 < args.tcb {
+                    prefetch_row(image, *ct + c + 1, *ih0, *iw0, *h, *w);
+                }
                 gather_row(image, *ct + c, *ih0, *iw0, *h, *w, brow);
                 kernel_row::<VW, VKV, STRIDE>(&mut acc, brow, frow, 1);
             }
@@ -497,6 +514,9 @@ mod tests {
                 buf: &mut buf,
                 win: geom.win,
                 rdim: shape.r,
+                // Always on in the gather tests: exercises the clamped
+                // prefetch addressing on padded/strided shapes too.
+                prefetch: true,
             };
             run_tile(&mut rows, &args, vw, &out);
         } else {

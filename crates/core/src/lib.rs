@@ -55,6 +55,7 @@ pub mod kernel;
 pub mod model;
 pub mod nhwc;
 pub mod pack;
+pub mod plan;
 pub mod quantize;
 pub mod sparse;
 pub mod schedule;
@@ -74,7 +75,8 @@ pub use quantize::{conv_quantized, try_conv_quantized, QuantParams};
 pub use sparse::{conv_ndirect_pruned, prune_channels, try_conv_ndirect_pruned, ChannelMask};
 pub use nhwc::{
     conv_ndirect_nhwc_native, conv_ndirect_nhwc_with, try_conv_ndirect_nhwc_native,
-    try_conv_ndirect_nhwc_with,
+    try_conv_ndirect_nhwc_with, TransformedFilterNhwc,
 };
 pub use filter::{transform_filter, transform_filter_block, TransformedFilter};
+pub use plan::{ConvPlan, DepthwisePlan};
 pub use schedule::{FilterState, PackingMode, Schedule};

@@ -20,7 +20,7 @@
 
 use ndirect_simd::{F32x4, SimdVec};
 use ndirect_tensor::{ActLayout, ConvShape, Filter, FilterLayout, Tensor4};
-use ndirect_threads::{split_static, SharedSlice, StaticPool};
+use ndirect_threads::{SharedSlice, StaticPool};
 
 use crate::error::{check, Error};
 use crate::schedule::Schedule;
@@ -60,10 +60,97 @@ pub fn transform_filter_nhwc_block(
     }
 }
 
+/// A whole `KRSC` filter pre-transformed for the `NHWC` kernel — the plan
+/// layer's packed-once form.
+///
+/// The on-the-fly `NHWC` block layout is `[kv][r][s][c_local][Vk]` with the
+/// channel tile *inside* the taps, so a full-`C` transform would not yield
+/// contiguous sub-blocks for a channel window (the per-tap stride differs).
+/// Instead the transform is tiled by the schedule's `Tc` at build time: for
+/// each channel tile `ct` it stores every global `kv` group in block layout,
+/// bitwise identical to what [`transform_filter_nhwc_block`] produces for
+/// that tile (`K`-tail lanes coincide because thread `K` ranges split at
+/// `Vk` granularity).
+pub struct TransformedFilterNhwc {
+    data: ndirect_tensor::AlignedBuf,
+    /// Start offset of each `ct`-tile's region in `data`.
+    offsets: Vec<usize>,
+    /// The channel tile the transform was built for (must match execution).
+    tc: usize,
+    c: usize,
+    r: usize,
+    s: usize,
+    vk: usize,
+}
+
+impl TransformedFilterNhwc {
+    /// Transforms the whole filter, tiled by `tc`. Returns `Err(elements)`
+    /// on size overflow or allocator refusal.
+    pub fn try_new(filter: &Filter, vk: usize, tc: usize) -> Result<Self, usize> {
+        let (k, c, r, s) = filter.dims();
+        assert!(vk >= 1 && tc >= 1);
+        let kvb = k.div_ceil(vk);
+        // Tiles concatenate to exactly kvb·r·s·vk floats per channel.
+        let total = kvb
+            .checked_mul(r)
+            .and_then(|x| x.checked_mul(s))
+            .and_then(|x| x.checked_mul(vk))
+            .and_then(|x| x.checked_mul(c))
+            .ok_or(usize::MAX)?;
+        let mut data = ndirect_tensor::AlignedBuf::try_zeroed(total)?;
+        let mut offsets = Vec::new();
+        let mut off = 0;
+        let mut ct = 0;
+        while ct < c {
+            let tcb = tc.min(c - ct);
+            let len = kvb * r * s * tcb * vk;
+            transform_filter_nhwc_block(filter, 0, k, ct, tcb, vk, &mut data[off..off + len]);
+            offsets.push(off);
+            off += len;
+            ct += tc;
+        }
+        Ok(Self {
+            data,
+            offsets,
+            tc,
+            c,
+            r,
+            s,
+            vk,
+        })
+    }
+
+    /// The `[r][s][tcb][vk]` block for the channel tile starting at `ct`
+    /// (which must be a multiple of the build-time `tc`) and the *global*
+    /// `kv` group.
+    pub fn block(&self, ct: usize, tcb: usize, kv: usize) -> &[f32] {
+        debug_assert_eq!(ct % self.tc, 0, "ct must be a tile boundary");
+        debug_assert!(ct + tcb <= self.c);
+        let blk = self.r * self.s * tcb * self.vk;
+        let start = self.offsets[ct / self.tc] + kv * blk;
+        &self.data[start..start + blk]
+    }
+
+    /// The channel tile the transform is laid out for.
+    pub fn tile_c(&self) -> usize {
+        self.tc
+    }
+
+    /// Total floats (for memory accounting).
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the transform holds no data.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
 /// Packs one strip: `R` rows of `win` pixels × `tcb` channels from an
 /// `NHWC` image into `buf[r][col][c_local]`, zero-filling padding.
 #[allow(clippy::too_many_arguments)]
-fn pack_strip_nhwc(
+pub(crate) fn pack_strip_nhwc(
     image: &[f32],
     shape: &ConvShape,
     ct: usize,
@@ -231,7 +318,7 @@ macro_rules! nhwc_dispatch {
 }
 
 #[allow(clippy::too_many_arguments)]
-fn run_nhwc_tile(
+pub(crate) fn run_nhwc_tile(
     buf: &[f32],
     tf: &[f32],
     shape: &ConvShape,
@@ -314,94 +401,11 @@ pub fn try_conv_ndirect_nhwc_with(
     let (p, q) = (shape.p(), shape.q());
     let mut out = Tensor4::zeros(shape.n, shape.k, p, q, ActLayout::Nhwc);
 
-    // Per-thread scratch, preallocated so failure is a typed error (the
-    // NHWC strip/transform buffers have the same sizes as the NCHW ones).
-    let scratch = crate::conv::try_alloc_scratch(&sched, shape, sched.grid.threads())
-        .map_err(|elements| Error::ScratchAlloc { elements })?;
-
-    let grid = sched.grid;
-    let kv_total = shape.k.div_ceil(sched.vk);
-    let in_data = input.as_slice();
-    let image_len = shape.h * shape.w * shape.c;
-    let kdim = shape.k;
-
-    let out_shared = SharedSlice::new(out.as_mut_slice());
-    pool.try_run(|tid| {
-        if tid >= grid.threads() {
-            return;
-        }
-        let (tn, tk) = grid.coords(tid);
-        let kvr = split_static(kv_total, grid.ptk(), tk);
-        let k_lo = kvr.start * sched.vk;
-        let k_hi = (kvr.end * sched.vk).min(shape.k);
-        if k_lo >= k_hi {
-            return;
-        }
-        let rows = split_static(shape.n * p, grid.ptn(), tn);
-        if rows.is_empty() {
-            return;
-        }
-        // Disjointness: (K-range × row-range) output regions are unique
-        // per thread; the pool barrier orders writes. NHWC writes are
-        // K-segments of pixels within the thread's own rows.
-        let out_all = &out_shared;
-
-        let mut guard = scratch[tid]
-            .lock()
-            .unwrap_or_else(|poisoned| poisoned.into_inner());
-        let crate::conv::Scratch {
-            bbuf: ref mut buf,
-            ref mut tfbuf,
-        } = *guard;
-
-        // Loop order mirrors Algorithm 2: cache tiles outermost so each
-        // filter-block transform amortizes over every row and strip the
-        // thread owns.
-        let mut ct = 0;
-        while ct < shape.c {
-            let tcb = sched.tc.min(shape.c - ct);
-            let tf_block_len = shape.r * shape.s * tcb * sched.vk;
-            let mut kt = k_lo;
-            while kt < k_hi {
-                let tkb = sched.tk.min(k_hi - kt);
-                let kv_blocks = tkb.div_ceil(sched.vk);
-                transform_filter_nhwc_block(filter, kt, tkb, ct, tcb, sched.vk, tfbuf);
-                for row in rows.clone() {
-                    let n = row / p;
-                    let oh = row % p;
-                    let image = &in_data[n * image_len..(n + 1) * image_len];
-                    let ih0 = (oh * shape.stride) as isize - shape.pad.h as isize;
-                    let mut wv = 0;
-                    while wv < q {
-                        let valid_w = sched.vw.min(q - wv);
-                        let win = (valid_w - 1) * shape.stride + shape.s;
-                        let iw0 = (wv * shape.stride) as isize - shape.pad.w as isize;
-                        pack_strip_nhwc(image, shape, ct, tcb, ih0, iw0, win, buf);
-                        for kv in 0..kv_blocks {
-                            let k0 = kt + kv * sched.vk;
-                            let valid_k = sched.vk.min(k_hi - k0);
-                            run_nhwc_tile(
-                                buf,
-                                &tfbuf[kv * tf_block_len..(kv + 1) * tf_block_len],
-                                shape,
-                                tcb,
-                                win,
-                                out_all,
-                                ((n * p + oh) * q + wv) * kdim + k0,
-                                kdim,
-                                valid_w,
-                                sched.vk,
-                                valid_k,
-                            );
-                        }
-                        wv += sched.vw;
-                    }
-                }
-                kt += sched.tk;
-            }
-            ct += sched.tc;
-        }
-    })?;
+    // Thin wrapper since the plan layer exists: build a throwaway plan
+    // borrowing the filter (on-the-fly transform, zero-copy) and execute
+    // it once. Repeated callers build a [`crate::ConvPlan`] themselves.
+    let plan = crate::plan::ConvPlan::try_borrowed_nhwc(shape, filter, schedule)?;
+    plan.execute(pool, input, &mut out)?;
     Ok(out)
 }
 

@@ -1,0 +1,988 @@
+//! The plan/executor layer: amortize setup across repeated executions.
+//!
+//! Every `conv_ndirect*` entry point pays three per-call costs that are
+//! invariant for a fixed `(shape, schedule, filter)` triple: schedule
+//! sanitization + validation, the filter layout transform (when
+//! [`FilterState::PreTransformed`]), and the per-thread scratch
+//! allocation (packing strip + filter-transform block). Inference
+//! frameworks call the *same* layer thousands of times, so — like cuDNN's
+//! `ConvolutionDescriptor`/plan split — this module hoists all of it into
+//! a build-once [`ConvPlan`]:
+//!
+//! * **build** ([`ConvPlan::try_new`] and friends) validates, sanitizes,
+//!   packs the filter once, and pre-allocates one scratch *set* (one
+//!   buffer pair per grid thread), degrading to the minimal-tile schedule
+//!   exactly like the one-shot drivers when the requested tiles cannot be
+//!   allocated;
+//! * **execute** ([`ConvPlan::execute`]) is the hot path: O(1) layout and
+//!   dimension checks (kept in release builds because the kernels write
+//!   through [`SharedSlice`]'s unchecked accessors), a lock-free-in-spirit
+//!   scratch lease (a `Mutex`-guarded pop from a pre-sized pool), and the
+//!   same loop nest the one-shot drivers run — no heap allocation, no
+//!   re-validation, bitwise-identical results.
+//!
+//! Plans are `Send + Sync`: one plan can be shared across threads, each
+//! executing on its own input/output pair. Concurrent executes beyond the
+//! number of reserved scratch sets fall back to allocating a set on the
+//! spot (correct, just not allocation-free); call
+//! [`ConvPlan::reserve_scratch`] to size the pool for the expected
+//! concurrency.
+//!
+//! The one-shot entry points ([`crate::try_conv_ndirect_into`],
+//! [`crate::nhwc::try_conv_ndirect_nhwc_with`],
+//! [`crate::try_conv_depthwise`]) are now thin wrappers that build a
+//! throwaway borrowing plan and execute it once, so there is a single
+//! implementation of each loop nest.
+
+use std::sync::Mutex;
+
+use ndirect_platform::Platform;
+use ndirect_tensor::{ActLayout, AlignedBuf, ConvShape, Filter, FilterLayout, Tensor4};
+use ndirect_threads::{split_static, SharedSlice, StaticPool};
+
+use crate::conv::{compute_strip, try_alloc_scratch, Scratch, StripCtx};
+use crate::error::{check, Error};
+use crate::filter::{transform_filter_block, TransformedFilter};
+use crate::nhwc::{
+    pack_strip_nhwc, run_nhwc_tile, transform_filter_nhwc_block, TransformedFilterNhwc,
+};
+use crate::pack::StripGeom;
+use crate::schedule::{FilterState, Schedule};
+
+/// How many idle scratch sets a plan keeps for reuse. Leases beyond this
+/// (that many *concurrent* executes of one plan) allocate on the spot and
+/// the surplus set is dropped on release.
+const CACHED_SETS_MAX: usize = 8;
+
+/// A filter the plan either borrows (the one-shot wrappers, zero-copy) or
+/// owns (plans that outlive the caller's borrow).
+enum FilterRef<'f> {
+    Borrowed(&'f Filter),
+    Owned(Filter),
+}
+
+impl FilterRef<'_> {
+    fn get(&self) -> &Filter {
+        match self {
+            FilterRef::Borrowed(f) => f,
+            FilterRef::Owned(f) => f,
+        }
+    }
+}
+
+/// The plan's filter state: raw (transformed on the fly per cache block,
+/// the paper's default) or packed once at build time.
+enum PlanFilter<'f> {
+    Raw(FilterRef<'f>),
+    Packed(TransformedFilter),
+    PackedNhwc(TransformedFilterNhwc),
+}
+
+/// Which driver the plan executes.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum PlanLayout {
+    Nchw,
+    Nhwc,
+}
+
+/// A small pool of pre-allocated per-thread scratch sets. `take`/`put`
+/// never allocate: the backing `Vec` is created with
+/// [`CACHED_SETS_MAX`] capacity and `put` drops surplus sets instead of
+/// growing it.
+struct Arena<S> {
+    sets: Mutex<Vec<S>>,
+}
+
+impl<S> Arena<S> {
+    fn new(first: S) -> Self {
+        let mut v = Vec::with_capacity(CACHED_SETS_MAX);
+        v.push(first);
+        Arena {
+            sets: Mutex::new(v),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<S>> {
+        self.sets
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    fn take(&self) -> Option<S> {
+        self.lock().pop()
+    }
+
+    fn put(&self, s: S) {
+        let mut g = self.lock();
+        if g.len() < CACHED_SETS_MAX {
+            g.push(s);
+        }
+    }
+
+    fn idle(&self) -> usize {
+        self.lock().len()
+    }
+}
+
+type NdirectSet = Vec<Mutex<Scratch>>;
+
+/// A pre-built nDirect convolution: sanitized [`Schedule`], transformed
+/// filter, and reusable per-thread scratch, ready to [`execute`] against
+/// any number of input/output pairs of the planned [`ConvShape`].
+///
+/// See the [module docs](crate::plan) for the build/execute contract.
+///
+/// [`execute`]: ConvPlan::execute
+pub struct ConvPlan<'f> {
+    shape: ConvShape,
+    sched: Schedule,
+    degraded: bool,
+    layout: PlanLayout,
+    filter: PlanFilter<'f>,
+    arena: Arena<NdirectSet>,
+}
+
+impl<'f> ConvPlan<'f> {
+    /// Builds an `NCHW`/`KCRS` plan with the model-derived schedule for
+    /// `platform` and `threads` threads, forcing
+    /// [`FilterState::PreTransformed`] so the filter is packed exactly
+    /// once (the point of planning). The filter is copied into the plan,
+    /// so the plan is `'static` and can outlive the caller's borrow.
+    pub fn try_new(
+        platform: &Platform,
+        shape: &ConvShape,
+        filter: &Filter,
+        threads: usize,
+    ) -> Result<ConvPlan<'static>, Error> {
+        validate_filter_nchw(shape, filter)?;
+        let sched = Schedule::derive(platform, shape, threads)
+            .with_filter_state(FilterState::PreTransformed);
+        ConvPlan::build(shape, &sched, PlanLayout::Nchw, |s| {
+            packed_nchw(filter, s)
+        })
+    }
+
+    /// Builds an `NCHW`/`KCRS` plan with an explicit schedule. The
+    /// schedule's [`FilterState`] is honored: `PreTransformed` packs the
+    /// filter at build time, `OnTheFly` copies the raw filter and
+    /// transforms per cache block during execution (the ablation pairing).
+    pub fn try_with_schedule(
+        shape: &ConvShape,
+        filter: &Filter,
+        schedule: &Schedule,
+    ) -> Result<ConvPlan<'static>, Error> {
+        validate_filter_nchw(shape, filter)?;
+        ConvPlan::build(shape, schedule, PlanLayout::Nchw, |s| match s.filter_state {
+            FilterState::PreTransformed => packed_nchw(filter, s),
+            FilterState::OnTheFly => Ok(PlanFilter::Raw(FilterRef::Owned(filter.clone()))),
+        })
+    }
+
+    /// Builds a native-`NHWC`/`KRSC` plan with the model-derived schedule,
+    /// forcing [`FilterState::PreTransformed`].
+    pub fn try_new_nhwc(
+        platform: &Platform,
+        shape: &ConvShape,
+        filter: &Filter,
+        threads: usize,
+    ) -> Result<ConvPlan<'static>, Error> {
+        validate_filter_nhwc(shape, filter)?;
+        let sched = Schedule::derive(platform, shape, threads)
+            .with_filter_state(FilterState::PreTransformed);
+        ConvPlan::build(shape, &sched, PlanLayout::Nhwc, |s| {
+            packed_nhwc(filter, s)
+        })
+    }
+
+    /// Builds a native-`NHWC`/`KRSC` plan with an explicit schedule.
+    pub fn try_with_schedule_nhwc(
+        shape: &ConvShape,
+        filter: &Filter,
+        schedule: &Schedule,
+    ) -> Result<ConvPlan<'static>, Error> {
+        validate_filter_nhwc(shape, filter)?;
+        ConvPlan::build(shape, schedule, PlanLayout::Nhwc, |s| match s.filter_state {
+            FilterState::PreTransformed => packed_nhwc(filter, s),
+            FilterState::OnTheFly => Ok(PlanFilter::Raw(FilterRef::Owned(filter.clone()))),
+        })
+    }
+
+    /// The throwaway plan behind [`crate::try_conv_ndirect_into`]: borrows
+    /// the filter (zero-copy for on-the-fly schedules, exactly the
+    /// one-shot driver's cost model) and skips validation — the wrapper
+    /// already ran the boundary checks in the legacy order.
+    pub(crate) fn try_borrowed(
+        shape: &ConvShape,
+        filter: &'f Filter,
+        schedule: &Schedule,
+    ) -> Result<ConvPlan<'f>, Error> {
+        ConvPlan::build(shape, schedule, PlanLayout::Nchw, |s| match s.filter_state {
+            FilterState::PreTransformed => packed_nchw(filter, s),
+            FilterState::OnTheFly => Ok(PlanFilter::Raw(FilterRef::Borrowed(filter))),
+        })
+    }
+
+    /// The throwaway plan behind
+    /// [`crate::nhwc::try_conv_ndirect_nhwc_with`]. Skips validation (the
+    /// wrapper ran it; note the NHWC entry's legacy checks do not include
+    /// an ISA probe, and this preserves that).
+    pub(crate) fn try_borrowed_nhwc(
+        shape: &ConvShape,
+        filter: &'f Filter,
+        schedule: &Schedule,
+    ) -> Result<ConvPlan<'f>, Error> {
+        ConvPlan::build(shape, schedule, PlanLayout::Nhwc, |s| match s.filter_state {
+            FilterState::PreTransformed => packed_nhwc(filter, s),
+            FilterState::OnTheFly => Ok(PlanFilter::Raw(FilterRef::Borrowed(filter))),
+        })
+    }
+
+    /// Shared build path: sanitize, allocate the first scratch set with
+    /// the same graceful degradation as the one-shot drivers (fall back to
+    /// the minimal-tile schedule on the same grid; [`Error::ScratchAlloc`]
+    /// only if even that fails), then pack the filter for the *final*
+    /// schedule.
+    fn build(
+        shape: &ConvShape,
+        schedule: &Schedule,
+        layout: PlanLayout,
+        make_filter: impl FnOnce(&Schedule) -> Result<PlanFilter<'f>, Error>,
+    ) -> Result<ConvPlan<'f>, Error> {
+        let mut sched = schedule.sanitized(shape);
+        let mut degraded = false;
+        let first = match try_alloc_scratch(&sched, shape, sched.grid.threads()) {
+            Ok(s) => s,
+            Err(_) => {
+                let mut fallback = Schedule::minimal(shape)
+                    .with_grid(sched.grid)
+                    .with_packing(sched.packing)
+                    .with_filter_state(sched.filter_state)
+                    .sanitized(shape);
+                fallback.vw = fallback.vw.min(sched.vw);
+                fallback.prefetch = sched.prefetch;
+                match try_alloc_scratch(&fallback, shape, fallback.grid.threads()) {
+                    Ok(s) => {
+                        sched = fallback;
+                        degraded = true;
+                        s
+                    }
+                    Err(elements) => return Err(Error::ScratchAlloc { elements }),
+                }
+            }
+        };
+        // Pack for the schedule that will actually run (vk/tc may have
+        // changed under degradation).
+        let filter = make_filter(&sched)?;
+        Ok(ConvPlan {
+            shape: *shape,
+            sched,
+            degraded,
+            layout,
+            filter,
+            arena: Arena::new(first),
+        })
+    }
+
+    /// The schedule the plan executes (sanitized; the minimal-tile
+    /// fallback if the build [`degraded`](ConvPlan::degraded)).
+    pub fn schedule(&self) -> &Schedule {
+        &self.sched
+    }
+
+    /// The convolution shape the plan was built for.
+    pub fn shape(&self) -> &ConvShape {
+        &self.shape
+    }
+
+    /// Whether scratch allocation fell back to the minimal-tile schedule
+    /// at build time.
+    pub fn degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// Ensures at least `n` idle scratch sets are pooled (capped at the
+    /// plan's internal maximum), so that up to `n` *concurrent*
+    /// [`execute`](ConvPlan::execute) calls run allocation-free.
+    pub fn reserve_scratch(&self, n: usize) -> Result<(), Error> {
+        while self.arena.idle() < n.min(CACHED_SETS_MAX) {
+            let set = try_alloc_scratch(&self.sched, &self.shape, self.sched.grid.threads())
+                .map_err(|elements| Error::ScratchAlloc { elements })?;
+            self.arena.put(set);
+        }
+        Ok(())
+    }
+
+    /// Runs the planned convolution, accumulating into `out` (pass a
+    /// zeroed output, or one pre-seeded with a bias/shortcut to fuse the
+    /// addition).
+    ///
+    /// The hot path: O(1) layout/dimension/grid checks — kept in release
+    /// builds because the kernels write through unchecked accessors — a
+    /// scratch-set lease from the plan's pool, and the driver loop nest.
+    /// No heap allocation, no filter work beyond the schedule's own
+    /// on-the-fly blocks, results bitwise identical to the one-shot entry
+    /// points.
+    pub fn execute(
+        &self,
+        pool: &StaticPool,
+        input: &Tensor4,
+        out: &mut Tensor4,
+    ) -> Result<(), Error> {
+        let shape = &self.shape;
+        let (p, q) = (shape.p(), shape.q());
+        let (in_layout, out_layout, in_ctx, out_ctx) = match self.layout {
+            PlanLayout::Nchw => (
+                ActLayout::Nchw,
+                ActLayout::Nchw,
+                "plan executes NCHW input",
+                "plan writes NCHW",
+            ),
+            PlanLayout::Nhwc => (
+                ActLayout::Nhwc,
+                ActLayout::Nhwc,
+                "plan executes NHWC input",
+                "plan writes NHWC",
+            ),
+        };
+        check::act_layout(input, in_layout, in_ctx)?;
+        check::dims(
+            "input dims",
+            (shape.n, shape.c, shape.h, shape.w),
+            input.dims(),
+        )?;
+        check::dims("output dims", (shape.n, shape.k, p, q), out.dims())?;
+        check::act_layout(out, out_layout, out_ctx)?;
+        if self.sched.grid.threads() > pool.size() {
+            return Err(Error::GridExceedsPool {
+                needed: self.sched.grid.threads(),
+                available: pool.size(),
+            });
+        }
+
+        let set = match self.arena.take() {
+            Some(s) => s,
+            // Cold path: more concurrent executes than reserved sets.
+            None => try_alloc_scratch(&self.sched, shape, self.sched.grid.threads())
+                .map_err(|elements| Error::ScratchAlloc { elements })?,
+        };
+        let result = match self.layout {
+            PlanLayout::Nchw => self.run_nchw(pool, input, out, &set),
+            PlanLayout::Nhwc => self.run_nhwc(pool, input, out, &set),
+        };
+        self.arena.put(set);
+        result.map_err(Error::from)
+    }
+
+    /// Algorithm 2's loop nest (see [`crate::conv`] for the loop-by-loop
+    /// commentary) against pre-leased scratch.
+    fn run_nchw(
+        &self,
+        pool: &StaticPool,
+        input: &Tensor4,
+        out: &mut Tensor4,
+        scratch: &NdirectSet,
+    ) -> Result<(), ndirect_threads::PoolError> {
+        let shape = &self.shape;
+        let sched = &self.sched;
+        let (pre_tf, raw_filter) = match &self.filter {
+            PlanFilter::Packed(tf) => (Some(tf), None),
+            PlanFilter::Raw(f) => (None, Some(f.get())),
+            // The constructors pair PlanLayout::Nchw only with the two
+            // arms above.
+            PlanFilter::PackedNhwc(_) => unreachable!("NHWC filter in an NCHW plan"),
+        };
+        let (p, q) = (shape.p(), shape.q());
+        let grid = sched.grid;
+        let kv_total = shape.k.div_ceil(sched.vk);
+        let out_shared = SharedSlice::new(out.as_mut_slice());
+        let in_data = input.as_slice();
+        let image_len = shape.c * shape.h * shape.w;
+
+        pool.try_run(|tid| {
+            if tid >= grid.threads() {
+                return;
+            }
+            let (tn, tk) = grid.coords(tid);
+
+            // This thread's K range, at Vk granularity.
+            let kvr = split_static(kv_total, grid.ptk(), tk);
+            let k_lo = kvr.start * sched.vk;
+            let k_hi = (kvr.end * sched.vk).min(shape.k);
+            if k_lo >= k_hi {
+                return;
+            }
+            // This thread's slice of the flat N·P output-row space.
+            let rows = split_static(shape.n * p, grid.ptn(), tn);
+            if rows.is_empty() {
+                return;
+            }
+
+            // Disjointness for the SharedSlice writes below: K ranges are
+            // disjoint across `tk` and (n, oh) row ranges across `tn`, so
+            // each output element has exactly one writer; the pool barrier
+            // orders all writes before `run` returns.
+            let out_all = &out_shared;
+
+            // Per-thread scratch, leased by `execute`; the lock is
+            // uncontended (one thread per slot, taken once per region).
+            let mut guard = scratch[tid]
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            let Scratch {
+                ref mut bbuf,
+                ref mut tfbuf,
+            } = *guard;
+
+            let n_first = rows.start / p;
+            let n_last = (rows.end - 1) / p;
+            for n in n_first..=n_last {
+                let oh_lo = rows.start.saturating_sub(n * p).min(p);
+                let oh_hi = (rows.end - n * p).min(p);
+                let image = &in_data[n * image_len..(n + 1) * image_len];
+                let mut ht = oh_lo;
+                while ht < oh_hi {
+                    let ht_end = (ht + sched.th).min(oh_hi);
+                    let mut ct = 0;
+                    while ct < shape.c {
+                        let tcb = sched.tc.min(shape.c - ct);
+                        let mut kt = k_lo;
+                        while kt < k_hi {
+                            let tkb = sched.tk.min(k_hi - kt);
+                            let kv_blocks = tkb.div_ceil(sched.vk);
+                            // Per-kv block length in the transform buffer
+                            // uses the *live* channel count of this tile.
+                            let tf_block_len = tcb * shape.r * shape.s * sched.vk;
+                            if let Some(f) = raw_filter {
+                                transform_filter_block(f, kt, tkb, ct, tcb, sched.vk, tfbuf);
+                            }
+                            for oh in ht..ht_end {
+                                let mut wv = 0;
+                                while wv < q {
+                                    let valid_w = sched.vw.min(q - wv);
+                                    let geom = StripGeom::new(shape, oh, wv, valid_w);
+                                    compute_strip(
+                                        StripCtx {
+                                            image,
+                                            shape,
+                                            sched,
+                                            pre_tf,
+                                            tfbuf: &*tfbuf,
+                                            tf_block_len,
+                                            n,
+                                            ct,
+                                            tcb,
+                                            kt,
+                                            kv_blocks,
+                                            k_hi,
+                                            oh,
+                                            wv,
+                                            valid_w,
+                                            geom,
+                                            p,
+                                            q,
+                                        },
+                                        bbuf,
+                                        out_all,
+                                    );
+                                    wv += sched.vw;
+                                }
+                            }
+                            kt += sched.tk;
+                        }
+                        ct += sched.tc;
+                    }
+                    ht = ht_end;
+                }
+            }
+        })
+    }
+
+    /// The native-NHWC loop nest (see [`crate::nhwc`]) against pre-leased
+    /// scratch.
+    fn run_nhwc(
+        &self,
+        pool: &StaticPool,
+        input: &Tensor4,
+        out: &mut Tensor4,
+        scratch: &NdirectSet,
+    ) -> Result<(), ndirect_threads::PoolError> {
+        let shape = &self.shape;
+        let sched = &self.sched;
+        let (pre_tf, raw_filter) = match &self.filter {
+            PlanFilter::PackedNhwc(tf) => (Some(tf), None),
+            PlanFilter::Raw(f) => (None, Some(f.get())),
+            // The constructors pair PlanLayout::Nhwc only with the two
+            // arms above.
+            PlanFilter::Packed(_) => unreachable!("NCHW filter in an NHWC plan"),
+        };
+        let (p, q) = (shape.p(), shape.q());
+        let grid = sched.grid;
+        let kv_total = shape.k.div_ceil(sched.vk);
+        let in_data = input.as_slice();
+        let image_len = shape.h * shape.w * shape.c;
+        let kdim = shape.k;
+
+        let out_shared = SharedSlice::new(out.as_mut_slice());
+        pool.try_run(|tid| {
+            if tid >= grid.threads() {
+                return;
+            }
+            let (tn, tk) = grid.coords(tid);
+            let kvr = split_static(kv_total, grid.ptk(), tk);
+            let k_lo = kvr.start * sched.vk;
+            let k_hi = (kvr.end * sched.vk).min(shape.k);
+            if k_lo >= k_hi {
+                return;
+            }
+            let rows = split_static(shape.n * p, grid.ptn(), tn);
+            if rows.is_empty() {
+                return;
+            }
+            // Disjointness: (K-range × row-range) output regions are
+            // unique per thread; the pool barrier orders writes. NHWC
+            // writes are K-segments of pixels within the thread's own
+            // rows.
+            let out_all = &out_shared;
+
+            let mut guard = scratch[tid]
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            let Scratch {
+                bbuf: ref mut buf,
+                ref mut tfbuf,
+            } = *guard;
+
+            // Loop order mirrors Algorithm 2: cache tiles outermost so
+            // each filter-block transform amortizes over every row and
+            // strip the thread owns.
+            let mut ct = 0;
+            while ct < shape.c {
+                let tcb = sched.tc.min(shape.c - ct);
+                let tf_block_len = shape.r * shape.s * tcb * sched.vk;
+                let mut kt = k_lo;
+                while kt < k_hi {
+                    let tkb = sched.tk.min(k_hi - kt);
+                    let kv_blocks = tkb.div_ceil(sched.vk);
+                    if let Some(f) = raw_filter {
+                        transform_filter_nhwc_block(f, kt, tkb, ct, tcb, sched.vk, tfbuf);
+                    }
+                    for row in rows.clone() {
+                        let n = row / p;
+                        let oh = row % p;
+                        let image = &in_data[n * image_len..(n + 1) * image_len];
+                        let ih0 = (oh * shape.stride) as isize - shape.pad.h as isize;
+                        let mut wv = 0;
+                        while wv < q {
+                            let valid_w = sched.vw.min(q - wv);
+                            let win = (valid_w - 1) * shape.stride + shape.s;
+                            let iw0 = (wv * shape.stride) as isize - shape.pad.w as isize;
+                            pack_strip_nhwc(image, shape, ct, tcb, ih0, iw0, win, buf);
+                            for kv in 0..kv_blocks {
+                                let k0 = kt + kv * sched.vk;
+                                let valid_k = sched.vk.min(k_hi - k0);
+                                // Pre-transformed blocks are indexed by the
+                                // *global* kv group; K-tail lanes coincide
+                                // with the per-thread transform because
+                                // thread K ranges split at Vk granularity.
+                                let tf: &[f32] = match pre_tf {
+                                    Some(full) => full.block(ct, tcb, k0 / sched.vk),
+                                    None => &tfbuf[kv * tf_block_len..(kv + 1) * tf_block_len],
+                                };
+                                run_nhwc_tile(
+                                    buf,
+                                    tf,
+                                    shape,
+                                    tcb,
+                                    win,
+                                    out_all,
+                                    ((n * p + oh) * q + wv) * kdim + k0,
+                                    kdim,
+                                    valid_w,
+                                    sched.vk,
+                                    valid_k,
+                                );
+                            }
+                            wv += sched.vw;
+                        }
+                    }
+                    kt += sched.tk;
+                }
+                ct += sched.tc;
+            }
+        })
+    }
+}
+
+/// NCHW-plan build-time filter checks (the input is checked at execute).
+fn validate_filter_nchw(shape: &ConvShape, filter: &Filter) -> Result<(), Error> {
+    check::isa()?;
+    shape.validate()?;
+    check::filter_layout(filter, FilterLayout::Kcrs, "NCHW plan takes KCRS")?;
+    check::dims(
+        "filter dims",
+        (shape.k, shape.c, shape.r, shape.s),
+        filter.dims(),
+    )
+}
+
+/// NHWC-plan build-time filter checks.
+fn validate_filter_nhwc(shape: &ConvShape, filter: &Filter) -> Result<(), Error> {
+    check::isa()?;
+    shape.validate()?;
+    check::filter_layout(filter, FilterLayout::Krsc, "NHWC plan takes KRSC")?;
+    check::dims(
+        "filter dims",
+        (shape.k, shape.c, shape.r, shape.s),
+        filter.dims(),
+    )
+}
+
+fn packed_nchw<'f>(filter: &Filter, sched: &Schedule) -> Result<PlanFilter<'f>, Error> {
+    TransformedFilter::try_new(filter, sched.vk)
+        .map(PlanFilter::Packed)
+        .map_err(|elements| Error::ScratchAlloc { elements })
+}
+
+fn packed_nhwc<'f>(filter: &Filter, sched: &Schedule) -> Result<PlanFilter<'f>, Error> {
+    TransformedFilterNhwc::try_new(filter, sched.vk, sched.tc)
+        .map(PlanFilter::PackedNhwc)
+        .map_err(|elements| Error::ScratchAlloc { elements })
+}
+
+/// A pre-built depthwise convolution (`K == C`, channel multiplier 1):
+/// owns the per-thread gather buffers so repeated
+/// [`execute`](DepthwisePlan::execute) calls are allocation-free.
+///
+/// Unlike [`ConvPlan`] there is no filter transform (depthwise reads taps
+/// directly) and no thread grid — work is `(n, channel-group)` items split
+/// over a fixed thread count chosen at build; every item writes its own
+/// output planes, so results are bitwise identical for any thread count.
+pub struct DepthwisePlan<'f> {
+    shape: ConvShape,
+    filter: FilterRef<'f>,
+    threads: usize,
+    arena: Arena<Vec<Mutex<AlignedBuf>>>,
+}
+
+/// The depthwise register-tile width (pixels per strip); matches the
+/// one-shot driver.
+const DW_VW: usize = 8;
+
+impl<'f> DepthwisePlan<'f> {
+    /// Builds a depthwise plan for `threads` worker threads, copying the
+    /// `(C, 1, R, S)` filter so the plan is `'static`.
+    pub fn try_new(
+        shape: &ConvShape,
+        filter: &Filter,
+        threads: usize,
+    ) -> Result<DepthwisePlan<'static>, Error> {
+        shape.validate()?;
+        if shape.k != shape.c {
+            return Err(Error::NotDepthwise {
+                k: shape.k,
+                c: shape.c,
+            });
+        }
+        check::dims(
+            "filter dims",
+            (shape.c, 1, shape.r, shape.s),
+            filter.dims(),
+        )?;
+        check::filter_layout(filter, FilterLayout::Kcrs, "depthwise takes KCRS")?;
+        DepthwisePlan::build(shape, FilterRef::Owned(filter.clone()), threads)
+    }
+
+    /// The throwaway plan behind [`crate::try_conv_depthwise`]: borrows
+    /// the filter, skips validation (the wrapper ran it).
+    pub(crate) fn borrowed(
+        shape: &ConvShape,
+        filter: &'f Filter,
+        threads: usize,
+    ) -> Result<DepthwisePlan<'f>, Error> {
+        DepthwisePlan::build(shape, FilterRef::Borrowed(filter), threads)
+    }
+
+    fn build(
+        shape: &ConvShape,
+        filter: FilterRef<'f>,
+        threads: usize,
+    ) -> Result<DepthwisePlan<'f>, Error> {
+        let threads = threads.max(1);
+        let first = Self::alloc_set(shape, threads)?;
+        Ok(DepthwisePlan {
+            shape: *shape,
+            filter,
+            threads,
+            arena: Arena::new(first),
+        })
+    }
+
+    fn alloc_set(shape: &ConvShape, threads: usize) -> Result<Vec<Mutex<AlignedBuf>>, Error> {
+        let len = (DW_VW - 1)
+            .checked_mul(shape.stride)
+            .and_then(|x| x.checked_add(shape.s))
+            .and_then(|win_max| shape.r.checked_mul(win_max))
+            .and_then(|x| x.checked_mul(4))
+            .ok_or(Error::ScratchAlloc {
+                elements: usize::MAX,
+            })?;
+        (0..threads)
+            .map(|_| {
+                AlignedBuf::try_zeroed(len)
+                    .map(Mutex::new)
+                    .map_err(|elements| Error::ScratchAlloc { elements })
+            })
+            .collect()
+    }
+
+    /// The shape the plan was built for.
+    pub fn shape(&self) -> &ConvShape {
+        &self.shape
+    }
+
+    /// The worker-thread count the plan splits work over.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs the planned depthwise convolution, writing (not accumulating)
+    /// `out`. The pool must provide at least the plan's thread count.
+    pub fn execute(
+        &self,
+        pool: &StaticPool,
+        input: &Tensor4,
+        out: &mut Tensor4,
+    ) -> Result<(), Error> {
+        let shape = &self.shape;
+        let (p, q) = (shape.p(), shape.q());
+        check::act_layout(input, ActLayout::Nchw, "depthwise takes NCHW")?;
+        check::dims(
+            "input dims",
+            (shape.n, shape.c, shape.h, shape.w),
+            input.dims(),
+        )?;
+        check::dims("output dims", (shape.n, shape.c, p, q), out.dims())?;
+        check::act_layout(out, ActLayout::Nchw, "depthwise writes NCHW")?;
+        if self.threads > pool.size() {
+            return Err(Error::GridExceedsPool {
+                needed: self.threads,
+                available: pool.size(),
+            });
+        }
+
+        let set = match self.arena.take() {
+            Some(s) => s,
+            None => Self::alloc_set(shape, self.threads)?,
+        };
+        let filter = self.filter.get();
+        let cgroups = shape.c.div_ceil(4);
+        let work = shape.n * cgroups;
+        let threads = self.threads;
+        let in_data = input.as_slice();
+        let image_len = shape.c * shape.h * shape.w;
+
+        let out_shared = SharedSlice::new(out.as_mut_slice());
+        let result = pool.try_run(|tid| {
+            if tid >= threads {
+                return;
+            }
+            // Disjointness: each (n, cgroup) item owns its own 4 output
+            // planes; the pool barrier orders writes before `run` returns.
+            let out_all = &out_shared;
+            let mut rows = set[tid]
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            for item in split_static(work, threads, tid) {
+                let n = item / cgroups;
+                let c0 = (item % cgroups) * 4;
+                let lanes = 4.min(shape.c - c0);
+                let image = &in_data[n * image_len..(n + 1) * image_len];
+                crate::depthwise::depthwise_plane(
+                    image, filter, shape, n, c0, lanes, DW_VW, &mut rows, out_all, p, q,
+                );
+            }
+        });
+        self.arena.put(set);
+        result.map_err(Error::from)
+    }
+}
+
+// Plans are shared across threads by design (one plan, many executes).
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<ConvPlan<'static>>();
+    assert_send_sync::<DepthwisePlan<'static>>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conv::conv_ndirect_with;
+    use crate::schedule::PackingMode;
+    use ndirect_tensor::{fill, Padding};
+    use ndirect_threads::Grid2;
+
+    fn problem(shape: &ConvShape, layout: ActLayout, seed: u64) -> (Tensor4, Filter) {
+        let flayout = match layout {
+            ActLayout::Nchw => FilterLayout::Kcrs,
+            ActLayout::Nhwc => FilterLayout::Krsc,
+        };
+        (
+            fill::random_tensor(Tensor4::input_for(shape, layout), seed),
+            fill::random_filter(Filter::for_shape(shape, flayout), seed),
+        )
+    }
+
+    #[test]
+    fn repeated_executes_match_one_shot_nchw() {
+        let shape = ConvShape::new(2, 5, 9, 11, 13, 3, 3, 1, Padding::same(1));
+        let (input, filter) = problem(&shape, ActLayout::Nchw, 41);
+        let pool = StaticPool::new(2);
+        let sched = Schedule::minimal(&shape).with_grid(Grid2::new(2, 1));
+        let oneshot = conv_ndirect_with(&pool, &input, &filter, &shape, &sched);
+
+        let plan = ConvPlan::try_with_schedule(&shape, &filter, &sched).unwrap();
+        for _ in 0..3 {
+            let mut out = Tensor4::output_for(&shape, ActLayout::Nchw);
+            plan.execute(&pool, &input, &mut out).unwrap();
+            assert_eq!(out.as_slice(), oneshot.as_slice(), "plan reuse bitwise");
+        }
+    }
+
+    #[test]
+    fn packed_plan_matches_on_the_fly_plan_nchw() {
+        let shape = ConvShape::new(1, 6, 10, 8, 9, 3, 3, 2, Padding::same(1));
+        let (input, filter) = problem(&shape, ActLayout::Nchw, 43);
+        let pool = StaticPool::new(1);
+        let sched = Schedule::minimal(&shape);
+        let otf = ConvPlan::try_with_schedule(&shape, &filter, &sched).unwrap();
+        let packed = ConvPlan::try_with_schedule(
+            &shape,
+            &filter,
+            &sched.with_filter_state(FilterState::PreTransformed),
+        )
+        .unwrap();
+        let mut a = Tensor4::output_for(&shape, ActLayout::Nchw);
+        let mut b = Tensor4::output_for(&shape, ActLayout::Nchw);
+        otf.execute(&pool, &input, &mut a).unwrap();
+        packed.execute(&pool, &input, &mut b).unwrap();
+        assert_eq!(a.as_slice(), b.as_slice(), "filter states bitwise");
+    }
+
+    #[test]
+    fn packed_plan_matches_on_the_fly_plan_nhwc() {
+        // K=13 exercises the global-kv K-tail equivalence; tc < C the
+        // tiled NHWC pre-transform.
+        let shape = ConvShape::new(2, 6, 9, 13, 13, 3, 3, 2, Padding::same(1));
+        let (input, filter) = problem(&shape, ActLayout::Nhwc, 47);
+        let pool = StaticPool::new(2);
+        let mut sched = Schedule::minimal(&shape).with_grid(Grid2::new(1, 2));
+        sched.vk = 8;
+        sched.tk = 8;
+        sched.tc = 4;
+        let otf = ConvPlan::try_with_schedule_nhwc(&shape, &filter, &sched).unwrap();
+        let packed = ConvPlan::try_with_schedule_nhwc(
+            &shape,
+            &filter,
+            &sched.with_filter_state(FilterState::PreTransformed),
+        )
+        .unwrap();
+        let (p, q) = (shape.p(), shape.q());
+        let mut a = Tensor4::zeros(shape.n, shape.k, p, q, ActLayout::Nhwc);
+        let mut b = Tensor4::zeros(shape.n, shape.k, p, q, ActLayout::Nhwc);
+        otf.execute(&pool, &input, &mut a).unwrap();
+        packed.execute(&pool, &input, &mut b).unwrap();
+        assert_eq!(a.as_slice(), b.as_slice(), "nhwc filter states bitwise");
+    }
+
+    #[test]
+    fn derived_plan_runs_and_matches_reference() {
+        let shape = ConvShape::square(1, 8, 16, 12, 3, 1);
+        let (input, filter) = problem(&shape, ActLayout::Nchw, 51);
+        let pool = StaticPool::new(2);
+        let plan = ConvPlan::try_new(&ndirect_platform::host(), &shape, &filter, 2).unwrap();
+        let mut out = Tensor4::output_for(&shape, ActLayout::Nchw);
+        plan.execute(&pool, &input, &mut out).unwrap();
+        let expect = ndirect_baselines::naive::conv_ref(&input, &filter, &shape);
+        ndirect_tensor::assert_close(out.as_slice(), expect.as_slice(), 2e-4, "derived plan");
+    }
+
+    #[test]
+    fn execute_rejects_wrong_dims_and_small_pool() {
+        let shape = ConvShape::square(1, 4, 4, 6, 3, 1);
+        let (input, filter) = problem(&shape, ActLayout::Nchw, 53);
+        let sched = Schedule::minimal(&shape).with_grid(Grid2::new(2, 1));
+        let plan = ConvPlan::try_with_schedule(&shape, &filter, &sched).unwrap();
+        let mut out = Tensor4::output_for(&shape, ActLayout::Nchw);
+        // Pool smaller than the plan's grid.
+        let small = StaticPool::new(1);
+        assert!(matches!(
+            plan.execute(&small, &input, &mut out),
+            Err(Error::GridExceedsPool { .. })
+        ));
+        // Wrong input dims.
+        let pool = StaticPool::new(2);
+        let bad = Tensor4::zeros(1, 4, 9, 9, ActLayout::Nchw);
+        assert!(matches!(
+            plan.execute(&pool, &bad, &mut out),
+            Err(Error::DimMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn build_degrades_when_scratch_is_absurd() {
+        // A shape with an enormous channel count: the sanitized schedule's
+        // scratch request exceeds the address space, so the build falls
+        // back to minimal tiles (and reports it).
+        let shape = ConvShape::new(1, 1 << 48, 8, 8, 4, 3, 3, 1, Padding::NONE);
+        let mut sched = Schedule::minimal(&shape);
+        sched.tc = shape.c; // survives sanitize: tc is clamped to C
+        let filter = Filter::zeros(4, 1, 3, 3, FilterLayout::Kcrs);
+        let plan = ConvPlan::try_borrowed(&shape, &filter, &sched).unwrap();
+        assert!(plan.degraded());
+        assert!(plan.schedule().tc < shape.c);
+    }
+
+    #[test]
+    fn reserve_scratch_pools_sets() {
+        let shape = ConvShape::square(1, 4, 4, 6, 3, 1);
+        let (_, filter) = problem(&shape, ActLayout::Nchw, 57);
+        let plan =
+            ConvPlan::try_with_schedule(&shape, &filter, &Schedule::minimal(&shape)).unwrap();
+        plan.reserve_scratch(3).unwrap();
+        assert!(plan.arena.idle() >= 3);
+    }
+
+    #[test]
+    fn depthwise_plan_reuse_matches_one_shot() {
+        let shape = ConvShape::new(2, 6, 9, 9, 6, 3, 3, 1, Padding::same(1));
+        let input = fill::random_tensor(Tensor4::input_for(&shape, ActLayout::Nchw), 59);
+        let filter = fill::random_filter(
+            Filter::zeros(shape.c, 1, shape.r, shape.s, FilterLayout::Kcrs),
+            59,
+        );
+        let pool = StaticPool::new(2);
+        let oneshot = crate::depthwise::conv_depthwise(&pool, &input, &filter, &shape);
+        let plan = DepthwisePlan::try_new(&shape, &filter, 2).unwrap();
+        for _ in 0..2 {
+            let mut out =
+                Tensor4::zeros(shape.n, shape.c, shape.p(), shape.q(), ActLayout::Nchw);
+            plan.execute(&pool, &input, &mut out).unwrap();
+            assert_eq!(out.as_slice(), oneshot.as_slice(), "depthwise plan bitwise");
+        }
+    }
+
+    #[test]
+    fn prefetch_schedules_are_bitwise_identical() {
+        let shape = ConvShape::new(1, 5, 9, 11, 8, 3, 3, 1, Padding::same(1));
+        let (input, filter) = problem(&shape, ActLayout::Nchw, 61);
+        let pool = StaticPool::new(1);
+        let mut on = Schedule::minimal(&shape).with_packing(PackingMode::Fused);
+        on.prefetch = true;
+        let mut off = on.clone();
+        off.prefetch = false;
+        let a = conv_ndirect_with(&pool, &input, &filter, &shape, &on);
+        let b = conv_ndirect_with(&pool, &input, &filter, &shape, &off);
+        assert_eq!(a.as_slice(), b.as_slice(), "prefetch is a pure hint");
+    }
+}

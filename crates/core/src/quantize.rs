@@ -53,7 +53,7 @@ pub fn safe_max_code(reduction_len: usize) -> i16 {
 
 /// Quantized convolution: quantizes FP32 operands to i16 (per-tensor
 /// symmetric scales sized for overflow-free i32 accumulation), runs
-/// [`conv_int16`], and dequantizes back to an FP32 `NCHW` tensor.
+/// [`crate::conv_int16`], and dequantizes back to an FP32 `NCHW` tensor.
 ///
 /// Returns the output and the achieved quantization parameters, so callers
 /// can reason about the induced error (≈ `scale_x·scale_w` per MAC).

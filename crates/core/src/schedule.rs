@@ -54,6 +54,11 @@ pub struct Schedule {
     pub packing: PackingMode,
     /// Filter transform strategy.
     pub filter_state: FilterState,
+    /// Software-prefetch the *next* `(c, r)` input row while the fused
+    /// gather works on the current one. A pure latency hint: results are
+    /// bitwise identical either way, and the scalar backend compiles the
+    /// prefetch to a no-op, so the flag only changes timing.
+    pub prefetch: bool,
 }
 
 impl Schedule {
@@ -73,6 +78,7 @@ impl Schedule {
             grid,
             packing: PackingMode::Fused,
             filter_state: FilterState::OnTheFly,
+            prefetch: true,
         }
     }
 
@@ -88,6 +94,7 @@ impl Schedule {
             grid: Grid2::sequential(),
             packing: PackingMode::Fused,
             filter_state: FilterState::OnTheFly,
+            prefetch: false,
         }
     }
 
@@ -146,6 +153,7 @@ impl Schedule {
             ("grid".into(), self.grid.to_json()),
             ("packing".into(), Json::str(self.packing.as_str())),
             ("filter_state".into(), Json::str(self.filter_state.as_str())),
+            ("prefetch".into(), Json::Bool(self.prefetch)),
         ])
     }
 
@@ -164,6 +172,14 @@ impl Schedule {
                 .ok_or_else(|| field_err("unknown packing mode".into()))?,
             filter_state: FilterState::parse(v.str_field("filter_state")?)
                 .ok_or_else(|| field_err("unknown filter state".into()))?,
+            // Optional for back-compat: caches written before the field
+            // existed parse as prefetch-off.
+            prefetch: match v.get("prefetch") {
+                None => false,
+                Some(f) => f
+                    .as_bool()
+                    .ok_or_else(|| field_err("prefetch must be a bool".into()))?,
+            },
         };
         if s.vw == 0 || s.vk == 0 || s.tc == 0 || s.tk == 0 || s.th == 0 {
             return Err(field_err("schedule tiles must be >= 1".into()));
@@ -280,6 +296,29 @@ mod tests {
         let s = Schedule::derive(&phytium_2000p(), &shape, 8);
         let parsed = Schedule::from_json(&Json::parse(&s.to_json().pretty()).unwrap()).unwrap();
         assert_eq!(parsed, s);
+    }
+
+    #[test]
+    fn json_without_prefetch_field_defaults_off() {
+        // Autotune caches written before the flag existed must still parse.
+        let shape = ConvShape::square(1, 8, 8, 8, 3, 1);
+        let mut j = Schedule::minimal(&shape).to_json();
+        if let Json::Obj(fields) = &mut j {
+            fields.retain(|(k, _)| k != "prefetch");
+        }
+        let parsed = Schedule::from_json(&j).unwrap();
+        assert!(!parsed.prefetch);
+
+        // A present-but-mistyped field is a typed error, not a default.
+        let mut bad = Schedule::minimal(&shape).to_json();
+        if let Json::Obj(fields) = &mut bad {
+            for (k, v) in fields.iter_mut() {
+                if k == "prefetch" {
+                    *v = Json::str("yes");
+                }
+            }
+        }
+        assert!(Schedule::from_json(&bad).is_err());
     }
 
     #[test]

@@ -6,21 +6,75 @@
 //! "MXNet+NDIRECT" measures) and per-shape autotuned nDirect (the Ansor
 //! proxy, with the search cost paid offline exactly as the paper excludes
 //! Ansor's tuning time).
+//!
+//! Both backends are built on the plan layer: the first call for a layer
+//! builds a [`ConvPlan`] (schedule derivation, filter packing, scratch
+//! allocation, all paid once) and every later call is the allocation-free
+//! [`ConvPlan::execute`] hot path — the same amortization a framework
+//! integration would do, so the end-to-end figures measure steady-state
+//! inference rather than per-call setup.
 
 use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 use ndirect_baselines::Convolution;
-use ndirect_core::{conv_ndirect_into, Schedule};
+use ndirect_core::{ConvPlan, Schedule};
 use ndirect_platform::Platform;
 use ndirect_tensor::{ConvShape, Filter, Tensor4};
 use ndirect_threads::StaticPool;
-use std::sync::Mutex;
 
-/// nDirect with schedules derived from the analytic models at call time.
+/// Identity of a planned layer: the convolution shape plus the *identity*
+/// of the filter tensor (data pointer and length).
+///
+/// Keying on the filter's address encodes the frozen-weights contract of
+/// inference: a plan packs the filter at build time, so it is only valid
+/// for calls that pass the same filter buffer. A model that rebuilt or
+/// moved its weights gets a fresh plan (the stale one is evicted lazily by
+/// never being hit again); a model that *mutates* weights in place must
+/// not use a planning backend.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+struct PlanKey {
+    shape: ConvShape,
+    fptr: usize,
+    flen: usize,
+    threads: usize,
+}
+
+impl PlanKey {
+    fn new(shape: &ConvShape, filter: &Filter, threads: usize) -> Self {
+        let data = filter.as_slice();
+        Self {
+            shape: *shape,
+            fptr: data.as_ptr() as usize,
+            flen: data.len(),
+            threads,
+        }
+    }
+}
+
+type PlanCache = Mutex<HashMap<PlanKey, Arc<ConvPlan<'static>>>>;
+
+/// Looks up (or builds and caches) the plan for a layer. The lock is held
+/// only around the map access; execution runs on the shared `Arc`.
+fn plan_for(
+    cache: &PlanCache,
+    key: PlanKey,
+    build: impl FnOnce() -> Result<ConvPlan<'static>, ndirect_core::Error>,
+) -> Arc<ConvPlan<'static>> {
+    let mut map = cache.lock().unwrap_or_else(|p| p.into_inner());
+    if let Some(plan) = map.get(&key) {
+        return Arc::clone(plan);
+    }
+    let plan = Arc::new(build().unwrap_or_else(|e| panic!("{e}")));
+    map.insert(key, Arc::clone(&plan));
+    plan
+}
+
+/// nDirect with schedules derived from the analytic models, executed
+/// through per-layer [`ConvPlan`]s (derived + packed once, reused).
 pub struct NDirectBackend {
     platform: Platform,
-    /// Schedules are derived once per distinct shape and cached.
-    cache: Mutex<HashMap<ConvShape, Schedule>>,
+    cache: PlanCache,
 }
 
 impl NDirectBackend {
@@ -37,12 +91,23 @@ impl NDirectBackend {
         Self::new(ndirect_platform::host())
     }
 
-    fn schedule_for(&self, shape: &ConvShape, threads: usize) -> Schedule {
-        let mut cache = self.cache.lock().unwrap_or_else(|p| p.into_inner());
-        cache
-            .entry(*shape)
-            .or_insert_with(|| Schedule::derive(&self.platform, shape, threads))
-            .clone()
+    /// Eagerly builds (and caches) the plan for a layer, so the first
+    /// timed call doesn't pay schedule derivation + filter packing.
+    /// Returns the plan for callers that want to execute it directly.
+    pub fn prepare(
+        &self,
+        shape: &ConvShape,
+        filter: &Filter,
+        threads: usize,
+    ) -> Arc<ConvPlan<'static>> {
+        plan_for(&self.cache, PlanKey::new(shape, filter, threads), || {
+            ConvPlan::try_new(&self.platform, shape, filter, threads)
+        })
+    }
+
+    /// Number of distinct layers planned so far.
+    pub fn planned_layers(&self) -> usize {
+        self.cache.lock().unwrap_or_else(|p| p.into_inner()).len()
     }
 }
 
@@ -63,16 +128,20 @@ impl Convolution for NDirectBackend {
         shape: &ConvShape,
         output: &mut Tensor4,
     ) {
-        let schedule = self.schedule_for(shape, pool.size());
-        conv_ndirect_into(pool, input, filter, shape, &schedule, output);
+        let plan = self.prepare(shape, filter, pool.size());
+        plan.execute(pool, input, output)
+            .unwrap_or_else(|e| panic!("{e}"));
     }
 }
 
 /// nDirect with externally supplied (e.g. autotuned) per-shape schedules;
-/// shapes without an entry fall back to the analytic model.
+/// shapes without an entry fall back to the analytic model. Tuned layers
+/// are planned on first use too (the tuned schedule's own
+/// [`ndirect_core::FilterState`] is honored).
 pub struct TunedBackend {
     fallback: NDirectBackend,
     schedules: HashMap<ConvShape, Schedule>,
+    cache: PlanCache,
     name: &'static str,
 }
 
@@ -82,6 +151,7 @@ impl TunedBackend {
         Self {
             fallback: NDirectBackend::host(),
             schedules,
+            cache: Mutex::new(HashMap::new()),
             name,
         }
     }
@@ -110,7 +180,13 @@ impl Convolution for TunedBackend {
         output: &mut Tensor4,
     ) {
         match self.schedules.get(shape) {
-            Some(schedule) => conv_ndirect_into(pool, input, filter, shape, schedule, output),
+            Some(schedule) => {
+                let plan = plan_for(&self.cache, PlanKey::new(shape, filter, pool.size()), || {
+                    ConvPlan::try_with_schedule(shape, filter, schedule)
+                });
+                plan.execute(pool, input, output)
+                    .unwrap_or_else(|e| panic!("{e}"));
+            }
             None => self.fallback.conv(pool, input, filter, shape, output),
         }
     }
@@ -142,14 +218,35 @@ mod tests {
     }
 
     #[test]
-    fn schedule_cache_returns_consistent_entries() {
+    fn plan_cache_reuses_one_plan_per_layer() {
         let (shape, input, filter) = problem();
         let pool = StaticPool::new(1);
         let backend = NDirectBackend::host();
         let a = ndirect_baselines::run_backend(&backend, &pool, &input, &filter, &shape);
         let b = ndirect_baselines::run_backend(&backend, &pool, &input, &filter, &shape);
-        assert_eq!(a.as_slice(), b.as_slice());
-        assert_eq!(backend.cache.lock().unwrap().len(), 1);
+        assert_eq!(a.as_slice(), b.as_slice(), "replanning must not change bits");
+        assert_eq!(backend.planned_layers(), 1);
+
+        // A different filter buffer for the same shape is a different
+        // layer (the frozen-weights identity key).
+        let filter2 = fill::random_filter(Filter::for_shape(&shape, FilterLayout::Kcrs), 7);
+        let _ = ndirect_baselines::run_backend(&backend, &pool, &input, &filter2, &shape);
+        assert_eq!(backend.planned_layers(), 2);
+    }
+
+    #[test]
+    fn prepare_is_eager_and_conv_hits_the_cache() {
+        let (shape, input, filter) = problem();
+        let pool = StaticPool::new(1);
+        let backend = NDirectBackend::host();
+        let plan = backend.prepare(&shape, &filter, pool.size());
+        assert_eq!(backend.planned_layers(), 1);
+        let got = ndirect_baselines::run_backend(&backend, &pool, &input, &filter, &shape);
+        assert_eq!(backend.planned_layers(), 1, "conv reused the prepared plan");
+        // The prepared plan executes standalone too, bitwise identically.
+        let mut out = Tensor4::output_for(&shape, ActLayout::Nchw);
+        plan.execute(&pool, &input, &mut out).unwrap();
+        assert_eq!(out.as_slice(), got.as_slice());
     }
 
     #[test]

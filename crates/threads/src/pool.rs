@@ -41,6 +41,10 @@ pub struct StaticPool {
     /// Guards against nested `run` on the same pool, which would deadlock
     /// (workers are busy executing the outer region's job).
     in_region: AtomicBool,
+    /// The fork-join latch, allocated once and re-armed per region
+    /// (regions are serialized by `in_region`, see [`Latch::reset`]), so
+    /// steady-state region dispatch performs no heap allocation.
+    region_latch: Arc<Latch>,
 }
 
 impl std::fmt::Debug for StaticPool {
@@ -78,10 +82,12 @@ struct BoardState {
 }
 
 impl JobBoard {
-    fn new() -> Self {
+    /// `capacity` is the most jobs ever queued at once (`size − 1`);
+    /// pre-sizing the deque keeps region dispatch allocation-free.
+    fn new(capacity: usize) -> Self {
         Self {
             queue: Mutex::new(BoardState {
-                jobs: VecDeque::new(),
+                jobs: VecDeque::with_capacity(capacity),
                 closed: false,
             }),
             available: Condvar::new(),
@@ -146,6 +152,17 @@ impl Latch {
         }
     }
 
+    /// Re-arms a drained latch for the next region. Sound because `wait`
+    /// returns only after every `count_down` of the previous region has
+    /// run under the state mutex, and regions are serialized by the
+    /// pool's `in_region` flag — no thread can still be counting down.
+    fn reset(&self, count: usize) {
+        let mut st = lock_unpoisoned(&self.state);
+        debug_assert_eq!(st.remaining, 0, "latch reset while a region is live");
+        st.remaining = count;
+        st.panic = None;
+    }
+
     fn count_down(&self, panic: Option<Box<dyn Any + Send>>) {
         let mut st = lock_unpoisoned(&self.state);
         if st.panic.is_none() {
@@ -208,7 +225,7 @@ impl StaticPool {
         if size == 0 {
             return Err(PoolError::ZeroSize);
         }
-        let board = Arc::new(JobBoard::new());
+        let board = Arc::new(JobBoard::new(size - 1));
         let mut handles = Vec::new();
         for i in 1..size {
             match spawn_worker(Arc::clone(&board), i) {
@@ -232,6 +249,7 @@ impl StaticPool {
             board,
             handles: Mutex::new(handles),
             in_region: AtomicBool::new(false),
+            region_latch: Arc::new(Latch::new(0)),
         })
     }
 
@@ -334,13 +352,15 @@ impl StaticPool {
             f(tid);
         }
 
-        let latch = Arc::new(Latch::new(self.size));
+        // Re-arm the pool's latch instead of allocating one per region.
+        self.region_latch.reset(self.size);
+        let latch = &self.region_latch;
         for tid in 1..self.size {
             self.board.push(Job {
                 data: &f as *const F as *const (),
                 call: trampoline::<F>,
                 tid,
-                latch: Arc::clone(&latch),
+                latch: Arc::clone(latch),
             });
         }
 

@@ -87,4 +87,31 @@ mod tests {
             assert!(max - min <= 1, "static split must be balanced");
         }
     }
+
+    #[test]
+    fn exhaustive_balance_no_ragged_edge() {
+        // Every (total, parts) combination in a range that covers all the
+        // modular-arithmetic corners (total % parts == 0, 1, parts − 1;
+        // total < parts; total == parts ± 1): the chunks partition
+        // 0..total exactly and no thread carries more than one extra
+        // iteration — the load-imbalance bound static scheduling promises.
+        for total in 0..=257usize {
+            for parts in 1..=33usize {
+                let mut next = 0;
+                let mut min = usize::MAX;
+                let mut max = 0;
+                for r in chunk_static(total, parts) {
+                    assert_eq!(r.start, next, "gap/overlap at total={total} parts={parts}");
+                    min = min.min(r.len());
+                    max = max.max(r.len());
+                    next = r.end;
+                }
+                assert_eq!(next, total, "union must be 0..total");
+                assert!(
+                    max - min <= 1,
+                    "ragged edge: total={total} parts={parts} min={min} max={max}"
+                );
+            }
+        }
+    }
 }

@@ -1,0 +1,108 @@
+//! Proof of the plan layer's core promise: once a [`ConvPlan`] is built
+//! and warmed, `execute` never touches the global allocator — not on the
+//! single-thread inline path, not on the threaded path (whose job
+//! dispatch reuses the pool's latch and pre-sized queue), and not for a
+//! warmed [`DepthwisePlan`].
+//!
+//! This file is its own test binary with exactly one `#[test]` so the
+//! counting allocator below sees no interference from parallel tests.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+use ndirect_core::{ConvPlan, DepthwisePlan};
+use ndirect_tensor::{fill, ActLayout, ConvShape, Filter, FilterLayout, Tensor4};
+use ndirect_threads::StaticPool;
+
+/// Forwards to [`System`], counting allocation events (alloc,
+/// alloc_zeroed, realloc — frees are irrelevant to the claim) from any
+/// thread while [`ARMED`].
+struct CountingAlloc;
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocs_during(f: impl FnOnce()) -> usize {
+    ALLOCS.store(0, Ordering::SeqCst);
+    ARMED.store(true, Ordering::SeqCst);
+    f();
+    ARMED.store(false, Ordering::SeqCst);
+    ALLOCS.load(Ordering::SeqCst)
+}
+
+#[test]
+fn warmed_plan_execute_never_allocates() {
+    let platform = ndirect_platform::host();
+    let shape = ConvShape::square(2, 6, 16, 12, 3, 1);
+    let input = fill::random_tensor(Tensor4::input_for(&shape, ActLayout::Nchw), 4);
+    let filter = fill::random_filter(Filter::for_shape(&shape, FilterLayout::Kcrs), 3);
+    let mut out = Tensor4::output_for(&shape, ActLayout::Nchw);
+
+    // Single-thread pool: execute runs the whole nest inline.
+    let pool1 = StaticPool::new(1);
+    let plan = ConvPlan::try_new(&platform, &shape, &filter, 1).unwrap();
+    plan.execute(&pool1, &input, &mut out).unwrap(); // warm the scratch lease
+    let n = allocs_during(|| {
+        for _ in 0..8 {
+            plan.execute(&pool1, &input, &mut out).unwrap();
+        }
+    });
+    assert_eq!(n, 0, "inline steady-state execute hit the allocator {n}x");
+
+    // Multi-thread pool: dispatch must also be allocation-free — jobs are
+    // plain structs on a pre-sized queue and the region latch is re-armed,
+    // not reallocated.
+    let pool2 = StaticPool::new(2);
+    let plan2 = ConvPlan::try_new(&platform, &shape, &filter, 2).unwrap();
+    plan2.execute(&pool2, &input, &mut out).unwrap();
+    let n = allocs_during(|| {
+        for _ in 0..8 {
+            plan2.execute(&pool2, &input, &mut out).unwrap();
+        }
+    });
+    assert_eq!(n, 0, "threaded steady-state execute hit the allocator {n}x");
+
+    // Depthwise plans make the same promise.
+    let dw_shape = ConvShape::square(1, 6, 6, 12, 3, 1); // K == C
+    let dw_input = fill::random_tensor(Tensor4::input_for(&dw_shape, ActLayout::Nchw), 6);
+    let dw_filter = fill::random_filter(Filter::zeros(6, 1, 3, 3, FilterLayout::Kcrs), 7);
+    let mut dw_out = Tensor4::output_for(&dw_shape, ActLayout::Nchw);
+    let dw = DepthwisePlan::try_new(&dw_shape, &dw_filter, 1).unwrap();
+    dw.execute(&pool1, &dw_input, &mut dw_out).unwrap();
+    let n = allocs_during(|| {
+        for _ in 0..8 {
+            dw.execute(&pool1, &dw_input, &mut dw_out).unwrap();
+        }
+    });
+    assert_eq!(n, 0, "depthwise steady-state execute hit the allocator {n}x");
+}

@@ -139,6 +139,65 @@ fn non_depthwise_shape_is_a_typed_error() {
     assert!(matches!(err, Error::NotDepthwise { k: 8, c: 4 }), "{err}");
 }
 
+// ------------------------------------------------------------ plan sharing
+
+#[test]
+fn shared_plan_is_safe_across_threads_and_bitwise_deterministic() {
+    // One ConvPlan behind an Arc, executed concurrently from two OS
+    // threads on *different* inputs with their own pools and outputs,
+    // must produce exactly the bits sequential execution produces: the
+    // scratch arena hands each concurrent execute a disjoint lease and
+    // the packed filter is only ever read.
+    let _g = read_hook();
+    let shape = ConvShape::square(2, 5, 9, 8, 3, 1);
+    let filter = fill::random_filter(Filter::for_shape(&shape, FilterLayout::Kcrs), 11);
+    let mut sched = Schedule::minimal(&shape);
+    sched.grid = ndirect_threads::Grid2::new(1, 2);
+    let plan = std::sync::Arc::new(
+        ndirect_core::ConvPlan::try_with_schedule(&shape, &filter, &sched).unwrap(),
+    );
+    // Pre-populate the arena so both threads hit the pooled path.
+    plan.reserve_scratch(2).unwrap();
+
+    let inputs: Vec<Tensor4> = (0..2)
+        .map(|i| fill::random_tensor(Tensor4::input_for(&shape, ActLayout::Nchw), 20 + i))
+        .collect();
+    let sequential: Vec<Tensor4> = inputs
+        .iter()
+        .map(|input| {
+            let pool = StaticPool::new(2);
+            let mut out = Tensor4::output_for(&shape, ActLayout::Nchw);
+            plan.execute(&pool, input, &mut out).unwrap();
+            out
+        })
+        .collect();
+
+    for _round in 0..4 {
+        let concurrent: Vec<Tensor4> = std::thread::scope(|scope| {
+            let handles: Vec<_> = inputs
+                .iter()
+                .map(|input| {
+                    let plan = std::sync::Arc::clone(&plan);
+                    scope.spawn(move || {
+                        let pool = StaticPool::new(2);
+                        let mut out = Tensor4::output_for(&shape, ActLayout::Nchw);
+                        plan.execute(&pool, input, &mut out).unwrap();
+                        out
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for (got, want) in concurrent.iter().zip(&sequential) {
+            assert_eq!(
+                got.as_slice(),
+                want.as_slice(),
+                "concurrent execute must be bitwise identical to sequential"
+            );
+        }
+    }
+}
+
 #[test]
 fn baseline_rejects_malformed_input_with_typed_error() {
     let (shape, _, filter) = small_problem();
