@@ -270,21 +270,8 @@ mod tests {
         assert_close(got.as_slice(), expect.as_slice(), 2e-4, "im2col vs naive");
     }
 
-    #[test]
-    fn matches_naive_basic() {
-        check(ConvShape::new(2, 3, 8, 8, 4, 3, 3, 1, Padding::NONE), 1);
-    }
 
-    #[test]
-    fn matches_naive_with_padding_and_stride() {
-        check(ConvShape::new(2, 5, 9, 11, 7, 3, 3, 2, Padding::same(1)), 1);
-        check(ConvShape::new(1, 3, 12, 12, 6, 5, 5, 2, Padding::same(2)), 1);
-    }
 
-    #[test]
-    fn matches_naive_pointwise() {
-        check(ConvShape::new(3, 8, 6, 6, 10, 1, 1, 1, Padding::NONE), 1);
-    }
 
     #[test]
     fn parallel_batch_split_matches() {

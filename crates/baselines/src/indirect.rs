@@ -325,15 +325,7 @@ mod tests {
         assert_close(got.as_slice(), expect.as_slice(), 2e-4, "indirect vs naive");
     }
 
-    #[test]
-    fn matches_naive_basic() {
-        check(ConvShape::new(1, 4, 6, 6, 8, 3, 3, 1, Padding::NONE), 1);
-    }
 
-    #[test]
-    fn matches_naive_with_padding() {
-        check(ConvShape::new(2, 3, 8, 8, 8, 3, 3, 1, Padding::same(1)), 1);
-    }
 
     #[test]
     fn matches_naive_k_remainder() {
@@ -341,16 +333,7 @@ mod tests {
         check(ConvShape::new(1, 4, 6, 6, 10, 3, 3, 1, Padding::same(1)), 1);
     }
 
-    #[test]
-    fn matches_naive_strided_and_pointwise() {
-        check(ConvShape::new(1, 6, 9, 9, 8, 3, 3, 2, Padding::same(1)), 1);
-        check(ConvShape::new(2, 8, 5, 5, 16, 1, 1, 1, Padding::NONE), 1);
-    }
 
-    #[test]
-    fn matches_naive_multithreaded() {
-        check(ConvShape::new(3, 4, 7, 9, 8, 3, 3, 1, Padding::same(1)), 4);
-    }
 
     #[test]
     fn odd_width_uses_tail_tile() {

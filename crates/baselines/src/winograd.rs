@@ -270,10 +270,6 @@ mod tests {
         assert_close(got.as_slice(), expect.as_slice(), tol, "winograd vs naive");
     }
 
-    #[test]
-    fn matches_oracle_even_output() {
-        check(ConvShape::new(1, 4, 10, 10, 6, 3, 3, 1, Padding::same(1)), 1, 1e-3);
-    }
 
     #[test]
     fn matches_oracle_odd_output_masks_tail() {
@@ -281,10 +277,6 @@ mod tests {
         check(ConvShape::new(2, 3, 7, 7, 5, 3, 3, 1, Padding::same(1)), 1, 1e-3);
     }
 
-    #[test]
-    fn matches_oracle_valid_convolution() {
-        check(ConvShape::new(1, 2, 9, 12, 4, 3, 3, 1, Padding::NONE), 2, 1e-3);
-    }
 
     #[test]
     fn filter_transform_reference_values() {

@@ -7,6 +7,11 @@
 //!
 //! Pass `--smoke` for a 1-sample CI pass that only checks the harness
 //! runs end to end.
+//!
+//! Built with `--features probe`, the run also writes a trace sidecar
+//! (`results/TRACE_plan_reuse.json`: counters + per-thread phase totals
+//! and timelines) next to the figures' JSON results, and honors
+//! `NDIRECT_PROBE=1` by printing the text timeline to stderr.
 
 use ndirect_bench::harness::{Criterion, Throughput};
 use ndirect_bench::{bench_group, bench_main};
@@ -56,6 +61,19 @@ fn bench_plan_reuse(c: &mut Criterion) {
         b.iter(|| plan.execute(&pool, &p.input, &mut out).expect("valid problem"));
     });
     group.finish();
+
+    if ndirect_probe::ENABLED {
+        let report = ndirect_probe::TraceReport::capture();
+        let path = std::path::Path::new("results").join("TRACE_plan_reuse.json");
+        if let Some(dir) = path.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        match std::fs::write(&path, report.to_json().pretty()) {
+            Ok(()) => eprintln!("probe trace written to {}", path.display()),
+            Err(e) => eprintln!("probe trace not written ({e})"),
+        }
+        ndirect_probe::report_if_env("plan_reuse (ResNet-50 layer 10)");
+    }
 }
 
 bench_group!(benches, bench_plan_reuse);

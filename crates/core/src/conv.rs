@@ -31,6 +31,7 @@
 //! [`crate::FilterState::PreTransformed`] (the ablation benches compare
 //! both), and the native-NHWC driver demonstrates the hoisted ordering.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use ndirect_tensor::{ActLayout, AlignedBuf, ConvShape, Filter, Tensor4};
@@ -121,6 +122,22 @@ pub(crate) struct Scratch {
     pub(crate) tfbuf: AlignedBuf,
 }
 
+/// Test-only fault injection: a global ceiling (in f32 elements, summed
+/// over the whole per-grid scratch request) above which
+/// [`try_alloc_scratch`] refuses to provision. Lets the degradation tests
+/// force the minimal-schedule fallback on shapes that would otherwise
+/// allocate fine, without depending on allocator behaviour. Follows the
+/// `__test_kill_one_worker` / `force_unsupported` precedent.
+static SCRATCH_ELEMENT_LIMIT: AtomicUsize = AtomicUsize::new(usize::MAX);
+
+/// Test-only: caps scratch provisioning at `limit` f32 elements per grid
+/// request; pass `usize::MAX` to clear. Global — callers must serialize
+/// against other convolutions in the process.
+#[doc(hidden)]
+pub fn __set_scratch_element_limit(limit: usize) {
+    SCRATCH_ELEMENT_LIMIT.store(limit, Ordering::Relaxed);
+}
+
 /// Allocates one [`Scratch`] per grid thread for `sched`, with every size
 /// product checked. `Err` carries the element count of the request that
 /// failed (overflow or allocator refusal) so the caller can degrade.
@@ -149,6 +166,13 @@ pub(crate) fn try_alloc_scratch(
         .div_ceil(sched.vk)
         .checked_mul(tf_block_len)
         .ok_or(usize::MAX)?;
+    let total = bbuf_len
+        .checked_add(tfbuf_len)
+        .and_then(|x| x.checked_mul(threads))
+        .ok_or(usize::MAX)?;
+    if total > SCRATCH_ELEMENT_LIMIT.load(Ordering::Relaxed) {
+        return Err(total);
+    }
     (0..threads)
         .map(|_| {
             Ok(Mutex::new(Scratch {
@@ -224,6 +248,20 @@ pub(crate) fn compute_strip(ctx: StripCtx<'_>, bbuf: &mut AlignedBuf, out_all: &
     let shape = ctx.shape;
     let sched = ctx.sched;
     let kstride = ctx.p * ctx.q;
+    // Accounting: the strip packs `tcb·R·WIN` floats once (fused gather
+    // and sequential packing move the same data) and issues 2 FLOPs per
+    // MAC over `valid_w` output pixels × the K channels this tile covers.
+    if ndirect_probe::ENABLED {
+        let covered_k = sched.tk.min(ctx.k_hi - ctx.kt) as u64;
+        ndirect_probe::add(
+            ndirect_probe::Counter::FlopsIssued,
+            2 * ctx.valid_w as u64 * covered_k * ctx.tcb as u64 * shape.r as u64 * shape.s as u64,
+        );
+        ndirect_probe::add(
+            ndirect_probe::Counter::BytesPacked,
+            (ctx.tcb * shape.r * ctx.geom.win * std::mem::size_of::<f32>()) as u64,
+        );
+    }
     for kv in 0..ctx.kv_blocks {
         let k0 = ctx.kt + kv * sched.vk;
         let valid_k = sched.vk.min(ctx.k_hi - k0);
@@ -258,17 +296,24 @@ pub(crate) fn compute_strip(ctx: StripCtx<'_>, bbuf: &mut AlignedBuf, out_all: &
                         rdim: shape.r,
                         prefetch: sched.prefetch,
                     };
+                    // Fused mode gathers rows from inside the kernel loop,
+                    // so its packing cost is attributed to MicroKernel.
+                    let _mk = ndirect_probe::probe_phase!(MicroKernel);
                     run_tile(&mut rows, &args, sched.vw, out_all);
                 }
                 PackingMode::Sequential => {
-                    pack_strip(
-                        ctx.image, ctx.ct, ctx.tcb, shape.r, shape.h, shape.w, ctx.geom, bbuf,
-                    );
+                    {
+                        let _pack = ndirect_probe::probe_phase!(Pack);
+                        pack_strip(
+                            ctx.image, ctx.ct, ctx.tcb, shape.r, shape.h, shape.w, ctx.geom, bbuf,
+                        );
+                    }
                     let mut rows = RowSource::Packed {
                         buf: bbuf,
                         win: ctx.geom.win,
                         rdim: shape.r,
                     };
+                    let _mk = ndirect_probe::probe_phase!(MicroKernel);
                     run_tile(&mut rows, &args, sched.vw, out_all);
                 }
             }
@@ -278,6 +323,7 @@ pub(crate) fn compute_strip(ctx: StripCtx<'_>, bbuf: &mut AlignedBuf, out_all: &
                 win: ctx.geom.win,
                 rdim: shape.r,
             };
+            let _mk = ndirect_probe::probe_phase!(MicroKernel);
             run_tile(&mut rows, &args, sched.vw, out_all);
         }
     }

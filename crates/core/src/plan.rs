@@ -248,6 +248,7 @@ impl<'f> ConvPlan<'f> {
         layout: PlanLayout,
         make_filter: impl FnOnce(&Schedule) -> Result<PlanFilter<'f>, Error>,
     ) -> Result<ConvPlan<'f>, Error> {
+        let _build = ndirect_probe::probe_span!(PlanBuild, 0);
         let mut sched = schedule.sanitized(shape);
         let mut degraded = false;
         let first = match try_alloc_scratch(&sched, shape, sched.grid.threads()) {
@@ -262,6 +263,7 @@ impl<'f> ConvPlan<'f> {
                 fallback.prefetch = sched.prefetch;
                 match try_alloc_scratch(&fallback, shape, fallback.grid.threads()) {
                     Ok(s) => {
+                        ndirect_probe::probe_count!(MinimalScheduleDegradations, 1);
                         sched = fallback;
                         degraded = true;
                         s
@@ -272,7 +274,10 @@ impl<'f> ConvPlan<'f> {
         };
         // Pack for the schedule that will actually run (vk/tc may have
         // changed under degradation).
-        let filter = make_filter(&sched)?;
+        let filter = {
+            let _ft = ndirect_probe::probe_phase!(FilterTransform);
+            make_filter(&sched)?
+        };
         Ok(ConvPlan {
             shape: *shape,
             sched,
@@ -360,10 +365,16 @@ impl<'f> ConvPlan<'f> {
         }
 
         let set = match self.arena.take() {
-            Some(s) => s,
+            Some(s) => {
+                ndirect_probe::probe_count!(ScratchPoolHits, 1);
+                s
+            }
             // Cold path: more concurrent executes than reserved sets.
-            None => try_alloc_scratch(&self.sched, shape, self.sched.grid.threads())
-                .map_err(|elements| Error::ScratchAlloc { elements })?,
+            None => {
+                ndirect_probe::probe_count!(ScratchPoolMisses, 1);
+                try_alloc_scratch(&self.sched, shape, self.sched.grid.threads())
+                    .map_err(|elements| Error::ScratchAlloc { elements })?
+            }
         };
         let result = match self.layout {
             PlanLayout::Nchw => self.run_nchw(pool, input, out, &set),
@@ -453,6 +464,11 @@ impl<'f> ConvPlan<'f> {
                             // uses the *live* channel count of this tile.
                             let tf_block_len = tcb * shape.r * shape.s * sched.vk;
                             if let Some(f) = raw_filter {
+                                let _ft = ndirect_probe::probe_phase!(FilterTransform);
+                                ndirect_probe::probe_count!(
+                                    BytesTransformed,
+                                    kv_blocks * tf_block_len * std::mem::size_of::<f32>()
+                                );
                                 transform_filter_block(f, kt, tkb, ct, tcb, sched.vk, tfbuf);
                             }
                             for oh in ht..ht_end {
@@ -564,6 +580,11 @@ impl<'f> ConvPlan<'f> {
                     let tkb = sched.tk.min(k_hi - kt);
                     let kv_blocks = tkb.div_ceil(sched.vk);
                     if let Some(f) = raw_filter {
+                        let _ft = ndirect_probe::probe_phase!(FilterTransform);
+                        ndirect_probe::probe_count!(
+                            BytesTransformed,
+                            kv_blocks * tf_block_len * std::mem::size_of::<f32>()
+                        );
                         transform_filter_nhwc_block(f, kt, tkb, ct, tcb, sched.vk, tfbuf);
                     }
                     for row in rows.clone() {
@@ -576,7 +597,28 @@ impl<'f> ConvPlan<'f> {
                             let valid_w = sched.vw.min(q - wv);
                             let win = (valid_w - 1) * shape.stride + shape.s;
                             let iw0 = (wv * shape.stride) as isize - shape.pad.w as isize;
-                            pack_strip_nhwc(image, shape, ct, tcb, ih0, iw0, win, buf);
+                            // Same accounting as the NCHW strip driver:
+                            // one pack of `tcb·R·WIN` floats per strip,
+                            // 2 FLOPs per MAC over the tile's K coverage.
+                            if ndirect_probe::ENABLED {
+                                ndirect_probe::add(
+                                    ndirect_probe::Counter::BytesPacked,
+                                    (tcb * shape.r * win * std::mem::size_of::<f32>()) as u64,
+                                );
+                                ndirect_probe::add(
+                                    ndirect_probe::Counter::FlopsIssued,
+                                    2 * valid_w as u64
+                                        * tkb as u64
+                                        * tcb as u64
+                                        * shape.r as u64
+                                        * shape.s as u64,
+                                );
+                            }
+                            {
+                                let _pack = ndirect_probe::probe_phase!(Pack);
+                                pack_strip_nhwc(image, shape, ct, tcb, ih0, iw0, win, buf);
+                            }
+                            let _mk = ndirect_probe::probe_phase!(MicroKernel);
                             for kv in 0..kv_blocks {
                                 let k0 = kt + kv * sched.vk;
                                 let valid_k = sched.vk.min(k_hi - k0);
@@ -771,8 +813,14 @@ impl<'f> DepthwisePlan<'f> {
         }
 
         let set = match self.arena.take() {
-            Some(s) => s,
-            None => Self::alloc_set(shape, self.threads)?,
+            Some(s) => {
+                ndirect_probe::probe_count!(ScratchPoolHits, 1);
+                s
+            }
+            None => {
+                ndirect_probe::probe_count!(ScratchPoolMisses, 1);
+                Self::alloc_set(shape, self.threads)?
+            }
         };
         let filter = self.filter.get();
         let cgroups = shape.c.div_ceil(4);

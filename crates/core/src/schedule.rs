@@ -3,7 +3,7 @@
 use ndirect_platform::Platform;
 use ndirect_support::{Json, JsonError};
 use ndirect_tensor::ConvShape;
-use ndirect_threads::Grid2;
+use ndirect_threads::{split_static, Grid2};
 
 use crate::model;
 
@@ -119,6 +119,52 @@ impl Schedule {
     /// Total threads the schedule uses.
     pub fn threads(&self) -> usize {
         self.grid.threads()
+    }
+
+    /// Cache-model prediction of the bytes the drivers pack for one full
+    /// convolution under this schedule: the analytic mirror of the loop
+    /// nest, against which the probe's `bytes_packed` counter is asserted.
+    ///
+    /// Each `(output row, Tc tile, Tk tile, Vw strip)` packs
+    /// `tcb·R·WIN` floats (`WIN = (valid_w−1)·stride + S`), in fused and
+    /// sequential mode alike and for both layouts. Summing `tcb` over the
+    /// `Tc` tiles gives `C`, so per thread the total is
+    /// `|rows| · #Tk-tiles · C · R · Σ_strips WIN`; `#Tk-tiles` depends on
+    /// the thread's K range (ranges split at `Vk` granularity across
+    /// `PTk`), which is why the count is grid-dependent while the FLOP
+    /// count ([`ConvShape::flops`]) is not.
+    pub fn predicted_pack_bytes(&self, shape: &ConvShape) -> u128 {
+        let s = self.sanitized(shape);
+        let (p, q) = (shape.p(), shape.q());
+        let kv_total = shape.k.div_ceil(s.vk);
+
+        // Window widths summed over one row's strips.
+        let mut win_sum: u128 = 0;
+        let mut wv = 0;
+        while wv < q {
+            let valid_w = s.vw.min(q - wv);
+            win_sum += ((valid_w - 1) * shape.stride + shape.s) as u128;
+            wv += s.vw;
+        }
+
+        let mut total_floats: u128 = 0;
+        for tid in 0..s.grid.threads() {
+            let (tn, tk) = s.grid.coords(tid);
+            let kvr = split_static(kv_total, s.grid.ptk(), tk);
+            let k_lo = kvr.start * s.vk;
+            let k_hi = (kvr.end * s.vk).min(shape.k);
+            if k_lo >= k_hi {
+                continue;
+            }
+            let rows = split_static(shape.n * p, s.grid.ptn(), tn);
+            let kt_tiles = (k_hi - k_lo).div_ceil(s.tk) as u128;
+            total_floats += rows.len() as u128
+                * kt_tiles
+                * shape.c as u128
+                * shape.r as u128
+                * win_sum;
+        }
+        total_floats * std::mem::size_of::<f32>() as u128
     }
 
     /// Returns a copy with a different packing mode (ablation helper).

@@ -63,8 +63,10 @@ fn plan_for(
 ) -> Arc<ConvPlan<'static>> {
     let mut map = cache.lock().unwrap_or_else(|p| p.into_inner());
     if let Some(plan) = map.get(&key) {
+        ndirect_probe::probe_count!(PlanCacheHits, 1);
         return Arc::clone(plan);
     }
+    ndirect_probe::probe_count!(PlanCacheMisses, 1);
     let plan = Arc::new(build().unwrap_or_else(|e| panic!("{e}")));
     map.insert(key, Arc::clone(&plan));
     plan

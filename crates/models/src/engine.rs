@@ -100,6 +100,9 @@ impl<'a> Engine<'a> {
         let mut saved: Option<Tensor4> = None;
         let mut skip_next_join = false;
         for (i, node) in model.nodes.iter().enumerate() {
+            // One timeline span per node so NDIRECT_PROBE traces show the
+            // per-layer structure of a run (arg = node index).
+            let _layer = ndirect_probe::probe_span!(Layer, i);
             match node {
                 Node::Conv(layer) => {
                     // Residual fusion: seed the conv output with the saved

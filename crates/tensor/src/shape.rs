@@ -296,8 +296,17 @@ impl ConvShape {
     /// Floating-point operations for this convolution: each output element
     /// consumes `C·R·S` fused multiply-adds, counted as 2 FLOPs apiece —
     /// the convention the paper's GFLOPS numbers use.
+    ///
+    /// A validated shape only bounds `N·K·P·Q` and `C·R·S` *individually*
+    /// by `usize::MAX`; their product can exceed `u64`, so the fold runs in
+    /// `u128` and saturates rather than wrapping (a wrapped count would
+    /// silently corrupt every GFLOPS figure and probe invariant built on
+    /// it).
     pub fn flops(&self) -> u64 {
-        2 * (self.n * self.k * self.p() * self.q()) as u64 * (self.c * self.r * self.s) as u64
+        [self.n, self.k, self.p(), self.q(), self.c, self.r, self.s]
+            .iter()
+            .try_fold(2u128, |acc, &f| acc.checked_mul(f as u128))
+            .map_or(u64::MAX, |total| u64::try_from(total).unwrap_or(u64::MAX))
     }
 
     /// GFLOPS for `elapsed` seconds of this convolution.
@@ -380,6 +389,16 @@ mod tests {
         let s = ConvShape::new(2, 3, 5, 5, 4, 3, 3, 1, Padding::NONE);
         // outputs: 2*4*3*3 = 72, macs each: 3*3*3 = 27 -> 2*72*27 = 3888.
         assert_eq!(s.flops(), 3888);
+    }
+
+    #[test]
+    fn flops_saturates_instead_of_wrapping() {
+        // Validates (every individual element count fits usize) but the
+        // FLOP product is 2·2^52·2^20 = 2^73, which the old u64 arithmetic
+        // wrapped to 0.
+        let s = ConvShape::new(1, 1 << 20, 1 << 16, 1 << 16, 1 << 20, 1, 1, 1, Padding::NONE);
+        assert_eq!(s.try_output_len().unwrap(), 1 << 52);
+        assert_eq!(s.flops(), u64::MAX);
     }
 
     #[test]

@@ -203,6 +203,7 @@ fn spawn_worker(board: Arc<JobBoard>, index: usize) -> std::io::Result<std::thre
         .spawn(move || {
             while let Some(job) = board.pop() {
                 let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                    let _busy = ndirect_probe::probe_span!(Worker, job.tid);
                     // SAFETY: `job.data`/`job.call` were erased from a live
                     // `&F` in `try_run`, which blocks on `latch` until we
                     // count down below.
@@ -332,7 +333,12 @@ impl StaticPool {
                 return Err(PoolError::NestedRun);
             }
             let _guard = RegionGuard(&self.in_region);
-            f(0);
+            ndirect_probe::probe_count!(Regions, 1);
+            let _region = ndirect_probe::probe_span!(Region, 1);
+            {
+                let _busy = ndirect_probe::probe_span!(Worker, 0);
+                f(0);
+            }
             return Ok(());
         }
         if self.in_region.swap(true, Ordering::Acquire) {
@@ -340,6 +346,8 @@ impl StaticPool {
         }
         // Release the reentrancy flag on every exit path (incl. panics).
         let _guard = RegionGuard(&self.in_region);
+        ndirect_probe::probe_count!(Regions, 1);
+        let _region = ndirect_probe::probe_span!(Region, self.size);
 
         // Heal the team before dispatching: a worker killed by a previous
         // region must not leave its share of the iteration space undone.
@@ -366,10 +374,17 @@ impl StaticPool {
 
         // The caller is thread 0. Catch its panic so we still reach the
         // barrier (the workers hold pointers into our stack frame).
-        let own = std::panic::catch_unwind(AssertUnwindSafe(|| f(0)));
+        let own = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let _busy = ndirect_probe::probe_span!(Worker, 0);
+            f(0)
+        }));
         latch.count_down(own.err());
 
-        if let Some(payload) = latch.wait() {
+        let wait = {
+            let _barrier = ndirect_probe::probe_phase!(Barrier);
+            latch.wait()
+        };
+        if let Some(payload) = wait {
             std::panic::resume_unwind(payload);
         }
         Ok(())

@@ -60,6 +60,101 @@ fn against_oracle(
     }
 }
 
+/// Wider-than-usual geometry for the shape-arithmetic properties below:
+/// strides 1–4, kernels up to 7, and a bias toward tight fits (input ==
+/// kernel) where the `P`/`Q` floor formula has its edge cases.
+fn random_edge_shape(rng: &mut Rng64) -> ConvShape {
+    loop {
+        let r = rng.gen_range_usize(1, 8);
+        let s = rng.gen_range_usize(1, 8);
+        let stride = rng.gen_range_usize(1, 5);
+        let ph = rng.gen_range_usize(0, 4);
+        let pw = rng.gen_range_usize(0, 4);
+        // Half the cases sit right at the minimum spatial extent.
+        let (h, w) = if rng.gen_range_usize(0, 2) == 0 {
+            (r.saturating_sub(2 * ph).max(1), s.saturating_sub(2 * pw).max(1))
+        } else {
+            (rng.gen_range_usize(1, 25), rng.gen_range_usize(1, 25))
+        };
+        if h + 2 * ph < r || w + 2 * pw < s {
+            continue;
+        }
+        let n = rng.gen_range_usize(1, 5);
+        let c = rng.gen_range_usize(1, 33);
+        let k = rng.gen_range_usize(1, 33);
+        return ConvShape::new(n, c, h, w, k, r, s, stride, Padding { h: ph, w: pw });
+    }
+}
+
+#[test]
+fn output_dims_match_a_valid_position_scan() {
+    // P and Q come from a closed-form floor division; the ground truth is
+    // "how many stride-spaced kernel placements fit in the padded input".
+    let mut rng = Rng64::seed_from_u64(0x9a0a);
+    let scan = |padded: usize, kernel: usize, stride: usize| {
+        (0..)
+            .map(|i| i * stride)
+            .take_while(|&off| off + kernel <= padded)
+            .count()
+    };
+    for case in 0..400 {
+        let shape = random_edge_shape(&mut rng);
+        assert_eq!(
+            shape.p(),
+            scan(shape.padded_h(), shape.r, shape.stride),
+            "case {case}: {shape} P"
+        );
+        assert_eq!(
+            shape.q(),
+            scan(shape.padded_w(), shape.s, shape.stride),
+            "case {case}: {shape} Q"
+        );
+    }
+}
+
+#[test]
+fn flops_is_two_per_mac_over_the_output() {
+    let mut rng = Rng64::seed_from_u64(0x9a0b);
+    for case in 0..400 {
+        let shape = random_edge_shape(&mut rng);
+        let expect = 2u128
+            * shape.output_len() as u128
+            * (shape.c * shape.r * shape.s) as u128;
+        assert_eq!(
+            shape.flops() as u128,
+            expect,
+            "case {case}: {shape} flops"
+        );
+    }
+}
+
+#[test]
+fn gemm_dims_are_consistent_with_element_counts() {
+    // The paper's GEMM mapping must conserve elements: M'·N' is the whole
+    // output, M'·K' the whole filter.
+    let mut rng = Rng64::seed_from_u64(0x9a0c);
+    for case in 0..400 {
+        let shape = random_edge_shape(&mut rng);
+        let (m, n, k) = shape.gemm_dims();
+        assert_eq!(m, shape.k, "case {case}: {shape} M'");
+        assert_eq!(m * n, shape.output_len(), "case {case}: {shape} M'·N'");
+        assert_eq!(m * k, shape.filter_len(), "case {case}: {shape} M'·K'");
+    }
+}
+
+#[test]
+fn checked_and_plain_lens_agree_on_valid_shapes() {
+    let mut rng = Rng64::seed_from_u64(0x9a0d);
+    for case in 0..400 {
+        let shape = random_edge_shape(&mut rng);
+        assert_eq!(shape.try_input_len(), Ok(shape.input_len()), "case {case}: {shape}");
+        assert_eq!(shape.try_filter_len(), Ok(shape.filter_len()), "case {case}: {shape}");
+        assert_eq!(shape.try_output_len(), Ok(shape.output_len()), "case {case}: {shape}");
+        assert_eq!(shape.try_padded_h(), Ok(shape.padded_h()), "case {case}: {shape}");
+        assert_eq!(shape.try_padded_w(), Ok(shape.padded_w()), "case {case}: {shape}");
+    }
+}
+
 #[test]
 fn ndirect_matches_oracle_on_random_shapes() {
     against_oracle(0x9a01, 48, |pool, input, filter, shape| {

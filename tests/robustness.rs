@@ -296,6 +296,90 @@ fn pool_respawns_dead_workers() {
     assert_eq!(pool.live_workers(), 2, "size-3 pool keeps 2 workers");
 }
 
+// ----------------------------------------------------- forced degradation
+
+/// Mirrors the scratch-provisioning arithmetic of the core driver: the
+/// per-grid f32 element request for `sched` on `shape`.
+fn scratch_elements(sched: &Schedule, shape: &ConvShape) -> usize {
+    let win = (sched.vw - 1) * shape.stride + shape.s;
+    let bbuf = sched.tc * shape.r * win;
+    let tfbuf = sched.tk.div_ceil(sched.vk) * (sched.tc * shape.r * shape.s * sched.vk);
+    (bbuf + tfbuf) * sched.grid.threads()
+}
+
+#[test]
+fn forced_scratch_refusal_degrades_once_and_preserves_bits() {
+    // The limit hook is process-global like the ISA hook, so this test
+    // takes the write lock: no other conv may run (and possibly trip the
+    // injected refusal, or degrade and move the probe counter) meanwhile.
+    let _g = ISA_HOOK.write().unwrap_or_else(|p| p.into_inner());
+    let shape = ConvShape::square(1, 64, 64, 32, 3, 1);
+    let input = fill::random_tensor(Tensor4::input_for(&shape, ActLayout::Nchw), 7);
+    let filter = fill::random_filter(Filter::for_shape(&shape, FilterLayout::Kcrs), 8);
+    let pool = StaticPool::new(1);
+
+    let requested = Schedule::derive(&ndirect_platform::host(), &shape, 1).sanitized(&shape);
+    // The fallback the plan layer would build, for sizing the injected
+    // ceiling between the two requests.
+    let mut fallback = Schedule::minimal(&shape)
+        .with_grid(requested.grid)
+        .with_packing(requested.packing)
+        .with_filter_state(requested.filter_state)
+        .sanitized(&shape);
+    fallback.vw = fallback.vw.min(requested.vw);
+    let want = scratch_elements(&requested, &shape);
+    let floor = scratch_elements(&fallback, &shape);
+    assert!(
+        floor < want,
+        "test needs headroom between minimal ({floor}) and derived ({want}) scratch"
+    );
+
+    // Cap provisioning below the derived request: the build must degrade
+    // to the minimal-tile schedule, exactly once, and say so.
+    ndirect_core::conv::__set_scratch_element_limit(want - 1);
+    let before = ndirect_probe::counter(ndirect_probe::Counter::MinimalScheduleDegradations);
+    let plan = ndirect_core::ConvPlan::try_with_schedule(&shape, &filter, &requested);
+    let delta =
+        ndirect_probe::counter(ndirect_probe::Counter::MinimalScheduleDegradations) - before;
+    ndirect_core::conv::__set_scratch_element_limit(usize::MAX);
+
+    let plan = plan.expect("the minimal fallback fits under the cap");
+    assert!(plan.degraded(), "refused scratch must surface as degraded()");
+    let expected_delta = if ndirect_probe::ENABLED { 1 } else { 0 };
+    assert_eq!(delta, expected_delta, "exactly one degradation event per build");
+
+    // The degraded plan must compute exactly what a plan built *directly*
+    // on the fallback schedule computes — the injected refusal may change
+    // which schedule runs, never what that schedule produces. (Bitwise
+    // identity against the *requested* schedule is not promised: a
+    // different `Tc` splits the channel reduction into different register
+    // chains, so only closeness holds there.)
+    let mut got = Tensor4::output_for(&shape, ActLayout::Nchw);
+    plan.execute(&pool, &input, &mut got).expect("degraded plan still runs");
+    let direct = ndirect_core::ConvPlan::try_with_schedule(&shape, &filter, &fallback)
+        .expect("minimal schedule allocates");
+    assert!(!direct.degraded(), "an explicitly minimal request is not a degradation");
+    let mut want_min = Tensor4::output_for(&shape, ActLayout::Nchw);
+    direct.execute(&pool, &input, &mut want_min).expect("minimal plan runs");
+    assert_eq!(
+        got.as_slice(),
+        want_min.as_slice(),
+        "degraded execution must be bitwise identical to the schedule it fell back to"
+    );
+
+    let free = ndirect_core::ConvPlan::try_with_schedule(&shape, &filter, &requested)
+        .expect("no cap, no degradation");
+    assert!(!free.degraded());
+    let mut want_full = Tensor4::output_for(&shape, ActLayout::Nchw);
+    free.execute(&pool, &input, &mut want_full).expect("unconstrained plan runs");
+    ndirect_tensor::assert_close(
+        got.as_slice(),
+        want_full.as_slice(),
+        2e-4,
+        "degraded vs requested schedule",
+    );
+}
+
 // ------------------------------------------------------------------ ISA
 
 #[test]

@@ -5,6 +5,8 @@
 //! grid — results must be *bitwise* identical across grids. The same holds
 //! for the baselines' batch/row/channel-block decompositions.
 
+use std::sync::{Mutex, MutexGuard};
+
 use ndirect_baselines::{blocked, im2col, indirect};
 use ndirect_core::{conv_ndirect_with, Schedule};
 use ndirect_tensor::{ActLayout, ConvShape, FilterLayout};
@@ -15,8 +17,56 @@ fn shape() -> ConvShape {
     ConvShape::square(4, 24, 32, 12, 3, 1)
 }
 
+/// The probe's counters are process-global, so the probe-state test below
+/// can only assert exact deltas while no other convolution runs in this
+/// binary: every conv-running test shares this lock.
+static PROBE_LOCK: Mutex<()> = Mutex::new(());
+
+fn probe_lock() -> MutexGuard<'static, ()> {
+    PROBE_LOCK.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// The invariance contract extended to observability: not just the
+/// *results* but the *accounting* must be independent of the thread grid —
+/// FLOPs always, packed bytes on row-only grids (splitting K at `Vk`
+/// granularity can change the number of `Tk` tiles, which is a real
+/// packing-volume difference, not an accounting bug).
+#[test]
+fn probe_state_invariant_across_row_grids() {
+    let _g = probe_lock();
+    let shape = shape();
+    let p = make_problem(shape, ActLayout::Nchw, FilterLayout::Kcrs, 48);
+    let watched = [
+        ndirect_probe::Counter::FlopsIssued,
+        ndirect_probe::Counter::BytesPacked,
+    ];
+    let mut seen = Vec::new();
+    for (ptn, threads) in [(1, 1), (2, 2), (4, 4)] {
+        let pool = StaticPool::new(threads);
+        let sched = Schedule::minimal(&shape).with_grid(Grid2::new(ptn, 1));
+        let before: Vec<u64> = watched.iter().map(|&c| ndirect_probe::counter(c)).collect();
+        let out = conv_ndirect_with(&pool, &p.input, &p.filter, &shape, &sched);
+        let delta: Vec<u64> = watched
+            .iter()
+            .zip(&before)
+            .map(|(&c, b)| ndirect_probe::counter(c) - b)
+            .collect();
+        seen.push((delta, out));
+    }
+    for (delta, out) in &seen[1..] {
+        assert_eq!(delta, &seen[0].0, "probe counters diverged across grids");
+        assert_eq!(out.as_slice(), seen[0].1.as_slice(), "results diverged");
+    }
+    if ndirect_probe::ENABLED {
+        assert_eq!(seen[0].0[0], shape.flops(), "flops delta is the closed form");
+    } else {
+        assert_eq!(seen[0].0, vec![0, 0], "disabled probe must stay silent");
+    }
+}
+
 #[test]
 fn ndirect_bitwise_identical_across_grids() {
+    let _g = probe_lock();
     let shape = shape();
     let p = make_problem(shape, ActLayout::Nchw, FilterLayout::Kcrs, 42);
     let reference = {
@@ -38,6 +88,7 @@ fn ndirect_bitwise_identical_across_grids() {
 
 #[test]
 fn ndirect_bitwise_identical_across_repeat_runs() {
+    let _g = probe_lock();
     let shape = shape();
     let p = make_problem(shape, ActLayout::Nchw, FilterLayout::Kcrs, 43);
     let pool = StaticPool::new(4);
@@ -51,6 +102,7 @@ fn ndirect_bitwise_identical_across_repeat_runs() {
 
 #[test]
 fn im2col_bitwise_identical_across_thread_counts() {
+    let _g = probe_lock();
     let shape = shape();
     let p = make_problem(shape, ActLayout::Nchw, FilterLayout::Kcrs, 44);
     let base = im2col::conv_im2col(&StaticPool::new(1), &p.input, &p.filter, &shape);
@@ -62,6 +114,7 @@ fn im2col_bitwise_identical_across_thread_counts() {
 
 #[test]
 fn blocked_bitwise_identical_across_thread_counts() {
+    let _g = probe_lock();
     let shape = shape();
     let p = make_problem(shape, ActLayout::Nchw, FilterLayout::Kcrs, 45);
     let ops = blocked::prepare_blocked(&p.input, &p.filter, &shape);
@@ -74,6 +127,7 @@ fn blocked_bitwise_identical_across_thread_counts() {
 
 #[test]
 fn indirect_bitwise_identical_across_thread_counts() {
+    let _g = probe_lock();
     let shape = shape();
     let p = make_problem(shape, ActLayout::Nhwc, FilterLayout::Krsc, 46);
     let base = indirect::conv_indirect(&StaticPool::new(1), &p.input, &p.filter, &shape);
@@ -85,6 +139,7 @@ fn indirect_bitwise_identical_across_thread_counts() {
 
 #[test]
 fn oversubscribed_pool_still_correct() {
+    let _g = probe_lock();
     // Fig. 9's SMT setting oversubscribes threads well past the core count.
     let shape = ConvShape::square(2, 8, 16, 10, 3, 1);
     let p = make_problem(shape, ActLayout::Nchw, FilterLayout::Kcrs, 47);
