@@ -113,24 +113,97 @@ fn main() {
     println!("(paper setting: N = physical cores, 64/64/32/4 per machine)\n");
 
     for t in &targets {
-        match t.as_str() {
-            "table3" => table3(),
-            "table4" => table4(),
-            "model" => model_tables(),
-            "alpha" => alpha_bench(),
-            "fig1a" => fig1a(&opts),
-            "fig1b" => fig1b(&opts, &platform),
-            "fig4" => fig4(&opts, &platform),
-            "fig5" => fig5(&opts, &platform),
-            "fig6" => fig6(&opts, &platform),
-            "fig7" => fig7(&opts),
-            "fig8" => fig8(&opts, &platform),
-            "fig9" => fig9(&opts, &platform),
-            "nhwc" => nhwc_extension(&opts, &platform),
-            "fastalg" => fast_algorithms(&opts, &platform),
-            "int16" => int16_extension(&opts, &platform),
-            other => eprintln!("unknown target: {other}"),
+        // Snapshot the probe before each target so the per-target trace
+        // sidecar holds only this target's spans and counter deltas.
+        let probe_before = ndirect_probe::TraceReport::capture();
+        let known = match t.as_str() {
+            "table3" => {
+                table3();
+                true
+            }
+            "table4" => {
+                table4();
+                true
+            }
+            "model" => {
+                model_tables();
+                true
+            }
+            "alpha" => {
+                alpha_bench();
+                true
+            }
+            "fig1a" => {
+                fig1a(&opts);
+                true
+            }
+            "fig1b" => {
+                fig1b(&opts, &platform);
+                true
+            }
+            "fig4" => {
+                fig4(&opts, &platform);
+                true
+            }
+            "fig5" => {
+                fig5(&opts, &platform);
+                true
+            }
+            "fig6" => {
+                fig6(&opts, &platform);
+                true
+            }
+            "fig7" => {
+                fig7(&opts);
+                true
+            }
+            "fig8" => {
+                fig8(&opts, &platform);
+                true
+            }
+            "fig9" => {
+                fig9(&opts, &platform);
+                true
+            }
+            "nhwc" => {
+                nhwc_extension(&opts, &platform);
+                true
+            }
+            "fastalg" => {
+                fast_algorithms(&opts, &platform);
+                true
+            }
+            "int16" => {
+                int16_extension(&opts, &platform);
+                true
+            }
+            other => {
+                eprintln!("unknown target: {other}");
+                false
+            }
+        };
+        if known {
+            save_target_trace(&opts, t, &probe_before);
         }
+    }
+}
+
+/// With `--features probe`, writes `{out}/TRACE_{target}.json` — the
+/// Chrome-trace view of what this one target did (spans and counters
+/// since `before`) — and honors `NDIRECT_PROBE=1` stderr reporting for
+/// every target. A no-op in probe-less builds.
+fn save_target_trace(opts: &Opts, target: &str, before: &ndirect_probe::TraceReport) {
+    if !ndirect_probe::ENABLED {
+        return;
+    }
+    let delta = ndirect_probe::TraceReport::capture().since(before);
+    let path = format!("{}/TRACE_{target}.json", opts.out);
+    match std::fs::write(&path, delta.to_chrome_trace().pretty()) {
+        Ok(()) => println!("  -> {path} (chrome://tracing)"),
+        Err(e) => eprintln!("  !! cannot write {path}: {e}"),
+    }
+    if ndirect_probe::env_requested() {
+        eprintln!("== {target} ==\n{}", delta.render_timeline(100));
     }
 }
 

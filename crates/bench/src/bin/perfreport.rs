@@ -1,0 +1,351 @@
+//! `perfreport` — the performance observatory's command-line front end.
+//!
+//! ```text
+//! cargo run --release -p ndirect-bench --bin perfreport -- [options]
+//!     Runs the pinned Table 4 layer suite and writes a schema-versioned
+//!     results/BENCH_<stamp>.json (one ndirect_bench::perf::BenchSuite).
+//!
+//!   --threads N      thread count (default: hardware threads)
+//!   --batch N        batch size (default 1)
+//!   --reps N         timed repetitions per layer, best kept (default 5)
+//!   --layers A,B,..  Table 4 layer IDs (default 3,5,10,16,21,28)
+//!   --out DIR        output directory (default results/)
+//!   --tag NAME       write BENCH_<NAME>.json instead of a unix stamp
+//!                    (use --tag baseline to refresh the committed gate)
+//!
+//! cargo run ... --bin perfreport -- compare <baseline> <candidate> \
+//!     [--threshold PCT]
+//!     Diffs two BENCH files layer by layer; exits 1 when any layer is
+//!     slower than baseline by more than the threshold (default 20%, the
+//!     EXPERIMENTS.md noise ceiling; CI uses a wider 35% for shared
+//!     runners), 0 otherwise, 2 on usage or parse errors.
+//! ```
+//!
+//! Built with `--features probe`, each layer's record also carries the
+//! probe's measured pack bytes next to the cache model's prediction, and
+//! the whole run writes a `results/TRACE_perfreport.json` span sidecar.
+//! Hardware counters (cycles, instructions, cache loads/misses via
+//! `perf_event_open`) ride along whenever the kernel allows them; on
+//! restricted or non-Linux hosts the suite degrades to wall-clock +
+//! software counters and records why in `hw_status`.
+
+use ndirect_bench::perf::{compare, BenchSuite, LayerRecord, DEFAULT_THRESHOLD_PCT};
+use ndirect_core::ConvPlan;
+use ndirect_platform::{host, Roofline};
+use ndirect_probe::hwc::{HwCounters, HwEvent};
+use ndirect_probe::{Counter, TraceReport};
+use ndirect_tensor::{ActLayout, FilterLayout, Tensor4};
+use ndirect_threads::StaticPool;
+use ndirect_workloads::{make_problem, table4};
+
+/// The pinned suite: a spread of Table 4 regimes — early wide-spatial 3×3
+/// (3), pointwise (5), mid-network 3×3 (10, 16), the tiny-spatial tail
+/// (21), and a heavy VGG 3×3 (28). Six layers keep a full run under a
+/// few seconds at `--reps 5` on one core.
+const DEFAULT_LAYERS: [usize; 6] = [3, 5, 10, 16, 21, 28];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("compare") {
+        std::process::exit(run_compare(&args[1..]));
+    }
+    std::process::exit(run_suite(&args));
+}
+
+fn usage_exit(msg: &str) -> ! {
+    eprintln!("error: {msg} (see the module docs at the top of perfreport.rs)");
+    std::process::exit(2);
+}
+
+// ------------------------------------------------------------------- run
+
+struct RunOpts {
+    threads: usize,
+    batch: usize,
+    reps: usize,
+    layers: Vec<usize>,
+    out: String,
+    tag: Option<String>,
+}
+
+fn run_suite(args: &[String]) -> i32 {
+    let mut opts = RunOpts {
+        threads: ndirect_threads::hardware_threads(),
+        batch: 1,
+        reps: 5,
+        layers: DEFAULT_LAYERS.to_vec(),
+        out: "results".into(),
+        tag: None,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut num = |flag: &str| -> usize {
+            it.next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| usage_exit(&format!("{flag} requires a positive integer")))
+        };
+        match a.as_str() {
+            "run" => {}
+            "--threads" => opts.threads = num("--threads").max(1),
+            "--batch" => opts.batch = num("--batch").max(1),
+            "--reps" => opts.reps = num("--reps").max(1),
+            "--layers" => {
+                let list = it
+                    .next()
+                    .unwrap_or_else(|| usage_exit("--layers requires a comma-separated ID list"));
+                opts.layers = list
+                    .split(',')
+                    .map(|s| {
+                        s.trim()
+                            .parse()
+                            .ok()
+                            .filter(|id| table4::layer_by_id(*id).is_some())
+                            .unwrap_or_else(|| {
+                                usage_exit(&format!("{s:?} is not a Table 4 layer ID (1-28)"))
+                            })
+                    })
+                    .collect();
+            }
+            "--out" => {
+                opts.out = it
+                    .next()
+                    .unwrap_or_else(|| usage_exit("--out requires a directory"))
+                    .clone()
+            }
+            "--tag" => {
+                opts.tag = Some(
+                    it.next()
+                        .unwrap_or_else(|| usage_exit("--tag requires a name"))
+                        .clone(),
+                )
+            }
+            other => usage_exit(&format!("unknown argument {other:?}")),
+        }
+    }
+    if opts.layers.is_empty() {
+        usage_exit("--layers must name at least one layer");
+    }
+
+    let platform = host();
+    let roofline = Roofline::for_threads(&platform, opts.threads);
+    // Open hardware counters before the pool exists: the perf fds carry
+    // the inherit bit, so worker threads spawned afterwards are counted.
+    let hw = HwCounters::try_open(HwEvent::ALL);
+    let hw_status = match &hw {
+        Ok(h) => {
+            let names: Vec<&str> = h.available().iter().map(|e| e.name()).collect();
+            format!("available ({})", names.join(","))
+        }
+        Err(e) => e.to_string(),
+    };
+    let pool = StaticPool::new(opts.threads);
+
+    println!(
+        "perfreport: {} | {} thread(s), batch {}, reps {} | peak {:.1} GF/s, bw {:.1} GiB/s (ridge {:.1} FLOP/B)",
+        platform.name,
+        opts.threads,
+        opts.batch,
+        opts.reps,
+        roofline.peak_gflops,
+        roofline.bandwidth_gib_s,
+        roofline.ridge_intensity(),
+    );
+    println!("probe: {} | hw counters: {hw_status}", ndirect_probe::ENABLED);
+    println!(
+        "{:>5} {:>11} {:>8} {:>9} {:>8} {:>7}  {:>12} {:>12} {:>11}",
+        "layer", "GF/s", "%peak", "I(F/B)", "%roof", "bound", "pred pack B", "meas pack B", "LLC miss"
+    );
+
+    let mut layers = Vec::new();
+    for &id in &opts.layers {
+        let cfg = table4::layer_by_id(id).expect("validated above");
+        let shape = cfg.shape(opts.batch);
+        let p = make_problem(shape, ActLayout::Nchw, FilterLayout::Kcrs, id as u64);
+        let plan = match ConvPlan::try_new(&platform, &shape, &p.filter, opts.threads) {
+            Ok(plan) => plan,
+            Err(e) => {
+                eprintln!("layer {id}: plan build failed ({e}); skipping");
+                continue;
+            }
+        };
+        let mut out = Tensor4::output_for(&shape, ActLayout::Nchw);
+
+        // Wall time: best of `reps` after best_seconds' built-in warm-up.
+        let secs = ndirect_bench::best_seconds(opts.reps, || {
+            plan.execute(&pool, &p.input, &mut out).expect("planned layer")
+        });
+
+        // Software accounting for exactly one execution, via snapshot
+        // deltas (no global reset, so nothing else is disturbed).
+        let before = TraceReport::capture();
+        plan.execute(&pool, &p.input, &mut out).expect("planned layer");
+        let delta = TraceReport::capture().since(&before);
+        let measured_pack_bytes =
+            ndirect_probe::ENABLED.then(|| delta.counter(Counter::BytesPacked));
+
+        // Hardware deltas for one more execution.
+        let (hw_counts, hw_multiplexed) = match &hw {
+            Ok(h) => {
+                let (_, sample) = h.sample(|| {
+                    plan.execute(&pool, &p.input, &mut out).expect("planned layer")
+                });
+                (
+                    sample
+                        .counts
+                        .iter()
+                        .map(|&(e, n)| (e.name().to_owned(), n))
+                        .collect(),
+                    sample.multiplexed,
+                )
+            }
+            Err(_) => (Vec::new(), false),
+        };
+
+        let flops = shape.flops();
+        let traffic = ndirect_platform::conv_min_traffic_bytes(&shape);
+        let perf = roofline.attribute(flops, traffic, secs);
+        let predicted_pack_bytes =
+            plan.schedule().predicted_pack_bytes(&shape).min(u64::MAX as u128) as u64;
+
+        let record = LayerRecord {
+            id,
+            c: cfg.c,
+            k: cfg.k,
+            hw: cfg.hw,
+            rs: cfg.rs,
+            stride: cfg.stride,
+            batch: opts.batch,
+            secs,
+            gflops: perf.gflops,
+            pct_peak: perf.pct_peak,
+            intensity: perf.intensity,
+            pct_roofline: perf.pct_roofline,
+            bound: perf.bound.name().to_owned(),
+            predicted_pack_bytes,
+            measured_pack_bytes,
+            hw_counts,
+            hw_multiplexed,
+        };
+        println!(
+            "{:>5} {:>11.2} {:>7.1}% {:>9.1} {:>7.1}% {:>7}  {:>12} {:>12} {:>11}",
+            id,
+            record.gflops,
+            record.pct_peak,
+            record.intensity,
+            record.pct_roofline,
+            record.bound,
+            record.predicted_pack_bytes,
+            record
+                .measured_pack_bytes
+                .map(|b| b.to_string())
+                .unwrap_or_else(|| "-".into()),
+            record
+                .hw_counts
+                .iter()
+                .find(|(n, _)| n == "llc_misses")
+                .map(|(_, c)| c.to_string())
+                .unwrap_or_else(|| "-".into()),
+        );
+        layers.push(record);
+    }
+
+    if layers.is_empty() {
+        eprintln!("no layer produced a record; refusing to write an empty BENCH file");
+        return 1;
+    }
+
+    let suite = BenchSuite {
+        created_unix: std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0),
+        host: platform.name.clone(),
+        threads: opts.threads,
+        reps: opts.reps,
+        peak_gflops: roofline.peak_gflops,
+        bandwidth_gib_s: roofline.bandwidth_gib_s,
+        probe_enabled: ndirect_probe::ENABLED,
+        hw_status,
+        layers,
+    };
+
+    if std::fs::create_dir_all(&opts.out).is_err() {
+        eprintln!("cannot create output directory {}", opts.out);
+        return 1;
+    }
+    let stamp = opts
+        .tag
+        .clone()
+        .unwrap_or_else(|| suite.created_unix.to_string());
+    let path = format!("{}/BENCH_{stamp}.json", opts.out);
+    if let Err(e) = std::fs::write(&path, suite.to_json().pretty()) {
+        eprintln!("cannot write {path}: {e}");
+        return 1;
+    }
+    println!("-> {path}");
+
+    if ndirect_probe::ENABLED {
+        let trace_path = format!("{}/TRACE_perfreport.json", opts.out);
+        let report = TraceReport::capture();
+        match std::fs::write(&trace_path, report.to_chrome_trace().pretty()) {
+            Ok(()) => println!("-> {trace_path} (chrome://tracing)"),
+            Err(e) => eprintln!("cannot write {trace_path}: {e}"),
+        }
+    }
+    ndirect_probe::report_if_env("perfreport");
+    0
+}
+
+// --------------------------------------------------------------- compare
+
+fn run_compare(args: &[String]) -> i32 {
+    let mut threshold = DEFAULT_THRESHOLD_PCT;
+    let mut paths = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--threshold" => {
+                threshold = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|t: &f64| t.is_finite() && *t >= 0.0)
+                    .unwrap_or_else(|| usage_exit("--threshold requires a percentage"));
+            }
+            other => paths.push(other.to_string()),
+        }
+    }
+    let [base_path, cand_path] = paths.as_slice() else {
+        usage_exit("compare takes exactly two BENCH files: <baseline> <candidate>");
+    };
+    let baseline = match BenchSuite::load(base_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    let candidate = match BenchSuite::load(cand_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    println!(
+        "baseline:  {} ({} on {}, {} thread(s))",
+        base_path, baseline.created_unix, baseline.host, baseline.threads
+    );
+    println!(
+        "candidate: {} ({} on {}, {} thread(s))",
+        cand_path, candidate.created_unix, candidate.host, candidate.threads
+    );
+    if baseline.threads != candidate.threads {
+        println!(
+            "note: thread counts differ ({} vs {}) — ratios compare different configurations",
+            baseline.threads, candidate.threads
+        );
+    }
+    let report = compare(&baseline, &candidate, threshold);
+    print!("{}", report.render());
+    i32::from(report.has_regression())
+}

@@ -22,6 +22,7 @@
 //!   search overhead).
 
 pub mod harness;
+pub mod perf;
 
 use std::time::Instant;
 

@@ -1,0 +1,571 @@
+//! The BENCH trajectory: schema-versioned performance suites and the
+//! noise-aware comparator that gates regressions.
+//!
+//! `perfreport` (this crate's second binary) runs a pinned Table 4 layer
+//! suite and serializes one [`BenchSuite`] per run into
+//! `results/BENCH_<stamp>.json`. A committed `results/BENCH_baseline.json`
+//! plus [`compare`] turn those files into a CI gate: every layer's
+//! achieved GFLOPS is checked against the baseline with a relative
+//! threshold wide enough for shared-VM noise (EXPERIMENTS.md documents
+//! ±10–20% between runs), and any layer falling further than that fails
+//! the build. The schema carries everything needed to *attribute* a
+//! regression, not just detect it: %-of-peak and roofline bound (from
+//! `ndirect_platform::Roofline`), the cache model's predicted pack bytes
+//! next to the probe's measured ones, and raw hardware counts when the
+//! `perf_event_open` backend could run.
+//!
+//! Everything round-trips through the in-tree [`Json`] value, so the
+//! comparator can be tested on synthetic suites with no filesystem or
+//! binary involved.
+
+use ndirect_support::{Json, JsonError};
+
+/// Version stamp written into (and required from) every BENCH file.
+/// Bump on any breaking schema change and teach [`BenchSuite::from_json`]
+/// the migration.
+pub const BENCH_SCHEMA_VERSION: usize = 1;
+
+/// The `kind` discriminator of a BENCH file, so a TRACE or figure JSON
+/// handed to the comparator by mistake fails loudly instead of diffing
+/// garbage.
+pub const BENCH_KIND: &str = "ndirect-perf-suite";
+
+/// Default comparator threshold, percent. EXPERIMENTS.md measures
+/// ±10–20% run-to-run noise on the shared CI host; CI passes a wider
+/// `--threshold 35` because its runners also vary between invocations.
+pub const DEFAULT_THRESHOLD_PCT: f64 = 20.0;
+
+/// One measured + attributed Table 4 layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerRecord {
+    /// Table 4 layer ID (1–28).
+    pub id: usize,
+    /// Input channels, output channels, spatial size, kernel size, stride
+    /// — denormalized from Table 4 so the file is self-describing.
+    pub c: usize,
+    /// Output channels `K`.
+    pub k: usize,
+    /// Input height = width.
+    pub hw: usize,
+    /// Kernel height = width.
+    pub rs: usize,
+    /// Stride.
+    pub stride: usize,
+    /// Batch size the layer ran at.
+    pub batch: usize,
+    /// Best-of-`reps` wall time for one plan execution, seconds.
+    pub secs: f64,
+    /// Achieved throughput, GFLOPS.
+    pub gflops: f64,
+    /// Achieved percent of the platform's compute peak at this thread
+    /// count.
+    pub pct_peak: f64,
+    /// Arithmetic intensity against compulsory traffic, FLOPs/byte.
+    pub intensity: f64,
+    /// Achieved percent of the roofline ceiling at this intensity — the
+    /// honest efficiency number for memory-bound layers.
+    pub pct_roofline: f64,
+    /// `"compute"` or `"memory"` (`BoundKind::name`).
+    pub bound: String,
+    /// The cache model's packing-traffic prediction
+    /// (`Schedule::predicted_pack_bytes`) for one execution.
+    pub predicted_pack_bytes: u64,
+    /// The probe's measured `bytes_packed` for one execution; `None` when
+    /// the binary was built without `--features probe`.
+    pub measured_pack_bytes: Option<u64>,
+    /// `(event name, count)` hardware deltas across one execution, empty
+    /// when `perf_event_open` was unavailable.
+    pub hw_counts: Vec<(String, u64)>,
+    /// `true` when the PMU multiplexed and the hardware counts are scaled
+    /// estimates.
+    pub hw_multiplexed: bool,
+}
+
+impl LayerRecord {
+    fn to_json(&self) -> Json {
+        let mut members = vec![
+            ("id".to_owned(), Json::usize(self.id)),
+            ("c".to_owned(), Json::usize(self.c)),
+            ("k".to_owned(), Json::usize(self.k)),
+            ("hw".to_owned(), Json::usize(self.hw)),
+            ("rs".to_owned(), Json::usize(self.rs)),
+            ("stride".to_owned(), Json::usize(self.stride)),
+            ("batch".to_owned(), Json::usize(self.batch)),
+            ("secs".to_owned(), Json::num(self.secs)),
+            ("gflops".to_owned(), Json::num(self.gflops)),
+            ("pct_peak".to_owned(), Json::num(self.pct_peak)),
+            ("intensity".to_owned(), Json::num(self.intensity)),
+            ("pct_roofline".to_owned(), Json::num(self.pct_roofline)),
+            ("bound".to_owned(), Json::str(self.bound.clone())),
+            (
+                "predicted_pack_bytes".to_owned(),
+                Json::num(self.predicted_pack_bytes as f64),
+            ),
+        ];
+        members.push((
+            "measured_pack_bytes".to_owned(),
+            match self.measured_pack_bytes {
+                Some(b) => Json::num(b as f64),
+                None => Json::Null,
+            },
+        ));
+        members.push((
+            "hw_counters".to_owned(),
+            Json::Obj(
+                self.hw_counts
+                    .iter()
+                    .map(|(name, count)| (name.clone(), Json::num(*count as f64)))
+                    .collect(),
+            ),
+        ));
+        members.push(("hw_multiplexed".to_owned(), Json::Bool(self.hw_multiplexed)));
+        Json::Obj(members)
+    }
+
+    fn from_json(v: &Json) -> Result<LayerRecord, JsonError> {
+        let f64_field = |key: &str| -> Result<f64, JsonError> {
+            v.require(key)?.as_f64().ok_or_else(|| JsonError {
+                msg: format!("layer key {key:?} is not a number"),
+                at: 0,
+            })
+        };
+        let measured_pack_bytes = match v.get("measured_pack_bytes") {
+            Some(Json::Null) | None => None,
+            Some(b) => Some(b.as_f64().ok_or_else(|| JsonError {
+                msg: "measured_pack_bytes is neither null nor a number".into(),
+                at: 0,
+            })? as u64),
+        };
+        let hw_counts = v
+            .get("hw_counters")
+            .and_then(Json::as_obj)
+            .map(|members| {
+                members
+                    .iter()
+                    .filter_map(|(k, c)| c.as_f64().map(|x| (k.clone(), x as u64)))
+                    .collect()
+            })
+            .unwrap_or_default();
+        Ok(LayerRecord {
+            id: v.usize_field("id")?,
+            c: v.usize_field("c")?,
+            k: v.usize_field("k")?,
+            hw: v.usize_field("hw")?,
+            rs: v.usize_field("rs")?,
+            stride: v.usize_field("stride")?,
+            batch: v.usize_field("batch")?,
+            secs: f64_field("secs")?,
+            gflops: f64_field("gflops")?,
+            pct_peak: f64_field("pct_peak")?,
+            intensity: f64_field("intensity")?,
+            pct_roofline: f64_field("pct_roofline")?,
+            bound: v.str_field("bound")?.to_owned(),
+            predicted_pack_bytes: f64_field("predicted_pack_bytes")? as u64,
+            measured_pack_bytes,
+            hw_counts,
+            hw_multiplexed: v
+                .get("hw_multiplexed")
+                .and_then(Json::as_bool)
+                .unwrap_or(false),
+        })
+    }
+}
+
+/// One complete `perfreport` run: environment header + per-layer records.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchSuite {
+    /// Seconds since the Unix epoch when the suite ran.
+    pub created_unix: u64,
+    /// `Platform::name` of the measuring host.
+    pub host: String,
+    /// Thread count every layer ran at.
+    pub threads: usize,
+    /// Timed repetitions per layer (best is kept).
+    pub reps: usize,
+    /// Compute ceiling used for `pct_peak`, GFLOPS.
+    pub peak_gflops: f64,
+    /// Memory ceiling used for the roofline, GiB/s.
+    pub bandwidth_gib_s: f64,
+    /// Whether the software probe (`--features probe`) was compiled in.
+    pub probe_enabled: bool,
+    /// `"available"`, or the human-readable reason hardware counters were
+    /// not.
+    pub hw_status: String,
+    /// Per-layer measurements.
+    pub layers: Vec<LayerRecord>,
+}
+
+impl BenchSuite {
+    /// Serializes the suite, schema stamp first.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            (
+                "schema_version".to_owned(),
+                Json::usize(BENCH_SCHEMA_VERSION),
+            ),
+            ("kind".to_owned(), Json::str(BENCH_KIND)),
+            ("created_unix".to_owned(), Json::num(self.created_unix as f64)),
+            ("host".to_owned(), Json::str(self.host.clone())),
+            ("threads".to_owned(), Json::usize(self.threads)),
+            ("reps".to_owned(), Json::usize(self.reps)),
+            ("peak_gflops".to_owned(), Json::num(self.peak_gflops)),
+            (
+                "bandwidth_gib_s".to_owned(),
+                Json::num(self.bandwidth_gib_s),
+            ),
+            ("probe_enabled".to_owned(), Json::Bool(self.probe_enabled)),
+            ("hw_status".to_owned(), Json::str(self.hw_status.clone())),
+            (
+                "layers".to_owned(),
+                Json::Arr(self.layers.iter().map(LayerRecord::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Deserializes and validates a suite: the schema stamp and `kind`
+    /// must match exactly — a BENCH file from a future schema or a
+    /// different JSON artifact is an error, not a silent partial parse.
+    pub fn from_json(v: &Json) -> Result<BenchSuite, JsonError> {
+        let kind = v.str_field("kind")?;
+        if kind != BENCH_KIND {
+            return Err(JsonError {
+                msg: format!("not a BENCH file: kind {kind:?}, expected {BENCH_KIND:?}"),
+                at: 0,
+            });
+        }
+        let version = v.usize_field("schema_version")?;
+        if version != BENCH_SCHEMA_VERSION {
+            return Err(JsonError {
+                msg: format!(
+                    "BENCH schema version {version} unsupported (this build reads {BENCH_SCHEMA_VERSION})"
+                ),
+                at: 0,
+            });
+        }
+        let layers = v
+            .require("layers")?
+            .as_arr()
+            .ok_or_else(|| JsonError {
+                msg: "\"layers\" is not an array".into(),
+                at: 0,
+            })?
+            .iter()
+            .map(LayerRecord::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        let f64_field = |key: &str| -> Result<f64, JsonError> {
+            v.require(key)?.as_f64().ok_or_else(|| JsonError {
+                msg: format!("key {key:?} is not a number"),
+                at: 0,
+            })
+        };
+        Ok(BenchSuite {
+            created_unix: f64_field("created_unix")? as u64,
+            host: v.str_field("host")?.to_owned(),
+            threads: v.usize_field("threads")?,
+            reps: v.usize_field("reps")?,
+            peak_gflops: f64_field("peak_gflops")?,
+            bandwidth_gib_s: f64_field("bandwidth_gib_s")?,
+            probe_enabled: v
+                .get("probe_enabled")
+                .and_then(Json::as_bool)
+                .unwrap_or(false),
+            hw_status: v.str_field("hw_status")?.to_owned(),
+            layers,
+        })
+    }
+
+    /// Parses a BENCH file from disk.
+    pub fn load(path: &str) -> Result<BenchSuite, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let json = Json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+        BenchSuite::from_json(&json).map_err(|e| format!("{path}: {e}"))
+    }
+}
+
+/// A layer's comparator outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Faster than baseline by more than the threshold.
+    Improvement,
+    /// Within ±threshold of the baseline — the noise band.
+    WithinNoise,
+    /// Slower than baseline by more than the threshold, or missing from
+    /// the candidate entirely.
+    Regression,
+}
+
+impl Verdict {
+    /// Stable lowercase name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Verdict::Improvement => "improvement",
+            Verdict::WithinNoise => "within-noise",
+            Verdict::Regression => "REGRESSION",
+        }
+    }
+}
+
+/// One layer's baseline-vs-candidate line.
+#[derive(Debug, Clone)]
+pub struct LayerComparison {
+    /// Table 4 layer ID.
+    pub id: usize,
+    /// Baseline GFLOPS.
+    pub base_gflops: f64,
+    /// Candidate GFLOPS; `None` when the layer vanished from the
+    /// candidate suite (always a [`Verdict::Regression`]).
+    pub cand_gflops: Option<f64>,
+    /// `cand / base` (0 when the candidate is missing).
+    pub ratio: f64,
+    /// The noise-aware outcome.
+    pub verdict: Verdict,
+}
+
+/// The comparator's full output.
+#[derive(Debug, Clone)]
+pub struct CompareReport {
+    /// Relative threshold, percent, that separated noise from signal.
+    pub threshold_pct: f64,
+    /// Per-layer outcomes, baseline order.
+    pub layers: Vec<LayerComparison>,
+    /// Geometric-mean candidate/baseline ratio over layers present in
+    /// both suites (1.0 when none are).
+    pub geomean_ratio: f64,
+}
+
+impl CompareReport {
+    /// `true` when any layer regressed (the CI gate condition).
+    pub fn has_regression(&self) -> bool {
+        self.layers
+            .iter()
+            .any(|l| l.verdict == Verdict::Regression)
+    }
+
+    /// Human-readable table + summary, one line per layer.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:>5} {:>14} {:>14} {:>8}  verdict (threshold ±{}%)",
+            "layer", "base GF/s", "cand GF/s", "ratio", self.threshold_pct
+        );
+        for l in &self.layers {
+            match l.cand_gflops {
+                Some(c) => {
+                    let _ = writeln!(
+                        out,
+                        "{:>5} {:>14.2} {:>14.2} {:>7.2}x  {}",
+                        l.id,
+                        l.base_gflops,
+                        c,
+                        l.ratio,
+                        l.verdict.name()
+                    );
+                }
+                None => {
+                    let _ = writeln!(
+                        out,
+                        "{:>5} {:>14.2} {:>14} {:>8}  {} (missing from candidate)",
+                        l.id,
+                        l.base_gflops,
+                        "-",
+                        "-",
+                        l.verdict.name()
+                    );
+                }
+            }
+        }
+        let _ = writeln!(
+            out,
+            "geomean ratio {:.3}x over {} layer(s); {}",
+            self.geomean_ratio,
+            self.layers.iter().filter(|l| l.cand_gflops.is_some()).count(),
+            if self.has_regression() {
+                "REGRESSION detected"
+            } else {
+                "no regression"
+            }
+        );
+        out
+    }
+}
+
+/// Diffs `candidate` against `baseline` with a relative noise threshold
+/// (percent). Layers are matched by Table 4 ID; a baseline layer missing
+/// from the candidate is a regression (coverage must not silently
+/// shrink), while extra candidate layers are new coverage and ignored.
+pub fn compare(baseline: &BenchSuite, candidate: &BenchSuite, threshold_pct: f64) -> CompareReport {
+    let thr = (threshold_pct / 100.0).max(0.0);
+    let mut layers = Vec::new();
+    let mut log_sum = 0.0f64;
+    let mut matched = 0usize;
+    for b in &baseline.layers {
+        let cand = candidate.layers.iter().find(|c| c.id == b.id);
+        match cand {
+            Some(c) => {
+                let ratio = c.gflops / b.gflops.max(1e-12);
+                let verdict = if ratio < 1.0 - thr {
+                    Verdict::Regression
+                } else if ratio > 1.0 + thr {
+                    Verdict::Improvement
+                } else {
+                    Verdict::WithinNoise
+                };
+                log_sum += ratio.max(1e-12).ln();
+                matched += 1;
+                layers.push(LayerComparison {
+                    id: b.id,
+                    base_gflops: b.gflops,
+                    cand_gflops: Some(c.gflops),
+                    ratio,
+                    verdict,
+                });
+            }
+            None => layers.push(LayerComparison {
+                id: b.id,
+                base_gflops: b.gflops,
+                cand_gflops: None,
+                ratio: 0.0,
+                verdict: Verdict::Regression,
+            }),
+        }
+    }
+    CompareReport {
+        threshold_pct,
+        layers,
+        geomean_ratio: if matched == 0 {
+            1.0
+        } else {
+            (log_sum / matched as f64).exp()
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layer(id: usize, gflops: f64) -> LayerRecord {
+        LayerRecord {
+            id,
+            c: 64,
+            k: 64,
+            hw: 56,
+            rs: 3,
+            stride: 1,
+            batch: 1,
+            secs: 0.01,
+            gflops,
+            pct_peak: 50.0,
+            intensity: 20.0,
+            pct_roofline: 60.0,
+            bound: "compute".into(),
+            predicted_pack_bytes: 1_000_000,
+            measured_pack_bytes: Some(1_000_000),
+            hw_counts: vec![("cycles".into(), 123), ("llc_misses".into(), 7)],
+            hw_multiplexed: false,
+        }
+    }
+
+    fn suite(gflops: &[(usize, f64)]) -> BenchSuite {
+        BenchSuite {
+            created_unix: 1_700_000_000,
+            host: "test-host".into(),
+            threads: 1,
+            reps: 3,
+            peak_gflops: 100.0,
+            bandwidth_gib_s: 10.0,
+            probe_enabled: true,
+            hw_status: "available".into(),
+            layers: gflops.iter().map(|&(id, g)| layer(id, g)).collect(),
+        }
+    }
+
+    #[test]
+    fn suite_round_trips_through_the_in_tree_json() {
+        let s = suite(&[(3, 40.0), (10, 55.5)]);
+        let text = s.to_json().pretty();
+        let parsed = BenchSuite::from_json(&Json::parse(&text).expect("valid JSON"))
+            .expect("valid suite");
+        assert_eq!(parsed, s);
+    }
+
+    #[test]
+    fn missing_probe_bytes_serialize_as_null() {
+        let mut s = suite(&[(3, 40.0)]);
+        s.layers[0].measured_pack_bytes = None;
+        s.layers[0].hw_counts.clear();
+        let text = s.to_json().pretty();
+        assert!(text.contains("\"measured_pack_bytes\": null"));
+        let parsed = BenchSuite::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(parsed.layers[0].measured_pack_bytes, None);
+        assert!(parsed.layers[0].hw_counts.is_empty());
+    }
+
+    #[test]
+    fn wrong_schema_or_kind_is_rejected() {
+        let mut j = suite(&[(3, 40.0)]).to_json();
+        if let Json::Obj(members) = &mut j {
+            members[0].1 = Json::usize(BENCH_SCHEMA_VERSION + 1);
+        }
+        assert!(BenchSuite::from_json(&j).is_err(), "future schema must fail");
+
+        let trace = Json::Obj(vec![
+            ("schema_version".into(), Json::usize(BENCH_SCHEMA_VERSION)),
+            ("kind".into(), Json::str("ndirect-trace")),
+        ]);
+        let err = BenchSuite::from_json(&trace).unwrap_err();
+        assert!(err.msg.contains("not a BENCH file"), "{err}");
+    }
+
+    #[test]
+    fn comparator_separates_the_three_verdicts() {
+        let base = suite(&[(1, 100.0), (2, 100.0), (3, 100.0)]);
+        // Layer 1 +50% (improvement), layer 2 -5% (noise), layer 3 -40%
+        // (regression) at a 20% threshold.
+        let cand = suite(&[(1, 150.0), (2, 95.0), (3, 60.0)]);
+        let report = compare(&base, &cand, 20.0);
+        let verdicts: Vec<Verdict> = report.layers.iter().map(|l| l.verdict).collect();
+        assert_eq!(
+            verdicts,
+            vec![Verdict::Improvement, Verdict::WithinNoise, Verdict::Regression]
+        );
+        assert!(report.has_regression());
+        let text = report.render();
+        assert!(text.contains("REGRESSION"), "{text}");
+    }
+
+    #[test]
+    fn within_threshold_everywhere_passes() {
+        let base = suite(&[(1, 100.0), (2, 50.0)]);
+        let cand = suite(&[(1, 90.0), (2, 55.0)]);
+        let report = compare(&base, &cand, 20.0);
+        assert!(!report.has_regression());
+        assert!(report.layers.iter().all(|l| l.verdict == Verdict::WithinNoise));
+        // Geomean of 0.9 and 1.1 = sqrt(0.99).
+        assert!((report.geomean_ratio - (0.9f64 * 1.1).sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn a_layer_missing_from_the_candidate_is_a_regression() {
+        let base = suite(&[(1, 100.0), (2, 100.0)]);
+        let cand = suite(&[(1, 100.0)]);
+        let report = compare(&base, &cand, 20.0);
+        assert!(report.has_regression());
+        assert_eq!(report.layers[1].cand_gflops, None);
+        assert!(report.render().contains("missing from candidate"));
+        // Extra candidate layers are new coverage, not failures.
+        let wider = compare(&cand, &base, 20.0);
+        assert!(!wider.has_regression());
+    }
+
+    #[test]
+    fn exact_match_is_noise_band_and_geomean_one() {
+        let base = suite(&[(1, 42.0)]);
+        let report = compare(&base, &base, 10.0);
+        assert!(!report.has_regression());
+        assert_eq!(report.layers[0].verdict, Verdict::WithinNoise);
+        assert!((report.geomean_ratio - 1.0).abs() < 1e-12);
+    }
+}

@@ -13,16 +13,21 @@
 //! * [`alpha`] — the α microbenchmark (§6.2): time per element of streaming
 //!   vs non-streaming traversals of a buffer larger than the LLC;
 //! * [`timer`] — a tiny wall-clock scope timer used by every per-phase
-//!   breakdown in the workspace.
+//!   breakdown in the workspace;
+//! * [`roofline`] — achieved-GFLOPS / %-of-peak / arithmetic-intensity
+//!   attribution against the machine's compute and bandwidth ceilings,
+//!   used by the `perfreport` observatory in `ndirect-bench`.
 
 #![warn(missing_docs)]
 
 pub mod alpha;
 pub mod presets;
+pub mod roofline;
 pub mod spec;
 pub mod timer;
 
 pub use alpha::{measure_alpha, AlphaMeasurement};
 pub use presets::{host, kp920, phytium_2000p, rpi4, thunderx2, PAPER_PLATFORM_NAMES};
+pub use roofline::{conv_min_traffic_bytes, BoundKind, LayerPerf, Roofline};
 pub use spec::{CacheSpec, Platform, Replacement, SimdSpec};
 pub use timer::Stopwatch;

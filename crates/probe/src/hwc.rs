@@ -1,0 +1,538 @@
+//! Linux hardware performance counters via raw `perf_event_open`.
+//!
+//! The probe's software counters say what the code *asked* the machine to
+//! do (FLOPs issued, bytes packed); this module reads what the machine
+//! *actually* did — cycles, instructions, L1d/LLC loads and misses — so
+//! the paper's Eq. 1–2 working-set predictions can be checked against
+//! real cache behavior rather than only against the packing arithmetic.
+//!
+//! Zero new dependencies: the syscall goes through the `syscall(2)`
+//! wrapper that the already-linked C runtime exports, with the
+//! `perf_event_attr` layout declared here (`PERF_ATTR_SIZE_VER0`, the
+//! 64-byte prefix every kernel since 2.6.32 accepts). On non-Linux hosts,
+//! unsupported architectures, or kernels that refuse unprivileged
+//! profiling (`perf_event_paranoid`, seccomp'd containers), every entry
+//! point degrades to [`HwError`] instead of failing the build or the run
+//! — callers treat hardware counts as an optional extra signal.
+//!
+//! # Usage model
+//!
+//! Counters are opened *enabled* and with the `inherit` bit set, so a
+//! session opened **before** worker threads are spawned aggregates over
+//! every thread of the process. Because `PERF_EVENT_IOC_RESET` does not
+//! reset inherited child counts, the intended pattern is delta reads:
+//!
+//! ```no_run
+//! use ndirect_probe::hwc::{HwCounters, HwEvent};
+//! let hw = HwCounters::try_open(HwEvent::ALL).ok();
+//! let before = hw.as_ref().map(|h| h.reading());
+//! // ... run the phase being measured ...
+//! if let (Some(h), Some(b)) = (&hw, &before) {
+//!     let sample = h.reading().delta_since(b);
+//!     println!("{:?}", sample.get(HwEvent::Cycles));
+//! }
+//! ```
+//!
+//! Reads use `PERF_FORMAT_TOTAL_TIME_ENABLED/RUNNING`, so when the kernel
+//! multiplexes the PMU the deltas are scaled to estimates and the sample
+//! is flagged [`HwSample::multiplexed`].
+
+/// A hardware event the backend knows how to open.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HwEvent {
+    /// CPU cycles (`PERF_COUNT_HW_CPU_CYCLES`).
+    Cycles,
+    /// Retired instructions (`PERF_COUNT_HW_INSTRUCTIONS`).
+    Instructions,
+    /// L1 data-cache read accesses.
+    L1dLoads,
+    /// L1 data-cache read misses.
+    L1dMisses,
+    /// Last-level-cache read accesses.
+    LlcLoads,
+    /// Last-level-cache read misses — the event the Eq. 1–2 working-set
+    /// arguments are ultimately about (each miss is one line from DRAM).
+    LlcMisses,
+}
+
+/// Number of [`HwEvent`] variants.
+pub const NUM_HW_EVENTS: usize = 6;
+
+impl HwEvent {
+    /// All events, in declaration (= serialization) order.
+    pub const ALL: &'static [HwEvent] = &[
+        HwEvent::Cycles,
+        HwEvent::Instructions,
+        HwEvent::L1dLoads,
+        HwEvent::L1dMisses,
+        HwEvent::LlcLoads,
+        HwEvent::LlcMisses,
+    ];
+
+    /// Stable snake_case name used in JSON and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            HwEvent::Cycles => "cycles",
+            HwEvent::Instructions => "instructions",
+            HwEvent::L1dLoads => "l1d_loads",
+            HwEvent::L1dMisses => "l1d_misses",
+            HwEvent::LlcLoads => "llc_loads",
+            HwEvent::LlcMisses => "llc_misses",
+        }
+    }
+
+    /// `(perf type, config)` pair for `perf_event_attr`.
+    fn type_config(self) -> (u32, u64) {
+        const HARDWARE: u32 = 0; // PERF_TYPE_HARDWARE
+        const HW_CACHE: u32 = 3; // PERF_TYPE_HW_CACHE
+        // config = cache_id | (op << 8) | (result << 16)
+        const L1D: u64 = 0;
+        const LL: u64 = 2;
+        const READ: u64 = 0;
+        const ACCESS: u64 = 0;
+        const MISS: u64 = 1;
+        let cache = |id: u64, result: u64| id | (READ << 8) | (result << 16);
+        match self {
+            HwEvent::Cycles => (HARDWARE, 0),
+            HwEvent::Instructions => (HARDWARE, 1),
+            HwEvent::L1dLoads => (HW_CACHE, cache(L1D, ACCESS)),
+            HwEvent::L1dMisses => (HW_CACHE, cache(L1D, MISS)),
+            HwEvent::LlcLoads => (HW_CACHE, cache(LL, ACCESS)),
+            HwEvent::LlcMisses => (HW_CACHE, cache(LL, MISS)),
+        }
+    }
+}
+
+/// Why hardware counters are not (fully) available.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum HwError {
+    /// The build target has no `perf_event_open` (non-Linux, or an
+    /// architecture this backend has no syscall number for).
+    Unsupported(&'static str),
+    /// The kernel refused unprivileged access — `perf_event_paranoid`
+    /// too high, or the syscall is filtered (common in containers).
+    /// Carries `/proc/sys/kernel/perf_event_paranoid` when readable.
+    Restricted {
+        /// The paranoid level, if `/proc` exposed it.
+        paranoid: Option<i64>,
+    },
+    /// The syscall failed for another reason (event not supported by this
+    /// PMU, no PMU in a VM, fd limits, …).
+    Os {
+        /// The event being opened when the failure happened.
+        event: &'static str,
+        /// The raw `errno`.
+        errno: i32,
+    },
+    /// No event in the requested set could be opened.
+    NoEvents,
+}
+
+impl std::fmt::Display for HwError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HwError::Unsupported(what) => {
+                write!(f, "hardware counters unavailable: {what}")
+            }
+            HwError::Restricted { paranoid: Some(p) } => write!(
+                f,
+                "perf_event_open restricted (perf_event_paranoid = {p}; need <= 2 for user counting)"
+            ),
+            HwError::Restricted { paranoid: None } => {
+                write!(f, "perf_event_open restricted (EPERM/EACCES; syscall may be seccomp-filtered)")
+            }
+            HwError::Os { event, errno } => {
+                write!(f, "perf_event_open({event}) failed with errno {errno}")
+            }
+            HwError::NoEvents => write!(f, "no requested hardware event could be opened"),
+        }
+    }
+}
+
+impl std::error::Error for HwError {}
+
+/// `/proc/sys/kernel/perf_event_paranoid`, when readable. `None` means
+/// the file is absent (non-Linux, or a masked `/proc`).
+pub fn paranoid_level() -> Option<i64> {
+    std::fs::read_to_string("/proc/sys/kernel/perf_event_paranoid")
+        .ok()?
+        .trim()
+        .parse()
+        .ok()
+}
+
+/// One event's raw `(value, time_enabled, time_running)` triple, `None`
+/// when the event could not be opened.
+type RawRead = Option<(u64, u64, u64)>;
+
+/// One raw counter read: `(value, time_enabled, time_running)` per event,
+/// `None` for events that could not be opened. Values are cumulative
+/// since open; subtract two readings with [`HwReading::delta_since`].
+#[derive(Clone, Debug, Default)]
+pub struct HwReading {
+    slots: Vec<(HwEvent, RawRead)>,
+}
+
+impl HwReading {
+    /// Scaled per-event deltas between this reading and an `earlier` one
+    /// from the same [`HwCounters`] session.
+    pub fn delta_since(&self, earlier: &HwReading) -> HwSample {
+        let mut counts = Vec::new();
+        let mut multiplexed = false;
+        for (slot, earlier_slot) in self.slots.iter().zip(&earlier.slots) {
+            let (event, now) = slot;
+            let (Some((v1, e1, r1)), (_, Some((v0, e0, r0)))) = (now, earlier_slot) else {
+                continue;
+            };
+            let dv = v1.saturating_sub(*v0);
+            let de = e1.saturating_sub(*e0);
+            let dr = r1.saturating_sub(*r0);
+            // The kernel multiplexes when more events are open than the
+            // PMU has slots; running < enabled then, and the raw count is
+            // scaled up to an estimate of the full-window value.
+            let scaled = if dr > 0 && dr < de {
+                multiplexed = true;
+                (dv as f64 * de as f64 / dr as f64).round() as u64
+            } else {
+                dv
+            };
+            counts.push((*event, scaled));
+        }
+        HwSample { counts, multiplexed }
+    }
+}
+
+/// Scaled hardware-event deltas for one measured region.
+#[derive(Clone, Debug, Default)]
+pub struct HwSample {
+    /// `(event, count)` for every event that was open across the region.
+    pub counts: Vec<(HwEvent, u64)>,
+    /// `true` when the PMU was multiplexed and the counts are scaled
+    /// estimates rather than exact tallies.
+    pub multiplexed: bool,
+}
+
+impl HwSample {
+    /// The count for one event, if it was measured.
+    pub fn get(&self, event: HwEvent) -> Option<u64> {
+        self.counts
+            .iter()
+            .find(|(e, _)| *e == event)
+            .map(|(_, n)| *n)
+    }
+
+    /// Divides every count by `runs`, for per-iteration attribution of a
+    /// region that repeated the workload.
+    pub fn per_run(&self, runs: u64) -> HwSample {
+        let runs = runs.max(1);
+        HwSample {
+            counts: self
+                .counts
+                .iter()
+                .map(|&(e, n)| (e, n / runs))
+                .collect(),
+            multiplexed: self.multiplexed,
+        }
+    }
+}
+
+/// An open set of hardware counters. Counting starts at open and spans
+/// every thread spawned afterwards (the `inherit` bit); measure regions
+/// with delta reads, not resets (see the module docs). File descriptors
+/// close on drop.
+pub struct HwCounters {
+    fds: Vec<(HwEvent, Option<imp::Fd>)>,
+}
+
+impl HwCounters {
+    /// Opens `events`, skipping the ones this PMU rejects. `Ok` as long
+    /// as at least one opened; `Err` describes why none could (the first
+    /// per-event error, which for restricted kernels is the informative
+    /// one).
+    pub fn try_open(events: &[HwEvent]) -> Result<HwCounters, HwError> {
+        if events.is_empty() {
+            return Err(HwError::NoEvents);
+        }
+        let mut fds = Vec::with_capacity(events.len());
+        let mut first_err = None;
+        for &event in events {
+            match imp::open(event) {
+                Ok(fd) => fds.push((event, Some(fd))),
+                Err(e) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                    fds.push((event, None));
+                }
+            }
+        }
+        if fds.iter().all(|(_, fd)| fd.is_none()) {
+            return Err(first_err.unwrap_or(HwError::NoEvents));
+        }
+        Ok(HwCounters { fds })
+    }
+
+    /// The subset of requested events that actually opened.
+    pub fn available(&self) -> Vec<HwEvent> {
+        self.fds
+            .iter()
+            .filter(|(_, fd)| fd.is_some())
+            .map(|(e, _)| *e)
+            .collect()
+    }
+
+    /// Reads every open counter's cumulative `(value, enabled, running)`.
+    pub fn reading(&self) -> HwReading {
+        HwReading {
+            slots: self
+                .fds
+                .iter()
+                .map(|(event, fd)| (*event, fd.as_ref().and_then(imp::read_counter)))
+                .collect(),
+        }
+    }
+
+    /// Runs `f` and returns its result with the scaled hardware-event
+    /// deltas across the call.
+    pub fn sample<T>(&self, f: impl FnOnce() -> T) -> (T, HwSample) {
+        let before = self.reading();
+        let out = f();
+        (out, self.reading().delta_since(&before))
+    }
+}
+
+/// One-shot availability probe: can this process count CPU cycles?
+/// `Ok(())` means a full [`HwCounters::try_open`] is worth attempting.
+pub fn availability() -> Result<(), HwError> {
+    imp::open(HwEvent::Cycles).map(drop)
+}
+
+#[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
+mod imp {
+    //! The real backend: raw `syscall(2)` + `read(2)` through the C
+    //! runtime the Rust standard library already links.
+
+    use super::{paranoid_level, HwError, HwEvent};
+    use std::ffi::{c_int, c_long, c_void};
+
+    #[cfg(target_arch = "x86_64")]
+    const SYS_PERF_EVENT_OPEN: c_long = 298;
+    #[cfg(target_arch = "aarch64")]
+    const SYS_PERF_EVENT_OPEN: c_long = 241;
+
+    extern "C" {
+        fn syscall(num: c_long, ...) -> c_long;
+        fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+        fn close(fd: c_int) -> c_int;
+    }
+
+    /// `perf_event_attr`, `PERF_ATTR_SIZE_VER0` prefix (64 bytes). The
+    /// kernel accepts any declared size it knows; VER0 covers everything
+    /// this backend sets.
+    #[repr(C)]
+    struct PerfEventAttr {
+        type_: u32,
+        size: u32,
+        config: u64,
+        sample_period: u64,
+        sample_type: u64,
+        read_format: u64,
+        flags: u64,
+        wakeup_events: u32,
+        bp_type: u32,
+        config1: u64,
+    }
+
+    const ATTR_SIZE_VER0: u32 = 64;
+    // flags bits (perf_event_attr bitfield, LSB first).
+    const FLAG_INHERIT: u64 = 1 << 1;
+    const FLAG_EXCLUDE_KERNEL: u64 = 1 << 5;
+    const FLAG_EXCLUDE_HV: u64 = 1 << 6;
+    // read_format bits.
+    const FORMAT_TOTAL_TIME_ENABLED: u64 = 1 << 0;
+    const FORMAT_TOTAL_TIME_RUNNING: u64 = 1 << 1;
+    const PERF_FLAG_FD_CLOEXEC: c_long = 1 << 3;
+
+    /// An owned perf fd, closed on drop.
+    pub(super) struct Fd(c_int);
+
+    impl Drop for Fd {
+        fn drop(&mut self) {
+            unsafe {
+                close(self.0);
+            }
+        }
+    }
+
+    pub(super) fn open(event: HwEvent) -> Result<Fd, HwError> {
+        debug_assert_eq!(std::mem::size_of::<PerfEventAttr>(), ATTR_SIZE_VER0 as usize);
+        let (type_, config) = event.type_config();
+        let attr = PerfEventAttr {
+            type_,
+            size: ATTR_SIZE_VER0,
+            config,
+            sample_period: 0,
+            sample_type: 0,
+            read_format: FORMAT_TOTAL_TIME_ENABLED | FORMAT_TOTAL_TIME_RUNNING,
+            // Counting (not sampling), enabled immediately, inherited by
+            // threads spawned after open, user space only (counting the
+            // kernel needs paranoid <= 1 and measures the wrong thing).
+            flags: FLAG_INHERIT | FLAG_EXCLUDE_KERNEL | FLAG_EXCLUDE_HV,
+            wakeup_events: 0,
+            bp_type: 0,
+            config1: 0,
+        };
+        // pid = 0, cpu = -1: this thread (and, via inherit, its future
+        // children) on any CPU.
+        let fd = unsafe {
+            syscall(
+                SYS_PERF_EVENT_OPEN,
+                &attr as *const PerfEventAttr,
+                0 as c_long,
+                -1 as c_long,
+                -1 as c_long,
+                PERF_FLAG_FD_CLOEXEC,
+            )
+        };
+        if fd >= 0 {
+            return Ok(Fd(fd as c_int));
+        }
+        let errno = std::io::Error::last_os_error().raw_os_error().unwrap_or(-1);
+        // EPERM(1)/EACCES(13): paranoid or seccomp. ENOSYS(38): filtered
+        // syscall table. Everything else: this PMU lacks the event.
+        match errno {
+            1 | 13 => Err(HwError::Restricted {
+                paranoid: paranoid_level(),
+            }),
+            38 => Err(HwError::Unsupported("perf_event_open syscall filtered (ENOSYS)")),
+            e => Err(HwError::Os {
+                event: event.name(),
+                errno: e,
+            }),
+        }
+    }
+
+    pub(super) fn read_counter(fd: &Fd) -> Option<(u64, u64, u64)> {
+        let mut buf = [0u64; 3];
+        let n = unsafe { read(fd.0, buf.as_mut_ptr() as *mut c_void, 24) };
+        if n == 24 {
+            Some((buf[0], buf[1], buf[2]))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(not(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64"))))]
+mod imp {
+    //! Stub backend for targets without a usable `perf_event_open`:
+    //! every open reports [`HwError::Unsupported`] and the rest of the
+    //! observatory carries on without hardware counts.
+
+    use super::{HwError, HwEvent};
+
+    /// Uninhabited placeholder — no fd can exist on this target.
+    pub(super) enum Fd {}
+
+    pub(super) fn open(_event: HwEvent) -> Result<Fd, HwError> {
+        Err(HwError::Unsupported(
+            "perf_event_open requires Linux on x86_64 or aarch64",
+        ))
+    }
+
+    pub(super) fn read_counter(fd: &Fd) -> Option<(u64, u64, u64)> {
+        match *fd {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_event_set_is_an_error() {
+        assert!(matches!(HwCounters::try_open(&[]), Err(HwError::NoEvents)));
+    }
+
+    #[test]
+    fn open_succeeds_or_degrades_gracefully() {
+        // Either path is correct; what must never happen is a panic or a
+        // nonsensical reading.
+        match HwCounters::try_open(HwEvent::ALL) {
+            Ok(hw) => {
+                assert!(!hw.available().is_empty());
+                let before = hw.reading();
+                let mut acc = 0u64;
+                for i in 0..200_000u64 {
+                    acc = acc.wrapping_add(std::hint::black_box(i));
+                }
+                std::hint::black_box(acc);
+                let sample = hw.reading().delta_since(&before);
+                // Cycles, when countable at all, must have advanced over
+                // 200k additions.
+                if let Some(c) = sample.get(HwEvent::Cycles) {
+                    assert!(c > 0, "cycles counted but did not advance");
+                }
+            }
+            Err(e) => {
+                // The error must render a useful explanation.
+                let msg = e.to_string();
+                assert!(!msg.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn sample_brackets_a_closure() {
+        if let Ok(hw) = HwCounters::try_open(&[HwEvent::Cycles, HwEvent::Instructions]) {
+            let (out, sample) = hw.sample(|| (0..100_000u64).sum::<u64>());
+            assert_eq!(out, 4_999_950_000);
+            assert!(sample.counts.len() <= 2);
+        }
+    }
+
+    #[test]
+    fn per_run_divides_counts() {
+        let s = HwSample {
+            counts: vec![(HwEvent::Cycles, 1000), (HwEvent::Instructions, 10)],
+            multiplexed: false,
+        };
+        let per = s.per_run(10);
+        assert_eq!(per.get(HwEvent::Cycles), Some(100));
+        assert_eq!(per.get(HwEvent::Instructions), Some(1));
+        assert_eq!(s.per_run(0).get(HwEvent::Cycles), Some(1000));
+    }
+
+    #[test]
+    fn delta_scaling_flags_multiplexing() {
+        let earlier = HwReading {
+            slots: vec![(HwEvent::Cycles, Some((100, 1000, 1000)))],
+        };
+        let later = HwReading {
+            // Ran only half the window: the 400 raw delta scales to 800.
+            slots: vec![(HwEvent::Cycles, Some((500, 3000, 2000)))],
+        };
+        let s = later.delta_since(&earlier);
+        assert!(s.multiplexed);
+        assert_eq!(s.get(HwEvent::Cycles), Some(800));
+    }
+
+    #[test]
+    fn unopened_events_are_omitted_from_samples() {
+        let earlier = HwReading {
+            slots: vec![
+                (HwEvent::Cycles, Some((0, 10, 10))),
+                (HwEvent::LlcMisses, None),
+            ],
+        };
+        let later = HwReading {
+            slots: vec![
+                (HwEvent::Cycles, Some((7, 20, 20))),
+                (HwEvent::LlcMisses, None),
+            ],
+        };
+        let s = later.delta_since(&earlier);
+        assert_eq!(s.get(HwEvent::Cycles), Some(7));
+        assert_eq!(s.get(HwEvent::LlcMisses), None);
+    }
+}

@@ -16,8 +16,16 @@
 //!   bounded lock-free per-thread buffer; overflow drops events and counts
 //!   the drops rather than blocking or reallocating.
 //! * **[`TraceReport`]**: a quiescent snapshot of all of the above that
-//!   serializes via the in-tree [`ndirect_support::Json`] and renders a
-//!   per-thread text timeline.
+//!   serializes via the in-tree [`ndirect_support::Json`], renders a
+//!   per-thread text timeline, diffs against an earlier snapshot
+//!   ([`TraceReport::since`]), and exports the span timelines as Chrome
+//!   trace-event JSON ([`TraceReport::to_chrome_trace`]) for
+//!   `chrome://tracing` / Perfetto.
+//! * **Hardware counters** ([`hwc`]): a Linux `perf_event_open` backend
+//!   (cycles, instructions, L1d/LLC loads and misses, raw syscalls, zero
+//!   dependencies) with graceful degradation everywhere the kernel or
+//!   target cannot provide it. Unlike the rest of the crate it is not
+//!   feature-gated — it costs nothing unless explicitly opened.
 //!
 //! # Zero cost when disabled
 //!
@@ -46,6 +54,8 @@ use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
 use ndirect_support::Json;
+
+pub mod hwc;
 
 /// `true` iff this crate was built with its `probe` feature.
 ///
@@ -561,6 +571,116 @@ impl TraceReport {
         self.counters[c as usize]
     }
 
+    /// The delta between this snapshot and an earlier `baseline`: counter
+    /// differences, per-thread phase-total differences, and only the
+    /// timeline events that started after the baseline was captured.
+    ///
+    /// This is the race-free alternative to [`reset`] for benches and
+    /// tests: `reset` zeroes process-global state (so two concurrent
+    /// measurements corrupt each other), while `since` is pure arithmetic
+    /// on two immutable snapshots. Threads are matched by name in
+    /// registration order (the registry only appends, so positions are
+    /// stable); threads with nothing new since the baseline are omitted.
+    pub fn since(&self, baseline: &TraceReport) -> TraceReport {
+        let mut counters = [0u64; NUM_COUNTERS];
+        for (i, dst) in counters.iter_mut().enumerate() {
+            *dst = self.counters[i].saturating_sub(baseline.counters[i]);
+        }
+        let mut consumed = vec![false; baseline.threads.len()];
+        let mut threads = Vec::new();
+        for t in &self.threads {
+            let base = baseline.threads.iter().enumerate().find_map(|(i, b)| {
+                (!consumed[i] && b.name == t.name).then(|| {
+                    consumed[i] = true;
+                    b
+                })
+            });
+            let zero = [0u64; NUM_PHASES];
+            let (base_ns, base_calls, base_dropped) = match base {
+                Some(b) => (&b.phase_ns, &b.phase_calls, b.dropped),
+                None => (&zero, &zero, 0),
+            };
+            let phase_ns = std::array::from_fn(|i| t.phase_ns[i].saturating_sub(base_ns[i]));
+            let phase_calls =
+                std::array::from_fn(|i| t.phase_calls[i].saturating_sub(base_calls[i]));
+            let events: Vec<Event> = t
+                .events
+                .iter()
+                .filter(|e| e.start_ns >= baseline.captured_ns)
+                .copied()
+                .collect();
+            let dropped = t.dropped.saturating_sub(base_dropped);
+            let quiet =
+                events.is_empty() && dropped == 0 && phase_calls.iter().all(|&c| c == 0);
+            if !quiet {
+                threads.push(ThreadTrace {
+                    name: t.name.clone(),
+                    phase_ns,
+                    phase_calls,
+                    events,
+                    dropped,
+                });
+            }
+        }
+        TraceReport {
+            counters,
+            threads,
+            captured_ns: self.captured_ns,
+        }
+    }
+
+    /// Exports the per-thread span timelines as Chrome trace-event JSON
+    /// (the "JSON Object Format": `{"traceEvents": [...]}`), loadable
+    /// directly in `chrome://tracing` and [Perfetto](https://ui.perfetto.dev).
+    ///
+    /// Each recorded span becomes one complete (`"ph": "X"`) event with
+    /// `pid` 0, `tid` = the thread's registration index, microsecond
+    /// `ts`/`dur`, and the span argument under `args`. Thread names are
+    /// emitted as `thread_name` metadata events first; complete events
+    /// follow sorted by start time, as the trace-viewer importers expect.
+    pub fn to_chrome_trace(&self) -> Json {
+        let mut events = Vec::new();
+        for (tid, t) in self.threads.iter().enumerate() {
+            events.push(Json::Obj(vec![
+                ("name".to_owned(), Json::str("thread_name")),
+                ("ph".to_owned(), Json::str("M")),
+                ("pid".to_owned(), Json::usize(0)),
+                ("tid".to_owned(), Json::usize(tid)),
+                ("ts".to_owned(), Json::num(0.0)),
+                (
+                    "args".to_owned(),
+                    Json::Obj(vec![("name".to_owned(), Json::str(t.name.clone()))]),
+                ),
+            ]));
+        }
+        let mut spans: Vec<(u64, usize, &Event)> = self
+            .threads
+            .iter()
+            .enumerate()
+            .flat_map(|(tid, t)| t.events.iter().map(move |e| (e.start_ns, tid, e)))
+            .collect();
+        spans.sort_by_key(|&(start_ns, tid, _)| (start_ns, tid));
+        for (start_ns, tid, e) in spans {
+            events.push(Json::Obj(vec![
+                ("name".to_owned(), Json::str(e.phase.name())),
+                ("cat".to_owned(), Json::str("ndirect")),
+                ("ph".to_owned(), Json::str("X")),
+                ("pid".to_owned(), Json::usize(0)),
+                ("tid".to_owned(), Json::usize(tid)),
+                ("ts".to_owned(), Json::num(start_ns as f64 / 1e3)),
+                ("dur".to_owned(), Json::num(e.dur_ns as f64 / 1e3)),
+                (
+                    "args".to_owned(),
+                    Json::Obj(vec![("arg".to_owned(), Json::num(e.arg as f64))]),
+                ),
+            ]));
+        }
+        Json::Obj(vec![
+            ("traceEvents".to_owned(), Json::Arr(events)),
+            ("displayTimeUnit".to_owned(), Json::str("ms")),
+        ])
+    }
+
     /// Serializes the report with the in-tree JSON support. Counter values
     /// above 2⁵³ lose precision (stored as f64), which the trace consumers
     /// accept; exact assertions should read [`TraceReport::counter`].
@@ -772,6 +892,81 @@ mod tests {
         } else {
             assert!(report.threads.is_empty());
         }
+    }
+
+    #[test]
+    fn since_yields_deltas_not_totals() {
+        let b0 = TraceReport::capture();
+        add(Counter::BytesPacked, 40);
+        {
+            let _s = probe_span!(Layer, 9);
+            std::hint::black_box(0);
+        }
+        let b1 = TraceReport::capture();
+        let delta = b1.since(&b0);
+        if ENABLED {
+            assert_eq!(delta.counter(Counter::BytesPacked), 40);
+            // Only events recorded after the baseline survive, and every
+            // surviving event started inside the delta window.
+            assert!(delta
+                .threads
+                .iter()
+                .flat_map(|t| t.events.iter())
+                .all(|e| e.start_ns >= b0.captured_ns));
+            assert!(delta
+                .threads
+                .iter()
+                .any(|t| t.events.iter().any(|e| e.phase == Phase::Layer && e.arg == 9)));
+            // Deltaing a snapshot against itself is empty.
+            let none = b1.since(&b1);
+            assert_eq!(none.counter(Counter::BytesPacked), 0);
+            assert!(none.threads.iter().all(|t| t.events.is_empty()));
+        } else {
+            assert_eq!(delta.counter(Counter::BytesPacked), 0);
+            assert!(delta.threads.is_empty());
+        }
+    }
+
+    #[test]
+    fn chrome_trace_is_wellformed_even_when_empty() {
+        let empty = TraceReport::default();
+        let json = empty.to_chrome_trace();
+        let parsed = Json::parse(&json.pretty()).expect("valid JSON");
+        assert_eq!(
+            parsed.get("traceEvents").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(0)
+        );
+
+        // A single-event trace produces one metadata + one complete event.
+        let one = TraceReport {
+            counters: [0; NUM_COUNTERS],
+            threads: vec![ThreadTrace {
+                name: "solo".into(),
+                phase_ns: [0; NUM_PHASES],
+                phase_calls: [0; NUM_PHASES],
+                events: vec![Event {
+                    phase: Phase::Worker,
+                    arg: 2,
+                    start_ns: 1500,
+                    dur_ns: 3000,
+                }],
+                dropped: 0,
+            }],
+            captured_ns: 9000,
+        };
+        let parsed = Json::parse(&one.to_chrome_trace().pretty()).expect("valid JSON");
+        let events = parsed.get("traceEvents").and_then(Json::as_arr).unwrap();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].str_field("ph").unwrap(), "M");
+        let x = &events[1];
+        assert_eq!(x.str_field("ph").unwrap(), "X");
+        assert_eq!(x.str_field("name").unwrap(), "worker");
+        assert_eq!(x.get("pid").and_then(Json::as_usize), Some(0));
+        assert_eq!(x.get("tid").and_then(Json::as_usize), Some(0));
+        assert_eq!(x.get("ts").and_then(Json::as_f64), Some(1.5));
+        assert_eq!(x.get("dur").and_then(Json::as_f64), Some(3.0));
+        // Rendering the same single-event trace as text also works.
+        assert!(one.render_timeline(40).contains("worker"));
     }
 
     #[test]
