@@ -1,0 +1,317 @@
+//! A minimal, comment- and string-aware Rust lexer.
+//!
+//! The auditor's rules are token-level ("is there an `unsafe` keyword
+//! here?", "is this `.unwrap()` call in test code?"), so it does not need a
+//! real parser — it needs to *never* match tokens inside comments, string
+//! literals, char literals, or raw strings. This module classifies every
+//! byte of a source file and produces:
+//!
+//! * a **scrubbed** copy of the source in which every comment and literal
+//!   body is replaced by spaces (newlines preserved), so token scans over
+//!   it cannot produce false positives; and
+//! * the **comment text per line**, so rules can look for `// SAFETY:` /
+//!   `// CAST:` justifications adjacent to a flagged token.
+//!
+//! Handled syntax: line comments, nested block comments, string literals
+//! with escapes, raw strings with any number of `#`s (`r#""#`), byte and
+//! byte-raw strings (`b"…"`, `br#"…"#`), char and byte-char literals with
+//! escapes, and lifetimes (`'a`) which must *not* open a char literal.
+
+/// Lexing output for one source file. Both views have the same line
+/// structure as the original text.
+pub struct Lexed {
+    /// Source with comment and literal bodies blanked to spaces.
+    pub scrubbed: String,
+    /// Comment text (line and block) appearing on each 0-based line.
+    pub comments: Vec<String>,
+}
+
+impl Lexed {
+    /// The scrubbed text of 0-based line `i` (empty past EOF).
+    pub fn code_line(&self, i: usize) -> &str {
+        self.scrubbed.lines().nth(i).unwrap_or("")
+    }
+
+    /// The comment text on 0-based line `i` (empty when none).
+    pub fn comment_line(&self, i: usize) -> &str {
+        self.comments.get(i).map_or("", String::as_str)
+    }
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum State {
+    Code,
+    LineComment,
+    /// Block comments nest in Rust; the depth rides along.
+    BlockComment(u32),
+    Str,
+    /// Raw string with this many `#`s in its delimiter.
+    RawStr(u32),
+    CharLit,
+}
+
+/// Classifies `src` byte-for-byte. Never fails: unterminated literals and
+/// comments simply run to EOF in their state (the compiler will reject the
+/// file; the auditor still must not panic on it).
+pub fn lex(src: &str) -> Lexed {
+    let bytes = src.as_bytes();
+    let mut scrubbed = Vec::with_capacity(bytes.len());
+    let n_lines = src.lines().count().max(1);
+    let mut comments: Vec<String> = vec![String::new(); n_lines];
+    let mut line = 0usize;
+    let mut state = State::Code;
+    let mut i = 0usize;
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b == b'\n' {
+            scrubbed.push(b'\n');
+            line += 1;
+            if state == State::LineComment {
+                state = State::Code;
+            }
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => {
+                if b == b'/' && bytes.get(i + 1) == Some(&b'/') {
+                    state = State::LineComment;
+                    scrubbed.extend_from_slice(b"  ");
+                    i += 2;
+                } else if b == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                    state = State::BlockComment(1);
+                    scrubbed.extend_from_slice(b"  ");
+                    i += 2;
+                } else if b == b'"' {
+                    state = State::Str;
+                    scrubbed.push(b' ');
+                    i += 1;
+                } else if let Some(hashes) = raw_string_open(bytes, i) {
+                    // `r"`, `r#"`, `br##"` … — blank the whole prefix.
+                    let prefix = prefix_len(bytes, i) + hashes as usize + 1;
+                    state = State::RawStr(hashes);
+                    scrubbed.extend(std::iter::repeat_n(b' ', prefix));
+                    i += prefix;
+                } else if b == b'\'' {
+                    // Lifetime (`'a`, `'_`, `'static`) vs char literal
+                    // (`'x'`, `'\n'`). A lifetime is `'` + ident char(s)
+                    // NOT followed by a closing quote.
+                    let next = bytes.get(i + 1).copied();
+                    let after = bytes.get(i + 2).copied();
+                    let is_char = match next {
+                        Some(b'\\') => true,
+                        Some(c) if is_ident(c) => after == Some(b'\''),
+                        Some(_) => true, // e.g. '(' — punctuation char literal
+                        None => false,
+                    };
+                    if is_char {
+                        state = State::CharLit;
+                        scrubbed.push(b' ');
+                        i += 1;
+                    } else {
+                        scrubbed.push(b);
+                        i += 1;
+                    }
+                } else {
+                    scrubbed.push(b);
+                    i += 1;
+                }
+            }
+            State::LineComment => {
+                comments[line.min(n_lines - 1)].push(b as char);
+                scrubbed.push(b' ');
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                if b == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    scrubbed.extend_from_slice(b"  ");
+                    i += 2;
+                } else if b == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                    state = State::BlockComment(depth + 1);
+                    scrubbed.extend_from_slice(b"  ");
+                    i += 2;
+                } else {
+                    comments[line.min(n_lines - 1)].push(b as char);
+                    scrubbed.push(b' ');
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if b == b'\\' && i + 1 < bytes.len() {
+                    scrubbed.extend_from_slice(b"  ");
+                    i += 2;
+                } else {
+                    if b == b'"' {
+                        state = State::Code;
+                    }
+                    scrubbed.push(b' ');
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if b == b'"' && closes_raw(bytes, i, hashes) {
+                    scrubbed.extend(std::iter::repeat_n(b' ', 1 + hashes as usize));
+                    i += 1 + hashes as usize;
+                    state = State::Code;
+                } else {
+                    scrubbed.push(b' ');
+                    i += 1;
+                }
+            }
+            State::CharLit => {
+                if b == b'\\' && i + 1 < bytes.len() {
+                    scrubbed.extend_from_slice(b"  ");
+                    i += 2;
+                } else {
+                    if b == b'\'' {
+                        state = State::Code;
+                    }
+                    scrubbed.push(b' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+
+    // Scrubbing replaces multi-byte UTF-8 only inside literals/comments
+    // (blanked to ASCII spaces); code bytes are copied verbatim, so the
+    // result is valid UTF-8 whenever the input was.
+    let scrubbed = String::from_utf8(scrubbed).unwrap_or_default();
+    Lexed { scrubbed, comments }
+}
+
+fn is_ident(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// If position `i` opens a raw (byte) string (`r"`, `r#"`, `br##"`, …),
+/// returns the number of `#`s; `None` otherwise. The `r` must not be the
+/// tail of an identifier.
+fn raw_string_open(bytes: &[u8], i: usize) -> Option<u32> {
+    let b = bytes[i];
+    let start = if b == b'r' {
+        i
+    } else if b == b'b' && bytes.get(i + 1) == Some(&b'r') {
+        i + 1
+    } else {
+        return None;
+    };
+    if i > 0 && is_ident(bytes[i - 1]) {
+        return None;
+    }
+    let mut j = start + 1;
+    let mut hashes = 0u32;
+    while bytes.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    (bytes.get(j) == Some(&b'"')).then_some(hashes)
+}
+
+/// Byte length of the raw-string prefix at `i` up to (excluding) the `#`s:
+/// 1 for `r`, 2 for `br`.
+fn prefix_len(bytes: &[u8], i: usize) -> usize {
+    if bytes[i] == b'b' {
+        2
+    } else {
+        1
+    }
+}
+
+/// Whether the `"` at `i` is followed by `hashes` `#`s, closing the raw
+/// string.
+fn closes_raw(bytes: &[u8], i: usize, hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| bytes.get(i + k) == Some(&b'#'))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_comments_are_scrubbed_and_recorded() {
+        let l = lex("let x = 1; // SAFETY: fine\nlet y = 2;\n");
+        assert!(l.code_line(0).contains("let x = 1;"));
+        assert!(!l.code_line(0).contains("SAFETY"));
+        assert!(l.comment_line(0).contains("SAFETY: fine"));
+        assert_eq!(l.comment_line(1), "");
+    }
+
+    #[test]
+    fn strings_do_not_leak_tokens() {
+        let l = lex("let s = \"unsafe { static mut } .unwrap()\";\n");
+        assert!(!l.scrubbed.contains("unsafe"));
+        assert!(!l.scrubbed.contains("unwrap"));
+        assert!(l.scrubbed.contains("let s ="));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let l = lex("let s = r#\"a \" quote and unsafe\"#; let t = 1;\n");
+        assert!(!l.scrubbed.contains("unsafe"));
+        assert!(l.scrubbed.contains("let t = 1;"));
+        // The degenerate empty raw string from the issue checklist.
+        let l = lex("let e = r#\"\"#; unsafe { x() };\n");
+        assert!(l.scrubbed.contains("unsafe"));
+    }
+
+    #[test]
+    fn byte_raw_strings() {
+        let l = lex("let s = br##\"unsafe\"## ; let u = 9;\n");
+        assert!(!l.scrubbed.contains("unsafe"));
+        assert!(l.scrubbed.contains("let u = 9;"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let l = lex("/* outer /* inner unsafe */ still comment */ let z = 3;\n");
+        assert!(!l.scrubbed.contains("unsafe"));
+        assert!(l.scrubbed.contains("let z = 3;"));
+        assert!(l.comment_line(0).contains("inner unsafe"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x } // SAFETY: n/a\n";
+        let l = lex(src);
+        assert!(l.scrubbed.contains("&'a str"));
+        assert!(l.comment_line(0).contains("SAFETY"));
+    }
+
+    #[test]
+    fn char_literals_are_scrubbed() {
+        let l = lex("let c = '\"'; let q = '\\''; unsafe { g() };\n");
+        assert!(l.scrubbed.contains("unsafe"));
+        assert!(!l.scrubbed.contains('"'));
+    }
+
+    #[test]
+    fn identifier_ending_in_r_is_not_raw_string() {
+        let l = lex("let ptr\" = 0;\n"); // not valid Rust; lexer must not panic
+        assert!(l.scrubbed.contains("let ptr"));
+        let l = lex("let var = 1; let s = \"x\";\n");
+        assert!(l.scrubbed.contains("let var = 1"));
+    }
+
+    #[test]
+    fn multiline_string_preserves_line_structure() {
+        let src = "let s = \"one\ntwo unsafe\nthree\"; let after = 1;\n";
+        let l = lex(src);
+        assert_eq!(l.scrubbed.lines().count(), src.lines().count());
+        assert!(!l.scrubbed.contains("unsafe"));
+        assert!(l.code_line(2).contains("let after = 1;"));
+    }
+
+    #[test]
+    fn unterminated_constructs_do_not_panic() {
+        lex("let s = \"never closed\n");
+        lex("/* never closed\nmore\n");
+        lex("let r = r#\"never closed\n");
+    }
+}

@@ -1,0 +1,323 @@
+//! `ndirect-audit` — the in-tree unsafe-code auditor.
+//!
+//! nDirect's performance lives in exactly the places `rustc` cannot check:
+//! raw-pointer micro-kernels, scratch-arena packing, a hand-rolled thread
+//! pool. This crate is the soundness gate for that surface — a
+//! zero-dependency static analyzer that walks the workspace sources with a
+//! minimal comment/string-aware lexer ([`lexer`]) and enforces the
+//! repo-specific rules catalogued in [`rules::Rule`]:
+//!
+//! 1. every `unsafe` site carries an adjacent `// SAFETY:` invariant;
+//! 2. library code never calls `.unwrap()`/`.expect()` outside tests;
+//! 3. narrowing `as` casts in hot-path crates carry a `// CAST:` note;
+//! 4. `static mut` is forbidden;
+//! 5. every crate opts into the workspace lint table, and unsafe-free
+//!    crates `#![forbid(unsafe_code)]`.
+//!
+//! Violations can only be silenced through the checked-in `audit.allow`
+//! file ([`waiver`]), and unused waivers are themselves violations, so the
+//! gate can never loosen silently. CI runs `cargo run -p ndirect-audit` on
+//! every change (see `.github/workflows/ci.yml`); the dynamic complements
+//! — Miri, ThreadSanitizer, AddressSanitizer — live in the `soundness`
+//! workflow job and DESIGN.md §12.
+
+#![forbid(unsafe_code)]
+
+pub mod lexer;
+pub mod rules;
+pub mod waiver;
+
+use std::path::{Path, PathBuf};
+
+use rules::{FileKind, Rule, Violation};
+
+/// Crates whose `src/` is held to the narrowing-cast rule — the hot path
+/// the paper's kernels live in.
+const HOT_PATH_CRATES: &[&str] = &["core", "simd", "threads", "tensor"];
+
+/// The full audit outcome for one workspace.
+pub struct AuditReport {
+    /// Violations that no waiver matched, in path/line order.
+    pub violations: Vec<Violation>,
+    /// Violations silenced by an `audit.allow` entry (reported for
+    /// transparency, not counted as failures).
+    pub waived: Vec<Violation>,
+    /// Files scanned.
+    pub files_scanned: usize,
+}
+
+impl AuditReport {
+    /// Whether the workspace is clean.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// An error that prevented the audit from running at all (I/O, malformed
+/// waiver file) — distinct from rule violations.
+#[derive(Debug)]
+pub enum AuditError {
+    Io { path: PathBuf, err: std::io::Error },
+    Waiver(waiver::WaiverError),
+}
+
+impl std::fmt::Display for AuditError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AuditError::Io { path, err } => write!(f, "{}: {err}", path.display()),
+            AuditError::Waiver(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for AuditError {}
+
+/// Locates the workspace root from this crate's own manifest directory
+/// (`crates/audit` → two levels up). Lets `cargo run -p ndirect-audit`
+/// work from any CWD inside the workspace.
+pub fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(Path::parent)
+        .map(Path::to_path_buf)
+        .unwrap_or(manifest)
+}
+
+/// Audits the workspace rooted at `root`, applying waivers from
+/// `<root>/audit.allow` when present.
+pub fn audit_workspace(root: &Path) -> Result<AuditReport, AuditError> {
+    let allow_path = root.join("audit.allow");
+    let waivers = if allow_path.is_file() {
+        let text = read(&allow_path)?;
+        waiver::parse(&text).map_err(AuditError::Waiver)?
+    } else {
+        Vec::new()
+    };
+    audit_with_waivers(root, &waivers)
+}
+
+/// Audits with an explicit waiver list (the testable entry point).
+pub fn audit_with_waivers(
+    root: &Path,
+    waivers: &[waiver::Waiver],
+) -> Result<AuditReport, AuditError> {
+    let mut violations = Vec::new();
+    let mut files_scanned = 0usize;
+
+    for crate_dir in sorted_dirs(&root.join("crates"))? {
+        let crate_name = file_name(&crate_dir);
+        let mut crate_sources = Vec::new();
+
+        // Library sources: all rules.
+        let src = crate_dir.join("src");
+        for file in rust_files(&src)? {
+            let rel = rel_path(root, &file);
+            let in_bin = rel.contains("/src/bin/");
+            let text = read(&file)?;
+            let lexed = lexer::lex(&text);
+            let kind = FileKind {
+                library: !in_bin,
+                hot_path: !in_bin && HOT_PATH_CRATES.contains(&crate_name.as_str()),
+            };
+            violations.extend(rules::check_file(&rel, &lexed, kind));
+            files_scanned += 1;
+            crate_sources.push(lexed);
+        }
+
+        // Integration tests and benches: safety-comment + static-mut only.
+        for sub in ["tests", "benches", "examples"] {
+            for file in rust_files(&crate_dir.join(sub))? {
+                let rel = rel_path(root, &file);
+                let text = read(&file)?;
+                let lexed = lexer::lex(&text);
+                let kind = FileKind {
+                    library: false,
+                    hot_path: false,
+                };
+                violations.extend(rules::check_file(&rel, &lexed, kind));
+                files_scanned += 1;
+            }
+        }
+
+        check_lint_header(root, &crate_dir, &crate_sources, &mut violations)?;
+    }
+
+    // Workspace-level integration tests and examples.
+    for sub in ["tests", "examples"] {
+        for file in rust_files(&root.join(sub))? {
+            let rel = rel_path(root, &file);
+            let text = read(&file)?;
+            let lexed = lexer::lex(&text);
+            let kind = FileKind {
+                library: false,
+                hot_path: false,
+            };
+            violations.extend(rules::check_file(&rel, &lexed, kind));
+            files_scanned += 1;
+        }
+    }
+
+    violations.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+
+    // Apply waivers; every waiver must earn its keep.
+    let mut used = vec![false; waivers.len()];
+    let (waived, live): (Vec<_>, Vec<_>) = violations.into_iter().partition(|v| {
+        let hit = waivers
+            .iter()
+            .position(|w| w.rule == v.rule && w.file == v.file);
+        if let Some(i) = hit {
+            used[i] = true;
+            true
+        } else {
+            false
+        }
+    });
+    let mut violations = live;
+    for (w, used) in waivers.iter().zip(used) {
+        if !used {
+            violations.push(Violation {
+                file: "audit.allow".to_owned(),
+                line: w.line,
+                rule: Rule::UnusedWaiver,
+                msg: format!(
+                    "waiver `{} {}` matches no live violation; delete it",
+                    w.rule.id(),
+                    w.file
+                ),
+            });
+        }
+    }
+
+    Ok(AuditReport {
+        violations,
+        waived,
+        files_scanned,
+    })
+}
+
+/// Rule 5: `[lints] workspace = true` in the crate manifest, and
+/// `#![forbid(unsafe_code)]` in `lib.rs` when no source uses `unsafe`.
+fn check_lint_header(
+    root: &Path,
+    crate_dir: &Path,
+    sources: &[lexer::Lexed],
+    out: &mut Vec<Violation>,
+) -> Result<(), AuditError> {
+    let manifest_path = crate_dir.join("Cargo.toml");
+    let manifest = read(&manifest_path)?;
+    let rel_manifest = rel_path(root, &manifest_path);
+    if !manifest_opts_into_workspace_lints(&manifest) {
+        out.push(Violation {
+            file: rel_manifest.clone(),
+            line: 1,
+            rule: Rule::LintHeader,
+            msg: "crate does not set `[lints] workspace = true`".to_owned(),
+        });
+    }
+    let lib = crate_dir.join("src/lib.rs");
+    if lib.is_file() && !sources.iter().any(rules::uses_unsafe) {
+        let lib_text = read(&lib)?;
+        let scrubbed = lexer::lex(&lib_text).scrubbed;
+        if !scrubbed.contains("#![forbid(unsafe_code)]") {
+            out.push(Violation {
+                file: rel_path(root, &lib),
+                line: 1,
+                rule: Rule::LintHeader,
+                msg: "crate uses no unsafe; add #![forbid(unsafe_code)]".to_owned(),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// `[lints]` table with `workspace = true` — a line-level check is enough
+/// for the fixed manifest style this workspace uses.
+fn manifest_opts_into_workspace_lints(manifest: &str) -> bool {
+    let mut in_lints = false;
+    for line in manifest.lines() {
+        let line = line.trim();
+        if line.starts_with('[') {
+            in_lints = line == "[lints]";
+            continue;
+        }
+        if in_lints && line.replace(' ', "") == "workspace=true" {
+            return true;
+        }
+    }
+    false
+}
+
+fn read(path: &Path) -> Result<String, AuditError> {
+    std::fs::read_to_string(path).map_err(|err| AuditError::Io {
+        path: path.to_path_buf(),
+        err,
+    })
+}
+
+/// Immediate subdirectories, sorted by name for deterministic reports.
+fn sorted_dirs(path: &Path) -> Result<Vec<PathBuf>, AuditError> {
+    let mut out = Vec::new();
+    if !path.is_dir() {
+        return Ok(out);
+    }
+    let entries = std::fs::read_dir(path).map_err(|err| AuditError::Io {
+        path: path.to_path_buf(),
+        err,
+    })?;
+    for entry in entries {
+        let entry = entry.map_err(|err| AuditError::Io {
+            path: path.to_path_buf(),
+            err,
+        })?;
+        if entry.path().is_dir() {
+            out.push(entry.path());
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// All `.rs` files under `path`, recursively, sorted.
+fn rust_files(path: &Path) -> Result<Vec<PathBuf>, AuditError> {
+    let mut out = Vec::new();
+    collect_rust_files(path, &mut out)?;
+    out.sort();
+    Ok(out)
+}
+
+fn collect_rust_files(path: &Path, out: &mut Vec<PathBuf>) -> Result<(), AuditError> {
+    if !path.is_dir() {
+        return Ok(());
+    }
+    let entries = std::fs::read_dir(path).map_err(|err| AuditError::Io {
+        path: path.to_path_buf(),
+        err,
+    })?;
+    for entry in entries {
+        let entry = entry.map_err(|err| AuditError::Io {
+            path: path.to_path_buf(),
+            err,
+        })?;
+        let p = entry.path();
+        if p.is_dir() {
+            collect_rust_files(&p, out)?;
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+    Ok(())
+}
+
+fn file_name(path: &Path) -> String {
+    path.file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_default()
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}

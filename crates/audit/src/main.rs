@@ -1,0 +1,80 @@
+//! CLI for the in-tree unsafe-code auditor.
+//!
+//! ```text
+//! cargo run -p ndirect-audit               # audit the workspace, exit 1 on violations
+//! cargo run -p ndirect-audit -- --list-rules
+//! cargo run -p ndirect-audit -- --root /path/to/tree
+//! ```
+//!
+//! Exit codes: 0 clean, 1 violations found, 2 usage or I/O error.
+
+#![forbid(unsafe_code)]
+
+use ndirect_audit::rules::Rule;
+
+fn main() {
+    std::process::exit(run(std::env::args().skip(1).collect()));
+}
+
+fn run(args: Vec<String>) -> i32 {
+    let mut root = None;
+    let mut quiet = false;
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--list-rules" => {
+                for rule in Rule::ALL {
+                    println!("{:<15} {}", rule.id(), rule.describe());
+                }
+                return 0;
+            }
+            "--root" => match iter.next() {
+                Some(dir) => root = Some(std::path::PathBuf::from(dir)),
+                None => {
+                    eprintln!("--root requires a directory argument");
+                    return 2;
+                }
+            },
+            "--quiet" => quiet = true,
+            "--help" | "-h" => {
+                println!(
+                    "ndirect-audit: repo-specific soundness rules over the workspace\n\
+                     \n\
+                     USAGE: ndirect-audit [--root DIR] [--list-rules] [--quiet]\n\
+                     \n\
+                     Exit codes: 0 clean, 1 violations, 2 usage/IO error.\n\
+                     Waivers: audit.allow at the workspace root, one per line:\n\
+                     \x20   <rule-id> <path> -- <reason>"
+                );
+                return 0;
+            }
+            other => {
+                eprintln!("unknown argument {other:?} (try --help)");
+                return 2;
+            }
+        }
+    }
+    let root = root.unwrap_or_else(ndirect_audit::workspace_root);
+    let report = match ndirect_audit::audit_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("audit failed to run: {e}");
+            return 2;
+        }
+    };
+    for v in &report.violations {
+        println!("{v}");
+    }
+    if !quiet {
+        for v in &report.waived {
+            println!("waived: {v}");
+        }
+        eprintln!(
+            "audited {} files: {} violation(s), {} waived",
+            report.files_scanned,
+            report.violations.len(),
+            report.waived.len()
+        );
+    }
+    i32::from(!report.is_clean())
+}

@@ -1,0 +1,470 @@
+//! The repo-specific soundness rules, evaluated over lexed source.
+//!
+//! Every rule works on the scrubbed text (see [`crate::lexer`]), so tokens
+//! inside comments and literals are invisible to it, and consults the
+//! per-line comment text for `// SAFETY:` / `// CAST:` justifications.
+
+use crate::lexer::Lexed;
+
+/// Stable identifier of one auditor rule, used in reports and in the
+/// `audit.allow` waiver file.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Rule {
+    /// Every `unsafe` block, `unsafe fn`, and `unsafe impl` must be
+    /// immediately preceded by a `// SAFETY:` comment stating the invariant
+    /// (an `unsafe fn`'s `/// # Safety` doc section also qualifies).
+    SafetyComment,
+    /// No `.unwrap()` / `.expect(...)` in library code outside
+    /// `#[cfg(test)]`; the `try_` API with typed errors is the sanctioned
+    /// path.
+    NoUnwrap,
+    /// No `as` cast to a fixed-width integer (≤ 32 bits) in the hot-path
+    /// crates without a `// CAST:` comment justifying why the narrowing is
+    /// lossless or intended.
+    CastJustify,
+    /// No `static mut` anywhere — use atomics, `OnceLock`, or interior
+    /// mutability.
+    NoStaticMut,
+    /// Every crate opts into the workspace lint table
+    /// (`[lints] workspace = true`), and crates whose sources contain no
+    /// `unsafe` carry `#![forbid(unsafe_code)]` so regressions are
+    /// compile errors.
+    LintHeader,
+    /// An `audit.allow` waiver that matched no live violation — waivers
+    /// must never outlive the code they excuse.
+    UnusedWaiver,
+}
+
+impl Rule {
+    /// All rules, in reporting order.
+    pub const ALL: &'static [Rule] = &[
+        Rule::SafetyComment,
+        Rule::NoUnwrap,
+        Rule::CastJustify,
+        Rule::NoStaticMut,
+        Rule::LintHeader,
+        Rule::UnusedWaiver,
+    ];
+
+    /// Stable kebab-case id (the `audit.allow` key).
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::SafetyComment => "safety-comment",
+            Rule::NoUnwrap => "no-unwrap",
+            Rule::CastJustify => "cast-justify",
+            Rule::NoStaticMut => "no-static-mut",
+            Rule::LintHeader => "lint-header",
+            Rule::UnusedWaiver => "unused-waiver",
+        }
+    }
+
+    /// One-line description for `--list-rules`.
+    pub fn describe(self) -> &'static str {
+        match self {
+            Rule::SafetyComment => {
+                "unsafe block/fn/impl must be preceded by a `// SAFETY:` comment \
+                 (or a `/// # Safety` doc section for unsafe fns)"
+            }
+            Rule::NoUnwrap => {
+                "no .unwrap()/.expect() in library code outside #[cfg(test)]; \
+                 use the try_ APIs and typed errors"
+            }
+            Rule::CastJustify => {
+                "no `as` cast to a fixed-width integer (<= 32 bits) in hot-path \
+                 crates without a `// CAST:` justification"
+            }
+            Rule::NoStaticMut => "`static mut` is forbidden; use atomics or OnceLock",
+            Rule::LintHeader => {
+                "every crate sets `[lints] workspace = true`; unsafe-free crates \
+                 add `#![forbid(unsafe_code)]`"
+            }
+            Rule::UnusedWaiver => "audit.allow entries must match a live violation",
+        }
+    }
+
+    /// Parses a rule id from `audit.allow`.
+    pub fn from_id(id: &str) -> Option<Rule> {
+        Rule::ALL.iter().copied().find(|r| r.id() == id)
+    }
+}
+
+/// One rule violation at a source location.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// Workspace-relative path with forward slashes.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    pub rule: Rule,
+    pub msg: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file,
+            self.line,
+            self.rule.id(),
+            self.msg
+        )
+    }
+}
+
+/// Which rule families apply to a file, derived from its path by
+/// [`crate::audit_with_waivers`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FileKind {
+    /// Library source (`crates/*/src/**`, excluding `src/bin/`): the
+    /// no-unwrap rule applies.
+    pub library: bool,
+    /// Hot-path crate source (core/simd/threads/tensor `src/`): the
+    /// cast-justify rule applies.
+    pub hot_path: bool,
+}
+
+/// Byte ranges of `#[cfg(test)]` / `#[test]` items, as 0-based line spans.
+/// Unwrap/cast rules skip code inside them.
+fn test_regions(lexed: &Lexed) -> Vec<(usize, usize)> {
+    let mut regions = Vec::new();
+    let s = &lexed.scrubbed;
+    let bytes = s.as_bytes();
+    let mut search = 0usize;
+    while let Some(off) = s[search..].find("#[").map(|p| p + search) {
+        // Attribute content up to the matching `]` (attrs can nest parens
+        // but `]` only appears in them inside literals, which are blanked).
+        let close = match s[off..].find(']') {
+            Some(c) => off + c,
+            None => break,
+        };
+        let attr = &s[off..close];
+        search = close + 1;
+        if !attr_mentions_test(attr) {
+            continue;
+        }
+        // Skip any further attributes, then brace-match the item body.
+        let mut j = close + 1;
+        let mut depth = 0usize;
+        let mut start_line = None;
+        while j < bytes.len() {
+            match bytes[j] {
+                b'{' => {
+                    if depth == 0 {
+                        start_line = Some(line_of(s, j));
+                    }
+                    depth += 1;
+                }
+                b'}' => {
+                    // A stray `}` before the item's `{` means the attribute
+                    // sat at the end of a block; stop rather than underflow.
+                    if depth == 0 {
+                        break;
+                    }
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                b';' if depth == 0 => break, // `mod tests;` — out-of-line
+                _ => {}
+            }
+            j += 1;
+        }
+        if let Some(sl) = start_line {
+            let end_line = line_of(s, j.min(bytes.len().saturating_sub(1)));
+            regions.push((sl, end_line));
+            search = search.max(j);
+        }
+    }
+    regions
+}
+
+/// `#[cfg(test)]`, `#[test]`, `#[cfg(all(test, …))]`, `#[cfg(any(test, …))]`.
+fn attr_mentions_test(attr: &str) -> bool {
+    // Word-boundary search for `test` inside the attribute text.
+    find_word(attr, "test").is_some()
+}
+
+fn line_of(s: &str, byte: usize) -> usize {
+    s.as_bytes()[..byte].iter().filter(|&&b| b == b'\n').count()
+}
+
+fn in_regions(regions: &[(usize, usize)], line: usize) -> bool {
+    regions.iter().any(|&(a, b)| line >= a && line <= b)
+}
+
+/// Finds `word` in `s` at identifier boundaries, starting the search at 0.
+fn find_word(s: &str, word: &str) -> Option<usize> {
+    find_word_from(s, word, 0)
+}
+
+fn find_word_from(s: &str, word: &str, from: usize) -> Option<usize> {
+    let bytes = s.as_bytes();
+    let mut at = from;
+    while let Some(p) = s[at..].find(word).map(|p| p + at) {
+        let before_ok = p == 0 || !is_ident_byte(bytes[p - 1]);
+        let end = p + word.len();
+        let after_ok = end >= bytes.len() || !is_ident_byte(bytes[end]);
+        if before_ok && after_ok {
+            return Some(p);
+        }
+        at = p + 1;
+    }
+    None
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Runs every per-file rule over one lexed source file.
+pub fn check_file(file: &str, lexed: &Lexed, kind: FileKind) -> Vec<Violation> {
+    let lines: Vec<&str> = lexed.scrubbed.lines().collect();
+    let regions = test_regions(lexed);
+    let mut out = Vec::new();
+    check_safety_comments(file, lexed, &lines, &mut out);
+    check_static_mut(file, &lines, &mut out);
+    if kind.library {
+        check_unwrap(file, &lines, &regions, &mut out);
+    }
+    if kind.hot_path {
+        check_casts(file, lexed, &lines, &regions, &mut out);
+    }
+    out
+}
+
+/// Rule 1: `// SAFETY:` adjacency for every `unsafe` site.
+fn check_safety_comments(file: &str, lexed: &Lexed, lines: &[&str], out: &mut Vec<Violation>) {
+    for (ln, line) in lines.iter().enumerate() {
+        let mut at = 0usize;
+        while let Some(p) = find_word_from(line, "unsafe", at) {
+            at = p + "unsafe".len();
+            let Some(site) = classify_unsafe(lines, ln, at) else {
+                continue; // `unsafe fn(…)` pointer *type* — the call site is the unsafe site
+            };
+            if !has_safety_above(lexed, lines, ln, site) {
+                let what = match site {
+                    UnsafeSite::Fn => "unsafe fn",
+                    UnsafeSite::Impl => "unsafe impl",
+                    _ => "unsafe block",
+                };
+                out.push(Violation {
+                    file: file.to_owned(),
+                    line: ln + 1,
+                    rule: Rule::SafetyComment,
+                    msg: format!(
+                        "{what} without an immediately preceding `// SAFETY:` comment"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum UnsafeSite {
+    Block,
+    Fn,
+    Impl,
+}
+
+/// Looks at the token following `unsafe` (possibly on later lines) to
+/// distinguish `unsafe fn` / `unsafe impl` from plain blocks. Returns
+/// `None` for `unsafe fn(…)` / `unsafe extern "…" fn(…)` *types* (fn
+/// pointers) — those are not unsafe sites; their call sites are.
+fn classify_unsafe(lines: &[&str], ln: usize, col_after: usize) -> Option<UnsafeSite> {
+    let mut rest = lines[ln][col_after.min(lines[ln].len())..].trim_start().to_owned();
+    let mut next_ln = ln + 1;
+    while rest.is_empty() && next_ln < lines.len() {
+        rest = lines[next_ln].trim_start().to_owned();
+        next_ln += 1;
+    }
+    if let Some(after_fn) = rest
+        .strip_prefix("fn")
+        .or_else(|| strip_extern_abi(&rest).and_then(|r| r.strip_prefix("fn")))
+    {
+        // A declaration names the function (or opens generics); a pointer
+        // type goes straight to the parameter list.
+        if after_fn.trim_start().starts_with('(') {
+            return None;
+        }
+        return Some(UnsafeSite::Fn);
+    }
+    if rest.starts_with("extern") {
+        return Some(UnsafeSite::Fn); // `unsafe extern "C" {}` block (Rust 2024 form)
+    }
+    if rest.starts_with("impl") || rest.starts_with("trait") {
+        return Some(UnsafeSite::Impl);
+    }
+    Some(UnsafeSite::Block)
+}
+
+/// Strips `extern` and an optional ABI string from the front of a token
+/// stream (the ABI literal is blanked by the lexer, so it shows as a run
+/// of spaces between quotes that are also blanked).
+fn strip_extern_abi(rest: &str) -> Option<&str> {
+    rest.strip_prefix("extern").map(str::trim_start)
+}
+
+/// Scans upward from the `unsafe` token for a justifying comment.
+///
+/// Accepted: a `// SAFETY:` on the same line or on a line in the
+/// contiguous block above consisting of comments, attributes, blank lines,
+/// or earlier lines of the *same statement* (a line not ending in `;`,
+/// `{`, or `}` continues the statement below it). For `unsafe fn` /
+/// `unsafe impl`, a `# Safety` doc heading above also qualifies.
+fn has_safety_above(lexed: &Lexed, lines: &[&str], ln: usize, site: UnsafeSite) -> bool {
+    let accepts = |text: &str| {
+        text.contains("SAFETY:")
+            || (site != UnsafeSite::Block && text.contains("# Safety"))
+    };
+    if accepts(lexed.comment_line(ln)) {
+        return true;
+    }
+    let mut budget = 30usize;
+    let mut l = ln;
+    while l > 0 && budget > 0 {
+        l -= 1;
+        budget -= 1;
+        if accepts(lexed.comment_line(l)) {
+            return true;
+        }
+        let code = lines.get(l).map_or("", |s| s.trim());
+        if code.is_empty() || code.starts_with("#[") || code.starts_with("#![") {
+            continue;
+        }
+        // A completed statement or block above ends the adjacency window;
+        // anything else is an earlier line of the same statement.
+        if code.ends_with(';') || code.ends_with('{') || code.ends_with('}') {
+            return false;
+        }
+    }
+    false
+}
+
+/// Rule 4: `static mut` anywhere.
+fn check_static_mut(file: &str, lines: &[&str], out: &mut Vec<Violation>) {
+    for (ln, line) in lines.iter().enumerate() {
+        if let Some(p) = find_word(line, "static") {
+            let rest = line[p + "static".len()..].trim_start();
+            if rest.starts_with("mut ") || rest == "mut" {
+                out.push(Violation {
+                    file: file.to_owned(),
+                    line: ln + 1,
+                    rule: Rule::NoStaticMut,
+                    msg: "`static mut` is forbidden; use an atomic or OnceLock".to_owned(),
+                });
+            }
+        }
+    }
+}
+
+/// Rule 2: `.unwrap()` / `.expect(` outside test regions in library code.
+fn check_unwrap(
+    file: &str,
+    lines: &[&str],
+    regions: &[(usize, usize)],
+    out: &mut Vec<Violation>,
+) {
+    for (ln, line) in lines.iter().enumerate() {
+        if in_regions(regions, ln) {
+            continue;
+        }
+        for method in ["unwrap", "expect"] {
+            let mut at = 0usize;
+            while let Some(p) = find_word_from(line, method, at) {
+                at = p + method.len();
+                // Must be a method call: `.name(` with only whitespace
+                // around the tokens.
+                let before = line[..p].trim_end();
+                let after = line[at..].trim_start();
+                if before.ends_with('.') && after.starts_with('(') {
+                    out.push(Violation {
+                        file: file.to_owned(),
+                        line: ln + 1,
+                        rule: Rule::NoUnwrap,
+                        msg: format!(
+                            ".{method}() in library code; return a typed error \
+                             (try_ API) or use unwrap_or_else with a message"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Rule 3: narrowing `as` casts in hot-path crates need `// CAST:`.
+fn check_casts(
+    file: &str,
+    lexed: &Lexed,
+    lines: &[&str],
+    regions: &[(usize, usize)],
+    out: &mut Vec<Violation>,
+) {
+    const NARROW: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32"];
+    for (ln, line) in lines.iter().enumerate() {
+        if in_regions(regions, ln) {
+            continue;
+        }
+        let mut at = 0usize;
+        while let Some(p) = find_word_from(line, "as", at) {
+            at = p + 2;
+            let target = line[at..].trim_start();
+            let Some(ty) = NARROW.iter().find(|t| {
+                target.starts_with(**t)
+                    && !target[t.len()..]
+                        .bytes()
+                        .next()
+                        .is_some_and(is_ident_byte)
+            }) else {
+                continue;
+            };
+            if !has_cast_justification(lexed, lines, ln) {
+                out.push(Violation {
+                    file: file.to_owned(),
+                    line: ln + 1,
+                    rule: Rule::CastJustify,
+                    msg: format!(
+                        "`as {ty}` narrowing cast without a `// CAST:` justification; \
+                         prefer try_from with a typed error"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// `// CAST:` on the same line or in the comment/attribute block above.
+fn has_cast_justification(lexed: &Lexed, lines: &[&str], ln: usize) -> bool {
+    if lexed.comment_line(ln).contains("CAST:") {
+        return true;
+    }
+    let mut l = ln;
+    let mut budget = 10usize;
+    while l > 0 && budget > 0 {
+        l -= 1;
+        budget -= 1;
+        if lexed.comment_line(l).contains("CAST:") {
+            return true;
+        }
+        let code = lines.get(l).map_or("", |s| s.trim());
+        if code.is_empty() || code.starts_with("#[") {
+            continue;
+        }
+        if code.ends_with(';') || code.ends_with('{') || code.ends_with('}') {
+            return false;
+        }
+    }
+    false
+}
+
+/// Whether any scrubbed source line of a crate contains the `unsafe`
+/// keyword — drives the [`Rule::LintHeader`] forbid requirement.
+pub fn uses_unsafe(lexed: &Lexed) -> bool {
+    lexed
+        .scrubbed
+        .lines()
+        .any(|l| find_word(l, "unsafe").is_some())
+}

@@ -1,0 +1,88 @@
+//! `audit.allow` — the checked-in waiver list.
+//!
+//! A violation can only be silenced by an explicit entry here, so nothing
+//! disappears silently: the waiver names the rule, the file, and a reason,
+//! and an entry that no longer matches any live violation is itself an
+//! error ([`crate::rules::Rule::UnusedWaiver`]) so stale excuses cannot
+//! accumulate.
+//!
+//! # Format
+//!
+//! One waiver per line:
+//!
+//! ```text
+//! <rule-id> <workspace-relative-path> -- <reason>
+//! ```
+//!
+//! Blank lines and lines starting with `#` are comments. The reason is
+//! mandatory. A waiver silences every violation of that rule in that file.
+
+use crate::rules::Rule;
+
+/// One parsed `audit.allow` entry.
+#[derive(Clone, Debug)]
+pub struct Waiver {
+    pub rule: Rule,
+    /// Workspace-relative path with forward slashes.
+    pub file: String,
+    pub reason: String,
+    /// 1-based line in `audit.allow`, for error reporting.
+    pub line: usize,
+}
+
+/// A malformed `audit.allow` line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WaiverError {
+    pub line: usize,
+    pub msg: String,
+}
+
+impl std::fmt::Display for WaiverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "audit.allow:{}: {}", self.line, self.msg)
+    }
+}
+
+/// Parses the waiver file text. Unknown rule ids, missing paths, and
+/// missing reasons are hard errors — a waiver that cannot be understood
+/// must not silently fail open *or* closed.
+pub fn parse(text: &str) -> Result<Vec<Waiver>, WaiverError> {
+    let mut out = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (head, reason) = match line.split_once("--") {
+            Some((h, r)) if !r.trim().is_empty() => (h.trim(), r.trim()),
+            _ => {
+                return Err(WaiverError {
+                    line: line_no,
+                    msg: "expected `<rule-id> <path> -- <reason>`".to_owned(),
+                })
+            }
+        };
+        let mut parts = head.split_whitespace();
+        let (Some(rule_id), Some(file), None) = (parts.next(), parts.next(), parts.next())
+        else {
+            return Err(WaiverError {
+                line: line_no,
+                msg: "expected exactly `<rule-id> <path>` before `--`".to_owned(),
+            });
+        };
+        let Some(rule) = Rule::from_id(rule_id) else {
+            return Err(WaiverError {
+                line: line_no,
+                msg: format!("unknown rule id {rule_id:?}"),
+            });
+        };
+        out.push(Waiver {
+            rule,
+            file: file.replace('\\', "/"),
+            reason: reason.to_owned(),
+            line: line_no,
+        });
+    }
+    Ok(out)
+}

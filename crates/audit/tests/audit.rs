@@ -1,0 +1,326 @@
+//! Fixture-based proof that the auditor catches what it claims to catch —
+//! each rule gets a passing and a failing snippet — plus an end-to-end
+//! seeded-violation run over a synthetic workspace (the property CI's
+//! `soundness` job relies on: a bad diff cannot pass), waiver-file
+//! round-trips, and the self-audit that keeps the live tree clean.
+
+use std::path::{Path, PathBuf};
+
+use ndirect_audit::rules::{check_file, FileKind, Rule};
+use ndirect_audit::{audit_with_waivers, audit_workspace, lexer, waiver, workspace_root};
+
+const LIB: FileKind = FileKind {
+    library: true,
+    hot_path: false,
+};
+const HOT: FileKind = FileKind {
+    library: true,
+    hot_path: true,
+};
+const TEST_ONLY: FileKind = FileKind {
+    library: false,
+    hot_path: false,
+};
+
+fn violations(src: &str, kind: FileKind) -> Vec<Rule> {
+    check_file("fixture.rs", &lexer::lex(src), kind)
+        .into_iter()
+        .map(|v| v.rule)
+        .collect()
+}
+
+// ---- safety-comment ----------------------------------------------------
+
+#[test]
+fn unsafe_block_without_safety_comment_is_flagged() {
+    let src = "pub fn f(p: *const u8) -> u8 {\n    unsafe { *p }\n}\n";
+    assert_eq!(violations(src, LIB), vec![Rule::SafetyComment]);
+}
+
+#[test]
+fn unsafe_block_with_safety_comment_passes() {
+    let src = "pub fn f(p: *const u8) -> u8 {\n    // SAFETY: caller guarantees p is valid.\n    unsafe { *p }\n}\n";
+    assert_eq!(violations(src, LIB), vec![]);
+}
+
+#[test]
+fn safety_comment_above_multiline_statement_counts() {
+    // The comment sits above the statement *start*, two lines before the
+    // `unsafe` token itself.
+    let src = "pub fn f(p: *const u64) -> u64 {\n    // SAFETY: p valid per contract.\n    let v = some_long_call(1, 2)\n        + unsafe { *p };\n    v\n}\n";
+    assert_eq!(violations(src, LIB), vec![]);
+}
+
+#[test]
+fn unsafe_fn_accepts_doc_safety_section() {
+    let src = "/// Does things.\n///\n/// # Safety\n/// `i < len`.\npub unsafe fn at(i: usize) {}\n";
+    assert_eq!(violations(src, LIB), vec![]);
+}
+
+#[test]
+fn unsafe_fn_pointer_type_is_not_a_site() {
+    let src = "struct Job {\n    call: unsafe fn(*const (), usize),\n}\n";
+    assert_eq!(violations(src, LIB), vec![]);
+}
+
+#[test]
+fn safety_in_string_literal_does_not_satisfy_rule() {
+    let src = "pub fn f(p: *const u8) -> u8 {\n    let _s = \"// SAFETY: not a comment\";\n    unsafe { *p }\n}\n";
+    assert_eq!(violations(src, LIB), vec![Rule::SafetyComment]);
+}
+
+#[test]
+fn unsafe_inside_raw_string_is_not_a_site() {
+    let src = "pub fn f() -> &'static str {\n    r#\"unsafe { *p } // looks scary, is data\"#\n}\n";
+    assert_eq!(violations(src, LIB), vec![]);
+}
+
+#[test]
+fn unsafe_inside_nested_block_comment_is_not_a_site() {
+    let src = "/* outer /* unsafe { } */ still comment */\npub fn f() {}\n";
+    assert_eq!(violations(src, LIB), vec![]);
+}
+
+#[test]
+fn test_files_still_require_safety_comments() {
+    let src = "fn t(p: *const u8) -> u8 {\n    unsafe { *p }\n}\n";
+    assert_eq!(violations(src, TEST_ONLY), vec![Rule::SafetyComment]);
+}
+
+// ---- no-unwrap ---------------------------------------------------------
+
+#[test]
+fn unwrap_in_library_code_is_flagged() {
+    let src = "pub fn f(v: Option<u8>) -> u8 {\n    v.unwrap()\n}\n";
+    assert_eq!(violations(src, LIB), vec![Rule::NoUnwrap]);
+}
+
+#[test]
+fn expect_in_library_code_is_flagged() {
+    let src = "pub fn f(v: Option<u8>) -> u8 {\n    v.expect(\"present\")\n}\n";
+    assert_eq!(violations(src, LIB), vec![Rule::NoUnwrap]);
+}
+
+#[test]
+fn unwrap_under_cfg_test_passes() {
+    let src = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        Some(1).unwrap();\n    }\n}\n";
+    assert_eq!(violations(src, LIB), vec![]);
+}
+
+#[test]
+fn unwrap_or_variants_pass() {
+    let src = "pub fn f(v: Option<u8>) -> u8 {\n    v.unwrap_or(0).max(v.unwrap_or_default())\n}\n";
+    assert_eq!(violations(src, LIB), vec![]);
+}
+
+#[test]
+fn unwrap_in_non_library_file_passes() {
+    let src = "fn main() {\n    std::env::args().next().unwrap();\n}\n";
+    assert_eq!(violations(src, TEST_ONLY), vec![]);
+}
+
+// ---- cast-justify ------------------------------------------------------
+
+#[test]
+fn narrowing_cast_in_hot_path_without_note_is_flagged() {
+    let src = "pub fn f(x: usize) -> u32 {\n    x as u32\n}\n";
+    assert_eq!(violations(src, HOT), vec![Rule::CastJustify]);
+}
+
+#[test]
+fn narrowing_cast_with_cast_note_passes() {
+    let src = "pub fn f(x: usize) -> u32 {\n    // CAST: x < 2^32 by construction (tile index).\n    x as u32\n}\n";
+    assert_eq!(violations(src, HOT), vec![]);
+}
+
+#[test]
+fn narrowing_cast_outside_hot_path_passes() {
+    let src = "pub fn f(x: usize) -> u32 {\n    x as u32\n}\n";
+    assert_eq!(violations(src, LIB), vec![]);
+}
+
+#[test]
+fn widening_cast_in_hot_path_passes() {
+    let src = "pub fn f(x: u32) -> u64 {\n    x as u64\n}\n";
+    assert_eq!(violations(src, HOT), vec![]);
+}
+
+// ---- no-static-mut -----------------------------------------------------
+
+#[test]
+fn static_mut_is_flagged_everywhere() {
+    let src = "static mut COUNTER: u64 = 0;\n";
+    assert_eq!(violations(src, LIB), vec![Rule::NoStaticMut]);
+    assert_eq!(violations(src, TEST_ONLY), vec![Rule::NoStaticMut]);
+}
+
+#[test]
+fn plain_static_passes() {
+    let src = "static COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);\n";
+    assert_eq!(violations(src, LIB), vec![]);
+}
+
+// ---- seeded workspace end-to-end --------------------------------------
+
+/// A throwaway workspace under the target dir; removed on drop so reruns
+/// start clean.
+struct FixtureWs {
+    root: PathBuf,
+}
+
+impl FixtureWs {
+    fn new(tag: &str) -> Self {
+        let root = Path::new(env!("CARGO_TARGET_TMPDIR")).join(format!("audit-fixture-{tag}"));
+        let _ = std::fs::remove_dir_all(&root);
+        std::fs::create_dir_all(root.join("crates/demo/src")).expect("mkdir fixture");
+        Self { root }
+    }
+
+    fn write(&self, rel: &str, text: &str) {
+        let path = self.root.join(rel);
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir).expect("mkdir");
+        }
+        std::fs::write(path, text).expect("write fixture");
+    }
+}
+
+impl Drop for FixtureWs {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.root);
+    }
+}
+
+const CLEAN_MANIFEST: &str =
+    "[package]\nname = \"demo\"\n\n[lints]\nworkspace = true\n";
+
+#[test]
+fn seeded_violation_fails_the_audit() {
+    let ws = FixtureWs::new("seeded");
+    ws.write("crates/demo/Cargo.toml", CLEAN_MANIFEST);
+    ws.write(
+        "crates/demo/src/lib.rs",
+        "pub fn f(p: *const u8) -> u8 {\n    unsafe { *p }\n}\n",
+    );
+    let report = audit_workspace(&ws.root).expect("audit runs");
+    assert!(!report.is_clean());
+    assert_eq!(report.violations.len(), 1);
+    let v = &report.violations[0];
+    assert_eq!(v.rule, Rule::SafetyComment);
+    assert_eq!(v.file, "crates/demo/src/lib.rs");
+    assert_eq!(v.line, 2);
+}
+
+#[test]
+fn clean_fixture_workspace_audits_clean() {
+    let ws = FixtureWs::new("clean");
+    ws.write("crates/demo/Cargo.toml", CLEAN_MANIFEST);
+    ws.write(
+        "crates/demo/src/lib.rs",
+        "#![forbid(unsafe_code)]\npub fn f() -> u8 {\n    7\n}\n",
+    );
+    let report = audit_workspace(&ws.root).expect("audit runs");
+    assert!(report.is_clean(), "{:?}", report.violations);
+    assert_eq!(report.files_scanned, 1);
+}
+
+#[test]
+fn waiver_silences_exactly_its_violation() {
+    let ws = FixtureWs::new("waived");
+    ws.write("crates/demo/Cargo.toml", CLEAN_MANIFEST);
+    ws.write(
+        "crates/demo/src/lib.rs",
+        "pub fn f(p: *const u8) -> u8 {\n    unsafe { *p }\n}\n",
+    );
+    ws.write(
+        "audit.allow",
+        "# demo waiver\nsafety-comment crates/demo/src/lib.rs -- legacy kernel, tracked in #42\n",
+    );
+    let report = audit_workspace(&ws.root).expect("audit runs");
+    assert!(report.is_clean(), "{:?}", report.violations);
+    assert_eq!(report.waived.len(), 1);
+    assert_eq!(report.waived[0].rule, Rule::SafetyComment);
+}
+
+#[test]
+fn unused_waiver_is_itself_a_violation() {
+    let ws = FixtureWs::new("unused-waiver");
+    ws.write("crates/demo/Cargo.toml", CLEAN_MANIFEST);
+    ws.write(
+        "crates/demo/src/lib.rs",
+        "#![forbid(unsafe_code)]\npub fn f() {}\n",
+    );
+    let waivers =
+        waiver::parse("no-unwrap crates/demo/src/lib.rs -- stale\n").expect("parses");
+    let report = audit_with_waivers(&ws.root, &waivers).expect("audit runs");
+    assert_eq!(report.violations.len(), 1);
+    let v = &report.violations[0];
+    assert_eq!(v.rule, Rule::UnusedWaiver);
+    assert_eq!(v.file, "audit.allow");
+    assert_eq!(v.line, 1);
+}
+
+#[test]
+fn malformed_waiver_file_is_a_hard_error() {
+    assert!(waiver::parse("not-a-rule some/path.rs -- why\n").is_err());
+    assert!(waiver::parse("no-unwrap some/path.rs\n").is_err());
+    assert!(waiver::parse("# comments\n\nno-unwrap a.rs -- reason\n").is_ok());
+}
+
+#[test]
+fn missing_lint_opt_in_is_flagged() {
+    let ws = FixtureWs::new("no-lints");
+    ws.write("crates/demo/Cargo.toml", "[package]\nname = \"demo\"\n");
+    ws.write(
+        "crates/demo/src/lib.rs",
+        "#![forbid(unsafe_code)]\npub fn f() {}\n",
+    );
+    let report = audit_workspace(&ws.root).expect("audit runs");
+    assert_eq!(report.violations.len(), 1);
+    assert_eq!(report.violations[0].rule, Rule::LintHeader);
+}
+
+#[test]
+fn unsafe_free_crate_must_forbid_unsafe_code() {
+    let ws = FixtureWs::new("no-forbid");
+    ws.write("crates/demo/Cargo.toml", CLEAN_MANIFEST);
+    ws.write("crates/demo/src/lib.rs", "pub fn f() {}\n");
+    let report = audit_workspace(&ws.root).expect("audit runs");
+    assert_eq!(report.violations.len(), 1);
+    assert_eq!(report.violations[0].rule, Rule::LintHeader);
+}
+
+// ---- rule catalog ------------------------------------------------------
+
+#[test]
+fn rule_catalog_has_at_least_five_rules_with_stable_ids() {
+    assert!(Rule::ALL.len() >= 5);
+    for &rule in Rule::ALL {
+        assert_eq!(Rule::from_id(rule.id()), Some(rule));
+        assert!(!rule.describe().is_empty());
+    }
+}
+
+// ---- self-audit --------------------------------------------------------
+
+/// The gate's anchor: the live workspace must audit clean (violations are
+/// fixed or carry an `audit.allow` entry with a reason). If this fails,
+/// either fix the finding or waive it explicitly — never loosen a rule.
+#[test]
+fn live_workspace_audits_clean() {
+    let root = workspace_root();
+    // Sanity: we found the real workspace, not a stray directory.
+    assert!(root.join("crates/audit").is_dir(), "bad root {root:?}");
+    let report = audit_workspace(&root).expect("audit runs");
+    assert!(report.files_scanned > 100, "suspiciously few files scanned");
+    assert!(
+        report.is_clean(),
+        "live workspace has violations:\n{}",
+        report
+            .violations
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -107,7 +107,7 @@ impl CostModel {
 fn solve(mut a: [[f64; NUM_FEATURES]; NUM_FEATURES], mut b: [f64; NUM_FEATURES]) -> Option<[f64; NUM_FEATURES]> {
     const D: usize = NUM_FEATURES;
     for col in 0..D {
-        let pivot = (col..D).max_by(|&i, &j| a[i][col].abs().partial_cmp(&a[j][col].abs()).unwrap())?;
+        let pivot = (col..D).max_by(|&i, &j| a[i][col].abs().total_cmp(&a[j][col].abs()))?;
         if a[pivot][col].abs() < 1e-12 {
             return None;
         }

@@ -19,6 +19,10 @@
 //! tuned throughput is directly comparable to nDirect's model-derived
 //! schedule — the comparison of the paper's Figure 6.
 
+// This crate has no business touching raw pointers; the auditor's
+// lint-header rule holds that line at compile time.
+#![forbid(unsafe_code)]
+
 #![warn(missing_docs)]
 
 pub mod cache;

@@ -120,7 +120,7 @@ pub fn tune(
 
         // Breed candidates from the top quartile of measured schedules.
         let mut parents: Vec<usize> = (0..measured.len()).collect();
-        parents.sort_by(|&a, &b| measured[b].1.partial_cmp(&measured[a].1).unwrap());
+        parents.sort_by(|&a, &b| measured[b].1.total_cmp(&measured[a].1));
         parents.truncate((measured.len() / 4).max(1));
 
         let mut pool_candidates: Vec<Schedule> = Vec::with_capacity(settings.pool);
@@ -136,10 +136,7 @@ pub fn tune(
         // Rank by the model (or keep order if untrained), measure the top.
         if model.is_trained() {
             pool_candidates.sort_by(|a, b| {
-                model
-                    .predict(b, shape)
-                    .partial_cmp(&model.predict(a, shape))
-                    .unwrap()
+                model.predict(b, shape).total_cmp(&model.predict(a, shape))
             });
         }
         let budget_left = settings.trials - measured.len();
@@ -171,13 +168,16 @@ pub fn tune(
     }
 }
 
+/// Index of the best measurement. Callers always measure at least one
+/// schedule before ranking; an empty slice degrades to index 0 rather
+/// than panicking (it would be caught by the slice index at the use site
+/// with a clearer message than an unwrap here).
 fn argmax(measured: &[(Schedule, f64)]) -> usize {
     measured
         .iter()
         .enumerate()
-        .max_by(|a, b| a.1 .1.partial_cmp(&b.1 .1).unwrap())
-        .map(|(i, _)| i)
-        .expect("at least one measurement")
+        .max_by(|a, b| a.1 .1.total_cmp(&b.1 .1))
+        .map_or(0, |(i, _)| i)
 }
 
 #[cfg(test)]

@@ -204,8 +204,7 @@ fn run_suite(args: &[String]) -> i32 {
         let flops = shape.flops();
         let traffic = ndirect_platform::conv_min_traffic_bytes(&shape);
         let perf = roofline.attribute(flops, traffic, secs);
-        let predicted_pack_bytes =
-            plan.schedule().predicted_pack_bytes(&shape).min(u64::MAX as u128) as u64;
+        let predicted_pack_bytes = plan.schedule().predicted_pack_bytes_u64(&shape);
 
         let record = LayerRecord {
             id,

@@ -21,6 +21,10 @@
 //!   evolutionary searcher, tuning time excluded (§7.3 excludes Ansor's
 //!   search overhead).
 
+// This crate has no business touching raw pointers; the auditor's
+// lint-header rule holds that line at compile time.
+#![forbid(unsafe_code)]
+
 pub mod harness;
 pub mod perf;
 

@@ -65,10 +65,24 @@ impl Conv3dShape {
         (self.w + 2 * self.pad_w - self.s) / self.stride + 1
     }
 
-    /// FLOPs (2 per MAC).
+    /// FLOPs (2 per MAC). Folded in `u128` and saturated at `u64::MAX`
+    /// rather than wrapped, mirroring `ConvShape::flops` — the 3D product
+    /// has two extra factors (`OD`, `T`), so it exceeds `u64` even sooner.
     pub fn flops(&self) -> u64 {
-        2 * (self.n * self.k * self.od() * self.p() * self.q()) as u64
-            * (self.c * self.t * self.r * self.s) as u64
+        [
+            self.n,
+            self.k,
+            self.od(),
+            self.p(),
+            self.q(),
+            self.c,
+            self.t,
+            self.r,
+            self.s,
+        ]
+        .iter()
+        .try_fold(2u128, |acc, &f| acc.checked_mul(f as u128))
+        .map_or(u64::MAX, |total| u64::try_from(total).unwrap_or(u64::MAX))
     }
 }
 

@@ -106,7 +106,9 @@ pub fn conv_int16_naive(input: &Int16Tensor, filter: &Int16Filter, shape: &ConvS
                             for s in 0..shape.s {
                                 let ij = (shape.stride * oj + r) as isize - shape.pad.h as isize;
                                 let ii = (shape.stride * oi + s) as isize - shape.pad.w as isize;
+                                // CAST: i16 -> i32 widening, lossless.
                                 let x = input.at_padded(n, c, ij, ii) as i32;
+                                // CAST: i16 -> i32 widening, lossless.
                                 acc = acc.wrapping_add(x * filter.at(k, c, r, s) as i32);
                             }
                         }

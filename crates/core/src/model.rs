@@ -334,11 +334,11 @@ pub mod thread_map {
             .min_by(|a, b| {
                 let da = (a.ptn() as f64 / ideal).ln().abs();
                 let db = (b.ptn() as f64 / ideal).ln().abs();
-                da.partial_cmp(&db)
-                    .unwrap()
-                    .then(b.ptn().cmp(&a.ptn()))
+                da.total_cmp(&db).then(b.ptn().cmp(&a.ptn()))
             })
-            .expect("threads >= 1 always factorizes")
+            // `factorizations(t)` is non-empty for every t >= 1; a
+            // degenerate t == 0 request degrades to the sequential grid.
+            .unwrap_or_else(Grid2::sequential)
     }
 
     #[cfg(test)]

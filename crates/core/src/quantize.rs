@@ -34,6 +34,8 @@ impl QuantParams {
     #[inline]
     pub fn quantize(&self, x: f32) -> i16 {
         let q = (x / self.scale).round();
+        // CAST: f32 -> i16 after clamping to the exact i16 range, so the
+        // truncation is the documented saturating behaviour (NaN maps to 0).
         q.clamp(i16::MIN as f32, i16::MAX as f32) as i16
     }
 
@@ -48,6 +50,8 @@ impl QuantParams {
 /// `max_code = ⌊√(2³¹ / len)⌋`, capped at `i16::MAX`.
 pub fn safe_max_code(reduction_len: usize) -> i16 {
     let bound = ((i32::MAX as f64) / reduction_len.max(1) as f64).sqrt().floor();
+    // CAST: f64 -> i16 after min() against i16::MAX; bound is >= 0 by
+    // construction (sqrt of a non-negative quotient), so the cast is exact.
     bound.min(i16::MAX as f64) as i16
 }
 

@@ -167,6 +167,14 @@ impl Schedule {
         total_floats * std::mem::size_of::<f32>() as u128
     }
 
+    /// [`Schedule::predicted_pack_bytes`] narrowed to the `u64` that perf
+    /// records serialize, saturating at `u64::MAX` instead of truncating.
+    /// A prediction that large cannot correspond to a materializable
+    /// buffer, so the clamp only ever marks "beyond measurement".
+    pub fn predicted_pack_bytes_u64(&self, shape: &ConvShape) -> u64 {
+        u64::try_from(self.predicted_pack_bytes(shape)).unwrap_or(u64::MAX)
+    }
+
     /// Returns a copy with a different packing mode (ablation helper).
     pub fn with_packing(&self, packing: PackingMode) -> Schedule {
         let mut s = self.clone();

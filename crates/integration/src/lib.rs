@@ -1,3 +1,7 @@
 //! Carrier crate for the workspace-level integration tests in `tests/`
 //! and the runnable examples in `examples/` (see the `[[test]]` and
 //! `[[example]]` sections of this crate's manifest). It exports nothing.
+
+// This crate has no business touching raw pointers; the auditor's
+// lint-header rule holds that line at compile time.
+#![forbid(unsafe_code)]

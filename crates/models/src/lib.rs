@@ -19,6 +19,10 @@
 //!   autotuned-per-shape) through the same [`ndirect_baselines::Convolution`]
 //!   interface as the baselines.
 
+// This crate has no business touching raw pointers; the auditor's
+// lint-header rule holds that line at compile time.
+#![forbid(unsafe_code)]
+
 #![warn(missing_docs)]
 
 pub mod backend;

@@ -18,6 +18,10 @@
 //!   attribution against the machine's compute and bandwidth ceilings,
 //!   used by the `perfreport` observatory in `ndirect-bench`.
 
+// This crate has no business touching raw pointers; the auditor's
+// lint-header rule holds that line at compile time.
+#![forbid(unsafe_code)]
+
 #![warn(missing_docs)]
 
 pub mod alpha;

@@ -307,10 +307,16 @@ pub fn availability() -> Result<(), HwError> {
     imp::open(HwEvent::Cycles).map(drop)
 }
 
-#[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64"),
+    not(miri)
+))]
 mod imp {
     //! The real backend: raw `syscall(2)` + `read(2)` through the C
-    //! runtime the Rust standard library already links.
+    //! runtime the Rust standard library already links. Gated off under
+    //! Miri (`not(miri)`): foreign syscalls are unsupported there, and the
+    //! stub keeps the rest of the observatory interpretable.
 
     use super::{paranoid_level, HwError, HwEvent};
     use std::ffi::{c_int, c_long, c_void};
@@ -358,14 +364,21 @@ mod imp {
 
     impl Drop for Fd {
         fn drop(&mut self) {
+            // SAFETY: `self.0` is a fd returned by a successful
+            // `perf_event_open` and owned exclusively by this struct, so
+            // this is its first and only close.
             unsafe {
                 close(self.0);
             }
         }
     }
 
+    // The kernel rejects (E2BIG) or misreads an attr whose declared size
+    // disagrees with the struct we hand it; make the mismatch a compile
+    // error rather than a debug-only assert.
+    const _: () = assert!(std::mem::size_of::<PerfEventAttr>() == ATTR_SIZE_VER0 as usize);
+
     pub(super) fn open(event: HwEvent) -> Result<Fd, HwError> {
-        debug_assert_eq!(std::mem::size_of::<PerfEventAttr>(), ATTR_SIZE_VER0 as usize);
         let (type_, config) = event.type_config();
         let attr = PerfEventAttr {
             type_,
@@ -384,6 +397,10 @@ mod imp {
         };
         // pid = 0, cpu = -1: this thread (and, via inherit, its future
         // children) on any CPU.
+        // SAFETY: variadic `syscall(2)` with the perf_event_open argument
+        // list; `attr` is a live, properly sized `#[repr(C)]` struct (size
+        // checked at compile time above) that the kernel only reads during
+        // the call, and the integer arguments match the kernel ABI types.
         let fd = unsafe {
             syscall(
                 SYS_PERF_EVENT_OPEN,
@@ -414,6 +431,9 @@ mod imp {
 
     pub(super) fn read_counter(fd: &Fd) -> Option<(u64, u64, u64)> {
         let mut buf = [0u64; 3];
+        // SAFETY: `buf` is a live 24-byte writable buffer and the count
+        // passed to `read(2)` is exactly its size; `fd` is open for the
+        // duration of the borrow.
         let n = unsafe { read(fd.0, buf.as_mut_ptr() as *mut c_void, 24) };
         if n == 24 {
             Some((buf[0], buf[1], buf[2]))
@@ -423,7 +443,11 @@ mod imp {
     }
 }
 
-#[cfg(not(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64"))))]
+#[cfg(not(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64"),
+    not(miri)
+)))]
 mod imp {
     //! Stub backend for targets without a usable `perf_event_open`:
     //! every open reports [`HwError::Unsupported`] and the rest of the

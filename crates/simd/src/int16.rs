@@ -71,6 +71,8 @@ impl I32x4 {
         {
             let mut out = self.0;
             for i in 0..4 {
+                // CAST: i16 -> i32 widening (x4), lossless — the scalar
+                // mirror of _mm_madd_epi16's widening multiply-add.
                 let p = a.0[2 * i] as i32 * b.0[2 * i] as i32
                     + a.0[2 * i + 1] as i32 * b.0[2 * i + 1] as i32;
                 out[i] = out[i].wrapping_add(p);

@@ -318,7 +318,11 @@ fn parse_num(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
     {
         *pos += 1;
     }
-    let text = std::str::from_utf8(&bytes[start..*pos]).expect("digits are UTF-8");
+    // The scanned range is ASCII digits/sign/exponent bytes by
+    // construction, but fail as a parse error rather than assert it.
+    let Ok(text) = std::str::from_utf8(&bytes[start..*pos]) else {
+        return err("invalid number bytes".to_owned(), start);
+    };
     match text.parse::<f64>() {
         Ok(x) if x.is_finite() => Ok(Json::Num(x)),
         _ => err(format!("invalid number {text:?}"), start),
@@ -372,7 +376,11 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
                         msg: "invalid UTF-8 in string".into(),
                         at: *pos,
                     })?;
-                let ch = rest.chars().next().expect("non-empty");
+                // `rest` starts at a byte the `Some(_)` arm just matched,
+                // so a first char exists; treat the impossible as EOF.
+                let Some(ch) = rest.chars().next() else {
+                    return err("unterminated string", *pos);
+                };
                 out.push(ch);
                 *pos += ch.len_utf8();
             }

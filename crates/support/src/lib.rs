@@ -11,6 +11,10 @@
 //! * [`json`] — a minimal JSON value type with a serializer and a strict
 //!   recursive-descent parser, enough for schedule caches and figure data.
 
+// This crate has no business touching raw pointers; the auditor's
+// lint-header rule holds that line at compile time.
+#![forbid(unsafe_code)]
+
 #![warn(missing_docs)]
 
 pub mod json;

@@ -7,6 +7,7 @@
 
 use std::alloc::{alloc_zeroed, dealloc, handle_alloc_error, Layout};
 use std::ops::{Deref, DerefMut, Index, IndexMut};
+use std::ptr::NonNull;
 
 /// Alignment (bytes) for all tensor storage: one cache line on every
 /// evaluation platform, and ≥ the 16-byte NEON/SSE vector alignment.
@@ -18,13 +19,21 @@ pub const BUF_ALIGN: usize = 64;
 /// Unlike `Vec<f32>`, the alignment is part of the type's contract, which the
 /// SIMD micro-kernels rely on for aligned vector loads of *packed* buffers
 /// (packing always writes from the start of an `AlignedBuf`).
+///
+/// The pointer is held as [`NonNull`] so the type stays provenance-clean
+/// under Miri/strict provenance: every slice handed out derives from the
+/// pointer returned by the allocator (or `NonNull::dangling()` for the
+/// zero-length buffer, which is never dereferenced).
 pub struct AlignedBuf {
-    ptr: *mut f32,
+    ptr: NonNull<f32>,
     len: usize,
 }
 
-// SAFETY: `AlignedBuf` uniquely owns its allocation; `f32` is `Send + Sync`.
+// SAFETY: `AlignedBuf` uniquely owns its allocation (no aliasing views
+// escape except through `&self`/`&mut self` borrows); `f32` is `Send`.
 unsafe impl Send for AlignedBuf {}
+// SAFETY: shared access only reads through `&self`, and mutation requires
+// `&mut self`; `f32` is `Sync`, so `&AlignedBuf` is safe to share.
 unsafe impl Sync for AlignedBuf {}
 
 impl AlignedBuf {
@@ -49,7 +58,7 @@ impl AlignedBuf {
     pub fn try_zeroed(len: usize) -> Result<Self, usize> {
         if len == 0 {
             return Ok(Self {
-                ptr: std::ptr::NonNull::<f32>::dangling().as_ptr(),
+                ptr: NonNull::dangling(),
                 len: 0,
             });
         }
@@ -60,13 +69,10 @@ impl AlignedBuf {
         .map_err(|_| len)?;
         // SAFETY: `layout` has non-zero size (len > 0) and valid alignment.
         let raw = unsafe { alloc_zeroed(layout) };
-        if raw.is_null() {
+        let Some(ptr) = NonNull::new(raw.cast::<f32>()) else {
             return Err(len);
-        }
-        Ok(Self {
-            ptr: raw.cast::<f32>(),
-            len,
-        })
+        };
+        Ok(Self { ptr, len })
     }
 
     /// Builds a buffer by copying `src`.
@@ -77,8 +83,11 @@ impl AlignedBuf {
     }
 
     fn layout(len: usize) -> Layout {
+        // Every live buffer's `len` already passed this exact check in
+        // `try_zeroed`, so reconstruction cannot fail outside `zeroed`'s
+        // error path (where a panic is the right report anyway).
         Layout::from_size_align(len * std::mem::size_of::<f32>(), BUF_ALIGN)
-            .expect("buffer size overflows Layout")
+            .unwrap_or_else(|_| panic!("buffer size overflows Layout: {len} floats"))
     }
 
     /// Number of floats in the buffer.
@@ -99,26 +108,26 @@ impl AlignedBuf {
         // SAFETY: `ptr` is valid for `len` initialized floats for the
         // lifetime of `self` (zeroed at allocation, only mutated through
         // `&mut self`).
-        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+        unsafe { std::slice::from_raw_parts(self.ptr.as_ptr(), self.len) }
     }
 
     /// Mutable view of the whole buffer.
     #[inline]
     pub fn as_mut_slice(&mut self) -> &mut [f32] {
         // SAFETY: as above, plus `&mut self` guarantees uniqueness.
-        unsafe { std::slice::from_raw_parts_mut(self.ptr, self.len) }
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.as_ptr(), self.len) }
     }
 
     /// Raw const pointer to the first element.
     #[inline]
     pub fn as_ptr(&self) -> *const f32 {
-        self.ptr
+        self.ptr.as_ptr()
     }
 
     /// Raw mutable pointer to the first element.
     #[inline]
     pub fn as_mut_ptr(&mut self) -> *mut f32 {
-        self.ptr
+        self.ptr.as_ptr()
     }
 
     /// Resets every element to zero.
@@ -130,8 +139,9 @@ impl AlignedBuf {
 impl Drop for AlignedBuf {
     fn drop(&mut self) {
         if self.len != 0 {
-            // SAFETY: allocated in `zeroed` with the identical layout.
-            unsafe { dealloc(self.ptr.cast::<u8>(), Self::layout(self.len)) };
+            // SAFETY: allocated in `try_zeroed` with the identical layout;
+            // the pointer retains the allocator's provenance.
+            unsafe { dealloc(self.ptr.as_ptr().cast::<u8>(), Self::layout(self.len)) };
         }
     }
 }

@@ -41,6 +41,16 @@ pub enum ShapeError {
         /// Which product overflowed (e.g. `"input elements"`).
         what: &'static str,
     },
+    /// An exact wide-integer quantity (FLOP count, byte prediction) does
+    /// not fit the narrower type the caller asked for. The saturating
+    /// accessors clamp instead; this variant is for callers that need the
+    /// exact value or an explicit refusal.
+    Narrow {
+        /// Which quantity failed to narrow (e.g. `"FLOP count"`).
+        what: &'static str,
+        /// The destination type name (e.g. `"u64"`).
+        target: &'static str,
+    },
 }
 
 impl std::fmt::Display for ShapeError {
@@ -63,6 +73,9 @@ impl std::fmt::Display for ShapeError {
             }
             ShapeError::Overflow { what } => {
                 write!(f, "{what} count overflows usize — shape is unrepresentable")
+            }
+            ShapeError::Narrow { what, target } => {
+                write!(f, "{what} exceeds {target} — use the saturating accessor or a wider type")
             }
         }
     }

@@ -303,10 +303,22 @@ impl ConvShape {
     /// silently corrupt every GFLOPS figure and probe invariant built on
     /// it).
     pub fn flops(&self) -> u64 {
+        self.try_flops().unwrap_or(u64::MAX)
+    }
+
+    /// Fallible form of [`ConvShape::flops`]: the exact count, or
+    /// [`ShapeError::Narrow`] when it exceeds `u64::MAX` (where `flops`
+    /// would saturate). For callers — cost models, probe invariants — that
+    /// must not mistake a clamped value for a real one.
+    pub fn try_flops(&self) -> Result<u64, ShapeError> {
         [self.n, self.k, self.p(), self.q(), self.c, self.r, self.s]
             .iter()
             .try_fold(2u128, |acc, &f| acc.checked_mul(f as u128))
-            .map_or(u64::MAX, |total| u64::try_from(total).unwrap_or(u64::MAX))
+            .and_then(|total| u64::try_from(total).ok())
+            .ok_or(ShapeError::Narrow {
+                what: "FLOP count",
+                target: "u64",
+            })
     }
 
     /// GFLOPS for `elapsed` seconds of this convolution.
@@ -326,7 +338,8 @@ impl ConvShape {
         let mut s = *self;
         s.h = h.max(s.r.saturating_sub(2 * s.pad.h).max(1));
         s.w = w.max(s.s.saturating_sub(2 * s.pad.w).max(1));
-        s.validate().expect("with_spatial preserves validity");
+        s.validate()
+            .unwrap_or_else(|e| panic!("with_spatial produced an invalid shape: {e}"));
         s
     }
 
@@ -389,6 +402,21 @@ mod tests {
         let s = ConvShape::new(2, 3, 5, 5, 4, 3, 3, 1, Padding::NONE);
         // outputs: 2*4*3*3 = 72, macs each: 3*3*3 = 27 -> 2*72*27 = 3888.
         assert_eq!(s.flops(), 3888);
+        assert_eq!(s.try_flops(), Ok(3888));
+    }
+
+    #[test]
+    fn try_flops_refuses_where_flops_saturates() {
+        // Same 2^73-FLOP shape as `flops_saturates_instead_of_wrapping`.
+        let s = ConvShape::new(1, 1 << 20, 1 << 16, 1 << 16, 1 << 20, 1, 1, 1, Padding::NONE);
+        assert_eq!(s.flops(), u64::MAX);
+        assert_eq!(
+            s.try_flops(),
+            Err(ShapeError::Narrow {
+                what: "FLOP count",
+                target: "u64",
+            })
+        );
     }
 
     #[test]

@@ -329,7 +329,10 @@ impl StaticPool {
         F: Fn(usize) + Sync,
     {
         if self.size == 1 {
-            if self.in_region.swap(true, Ordering::Acquire) {
+            // AcqRel: Acquire pairs with the Release in `RegionGuard::drop`
+            // so region N+1 observes region N's effects; the Release half
+            // publishes the flag itself to any concurrent `try_run` caller.
+            if self.in_region.swap(true, Ordering::AcqRel) {
                 return Err(PoolError::NestedRun);
             }
             let _guard = RegionGuard(&self.in_region);
@@ -341,7 +344,8 @@ impl StaticPool {
             }
             return Ok(());
         }
-        if self.in_region.swap(true, Ordering::Acquire) {
+        // AcqRel for the same pairing as the single-thread path above.
+        if self.in_region.swap(true, Ordering::AcqRel) {
             return Err(PoolError::NestedRun);
         }
         // Release the reentrancy flag on every exit path (incl. panics).
@@ -353,6 +357,9 @@ impl StaticPool {
         // region must not leave its share of the iteration space undone.
         self.ensure_workers()?;
 
+        // SAFETY: callers must pass a `data` pointer obtained from `&f` for
+        // an `F` that outlives the call; the only call sites are the jobs
+        // pushed below, which the region's latch confines to `f`'s lifetime.
         unsafe fn trampoline<F: Fn(usize) + Sync>(data: *const (), tid: usize) {
             // SAFETY: `data` was produced from `&f` below and `f` is alive
             // until the latch in `try_run` releases.

@@ -12,6 +12,7 @@
 //! barrier sequences all writes before the caller's `&mut` borrow ends.
 
 use std::marker::PhantomData;
+use std::ptr::NonNull;
 
 /// A length-tagged raw view of a `&mut [T]`, shareable across a fork-join
 /// region for *disjoint* writes.
@@ -21,7 +22,10 @@ use std::marker::PhantomData;
 /// its partitioning argument). Bounds are `debug_assert`ed — callers are
 /// inner kernels whose offsets are established by the surrounding driver.
 pub struct SharedSlice<'a, T> {
-    ptr: *mut T,
+    // NonNull (derived from the borrow in `new`) keeps the view
+    // provenance-clean: every access goes through the one pointer that
+    // carries the original `&mut [T]`'s provenance.
+    ptr: NonNull<T>,
     len: usize,
     _borrow: PhantomData<&'a mut [T]>,
 }
@@ -30,6 +34,9 @@ pub struct SharedSlice<'a, T> {
 // exactly the data-race-freedom condition; `T: Send` suffices because only
 // writes/reads of owned disjoint elements occur.
 unsafe impl<T: Send> Send for SharedSlice<'_, T> {}
+// SAFETY: as for `Send` — a `&SharedSlice` only permits accesses whose
+// disjointness the (unsafe) caller asserts, so shared references between
+// threads cannot introduce a data race beyond what callers already promise.
 unsafe impl<T: Send> Sync for SharedSlice<'_, T> {}
 
 impl<'a, T> SharedSlice<'a, T> {
@@ -37,9 +44,13 @@ impl<'a, T> SharedSlice<'a, T> {
     /// borrow keeps the underlying buffer alive and exclusively reserved
     /// for this view.
     pub fn new(slice: &'a mut [T]) -> Self {
+        let len = slice.len();
         Self {
-            ptr: slice.as_mut_ptr(),
-            len: slice.len(),
+            // `NonNull::from` on the slice reference preserves the borrow's
+            // provenance over the whole `len`-element range (unlike a
+            // pointer re-derived from a temporary first-element borrow).
+            ptr: NonNull::from(slice).cast::<T>(),
+            len,
             _borrow: PhantomData,
         }
     }
@@ -64,7 +75,7 @@ impl<'a, T> SharedSlice<'a, T> {
     pub unsafe fn write(&self, i: usize, v: T) {
         debug_assert!(i < self.len);
         // SAFETY: per the function contract.
-        unsafe { *self.ptr.add(i) = v };
+        unsafe { *self.ptr.as_ptr().add(i) = v };
     }
 
     /// Reads the value at index `i`.
@@ -78,7 +89,7 @@ impl<'a, T> SharedSlice<'a, T> {
     {
         debug_assert!(i < self.len);
         // SAFETY: per the function contract.
-        unsafe { *self.ptr.add(i) }
+        unsafe { *self.ptr.as_ptr().add(i) }
     }
 
     /// A `&mut` view of the contiguous range `start..start + n`.
@@ -93,7 +104,7 @@ impl<'a, T> SharedSlice<'a, T> {
         // SAFETY: in bounds per the contract; exclusivity of the range is
         // the caller's partitioning argument, so no other pointer accesses
         // this memory during the borrow.
-        unsafe { std::slice::from_raw_parts_mut(self.ptr.add(start), n) }
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.as_ptr().add(start), n) }
     }
 }
 
@@ -106,7 +117,7 @@ impl<T: Copy + std::ops::AddAssign> SharedSlice<'_, T> {
     pub unsafe fn add_assign(&self, i: usize, v: T) {
         debug_assert!(i < self.len);
         // SAFETY: per the function contract.
-        unsafe { *self.ptr.add(i) += v };
+        unsafe { *self.ptr.as_ptr().add(i) += v };
     }
 }
 

@@ -8,6 +8,10 @@
 //! padding for odd kernels: 1 for 3×3, 3 for 7×7, none for 1×1), which is
 //! what reproduces the networks' published feature-map sizes.
 
+// This crate has no business touching raw pointers; the auditor's
+// lint-header rule holds that line at compile time.
+#![forbid(unsafe_code)]
+
 #![warn(missing_docs)]
 
 pub mod table4;

@@ -22,29 +22,39 @@ struct CountingAlloc;
 static ARMED: AtomicBool = AtomicBool::new(false);
 static ALLOCS: AtomicUsize = AtomicUsize::new(0);
 
+// SAFETY: pure pass-through to `System`; the counters are atomics, so the
+// allocator imposes no extra synchronization or aliasing requirements.
 unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: same contract as `System::alloc`, to which this forwards.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         if ARMED.load(Ordering::Relaxed) {
             ALLOCS.fetch_add(1, Ordering::Relaxed);
         }
+        // SAFETY: `layout` is forwarded unchanged from our own contract.
         unsafe { System.alloc(layout) }
     }
 
+    // SAFETY: same contract as `System::alloc_zeroed`.
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
         if ARMED.load(Ordering::Relaxed) {
             ALLOCS.fetch_add(1, Ordering::Relaxed);
         }
+        // SAFETY: `layout` is forwarded unchanged from our own contract.
         unsafe { System.alloc_zeroed(layout) }
     }
 
+    // SAFETY: same contract as `System::realloc`.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         if ARMED.load(Ordering::Relaxed) {
             ALLOCS.fetch_add(1, Ordering::Relaxed);
         }
+        // SAFETY: all arguments forwarded unchanged from our own contract.
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 
+    // SAFETY: same contract as `System::dealloc`.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: `ptr`/`layout` forwarded unchanged from our own contract.
         unsafe { System.dealloc(ptr, layout) }
     }
 }
