@@ -109,16 +109,42 @@ pub fn audit_with_waivers(
         let crate_name = file_name(&crate_dir);
         let mut crate_sources = Vec::new();
 
-        // Library sources: all rules.
+        // Library sources: all rules. Two passes — the first lexes and
+        // collects out-of-line `#[cfg(test)] mod x;` declarations so the
+        // second can classify their target files (`x.rs`, `x/…`) as test
+        // code for the unwrap/cast rules.
         let src = crate_dir.join("src");
+        let mut lexed_sources = Vec::new();
+        let mut test_files: Vec<PathBuf> = Vec::new();
         for file in rust_files(&src)? {
-            let rel = rel_path(root, &file);
-            let in_bin = rel.contains("/src/bin/");
             let text = read(&file)?;
             let lexed = lexer::lex(&text);
+            for name in rules::test_module_decls(&lexed) {
+                // `mod x;` in lib.rs/mod.rs/main.rs resolves next to the
+                // declaring file; in foo.rs it resolves under foo/.
+                let stem = file.file_stem().and_then(|s| s.to_str()).unwrap_or("");
+                let base = match stem {
+                    "lib" | "main" | "mod" => file.parent().map(Path::to_path_buf),
+                    _ => file.parent().map(|p| p.join(stem)),
+                };
+                if let Some(base) = base {
+                    test_files.push(base.join(format!("{name}.rs")));
+                    test_files.push(base.join(&name));
+                }
+            }
+            lexed_sources.push((file, lexed));
+        }
+        for (file, lexed) in lexed_sources {
+            let rel = rel_path(root, &file);
+            let in_bin = rel.contains("/src/bin/");
+            let is_test_module = test_files
+                .iter()
+                .any(|t| file == *t || file.starts_with(t));
             let kind = FileKind {
-                library: !in_bin,
-                hot_path: !in_bin && HOT_PATH_CRATES.contains(&crate_name.as_str()),
+                library: !in_bin && !is_test_module,
+                hot_path: !in_bin
+                    && !is_test_module
+                    && HOT_PATH_CRATES.contains(&crate_name.as_str()),
             };
             violations.extend(rules::check_file(&rel, &lexed, kind));
             files_scanned += 1;

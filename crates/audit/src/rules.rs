@@ -218,6 +218,69 @@ fn is_ident_byte(b: u8) -> bool {
     b.is_ascii_alphanumeric() || b == b'_'
 }
 
+/// Names of *out-of-line* modules declared under a test attribute —
+/// `#[cfg(test)] mod tests;` — whose bodies live in sibling files
+/// (`tests.rs` / `tests/mod.rs`). `test_regions` cannot cover those
+/// bodies (they are other files), so the workspace walker uses this list
+/// to classify the target files as test code for the unwrap/cast rules.
+pub fn test_module_decls(lexed: &Lexed) -> Vec<String> {
+    let mut decls = Vec::new();
+    let s = &lexed.scrubbed;
+    let bytes = s.as_bytes();
+    let mut search = 0usize;
+    while let Some(off) = s[search..].find("#[").map(|p| p + search) {
+        let close = match s[off..].find(']') {
+            Some(c) => off + c,
+            None => break,
+        };
+        let attr = &s[off..close];
+        search = close + 1;
+        if !attr_mentions_test(attr) {
+            continue;
+        }
+        // Skip whitespace, further attributes, and a `pub` qualifier, then
+        // match `mod <ident> ;` — anything else (an inline `mod { … }` is
+        // handled by test_regions) is not an out-of-line declaration.
+        let mut j = close + 1;
+        loop {
+            while j < bytes.len() && bytes[j].is_ascii_whitespace() {
+                j += 1;
+            }
+            if s[j..].starts_with("#[") {
+                match s[j..].find(']') {
+                    Some(c) => j += c + 1,
+                    None => return decls,
+                }
+                continue;
+            }
+            if s[j..].starts_with("pub") && !is_ident_byte(*bytes.get(j + 3).unwrap_or(&b' ')) {
+                j += 3;
+                continue;
+            }
+            break;
+        }
+        if !s[j..].starts_with("mod") || is_ident_byte(*bytes.get(j + 3).unwrap_or(&b' ')) {
+            continue;
+        }
+        j += 3;
+        while j < bytes.len() && bytes[j].is_ascii_whitespace() {
+            j += 1;
+        }
+        let name_start = j;
+        while j < bytes.len() && is_ident_byte(bytes[j]) {
+            j += 1;
+        }
+        let name = &s[name_start..j];
+        while j < bytes.len() && bytes[j].is_ascii_whitespace() {
+            j += 1;
+        }
+        if !name.is_empty() && bytes.get(j) == Some(&b';') {
+            decls.push(name.to_owned());
+        }
+    }
+    decls
+}
+
 /// Runs every per-file rule over one lexed source file.
 pub fn check_file(file: &str, lexed: &Lexed, kind: FileKind) -> Vec<Violation> {
     let lines: Vec<&str> = lexed.scrubbed.lines().collect();

@@ -301,6 +301,50 @@ fn rule_catalog_has_at_least_five_rules_with_stable_ids() {
     }
 }
 
+#[test]
+fn out_of_line_cfg_test_module_is_exempt_from_unwrap_rule() {
+    // `#[cfg(test)] mod tests;` puts the test body in src/tests.rs; the
+    // unwrap rule must treat that file (and any subtree of the same name)
+    // as test code, exactly like an inline #[cfg(test)] module.
+    let ws = FixtureWs::new("oolmod");
+    ws.write("crates/demo/Cargo.toml", CLEAN_MANIFEST);
+    ws.write(
+        "crates/demo/src/lib.rs",
+        "#![forbid(unsafe_code)]\npub fn f() -> u8 {\n    7\n}\n\n#[cfg(test)]\nmod tests;\n",
+    );
+    ws.write(
+        "crates/demo/src/tests.rs",
+        "#[test]\nfn t() {\n    Some(1).unwrap();\n}\n",
+    );
+    let report = audit_workspace(&ws.root).expect("audit runs");
+    assert!(report.is_clean(), "{:?}", report.violations);
+    assert_eq!(report.files_scanned, 2);
+}
+
+#[test]
+fn undeclared_sibling_module_still_hits_the_unwrap_rule() {
+    // The exemption is keyed on the declaration: a module NOT declared
+    // under #[cfg(test)] keeps full library rules even if it looks testy.
+    let ws = FixtureWs::new("oolmod-neg");
+    ws.write("crates/demo/Cargo.toml", CLEAN_MANIFEST);
+    ws.write(
+        "crates/demo/src/lib.rs",
+        "#![forbid(unsafe_code)]\npub mod helpers;\n\n#[cfg(test)]\nmod tests;\n",
+    );
+    ws.write(
+        "crates/demo/src/tests.rs",
+        "#[test]\nfn t() {\n    Some(1).unwrap();\n}\n",
+    );
+    ws.write(
+        "crates/demo/src/helpers.rs",
+        "pub fn f(v: Option<u8>) -> u8 {\n    v.unwrap()\n}\n",
+    );
+    let report = audit_workspace(&ws.root).expect("audit runs");
+    assert_eq!(report.violations.len(), 1, "{:?}", report.violations);
+    assert_eq!(report.violations[0].rule, Rule::NoUnwrap);
+    assert_eq!(report.violations[0].file, "crates/demo/src/helpers.rs");
+}
+
 // ---- self-audit --------------------------------------------------------
 
 /// The gate's anchor: the live workspace must audit clean (violations are

@@ -224,6 +224,7 @@ fn run_suite(args: &[String]) -> i32 {
             measured_pack_bytes,
             hw_counts,
             hw_multiplexed,
+            extra: Vec::new(),
         };
         println!(
             "{:>5} {:>11.2} {:>7.1}% {:>9.1} {:>7.1}% {:>7}  {:>12} {:>12} {:>11}",

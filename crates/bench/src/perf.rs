@@ -79,6 +79,11 @@ pub struct LayerRecord {
     /// `true` when the PMU multiplexed and the hardware counts are scaled
     /// estimates.
     pub hw_multiplexed: bool,
+    /// Suite-specific `(metric, value)` pairs that don't warrant schema
+    /// churn — `servebench` records `p50_ms`/`p99_ms`/`shed_pct` here.
+    /// Additive: files written before this field parse as empty, and the
+    /// comparator only consults it when both sides carry a metric.
+    pub extra: Vec<(String, f64)>,
 }
 
 impl LayerRecord {
@@ -119,6 +124,17 @@ impl LayerRecord {
             ),
         ));
         members.push(("hw_multiplexed".to_owned(), Json::Bool(self.hw_multiplexed)));
+        if !self.extra.is_empty() {
+            members.push((
+                "extra".to_owned(),
+                Json::Obj(
+                    self.extra
+                        .iter()
+                        .map(|(name, value)| (name.clone(), Json::num(*value)))
+                        .collect(),
+                ),
+            ));
+        }
         Json::Obj(members)
     }
 
@@ -167,6 +183,16 @@ impl LayerRecord {
                 .get("hw_multiplexed")
                 .and_then(Json::as_bool)
                 .unwrap_or(false),
+            extra: v
+                .get("extra")
+                .and_then(Json::as_obj)
+                .map(|members| {
+                    members
+                        .iter()
+                        .filter_map(|(k, x)| x.as_f64().map(|x| (k.clone(), x)))
+                        .collect()
+                })
+                .unwrap_or_default(),
         })
     }
 }
@@ -465,6 +491,7 @@ mod tests {
             measured_pack_bytes: Some(1_000_000),
             hw_counts: vec![("cycles".into(), 123), ("llc_misses".into(), 7)],
             hw_multiplexed: false,
+            extra: vec![("p99_ms".into(), 1.5)],
         }
     }
 

@@ -57,6 +57,7 @@ pub mod nhwc;
 pub mod pack;
 pub mod plan;
 pub mod quantize;
+pub mod registry;
 pub mod sparse;
 pub mod schedule;
 
@@ -79,4 +80,5 @@ pub use nhwc::{
 };
 pub use filter::{transform_filter, transform_filter_block, TransformedFilter};
 pub use plan::{ConvPlan, DepthwisePlan};
+pub use registry::{PlanKey, PlanRegistry};
 pub use schedule::{FilterState, PackingMode, Schedule};

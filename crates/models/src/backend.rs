@@ -15,68 +15,35 @@
 //! inference rather than per-call setup.
 
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 use ndirect_baselines::Convolution;
-use ndirect_core::{ConvPlan, Schedule};
+use ndirect_core::{ConvPlan, PlanKey, PlanRegistry, Schedule};
 use ndirect_platform::Platform;
 use ndirect_tensor::{ConvShape, Filter, Tensor4};
 use ndirect_threads::StaticPool;
 
-/// Identity of a planned layer: the convolution shape plus the *identity*
-/// of the filter tensor (data pointer and length).
-///
-/// Keying on the filter's address encodes the frozen-weights contract of
-/// inference: a plan packs the filter at build time, so it is only valid
-/// for calls that pass the same filter buffer. A model that rebuilt or
-/// moved its weights gets a fresh plan (the stale one is evicted lazily by
-/// never being hit again); a model that *mutates* weights in place must
-/// not use a planning backend.
-#[derive(Clone, Copy, PartialEq, Eq, Hash)]
-struct PlanKey {
-    shape: ConvShape,
-    fptr: usize,
-    flen: usize,
-    threads: usize,
-}
-
-impl PlanKey {
-    fn new(shape: &ConvShape, filter: &Filter, threads: usize) -> Self {
-        let data = filter.as_slice();
-        Self {
-            shape: *shape,
-            fptr: data.as_ptr() as usize,
-            flen: data.len(),
-            threads,
-        }
-    }
-}
-
-type PlanCache = Mutex<HashMap<PlanKey, Arc<ConvPlan<'static>>>>;
-
-/// Looks up (or builds and caches) the plan for a layer. The lock is held
-/// only around the map access; execution runs on the shared `Arc`.
+/// Looks up (or builds and caches) the plan for a layer; the registry
+/// tracks the shape + frozen-filter identity so a rebuilt weight buffer
+/// gets a fresh plan. A build failure at this level is a caller bug (bad
+/// shape), so the backends keep their seed panic behaviour; the fallible
+/// path lives in [`PlanRegistry::get_or_try_build`] for callers (the
+/// serving layer) that handle refusals.
 fn plan_for(
-    cache: &PlanCache,
+    cache: &PlanRegistry,
     key: PlanKey,
     build: impl FnOnce() -> Result<ConvPlan<'static>, ndirect_core::Error>,
 ) -> Arc<ConvPlan<'static>> {
-    let mut map = cache.lock().unwrap_or_else(|p| p.into_inner());
-    if let Some(plan) = map.get(&key) {
-        ndirect_probe::probe_count!(PlanCacheHits, 1);
-        return Arc::clone(plan);
-    }
-    ndirect_probe::probe_count!(PlanCacheMisses, 1);
-    let plan = Arc::new(build().unwrap_or_else(|e| panic!("{e}")));
-    map.insert(key, Arc::clone(&plan));
-    plan
+    cache
+        .get_or_try_build(key, build)
+        .unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// nDirect with schedules derived from the analytic models, executed
 /// through per-layer [`ConvPlan`]s (derived + packed once, reused).
 pub struct NDirectBackend {
     platform: Platform,
-    cache: PlanCache,
+    cache: PlanRegistry,
 }
 
 impl NDirectBackend {
@@ -84,7 +51,7 @@ impl NDirectBackend {
     pub fn new(platform: Platform) -> Self {
         Self {
             platform,
-            cache: Mutex::new(HashMap::new()),
+            cache: PlanRegistry::new(),
         }
     }
 
@@ -109,7 +76,7 @@ impl NDirectBackend {
 
     /// Number of distinct layers planned so far.
     pub fn planned_layers(&self) -> usize {
-        self.cache.lock().unwrap_or_else(|p| p.into_inner()).len()
+        self.cache.len()
     }
 }
 
@@ -143,7 +110,7 @@ impl Convolution for NDirectBackend {
 pub struct TunedBackend {
     fallback: NDirectBackend,
     schedules: HashMap<ConvShape, Schedule>,
-    cache: PlanCache,
+    cache: PlanRegistry,
     name: &'static str,
 }
 
@@ -153,7 +120,7 @@ impl TunedBackend {
         Self {
             fallback: NDirectBackend::host(),
             schedules,
-            cache: Mutex::new(HashMap::new()),
+            cache: PlanRegistry::new(),
             name,
         }
     }

@@ -1,0 +1,234 @@
+//! The serving layer's slice of the workspace error taxonomy (DESIGN.md
+//! §8): every way a request can fail is a typed variant, and callers can
+//! programmatically distinguish *retry me later* ([`ServeError::is_retryable`],
+//! [`ServeError::retry_after`]) from *your request is wrong* from *the
+//! kernel layer refused*.
+
+use std::time::Duration;
+
+/// Where along the pipeline a request's deadline was found expired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExpiredAt {
+    /// Already expired when [`crate::Server::submit`] was called; the
+    /// request was refused admission and never touched a queue slot or a
+    /// plan.
+    Arrival,
+    /// Expired while waiting in the submit queue; the batcher cancelled
+    /// it before dispatch, so it never occupied a kernel slot.
+    Queue,
+}
+
+/// Why a serving request failed.
+///
+/// In-flight batches are never cancelled, so a deadline that expires
+/// *after* dispatch is not an error: the completed result is delivered
+/// with [`crate::InferResponse::late`] set instead.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// Admission control refused the request: the submit queue is past
+    /// its high-water mark. Retry after roughly `retry_after` (estimated
+    /// from the queue depth and the observed per-request service time).
+    Overloaded {
+        /// Queue depth at refusal.
+        depth: usize,
+        /// Suggested client backoff before resubmitting.
+        retry_after: Duration,
+    },
+    /// The request's deadline expired before it reached a worker; see
+    /// [`ExpiredAt`] for which stage shed it.
+    DeadlineExpired {
+        /// Pipeline stage at which the expiry was detected.
+        at: ExpiredAt,
+    },
+    /// The named model was never registered with the server.
+    UnknownModel {
+        /// The name the request asked for.
+        name: String,
+    },
+    /// The request tensor does not match the model's input signature.
+    BadInput {
+        /// Which contract was violated.
+        context: &'static str,
+        /// Dimensions the model expects (`(1, C, H, W)`).
+        expected: (usize, usize, usize, usize),
+        /// Dimensions the request carried.
+        got: (usize, usize, usize, usize),
+    },
+    /// The kernel panicked on this specific request. Batch peers were
+    /// isolated and completed normally; only the poisoned request gets
+    /// this error.
+    WorkerPanicked,
+    /// A transient fault (scratch refusal, worker respawn window)
+    /// persisted through every retry *and* the degraded-plan fallback.
+    RetriesExhausted {
+        /// Build/execute attempts performed (first try included).
+        attempts: usize,
+        /// The kernel-layer error from the final attempt.
+        last: ndirect_core::Error,
+    },
+    /// The kernel layer refused with a non-transient error (bad schedule,
+    /// unsupported ISA, …) that retrying cannot fix.
+    Conv(ndirect_core::Error),
+    /// The server is draining: no new requests are admitted. Requests
+    /// already admitted are still completed.
+    ShuttingDown,
+    /// The server was misconfigured (zero-capacity queue, no shards,
+    /// model with a non-unit batch signature, …). Construction-time only.
+    Config {
+        /// What was wrong.
+        msg: String,
+    },
+}
+
+impl ServeError {
+    /// Whether resubmitting the same request later can succeed:
+    /// overload, transient-fault exhaustion, and the queue-expiry flavour
+    /// of a deadline miss (a fresh deadline may survive a shorter queue)
+    /// are retryable; malformed requests and kernel refusals are not.
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            ServeError::Overloaded { .. }
+            | ServeError::RetriesExhausted { .. }
+            | ServeError::DeadlineExpired {
+                at: ExpiredAt::Queue,
+            } => true,
+            ServeError::DeadlineExpired {
+                at: ExpiredAt::Arrival,
+            }
+            | ServeError::UnknownModel { .. }
+            | ServeError::BadInput { .. }
+            | ServeError::WorkerPanicked
+            | ServeError::Conv(_)
+            | ServeError::ShuttingDown
+            | ServeError::Config { .. } => false,
+        }
+    }
+
+    /// The server's backoff hint, when it gave one ([`ServeError::Overloaded`]).
+    pub fn retry_after(&self) -> Option<Duration> {
+        match self {
+            ServeError::Overloaded { retry_after, .. } => Some(*retry_after),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Overloaded { depth, retry_after } => write!(
+                f,
+                "server overloaded (queue depth {depth}); retry after {retry_after:?}"
+            ),
+            ServeError::DeadlineExpired { at: ExpiredAt::Arrival } => {
+                write!(f, "deadline already expired on arrival; request shed")
+            }
+            ServeError::DeadlineExpired { at: ExpiredAt::Queue } => {
+                write!(f, "deadline expired while queued; cancelled before dispatch")
+            }
+            ServeError::UnknownModel { name } => write!(f, "unknown model {name:?}"),
+            ServeError::BadInput {
+                context,
+                expected,
+                got,
+            } => write!(f, "{context}: expected {expected:?}, got {got:?}"),
+            ServeError::WorkerPanicked => {
+                write!(f, "kernel panicked on this request (batch peers unaffected)")
+            }
+            ServeError::RetriesExhausted { attempts, last } => {
+                write!(f, "transient fault persisted through {attempts} attempts: {last}")
+            }
+            ServeError::Conv(e) => write!(f, "kernel layer refused: {e}"),
+            ServeError::ShuttingDown => write!(f, "server is shutting down"),
+            ServeError::Config { msg } => write!(f, "server misconfigured: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Conv(e) | ServeError::RetriesExhausted { last: e, .. } => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ndirect_core::Error> for ServeError {
+    fn from(e: ndirect_core::Error) -> Self {
+        ServeError::Conv(e)
+    }
+}
+
+/// Whether a kernel-layer error is worth retrying at the serving level:
+/// scratch refusal clears when concurrent executions release their
+/// leases, and a failed worker respawn clears when the OS frees threads.
+pub(crate) fn core_error_is_transient(e: &ndirect_core::Error) -> bool {
+    matches!(
+        e,
+        ndirect_core::Error::ScratchAlloc { .. }
+            | ndirect_core::Error::Pool(ndirect_threads::PoolError::WorkerSpawn { .. })
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retryability_matrix() {
+        let overloaded = ServeError::Overloaded {
+            depth: 9,
+            retry_after: Duration::from_millis(5),
+        };
+        assert!(overloaded.is_retryable());
+        assert_eq!(overloaded.retry_after(), Some(Duration::from_millis(5)));
+
+        assert!(ServeError::RetriesExhausted {
+            attempts: 4,
+            last: ndirect_core::Error::ScratchAlloc { elements: 1 },
+        }
+        .is_retryable());
+        assert!(ServeError::DeadlineExpired { at: ExpiredAt::Queue }.is_retryable());
+
+        for terminal in [
+            ServeError::DeadlineExpired { at: ExpiredAt::Arrival },
+            ServeError::UnknownModel { name: "x".into() },
+            ServeError::WorkerPanicked,
+            ServeError::ShuttingDown,
+            ServeError::Conv(ndirect_core::Error::ScratchAlloc { elements: 1 }),
+        ] {
+            assert!(!terminal.is_retryable(), "{terminal}");
+            assert_eq!(terminal.retry_after(), None);
+        }
+    }
+
+    #[test]
+    fn transience_classification() {
+        assert!(core_error_is_transient(&ndirect_core::Error::ScratchAlloc {
+            elements: 4
+        }));
+        assert!(core_error_is_transient(&ndirect_core::Error::Pool(
+            ndirect_threads::PoolError::WorkerSpawn {
+                worker: 1,
+                kind: std::io::ErrorKind::WouldBlock,
+            }
+        )));
+        assert!(!core_error_is_transient(&ndirect_core::Error::Pool(
+            ndirect_threads::PoolError::NestedRun
+        )));
+        assert!(!core_error_is_transient(&ndirect_core::Error::Unsupported {
+            what: "test"
+        }));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = ServeError::Overloaded {
+            depth: 12,
+            retry_after: Duration::from_millis(3),
+        }
+        .to_string();
+        assert!(s.contains("overloaded") && s.contains("12"), "{s}");
+    }
+}

@@ -1,0 +1,72 @@
+//! # ndirect-serve — fault-tolerant batching inference front-end
+//!
+//! A multi-worker serving engine over the allocation-free
+//! [`ndirect_core::ConvPlan`] layer (DESIGN.md §13). Clients
+//! [`Server::submit`] single-sample requests with optional deadlines; a
+//! batcher coalesces same-model requests into larger-`N` batches — the
+//! throughput lever of both source papers — and dispatches them to worker
+//! shards that share per-model plan registries.
+//!
+//! Robustness is the contract, not an afterthought:
+//!
+//! * **Deadlines with cancellation** — a request whose deadline expires
+//!   before dispatch is cancelled and never occupies a kernel slot;
+//!   results that miss their deadline mid-kernel are delivered flagged
+//!   [`InferResponse::late`] (in-flight batches are never cancelled).
+//! * **Admission control** — past the queue's high-water mark, submits
+//!   shed with [`ServeError::Overloaded`] carrying a measured
+//!   `retry_after` hint.
+//! * **Retry, then degrade** — transient faults (scratch refusal, worker
+//!   respawn window) get bounded retry-with-backoff, then the
+//!   minimal-schedule degraded plan; only when even that fails does the
+//!   request error with [`ServeError::RetriesExhausted`].
+//! * **Panic isolation** — a batch whose kernel panics is re-run one
+//!   request at a time: the poisoned request alone fails with
+//!   [`ServeError::WorkerPanicked`], its peers complete bitwise
+//!   identically to the batched run (the per-model *pinned schedule*
+//!   fixes the tile parameters, and with them the accumulation order,
+//!   across every batch size).
+//! * **Graceful drain** — [`Server::shutdown`] stops admitting,
+//!   completes everything admitted, and joins the pipeline; no ticket is
+//!   ever stranded.
+//!
+//! Every failure mode is a typed [`ServeError`] with
+//! [`ServeError::is_retryable`] / [`ServeError::retry_after`], and the
+//! deterministic fault-injection sheet (`faults::Faults`, compiled
+//! under `cfg(any(test, feature = "chaos"))`) lets the chaos suite prove
+//! the mapping fault-by-fault.
+//!
+//! ```no_run
+//! use std::time::Duration;
+//! use ndirect_serve::{ModelDef, ServeConfig, Server};
+//! use ndirect_tensor::{fill, ConvShape, Filter, FilterLayout, Tensor4, ActLayout};
+//!
+//! let shape = ConvShape::square(1, 64, 64, 28, 3, 1);
+//! let filter = fill::random_filter(Filter::for_shape(&shape, FilterLayout::Kcrs), 1);
+//! let server = Server::try_new(
+//!     ServeConfig::default(),
+//!     vec![ModelDef { name: "resnet-3b".into(), shape, filter }],
+//! )?;
+//! let input = fill::random_tensor(Tensor4::input_for(&shape, ActLayout::Nchw), 7);
+//! let ticket = server.submit_within("resnet-3b", input, Duration::from_millis(50))?;
+//! let response = ticket.wait()?;
+//! assert!(!response.late);
+//! # Ok::<(), ndirect_serve::ServeError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+#[cfg(any(test, feature = "chaos"))]
+pub mod faults;
+mod queue;
+mod server;
+mod ticket;
+
+pub use error::{ExpiredAt, ServeError};
+pub use server::{pinned_schedule, ModelDef, ServeConfig, ServeStats, Server};
+pub use ticket::{InferResponse, Ticket};
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,434 @@
+//! The two queues of the pipeline: the bounded submit queue (admission
+//! control, deadline sweeping, batch coalescing) and the bounded dispatch
+//! channel feeding the worker shards (natural backpressure: a full
+//! dispatch channel blocks the batcher, which lets the submit queue fill,
+//! which trips the high-water shed).
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use ndirect_tensor::Tensor4;
+use ndirect_threads::CancelToken;
+
+use crate::error::{ExpiredAt, ServeError};
+use crate::ticket::ResponseSlot;
+
+pub(crate) fn lock_unpoisoned<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// An admitted request travelling through the pipeline.
+pub(crate) struct Pending {
+    /// Mirrors the ticket id; read by the queue tests to assert ordering.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) id: u64,
+    pub(crate) model: usize,
+    pub(crate) input: Tensor4,
+    pub(crate) deadline: Option<Instant>,
+    pub(crate) slot: Arc<ResponseSlot>,
+    pub(crate) cancel: CancelToken,
+    /// Chaos marker: a poisoned request panics the kernel it reaches.
+    pub(crate) poison: bool,
+}
+
+impl Pending {
+    pub(crate) fn expired(&self, now: Instant) -> bool {
+        self.deadline.is_some_and(|d| now >= d)
+    }
+
+    /// Fails the request as expired-in-queue: cancels its token (so a
+    /// region that has not dispatched yet is skipped) and resolves the
+    /// ticket. Never called once the request is in flight.
+    pub(crate) fn expire_in_queue(self) {
+        self.cancel.cancel();
+        self.slot
+            .resolve(Err(ServeError::DeadlineExpired { at: ExpiredAt::Queue }));
+    }
+}
+
+impl Drop for Pending {
+    fn drop(&mut self) {
+        // Safety net: a request dropped anywhere in the pipeline without a
+        // real resolution (shard thread died, server tore down mid-drain)
+        // must never strand its ticket in `wait()`.
+        if !self.slot.is_resolved() {
+            self.slot.resolve(Err(ServeError::ShuttingDown));
+        }
+    }
+}
+
+struct SubmitState {
+    requests: VecDeque<Pending>,
+    closed: bool,
+}
+
+/// The bounded MPMC submit queue. `submit` never blocks: past the
+/// high-water mark it sheds with [`ServeError::Overloaded`] instead.
+pub(crate) struct SubmitQueue {
+    state: Mutex<SubmitState>,
+    available: Condvar,
+    high_water: usize,
+}
+
+/// What `next_batch` produced.
+pub(crate) enum BatchPlanOutcome {
+    /// A non-empty batch of same-model requests, in submission order.
+    Batch(Vec<Pending>),
+    /// A sweep expired every queued request and produced no batch; the
+    /// caller should record the `expired` count and call again.
+    Swept,
+    /// Queue closed and fully drained: the batcher should exit.
+    Drained,
+}
+
+impl SubmitQueue {
+    pub(crate) fn new(capacity: usize, high_water: usize) -> Self {
+        Self {
+            state: Mutex::new(SubmitState {
+                requests: VecDeque::with_capacity(capacity),
+                closed: false,
+            }),
+            available: Condvar::new(),
+            high_water,
+        }
+    }
+
+    /// Admission control: refuses when draining or past the high-water
+    /// mark; otherwise enqueues and wakes the batcher. Returns the depth
+    /// after the push.
+    pub(crate) fn push(&self, request: Pending) -> Result<usize, Box<(ServeError, Pending)>> {
+        let mut st = lock_unpoisoned(&self.state);
+        if st.closed {
+            return Err(Box::new((ServeError::ShuttingDown, request)));
+        }
+        let depth = st.requests.len();
+        if depth >= self.high_water {
+            return Err(Box::new((
+                ServeError::Overloaded {
+                    depth,
+                    // The caller (server) substitutes its service-time
+                    // estimate; this placeholder keeps the type simple.
+                    retry_after: Duration::ZERO,
+                },
+                request,
+            )));
+        }
+        st.requests.push_back(request);
+        let depth = st.requests.len();
+        drop(st);
+        self.available.notify_one();
+        Ok(depth)
+    }
+
+    pub(crate) fn depth(&self) -> usize {
+        lock_unpoisoned(&self.state).requests.len()
+    }
+
+    /// Stops admitting; already-queued requests are still drained.
+    pub(crate) fn close(&self) {
+        lock_unpoisoned(&self.state).closed = true;
+        self.available.notify_all();
+    }
+
+    /// Blocks for work, sweeps expired requests, and coalesces up to
+    /// `max_batch` same-model requests (submission order preserved
+    /// per-model; other models are left queued). If the first scan finds
+    /// fewer than `max_batch`, waits up to `linger` once for stragglers.
+    ///
+    /// Expired requests are failed here — before dispatch — so they never
+    /// occupy a kernel slot; `expired` receives how many were swept.
+    pub(crate) fn next_batch(
+        &self,
+        max_batch: usize,
+        linger: Duration,
+        expired: &mut usize,
+    ) -> BatchPlanOutcome {
+        let mut st = lock_unpoisoned(&self.state);
+        loop {
+            // Sweep: fail everything already past its deadline.
+            let now = Instant::now();
+            let mut kept = VecDeque::with_capacity(st.requests.len());
+            for r in st.requests.drain(..) {
+                if r.expired(now) {
+                    *expired += 1;
+                    r.expire_in_queue();
+                } else {
+                    kept.push_back(r);
+                }
+            }
+            st.requests = kept;
+
+            if let Some(head_model) = st.requests.front().map(|r| r.model) {
+                let mut batch = take_matching(&mut st.requests, head_model, max_batch);
+                if batch.len() < max_batch && !linger.is_zero() && !st.closed {
+                    // One bounded wait for stragglers of the same model.
+                    let (guard, _) = self
+                        .available
+                        .wait_timeout(st, linger)
+                        .unwrap_or_else(|poisoned| poisoned.into_inner());
+                    st = guard;
+                    let now = Instant::now();
+                    let room = max_batch - batch.len();
+                    let mut extra = take_matching(&mut st.requests, head_model, room);
+                    for r in extra.drain(..) {
+                        if r.expired(now) {
+                            *expired += 1;
+                            r.expire_in_queue();
+                        } else {
+                            batch.push(r);
+                        }
+                    }
+                }
+                return BatchPlanOutcome::Batch(batch);
+            }
+            if st.closed {
+                return BatchPlanOutcome::Drained;
+            }
+            if *expired > 0 {
+                // Hand the sweep count back immediately so the caller's
+                // deadline-miss accounting stays live even when no batch
+                // formed; the caller re-enters to keep waiting.
+                return BatchPlanOutcome::Swept;
+            }
+            st = self
+                .available
+                .wait(st)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+    }
+}
+
+/// Removes up to `limit` requests for `model` from `queue`, preserving
+/// relative order of both the taken and the remaining requests.
+fn take_matching(queue: &mut VecDeque<Pending>, model: usize, limit: usize) -> Vec<Pending> {
+    let mut taken = Vec::new();
+    let mut rest = VecDeque::with_capacity(queue.len());
+    for r in queue.drain(..) {
+        if r.model == model && taken.len() < limit {
+            taken.push(r);
+        } else {
+            rest.push_back(r);
+        }
+    }
+    *queue = rest;
+    taken
+}
+
+/// A coalesced unit of work headed for a shard.
+pub(crate) struct Batch {
+    pub(crate) model: usize,
+    pub(crate) requests: Vec<Pending>,
+}
+
+struct DispatchState {
+    batches: VecDeque<Batch>,
+    closed: bool,
+}
+
+/// Bounded SPMC channel between the batcher and the shards.
+pub(crate) struct Dispatch {
+    state: Mutex<DispatchState>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+}
+
+impl Dispatch {
+    pub(crate) fn new(capacity: usize) -> Self {
+        Self {
+            state: Mutex::new(DispatchState {
+                batches: VecDeque::with_capacity(capacity),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Blocks while full (backpressure onto the batcher). A batch pushed
+    /// after close is dropped — its `Pending` drop guards resolve the
+    /// tickets as `ShuttingDown` — but in the orderly drain the batcher
+    /// is the only closer, so this does not happen in practice.
+    pub(crate) fn push(&self, batch: Batch) {
+        let mut st = lock_unpoisoned(&self.state);
+        while st.batches.len() >= self.capacity && !st.closed {
+            st = self
+                .not_full
+                .wait(st)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+        if !st.closed {
+            st.batches.push_back(batch);
+            drop(st);
+            self.not_empty.notify_one();
+        }
+    }
+
+    /// Blocks for the next batch; `None` once closed and drained.
+    pub(crate) fn pop(&self) -> Option<Batch> {
+        let mut st = lock_unpoisoned(&self.state);
+        loop {
+            if let Some(batch) = st.batches.pop_front() {
+                drop(st);
+                self.not_full.notify_one();
+                return Some(batch);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self
+                .not_empty
+                .wait(st)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+    }
+
+    pub(crate) fn close(&self) {
+        lock_unpoisoned(&self.state).closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndirect_tensor::ActLayout;
+
+    fn pending(id: u64, model: usize, deadline: Option<Instant>) -> Pending {
+        Pending {
+            id,
+            model,
+            input: Tensor4::zeros(1, 1, 1, 1, ActLayout::Nchw),
+            deadline,
+            slot: Arc::new(ResponseSlot::default()),
+            cancel: CancelToken::new(),
+            poison: false,
+        }
+    }
+
+    #[test]
+    fn high_water_sheds() {
+        let q = SubmitQueue::new(4, 2);
+        assert!(q.push(pending(1, 0, None)).is_ok());
+        assert!(q.push(pending(2, 0, None)).is_ok());
+        match q.push(pending(3, 0, None)).map_err(|rejected| rejected.0) {
+            Err(ServeError::Overloaded { depth, .. }) => assert_eq!(depth, 2),
+            Err(other) => panic!("expected Overloaded, got {other:?}"),
+            Ok(_) => panic!("expected Overloaded, got admission"),
+        }
+    }
+
+    #[test]
+    fn closed_queue_refuses() {
+        let q = SubmitQueue::new(4, 4);
+        q.close();
+        assert!(matches!(
+            q.push(pending(1, 0, None)).map_err(|rejected| rejected.0),
+            Err(ServeError::ShuttingDown)
+        ));
+    }
+
+    #[test]
+    fn coalesces_same_model_and_preserves_other_models() {
+        let q = SubmitQueue::new(8, 8);
+        for (id, model) in [(1, 0), (2, 1), (3, 0), (4, 0)] {
+            q.push(pending(id, model, None)).map_err(|_| ()).expect("push");
+        }
+        let mut expired = 0;
+        match q.next_batch(8, Duration::ZERO, &mut expired) {
+            BatchPlanOutcome::Batch(batch) => {
+                assert_eq!(batch.iter().map(|r| r.id).collect::<Vec<_>>(), vec![1, 3, 4]);
+            }
+            BatchPlanOutcome::Swept | BatchPlanOutcome::Drained => panic!("queue has work"),
+        }
+        assert_eq!(q.depth(), 1, "model-1 request stays queued");
+        match q.next_batch(8, Duration::ZERO, &mut expired) {
+            BatchPlanOutcome::Batch(batch) => {
+                assert_eq!(batch.len(), 1);
+                assert_eq!(batch[0].id, 2);
+            }
+            BatchPlanOutcome::Swept | BatchPlanOutcome::Drained => panic!("model-1 request pending"),
+        }
+        assert_eq!(expired, 0);
+    }
+
+    #[test]
+    fn batch_respects_max_batch() {
+        let q = SubmitQueue::new(8, 8);
+        for id in 1..=5 {
+            q.push(pending(id, 0, None)).map_err(|_| ()).expect("push");
+        }
+        let mut expired = 0;
+        match q.next_batch(2, Duration::ZERO, &mut expired) {
+            BatchPlanOutcome::Batch(batch) => {
+                assert_eq!(batch.iter().map(|r| r.id).collect::<Vec<_>>(), vec![1, 2]);
+            }
+            BatchPlanOutcome::Swept | BatchPlanOutcome::Drained => panic!("queue has work"),
+        }
+        assert_eq!(q.depth(), 3);
+    }
+
+    #[test]
+    fn expired_requests_swept_before_dispatch() {
+        let q = SubmitQueue::new(8, 8);
+        let past = Instant::now() - Duration::from_millis(1);
+        let dead = pending(1, 0, Some(past));
+        let dead_slot = Arc::clone(&dead.slot);
+        q.push(dead).map_err(|_| ()).expect("push");
+        q.push(pending(2, 0, None)).map_err(|_| ()).expect("push");
+        let mut expired = 0;
+        match q.next_batch(8, Duration::ZERO, &mut expired) {
+            BatchPlanOutcome::Batch(batch) => {
+                assert_eq!(batch.len(), 1);
+                assert_eq!(batch[0].id, 2, "only the live request dispatches");
+            }
+            BatchPlanOutcome::Swept | BatchPlanOutcome::Drained => panic!("live request pending"),
+        }
+        assert_eq!(expired, 1);
+        assert!(dead_slot.is_resolved(), "expired ticket resolved at sweep");
+    }
+
+    #[test]
+    fn drained_after_close() {
+        let q = SubmitQueue::new(4, 4);
+        q.push(pending(1, 0, None)).map_err(|_| ()).expect("push");
+        q.close();
+        let mut expired = 0;
+        assert!(matches!(
+            q.next_batch(8, Duration::ZERO, &mut expired),
+            BatchPlanOutcome::Batch(_)
+        ));
+        assert!(matches!(
+            q.next_batch(8, Duration::ZERO, &mut expired),
+            BatchPlanOutcome::Drained
+        ));
+    }
+
+    #[test]
+    fn dispatch_backpressure_and_close() {
+        let d = Arc::new(Dispatch::new(1));
+        d.push(Batch { model: 0, requests: vec![] });
+        // Second push blocks until a pop frees the slot.
+        let d2 = Arc::clone(&d);
+        let pusher = std::thread::spawn(move || {
+            d2.push(Batch { model: 1, requests: vec![] });
+        });
+        std::thread::sleep(Duration::from_millis(5));
+        assert_eq!(d.pop().map(|b| b.model), Some(0));
+        pusher.join().expect("pusher");
+        assert_eq!(d.pop().map(|b| b.model), Some(1));
+        d.close();
+        assert!(d.pop().is_none());
+    }
+
+    #[test]
+    fn dropped_pending_resolves_its_ticket() {
+        let p = pending(9, 0, None);
+        let slot = Arc::clone(&p.slot);
+        drop(p);
+        assert!(slot.is_resolved(), "drop guard fired");
+    }
+}

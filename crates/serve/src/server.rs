@@ -1,0 +1,779 @@
+//! The serving engine: admission → batcher → shard executors.
+//!
+//! ```text
+//!  clients ──submit()──▶ [ SubmitQueue ]──batcher──▶ [ Dispatch ]──▶ shard 0 (StaticPool)
+//!            (shed at      bounded MPMC   coalesces    bounded        shard 1 (StaticPool)
+//!             high water)                 same-model    (backpressure)   …
+//! ```
+//!
+//! The batcher coalesces same-model requests into larger-`N` batches —
+//! the throughput lever both source papers pull — and the pinned
+//! per-model schedule guarantees each sample of a batched execution is
+//! bitwise identical to its `N = 1` execution, so batching is purely a
+//! performance decision, never a numerics one.
+
+use std::collections::HashMap;
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ndirect_core::{ConvPlan, PlanKey, PlanRegistry, Schedule};
+use ndirect_platform::Platform;
+use ndirect_tensor::{ActLayout, ConvShape, Filter, Tensor4};
+use ndirect_threads::{CancelToken, StaticPool};
+
+use crate::error::{core_error_is_transient, ExpiredAt, ServeError};
+use crate::queue::{Batch, BatchPlanOutcome, Dispatch, Pending, SubmitQueue};
+use crate::ticket::{InferResponse, ResponseSlot, Ticket};
+
+/// Registry tag of the pinned fast plan ([`pinned_schedule`]).
+const TAG_PINNED: u64 = 0;
+/// Registry tag of the minimal-schedule degraded fallback plan.
+const TAG_DEGRADED: u64 = 1;
+
+/// The schedule a server pins for a model: derived once from the model's
+/// `N = 1` shape, filter pre-transformed. Every batch size executes under
+/// these exact tile parameters, which is what makes per-sample results
+/// bitwise identical across batch compositions (the per-output-element
+/// accumulation order over `(c, r, s)` is fixed by the tiles, and rows
+/// are independent). Public so test suites can build reference plans.
+pub fn pinned_schedule(platform: &Platform, shape1: &ConvShape, threads: usize) -> Schedule {
+    Schedule::derive(platform, shape1, threads)
+        .with_filter_state(ndirect_core::FilterState::PreTransformed)
+}
+
+/// Serving-engine knobs. [`ServeConfig::default`] is sized for tests and
+/// small deployments; `servebench` overrides per experiment.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Submit-queue allocation (upper bound on queued requests).
+    pub queue_capacity: usize,
+    /// Admission control: submissions are shed with
+    /// [`ServeError::Overloaded`] while the queue holds this many.
+    pub high_water: usize,
+    /// Most requests coalesced into one batch.
+    pub max_batch: usize,
+    /// Worker shard threads (each owns a [`StaticPool`]).
+    pub shards: usize,
+    /// [`StaticPool`] size per shard.
+    pub threads_per_shard: usize,
+    /// Transient-failure retries before degrading to the minimal plan.
+    pub max_retries: usize,
+    /// Backoff before retry `k` is `retry_backoff · 2^(k−1)`.
+    pub retry_backoff: Duration,
+    /// How long the batcher waits for same-model stragglers when a batch
+    /// forms below `max_batch`. Zero disables lingering.
+    pub batch_linger: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            queue_capacity: 1024,
+            high_water: 896,
+            max_batch: 8,
+            shards: 2,
+            threads_per_shard: 1,
+            max_retries: 3,
+            retry_backoff: Duration::from_millis(1),
+            batch_linger: Duration::from_micros(200),
+        }
+    }
+}
+
+/// A model registered with the server: a name, its `N = 1` input shape,
+/// and its frozen weights.
+pub struct ModelDef {
+    /// Name clients submit against.
+    pub name: String,
+    /// The single-request convolution shape (`n` must be 1).
+    pub shape: ConvShape,
+    /// Frozen weights (`KCRS`). The server keys plans on this buffer's
+    /// identity; it must not be mutated for the server's lifetime.
+    pub filter: Filter,
+}
+
+/// A registered model with its pinned schedule and plan registry.
+struct Model {
+    shape1: ConvShape,
+    filter: Filter,
+    pinned: Schedule,
+    registry: PlanRegistry,
+}
+
+impl Model {
+    fn batch_shape(&self, nb: usize) -> ConvShape {
+        ConvShape { n: nb, ..self.shape1 }
+    }
+}
+
+/// Fault-injection hook compiled to constant no-ops unless testing or the
+/// `chaos` feature is on.
+#[derive(Clone, Default)]
+struct FaultHook {
+    #[cfg(any(test, feature = "chaos"))]
+    sheet: Option<Arc<crate::faults::Faults>>,
+}
+
+impl FaultHook {
+    fn refused_alloc(&self) -> bool {
+        #[cfg(any(test, feature = "chaos"))]
+        {
+            self.sheet.as_ref().is_some_and(|f| f.take_refused_alloc())
+        }
+        #[cfg(not(any(test, feature = "chaos")))]
+        {
+            false
+        }
+    }
+
+    fn panic_batch(&self) -> bool {
+        #[cfg(any(test, feature = "chaos"))]
+        {
+            self.sheet.as_ref().is_some_and(|f| f.take_panic_batch())
+        }
+        #[cfg(not(any(test, feature = "chaos")))]
+        {
+            false
+        }
+    }
+
+    fn kill_worker(&self) -> bool {
+        #[cfg(any(test, feature = "chaos"))]
+        {
+            self.sheet.as_ref().is_some_and(|f| f.take_kill_worker())
+        }
+        #[cfg(not(any(test, feature = "chaos")))]
+        {
+            false
+        }
+    }
+
+    fn poison_submit(&self) -> bool {
+        #[cfg(any(test, feature = "chaos"))]
+        {
+            self.sheet.as_ref().is_some_and(|f| f.take_poison_submit())
+        }
+        #[cfg(not(any(test, feature = "chaos")))]
+        {
+            false
+        }
+    }
+
+    fn kernel_delay(&self) -> Option<Duration> {
+        #[cfg(any(test, feature = "chaos"))]
+        {
+            self.sheet.as_ref().and_then(|f| f.kernel_delay())
+        }
+        #[cfg(not(any(test, feature = "chaos")))]
+        {
+            None
+        }
+    }
+
+    fn queue_stall(&self) -> Option<Duration> {
+        #[cfg(any(test, feature = "chaos"))]
+        {
+            self.sheet.as_ref().and_then(|f| f.take_queue_stall())
+        }
+        #[cfg(not(any(test, feature = "chaos")))]
+        {
+            None
+        }
+    }
+}
+
+/// Server-local counters (always on, independent of the probe feature).
+#[derive(Default)]
+struct Stats {
+    enqueued: AtomicU64,
+    shed: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    deadline_misses: AtomicU64,
+    batches: AtomicU64,
+    batched_requests: AtomicU64,
+    retries: AtomicU64,
+    degraded: AtomicU64,
+    isolated_panics: AtomicU64,
+}
+
+/// A point-in-time snapshot of the server's health counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServeStats {
+    /// Requests admitted into the queue.
+    pub enqueued: u64,
+    /// Requests refused admission (overload, arrival-expired, draining).
+    pub shed: u64,
+    /// Requests resolved with a result.
+    pub completed: u64,
+    /// Requests resolved with an error after admission.
+    pub failed: u64,
+    /// Deadlines missed after admission (cancelled in queue + delivered
+    /// late).
+    pub deadline_misses: u64,
+    /// Batches dispatched to shards.
+    pub batches: u64,
+    /// Requests carried inside dispatched batches.
+    pub batched_requests: u64,
+    /// Transient-failure retries performed.
+    pub retries: u64,
+    /// Requests answered by the degraded minimal-schedule plan.
+    pub degraded: u64,
+    /// Requests that panicked and were isolated from their batch peers.
+    pub isolated_panics: u64,
+    /// Current submit-queue depth.
+    pub queue_depth: usize,
+    /// Worker deaths detected (and healed) across all shard pools.
+    pub worker_deaths: usize,
+}
+
+struct ServerInner {
+    config: ServeConfig,
+    models: Vec<Model>,
+    by_name: HashMap<String, usize>,
+    queue: SubmitQueue,
+    dispatch: Dispatch,
+    stats: Stats,
+    /// EWMA of per-request service time in nanoseconds (0 = no sample
+    /// yet); feeds the `retry_after` hint on shed.
+    ewma_ns: AtomicU64,
+    next_id: AtomicU64,
+    faults: FaultHook,
+}
+
+impl ServerInner {
+    fn observe_service_time(&self, batch_elapsed: Duration, nb: usize) {
+        let sample = (batch_elapsed.as_nanos() / nb.max(1) as u128) as u64;
+        let old = self.ewma_ns.load(Ordering::Relaxed);
+        let new = if old == 0 {
+            sample
+        } else {
+            ((u128::from(old) * 7 + u128::from(sample)) / 8) as u64
+        };
+        self.ewma_ns.store(new, Ordering::Relaxed);
+    }
+
+    fn estimate_retry_after(&self, depth: usize) -> Duration {
+        let per_request_ns = match self.ewma_ns.load(Ordering::Relaxed) {
+            0 => 10_000_000, // no sample yet: suggest 10 ms
+            ns => ns,
+        };
+        let drain_ns =
+            (u128::from(per_request_ns) * depth.max(1) as u128) / self.config.shards.max(1) as u128;
+        let drain = Duration::from_nanos(drain_ns.min(u128::from(u64::MAX)) as u64);
+        drain.clamp(Duration::from_millis(1), Duration::from_secs(2))
+    }
+}
+
+/// The multi-worker serving engine. See the [crate docs](crate) for the
+/// pipeline and fault model.
+pub struct Server {
+    inner: Arc<ServerInner>,
+    pools: Vec<Arc<StaticPool>>,
+    batcher: Option<std::thread::JoinHandle<()>>,
+    shards: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Builds a server: validates the config, pins each model's schedule,
+    /// eagerly builds every model's `N = 1` plan (so misconfigured models
+    /// fail here, not on the first request), spawns the shard pools and
+    /// the pipeline threads.
+    pub fn try_new(config: ServeConfig, models: Vec<ModelDef>) -> Result<Server, ServeError> {
+        Self::build(config, models, FaultHook::default())
+    }
+
+    /// [`Server::try_new`] with a fault sheet attached; the chaos suites'
+    /// entry point.
+    #[cfg(any(test, feature = "chaos"))]
+    pub fn with_faults(
+        config: ServeConfig,
+        models: Vec<ModelDef>,
+        faults: Arc<crate::faults::Faults>,
+    ) -> Result<Server, ServeError> {
+        Self::build(config, models, FaultHook { sheet: Some(faults) })
+    }
+
+    fn build(config: ServeConfig, defs: Vec<ModelDef>, faults: FaultHook) -> Result<Server, ServeError> {
+        let cfg_err = |msg: String| Err(ServeError::Config { msg });
+        if config.queue_capacity == 0 {
+            return cfg_err("queue_capacity must be >= 1".into());
+        }
+        if config.high_water == 0 || config.high_water > config.queue_capacity {
+            return cfg_err(format!(
+                "high_water must be in 1..={} (got {})",
+                config.queue_capacity, config.high_water
+            ));
+        }
+        if config.max_batch == 0 {
+            return cfg_err("max_batch must be >= 1".into());
+        }
+        if config.shards == 0 {
+            return cfg_err("shards must be >= 1".into());
+        }
+        if config.threads_per_shard == 0 {
+            return cfg_err("threads_per_shard must be >= 1".into());
+        }
+
+        let platform = ndirect_platform::host();
+        let mut models = Vec::with_capacity(defs.len());
+        let mut by_name = HashMap::with_capacity(defs.len());
+        for def in defs {
+            if def.shape.n != 1 {
+                return cfg_err(format!(
+                    "model {:?}: signature shape must have n == 1 (got {})",
+                    def.name, def.shape.n
+                ));
+            }
+            if by_name.contains_key(&def.name) {
+                return cfg_err(format!("duplicate model name {:?}", def.name));
+            }
+            let pinned = pinned_schedule(&platform, &def.shape, config.threads_per_shard);
+            let model = Model {
+                shape1: def.shape,
+                filter: def.filter,
+                pinned,
+                registry: PlanRegistry::new(),
+            };
+            // Eager N = 1 plan: validates shape/filter/ISA now and makes
+            // the first single-request call allocation-free.
+            let key = PlanKey::with_tag(&model.shape1, &model.filter, config.threads_per_shard, TAG_PINNED);
+            model
+                .registry
+                .get_or_try_build(key, || {
+                    ConvPlan::try_with_schedule(&model.shape1, &model.filter, &model.pinned)
+                })
+                .map_err(ServeError::Conv)?;
+            by_name.insert(def.name, models.len());
+            models.push(model);
+        }
+
+        let mut pools = Vec::with_capacity(config.shards);
+        for _ in 0..config.shards {
+            pools.push(Arc::new(
+                StaticPool::try_new(config.threads_per_shard)
+                    .map_err(|e| ServeError::Conv(ndirect_core::Error::Pool(e)))?,
+            ));
+        }
+
+        let dispatch_capacity = config.shards * 2;
+        let inner = Arc::new(ServerInner {
+            queue: SubmitQueue::new(config.queue_capacity, config.high_water),
+            dispatch: Dispatch::new(dispatch_capacity),
+            config,
+            models,
+            by_name,
+            stats: Stats::default(),
+            ewma_ns: AtomicU64::new(0),
+            next_id: AtomicU64::new(1),
+            faults,
+        });
+
+        let spawn_err =
+            |e: std::io::Error| ServeError::Config { msg: format!("failed to spawn serving thread: {e}") };
+        let batcher = {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("ndirect-serve-batcher".into())
+                .spawn(move || batcher_loop(&inner))
+                .map_err(spawn_err)?
+        };
+        let mut shards = Vec::with_capacity(pools.len());
+        for (i, pool) in pools.iter().enumerate() {
+            let inner = Arc::clone(&inner);
+            let pool = Arc::clone(pool);
+            shards.push(
+                std::thread::Builder::new()
+                    .name(format!("ndirect-serve-shard-{i}"))
+                    .spawn(move || shard_loop(&inner, &pool))
+                    .map_err(spawn_err)?,
+            );
+        }
+
+        Ok(Server { inner, pools, batcher: Some(batcher), shards })
+    }
+
+    /// Submits a request against a registered model. `input` is the
+    /// `(1, C, H, W)` activation in `NCHW`; `deadline`, if given, sheds
+    /// the request once passed (unless it is already mid-kernel — those
+    /// results are delivered flagged [`InferResponse::late`]).
+    ///
+    /// Never blocks: over the high-water mark the request is refused with
+    /// [`ServeError::Overloaded`] carrying a backoff hint.
+    pub fn submit(
+        &self,
+        model: &str,
+        input: Tensor4,
+        deadline: Option<Instant>,
+    ) -> Result<Ticket, ServeError> {
+        let inner = &self.inner;
+        let Some(&idx) = inner.by_name.get(model) else {
+            return Err(ServeError::UnknownModel { name: model.to_string() });
+        };
+        let m = &inner.models[idx];
+        let expected = (1, m.shape1.c, m.shape1.h, m.shape1.w);
+        if input.layout() != ActLayout::Nchw {
+            return Err(ServeError::BadInput {
+                context: "serving input must be NCHW",
+                expected,
+                got: input.dims(),
+            });
+        }
+        if input.dims() != expected {
+            return Err(ServeError::BadInput {
+                context: "input dims",
+                expected,
+                got: input.dims(),
+            });
+        }
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            inner.stats.shed.fetch_add(1, Ordering::Relaxed);
+            ndirect_probe::probe_count!(ServeShed, 1);
+            return Err(ServeError::DeadlineExpired { at: ExpiredAt::Arrival });
+        }
+        let id = inner.next_id.fetch_add(1, Ordering::Relaxed);
+        let slot = Arc::new(ResponseSlot::default());
+        let pending = Pending {
+            id,
+            model: idx,
+            input,
+            deadline,
+            slot: Arc::clone(&slot),
+            cancel: CancelToken::new(),
+            poison: inner.faults.poison_submit(),
+        };
+        match inner.queue.push(pending) {
+            Ok(_depth) => {
+                inner.stats.enqueued.fetch_add(1, Ordering::Relaxed);
+                ndirect_probe::probe_count!(ServeEnqueued, 1);
+                Ok(Ticket { slot, id })
+            }
+            Err(boxed) => {
+                let (error, rejected) = *boxed;
+                // The rejected request never got a ticket; suppress its
+                // drop-guard resolution path by resolving explicitly.
+                rejected.slot.resolve(Err(error.clone()));
+                drop(rejected);
+                inner.stats.shed.fetch_add(1, Ordering::Relaxed);
+                ndirect_probe::probe_count!(ServeShed, 1);
+                Err(match error {
+                    ServeError::Overloaded { depth, .. } => ServeError::Overloaded {
+                        depth,
+                        retry_after: inner.estimate_retry_after(depth),
+                    },
+                    other => other,
+                })
+            }
+        }
+    }
+
+    /// [`Server::submit`] with a relative deadline.
+    pub fn submit_within(
+        &self,
+        model: &str,
+        input: Tensor4,
+        timeout: Duration,
+    ) -> Result<Ticket, ServeError> {
+        self.submit(model, input, Some(Instant::now() + timeout))
+    }
+
+    /// Snapshot of the server's health counters.
+    pub fn stats(&self) -> ServeStats {
+        let s = &self.inner.stats;
+        ServeStats {
+            enqueued: s.enqueued.load(Ordering::Relaxed),
+            shed: s.shed.load(Ordering::Relaxed),
+            completed: s.completed.load(Ordering::Relaxed),
+            failed: s.failed.load(Ordering::Relaxed),
+            deadline_misses: s.deadline_misses.load(Ordering::Relaxed),
+            batches: s.batches.load(Ordering::Relaxed),
+            batched_requests: s.batched_requests.load(Ordering::Relaxed),
+            retries: s.retries.load(Ordering::Relaxed),
+            degraded: s.degraded.load(Ordering::Relaxed),
+            isolated_panics: s.isolated_panics.load(Ordering::Relaxed),
+            queue_depth: self.inner.queue.depth(),
+            worker_deaths: self.pools.iter().map(|p| p.worker_deaths()).sum(),
+        }
+    }
+
+    /// Total plans across all model registries (diagnostics: proves shed
+    /// requests never triggered a plan build).
+    pub fn planned_plans(&self) -> usize {
+        self.inner.models.iter().map(|m| m.registry.len()).sum()
+    }
+
+    /// Graceful drain: stops admitting, completes everything already
+    /// queued or in flight, then joins the pipeline threads.
+    pub fn shutdown(mut self) {
+        self.close_and_join();
+    }
+
+    fn close_and_join(&mut self) {
+        self.inner.queue.close();
+        if let Some(h) = self.batcher.take() {
+            let _ = h.join();
+        }
+        // The batcher closes the dispatch on clean exit; close again
+        // defensively in case it died.
+        self.inner.dispatch.close();
+        for h in self.shards.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.close_and_join();
+    }
+}
+
+fn batcher_loop(inner: &Arc<ServerInner>) {
+    loop {
+        if let Some(stall) = inner.faults.queue_stall() {
+            std::thread::sleep(stall);
+        }
+        let mut expired = 0usize;
+        let outcome =
+            inner
+                .queue
+                .next_batch(inner.config.max_batch, inner.config.batch_linger, &mut expired);
+        if expired > 0 {
+            inner
+                .stats
+                .deadline_misses
+                .fetch_add(expired as u64, Ordering::Relaxed);
+            inner.stats.failed.fetch_add(expired as u64, Ordering::Relaxed);
+            ndirect_probe::probe_count!(ServeDeadlineMisses, expired as u64);
+            ndirect_probe::probe_count!(ServeDequeued, expired as u64);
+        }
+        match outcome {
+            BatchPlanOutcome::Batch(requests) => {
+                let n = requests.len() as u64;
+                inner.stats.batches.fetch_add(1, Ordering::Relaxed);
+                inner.stats.batched_requests.fetch_add(n, Ordering::Relaxed);
+                ndirect_probe::probe_count!(ServeDequeued, n);
+                ndirect_probe::probe_count!(ServeBatches, 1);
+                ndirect_probe::probe_count!(ServeBatchedRequests, n);
+                let model = requests[0].model;
+                inner.dispatch.push(Batch { model, requests });
+            }
+            BatchPlanOutcome::Swept => {}
+            BatchPlanOutcome::Drained => break,
+        }
+    }
+    inner.dispatch.close();
+}
+
+fn shard_loop(inner: &Arc<ServerInner>, pool: &Arc<StaticPool>) {
+    while let Some(batch) = inner.dispatch.pop() {
+        execute_batch(inner, pool, batch);
+    }
+}
+
+/// How one batch execution attempt ended.
+enum Exec {
+    Done,
+    Panicked,
+    Failed { error: ndirect_core::Error, attempts: usize },
+}
+
+fn execute_batch(inner: &Arc<ServerInner>, pool: &Arc<StaticPool>, batch: Batch) {
+    let model = &inner.models[batch.model];
+
+    // Defensive: a request cancelled while the batch sat in dispatch was
+    // already resolved by its canceller; just drop it (never a kernel
+    // slot for a cancelled request).
+    let live: Vec<Pending> = batch
+        .requests
+        .into_iter()
+        .filter(|r| !r.cancel.is_cancelled())
+        .collect();
+    if live.is_empty() {
+        return;
+    }
+
+    if inner.faults.kill_worker() {
+        pool.inject_worker_death();
+    }
+
+    let nb = live.len();
+    let (plan, degraded) = match acquire_plan(inner, model, nb, pool.size()) {
+        Ok(pair) => pair,
+        Err(error) => {
+            fail_all(inner, live, &error);
+            return;
+        }
+    };
+
+    // Gather: NCHW puts each image contiguous, so batching is a memcpy.
+    let shape = model.batch_shape(nb);
+    let in_len = model.shape1.c * model.shape1.h * model.shape1.w;
+    let out_len = model.shape1.k * model.shape1.p() * model.shape1.q();
+    let mut batch_in = Tensor4::zeros(nb, shape.c, shape.h, shape.w, ActLayout::Nchw);
+    for (i, r) in live.iter().enumerate() {
+        batch_in.as_mut_slice()[i * in_len..(i + 1) * in_len].copy_from_slice(r.input.as_slice());
+    }
+    let mut batch_out = Tensor4::zeros(nb, shape.k, shape.p(), shape.q(), ActLayout::Nchw);
+
+    let poisoned = live.iter().any(|r| r.poison);
+    let started = Instant::now();
+    let mut attempts = 0usize;
+    let outcome = loop {
+        let attempt = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            if let Some(delay) = inner.faults.kernel_delay() {
+                std::thread::sleep(delay);
+            }
+            if poisoned || inner.faults.panic_batch() {
+                panic!("injected kernel poison");
+            }
+            plan.execute(pool, &batch_in, &mut batch_out)
+        }));
+        match attempt {
+            Err(_) => break Exec::Panicked,
+            Ok(Ok(())) => break Exec::Done,
+            Ok(Err(e)) if core_error_is_transient(&e) && attempts < inner.config.max_retries => {
+                attempts += 1;
+                backoff(inner, attempts);
+            }
+            Ok(Err(e)) => break Exec::Failed { error: e, attempts },
+        }
+    };
+
+    match outcome {
+        Exec::Done => {
+            inner.observe_service_time(started.elapsed(), nb);
+            for (i, r) in live.into_iter().enumerate() {
+                let mut out = Tensor4::zeros(1, shape.k, shape.p(), shape.q(), ActLayout::Nchw);
+                out.as_mut_slice()
+                    .copy_from_slice(&batch_out.as_slice()[i * out_len..(i + 1) * out_len]);
+                deliver(inner, r, out, degraded, nb);
+            }
+        }
+        Exec::Panicked => isolate_batch(inner, pool, batch.model, live),
+        Exec::Failed { error, attempts } => {
+            let error = if core_error_is_transient(&error) {
+                ServeError::RetriesExhausted { attempts: attempts + 1, last: error }
+            } else {
+                ServeError::Conv(error)
+            };
+            fail_all(inner, live, &error);
+        }
+    }
+}
+
+/// Panic isolation: re-run each request of a panicked batch individually
+/// under its own `catch_unwind`, so one poisoned request fails alone and
+/// its peers still complete (bitwise identically to the batched run,
+/// thanks to the pinned schedule).
+fn isolate_batch(inner: &Arc<ServerInner>, pool: &Arc<StaticPool>, model_idx: usize, live: Vec<Pending>) {
+    let model = &inner.models[model_idx];
+    let (plan, degraded) = match acquire_plan(inner, model, 1, pool.size()) {
+        Ok(pair) => pair,
+        Err(error) => {
+            fail_all(inner, live, &error);
+            return;
+        }
+    };
+    let shape = model.shape1;
+    for r in live {
+        let mut out = Tensor4::zeros(1, shape.k, shape.p(), shape.q(), ActLayout::Nchw);
+        let attempt = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            if r.poison {
+                panic!("injected kernel poison");
+            }
+            plan.execute(pool, &r.input, &mut out)
+        }));
+        match attempt {
+            Err(_) => {
+                inner.stats.isolated_panics.fetch_add(1, Ordering::Relaxed);
+                inner.stats.failed.fetch_add(1, Ordering::Relaxed);
+                r.slot.resolve(Err(ServeError::WorkerPanicked));
+            }
+            Ok(Ok(())) => deliver(inner, r, out, degraded, 1),
+            Ok(Err(e)) => {
+                inner.stats.failed.fetch_add(1, Ordering::Relaxed);
+                r.slot.resolve(Err(ServeError::Conv(e)));
+            }
+        }
+    }
+}
+
+/// Resolves a completed request, flagging (never dropping) results whose
+/// deadline passed mid-flight.
+fn deliver(inner: &Arc<ServerInner>, r: Pending, output: Tensor4, degraded: bool, batch: usize) {
+    let late = r.expired(Instant::now());
+    if late {
+        inner.stats.deadline_misses.fetch_add(1, Ordering::Relaxed);
+        ndirect_probe::probe_count!(ServeDeadlineMisses, 1);
+    }
+    if degraded {
+        inner.stats.degraded.fetch_add(1, Ordering::Relaxed);
+    }
+    inner.stats.completed.fetch_add(1, Ordering::Relaxed);
+    r.slot.resolve(Ok(InferResponse { output, late, degraded, batch }));
+}
+
+fn fail_all(inner: &Arc<ServerInner>, live: Vec<Pending>, error: &ServeError) {
+    inner
+        .stats
+        .failed
+        .fetch_add(live.len() as u64, Ordering::Relaxed);
+    for r in live {
+        r.slot.resolve(Err(error.clone()));
+    }
+}
+
+/// Resolves the plan for a batch size: the pinned fast plan, with bounded
+/// retry-with-backoff on transient faults, then the minimal-schedule
+/// degraded plan as the last resort before giving up.
+fn acquire_plan(
+    inner: &Arc<ServerInner>,
+    model: &Model,
+    nb: usize,
+    pool_size: usize,
+) -> Result<(Arc<ConvPlan<'static>>, bool), ServeError> {
+    let shape = model.batch_shape(nb);
+    let key = PlanKey::with_tag(&shape, &model.filter, pool_size, TAG_PINNED);
+    let mut attempts = 0usize;
+    loop {
+        let built = model.registry.get_or_try_build(key, || {
+            if inner.faults.refused_alloc() {
+                return Err(ndirect_core::Error::ScratchAlloc { elements: usize::MAX });
+            }
+            ConvPlan::try_with_schedule(&shape, &model.filter, &model.pinned)
+        });
+        match built {
+            Ok(plan) => return Ok((plan, false)),
+            Err(e) if core_error_is_transient(&e) && attempts < inner.config.max_retries => {
+                attempts += 1;
+                backoff(inner, attempts);
+            }
+            Err(e) if core_error_is_transient(&e) => {
+                // Retries exhausted: degrade to the minimal schedule (its
+                // scratch is a fraction of the tuned plan's).
+                let dkey = PlanKey::with_tag(&shape, &model.filter, pool_size, TAG_DEGRADED);
+                let degraded = model.registry.get_or_try_build(dkey, || {
+                    if inner.faults.refused_alloc() {
+                        return Err(ndirect_core::Error::ScratchAlloc { elements: usize::MAX });
+                    }
+                    ConvPlan::try_with_schedule(&shape, &model.filter, &Schedule::minimal(&shape))
+                });
+                return match degraded {
+                    Ok(plan) => Ok((plan, true)),
+                    Err(last) => Err(ServeError::RetriesExhausted { attempts: attempts + 1, last }),
+                };
+            }
+            Err(e) => return Err(ServeError::Conv(e)),
+        }
+    }
+}
+
+fn backoff(inner: &Arc<ServerInner>, attempt: usize) {
+    inner.stats.retries.fetch_add(1, Ordering::Relaxed);
+    ndirect_probe::probe_count!(ServeRetries, 1);
+    let factor = 1u32 << (attempt - 1).min(10) as u32;
+    std::thread::sleep(inner.config.retry_backoff.saturating_mul(factor));
+}

@@ -1,0 +1,156 @@
+//! The client's handle to an in-flight request.
+
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use ndirect_tensor::Tensor4;
+
+use crate::error::ServeError;
+
+/// A completed inference.
+#[derive(Debug)]
+pub struct InferResponse {
+    /// The `(1, K, P, Q)` output tensor for this request.
+    pub output: Tensor4,
+    /// The request's deadline had passed by the time the result was
+    /// delivered. In-flight batches are never cancelled, so a result that
+    /// misses its deadline mid-kernel is still computed and delivered —
+    /// flagged, not dropped.
+    pub late: bool,
+    /// The result was computed by the minimal-schedule degraded plan
+    /// (transient faults exhausted the retries for the fast plan). Still
+    /// a correct convolution, just slower.
+    pub degraded: bool,
+    /// Size of the batch this request was coalesced into.
+    pub batch: usize,
+}
+
+/// One-shot result mailbox shared between a [`Ticket`] and the pipeline.
+#[derive(Debug, Default)]
+pub(crate) struct ResponseSlot {
+    state: Mutex<Option<Result<InferResponse, ServeError>>>,
+    cv: Condvar,
+}
+
+impl ResponseSlot {
+    /// Delivers the result. First write wins; a second delivery (e.g. the
+    /// drop guard firing after a real resolution) is ignored.
+    pub(crate) fn resolve(&self, result: Result<InferResponse, ServeError>) {
+        let mut st = lock_unpoisoned(&self.state);
+        if st.is_none() {
+            *st = Some(result);
+            drop(st);
+            self.cv.notify_all();
+        }
+    }
+
+    pub(crate) fn is_resolved(&self) -> bool {
+        lock_unpoisoned(&self.state).is_some()
+    }
+
+    fn wait(&self) -> Result<InferResponse, ServeError> {
+        let mut st = lock_unpoisoned(&self.state);
+        loop {
+            if let Some(result) = st.take() {
+                return result;
+            }
+            st = self
+                .cv
+                .wait(st)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+    }
+
+    fn wait_timeout(&self, timeout: Duration) -> Option<Result<InferResponse, ServeError>> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut st = lock_unpoisoned(&self.state);
+        loop {
+            if let Some(result) = st.take() {
+                return Some(result);
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (guard, _) = self
+                .cv
+                .wait_timeout(st, deadline - now)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            st = guard;
+        }
+    }
+}
+
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// The submit-side handle to an admitted request. Dropping the ticket
+/// abandons the result (the request still runs to completion).
+#[derive(Debug)]
+pub struct Ticket {
+    pub(crate) slot: Arc<ResponseSlot>,
+    pub(crate) id: u64,
+}
+
+impl Ticket {
+    /// The server-assigned request id (monotonic per server).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Blocks until the pipeline delivers the result.
+    pub fn wait(self) -> Result<InferResponse, ServeError> {
+        self.slot.wait()
+    }
+
+    /// Blocks up to `timeout`; on expiry the ticket is handed back so the
+    /// caller can keep waiting (used by the chaos suite's watchdogs).
+    pub fn wait_timeout(self, timeout: Duration) -> Result<Result<InferResponse, ServeError>, Ticket> {
+        match self.slot.wait_timeout(timeout) {
+            Some(result) => Ok(result),
+            None => Err(self),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_resolution_wins() {
+        let slot = Arc::new(ResponseSlot::default());
+        slot.resolve(Err(ServeError::WorkerPanicked));
+        slot.resolve(Err(ServeError::ShuttingDown));
+        let ticket = Ticket { slot, id: 1 };
+        assert!(matches!(ticket.wait(), Err(ServeError::WorkerPanicked)));
+    }
+
+    #[test]
+    fn wait_timeout_returns_ticket_on_expiry() {
+        let slot = Arc::new(ResponseSlot::default());
+        let ticket = Ticket { slot: Arc::clone(&slot), id: 2 };
+        let ticket = match ticket.wait_timeout(Duration::from_millis(5)) {
+            Err(t) => t,
+            Ok(r) => panic!("unexpected early result: {r:?}"),
+        };
+        slot.resolve(Err(ServeError::ShuttingDown));
+        assert!(matches!(
+            ticket.wait_timeout(Duration::from_secs(5)),
+            Ok(Err(ServeError::ShuttingDown))
+        ));
+    }
+
+    #[test]
+    fn wait_unblocks_across_threads() {
+        let slot = Arc::new(ResponseSlot::default());
+        let ticket = Ticket { slot: Arc::clone(&slot), id: 3 };
+        let resolver = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(10));
+            slot.resolve(Err(ServeError::WorkerPanicked));
+        });
+        assert!(matches!(ticket.wait(), Err(ServeError::WorkerPanicked)));
+        resolver.join().expect("resolver thread");
+    }
+}

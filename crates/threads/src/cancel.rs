@@ -1,0 +1,67 @@
+//! Cooperative cancellation for region entry.
+//!
+//! A [`CancelToken`] is a cheap, cloneable flag shared between the party
+//! that may abort a piece of work (e.g. a deadline sweeper in the serving
+//! layer) and the party about to execute it. Cancellation is *advisory
+//! before dispatch, never preemptive*: [`crate::StaticPool::try_run_cancellable`]
+//! consults the token only while the region can still be skipped outright;
+//! once jobs are published the region always runs to its barrier.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A shared cancellation flag. Cloning is O(1) (an `Arc` bump); all clones
+/// observe the same state. Once cancelled, a token stays cancelled.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    cancelled: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Marks the token cancelled. Idempotent; visible to all clones.
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Release);
+    }
+
+    /// Whether [`CancelToken::cancel`] has been called on any clone.
+    #[inline]
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_uncancelled() {
+        assert!(!CancelToken::new().is_cancelled());
+    }
+
+    #[test]
+    fn cancel_is_sticky_and_shared_across_clones() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        a.cancel();
+        assert!(a.is_cancelled());
+        assert!(b.is_cancelled(), "clones share the flag");
+        a.cancel();
+        assert!(a.is_cancelled(), "idempotent");
+    }
+
+    #[test]
+    fn cancel_crosses_threads() {
+        let token = CancelToken::new();
+        let remote = token.clone();
+        std::thread::spawn(move || remote.cancel())
+            .join()
+            .expect("cancelling thread");
+        assert!(token.is_cancelled());
+    }
+}

@@ -20,6 +20,12 @@ pub enum PoolError {
         /// The OS error category.
         kind: std::io::ErrorKind,
     },
+    /// The [`crate::CancelToken`] passed to
+    /// [`crate::StaticPool::try_run_cancellable`] was cancelled before the
+    /// region was published to the workers; no thread executed the region
+    /// closure. The pool itself is healthy — this is a caller-side abort,
+    /// not a fault.
+    Cancelled,
 }
 
 impl std::fmt::Display for PoolError {
@@ -32,6 +38,9 @@ impl std::fmt::Display for PoolError {
             ),
             PoolError::WorkerSpawn { worker, kind } => {
                 write!(f, "failed to spawn pool worker {worker}: {kind}")
+            }
+            PoolError::Cancelled => {
+                write!(f, "region cancelled before dispatch; no thread ran the closure")
             }
         }
     }

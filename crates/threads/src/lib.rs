@@ -21,12 +21,14 @@
 
 #![warn(missing_docs)]
 
+mod cancel;
 mod error;
 mod grid;
 mod pool;
 mod shared;
 mod split;
 
+pub use cancel::CancelToken;
 pub use error::PoolError;
 pub use grid::Grid2;
 pub use pool::StaticPool;

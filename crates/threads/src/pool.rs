@@ -8,17 +8,29 @@
 //!   `run` wrapper keeps the seed behaviour) instead of deadlocking;
 //! * the `in_region` reentrancy flag is cleared by an RAII guard, so a
 //!   panicking region closure cannot wedge the pool;
-//! * a worker whose thread has died (panic payload with a panicking `Drop`,
-//!   stack exhaustion recovery, anything that escapes `catch_unwind`) is
-//!   respawned at the next region entry — the pool degrades for one region
-//!   and then heals, it never silently loses parallelism.
+//! * a worker whose thread dies (something escaping `catch_unwind`, or an
+//!   injected death from the chaos hooks) is respawned **eagerly, at death
+//!   detection**: the dying thread's [`DeathWatch`] guard spawns its own
+//!   replacement on the way out, so the very next region already runs at
+//!   full width. Region entry keeps a lazy [`StaticPool::ensure_workers`]
+//!   backstop for the case where the eager respawn itself failed (thread
+//!   exhaustion);
+//! * a death with a job in flight counts the region latch down with a
+//!   synthetic panic payload, so the dispatching caller observes a panic
+//!   instead of hanging on the barrier forever;
+//! * region entry can be tied to a [`CancelToken`]
+//!   ([`StaticPool::try_run_cancellable`]): a token cancelled before the
+//!   jobs are published returns [`PoolError::Cancelled`] without any
+//!   worker ever seeing the region — the serving layer uses this so a
+//!   timed-out request never occupies a kernel slot.
 
 use std::any::Any;
 use std::collections::VecDeque;
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
+use crate::cancel::CancelToken;
 use crate::PoolError;
 
 /// A fixed team of `PT` threads executing one closure per [`StaticPool::run`]
@@ -34,10 +46,7 @@ use crate::PoolError;
 /// barrier at the end of `run` is what makes that sound.
 pub struct StaticPool {
     size: usize,
-    board: Arc<JobBoard>,
-    /// Worker join handles, indexed by `tid - 1`; rebuilt lazily when a
-    /// worker dies (see [`StaticPool::ensure_workers`]).
-    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    team: Arc<Team>,
     /// Guards against nested `run` on the same pool, which would deadlock
     /// (workers are busy executing the outer region's job).
     in_region: AtomicBool,
@@ -52,8 +61,21 @@ impl std::fmt::Debug for StaticPool {
         f.debug_struct("StaticPool")
             .field("size", &self.size)
             .field("in_region", &self.in_region.load(Ordering::Relaxed))
+            .field("worker_deaths", &self.team.deaths.load(Ordering::Relaxed))
             .finish_non_exhaustive()
     }
+}
+
+/// State shared between the pool handle and its worker threads: the job
+/// board, the join handles (indexed by `tid - 1`, mutated both by the
+/// pool's lazy heal and by a dying worker's eager self-respawn), the
+/// shutdown flag that tells a [`DeathWatch`] not to respawn, and the
+/// monotonic death count exposed as the worker health probe.
+struct Team {
+    board: JobBoard,
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    shutdown: AtomicBool,
+    deaths: AtomicUsize,
 }
 
 /// A lifetime-erased `&(dyn Fn(usize) + Sync)` plus completion accounting.
@@ -70,7 +92,19 @@ struct Job {
 // and `run` keeps the closure alive until every job has signalled `latch`.
 unsafe impl Send for Job {}
 
-/// The shared queue workers pull jobs from. `closed` tells workers to exit.
+/// What a worker's blocking pop produced.
+enum Popped {
+    /// A region job to execute.
+    Job(Job),
+    /// An injected death: exit the loop abnormally (the [`DeathWatch`]
+    /// stays armed, so death detection and eager respawn fire).
+    Die,
+    /// The pool is shutting down: exit the loop normally.
+    Shutdown,
+}
+
+/// The shared queue workers pull jobs from. `closed` tells workers to
+/// exit; `kills` injects worker deaths for the chaos tests.
 struct JobBoard {
     queue: Mutex<BoardState>,
     available: Condvar,
@@ -78,6 +112,10 @@ struct JobBoard {
 
 struct BoardState {
     jobs: VecDeque<Job>,
+    /// Pending injected deaths (see [`StaticPool::inject_worker_death`]);
+    /// consumed one per worker, only when no job is queued so an injected
+    /// death never swallows a region's work item.
+    kills: usize,
     closed: bool,
 }
 
@@ -88,6 +126,7 @@ impl JobBoard {
         Self {
             queue: Mutex::new(BoardState {
                 jobs: VecDeque::with_capacity(capacity),
+                kills: 0,
                 closed: false,
             }),
             available: Condvar::new(),
@@ -101,15 +140,20 @@ impl JobBoard {
         self.available.notify_one();
     }
 
-    /// Blocks until a job arrives or the board closes (returns `None`).
-    fn pop(&self) -> Option<Job> {
+    /// Blocks until a job arrives, a death is injected, or the board
+    /// closes.
+    fn pop(&self) -> Popped {
         let mut st = lock_unpoisoned(&self.queue);
         loop {
             if let Some(job) = st.jobs.pop_front() {
-                return Some(job);
+                return Popped::Job(job);
+            }
+            if st.kills > 0 {
+                st.kills -= 1;
+                return Popped::Die;
             }
             if st.closed {
-                return None;
+                return Popped::Shutdown;
             }
             st = self
                 .available
@@ -197,11 +241,75 @@ impl Drop for RegionGuard<'_> {
     }
 }
 
-fn spawn_worker(board: Arc<JobBoard>, index: usize) -> std::io::Result<std::thread::JoinHandle<()>> {
+/// The worker's death sentinel. Armed for the whole worker loop; disarmed
+/// only on the clean shutdown path. If the loop exits any other way — an
+/// injected death, or something escaping `catch_unwind` — the guard's
+/// `Drop` runs *at the moment of death* and:
+///
+/// 1. bumps the team's death counter (the health probe);
+/// 2. counts any in-flight job's latch down with a synthetic panic, so
+///    the region's caller unblocks with an error instead of hanging;
+/// 3. eagerly spawns a replacement worker into its own slot (unless the
+///    pool is shutting down), so the *next* region runs at full width
+///    without waiting for the lazy region-entry heal.
+struct DeathWatch {
+    team: Arc<Team>,
+    index: usize,
+    /// The latch of the job being executed, if any; cleared after the
+    /// job's own `count_down`.
+    pending: Option<Arc<Latch>>,
+    armed: bool,
+}
+
+impl Drop for DeathWatch {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        self.team.deaths.fetch_add(1, Ordering::AcqRel);
+        if let Some(latch) = self.pending.take() {
+            latch.count_down(Some(Box::new(
+                "pool worker died while executing a region job",
+            )));
+        }
+        // Best effort: a failed respawn here (thread exhaustion) is healed
+        // lazily by `ensure_workers` at the next region entry.
+        let _ = respawn(&self.team, self.index);
+    }
+}
+
+/// Spawns a replacement worker for slot `index`, unless the pool is
+/// shutting down (checked under the handles lock, so it cannot race the
+/// pool's drop) or the handle table is already drained.
+fn respawn(team: &Arc<Team>, index: usize) -> std::io::Result<()> {
+    let mut handles = lock_unpoisoned(&team.handles);
+    if team.shutdown.load(Ordering::Acquire) || handles.len() < index {
+        return Ok(());
+    }
+    let fresh = spawn_worker(Arc::clone(team), index)?;
+    // The replaced handle is the dying thread's own; dropping it detaches
+    // that thread, which is already on its way out.
+    handles[index - 1] = fresh;
+    Ok(())
+}
+
+fn spawn_worker(team: Arc<Team>, index: usize) -> std::io::Result<std::thread::JoinHandle<()>> {
     std::thread::Builder::new()
         .name(format!("ndirect-worker-{index}"))
-        .spawn(move || {
-            while let Some(job) = board.pop() {
+        .spawn(move || worker_main(team, index))
+}
+
+fn worker_main(team: Arc<Team>, index: usize) {
+    let mut watch = DeathWatch {
+        team: Arc::clone(&team),
+        index,
+        pending: None,
+        armed: true,
+    };
+    loop {
+        match team.board.pop() {
+            Popped::Job(job) => {
+                watch.pending = Some(Arc::clone(&job.latch));
                 let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
                     let _busy = ndirect_probe::probe_span!(Worker, job.tid);
                     // SAFETY: `job.data`/`job.call` were erased from a live
@@ -210,8 +318,16 @@ fn spawn_worker(board: Arc<JobBoard>, index: usize) -> std::io::Result<std::thre
                     unsafe { (job.call)(job.data, job.tid) }
                 }));
                 job.latch.count_down(result.err());
+                watch.pending = None;
             }
-        })
+            // Exit abnormally: the armed watch fires death detection.
+            Popped::Die => return,
+            Popped::Shutdown => {
+                watch.armed = false;
+                return;
+            }
+        }
+    }
 }
 
 impl StaticPool {
@@ -226,16 +342,21 @@ impl StaticPool {
         if size == 0 {
             return Err(PoolError::ZeroSize);
         }
-        let board = Arc::new(JobBoard::new(size - 1));
-        let mut handles = Vec::new();
+        let team = Arc::new(Team {
+            board: JobBoard::new(size - 1),
+            handles: Mutex::new(Vec::with_capacity(size.saturating_sub(1))),
+            shutdown: AtomicBool::new(false),
+            deaths: AtomicUsize::new(0),
+        });
         for i in 1..size {
-            match spawn_worker(Arc::clone(&board), i) {
-                Ok(h) => handles.push(h),
+            match spawn_worker(Arc::clone(&team), i) {
+                Ok(h) => lock_unpoisoned(&team.handles).push(h),
                 Err(e) => {
                     // Unwind: close the board so already-spawned workers
                     // exit, then report.
-                    board.close();
-                    for h in handles {
+                    team.shutdown.store(true, Ordering::Release);
+                    team.board.close();
+                    for h in lock_unpoisoned(&team.handles).drain(..) {
                         let _ = h.join();
                     }
                     return Err(PoolError::WorkerSpawn {
@@ -247,8 +368,7 @@ impl StaticPool {
         }
         Ok(Self {
             size,
-            board,
-            handles: Mutex::new(handles),
+            team,
             in_region: AtomicBool::new(false),
             region_latch: Arc::new(Latch::new(0)),
         })
@@ -266,27 +386,33 @@ impl StaticPool {
     }
 
     /// Number of worker threads currently alive (excludes the caller).
-    /// After a worker death this reads low until the next region entry
-    /// respawns the worker; exposed for the hardening tests.
+    /// Thanks to eager respawn this returns to `size − 1` shortly after a
+    /// worker death, without waiting for a region entry.
     pub fn live_workers(&self) -> usize {
-        lock_unpoisoned(&self.handles)
+        lock_unpoisoned(&self.team.handles)
             .iter()
             .filter(|h| !h.is_finished())
             .count()
     }
 
-    /// Respawns any worker whose thread has exited. A worker only dies when
-    /// something escapes its `catch_unwind` (e.g. a panic payload whose
-    /// `Drop` panics); the next region entry heals the team so one bad job
-    /// cannot permanently strand the pool. Spawn failures are reported, not
+    /// Worker health probe: how many worker deaths this pool has detected
+    /// (and healed) over its lifetime. Monotonic; `0` on a healthy pool.
+    pub fn worker_deaths(&self) -> usize {
+        self.team.deaths.load(Ordering::Acquire)
+    }
+
+    /// Respawns any worker whose thread has exited without the death watch
+    /// managing to replace it (its own respawn hit thread exhaustion).
+    /// Kept as the lazy backstop at region entry so one bad moment cannot
+    /// permanently strand the pool; spawn failures are reported, not
     /// panicked, so the caller can fall back to fewer threads.
     fn ensure_workers(&self) -> Result<(), PoolError> {
-        let mut handles = lock_unpoisoned(&self.handles);
+        let mut handles = lock_unpoisoned(&self.team.handles);
         for (i, slot) in handles.iter_mut().enumerate() {
             if slot.is_finished() {
                 let dead = std::mem::replace(
                     slot,
-                    spawn_worker(Arc::clone(&self.board), i + 1).map_err(|e| {
+                    spawn_worker(Arc::clone(&self.team), i + 1).map_err(|e| {
                         PoolError::WorkerSpawn {
                             worker: i + 1,
                             kind: e.kind(),
@@ -328,6 +454,31 @@ impl StaticPool {
     where
         F: Fn(usize) + Sync,
     {
+        self.try_run_inner(None, f)
+    }
+
+    /// Cancellable region entry: like [`StaticPool::try_run`], but checks
+    /// `cancel` at the two points where the region is still free to not
+    /// happen — before contending for the region at all, and again after
+    /// the team is healed but before any job is published. A token
+    /// cancelled by then returns [`PoolError::Cancelled`] and **no thread
+    /// ever executes `f`**; a cancellation arriving later does not abort
+    /// the region (in-flight work always runs to the barrier, which is
+    /// what keeps the borrow of `f` sound).
+    pub fn try_run_cancellable<F>(&self, cancel: &CancelToken, f: F) -> Result<(), PoolError>
+    where
+        F: Fn(usize) + Sync,
+    {
+        self.try_run_inner(Some(cancel), f)
+    }
+
+    fn try_run_inner<F>(&self, cancel: Option<&CancelToken>, f: F) -> Result<(), PoolError>
+    where
+        F: Fn(usize) + Sync,
+    {
+        if cancel.is_some_and(CancelToken::is_cancelled) {
+            return Err(PoolError::Cancelled);
+        }
         if self.size == 1 {
             // AcqRel: Acquire pairs with the Release in `RegionGuard::drop`
             // so region N+1 observes region N's effects; the Release half
@@ -336,6 +487,9 @@ impl StaticPool {
                 return Err(PoolError::NestedRun);
             }
             let _guard = RegionGuard(&self.in_region);
+            if cancel.is_some_and(CancelToken::is_cancelled) {
+                return Err(PoolError::Cancelled);
+            }
             ndirect_probe::probe_count!(Regions, 1);
             let _region = ndirect_probe::probe_span!(Region, 1);
             {
@@ -350,12 +504,19 @@ impl StaticPool {
         }
         // Release the reentrancy flag on every exit path (incl. panics).
         let _guard = RegionGuard(&self.in_region);
+
+        // Heal the team before dispatching: a worker the death watch could
+        // not respawn must not leave its share of the iteration space to
+        // luck.
+        self.ensure_workers()?;
+
+        // Last exit before the region becomes real: nothing is published
+        // yet, so a cancelled token costs zero worker time.
+        if cancel.is_some_and(CancelToken::is_cancelled) {
+            return Err(PoolError::Cancelled);
+        }
         ndirect_probe::probe_count!(Regions, 1);
         let _region = ndirect_probe::probe_span!(Region, self.size);
-
-        // Heal the team before dispatching: a worker killed by a previous
-        // region must not leave its share of the iteration space undone.
-        self.ensure_workers()?;
 
         // SAFETY: callers must pass a `data` pointer obtained from `&f` for
         // an `F` that outlives the call; the only call sites are the jobs
@@ -371,7 +532,7 @@ impl StaticPool {
         self.region_latch.reset(self.size);
         let latch = &self.region_latch;
         for tid in 1..self.size {
-            self.board.push(Job {
+            self.team.board.push(Job {
                 data: &f as *const F as *const (),
                 call: trampoline::<F>,
                 tid,
@@ -407,34 +568,58 @@ impl StaticPool {
         self.run(|tid| f(tid, crate::split_static(total, parts, tid)));
     }
 
-    /// Test-only fault injection: makes at least one worker thread exit its
-    /// loop (as if something had escaped its `catch_unwind`), so the
-    /// respawn path in [`StaticPool::ensure_workers`] can be exercised. The
-    /// board is briefly marked closed — long enough for a worker to observe
-    /// it and return — then reopened.
-    #[doc(hidden)]
-    pub fn __test_kill_one_worker(&self) {
-        let board = &self.board;
-        {
-            let mut st = lock_unpoisoned(&board.queue);
-            st.closed = true;
+    /// Chaos-test fault injection: makes one idle worker thread exit its
+    /// loop abnormally, exactly as if something had escaped its
+    /// `catch_unwind`. Death detection (and the eager respawn) fires on
+    /// the dying thread's way out; this call blocks until the death has
+    /// been detected (bounded at 5 s), so on return
+    /// [`StaticPool::worker_deaths`] has incremented and the replacement
+    /// worker is already installed (or, if spawning it failed, the next
+    /// region entry will heal lazily). No effect on a size-1 pool.
+    pub fn inject_worker_death(&self) {
+        if self.size == 1 {
+            return;
         }
-        board.available.notify_one();
-        // Wait until exactly one worker exits, then reopen.
+        let before = self.team.deaths.load(Ordering::Acquire);
+        {
+            let mut st = lock_unpoisoned(&self.team.board.queue);
+            st.kills += 1;
+        }
+        self.team.board.available.notify_one();
         let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
-        while self.live_workers() == self.size - 1 && std::time::Instant::now() < deadline {
+        while self.team.deaths.load(Ordering::Acquire) == before
+            && std::time::Instant::now() < deadline
+        {
             std::thread::yield_now();
         }
-        lock_unpoisoned(&board.queue).closed = false;
+    }
+
+    /// Legacy name for [`StaticPool::inject_worker_death`], kept for the
+    /// existing hardening tests.
+    #[doc(hidden)]
+    pub fn __test_kill_one_worker(&self) {
+        self.inject_worker_death();
     }
 }
 
 impl Drop for StaticPool {
     fn drop(&mut self) {
-        // Closing the board stops the worker loops.
-        self.board.close();
-        for h in lock_unpoisoned(&self.handles).drain(..) {
-            let _ = h.join();
+        // Order matters: the shutdown flag stops death-watch respawns
+        // (checked under the handles lock in `respawn`), closing the board
+        // stops the worker loops. Join without holding the handles lock —
+        // a dying worker's death watch takes that lock, and we may be
+        // joining that very thread. A second drain pass collects any
+        // replacement installed in the window before the flag was set.
+        self.team.shutdown.store(true, Ordering::Release);
+        self.team.board.close();
+        loop {
+            let drained: Vec<_> = lock_unpoisoned(&self.team.handles).drain(..).collect();
+            if drained.is_empty() {
+                break;
+            }
+            for h in drained {
+                let _ = h.join();
+            }
         }
     }
 }
@@ -622,20 +807,109 @@ mod tests {
         }
     }
 
+    /// Waits (bounded) for the eager respawn to bring the worker count
+    /// back to full strength.
+    fn wait_full_team(pool: &StaticPool) {
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while pool.live_workers() < pool.size() - 1 && std::time::Instant::now() < deadline {
+            std::thread::yield_now();
+        }
+    }
+
     #[test]
-    fn dead_worker_is_respawned_on_next_region() {
+    fn worker_death_is_healed_eagerly_not_at_region_entry() {
         let pool = StaticPool::new(3);
         pool.run(|_| {});
         assert_eq!(pool.live_workers(), 2);
-        pool.__test_kill_one_worker();
-        assert!(pool.live_workers() < 2, "test hook should kill a worker");
-        // The next region heals the team and computes the full result.
+        assert_eq!(pool.worker_deaths(), 0);
+        pool.inject_worker_death();
+        assert_eq!(pool.worker_deaths(), 1, "death must be detected");
+        // The replacement is installed by the dying thread itself — no
+        // region entry in between.
+        wait_full_team(&pool);
+        assert_eq!(pool.live_workers(), 2, "eager respawn healed the team");
+        // And the team still computes full results.
         let counter = AtomicUsize::new(0);
         pool.run(|_| {
             counter.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(counter.load(Ordering::Relaxed), 3);
-        assert_eq!(pool.live_workers(), 2, "worker respawned");
+    }
+
+    #[test]
+    fn two_consecutive_regions_after_a_kill_run_at_full_width() {
+        // Regression test for the one-region degraded window: both regions
+        // following a worker death must run on `size` *distinct* threads.
+        // The in-region barrier makes the check deterministic: a region
+        // running below full width could never release it.
+        let pool = StaticPool::new(4);
+        pool.run(|_| {});
+        pool.inject_worker_death();
+        wait_full_team(&pool);
+        for round in 0..2 {
+            assert_eq!(
+                pool.live_workers(),
+                3,
+                "round {round}: full team before region entry"
+            );
+            let gate = std::sync::Barrier::new(4);
+            let ids = Mutex::new(std::collections::HashSet::new());
+            pool.run(|_tid| {
+                lock_unpoisoned(&ids).insert(std::thread::current().id());
+                gate.wait();
+            });
+            assert_eq!(
+                lock_unpoisoned(&ids).len(),
+                4,
+                "round {round}: region ran at full width"
+            );
+        }
+    }
+
+    #[test]
+    fn repeated_kills_keep_healing() {
+        let pool = StaticPool::new(3);
+        for round in 1..=3 {
+            pool.inject_worker_death();
+            assert_eq!(pool.worker_deaths(), round);
+            wait_full_team(&pool);
+            let counter = AtomicUsize::new(0);
+            pool.run(|_| {
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(counter.load(Ordering::Relaxed), 3, "round {round}");
+        }
+    }
+
+    #[test]
+    fn cancelled_token_skips_the_region_entirely() {
+        let pool = StaticPool::new(3);
+        let token = CancelToken::new();
+        token.cancel();
+        let ran = AtomicUsize::new(0);
+        let result = pool.try_run_cancellable(&token, |_| {
+            ran.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(result, Err(PoolError::Cancelled));
+        assert_eq!(ran.load(Ordering::Relaxed), 0, "no thread may run f");
+        // A fresh token runs normally; the pool state is untouched.
+        let fresh = CancelToken::new();
+        pool.try_run_cancellable(&fresh, |_| {
+            ran.fetch_add(1, Ordering::Relaxed);
+        })
+        .expect("uncancelled region runs");
+        assert_eq!(ran.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn cancel_on_single_thread_pool() {
+        let pool = StaticPool::new(1);
+        let token = CancelToken::new();
+        token.cancel();
+        assert_eq!(
+            pool.try_run_cancellable(&token, |_| panic!("must not run")),
+            Err(PoolError::Cancelled)
+        );
     }
 
     #[test]
