@@ -33,6 +33,15 @@ impl ScheduleSpace {
     /// The space for a problem and a fixed thread count.
     pub fn for_shape(shape: &ConvShape, threads: usize) -> Self {
         let p = shape.p();
+        // Zero-copy and sliced variants join the search alongside the two
+        // packed baselines; the sliced slice length comes from the host's
+        // analytic slab model so the candidate is cache-resident by
+        // construction (search can still reject it on measurement).
+        let model_rows = ndirect_core::model::slicing::slab_rows(
+            &ndirect_platform::host(),
+            shape,
+            16.min(shape.c).max(1),
+        );
         let tc_max = shape.c;
         let tc: Vec<usize> = [4, 8, 16, 32, 64, 128, 256, 512, 1024]
             .iter()
@@ -57,7 +66,12 @@ impl ScheduleSpace {
             // Tk = multiplier × Vk, capped later by sanitize.
             tk_multiplier: vec![1, 2, 4, 8, 16, 32, 64],
             th,
-            packing: vec![PackingMode::Fused, PackingMode::Sequential],
+            packing: vec![
+                PackingMode::Fused,
+                PackingMode::Sequential,
+                PackingMode::None,
+                PackingMode::Sliced { rows: model_rows },
+            ],
             grids: Grid2::factorizations(threads),
         }
     }
@@ -114,11 +128,14 @@ pub fn mutate(
             if space.grids.len() > 1 {
                 s.grid = space.grids[rng.gen_range_usize(0, space.grids.len())];
             } else {
-                s.packing = if s.packing == PackingMode::Fused {
-                    PackingMode::Sequential
-                } else {
-                    PackingMode::Fused
-                };
+                // Step to the next packing variant in the space (cyclic),
+                // so single-thread searches still explore every mode.
+                let i = space
+                    .packing
+                    .iter()
+                    .position(|&m| m == s.packing)
+                    .unwrap_or(0);
+                s.packing = space.packing[(i + 1) % space.packing.len()];
             }
         }
     }

@@ -14,9 +14,37 @@
 //! layout internals) stay with their modules; this file owns agreement.
 
 use ndirect_baselines::{blocked, fft, im2col, indirect, naive, winograd};
-use ndirect_core::conv_ndirect;
+use ndirect_core::{conv_ndirect_with, PackingMode, Schedule};
 use ndirect_tensor::{fill, ActLayout, ConvShape, Filter, FilterLayout, Padding, Tensor4};
 use ndirect_threads::StaticPool;
+
+/// Packing override for the direct reference, from `NDIRECT_FORCE_PACKING`
+/// (`fused` / `sequential` / `none` / `sliced:<rows>`). CI's packing-variant
+/// matrix sets this so the whole conformance table re-runs against each
+/// schedule variant; an unrecognized value is a test bug, not a skip.
+fn forced_packing() -> Option<PackingMode> {
+    let raw = std::env::var("NDIRECT_FORCE_PACKING").ok()?;
+    Some(
+        PackingMode::parse(&raw)
+            .unwrap_or_else(|| panic!("NDIRECT_FORCE_PACKING={raw:?} is not a packing mode")),
+    )
+}
+
+/// The direct (nDirect) reference: the host-derived schedule, with the
+/// packing mode overridden when the CI matrix forces one.
+fn direct_reference(
+    pool: &StaticPool,
+    input: &Tensor4,
+    filter: &Filter,
+    shape: &ConvShape,
+) -> Tensor4 {
+    let mut sched = Schedule::derive(&ndirect_platform::host(), shape, pool.size());
+    if let Some(mode) = forced_packing() {
+        sched.packing = mode;
+        sched = sched.sanitized(shape);
+    }
+    conv_ndirect_with(pool, input, filter, shape, &sched)
+}
 
 /// ULP distance between two finite f32s: how many representable floats
 /// apart they are, via the lexicographic-order mapping of IEEE bits.
@@ -89,7 +117,7 @@ fn conformance(
         let seed = 0xc0f0 + i as u64;
         let input = fill::random_tensor(Tensor4::input_for(&shape, ActLayout::Nchw), seed);
         let filter = fill::random_filter(Filter::for_shape(&shape, FilterLayout::Kcrs), seed ^ 1);
-        let want = conv_ndirect(&pool, &input, &filter, &shape);
+        let want = direct_reference(&pool, &input, &filter, &shape);
         let got = run(&pool, &input, &filter, &shape);
         let ulp = max_ulp(got.as_slice(), want.as_slice(), abs_floor);
         eprintln!("{name:<10} {label:<12} max {ulp} ULP (budget {budget_ulp})");
@@ -139,6 +167,42 @@ conformance_suite! {
     fft_conforms_to_direct: "fft" =>
         (1 << 17, 1e-4, |_: &ConvShape| true,
          |p: &StaticPool, i: &Tensor4, f: &Filter, s: &ConvShape| fft::conv_fft(p, i, f, s));
+}
+
+/// Every packing variant of the direct path is one plan over the same
+/// Algorithm 2 loop nest: each output element still has exactly one
+/// writer accumulating the same products in the same order, so outputs
+/// must be *bitwise* identical across variants — no ULP budget at all.
+/// This runs the full grid (stride-2 stem, boundary-heavy odd-spatial
+/// downsample, valid-padding tails) against the `Fused` reference.
+#[test]
+fn packing_variants_are_bitwise_identical_to_fused() {
+    let pool = StaticPool::new(2);
+    for (i, (label, shape)) in layer_grid().into_iter().enumerate() {
+        let seed = 0xace0 + i as u64;
+        let input = fill::random_tensor(Tensor4::input_for(&shape, ActLayout::Nchw), seed);
+        let filter = fill::random_filter(Filter::for_shape(&shape, FilterLayout::Kcrs), seed ^ 1);
+        let base = Schedule::derive(&ndirect_platform::host(), &shape, pool.size());
+        let mut fused = base.clone();
+        fused.packing = PackingMode::Fused;
+        let want = conv_ndirect_with(&pool, &input, &filter, &shape, &fused.sanitized(&shape));
+        for mode in [
+            PackingMode::Sequential,
+            PackingMode::None,
+            PackingMode::Sliced { rows: 1 },
+            PackingMode::Sliced { rows: 3 },
+            PackingMode::Sliced { rows: usize::MAX },
+        ] {
+            let mut sched = base.clone();
+            sched.packing = mode;
+            let got = conv_ndirect_with(&pool, &input, &filter, &shape, &sched.sanitized(&shape));
+            assert_eq!(
+                got.as_slice(),
+                want.as_slice(),
+                "'{label}' ({shape}) under {mode:?} diverges bitwise from Fused"
+            );
+        }
+    }
 }
 
 #[test]

@@ -468,6 +468,37 @@ pub fn compare(baseline: &BenchSuite, candidate: &BenchSuite, threshold_pct: f64
     }
 }
 
+/// The baseline ratchet behind `perfreport refresh`: returns a copy of
+/// `baseline` where exactly the layers whose [`compare`] verdict is
+/// [`Verdict::Improvement`] carry the candidate's record, plus the IDs
+/// adopted (baseline order). Noise-band and regressed layers keep the
+/// committed record, so the gate only ever tightens; layers missing from
+/// the candidate are untouched for the same reason. The suite header
+/// stays the baseline's — a partial adoption is still the baseline run's
+/// environment for every layer it kept.
+pub fn refresh_improvements(
+    baseline: &BenchSuite,
+    candidate: &BenchSuite,
+    threshold_pct: f64,
+) -> (BenchSuite, Vec<usize>) {
+    let report = compare(baseline, candidate, threshold_pct);
+    let improved: Vec<usize> = report
+        .layers
+        .iter()
+        .filter(|l| l.verdict == Verdict::Improvement)
+        .map(|l| l.id)
+        .collect();
+    let mut merged = baseline.clone();
+    for layer in &mut merged.layers {
+        if improved.contains(&layer.id) {
+            if let Some(c) = candidate.layers.iter().find(|c| c.id == layer.id) {
+                *layer = c.clone();
+            }
+        }
+    }
+    (merged, improved)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -585,6 +616,33 @@ mod tests {
         // Extra candidate layers are new coverage, not failures.
         let wider = compare(&cand, &base, 20.0);
         assert!(!wider.has_regression());
+    }
+
+    #[test]
+    fn refresh_adopts_only_improvements() {
+        let base = suite(&[(1, 100.0), (2, 100.0), (3, 100.0), (4, 100.0)]);
+        // Layer 1 improves, 2 is noise, 3 regresses, 4 vanishes.
+        let cand = suite(&[(1, 150.0), (2, 95.0), (3, 60.0)]);
+        let (merged, adopted) = refresh_improvements(&base, &cand, 20.0);
+        assert_eq!(adopted, vec![1]);
+        let g: Vec<f64> = merged.layers.iter().map(|l| l.gflops).collect();
+        assert_eq!(g, vec![150.0, 100.0, 100.0, 100.0]);
+        // The header is still the baseline's.
+        assert_eq!(merged.created_unix, base.created_unix);
+        // And the merged suite still round-trips.
+        let text = merged.to_json().pretty();
+        let parsed =
+            BenchSuite::from_json(&Json::parse(&text).expect("valid JSON")).expect("valid suite");
+        assert_eq!(parsed, merged);
+    }
+
+    #[test]
+    fn refresh_without_improvements_is_identity() {
+        let base = suite(&[(1, 100.0), (2, 100.0)]);
+        let cand = suite(&[(1, 101.0), (2, 60.0)]);
+        let (merged, adopted) = refresh_improvements(&base, &cand, 20.0);
+        assert!(adopted.is_empty());
+        assert_eq!(merged, base);
     }
 
     #[test]

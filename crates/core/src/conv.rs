@@ -150,11 +150,33 @@ pub(crate) fn try_alloc_scratch(
         .checked_mul(shape.stride)
         .and_then(|x| x.checked_add(shape.s))
         .ok_or(usize::MAX)?;
-    let bbuf_len = sched
-        .tc
-        .checked_mul(shape.r)
-        .and_then(|x| x.checked_mul(win_max))
-        .ok_or(usize::MAX)?;
+    // The input-side buffer is packing-mode dependent: the per-strip modes
+    // hold one `Tc·R·win` strip, `Sliced` holds one cache-resident slab
+    // (`Tc·slab_rows·row_win`), and the zero-copy mode holds nothing at
+    // all (a zero-length `AlignedBuf` performs no allocation).
+    let bbuf_len = match sched.packing {
+        PackingMode::None => 0,
+        PackingMode::Sliced { rows } => {
+            let row_win = (shape.q() - 1)
+                .checked_mul(shape.stride)
+                .and_then(|x| x.checked_add(shape.s))
+                .ok_or(usize::MAX)?;
+            let slab_rows = (rows.max(1) - 1)
+                .checked_mul(shape.stride)
+                .and_then(|x| x.checked_add(shape.r))
+                .ok_or(usize::MAX)?;
+            sched
+                .tc
+                .checked_mul(slab_rows)
+                .and_then(|x| x.checked_mul(row_win))
+                .ok_or(usize::MAX)?
+        }
+        PackingMode::Fused | PackingMode::Sequential => sched
+            .tc
+            .checked_mul(shape.r)
+            .and_then(|x| x.checked_mul(win_max))
+            .ok_or(usize::MAX)?,
+    };
     let tf_block_len = sched
         .tc
         .checked_mul(shape.r)
@@ -241,26 +263,62 @@ pub(crate) struct StripCtx<'a> {
     pub(crate) q: usize,
 }
 
-/// Runs loop L7 for one output strip: the first `kv` iteration packs
-/// (fused or sequential per the schedule), the rest consume the packed
-/// buffer.
-pub(crate) fn compute_strip(ctx: StripCtx<'_>, bbuf: &mut AlignedBuf, out_all: &SharedSlice<'_, f32>) {
+/// Where [`compute_strip`] gets its input rows — one variant per packing
+/// strategy, constructed by the drivers.
+pub(crate) enum StripSource<'a> {
+    /// Fused/Sequential: the thread's per-strip packing buffer (written by
+    /// the first `kv` iteration, read by the rest).
+    PerStrip(&'a mut AlignedBuf),
+    /// Sliced: a read-only window into the slab the driver packed for the
+    /// current row-slice (`[c][ih_rel][row_stride]` layout, see
+    /// [`crate::pack::pack_slice_slab`]).
+    Slab {
+        /// The packed slab.
+        buf: &'a [f32],
+        /// Slab rows per channel (`(slice_len−1)·stride + R`).
+        rows_per_c: usize,
+        /// Elements per slab row (`(Q−1)·stride + S`).
+        row_stride: usize,
+        /// First slab row of this strip (`(oh − slice_oh0)·stride`).
+        row_off: usize,
+    },
+    /// None: zero-copy, every `kv` iteration reads the image directly.
+    Direct,
+}
+
+/// Runs loop L7 for one output strip. Under the per-strip modes the first
+/// `kv` iteration packs (fused or sequential per the schedule) and the
+/// rest consume the packed buffer; under `Sliced`/`None` every iteration
+/// reads the slab / the image directly.
+pub(crate) fn compute_strip(
+    ctx: StripCtx<'_>,
+    mut src: StripSource<'_>,
+    out_all: &SharedSlice<'_, f32>,
+) {
     let shape = ctx.shape;
     let sched = ctx.sched;
     let kstride = ctx.p * ctx.q;
-    // Accounting: the strip packs `tcb·R·WIN` floats once (fused gather
-    // and sequential packing move the same data) and issues 2 FLOPs per
-    // MAC over `valid_w` output pixels × the K channels this tile covers.
+    // Accounting: a per-strip mode packs `tcb·R·WIN` floats once here
+    // (fused gather and sequential packing move the same data) — the
+    // zero-copy modes instead book those bytes as *saved* (the slab pack,
+    // when there is one, adds its own `BytesPacked` at the slice level).
+    // Either way the strip issues 2 FLOPs per MAC over `valid_w` output
+    // pixels × the K channels this tile covers.
     if ndirect_probe::ENABLED {
         let covered_k = sched.tk.min(ctx.k_hi - ctx.kt) as u64;
         ndirect_probe::add(
             ndirect_probe::Counter::FlopsIssued,
             2 * ctx.valid_w as u64 * covered_k * ctx.tcb as u64 * shape.r as u64 * shape.s as u64,
         );
-        ndirect_probe::add(
-            ndirect_probe::Counter::BytesPacked,
-            (ctx.tcb * shape.r * ctx.geom.win * std::mem::size_of::<f32>()) as u64,
-        );
+        let strip_bytes = (ctx.tcb * shape.r * ctx.geom.win * std::mem::size_of::<f32>()) as u64;
+        match &src {
+            StripSource::PerStrip(_) => {
+                ndirect_probe::add(ndirect_probe::Counter::BytesPacked, strip_bytes);
+            }
+            StripSource::Slab { .. } | StripSource::Direct => {
+                ndirect_probe::add(ndirect_probe::Counter::BytesPackSaved, strip_bytes);
+            }
+        }
     }
     for kv in 0..ctx.kv_blocks {
         let k0 = ctx.kt + kv * sched.vk;
@@ -281,33 +339,53 @@ pub(crate) fn compute_strip(ctx: StripCtx<'_>, bbuf: &mut AlignedBuf, out_all: &
             valid_w: ctx.valid_w,
             valid_k,
         };
-        if kv == 0 {
-            match sched.packing {
-                PackingMode::Fused => {
-                    let mut rows = RowSource::Gather {
-                        image: ctx.image,
-                        ct: ctx.ct,
-                        h: shape.h,
-                        w: shape.w,
-                        ih0: ctx.geom.ih0,
-                        iw0: ctx.geom.iw0,
-                        buf: bbuf,
-                        win: ctx.geom.win,
-                        rdim: shape.r,
-                        prefetch: sched.prefetch,
-                    };
-                    // Fused mode gathers rows from inside the kernel loop,
-                    // so its packing cost is attributed to MicroKernel.
-                    let _mk = ndirect_probe::probe_phase!(MicroKernel);
-                    run_tile(&mut rows, &args, sched.vw, out_all);
-                }
-                PackingMode::Sequential => {
-                    {
-                        let _pack = ndirect_probe::probe_phase!(Pack);
-                        pack_strip(
-                            ctx.image, ctx.ct, ctx.tcb, shape.r, shape.h, shape.w, ctx.geom, bbuf,
-                        );
+        match &mut src {
+            StripSource::PerStrip(bbuf) => {
+                let bbuf = &mut **bbuf;
+                if kv == 0 {
+                    match sched.packing {
+                        PackingMode::Fused => {
+                            let mut rows = RowSource::Gather {
+                                image: ctx.image,
+                                ct: ctx.ct,
+                                h: shape.h,
+                                w: shape.w,
+                                ih0: ctx.geom.ih0,
+                                iw0: ctx.geom.iw0,
+                                buf: bbuf,
+                                win: ctx.geom.win,
+                                rdim: shape.r,
+                                prefetch: sched.prefetch,
+                            };
+                            // Fused mode gathers rows from inside the kernel
+                            // loop, so its packing cost is attributed to
+                            // MicroKernel.
+                            let _mk = ndirect_probe::probe_phase!(MicroKernel);
+                            run_tile(&mut rows, &args, sched.vw, out_all);
+                        }
+                        PackingMode::Sequential => {
+                            {
+                                let _pack = ndirect_probe::probe_phase!(Pack);
+                                pack_strip(
+                                    ctx.image, ctx.ct, ctx.tcb, shape.r, shape.h, shape.w,
+                                    ctx.geom, bbuf,
+                                );
+                            }
+                            let mut rows = RowSource::Packed {
+                                buf: bbuf,
+                                win: ctx.geom.win,
+                                rdim: shape.r,
+                            };
+                            let _mk = ndirect_probe::probe_phase!(MicroKernel);
+                            run_tile(&mut rows, &args, sched.vw, out_all);
+                        }
+                        // The drivers pair PerStrip sources only with the
+                        // two per-strip packing modes.
+                        PackingMode::None | PackingMode::Sliced { .. } => {
+                            unreachable!("per-strip source under a zero-copy packing mode")
+                        }
                     }
+                } else {
                     let mut rows = RowSource::Packed {
                         buf: bbuf,
                         win: ctx.geom.win,
@@ -317,14 +395,36 @@ pub(crate) fn compute_strip(ctx: StripCtx<'_>, bbuf: &mut AlignedBuf, out_all: &
                     run_tile(&mut rows, &args, sched.vw, out_all);
                 }
             }
-        } else {
-            let mut rows = RowSource::Packed {
-                buf: bbuf,
-                win: ctx.geom.win,
-                rdim: shape.r,
-            };
-            let _mk = ndirect_probe::probe_phase!(MicroKernel);
-            run_tile(&mut rows, &args, sched.vw, out_all);
+            StripSource::Slab {
+                buf,
+                rows_per_c,
+                row_stride,
+                row_off,
+            } => {
+                let mut rows = RowSource::Strided {
+                    buf,
+                    rows_per_c: *rows_per_c,
+                    row_stride: *row_stride,
+                    row_off: *row_off,
+                    col_off: ctx.wv * shape.stride,
+                    win: ctx.geom.win,
+                };
+                let _mk = ndirect_probe::probe_phase!(MicroKernel);
+                run_tile(&mut rows, &args, sched.vw, out_all);
+            }
+            StripSource::Direct => {
+                let mut rows = RowSource::Direct {
+                    image: ctx.image,
+                    ct: ctx.ct,
+                    h: shape.h,
+                    w: shape.w,
+                    ih0: ctx.geom.ih0,
+                    iw0: ctx.geom.iw0,
+                    prefetch: sched.prefetch,
+                };
+                let _mk = ndirect_probe::probe_phase!(MicroKernel);
+                run_tile(&mut rows, &args, sched.vw, out_all);
+            }
         }
     }
 }
@@ -433,6 +533,58 @@ mod tests {
             &Schedule::minimal(&shape).with_packing(PackingMode::Sequential),
         );
         assert_eq!(fused.as_slice(), seq.as_slice(), "packing modes agree bitwise");
+    }
+
+    #[test]
+    fn zero_copy_modes_match_fused_bitwise() {
+        // The zero-overhead direct path and the sliced path must be
+        // bitwise-identical to the packed path — including stride 2,
+        // heavy padding, a pointwise layer, and every tail kind.
+        let shapes = [
+            ConvShape::square(1, 8, 16, 12, 3, 1),
+            ConvShape::new(2, 5, 9, 17, 13, 3, 3, 2, Padding::same(1)),
+            ConvShape::square(1, 4, 16, 9, 1, 1),
+            ConvShape::new(1, 4, 9, 9, 8, 5, 5, 1, Padding::same(2)),
+        ];
+        let pool = StaticPool::new(1);
+        for (i, shape) in shapes.into_iter().enumerate() {
+            let (input, filter) = problem(&shape, 21 + i as u64);
+            let base = Schedule::minimal(&shape);
+            let fused = conv_ndirect_with(
+                &pool, &input, &filter, &shape,
+                &base.with_packing(PackingMode::Fused),
+            );
+            for mode in [
+                PackingMode::None,
+                PackingMode::Sliced { rows: 1 },
+                PackingMode::Sliced { rows: 3 },
+                PackingMode::Sliced { rows: 1000 }, // sanitize clamps to Th
+            ] {
+                let got =
+                    conv_ndirect_with(&pool, &input, &filter, &shape, &base.with_packing(mode));
+                assert_eq!(
+                    fused.as_slice(),
+                    got.as_slice(),
+                    "shape {i} under {mode:?} must be bitwise identical to Fused"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn none_mode_allocates_no_strip_buffer() {
+        let shape = ConvShape::square(1, 8, 16, 12, 3, 1);
+        let sched = Schedule::minimal(&shape).with_packing(PackingMode::None).sanitized(&shape);
+        let scratch = try_alloc_scratch(&sched, &shape, 1).unwrap();
+        let guard = scratch[0].lock().unwrap();
+        assert_eq!(guard.bbuf.len(), 0, "zero-copy mode must not allocate a strip buffer");
+
+        // The sliced slab is bounded by rows, not by the full image.
+        let sliced = sched.with_packing(PackingMode::Sliced { rows: 2 }).sanitized(&shape);
+        let scratch = try_alloc_scratch(&sliced, &shape, 1).unwrap();
+        let guard = scratch[0].lock().unwrap();
+        let row_win = (shape.q() - 1) * shape.stride + shape.s;
+        assert_eq!(guard.bbuf.len(), sliced.tc * (shape.stride + shape.r) * row_win);
     }
 
     #[test]

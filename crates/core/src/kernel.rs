@@ -67,6 +67,49 @@ pub enum RowSource<'a> {
         /// current one (see [`Schedule::prefetch`](crate::Schedule)).
         prefetch: bool,
     },
+    /// Read rows out of a cache-resident slice slab packed by
+    /// [`crate::pack::pack_slice_slab`] (`[c][ih_rel][row_stride]` layout):
+    /// the [`crate::PackingMode::Sliced`] path. Each strip row is a
+    /// contiguous `win`-element sub-slice of one slab row, so the kernels
+    /// run unchanged — only the addressing differs from `Packed`.
+    Strided {
+        /// The slab (`[c][ih_rel][row_stride]`, `c` relative to the tile).
+        buf: &'a [f32],
+        /// Slab rows per channel (`(slice_len−1)·stride + R`).
+        rows_per_c: usize,
+        /// Elements per slab row (`(Q−1)·stride + S`).
+        row_stride: usize,
+        /// First slab row of this strip's window (`(oh − slice_oh0)·stride`).
+        row_off: usize,
+        /// Column offset of this strip's window inside a slab row
+        /// (`wv·stride`).
+        col_off: usize,
+        /// Elements per strip row (`(valid_w−1)·stride + S`).
+        win: usize,
+    },
+    /// Zero memory overhead ([`crate::PackingMode::None`]): read rows
+    /// straight from the `NCHW` image, no buffer anywhere. Interior strips
+    /// are plain contiguous slices; strips touching padding run the
+    /// edge-masked `kernel_row_clipped`, which skips exactly the taps the
+    /// packed path would have multiplied by zero (bitwise-identical: the
+    /// accumulators start at `+0.0` and never become `-0.0`, so
+    /// `fma(f, ±0.0, acc) == acc` for the finite data we compute on).
+    Direct {
+        /// One image's `C·H·W` data.
+        image: &'a [f32],
+        /// First channel of the tile.
+        ct: usize,
+        /// Input height.
+        h: usize,
+        /// Input width.
+        w: usize,
+        /// Strip origin row (`oh·str − pad.h`).
+        ih0: isize,
+        /// Strip origin column (`wv·str − pad.w`).
+        iw0: isize,
+        /// Software-prefetch the next `(c, r)` row (same hint as `Gather`).
+        prefetch: bool,
+    },
 }
 
 impl RowSource<'_> {
@@ -95,6 +138,21 @@ impl RowSource<'_> {
                 gather_row(image, *ct + c, *ih0 + rr as isize, *iw0, *h, *w, dst);
                 dst
             }
+            RowSource::Strided {
+                buf,
+                rows_per_c,
+                row_stride,
+                row_off,
+                col_off,
+                win,
+            } => {
+                let base = (c * *rows_per_c + *row_off + rr) * *row_stride + *col_off;
+                &buf[base..base + *win]
+            }
+            // Padding rows have no backing storage to return; every kernel
+            // routes `Direct` through its dedicated edge-masked path before
+            // reaching here.
+            RowSource::Direct { .. } => unreachable!("Direct rows are edge-masked in the kernels"),
         }
     }
 }
@@ -267,6 +325,61 @@ fn main_kernel<const VW: usize, const VKV: usize, const STRIDE: usize>(
                 }
             }
         }
+        RowSource::Strided {
+            buf,
+            rows_per_c,
+            row_stride,
+            row_off,
+            col_off,
+            win,
+        } => {
+            debug_assert_eq!(*win, (VW - 1) * STRIDE + sdim);
+            for (c, tfc) in args.tf.chunks_exact(rdim * sdim * vk).enumerate().take(args.tcb) {
+                prefetch_read(tfc.as_ptr());
+                for (rr, tfr) in tfc.chunks_exact(sdim * vk).enumerate() {
+                    let base = (c * *rows_per_c + *row_off + rr) * *row_stride + *col_off;
+                    kernel_row::<VW, VKV, STRIDE>(&mut acc, &buf[base..base + *win], tfr, sdim);
+                }
+            }
+        }
+        RowSource::Direct {
+            image,
+            ct,
+            h,
+            w,
+            ih0,
+            iw0,
+            prefetch,
+        } => {
+            let win = (VW - 1) * STRIDE + sdim;
+            for (c, tfc) in args.tf.chunks_exact(rdim * sdim * vk).enumerate().take(args.tcb) {
+                prefetch_read(tfc.as_ptr());
+                for (rr, tfr) in tfc.chunks_exact(sdim * vk).enumerate() {
+                    if *prefetch {
+                        let (nc, nr) = if rr + 1 < rdim { (c, rr + 1) } else { (c + 1, 0) };
+                        if nc < args.tcb {
+                            prefetch_row(image, *ct + nc, *ih0 + nr as isize, *iw0, *h, *w);
+                        }
+                    }
+                    let ih = *ih0 + rr as isize;
+                    if ih < 0 || ih as usize >= *h {
+                        // The whole row is padding: the packed path would
+                        // multiply a zero-filled row, contributing nothing.
+                        continue;
+                    }
+                    let row0 = (*ct + c) * *h * *w + ih as usize * *w;
+                    if *iw0 >= 0 && *iw0 as usize + win <= *w {
+                        // Interior strip: the window is a plain contiguous
+                        // slice of the image row — the true zero-copy path.
+                        let lo = row0 + *iw0 as usize;
+                        kernel_row::<VW, VKV, STRIDE>(&mut acc, &image[lo..lo + win], tfr, sdim);
+                    } else {
+                        let row = &image[row0..row0 + *w];
+                        kernel_row_clipped::<VW, VKV, STRIDE>(&mut acc, row, *iw0, tfr, sdim);
+                    }
+                }
+            }
+        }
     }
     // Read-add-write scatter into NCHW: pixel wi is contiguous along Q,
     // channel l is `kstride` apart. `valid_k` masks the zero-padded filter
@@ -338,6 +451,49 @@ fn main_kernel_1x1<const VW: usize, const VKV: usize, const STRIDE: usize>(
                 kernel_row::<VW, VKV, STRIDE>(&mut acc, brow, frow, 1);
             }
         }
+        RowSource::Strided {
+            buf,
+            rows_per_c,
+            row_stride,
+            row_off,
+            col_off,
+            win: w_in,
+        } => {
+            debug_assert_eq!(*w_in, win);
+            for (c, frow) in args.tf.chunks_exact(vk).enumerate().take(args.tcb) {
+                let base = (c * *rows_per_c + *row_off) * *row_stride + *col_off;
+                kernel_row::<VW, VKV, STRIDE>(&mut acc, &buf[base..base + win], frow, 1);
+            }
+        }
+        RowSource::Direct {
+            image,
+            ct,
+            h,
+            w,
+            ih0,
+            iw0,
+            prefetch,
+        } => {
+            // A 1×1 kernel has one (possibly padded) input row per channel;
+            // an out-of-image row contributes nothing, exactly like the
+            // zero-filled row the packed path would stream.
+            if *ih0 >= 0 && (*ih0 as usize) < *h {
+                let ih = *ih0 as usize;
+                for (c, frow) in args.tf.chunks_exact(vk).enumerate().take(args.tcb) {
+                    if *prefetch && c + 1 < args.tcb {
+                        prefetch_row(image, *ct + c + 1, *ih0, *iw0, *h, *w);
+                    }
+                    let row0 = (*ct + c) * *h * *w + ih * *w;
+                    if *iw0 >= 0 && *iw0 as usize + win <= *w {
+                        let lo = row0 + *iw0 as usize;
+                        kernel_row::<VW, VKV, STRIDE>(&mut acc, &image[lo..lo + win], frow, 1);
+                    } else {
+                        let row = &image[row0..row0 + *w];
+                        kernel_row_clipped::<VW, VKV, STRIDE>(&mut acc, row, *iw0, frow, 1);
+                    }
+                }
+            }
+        }
     }
 
     for (wi, accw) in acc.iter().enumerate() {
@@ -383,6 +539,43 @@ fn kernel_row<const VW: usize, const VKV: usize, const STRIDE: usize>(
     }
 }
 
+/// [`kernel_row`] for a strip window that leaves the image: reads the full
+/// `W`-column input row and skips every tap whose column falls into
+/// padding. Bitwise-identical to streaming the zero-filled packed row: the
+/// skipped FMAs multiply by `+0.0`/`−0.0` against accumulators that start
+/// at `+0.0` and never become `−0.0` (exact cancellation rounds to `+0.0`
+/// in round-to-nearest), so `fma(f, ±0.0, acc) == acc` for finite `f`. Tap
+/// order (`ss` outer, `wi` middle, `j` inner) matches [`kernel_row`]
+/// exactly.
+#[inline(always)]
+fn kernel_row_clipped<const VW: usize, const VKV: usize, const STRIDE: usize>(
+    acc: &mut [[F32x4; VKV]; VW],
+    row: &[f32],
+    iw0: isize,
+    tfr: &[f32],
+    sdim: usize,
+) {
+    let vk = VKV * 4;
+    let w = row.len() as isize;
+    for ss in 0..sdim {
+        let frow = &tfr[ss * vk..(ss + 1) * vk];
+        let mut fv = [F32x4::zero(); VKV];
+        for (j, v) in fv.iter_mut().enumerate() {
+            *v = F32x4::load(&frow[j * 4..]);
+        }
+        for (wi, accw) in acc.iter_mut().enumerate() {
+            let col = iw0 + (wi * STRIDE + ss) as isize;
+            if col < 0 || col >= w {
+                continue;
+            }
+            let x = F32x4::splat(row[col as usize]);
+            for j in 0..VKV {
+                accw[j] = accw[j].fma(fv[j], x);
+            }
+        }
+    }
+}
+
 /// The dynamic edge kernel: identical math with runtime tile bounds, used
 /// for `W`/`K` tails and for unusual schedules outside the monomorphized
 /// set. Accumulators may spill for large bounds; edges are a vanishing
@@ -393,16 +586,58 @@ fn dyn_kernel(rows: &mut RowSource<'_>, args: &TileArgs<'_>, out: &SharedSlice<'
     assert!(args.valid_w <= VW_MAX && vkv <= VKV_MAX, "tile exceeds dyn kernel bounds");
     let (rdim, sdim, stride) = (args.rdim, args.sdim, args.stride);
     let mut acc = [[F32x4::zero(); VKV_MAX]; VW_MAX];
-    for c in 0..args.tcb {
-        for rr in 0..rdim {
-            let brow = rows.row(c, rr);
-            let tfrow = &args.tf[((c * rdim + rr) * sdim) * vk..((c * rdim + rr) * sdim + sdim) * vk];
-            for ss in 0..sdim {
-                for wi in 0..args.valid_w {
-                    let x = F32x4::splat(brow[wi * stride + ss]);
-                    for j in 0..vkv {
-                        let fv = F32x4::load(&tfrow[ss * vk + j * 4..]);
-                        acc[wi][j] = acc[wi][j].fma(fv, x);
+    if let RowSource::Direct {
+        image,
+        ct,
+        h,
+        w,
+        ih0,
+        iw0,
+        ..
+    } = rows
+    {
+        // Zero-copy edge path: no row buffer exists, so clip at tap
+        // granularity against the image bounds. Loop order (c, rr, ss, wi,
+        // j) and the fv load inside the j loop mirror the packed branch
+        // below; skipped taps are the ones a packed row holds as zero.
+        for c in 0..args.tcb {
+            for rr in 0..rdim {
+                let ih = *ih0 + rr as isize;
+                if ih < 0 || ih as usize >= *h {
+                    continue;
+                }
+                let row0 = (*ct + c) * *h * *w + ih as usize * *w;
+                let brow = &image[row0..row0 + *w];
+                let tfrow =
+                    &args.tf[((c * rdim + rr) * sdim) * vk..((c * rdim + rr) * sdim + sdim) * vk];
+                for ss in 0..sdim {
+                    for (wi, accw) in acc.iter_mut().enumerate().take(args.valid_w) {
+                        let col = *iw0 + (wi * stride + ss) as isize;
+                        if col < 0 || col >= *w as isize {
+                            continue;
+                        }
+                        let x = F32x4::splat(brow[col as usize]);
+                        for j in 0..vkv {
+                            let fv = F32x4::load(&tfrow[ss * vk + j * 4..]);
+                            accw[j] = accw[j].fma(fv, x);
+                        }
+                    }
+                }
+            }
+        }
+    } else {
+        for c in 0..args.tcb {
+            for rr in 0..rdim {
+                let brow = rows.row(c, rr);
+                let tfrow =
+                    &args.tf[((c * rdim + rr) * sdim) * vk..((c * rdim + rr) * sdim + sdim) * vk];
+                for ss in 0..sdim {
+                    for wi in 0..args.valid_w {
+                        let x = F32x4::splat(brow[wi * stride + ss]);
+                        for j in 0..vkv {
+                            let fv = F32x4::load(&tfrow[ss * vk + j * 4..]);
+                            acc[wi][j] = acc[wi][j].fma(fv, x);
+                        }
                     }
                 }
             }
@@ -545,6 +780,110 @@ mod tests {
         // Untouched output stays zero (check one pixel outside the tile).
         if valid_w < q {
             assert_eq!(out_vec[oh * q + wv + valid_w], 0.0);
+        }
+    }
+
+    /// Runs one tile with the given row source (0 = `Packed`, 1 = `Direct`,
+    /// 2 = `Strided` out of a slice slab) and returns the whole output
+    /// plane, for bitwise comparison across sources.
+    #[allow(clippy::too_many_arguments)]
+    fn run_with_source(
+        input: &Tensor4,
+        filter: &Filter,
+        shape: &ConvShape,
+        vk: usize,
+        valid_w: usize,
+        oh: usize,
+        wv: usize,
+        kind: u8,
+    ) -> Vec<f32> {
+        let (k0, ct) = (0, 0);
+        let tcb = shape.c;
+        let valid_k = vk.min(shape.k);
+        let mut tf = vec![0.0; tcb * shape.r * shape.s * vk];
+        transform_filter_block(filter, k0, valid_k, ct, tcb, vk, &mut tf);
+        let geom = StripGeom::new(shape, oh, wv, valid_w);
+        let (p, q) = (shape.p(), shape.q());
+        let mut out_vec = vec![0.0; shape.k * p * q];
+        let out = SharedSlice::new(&mut out_vec);
+        let args = TileArgs {
+            tcb,
+            rdim: shape.r,
+            sdim: shape.s,
+            stride: shape.stride,
+            tf: &tf,
+            vk,
+            obase: (k0 * p + oh) * q + wv,
+            kstride: p * q,
+            valid_w,
+            valid_k,
+        };
+        let image = input.as_slice();
+        match kind {
+            0 => {
+                let mut buf = vec![0.0; tcb * shape.r * geom.win];
+                pack_strip(image, ct, tcb, shape.r, shape.h, shape.w, geom, &mut buf);
+                let mut rows = RowSource::Packed { buf: &buf, win: geom.win, rdim: shape.r };
+                run_tile(&mut rows, &args, valid_w, &out);
+            }
+            1 => {
+                let mut rows = RowSource::Direct {
+                    image,
+                    ct,
+                    h: shape.h,
+                    w: shape.w,
+                    ih0: geom.ih0,
+                    iw0: geom.iw0,
+                    prefetch: true,
+                };
+                run_tile(&mut rows, &args, valid_w, &out);
+            }
+            _ => {
+                // A two-row slice ending at `oh` (one row when oh = 0), so
+                // `row_off` is exercised, not just a zero offset.
+                let slice_oh0 = oh.saturating_sub(1);
+                let slice_len = oh - slice_oh0 + 1;
+                let row_win = (q - 1) * shape.stride + shape.s;
+                let slab_rows = (slice_len - 1) * shape.stride + shape.r;
+                let mut slab = vec![0.0; tcb * slab_rows * row_win];
+                crate::pack::pack_slice_slab(image, ct, tcb, shape, slice_oh0, slice_len, &mut slab);
+                let mut rows = RowSource::Strided {
+                    buf: &slab,
+                    rows_per_c: slab_rows,
+                    row_stride: row_win,
+                    row_off: (oh - slice_oh0) * shape.stride,
+                    col_off: wv * shape.stride,
+                    win: geom.win,
+                };
+                run_tile(&mut rows, &args, valid_w, &out);
+            }
+        }
+        out_vec
+    }
+
+    #[test]
+    fn direct_and_strided_sources_match_packed_bitwise() {
+        // (shape, vk, valid_w, oh, wv): interior and boundary strips,
+        // stride 1 and 2, pointwise, a 7x7, and a dyn-kernel width.
+        let cases = [
+            (ConvShape::new(1, 3, 10, 16, 8, 3, 3, 1, Padding::same(1)), 8, 8, 0, 0),
+            (ConvShape::new(1, 3, 10, 16, 8, 3, 3, 1, Padding::same(1)), 8, 8, 5, 8),
+            (ConvShape::new(1, 2, 9, 17, 8, 3, 3, 2, Padding::same(1)), 8, 4, 2, 4),
+            (ConvShape::new(1, 2, 9, 17, 8, 3, 3, 2, Padding::same(1)), 8, 1, 4, 8),
+            (ConvShape::new(1, 4, 6, 12, 8, 1, 1, 1, Padding::NONE), 8, 8, 3, 4),
+            (ConvShape::new(1, 2, 12, 18, 4, 7, 7, 1, Padding::same(3)), 4, 8, 0, 0),
+            (ConvShape::new(1, 2, 8, 16, 8, 3, 3, 1, Padding::same(1)), 8, 13, 7, 0),
+        ];
+        for (i, (shape, vk, valid_w, oh, wv)) in cases.into_iter().enumerate() {
+            let seed = 29 + i as u64;
+            let input = fill::random_tensor(Tensor4::input_for(&shape, ActLayout::Nchw), seed);
+            let filter =
+                fill::random_filter(Filter::for_shape(&shape, FilterLayout::Kcrs), seed ^ 1);
+            let packed = run_with_source(&input, &filter, &shape, vk, valid_w, oh, wv, 0);
+            let direct = run_with_source(&input, &filter, &shape, vk, valid_w, oh, wv, 1);
+            let strided = run_with_source(&input, &filter, &shape, vk, valid_w, oh, wv, 2);
+            assert_eq!(packed, direct, "case {i}: Direct differs from Packed");
+            assert_eq!(packed, strided, "case {i}: Strided differs from Packed");
         }
     }
 

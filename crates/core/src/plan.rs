@@ -40,14 +40,14 @@ use ndirect_platform::Platform;
 use ndirect_tensor::{ActLayout, AlignedBuf, ConvShape, Filter, FilterLayout, Tensor4};
 use ndirect_threads::{split_static, SharedSlice, StaticPool};
 
-use crate::conv::{compute_strip, try_alloc_scratch, Scratch, StripCtx};
+use crate::conv::{compute_strip, try_alloc_scratch, Scratch, StripCtx, StripSource};
 use crate::error::{check, Error};
 use crate::filter::{transform_filter_block, TransformedFilter};
 use crate::nhwc::{
     pack_strip_nhwc, run_nhwc_tile, transform_filter_nhwc_block, TransformedFilterNhwc,
 };
-use crate::pack::StripGeom;
-use crate::schedule::{FilterState, Schedule};
+use crate::pack::{pack_slice_slab, StripGeom};
+use crate::schedule::{FilterState, PackingMode, Schedule};
 
 /// How many idle scratch sets a plan keeps for reuse. Leases beyond this
 /// (that many *concurrent* executes of one plan) allocate on the spot and
@@ -250,6 +250,16 @@ impl<'f> ConvPlan<'f> {
     ) -> Result<ConvPlan<'f>, Error> {
         let _build = ndirect_probe::probe_span!(PlanBuild, 0);
         let mut sched = schedule.sanitized(shape);
+        // The NHWC driver packs pixel-interleaved strips (`[r][win][Tc]`),
+        // so no contiguous per-channel row exists to read zero-copy; the
+        // zero-copy packing variants coerce to Fused there, keeping
+        // `schedule()` honest about what actually runs (and the
+        // predicted == measured pack accounting exact).
+        if matches!(layout, PlanLayout::Nhwc)
+            && matches!(sched.packing, PackingMode::None | PackingMode::Sliced { .. })
+        {
+            sched.packing = PackingMode::Fused;
+        }
         let mut degraded = false;
         let first = match try_alloc_scratch(&sched, shape, sched.grid.threads()) {
             Ok(s) => s,
@@ -456,54 +466,93 @@ impl<'f> ConvPlan<'f> {
                     let mut ct = 0;
                     while ct < shape.c {
                         let tcb = sched.tc.min(shape.c - ct);
-                        let mut kt = k_lo;
-                        while kt < k_hi {
-                            let tkb = sched.tk.min(k_hi - kt);
-                            let kv_blocks = tkb.div_ceil(sched.vk);
-                            // Per-kv block length in the transform buffer
-                            // uses the *live* channel count of this tile.
-                            let tf_block_len = tcb * shape.r * shape.s * sched.vk;
-                            if let Some(f) = raw_filter {
-                                let _ft = ndirect_probe::probe_phase!(FilterTransform);
+                        // `Sliced` packs one cache-resident slab per
+                        // `rows`-row slice of this `(ht, ct)` tile, hoisted
+                        // above the kt/oh/wv loops so every `Tk` tile and
+                        // strip of the slice reuses it; the other modes
+                        // take a single degenerate slice spanning the tile
+                        // with no slab work.
+                        let slice_step = match sched.packing {
+                            PackingMode::Sliced { rows } => rows.max(1),
+                            _ => ht_end - ht,
+                        };
+                        let row_win = (q - 1) * shape.stride + shape.s;
+                        let mut slab_rows = 0;
+                        let mut sl = ht;
+                        while sl < ht_end {
+                            let sl_end = (sl + slice_step).min(ht_end);
+                            if matches!(sched.packing, PackingMode::Sliced { .. }) {
+                                slab_rows = (sl_end - sl - 1) * shape.stride + shape.r;
                                 ndirect_probe::probe_count!(
-                                    BytesTransformed,
-                                    kv_blocks * tf_block_len * std::mem::size_of::<f32>()
+                                    BytesPacked,
+                                    tcb * slab_rows * row_win * std::mem::size_of::<f32>()
                                 );
-                                transform_filter_block(f, kt, tkb, ct, tcb, sched.vk, tfbuf);
+                                let _pack = ndirect_probe::probe_phase!(Pack);
+                                pack_slice_slab(image, ct, tcb, shape, sl, sl_end - sl, bbuf);
                             }
-                            for oh in ht..ht_end {
-                                let mut wv = 0;
-                                while wv < q {
-                                    let valid_w = sched.vw.min(q - wv);
-                                    let geom = StripGeom::new(shape, oh, wv, valid_w);
-                                    compute_strip(
-                                        StripCtx {
-                                            image,
-                                            shape,
-                                            sched,
-                                            pre_tf,
-                                            tfbuf: &*tfbuf,
-                                            tf_block_len,
-                                            n,
-                                            ct,
-                                            tcb,
-                                            kt,
-                                            kv_blocks,
-                                            k_hi,
-                                            oh,
-                                            wv,
-                                            valid_w,
-                                            geom,
-                                            p,
-                                            q,
-                                        },
-                                        bbuf,
-                                        out_all,
+                            let mut kt = k_lo;
+                            while kt < k_hi {
+                                let tkb = sched.tk.min(k_hi - kt);
+                                let kv_blocks = tkb.div_ceil(sched.vk);
+                                // Per-kv block length in the transform
+                                // buffer uses the *live* channel count of
+                                // this tile.
+                                let tf_block_len = tcb * shape.r * shape.s * sched.vk;
+                                if let Some(f) = raw_filter {
+                                    let _ft = ndirect_probe::probe_phase!(FilterTransform);
+                                    ndirect_probe::probe_count!(
+                                        BytesTransformed,
+                                        kv_blocks * tf_block_len * std::mem::size_of::<f32>()
                                     );
-                                    wv += sched.vw;
+                                    transform_filter_block(f, kt, tkb, ct, tcb, sched.vk, tfbuf);
                                 }
+                                for oh in sl..sl_end {
+                                    let mut wv = 0;
+                                    while wv < q {
+                                        let valid_w = sched.vw.min(q - wv);
+                                        let geom = StripGeom::new(shape, oh, wv, valid_w);
+                                        let src = match sched.packing {
+                                            PackingMode::Fused | PackingMode::Sequential => {
+                                                StripSource::PerStrip(&mut *bbuf)
+                                            }
+                                            PackingMode::None => StripSource::Direct,
+                                            PackingMode::Sliced { .. } => StripSource::Slab {
+                                                buf: &bbuf[..],
+                                                rows_per_c: slab_rows,
+                                                row_stride: row_win,
+                                                row_off: (oh - sl) * shape.stride,
+                                            },
+                                        };
+                                        compute_strip(
+                                            StripCtx {
+                                                image,
+                                                shape,
+                                                sched,
+                                                pre_tf,
+                                                tfbuf: &*tfbuf,
+                                                tf_block_len,
+                                                n,
+                                                ct,
+                                                tcb,
+                                                kt,
+                                                kv_blocks,
+                                                k_hi,
+                                                oh,
+                                                wv,
+                                                valid_w,
+                                                geom,
+                                                p,
+                                                q,
+                                            },
+                                            src,
+                                            out_all,
+                                        );
+                                        wv += sched.vw;
+                                    }
+                                }
+                                kt += sched.tk;
                             }
-                            kt += sched.tk;
+                            sl = sl_end;
                         }
                         ct += sched.tc;
                     }

@@ -7,7 +7,10 @@ use ndirect_threads::{split_static, Grid2};
 
 use crate::model;
 
-/// How input packing interacts with computation (§5.3, Figure 5).
+/// How input packing interacts with computation (§5.3, Figure 5), extended
+/// with the two zero-copy-leaning variants from the related work: the
+/// zero-memory-overhead direct path (arXiv 1809.10170) and cache-resident
+/// convolution slicing (arXiv 2303.04739).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PackingMode {
     /// The paper's optimization: the packing gather for each `(c, r)` row is
@@ -17,6 +20,22 @@ pub enum PackingMode {
     /// The conventional strategy (im2col-style): pack the whole strip into
     /// the buffer, then start computing. The Figure 5 ablation baseline.
     Sequential,
+    /// Zero memory overhead: every `kv` iteration reads `NCHW` rows straight
+    /// from the input tensor (rows are contiguous along `W`, so interior
+    /// strips are plain slices; boundary strips run edge-masked kernels
+    /// that skip out-of-image taps). `bytes_packed` is exactly 0 and no
+    /// strip buffer is allocated.
+    None,
+    /// Convolution slicing: pack one cache-resident slab per `rows`-row
+    /// slice of the `Th` tile (all strips and `Tk` tiles of the slice reuse
+    /// it), instead of re-packing every strip per `Tk` tile. `rows` is the
+    /// number of output rows per slab, sized by the analytic cache model
+    /// ([`crate::model::slicing::slab_rows`]).
+    Sliced {
+        /// Output rows covered by one packed slab (clamped to `[1, Th]` by
+        /// [`Schedule::sanitized`]).
+        rows: usize,
+    },
 }
 
 /// Whether the filter is transformed per cache block on the fly (the
@@ -113,6 +132,10 @@ impl Schedule {
         s.tk = s.tk.max(s.vk).min(shape.k.div_ceil(s.vk) * s.vk);
         s.tk = (s.tk / s.vk) * s.vk;
         s.th = s.th.clamp(1, shape.p());
+        if let PackingMode::Sliced { rows } = s.packing {
+            // A slab never spans more rows than the Th tile it slices.
+            s.packing = PackingMode::Sliced { rows: rows.clamp(1, s.th) };
+        }
         s
     }
 
@@ -137,6 +160,56 @@ impl Schedule {
         let s = self.sanitized(shape);
         let (p, q) = (shape.p(), shape.q());
         let kv_total = shape.k.div_ceil(s.vk);
+
+        match s.packing {
+            // The zero-overhead path never materializes an input copy.
+            PackingMode::None => return 0,
+            // Slicing packs one slab per (image, Th tile, slice) on each
+            // thread with a non-empty K range: `C · slab_rows · row_win`
+            // floats, with `row_win = (Q−1)·stride + S` spanning the whole
+            // output row and `slab_rows = (slice_len−1)·stride + R` the
+            // slice's input rows. Unlike the per-strip modes there is no
+            // `#Tk-tiles` factor: the slab is packed above loop L4 and
+            // reused by every `Tk` tile and strip of the slice.
+            PackingMode::Sliced { rows: srows } => {
+                let row_win = ((q - 1) * shape.stride + shape.s) as u128;
+                let mut total_floats: u128 = 0;
+                for tid in 0..s.grid.threads() {
+                    let (tn, tk) = s.grid.coords(tid);
+                    let kvr = split_static(kv_total, s.grid.ptk(), tk);
+                    let k_lo = kvr.start * s.vk;
+                    let k_hi = (kvr.end * s.vk).min(shape.k);
+                    if k_lo >= k_hi {
+                        continue;
+                    }
+                    let rows = split_static(shape.n * p, s.grid.ptn(), tn);
+                    if rows.is_empty() {
+                        continue;
+                    }
+                    let n_first = rows.start / p;
+                    let n_last = (rows.end - 1) / p;
+                    for n in n_first..=n_last {
+                        let oh_lo = rows.start.saturating_sub(n * p).min(p);
+                        let oh_hi = (rows.end - n * p).min(p);
+                        let mut ht = oh_lo;
+                        while ht < oh_hi {
+                            let ht_end = (ht + s.th).min(oh_hi);
+                            let mut sl = ht;
+                            while sl < ht_end {
+                                let sl_end = (sl + srows).min(ht_end);
+                                let slab_rows =
+                                    ((sl_end - sl - 1) * shape.stride + shape.r) as u128;
+                                total_floats += shape.c as u128 * slab_rows * row_win;
+                                sl = sl_end;
+                            }
+                            ht = ht_end;
+                        }
+                    }
+                }
+                return total_floats * std::mem::size_of::<f32>() as u128;
+            }
+            PackingMode::Fused | PackingMode::Sequential => {}
+        }
 
         // Window widths summed over one row's strips.
         let mut win_sum: u128 = 0;
@@ -205,7 +278,7 @@ impl Schedule {
             ("tk".into(), Json::usize(self.tk)),
             ("th".into(), Json::usize(self.th)),
             ("grid".into(), self.grid.to_json()),
-            ("packing".into(), Json::str(self.packing.as_str())),
+            ("packing".into(), Json::str(self.packing.encode())),
             ("filter_state".into(), Json::str(self.filter_state.as_str())),
             ("prefetch".into(), Json::Bool(self.prefetch)),
         ])
@@ -243,20 +316,40 @@ impl Schedule {
 }
 
 impl PackingMode {
-    /// Stable string form used by the JSON schedule encoding.
+    /// The variant's family name, without parameters (display / reports).
     pub fn as_str(&self) -> &'static str {
         match self {
             PackingMode::Fused => "fused",
             PackingMode::Sequential => "sequential",
+            PackingMode::None => "none",
+            PackingMode::Sliced { .. } => "sliced",
         }
     }
 
-    /// Inverse of [`PackingMode::as_str`].
+    /// Stable string form used by the JSON schedule encoding. Parameterized
+    /// variants carry their parameter after a colon: `"sliced:<rows>"`.
+    pub fn encode(&self) -> String {
+        match self {
+            PackingMode::Sliced { rows } => format!("sliced:{rows}"),
+            other => other.as_str().to_string(),
+        }
+    }
+
+    /// Inverse of [`PackingMode::encode`]. Unknown family names, a missing
+    /// or non-numeric `sliced` row count, and `sliced:0` all return `None`
+    /// (degenerate slabs are rejected at parse time, not silently clamped).
     pub fn parse(s: &str) -> Option<PackingMode> {
         match s {
             "fused" => Some(PackingMode::Fused),
             "sequential" => Some(PackingMode::Sequential),
-            _ => None,
+            "none" => Some(PackingMode::None),
+            _ => {
+                let rows = s.strip_prefix("sliced:")?.parse::<usize>().ok()?;
+                if rows == 0 {
+                    return None;
+                }
+                Some(PackingMode::Sliced { rows })
+            }
         }
     }
 }
@@ -388,14 +481,71 @@ mod tests {
     #[test]
     fn json_rejects_unknown_packing() {
         let shape = ConvShape::square(1, 8, 8, 8, 3, 1);
-        let mut j = Schedule::minimal(&shape).to_json();
-        if let Json::Obj(fields) = &mut j {
-            for (k, v) in fields.iter_mut() {
-                if k == "packing" {
-                    *v = Json::str("vectorized-harder");
+        for bad in ["vectorized-harder", "sliced", "sliced:", "sliced:abc", "sliced:0", "none:4"] {
+            let mut j = Schedule::minimal(&shape).to_json();
+            if let Json::Obj(fields) = &mut j {
+                for (k, v) in fields.iter_mut() {
+                    if k == "packing" {
+                        *v = Json::str(bad);
+                    }
                 }
             }
+            let err = Schedule::from_json(&j).expect_err(bad);
+            assert!(err.msg.contains("packing"), "{bad}: {}", err.msg);
         }
-        assert!(Schedule::from_json(&j).is_err());
+    }
+
+    #[test]
+    fn json_accepts_every_packing_variant() {
+        // The positive polarity of `json_rejects_unknown_packing`: all four
+        // modes round-trip through the cache encoding, rows included.
+        let shape = ConvShape::square(1, 8, 8, 8, 3, 1);
+        for mode in [
+            PackingMode::Fused,
+            PackingMode::Sequential,
+            PackingMode::None,
+            PackingMode::Sliced { rows: 6 },
+        ] {
+            let s = Schedule::minimal(&shape).with_packing(mode);
+            let parsed =
+                Schedule::from_json(&Json::parse(&s.to_json().pretty()).unwrap()).unwrap();
+            assert_eq!(parsed, s, "{mode:?}");
+            assert_eq!(PackingMode::parse(&mode.encode()), Some(mode));
+        }
+    }
+
+    #[test]
+    fn sanitize_clamps_sliced_rows_to_the_th_tile() {
+        let shape = ConvShape::square(1, 8, 8, 10, 3, 1);
+        let base = Schedule::minimal(&shape);
+        let s = base.with_packing(PackingMode::Sliced { rows: 1000 }).sanitized(&shape);
+        assert_eq!(s.packing, PackingMode::Sliced { rows: s.th });
+        let s = base.with_packing(PackingMode::Sliced { rows: 2 }).sanitized(&shape);
+        assert_eq!(s.packing, PackingMode::Sliced { rows: 2 });
+    }
+
+    #[test]
+    fn predicted_pack_bytes_by_mode() {
+        let shape = ConvShape::square(2, 8, 16, 10, 3, 1);
+        let base = Schedule::minimal(&shape);
+        assert_eq!(base.with_packing(PackingMode::None).predicted_pack_bytes(&shape), 0);
+
+        // One slab per (image, slice): slices of 4 output rows over P=10
+        // give [4, 4, 2] per image; slab_rows = (len−1)·stride + R.
+        let sliced = base.with_packing(PackingMode::Sliced { rows: 4 });
+        let row_win = (shape.q() - 1) * shape.stride + shape.s;
+        let expect: usize = [4usize, 4, 2]
+            .iter()
+            .map(|len| shape.c * ((len - 1) * shape.stride + shape.r) * row_win * 4)
+            .sum::<usize>()
+            * shape.n;
+        assert_eq!(sliced.predicted_pack_bytes(&shape), expect as u128);
+
+        // Slicing always packs no more than the per-strip modes: the slab
+        // is shared across Tk tiles and overlapping strip windows.
+        assert!(
+            sliced.predicted_pack_bytes(&shape)
+                <= base.with_packing(PackingMode::Fused).predicted_pack_bytes(&shape)
+        );
     }
 }

@@ -124,10 +124,17 @@ pub enum Counter {
     ServeBatchedRequests,
     /// Transient-failure retries performed by the serving executor.
     ServeRetries,
+    /// Bytes of per-strip packing traffic the zero-copy schedule variants
+    /// (`PackingMode::None` / `PackingMode::Sliced`) *avoided*: for every
+    /// strip served without its own packed buffer, the `Tc·R·WIN·4` bytes
+    /// the fused/sequential modes would have written. On the same layer and
+    /// schedule, `bytes_pack_saved` under a zero-copy mode equals
+    /// `bytes_packed` under `Fused`.
+    BytesPackSaved,
 }
 
 /// Number of [`Counter`] variants.
-pub const NUM_COUNTERS: usize = 17;
+pub const NUM_COUNTERS: usize = 18;
 
 impl Counter {
     /// All counters, in declaration (= serialization) order.
@@ -149,6 +156,7 @@ impl Counter {
         Counter::ServeBatches,
         Counter::ServeBatchedRequests,
         Counter::ServeRetries,
+        Counter::BytesPackSaved,
     ];
 
     /// Stable snake_case name used in JSON and the text report.
@@ -171,6 +179,7 @@ impl Counter {
             Counter::ServeBatches => "serve_batches",
             Counter::ServeBatchedRequests => "serve_batched_requests",
             Counter::ServeRetries => "serve_retries",
+            Counter::BytesPackSaved => "bytes_pack_saved",
         }
     }
 }
