@@ -139,6 +139,71 @@ pub(crate) fn depthwise_plane(
     }
 }
 
+/// Computes four channels' output rows `[oh0, oh0 + len)` into a
+/// thread-private cache-resident slab laid out `[C][row][Q]` (row index
+/// relative to the slice). Same register tile as [`depthwise_plane`]; only
+/// the sink differs — the fused dw+pw path ([`crate::dwpw`]) fills the slab
+/// slice by slice and feeds it straight to the pointwise micro-kernel, so
+/// the depthwise intermediate never round-trips through memory.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn depthwise_slice_into_slab(
+    image: &[f32],
+    filter: &Filter,
+    shape: &ConvShape,
+    c0: usize,
+    lanes: usize,
+    vw: usize,
+    oh0: usize,
+    len: usize,
+    rows: &mut AlignedBuf,
+    slab: &mut [f32],
+) {
+    let q = shape.q();
+    let stride = shape.stride;
+    let (r, s) = (shape.r, shape.s);
+    let fdata = filter.as_slice(); // (C,1,R,S): channel-major taps
+    for oh in oh0..oh0 + len {
+        let ih0 = (oh * stride) as isize - shape.pad.h as isize;
+        let mut wv = 0;
+        while wv < q {
+            let valid_w = vw.min(q - wv);
+            let win = (valid_w - 1) * stride + s;
+            let iw0 = (wv * stride) as isize - shape.pad.w as isize;
+            for l in 0..lanes {
+                for rr in 0..r {
+                    let dst = &mut rows[(l * r + rr) * win..(l * r + rr + 1) * win];
+                    gather_row(image, c0 + l, ih0 + rr as isize, iw0, shape.h, shape.w, dst);
+                }
+            }
+            let mut acc = [F32x4::zero(); 16];
+            debug_assert!(valid_w <= 16);
+            for rr in 0..r {
+                for ss in 0..s {
+                    let mut taps = [0.0f32; 4];
+                    for (l, t) in taps.iter_mut().enumerate().take(lanes) {
+                        *t = fdata[((c0 + l) * r + rr) * s + ss];
+                    }
+                    let fv = F32x4::from_array(taps);
+                    for (wi, a) in acc.iter_mut().enumerate().take(valid_w) {
+                        let mut xs = [0.0f32; 4];
+                        for (l, x) in xs.iter_mut().enumerate().take(lanes) {
+                            *x = rows[(l * r + rr) * win + wi * stride + ss];
+                        }
+                        *a = a.fma(fv, F32x4::from_array(xs));
+                    }
+                }
+            }
+            for (wi, a) in acc.iter().enumerate().take(valid_w) {
+                let lanes_arr = a.to_array();
+                for (l, &v) in lanes_arr.iter().enumerate().take(lanes) {
+                    slab[((c0 + l) * len + (oh - oh0)) * q + wv + wi] = v;
+                }
+            }
+            wv += valid_w;
+        }
+    }
+}
+
 /// Depthwise-separable block: depthwise `R×S` followed by pointwise `1×1`
 /// (the MobileNet building block). `dw_filter` is `(C, 1, R, S)`;
 /// `pw_filter` is `(K, C, 1, 1)`. Returns the `(N, K, P, Q)` output.

@@ -47,6 +47,7 @@
 pub mod conv;
 pub mod conv3d;
 pub mod depthwise;
+pub mod dwpw;
 pub mod error;
 pub mod filter;
 pub mod inner_product;
@@ -67,6 +68,10 @@ pub use conv::{
 };
 pub use depthwise::{
     conv_depthwise, conv_depthwise_separable, try_conv_depthwise, try_conv_depthwise_separable,
+};
+pub use dwpw::{
+    conv_dwpw_fused, fused_pair_flops, try_compose_shapes, try_conv_dwpw_fused,
+    try_conv_dwpw_fused_with, DwPwSchedule, FusedDwPwPlan,
 };
 pub use conv3d::{conv3d_naive, conv3d_ndirect, try_conv3d_ndirect, Conv3dShape};
 pub use error::Error;

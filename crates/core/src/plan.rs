@@ -55,14 +55,15 @@ use crate::schedule::{FilterState, PackingMode, Schedule};
 const CACHED_SETS_MAX: usize = 8;
 
 /// A filter the plan either borrows (the one-shot wrappers, zero-copy) or
-/// owns (plans that outlive the caller's borrow).
-enum FilterRef<'f> {
+/// owns (plans that outlive the caller's borrow). Shared with the fused
+/// dw+pw plan in [`crate::dwpw`].
+pub(crate) enum FilterRef<'f> {
     Borrowed(&'f Filter),
     Owned(Filter),
 }
 
 impl FilterRef<'_> {
-    fn get(&self) -> &Filter {
+    pub(crate) fn get(&self) -> &Filter {
         match self {
             FilterRef::Borrowed(f) => f,
             FilterRef::Owned(f) => f,
@@ -89,12 +90,12 @@ enum PlanLayout {
 /// never allocate: the backing `Vec` is created with
 /// [`CACHED_SETS_MAX`] capacity and `put` drops surplus sets instead of
 /// growing it.
-struct Arena<S> {
+pub(crate) struct Arena<S> {
     sets: Mutex<Vec<S>>,
 }
 
 impl<S> Arena<S> {
-    fn new(first: S) -> Self {
+    pub(crate) fn new(first: S) -> Self {
         let mut v = Vec::with_capacity(CACHED_SETS_MAX);
         v.push(first);
         Arena {
@@ -108,11 +109,11 @@ impl<S> Arena<S> {
             .unwrap_or_else(|poisoned| poisoned.into_inner())
     }
 
-    fn take(&self) -> Option<S> {
+    pub(crate) fn take(&self) -> Option<S> {
         self.lock().pop()
     }
 
-    fn put(&self, s: S) {
+    pub(crate) fn put(&self, s: S) {
         let mut g = self.lock();
         if g.len() < CACHED_SETS_MAX {
             g.push(s);
@@ -756,8 +757,8 @@ pub struct DepthwisePlan<'f> {
 }
 
 /// The depthwise register-tile width (pixels per strip); matches the
-/// one-shot driver.
-const DW_VW: usize = 8;
+/// one-shot driver and the fused dw+pw plan's depthwise stage.
+pub(crate) const DW_VW: usize = 8;
 
 impl<'f> DepthwisePlan<'f> {
     /// Builds a depthwise plan for `threads` worker threads, copying the
@@ -909,6 +910,7 @@ const _: () = {
     const fn assert_send_sync<T: Send + Sync>() {}
     assert_send_sync::<ConvPlan<'static>>();
     assert_send_sync::<DepthwisePlan<'static>>();
+    assert_send_sync::<crate::dwpw::FusedDwPwPlan<'static>>();
 };
 
 #[cfg(test)]

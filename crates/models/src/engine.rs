@@ -36,6 +36,7 @@ pub struct Engine<'a> {
     backend: &'a dyn Convolution,
     pool: &'a StaticPool,
     fuse_residual: bool,
+    fuse_dwpw: bool,
 }
 
 impl<'a> Engine<'a> {
@@ -45,6 +46,7 @@ impl<'a> Engine<'a> {
             backend,
             pool,
             fuse_residual: false,
+            fuse_dwpw: false,
         }
     }
 
@@ -59,6 +61,20 @@ impl<'a> Engine<'a> {
     /// the kernel's existing read-add-write store.
     pub fn with_residual_fusion(mut self, on: bool) -> Self {
         self.fuse_residual = on;
+        self
+    }
+
+    /// Enables depthwise+pointwise fusion: a `DepthwiseConv → Conv(1×1)`
+    /// pair with an identity depthwise post-affine runs as one
+    /// [`ndirect_core::FusedDwPwPlan`] block — the depthwise intermediate
+    /// stays in a cache-resident slab instead of round-tripping through
+    /// memory (the MobileNet block's dominant cost). The depthwise ReLU,
+    /// when present, is applied in-slab; the pointwise layer's affine and
+    /// ReLU run on the fused output as usual. Like the depthwise operator
+    /// itself, the fused block always runs nDirect regardless of the
+    /// standard-conv backend.
+    pub fn with_dwpw_fusion(mut self, on: bool) -> Self {
+        self.fuse_dwpw = on;
         self
     }
 
@@ -99,12 +115,19 @@ impl<'a> Engine<'a> {
         let mut act = input.clone();
         let mut saved: Option<Tensor4> = None;
         let mut skip_next_join = false;
+        let mut skip_next_conv = false;
         for (i, node) in model.nodes.iter().enumerate() {
             // One timeline span per node so NDIRECT_PROBE traces show the
             // per-layer structure of a run (arg = node index).
             let _layer = ndirect_probe::probe_span!(Layer, i);
             match node {
                 Node::Conv(layer) => {
+                    if skip_next_conv {
+                        // The preceding depthwise node already ran this
+                        // 1×1 conv inside the fused dw+pw block.
+                        skip_next_conv = false;
+                        continue;
+                    }
                     // Residual fusion: seed the conv output with the saved
                     // shortcut when the very next node joins it back with no
                     // projection and the conv has an identity post-affine.
@@ -139,7 +162,44 @@ impl<'a> Engine<'a> {
                     }
                 }
                 Node::DepthwiseConv(layer) => {
-                    act = self.depthwise_node(layer, &act, &mut stats)?;
+                    // Dw+pw fusion: run the depthwise and the following
+                    // 1×1 conv as one cache-resident block when the
+                    // depthwise post-affine is the identity (its ReLU, if
+                    // any, is applied in-slab between the stages).
+                    let fusable = self.fuse_dwpw
+                        && layer.scale.iter().all(|&s| s == 1.0)
+                        && layer.shift.iter().all(|&b| b == 0.0)
+                        && matches!(
+                            model.nodes.get(i + 1),
+                            Some(Node::Conv(pw)) if pw.rs == 1 && pw.stride == 1 && pw.pad == 0
+                        );
+                    if fusable {
+                        let Some(Node::Conv(pw)) = model.nodes.get(i + 1) else {
+                            unreachable!("fusable checked the next node is a Conv");
+                        };
+                        let (n, c, h, w) = act.dims();
+                        let shape = layer.try_depthwise_shape_for(n, c, h, w)?;
+                        let t0 = Instant::now();
+                        let mut out = ndirect_core::try_conv_dwpw_fused_with(
+                            self.pool,
+                            &act,
+                            &layer.filter,
+                            &pw.filter,
+                            &shape,
+                            layer.relu,
+                        )
+                        .unwrap_or_else(|e| panic!("{e}"));
+                        stats.conv_time += t0.elapsed();
+                        stats.convs += 2; // dw + pw, same count as unfused
+                        ops::scale_shift(&mut out, &pw.scale, &pw.shift);
+                        if pw.relu {
+                            ops::relu(&mut out);
+                        }
+                        act = out;
+                        skip_next_conv = true;
+                    } else {
+                        act = self.depthwise_node(layer, &act, &mut stats)?;
+                    }
                 }
                 Node::MaxPool(k, s, p) => act = ops::max_pool(&act, *k, *s, *p),
                 Node::GlobalAvgPool => act = ops::global_avg_pool(&act),
@@ -314,6 +374,69 @@ mod tests {
             1e-4,
             "residual fusion",
         );
+    }
+
+    #[test]
+    fn dwpw_fusion_matches_unfused() {
+        // mobilenet_lite's dw layers carry identity affines with ReLU —
+        // exactly the fusable pattern; every dw→pw pair fuses.
+        let model = crate::zoo::mobilenet_lite(31);
+        let pool = StaticPool::new(2);
+        let nd = crate::backend::NDirectBackend::host();
+        let input = fill::random_tensor(Tensor4::zeros(1, 3, 224, 224, ActLayout::Nchw), 32);
+        let (plain, s_plain) = Engine::new(&nd, &pool).run(&model, &input);
+        let (fused, s_fused) = Engine::new(&nd, &pool)
+            .with_dwpw_fusion(true)
+            .run(&model, &input);
+        assert_eq!(s_plain.convs, s_fused.convs, "fusion keeps the conv count");
+        ndirect_tensor::assert_close(
+            fused.as_slice(),
+            plain.as_slice(),
+            1e-4,
+            "dwpw fusion",
+        );
+    }
+
+    #[test]
+    fn dwpw_fusion_skips_non_identity_depthwise_affine() {
+        // A dw layer with a real affine must fall back to the unfused
+        // path (the affine runs between the stages).
+        let pool = StaticPool::new(1);
+        let mk = |c: usize, k: usize| {
+            fill::random_filter(Filter::zeros(k, c, 1, 1, FilterLayout::Kcrs), 41)
+        };
+        let dw = crate::layer::ConvLayer {
+            k: 8,
+            rs: 3,
+            stride: 1,
+            pad: 1,
+            filter: fill::random_filter(Filter::zeros(8, 1, 3, 3, FilterLayout::Kcrs), 42),
+            scale: vec![0.5; 8],
+            shift: vec![0.1; 8],
+            relu: true,
+        };
+        let pw = crate::layer::ConvLayer {
+            k: 12,
+            rs: 1,
+            stride: 1,
+            pad: 0,
+            filter: mk(8, 12),
+            scale: vec![1.0; 12],
+            shift: vec![0.0; 12],
+            relu: true,
+        };
+        let model = Model {
+            name: "affine-dw".into(),
+            input: (8, 10, 10),
+            nodes: vec![Node::DepthwiseConv(dw), Node::Conv(pw)],
+        };
+        let nd = crate::backend::NDirectBackend::host();
+        let input = fill::random_tensor(Tensor4::zeros(1, 8, 10, 10, ActLayout::Nchw), 43);
+        let (plain, _) = Engine::new(&nd, &pool).run(&model, &input);
+        let (maybe_fused, _) = Engine::new(&nd, &pool)
+            .with_dwpw_fusion(true)
+            .run(&model, &input);
+        assert_eq!(plain.as_slice(), maybe_fused.as_slice(), "must not fuse");
     }
 
     #[test]

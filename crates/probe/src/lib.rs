@@ -131,10 +131,16 @@ pub enum Counter {
     /// schedule, `bytes_pack_saved` under a zero-copy mode equals
     /// `bytes_packed` under `Fused`.
     BytesPackSaved,
+    /// Bytes of depthwise-intermediate round-trip traffic the fused
+    /// dw+pw path *avoided*: for every row-slice consumed straight out
+    /// of the cache-resident slab, the write plus read of the slice the
+    /// unfused composition would have pushed through memory
+    /// (`2·C·len·Q·4` per slice, `2·N·C·P·Q·4` over a whole layer).
+    BytesIntermediateSaved,
 }
 
 /// Number of [`Counter`] variants.
-pub const NUM_COUNTERS: usize = 18;
+pub const NUM_COUNTERS: usize = 19;
 
 impl Counter {
     /// All counters, in declaration (= serialization) order.
@@ -157,6 +163,7 @@ impl Counter {
         Counter::ServeBatchedRequests,
         Counter::ServeRetries,
         Counter::BytesPackSaved,
+        Counter::BytesIntermediateSaved,
     ];
 
     /// Stable snake_case name used in JSON and the text report.
@@ -180,6 +187,7 @@ impl Counter {
             Counter::ServeBatchedRequests => "serve_batched_requests",
             Counter::ServeRetries => "serve_retries",
             Counter::BytesPackSaved => "bytes_pack_saved",
+            Counter::BytesIntermediateSaved => "bytes_intermediate_saved",
         }
     }
 }

@@ -14,8 +14,10 @@
 
 #![warn(missing_docs)]
 
+pub mod mobilenet;
 pub mod table4;
 
+pub use mobilenet::{mobilenet_pairs, pair_by_id, DwPwConfig, MOBILENET};
 pub use table4::{
     fig1_layers, fig4_layers, resnet50_layers, vgg16_layers, LayerConfig, TABLE4,
 };

@@ -3,7 +3,10 @@
 //! its case number and reproduces exactly.
 
 use ndirect_baselines::{blocked, im2col, indirect, naive};
-use ndirect_core::{conv_ndirect_with, Schedule};
+use ndirect_core::{
+    conv_ndirect_with, fused_pair_flops, try_compose_shapes, try_conv_depthwise_separable,
+    try_conv_dwpw_fused, DwPwSchedule, Schedule,
+};
 use ndirect_support::Rng64;
 use ndirect_tensor::{
     assert_close, fill, ActLayout, ConvShape, Filter, FilterLayout, Padding, Tensor4,
@@ -267,5 +270,119 @@ fn schedule_sanitize_is_idempotent() {
         let shape = random_shape(&mut rng);
         let s = Schedule::minimal(&shape).sanitized(&shape);
         assert_eq!(s.sanitized(&shape), s, "case {case}: {shape}");
+    }
+}
+
+/// Random depthwise-separable pairs: a dw-able shape (`K == C`) plus a
+/// pointwise output-channel count.
+fn random_separable(rng: &mut Rng64) -> (ConvShape, usize) {
+    loop {
+        let n = rng.gen_range_usize(1, 3);
+        let c = rng.gen_range_usize(1, 17);
+        let h = rng.gen_range_usize(1, 15);
+        let w = rng.gen_range_usize(1, 15);
+        let r = rng.gen_range_usize(1, 4);
+        let s = rng.gen_range_usize(1, 4);
+        let stride = rng.gen_range_usize(1, 3);
+        let ph = rng.gen_range_usize(0, 2);
+        let pw = rng.gen_range_usize(0, 2);
+        if h + 2 * ph < r || w + 2 * pw < s {
+            continue;
+        }
+        let shape = ConvShape::new(n, c, h, w, c, r, s, stride, Padding { h: ph, w: pw });
+        let k = rng.gen_range_usize(1, 17);
+        return (shape, k);
+    }
+}
+
+#[test]
+fn dwpw_composed_shapes_satisfy_closed_forms() {
+    // `try_compose_shapes` must put the pointwise stage exactly on the
+    // depthwise output (a 1×1/stride-1/unpadded conv is the identity on
+    // spatial dims), and `fused_pair_flops` must equal the two stages'
+    // closed forms: 2·N·C·P·Q·R·S (depthwise — `ConvShape::flops` would
+    // overcount by C) plus the pointwise 2·N·K·P·Q·C.
+    let mut rng = Rng64::seed_from_u64(0x9a0e);
+    for case in 0..400 {
+        let (shape, k) = random_separable(&mut rng);
+        let (dw, pw) = try_compose_shapes(&shape, k)
+            .unwrap_or_else(|e| panic!("case {case}: {shape} -> K={k}: {e}"));
+        assert_eq!((dw.k, dw.c), (shape.c, shape.c), "case {case}: {shape} dw channels");
+        assert_eq!((pw.h, pw.w), (dw.p(), dw.q()), "case {case}: {shape} pw input");
+        assert_eq!((pw.p(), pw.q()), (dw.p(), dw.q()), "case {case}: {shape} pw identity");
+        assert_eq!((pw.c, pw.k), (shape.c, k), "case {case}: {shape} pw channels");
+
+        let plane = (dw.n * dw.p() * dw.q()) as u64;
+        let expect = 2 * plane * (dw.c * dw.r * dw.s) as u64 + 2 * plane * (k * dw.c) as u64;
+        assert_eq!(fused_pair_flops(&shape, k), expect, "case {case}: {shape} flops");
+        assert_eq!(
+            2 * plane * (k * dw.c) as u64,
+            pw.flops(),
+            "case {case}: {shape} pw stage matches ConvShape::flops"
+        );
+    }
+}
+
+#[test]
+fn dwpw_checked_composition_agrees_with_plain_construction() {
+    // The checked lens: whenever the composed shapes build, their element
+    // counts agree with the plain accessors, and the depthwise stage's
+    // checked lengths are consistent too.
+    let mut rng = Rng64::seed_from_u64(0x9a0f);
+    for case in 0..400 {
+        let (shape, k) = random_separable(&mut rng);
+        let (dw, pw) = try_compose_shapes(&shape, k).unwrap();
+        assert_eq!(dw.try_output_len(), Ok(dw.output_len()), "case {case}: {shape}");
+        assert_eq!(pw.try_input_len(), Ok(pw.input_len()), "case {case}: {shape}");
+        assert_eq!(
+            dw.output_len() / dw.k,
+            pw.input_len() / pw.c,
+            "case {case}: {shape} intermediate plane must be shared"
+        );
+    }
+}
+
+#[test]
+fn dwpw_schedule_sanitize_is_idempotent_and_in_kernel_range() {
+    let mut rng = Rng64::seed_from_u64(0x9a10);
+    for case in 0..400 {
+        let (shape, _) = random_separable(&mut rng);
+        let raw = DwPwSchedule {
+            slice_rows: rng.gen_range_usize(0, 64),
+            vw: rng.gen_range_usize(0, 32),
+            vk: rng.gen_range_usize(0, 32),
+        };
+        let s = raw.sanitized(&shape);
+        assert_eq!(s.sanitized(&shape), s, "case {case}: {shape} idempotent");
+        assert!((1..=shape.p()).contains(&s.slice_rows), "case {case}: {shape} rows");
+        assert!((1..=12).contains(&s.vw), "case {case}: {shape} vw");
+        assert!(s.vk % 4 == 0 && (4..=12).contains(&s.vk), "case {case}: {shape} vk");
+    }
+}
+
+#[test]
+fn dwpw_fused_matches_unfused_on_random_shapes() {
+    let mut rng = Rng64::seed_from_u64(0x9a11);
+    let pool = StaticPool::new(2);
+    for case in 0..32 {
+        let (shape, k) = random_separable(&mut rng);
+        let seed = rng.next_u64();
+        let input = fill::random_tensor(Tensor4::input_for(&shape, ActLayout::Nchw), seed);
+        let dwf = fill::random_filter(
+            Filter::zeros(shape.c, 1, shape.r, shape.s, FilterLayout::Kcrs),
+            seed ^ 1,
+        );
+        let pwf =
+            fill::random_filter(Filter::zeros(k, shape.c, 1, 1, FilterLayout::Kcrs), seed ^ 2);
+        let expect = try_conv_depthwise_separable(&pool, &input, &dwf, &pwf, &shape)
+            .unwrap_or_else(|e| panic!("case {case}: {shape}: {e}"));
+        let got = try_conv_dwpw_fused(&pool, &input, &dwf, &pwf, &shape)
+            .unwrap_or_else(|e| panic!("case {case}: {shape}: {e}"));
+        assert_close(
+            got.as_slice(),
+            expect.as_slice(),
+            2e-4,
+            &format!("case {case}: {shape} -> K={k}"),
+        );
     }
 }
