@@ -2,8 +2,9 @@
 //!
 //! Without `--features probe`, every probe macro must const-fold away:
 //! the counters stay at zero even across a full convolution, and a tight
-//! loop of `probe_count!` / `probe_phase!` / `probe_span!` calls costs
-//! nanoseconds in total — no clock reads, no atomics. Run with `--guard`
+//! loop of `probe_count!` / `probe_phase!` / `probe_span!` /
+//! `probe_hist!` calls costs nanoseconds in total — no clock reads, no
+//! atomics, no histogram buckets touched. Run with `--guard`
 //! (the CI no-probe job does) to turn those statements into hard
 //! assertions; the process aborts if instrumentation leaked into the
 //! disabled build.
@@ -15,7 +16,8 @@
 use ndirect_bench::harness::{Criterion, Throughput};
 use ndirect_bench::{bench_group, bench_main};
 use ndirect_core::{try_conv_ndirect_with, Schedule};
-use ndirect_probe::{probe_count, probe_phase, probe_span, Counter};
+use ndirect_probe::metrics::LogHistogram;
+use ndirect_probe::{probe_count, probe_hist, probe_phase, probe_span, Counter};
 use ndirect_tensor::{ActLayout, FilterLayout};
 use ndirect_threads::StaticPool;
 use ndirect_workloads::{make_problem, table4};
@@ -40,15 +42,26 @@ fn timed_loop(mut body: impl FnMut(u64)) -> f64 {
     start.elapsed().as_secs_f64() * 1e9 / CALLS as f64
 }
 
-fn macro_costs() -> [(&'static str, f64); 3] {
+/// Gated histogram target for the `probe_hist!` cost loop; `const`
+/// construction is exactly how a kernel-side distribution would live.
+static HIST: LogHistogram = LogHistogram::new();
+
+fn macro_costs() -> [(&'static str, f64); 4] {
     [
         ("probe_count", timed_loop(|i| probe_count!(FlopsIssued, i))),
-        ("probe_phase", timed_loop(|_| {
-            let _t = probe_phase!(Pack);
-        })),
-        ("probe_span", timed_loop(|i| {
-            let _s = probe_span!(Worker, i);
-        })),
+        (
+            "probe_phase",
+            timed_loop(|_| {
+                let _t = probe_phase!(Pack);
+            }),
+        ),
+        (
+            "probe_span",
+            timed_loop(|i| {
+                let _s = probe_span!(Worker, i);
+            }),
+        ),
+        ("probe_hist", timed_loop(|i| probe_hist!(HIST, i))),
     ]
 }
 
@@ -70,7 +83,10 @@ fn bench_probe_overhead(c: &mut Criterion) {
 
     let costs = macro_costs();
     for (name, ns) in costs {
-        eprintln!("{name:<12} {ns:.3} ns/call (enabled={})", ndirect_probe::ENABLED);
+        eprintln!(
+            "{name:<12} {ns:.3} ns/call (enabled={})",
+            ndirect_probe::ENABLED
+        );
     }
 
     if guard {
@@ -80,6 +96,11 @@ fn bench_probe_overhead(c: &mut Criterion) {
                 shape.flops(),
                 "live probes must account the conv's FLOPs exactly"
             );
+            assert_eq!(
+                HIST.count(),
+                CALLS,
+                "a live probe_hist! site must record every sample"
+            );
             eprintln!("guard OK: probes are live and account correctly");
         } else {
             assert_eq!(
@@ -88,6 +109,11 @@ fn bench_probe_overhead(c: &mut Criterion) {
                 "a disabled probe build must never touch a counter"
             );
             assert_eq!(flops_delta, 0, "conv moved a counter in a disabled build");
+            assert_eq!(
+                HIST.count(),
+                0,
+                "probe_hist! recorded into a histogram in a disabled build"
+            );
             for (name, ns) in costs {
                 assert!(
                     ns < DISABLED_NS_PER_CALL,

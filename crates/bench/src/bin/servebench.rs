@@ -23,7 +23,14 @@
 //! are repurposed per the schema's `extra` escape hatch: `gflops` carries
 //! requests/second (what `perfreport compare` gates), `secs` carries the
 //! p50 latency in seconds, and `extra` records `p50_ms`, `p99_ms`,
-//! `shed_pct`, and `mean_batch`.
+//! `p999_ms`, `shed_pct`, and `mean_batch`.
+//!
+//! Latency percentiles come from the server's own telemetry plane
+//! (`serve_latency_ns` log-bucketed histogram, DESIGN.md §16) rather
+//! than a client-side sort — the same numbers `servestat` renders live.
+//! Alongside the BENCH suite, the run writes `METRICS_serve_<tag>.json`:
+//! the full metrics snapshot of the last configuration, the artifact the
+//! CI telemetry step validates with `servestat --check`.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -31,6 +38,7 @@ use std::time::{Duration, Instant};
 
 use ndirect_bench::perf::{BenchSuite, LayerRecord};
 use ndirect_platform::host;
+use ndirect_probe::metrics::MetricsSnapshot;
 use ndirect_serve::{ModelDef, ServeConfig, Server};
 use ndirect_tensor::{fill, ActLayout, ConvShape, Filter, FilterLayout, Tensor4};
 use ndirect_workloads::table4;
@@ -109,25 +117,28 @@ fn main() {
         platform.name, opts.clients, opts.threads, opts.secs
     );
     println!(
-        "{:>5} {:>9} {:>10} {:>9} {:>9} {:>9} {:>7}",
-        "layer", "batching", "req/s", "p50 ms", "p99 ms", "batch", "shed%"
+        "{:>5} {:>9} {:>10} {:>9} {:>9} {:>9} {:>9} {:>7}",
+        "layer", "batching", "req/s", "p50 ms", "p99 ms", "p999 ms", "batch", "shed%"
     );
 
     let mut layers = Vec::new();
+    let mut last_snapshot = None;
     for &id in &ZOO {
         for (batching, id_offset) in [(true, 0usize), (false, 100usize)] {
-            let record = run_config(&opts, id, batching, id_offset);
+            let (record, snapshot) = run_config(&opts, id, batching, id_offset);
             println!(
-                "{:>5} {:>9} {:>10.0} {:>9.3} {:>9.3} {:>9.2} {:>7.2}",
+                "{:>5} {:>9} {:>10.0} {:>9.3} {:>9.3} {:>9.3} {:>9.2} {:>7.2}",
                 record.id,
                 if batching { "on" } else { "off" },
                 record.gflops,
                 extra(&record, "p50_ms"),
                 extra(&record, "p99_ms"),
+                extra(&record, "p999_ms"),
                 extra(&record, "mean_batch"),
                 extra(&record, "shed_pct"),
             );
             layers.push(record);
+            last_snapshot = Some(snapshot);
         }
     }
 
@@ -160,6 +171,18 @@ fn main() {
         std::process::exit(1);
     }
     println!("-> {path}");
+
+    // The export-surface artifact: the last configuration's full metrics
+    // snapshot, consumable by `servestat` (dashboard / --json / --prom /
+    // --check).
+    if let Some(snapshot) = last_snapshot {
+        let mpath = format!("{}/METRICS_serve_{stamp}.json", opts.out);
+        if let Err(e) = std::fs::write(&mpath, snapshot.to_json().pretty()) {
+            eprintln!("cannot write {mpath}: {e}");
+            std::process::exit(1);
+        }
+        println!("-> {mpath}");
+    }
 }
 
 fn extra(record: &LayerRecord, name: &str) -> f64 {
@@ -183,7 +206,12 @@ fn zoo_shape(id: usize) -> ConvShape {
     )
 }
 
-fn run_config(opts: &Opts, id: usize, batching: bool, id_offset: usize) -> LayerRecord {
+fn run_config(
+    opts: &Opts,
+    id: usize,
+    batching: bool,
+    id_offset: usize,
+) -> (LayerRecord, MetricsSnapshot) {
     let shape = zoo_shape(id);
     let model = ModelDef {
         name: format!("t4-{id}"),
@@ -201,12 +229,10 @@ fn run_config(opts: &Opts, id: usize, batching: bool, id_offset: usize) -> Layer
         },
         ..ServeConfig::default()
     };
-    let server = Arc::new(
-        Server::try_new(config, vec![model]).unwrap_or_else(|e| {
-            eprintln!("layer {id}: server build failed ({e})");
-            std::process::exit(1);
-        }),
-    );
+    let server = Arc::new(Server::try_new(config, vec![model]).unwrap_or_else(|e| {
+        eprintln!("layer {id}: server build failed ({e})");
+        std::process::exit(1);
+    }));
 
     // Closed-loop clients: each submits, waits, repeats. The in-flight
     // population (== client count) is what gives the batcher something to
@@ -221,19 +247,14 @@ fn run_config(opts: &Opts, id: usize, batching: bool, id_offset: usize) -> Layer
             let input =
                 fill::random_tensor(Tensor4::input_for(&shape, ActLayout::Nchw), 1000 + c as u64);
             std::thread::spawn(move || {
-                let mut latencies_ms = Vec::new();
                 while !stop.load(Ordering::Relaxed) {
-                    let begin = Instant::now();
                     match server.submit(&name, input.clone(), None) {
                         Ok(ticket) => {
-                            if ticket.wait().is_ok() {
-                                latencies_ms.push(begin.elapsed().as_secs_f64() * 1e3);
-                            }
+                            let _ = ticket.wait();
                         }
                         Err(_) => std::thread::sleep(Duration::from_micros(50)),
                     }
                 }
-                latencies_ms
             })
         })
         .collect();
@@ -243,21 +264,27 @@ fn run_config(opts: &Opts, id: usize, batching: bool, id_offset: usize) -> Layer
         std::thread::sleep(Duration::from_millis(5));
     }
     stop.store(true, Ordering::Relaxed);
-    let mut latencies_ms: Vec<f64> = Vec::new();
     for c in clients {
-        latencies_ms.extend(c.join().expect("client thread"));
+        c.join().expect("client thread");
     }
     let elapsed = started.elapsed().as_secs_f64();
+    // Percentiles come straight from the telemetry plane's log-bucketed
+    // histogram (<= 1/32 relative error) — the duplicate sort-based
+    // estimator this bin used to carry is gone.
+    let snapshot = server.metrics_snapshot();
     let stats = server.stats();
     match Arc::try_unwrap(server) {
         Ok(server) => server.shutdown(),
         Err(_) => unreachable!("all clients joined"),
     }
 
-    latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
-    let p50 = percentile(&latencies_ms, 50.0);
-    let p99 = percentile(&latencies_ms, 99.0);
-    let req_s = latencies_ms.len() as f64 / elapsed;
+    let latency = snapshot
+        .histogram("serve_latency_ns", &[])
+        .cloned()
+        .unwrap_or_default();
+    let ms = |q: f64| latency.quantile(q) as f64 / 1e6;
+    let (p50, p99, p999) = (ms(50.0), ms(99.0), ms(99.9));
+    let req_s = latency.count as f64 / elapsed;
     let mean_batch = if stats.batches > 0 {
         stats.batched_requests as f64 / stats.batches as f64
     } else {
@@ -273,7 +300,7 @@ fn run_config(opts: &Opts, id: usize, batching: bool, id_offset: usize) -> Layer
     };
 
     let cfg = table4::layer_by_id(id).expect("zoo id");
-    LayerRecord {
+    let record = LayerRecord {
         id: id + id_offset,
         c: shape.c,
         k: shape.k,
@@ -296,17 +323,10 @@ fn run_config(opts: &Opts, id: usize, batching: bool, id_offset: usize) -> Layer
         extra: vec![
             ("p50_ms".into(), p50),
             ("p99_ms".into(), p99),
+            ("p999_ms".into(), p999),
             ("shed_pct".into(), shed_pct),
             ("mean_batch".into(), mean_batch),
         ],
-    }
-}
-
-/// Nearest-rank percentile of an ascending-sorted sample; 0 when empty.
-fn percentile(sorted: &[f64], pct: f64) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
-    }
-    let rank = ((pct / 100.0) * sorted.len() as f64).ceil() as usize;
-    sorted[rank.clamp(1, sorted.len()) - 1]
+    };
+    (record, snapshot)
 }

@@ -56,6 +56,7 @@ use std::time::Instant;
 use ndirect_support::Json;
 
 pub mod hwc;
+pub mod metrics;
 
 /// `true` iff this crate was built with its `probe` feature.
 ///
@@ -246,10 +247,24 @@ pub enum Phase {
     Worker,
     /// One model node executed by the engine (arg = node index).
     Layer,
+    /// A serve request waiting in the admission queue, from submit to the
+    /// batcher taking it (arg = low 32 bits of the trace ID).
+    ServeAdmission,
+    /// A serve request lingering in a forming batch waiting for
+    /// coalescing partners (arg = trace ID).
+    ServeLinger,
+    /// A serve batch waiting in the bounded dispatch channel for a free
+    /// shard (arg = trace ID of the batch's first request).
+    ServeDispatch,
+    /// A serve batch executing its convolution plan (arg = trace ID).
+    ServeExecute,
+    /// Result delivery: gather/scatter plus waking the ticket holder
+    /// (arg = trace ID).
+    ServeDeliver,
 }
 
 /// Number of [`Phase`] variants.
-pub const NUM_PHASES: usize = 8;
+pub const NUM_PHASES: usize = 13;
 
 impl Phase {
     /// All phases, in declaration order.
@@ -262,6 +277,11 @@ impl Phase {
         Phase::Region,
         Phase::Worker,
         Phase::Layer,
+        Phase::ServeAdmission,
+        Phase::ServeLinger,
+        Phase::ServeDispatch,
+        Phase::ServeExecute,
+        Phase::ServeDeliver,
     ];
 
     /// Stable snake_case name used in JSON and the text report.
@@ -275,6 +295,11 @@ impl Phase {
             Phase::Region => "region",
             Phase::Worker => "worker",
             Phase::Layer => "layer",
+            Phase::ServeAdmission => "serve_admission",
+            Phase::ServeLinger => "serve_linger",
+            Phase::ServeDispatch => "serve_dispatch",
+            Phase::ServeExecute => "serve_execute",
+            Phase::ServeDeliver => "serve_deliver",
         }
     }
 
@@ -366,7 +391,11 @@ fn epoch() -> Instant {
     *EPOCH.get_or_init(Instant::now)
 }
 
-fn now_ns() -> u64 {
+/// Nanoseconds since the process probe epoch (first clock use). **Not**
+/// gated on [`ENABLED`]: the always-on [`metrics`] plane and the serve
+/// stage timestamps use this clock so their spans line up with the
+/// feature-gated timeline when both are active.
+pub fn now_ns() -> u64 {
     epoch().elapsed().as_nanos() as u64
 }
 
@@ -475,6 +504,26 @@ pub fn span(phase: Phase, arg: u32) -> SpanGuard {
     }
 }
 
+/// Records an already-measured span into the *current* thread's timeline.
+///
+/// The scoped [`span`] guard measures start and end on the same thread; a
+/// serve request's stage transitions happen on different threads (submit
+/// on the caller, dequeue on the batcher, execute on a shard), so the
+/// serving plane measures each stage itself with [`now_ns`] timestamps
+/// and reports the finished interval here from whichever thread observed
+/// the stage end. No-op (nothing evaluated beyond the arguments) when
+/// [`ENABLED`] is false.
+#[inline]
+pub fn record_span(phase: Phase, arg: u32, start_ns: u64, dur_ns: u64) {
+    if ENABLED {
+        with_slot(|s| {
+            s.phase_ns[phase as usize].fetch_add(dur_ns, Relaxed);
+            s.phase_calls[phase as usize].fetch_add(1, Relaxed);
+            s.record_event(phase, arg, start_ns, dur_ns);
+        });
+    }
+}
+
 /// Bumps a [`Counter`]; the count expression is **not evaluated** when the
 /// probe is disabled, so it may be arbitrarily expensive.
 #[macro_export]
@@ -505,6 +554,22 @@ macro_rules! probe_span {
             $crate::Phase::$phase,
             if $crate::ENABLED { $arg as u32 } else { 0 },
         )
+    };
+}
+
+/// Records a value into a [`metrics::LogHistogram`](metrics::LogHistogram)
+/// **only when the probe feature is on**; like [`probe_count!`], neither
+/// the histogram expression nor the value is evaluated when disabled, so
+/// hot paths may pass arbitrarily expensive expressions. The serving
+/// plane's always-on metrics call [`metrics::LogHistogram::record`]
+/// directly instead; this macro is for optional kernel-side distributions
+/// that must const-fold away (guarded by `probe_overhead.rs --guard`).
+#[macro_export]
+macro_rules! probe_hist {
+    ($hist:expr, $value:expr) => {
+        if $crate::ENABLED {
+            ($hist).record($value as u64);
+        }
     };
 }
 
@@ -820,7 +885,7 @@ impl TraceReport {
         let span_ns = t1 - t0;
         let _ = writeln!(
             out,
-            "timeline: {} events over {:.3} ms ({} cols, . idle | p pack | m micro-kernel | f filter | b barrier | P plan | R region | W worker | L layer)",
+            "timeline: {} events over {:.3} ms ({} cols, . idle | p pack | m micro-kernel | f filter | b barrier | P plan | R region | W worker | L layer | Q admission | G linger | D dispatch | X execute | V deliver)",
             self.threads.iter().map(|t| t.events.len()).sum::<usize>(),
             span_ns as f64 / 1e6,
             width,
@@ -837,6 +902,11 @@ impl TraceReport {
                     Phase::Region => b'R',
                     Phase::Worker => b'W',
                     Phase::Layer => b'L',
+                    Phase::ServeAdmission => b'Q',
+                    Phase::ServeLinger => b'G',
+                    Phase::ServeDispatch => b'D',
+                    Phase::ServeExecute => b'X',
+                    Phase::ServeDeliver => b'V',
                 };
                 let lo = ((e.start_ns - t0) as u128 * width as u128 / span_ns as u128) as usize;
                 let hi = (((e.start_ns + e.dur_ns - t0) as u128 * width as u128)

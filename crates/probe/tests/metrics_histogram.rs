@@ -1,0 +1,208 @@
+//! Histogram correctness (ISSUE 9 satellite): quantile estimates vs an
+//! exact-sort oracle over adversarial distributions, merge associativity,
+//! concurrent-recording totals, and snapshot-delta monotonicity.
+//!
+//! The metrics plane is always on (not feature-gated), so this suite runs
+//! identically with and without `--features probe`.
+
+use ndirect_probe::metrics::{HistogramSnapshot, LogHistogram, MAX_RELATIVE_ERROR, SUBBUCKETS};
+
+/// Deterministic splitmix64 so the adversarial distributions are
+/// reproducible across runs and targets.
+struct SplitMix(u64);
+
+impl SplitMix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[lo, hi)`.
+    fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next() % (hi - lo)
+    }
+}
+
+/// Exact nearest-rank order statistic (the oracle the histogram's bucket
+/// walk must agree with, up to the documented bucket-width error).
+fn oracle_quantile(sorted: &[u64], q: f64) -> u64 {
+    assert!(!sorted.is_empty());
+    let rank = ((q / 100.0 * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Asserts the histogram's estimate brackets the oracle for every probed
+/// quantile: never below the true order statistic, and at most
+/// `MAX_RELATIVE_ERROR` above it (exact below the linear-region bound).
+fn assert_within_bound(label: &str, values: &[u64]) {
+    let h = LogHistogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_unstable();
+    for q in [0.0, 1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 99.9, 100.0] {
+        let exact = oracle_quantile(&sorted, q);
+        let est = h.quantile(q);
+        assert!(
+            est >= exact,
+            "{label} q{q}: estimate {est} undershoots oracle {exact}"
+        );
+        let bound = if exact < SUBBUCKETS as u64 {
+            exact // linear region: exact
+        } else {
+            exact + (MAX_RELATIVE_ERROR * exact as f64).ceil() as u64
+        };
+        assert!(
+            est <= bound,
+            "{label} q{q}: estimate {est} above error bound {bound} (oracle {exact})"
+        );
+        // The snapshot path answers identically to the live walk.
+        assert_eq!(h.snapshot().quantile(q), est, "{label} q{q}: snapshot disagrees");
+    }
+    assert_eq!(h.count(), values.len() as u64);
+    assert_eq!(h.sum(), values.iter().sum::<u64>());
+}
+
+#[test]
+fn quantiles_match_oracle_on_bimodal_distribution() {
+    // Two tight modes four orders of magnitude apart — the shape that
+    // breaks mean-based summaries and stresses the octave walk.
+    let mut rng = SplitMix(0x1157_0001);
+    let mut values = Vec::new();
+    for _ in 0..6000 {
+        values.push(rng.range(800, 1200)); // ~1 µs mode
+    }
+    for _ in 0..4000 {
+        values.push(rng.range(9_000_000, 11_000_000)); // ~10 ms mode
+    }
+    assert_within_bound("bimodal", &values);
+}
+
+#[test]
+fn quantiles_match_oracle_on_heavy_tail() {
+    // Pareto-ish tail: u64 magnitudes spanning ns to minutes, where the
+    // p999 lives far from the mass.
+    let mut rng = SplitMix(0x1157_0002);
+    let values: Vec<u64> = (0..20_000)
+        .map(|_| {
+            let shift = rng.range(0, 36); // up to ~64 s in ns
+            rng.range(1, 1000) << shift
+        })
+        .collect();
+    assert_within_bound("heavy-tail", &values);
+}
+
+#[test]
+fn quantiles_match_oracle_on_single_bucket() {
+    // Every sample identical: all quantiles collapse to the one bucket's
+    // upper bound, which must still respect the error bound.
+    assert_within_bound("single-bucket-small", &vec![7; 5000]);
+    assert_within_bound("single-bucket-large", &vec![123_456_789; 5000]);
+}
+
+#[test]
+fn quantiles_match_oracle_on_uniform_sweep() {
+    let mut rng = SplitMix(0x1157_0003);
+    let values: Vec<u64> = (0..30_000).map(|_| rng.range(0, 50_000_000)).collect();
+    assert_within_bound("uniform", &values);
+}
+
+#[test]
+fn merge_is_associative_and_commutative() {
+    let mut rng = SplitMix(0x1157_0004);
+    let mk = |rng: &mut SplitMix, n: usize, lo: u64, hi: u64| {
+        let h = LogHistogram::new();
+        for _ in 0..n {
+            h.record(rng.range(lo, hi));
+        }
+        h.snapshot()
+    };
+    let a = mk(&mut rng, 500, 0, 1000);
+    let b = mk(&mut rng, 700, 100_000, 5_000_000);
+    let c = mk(&mut rng, 300, 1, u64::MAX / 2);
+    assert_eq!(a.merge(&b).merge(&c), a.merge(&b.merge(&c)), "associative");
+    assert_eq!(a.merge(&b), b.merge(&a), "commutative");
+    assert_eq!(a.merge(&HistogramSnapshot::default()), a, "identity");
+    let merged = a.merge(&b).merge(&c);
+    assert_eq!(merged.count, a.count + b.count + c.count);
+    assert_eq!(merged.sum, a.sum + b.sum + c.sum);
+}
+
+#[test]
+fn merged_shards_agree_with_one_big_histogram() {
+    // Per-thread histograms folded together must answer exactly like a
+    // single histogram that saw every sample (buckets are buckets).
+    let mut rng = SplitMix(0x1157_0005);
+    let combined = LogHistogram::new();
+    let mut folded = HistogramSnapshot::default();
+    for _ in 0..8 {
+        let shard = LogHistogram::new();
+        for _ in 0..2000 {
+            let v = rng.range(10, 100_000_000);
+            shard.record(v);
+            combined.record(v);
+        }
+        folded = folded.merge(&shard.snapshot());
+    }
+    assert_eq!(folded, combined.snapshot());
+}
+
+#[test]
+fn concurrent_recording_loses_nothing() {
+    use std::sync::Arc;
+    let h = Arc::new(LogHistogram::new());
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 50_000;
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let h = Arc::clone(&h);
+            std::thread::spawn(move || {
+                let mut rng = SplitMix(0xC0DE + t);
+                let mut local_sum = 0u64;
+                for _ in 0..PER_THREAD {
+                    let v = rng.range(0, 10_000_000);
+                    h.record(v);
+                    local_sum += v;
+                }
+                local_sum
+            })
+        })
+        .collect();
+    let expected_sum: u64 = handles.into_iter().map(|j| j.join().expect("no panic")).sum();
+    assert_eq!(h.count(), THREADS * PER_THREAD, "every record lands");
+    assert_eq!(h.sum(), expected_sum, "sum is exact at quiescence");
+    let snap = h.snapshot();
+    assert_eq!(snap.count, THREADS * PER_THREAD);
+    assert_eq!(snap.buckets.iter().map(|&(_, n)| n).sum::<u64>(), snap.count);
+}
+
+#[test]
+fn snapshot_deltas_are_monotone_and_compose() {
+    let mut rng = SplitMix(0x1157_0006);
+    let h = LogHistogram::new();
+    let mut prev = h.snapshot();
+    let mut reconstructed = HistogramSnapshot::default();
+    for round in 0..10 {
+        for _ in 0..500 {
+            h.record(rng.range(0, 1_000_000) << (round % 4));
+        }
+        let now = h.snapshot();
+        let delta = now.since(&prev);
+        // Monotone: a later snapshot never shrinks any bucket, so the
+        // delta's total is exactly the new samples and nothing saturated.
+        assert_eq!(delta.count, 500, "round {round}: delta counts new samples only");
+        assert!(delta.buckets.iter().all(|&(_, n)| n > 0));
+        // Deltas compose back to the running total.
+        reconstructed = reconstructed.merge(&delta);
+        assert_eq!(reconstructed, now, "round {round}: deltas re-compose");
+        // A self-delta is empty.
+        let none = now.since(&now);
+        assert_eq!(none.count, 0);
+        assert!(none.buckets.is_empty());
+        prev = now;
+    }
+}

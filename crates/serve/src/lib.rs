@@ -60,11 +60,13 @@
 mod error;
 #[cfg(any(test, feature = "chaos"))]
 pub mod faults;
+mod metrics;
 mod queue;
 mod server;
 mod ticket;
 
 pub use error::{ExpiredAt, ServeError};
+pub use metrics::METRIC_CATALOG;
 pub use server::{pinned_schedule, ModelDef, ServeConfig, ServeStats, Server};
 pub use ticket::{InferResponse, Ticket};
 

@@ -20,8 +20,8 @@ pub(crate) fn lock_unpoisoned<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
 
 /// An admitted request travelling through the pipeline.
 pub(crate) struct Pending {
-    /// Mirrors the ticket id; read by the queue tests to assert ordering.
-    #[cfg_attr(not(test), allow(dead_code))]
+    /// Mirrors the ticket id (= trace ID); the low 32 bits key this
+    /// request's spans in the Chrome trace.
     pub(crate) id: u64,
     pub(crate) model: usize,
     pub(crate) input: Tensor4,
@@ -30,6 +30,12 @@ pub(crate) struct Pending {
     pub(crate) cancel: CancelToken,
     /// Chaos marker: a poisoned request panics the kernel it reaches.
     pub(crate) poison: bool,
+    /// Probe-epoch timestamp of admission (`submit`); start of the
+    /// admission-wait stage.
+    pub(crate) t_submit_ns: u64,
+    /// Probe-epoch timestamp at which the batcher took the request off
+    /// the queue (0 until then); admission-wait ends and linger begins.
+    pub(crate) t_taken_ns: u64,
 }
 
 impl Pending {
@@ -137,12 +143,13 @@ impl SubmitQueue {
     /// fewer than `max_batch`, waits up to `linger` once for stragglers.
     ///
     /// Expired requests are failed here — before dispatch — so they never
-    /// occupy a kernel slot; `expired` receives how many were swept.
+    /// occupy a kernel slot; `expired` receives the model index of every
+    /// swept request (the caller's per-model expiry accounting).
     pub(crate) fn next_batch(
         &self,
         max_batch: usize,
         linger: Duration,
-        expired: &mut usize,
+        expired: &mut Vec<usize>,
     ) -> BatchPlanOutcome {
         let mut st = lock_unpoisoned(&self.state);
         loop {
@@ -151,7 +158,7 @@ impl SubmitQueue {
             let mut kept = VecDeque::with_capacity(st.requests.len());
             for r in st.requests.drain(..) {
                 if r.expired(now) {
-                    *expired += 1;
+                    expired.push(r.model);
                     r.expire_in_queue();
                 } else {
                     kept.push_back(r);
@@ -173,7 +180,7 @@ impl SubmitQueue {
                     let mut extra = take_matching(&mut st.requests, head_model, room);
                     for r in extra.drain(..) {
                         if r.expired(now) {
-                            *expired += 1;
+                            expired.push(r.model);
                             r.expire_in_queue();
                         } else {
                             batch.push(r);
@@ -185,7 +192,7 @@ impl SubmitQueue {
             if st.closed {
                 return BatchPlanOutcome::Drained;
             }
-            if *expired > 0 {
+            if !expired.is_empty() {
                 // Hand the sweep count back immediately so the caller's
                 // deadline-miss accounting stays live even when no batch
                 // formed; the caller re-enters to keep waiting.
@@ -200,12 +207,15 @@ impl SubmitQueue {
 }
 
 /// Removes up to `limit` requests for `model` from `queue`, preserving
-/// relative order of both the taken and the remaining requests.
+/// relative order of both the taken and the remaining requests. Stamps
+/// `t_taken_ns` on everything taken: the admission-wait stage ends here.
 fn take_matching(queue: &mut VecDeque<Pending>, model: usize, limit: usize) -> Vec<Pending> {
+    let now_ns = ndirect_probe::now_ns();
     let mut taken = Vec::new();
     let mut rest = VecDeque::with_capacity(queue.len());
-    for r in queue.drain(..) {
+    for mut r in queue.drain(..) {
         if r.model == model && taken.len() < limit {
+            r.t_taken_ns = now_ns;
             taken.push(r);
         } else {
             rest.push_back(r);
@@ -219,6 +229,9 @@ fn take_matching(queue: &mut VecDeque<Pending>, model: usize, limit: usize) -> V
 pub(crate) struct Batch {
     pub(crate) model: usize,
     pub(crate) requests: Vec<Pending>,
+    /// Probe-epoch timestamp at which the batcher sealed the batch; the
+    /// linger stage ends and the dispatch-queue stage begins.
+    pub(crate) t_formed_ns: u64,
 }
 
 struct DispatchState {
@@ -306,6 +319,8 @@ mod tests {
             slot: Arc::new(ResponseSlot::default()),
             cancel: CancelToken::new(),
             poison: false,
+            t_submit_ns: ndirect_probe::now_ns(),
+            t_taken_ns: 0,
         }
     }
 
@@ -337,10 +352,11 @@ mod tests {
         for (id, model) in [(1, 0), (2, 1), (3, 0), (4, 0)] {
             q.push(pending(id, model, None)).map_err(|_| ()).expect("push");
         }
-        let mut expired = 0;
+        let mut expired = Vec::new();
         match q.next_batch(8, Duration::ZERO, &mut expired) {
             BatchPlanOutcome::Batch(batch) => {
                 assert_eq!(batch.iter().map(|r| r.id).collect::<Vec<_>>(), vec![1, 3, 4]);
+                assert!(batch.iter().all(|r| r.t_taken_ns >= r.t_submit_ns));
             }
             BatchPlanOutcome::Swept | BatchPlanOutcome::Drained => panic!("queue has work"),
         }
@@ -352,7 +368,7 @@ mod tests {
             }
             BatchPlanOutcome::Swept | BatchPlanOutcome::Drained => panic!("model-1 request pending"),
         }
-        assert_eq!(expired, 0);
+        assert!(expired.is_empty());
     }
 
     #[test]
@@ -361,7 +377,7 @@ mod tests {
         for id in 1..=5 {
             q.push(pending(id, 0, None)).map_err(|_| ()).expect("push");
         }
-        let mut expired = 0;
+        let mut expired = Vec::new();
         match q.next_batch(2, Duration::ZERO, &mut expired) {
             BatchPlanOutcome::Batch(batch) => {
                 assert_eq!(batch.iter().map(|r| r.id).collect::<Vec<_>>(), vec![1, 2]);
@@ -379,7 +395,7 @@ mod tests {
         let dead_slot = Arc::clone(&dead.slot);
         q.push(dead).map_err(|_| ()).expect("push");
         q.push(pending(2, 0, None)).map_err(|_| ()).expect("push");
-        let mut expired = 0;
+        let mut expired = Vec::new();
         match q.next_batch(8, Duration::ZERO, &mut expired) {
             BatchPlanOutcome::Batch(batch) => {
                 assert_eq!(batch.len(), 1);
@@ -387,7 +403,7 @@ mod tests {
             }
             BatchPlanOutcome::Swept | BatchPlanOutcome::Drained => panic!("live request pending"),
         }
-        assert_eq!(expired, 1);
+        assert_eq!(expired, vec![0], "sweep reports the expired request's model");
         assert!(dead_slot.is_resolved(), "expired ticket resolved at sweep");
     }
 
@@ -396,7 +412,7 @@ mod tests {
         let q = SubmitQueue::new(4, 4);
         q.push(pending(1, 0, None)).map_err(|_| ()).expect("push");
         q.close();
-        let mut expired = 0;
+        let mut expired = Vec::new();
         assert!(matches!(
             q.next_batch(8, Duration::ZERO, &mut expired),
             BatchPlanOutcome::Batch(_)
@@ -410,11 +426,11 @@ mod tests {
     #[test]
     fn dispatch_backpressure_and_close() {
         let d = Arc::new(Dispatch::new(1));
-        d.push(Batch { model: 0, requests: vec![] });
+        d.push(Batch { model: 0, requests: vec![], t_formed_ns: 0 });
         // Second push blocks until a pop frees the slot.
         let d2 = Arc::clone(&d);
         let pusher = std::thread::spawn(move || {
-            d2.push(Batch { model: 1, requests: vec![] });
+            d2.push(Batch { model: 1, requests: vec![], t_formed_ns: 0 });
         });
         std::thread::sleep(Duration::from_millis(5));
         assert_eq!(d.pop().map(|b| b.model), Some(0));

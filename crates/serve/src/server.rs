@@ -24,8 +24,15 @@ use ndirect_tensor::{ActLayout, ConvShape, Filter, Tensor4};
 use ndirect_threads::{CancelToken, StaticPool};
 
 use crate::error::{core_error_is_transient, ExpiredAt, ServeError};
+use crate::metrics::{retry_hint, ServeMetrics};
 use crate::queue::{Batch, BatchPlanOutcome, Dispatch, Pending, SubmitQueue};
 use crate::ticket::{InferResponse, ResponseSlot, Ticket};
+
+/// The span/trace key for a request: the ticket id's low 32 bits (ids are
+/// sequential, so collisions need 2^32 requests in one trace window).
+fn trace32(id: u64) -> u32 {
+    id as u32
+}
 
 /// Registry tag of the pinned fast plan ([`pinned_schedule`]).
 const TAG_PINNED: u64 = 0;
@@ -184,21 +191,6 @@ impl FaultHook {
     }
 }
 
-/// Server-local counters (always on, independent of the probe feature).
-#[derive(Default)]
-struct Stats {
-    enqueued: AtomicU64,
-    shed: AtomicU64,
-    completed: AtomicU64,
-    failed: AtomicU64,
-    deadline_misses: AtomicU64,
-    batches: AtomicU64,
-    batched_requests: AtomicU64,
-    retries: AtomicU64,
-    degraded: AtomicU64,
-    isolated_panics: AtomicU64,
-}
-
 /// A point-in-time snapshot of the server's health counters.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ServeStats {
@@ -235,35 +227,22 @@ struct ServerInner {
     by_name: HashMap<String, usize>,
     queue: SubmitQueue,
     dispatch: Dispatch,
-    stats: Stats,
-    /// EWMA of per-request service time in nanoseconds (0 = no sample
-    /// yet); feeds the `retry_after` hint on shed.
-    ewma_ns: AtomicU64,
+    /// The telemetry plane (DESIGN.md §16): always-on per-stage
+    /// histograms, fault counters, and backpressure gauges.
+    metrics: ServeMetrics,
     next_id: AtomicU64,
     faults: FaultHook,
 }
 
 impl ServerInner {
-    fn observe_service_time(&self, batch_elapsed: Duration, nb: usize) {
-        let sample = (batch_elapsed.as_nanos() / nb.max(1) as u128) as u64;
-        let old = self.ewma_ns.load(Ordering::Relaxed);
-        let new = if old == 0 {
-            sample
-        } else {
-            ((u128::from(old) * 7 + u128::from(sample)) / 8) as u64
-        };
-        self.ewma_ns.store(new, Ordering::Relaxed);
-    }
-
+    /// The measured backoff hint: current backlog drained at the live p99
+    /// per-request service time (histogram-derived, not an EWMA guess).
     fn estimate_retry_after(&self, depth: usize) -> Duration {
-        let per_request_ns = match self.ewma_ns.load(Ordering::Relaxed) {
-            0 => 10_000_000, // no sample yet: suggest 10 ms
-            ns => ns,
-        };
-        let drain_ns =
-            (u128::from(per_request_ns) * depth.max(1) as u128) / self.config.shards.max(1) as u128;
-        let drain = Duration::from_nanos(drain_ns.min(u128::from(u64::MAX)) as u64);
-        drain.clamp(Duration::from_millis(1), Duration::from_secs(2))
+        retry_hint(
+            depth,
+            self.config.shards,
+            self.metrics.aggregate.service.quantile(99.0),
+        )
     }
 }
 
@@ -320,6 +299,7 @@ impl Server {
         let platform = ndirect_platform::host();
         let mut models = Vec::with_capacity(defs.len());
         let mut by_name = HashMap::with_capacity(defs.len());
+        let mut names = Vec::with_capacity(defs.len());
         for def in defs {
             if def.shape.n != 1 {
                 return cfg_err(format!(
@@ -346,9 +326,12 @@ impl Server {
                     ConvPlan::try_with_schedule(&model.shape1, &model.filter, &model.pinned)
                 })
                 .map_err(ServeError::Conv)?;
+            names.push(def.name.clone());
             by_name.insert(def.name, models.len());
             models.push(model);
         }
+        let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        let metrics = ServeMetrics::new(&name_refs);
 
         let mut pools = Vec::with_capacity(config.shards);
         for _ in 0..config.shards {
@@ -365,8 +348,7 @@ impl Server {
             config,
             models,
             by_name,
-            stats: Stats::default(),
-            ewma_ns: AtomicU64::new(0),
+            metrics,
             next_id: AtomicU64::new(1),
             faults,
         });
@@ -429,7 +411,11 @@ impl Server {
             });
         }
         if deadline.is_some_and(|d| Instant::now() >= d) {
-            inner.stats.shed.fetch_add(1, Ordering::Relaxed);
+            for s in inner.metrics.sets(idx) {
+                s.shed.add(1);
+                s.expired_arrival.add(1);
+            }
+            inner.metrics.shed_rps.record(1);
             ndirect_probe::probe_count!(ServeShed, 1);
             return Err(ServeError::DeadlineExpired { at: ExpiredAt::Arrival });
         }
@@ -443,10 +429,16 @@ impl Server {
             slot: Arc::clone(&slot),
             cancel: CancelToken::new(),
             poison: inner.faults.poison_submit(),
+            t_submit_ns: ndirect_probe::now_ns(),
+            t_taken_ns: 0,
         };
         match inner.queue.push(pending) {
-            Ok(_depth) => {
-                inner.stats.enqueued.fetch_add(1, Ordering::Relaxed);
+            Ok(depth) => {
+                for s in inner.metrics.sets(idx) {
+                    s.enqueued.add(1);
+                }
+                inner.metrics.queue_depth.set(depth as u64);
+                inner.metrics.queue_high_water.set_max(depth as u64);
                 ndirect_probe::probe_count!(ServeEnqueued, 1);
                 Ok(Ticket { slot, id })
             }
@@ -456,7 +448,13 @@ impl Server {
                 // drop-guard resolution path by resolving explicitly.
                 rejected.slot.resolve(Err(error.clone()));
                 drop(rejected);
-                inner.stats.shed.fetch_add(1, Ordering::Relaxed);
+                for s in inner.metrics.sets(idx) {
+                    s.shed.add(1);
+                    if matches!(error, ServeError::Overloaded { .. }) {
+                        s.shed_overload.add(1);
+                    }
+                }
+                inner.metrics.shed_rps.record(1);
                 ndirect_probe::probe_count!(ServeShed, 1);
                 Err(match error {
                     ServeError::Overloaded { depth, .. } => ServeError::Overloaded {
@@ -479,23 +477,41 @@ impl Server {
         self.submit(model, input, Some(Instant::now() + timeout))
     }
 
-    /// Snapshot of the server's health counters.
+    /// Snapshot of the server's health counters, derived from the
+    /// aggregate scope of the telemetry plane (`deadline_misses` is
+    /// queue-expiries plus late deliveries, as before).
     pub fn stats(&self) -> ServeStats {
-        let s = &self.inner.stats;
+        let a = &self.inner.metrics.aggregate;
         ServeStats {
-            enqueued: s.enqueued.load(Ordering::Relaxed),
-            shed: s.shed.load(Ordering::Relaxed),
-            completed: s.completed.load(Ordering::Relaxed),
-            failed: s.failed.load(Ordering::Relaxed),
-            deadline_misses: s.deadline_misses.load(Ordering::Relaxed),
-            batches: s.batches.load(Ordering::Relaxed),
-            batched_requests: s.batched_requests.load(Ordering::Relaxed),
-            retries: s.retries.load(Ordering::Relaxed),
-            degraded: s.degraded.load(Ordering::Relaxed),
-            isolated_panics: s.isolated_panics.load(Ordering::Relaxed),
+            enqueued: a.enqueued.get(),
+            shed: a.shed.get(),
+            completed: a.completed.get(),
+            failed: a.failed.get(),
+            deadline_misses: a.expired_queue.get() + a.late.get(),
+            batches: a.batches.get(),
+            batched_requests: a.batched_requests.get(),
+            retries: a.retries.get(),
+            degraded: a.degraded.get(),
+            isolated_panics: a.panics.get(),
             queue_depth: self.inner.queue.depth(),
             worker_deaths: self.pools.iter().map(|p| p.worker_deaths()).sum(),
         }
+    }
+
+    /// Snapshot of every registered telemetry metric — per-stage latency
+    /// histograms, fault counters, gauges — per model and aggregate.
+    /// Serialize with [`MetricsSnapshot::to_json`] or
+    /// [`MetricsSnapshot::to_prometheus`]; diff two snapshots with
+    /// [`MetricsSnapshot::since`].
+    ///
+    /// [`MetricsSnapshot::to_json`]: ndirect_probe::metrics::MetricsSnapshot::to_json
+    /// [`MetricsSnapshot::to_prometheus`]: ndirect_probe::metrics::MetricsSnapshot::to_prometheus
+    /// [`MetricsSnapshot::since`]: ndirect_probe::metrics::MetricsSnapshot::since
+    pub fn metrics_snapshot(&self) -> ndirect_probe::metrics::MetricsSnapshot {
+        // The depth gauge tracks push-time observations; refresh it so a
+        // snapshot of an idle server reads the true (drained) depth.
+        self.inner.metrics.queue_depth.set(self.inner.queue.depth() as u64);
+        self.inner.metrics.snapshot()
     }
 
     /// Total plans across all model registries (diagnostics: proves shed
@@ -531,34 +547,62 @@ impl Drop for Server {
 }
 
 fn batcher_loop(inner: &Arc<ServerInner>) {
+    let mut expired = Vec::new();
     loop {
         if let Some(stall) = inner.faults.queue_stall() {
             std::thread::sleep(stall);
         }
-        let mut expired = 0usize;
+        expired.clear();
         let outcome =
             inner
                 .queue
                 .next_batch(inner.config.max_batch, inner.config.batch_linger, &mut expired);
-        if expired > 0 {
-            inner
-                .stats
-                .deadline_misses
-                .fetch_add(expired as u64, Ordering::Relaxed);
-            inner.stats.failed.fetch_add(expired as u64, Ordering::Relaxed);
-            ndirect_probe::probe_count!(ServeDeadlineMisses, expired as u64);
-            ndirect_probe::probe_count!(ServeDequeued, expired as u64);
+        if !expired.is_empty() {
+            for &model in &expired {
+                for s in inner.metrics.sets(model) {
+                    s.expired_queue.add(1);
+                    s.failed.add(1);
+                }
+            }
+            ndirect_probe::probe_count!(ServeDeadlineMisses, expired.len() as u64);
+            ndirect_probe::probe_count!(ServeDequeued, expired.len() as u64);
         }
         match outcome {
             BatchPlanOutcome::Batch(requests) => {
+                let t_formed_ns = ndirect_probe::now_ns();
                 let n = requests.len() as u64;
-                inner.stats.batches.fetch_add(1, Ordering::Relaxed);
-                inner.stats.batched_requests.fetch_add(n, Ordering::Relaxed);
+                let model = requests[0].model;
+                for r in &requests {
+                    // Admission wait ended when `take_matching` stamped the
+                    // request; linger runs from there to batch formation.
+                    let admission_ns = r.t_taken_ns.saturating_sub(r.t_submit_ns);
+                    let linger_ns = t_formed_ns.saturating_sub(r.t_taken_ns);
+                    for s in inner.metrics.sets(model) {
+                        s.stage_admission.record(admission_ns);
+                        s.stage_linger.record(linger_ns);
+                    }
+                    ndirect_probe::record_span(
+                        ndirect_probe::Phase::ServeAdmission,
+                        trace32(r.id),
+                        r.t_submit_ns,
+                        admission_ns,
+                    );
+                    ndirect_probe::record_span(
+                        ndirect_probe::Phase::ServeLinger,
+                        trace32(r.id),
+                        r.t_taken_ns,
+                        linger_ns,
+                    );
+                }
+                for s in inner.metrics.sets(model) {
+                    s.batches.add(1);
+                    s.batched_requests.add(n);
+                    s.batch_size.record(n);
+                }
                 ndirect_probe::probe_count!(ServeDequeued, n);
                 ndirect_probe::probe_count!(ServeBatches, 1);
                 ndirect_probe::probe_count!(ServeBatchedRequests, n);
-                let model = requests[0].model;
-                inner.dispatch.push(Batch { model, requests });
+                inner.dispatch.push(Batch { model, requests, t_formed_ns });
             }
             BatchPlanOutcome::Swept => {}
             BatchPlanOutcome::Drained => break,
@@ -581,7 +625,9 @@ enum Exec {
 }
 
 fn execute_batch(inner: &Arc<ServerInner>, pool: &Arc<StaticPool>, batch: Batch) {
-    let model = &inner.models[batch.model];
+    let model_idx = batch.model;
+    let model = &inner.models[model_idx];
+    let t_picked_ns = ndirect_probe::now_ns();
 
     // Defensive: a request cancelled while the batch sat in dispatch was
     // already resolved by its canceller; just drop it (never a kernel
@@ -595,15 +641,30 @@ fn execute_batch(inner: &Arc<ServerInner>, pool: &Arc<StaticPool>, batch: Batch)
         return;
     }
 
+    // Dispatch-queue stage: batch sealed → shard pickup, shared by every
+    // request in the batch.
+    let dispatch_ns = t_picked_ns.saturating_sub(batch.t_formed_ns);
+    for r in &live {
+        for s in inner.metrics.sets(model_idx) {
+            s.stage_dispatch.record(dispatch_ns);
+        }
+        ndirect_probe::record_span(
+            ndirect_probe::Phase::ServeDispatch,
+            trace32(r.id),
+            batch.t_formed_ns,
+            dispatch_ns,
+        );
+    }
+
     if inner.faults.kill_worker() {
         pool.inject_worker_death();
     }
 
     let nb = live.len();
-    let (plan, degraded) = match acquire_plan(inner, model, nb, pool.size()) {
+    let (plan, degraded) = match acquire_plan(inner, model_idx, nb, pool.size()) {
         Ok(pair) => pair,
         Err(error) => {
-            fail_all(inner, live, &error);
+            fail_all(inner, model_idx, live, &error);
             return;
         }
     };
@@ -619,7 +680,11 @@ fn execute_batch(inner: &Arc<ServerInner>, pool: &Arc<StaticPool>, batch: Batch)
     let mut batch_out = Tensor4::zeros(nb, shape.k, shape.p(), shape.q(), ActLayout::Nchw);
 
     let poisoned = live.iter().any(|r| r.poison);
-    let started = Instant::now();
+    // Tag the pool's worker/region spans with the batch's lead trace ID
+    // so kernel activity in the Chrome trace links back to the requests
+    // it served.
+    pool.set_trace_tag(trace32(live[0].id));
+    let t_exec_start_ns = ndirect_probe::now_ns();
     let mut attempts = 0usize;
     let outcome = loop {
         let attempt = std::panic::catch_unwind(AssertUnwindSafe(|| {
@@ -636,30 +701,43 @@ fn execute_batch(inner: &Arc<ServerInner>, pool: &Arc<StaticPool>, batch: Batch)
             Ok(Ok(())) => break Exec::Done,
             Ok(Err(e)) if core_error_is_transient(&e) && attempts < inner.config.max_retries => {
                 attempts += 1;
-                backoff(inner, attempts);
+                backoff(inner, model_idx, attempts);
             }
             Ok(Err(e)) => break Exec::Failed { error: e, attempts },
         }
     };
+    let t_exec_end_ns = ndirect_probe::now_ns();
+    pool.set_trace_tag(0);
 
     match outcome {
         Exec::Done => {
-            inner.observe_service_time(started.elapsed(), nb);
+            let exec_ns = t_exec_end_ns.saturating_sub(t_exec_start_ns);
+            let service_ns = exec_ns / nb as u64;
             for (i, r) in live.into_iter().enumerate() {
+                for s in inner.metrics.sets(model_idx) {
+                    s.stage_execute.record(exec_ns);
+                    s.service.record(service_ns);
+                }
+                ndirect_probe::record_span(
+                    ndirect_probe::Phase::ServeExecute,
+                    trace32(r.id),
+                    t_exec_start_ns,
+                    exec_ns,
+                );
                 let mut out = Tensor4::zeros(1, shape.k, shape.p(), shape.q(), ActLayout::Nchw);
                 out.as_mut_slice()
                     .copy_from_slice(&batch_out.as_slice()[i * out_len..(i + 1) * out_len]);
-                deliver(inner, r, out, degraded, nb);
+                deliver(inner, model_idx, r, out, degraded, nb, t_exec_end_ns);
             }
         }
-        Exec::Panicked => isolate_batch(inner, pool, batch.model, live),
+        Exec::Panicked => isolate_batch(inner, pool, model_idx, live),
         Exec::Failed { error, attempts } => {
             let error = if core_error_is_transient(&error) {
                 ServeError::RetriesExhausted { attempts: attempts + 1, last: error }
             } else {
                 ServeError::Conv(error)
             };
-            fail_all(inner, live, &error);
+            fail_all(inner, model_idx, live, &error);
         }
     }
 }
@@ -670,31 +748,52 @@ fn execute_batch(inner: &Arc<ServerInner>, pool: &Arc<StaticPool>, batch: Batch)
 /// thanks to the pinned schedule).
 fn isolate_batch(inner: &Arc<ServerInner>, pool: &Arc<StaticPool>, model_idx: usize, live: Vec<Pending>) {
     let model = &inner.models[model_idx];
-    let (plan, degraded) = match acquire_plan(inner, model, 1, pool.size()) {
+    let (plan, degraded) = match acquire_plan(inner, model_idx, 1, pool.size()) {
         Ok(pair) => pair,
         Err(error) => {
-            fail_all(inner, live, &error);
+            fail_all(inner, model_idx, live, &error);
             return;
         }
     };
     let shape = model.shape1;
     for r in live {
         let mut out = Tensor4::zeros(1, shape.k, shape.p(), shape.q(), ActLayout::Nchw);
+        pool.set_trace_tag(trace32(r.id));
+        let t_start_ns = ndirect_probe::now_ns();
         let attempt = std::panic::catch_unwind(AssertUnwindSafe(|| {
             if r.poison {
                 panic!("injected kernel poison");
             }
             plan.execute(pool, &r.input, &mut out)
         }));
+        let t_end_ns = ndirect_probe::now_ns();
+        pool.set_trace_tag(0);
         match attempt {
             Err(_) => {
-                inner.stats.isolated_panics.fetch_add(1, Ordering::Relaxed);
-                inner.stats.failed.fetch_add(1, Ordering::Relaxed);
+                for s in inner.metrics.sets(model_idx) {
+                    s.panics.add(1);
+                    s.failed.add(1);
+                }
                 r.slot.resolve(Err(ServeError::WorkerPanicked));
             }
-            Ok(Ok(())) => deliver(inner, r, out, degraded, 1),
+            Ok(Ok(())) => {
+                let exec_ns = t_end_ns.saturating_sub(t_start_ns);
+                for s in inner.metrics.sets(model_idx) {
+                    s.stage_execute.record(exec_ns);
+                    s.service.record(exec_ns);
+                }
+                ndirect_probe::record_span(
+                    ndirect_probe::Phase::ServeExecute,
+                    trace32(r.id),
+                    t_start_ns,
+                    exec_ns,
+                );
+                deliver(inner, model_idx, r, out, degraded, 1, t_end_ns);
+            }
             Ok(Err(e)) => {
-                inner.stats.failed.fetch_add(1, Ordering::Relaxed);
+                for s in inner.metrics.sets(model_idx) {
+                    s.failed.add(1);
+                }
                 r.slot.resolve(Err(ServeError::Conv(e)));
             }
         }
@@ -702,25 +801,49 @@ fn isolate_batch(inner: &Arc<ServerInner>, pool: &Arc<StaticPool>, model_idx: us
 }
 
 /// Resolves a completed request, flagging (never dropping) results whose
-/// deadline passed mid-flight.
-fn deliver(inner: &Arc<ServerInner>, r: Pending, output: Tensor4, degraded: bool, batch: usize) {
+/// deadline passed mid-flight. `exec_end_ns` bounds the delivery stage:
+/// kernel done → ticket resolved (per-sample scatter + wake).
+fn deliver(
+    inner: &Arc<ServerInner>,
+    model_idx: usize,
+    r: Pending,
+    output: Tensor4,
+    degraded: bool,
+    batch: usize,
+    exec_end_ns: u64,
+) {
     let late = r.expired(Instant::now());
+    let t_done_ns = ndirect_probe::now_ns();
+    let delivery_ns = t_done_ns.saturating_sub(exec_end_ns);
+    let latency_ns = t_done_ns.saturating_sub(r.t_submit_ns);
+    for s in inner.metrics.sets(model_idx) {
+        s.stage_delivery.record(delivery_ns);
+        s.latency.record(latency_ns);
+        s.completed.add(1);
+        if late {
+            s.late.add(1);
+        }
+        if degraded {
+            s.degraded.add(1);
+        }
+    }
+    inner.metrics.completed_rps.record(1);
+    ndirect_probe::record_span(
+        ndirect_probe::Phase::ServeDeliver,
+        trace32(r.id),
+        exec_end_ns,
+        delivery_ns,
+    );
     if late {
-        inner.stats.deadline_misses.fetch_add(1, Ordering::Relaxed);
         ndirect_probe::probe_count!(ServeDeadlineMisses, 1);
     }
-    if degraded {
-        inner.stats.degraded.fetch_add(1, Ordering::Relaxed);
-    }
-    inner.stats.completed.fetch_add(1, Ordering::Relaxed);
     r.slot.resolve(Ok(InferResponse { output, late, degraded, batch }));
 }
 
-fn fail_all(inner: &Arc<ServerInner>, live: Vec<Pending>, error: &ServeError) {
-    inner
-        .stats
-        .failed
-        .fetch_add(live.len() as u64, Ordering::Relaxed);
+fn fail_all(inner: &Arc<ServerInner>, model_idx: usize, live: Vec<Pending>, error: &ServeError) {
+    for s in inner.metrics.sets(model_idx) {
+        s.failed.add(live.len() as u64);
+    }
     for r in live {
         r.slot.resolve(Err(error.clone()));
     }
@@ -731,10 +854,11 @@ fn fail_all(inner: &Arc<ServerInner>, live: Vec<Pending>, error: &ServeError) {
 /// degraded plan as the last resort before giving up.
 fn acquire_plan(
     inner: &Arc<ServerInner>,
-    model: &Model,
+    model_idx: usize,
     nb: usize,
     pool_size: usize,
 ) -> Result<(Arc<ConvPlan<'static>>, bool), ServeError> {
+    let model = &inner.models[model_idx];
     let shape = model.batch_shape(nb);
     let key = PlanKey::with_tag(&shape, &model.filter, pool_size, TAG_PINNED);
     let mut attempts = 0usize;
@@ -749,7 +873,7 @@ fn acquire_plan(
             Ok(plan) => return Ok((plan, false)),
             Err(e) if core_error_is_transient(&e) && attempts < inner.config.max_retries => {
                 attempts += 1;
-                backoff(inner, attempts);
+                backoff(inner, model_idx, attempts);
             }
             Err(e) if core_error_is_transient(&e) => {
                 // Retries exhausted: degrade to the minimal schedule (its
@@ -771,8 +895,10 @@ fn acquire_plan(
     }
 }
 
-fn backoff(inner: &Arc<ServerInner>, attempt: usize) {
-    inner.stats.retries.fetch_add(1, Ordering::Relaxed);
+fn backoff(inner: &Arc<ServerInner>, model_idx: usize, attempt: usize) {
+    for s in inner.metrics.sets(model_idx) {
+        s.retries.add(1);
+    }
     ndirect_probe::probe_count!(ServeRetries, 1);
     let factor = 1u32 << (attempt - 1).min(10) as u32;
     std::thread::sleep(inner.config.retry_backoff.saturating_mul(factor));

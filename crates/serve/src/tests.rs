@@ -149,6 +149,71 @@ fn overload_sheds_with_backoff_hint() {
     server.shutdown();
 }
 
+/// ISSUE 9 satellite: the `Overloaded::retry_after` hint is derived from
+/// the measured backlog and p99 service time (`metrics::retry_hint`), and
+/// the clamp yields exactly three regimes.
+#[test]
+fn retry_hint_regime_table() {
+    use crate::metrics::{retry_hint, COLD_SERVICE_NS, RETRY_AFTER_CEIL, RETRY_AFTER_FLOOR};
+
+    struct Case {
+        name: &'static str,
+        depth: usize,
+        shards: usize,
+        p99_ns: u64,
+        expect: Duration,
+    }
+    let cases = [
+        // Light load: a shallow queue of microsecond requests drains well
+        // under a millisecond — the hint is floor-clamped so clients back
+        // off a meaningful amount instead of busy-retrying.
+        Case { name: "light/floor", depth: 4, shards: 2, p99_ns: 50_000, expect: RETRY_AFTER_FLOOR },
+        Case { name: "light/empty-queue", depth: 0, shards: 4, p99_ns: 1_000, expect: RETRY_AFTER_FLOOR },
+        // Moderate load: the estimate passes through proportionally —
+        // depth × p99 / shards.
+        Case {
+            name: "moderate/proportional",
+            depth: 100,
+            shards: 2,
+            p99_ns: 1_000_000, // 1 ms p99 → 100 · 1 ms / 2 = 50 ms
+            expect: Duration::from_millis(50),
+        },
+        Case {
+            name: "moderate/more-shards-drain-faster",
+            depth: 100,
+            shards: 4,
+            p99_ns: 1_000_000, // same backlog, twice the shards → 25 ms
+            expect: Duration::from_millis(25),
+        },
+        // Saturated: a deep queue of slow requests would take minutes;
+        // the ceiling caps the hint at 2 s so clients re-probe.
+        Case {
+            name: "saturated/ceiling",
+            depth: 5000,
+            shards: 1,
+            p99_ns: 20_000_000,
+            expect: RETRY_AFTER_CEIL,
+        },
+        // No completion observed yet: falls back to the cold estimate.
+        Case {
+            name: "cold/fallback",
+            depth: 400,
+            shards: 2,
+            p99_ns: 0, // → COLD_SERVICE_NS per request: 400 · 10 ms / 2 = 2 s cap
+            expect: RETRY_AFTER_CEIL,
+        },
+    ];
+    for c in cases {
+        assert_eq!(retry_hint(c.depth, c.shards, c.p99_ns), c.expect, "case {}", c.name);
+    }
+    // The cold fallback constant is what the proportional path uses.
+    assert_eq!(
+        retry_hint(10, 1, 0),
+        retry_hint(10, 1, COLD_SERVICE_NS),
+        "p99 = 0 behaves exactly like a measured cold-estimate p99"
+    );
+}
+
 #[test]
 fn transient_alloc_refusal_is_retried_transparently() {
     let faults = Arc::new(Faults::new());

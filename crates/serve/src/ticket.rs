@@ -99,6 +99,12 @@ impl Ticket {
         self.id
     }
 
+    /// The request's trace ID: the key its per-stage spans carry in the
+    /// Chrome-trace export (the id's low 32 bits).
+    pub fn trace_id(&self) -> u32 {
+        self.id as u32
+    }
+
     /// Blocks until the pipeline delivers the result.
     pub fn wait(self) -> Result<InferResponse, ServeError> {
         self.slot.wait()

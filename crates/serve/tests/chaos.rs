@@ -358,3 +358,181 @@ fn shutdown_under_chaos_strands_no_ticket() {
         }
     });
 }
+
+/// ISSUE 9 acceptance: after a deterministic multi-phase fault storm, the
+/// final metrics snapshot's counters **exactly** account for every
+/// injected fault — arrival expiries, queue expiries, retries,
+/// degradations, and panics each equal their armed totals (hard
+/// equality), the conservation law `enqueued == completed + failed`
+/// holds, and the latency histogram's quantiles respect the documented
+/// bucket error bound against client-observed wall times.
+#[test]
+fn metrics_snapshot_accounts_for_every_injected_fault() {
+    use ndirect_probe::metrics::{parse_prometheus, MetricsSnapshot, MAX_RELATIVE_ERROR};
+    use ndirect_serve::METRIC_CATALOG;
+
+    watchdog("metrics-accounting", || {
+        let faults = Arc::new(Faults::new());
+        // Phase B's fault, armed before the server exists so the batcher's
+        // first loop iteration consumes the stall.
+        faults.stall_queue_once_ms(150);
+        let server = Server::with_faults(
+            ServeConfig {
+                max_retries: 1,
+                // Generous linger so back-to-back submits of a phase are
+                // deterministically coalesced into one batch.
+                batch_linger: Duration::from_millis(200),
+                ..quick_config()
+            },
+            vec![model_def()],
+            Arc::clone(&faults),
+        )
+        .expect("server");
+
+        // Phase B — 3 queue expiries: the batcher sleeps through the
+        // stall while these 20 ms deadlines lapse in the queue.
+        let doomed: Vec<_> = (0..3u64)
+            .map(|i| {
+                server
+                    .submit_within(MODEL, input(100 + i), Duration::from_millis(20))
+                    .expect("admitted")
+            })
+            .collect();
+
+        // Phase A — 2 arrival expiries: already-passed deadlines are
+        // refused at the door and never enter the queue.
+        for i in 0..2u64 {
+            match server.submit_within(MODEL, input(200 + i), Duration::ZERO) {
+                Err(ServeError::DeadlineExpired { .. }) => {}
+                other => panic!("expected arrival expiry, got {:?}", other.map(|t| t.id())),
+            }
+        }
+        for t in doomed {
+            match t.wait_timeout(Duration::from_secs(8)) {
+                Ok(Err(ServeError::DeadlineExpired { .. })) => {}
+                Ok(other) => panic!("expected queue expiry, got {:?}", other.map(|r| r.batch)),
+                Err(_) => panic!("doomed ticket stranded"),
+            }
+        }
+
+        // Every completed request's client-observed wall time upper-bounds
+        // its server-side latency; the histogram's p100 must stay within
+        // one bucket width of the slowest of these.
+        let mut wall_ns: Vec<u64> = Vec::new();
+        let mut timed_wait = |seed: u64, t: Ticket, started: Instant, want_degraded: bool| {
+            let resp = t.wait_timeout(Duration::from_secs(8)).expect("resolved").expect("ok");
+            wall_ns.push(started.elapsed().as_nanos() as u64);
+            assert_eq!(resp.degraded, want_degraded, "seed {seed}: degraded flag");
+            let want = if want_degraded { minimal_reference(seed) } else { pinned_reference(seed, 1) };
+            assert_eq!(resp.output.as_slice(), want.as_slice(), "seed {seed}: bitwise");
+        };
+
+        // Phase C — 2 refused allocations against the fresh N = 2 plan:
+        // one retry (max_retries = 1), then both requests complete on the
+        // degraded minimal-schedule plan.
+        faults.refuse_next_allocs(2);
+        let c_started = Instant::now();
+        let c1 = server.submit(MODEL, input(1), None).expect("submit c1");
+        let c2 = server.submit(MODEL, input(2), None).expect("submit c2");
+        timed_wait(1, c1, c_started, true);
+        timed_wait(2, c2, c_started, true);
+
+        // Phase D — 2 poisoned requests panic the batch; isolation fails
+        // exactly the poisoned pair and completes their peer.
+        faults.poison_next_submits(2);
+        let d_started = Instant::now();
+        let d1 = server.submit(MODEL, input(3), None).expect("submit d1");
+        let d2 = server.submit(MODEL, input(4), None).expect("submit d2");
+        let d3 = server.submit(MODEL, input(5), None).expect("submit d3");
+        for (who, t) in [("d1", d1), ("d2", d2)] {
+            assert!(
+                matches!(t.wait_timeout(Duration::from_secs(8)), Ok(Err(ServeError::WorkerPanicked))),
+                "{who}: poisoned request fails alone, typed"
+            );
+        }
+        timed_wait(5, d3, d_started, false);
+
+        // Phase E — 4 clean completions.
+        let e_started = Instant::now();
+        let clean: Vec<_> = (10..14u64)
+            .map(|i| (i, server.submit(MODEL, input(i), None).expect("submit clean")))
+            .collect();
+        for (i, t) in clean {
+            timed_wait(i, t, e_started, false);
+        }
+
+        // --- The accounting ---------------------------------------------
+        let snap = server.metrics_snapshot();
+        let agg = |name: &str| snap.counter(name, &[]).unwrap_or_else(|| panic!("counter {name}"));
+
+        // Injected-fault totals, hard equality.
+        assert_eq!(agg("serve_expired_arrival_total"), 2, "arrival expiries");
+        assert_eq!(agg("serve_expired_queue_total"), 3, "queue expiries (stall sweep)");
+        assert_eq!(agg("serve_retries_total"), 1, "2 refusals / max_retries 1 = one backoff");
+        assert_eq!(agg("serve_degraded_total"), 2, "both phase-C requests degraded");
+        assert_eq!(agg("serve_panics_total"), 2, "both poisoned requests isolated");
+        assert_eq!(agg("serve_shed_total"), 2, "sheds = the arrival expiries");
+        assert_eq!(agg("serve_shed_overload_total"), 0);
+        assert_eq!(agg("serve_late_total"), 0);
+
+        // Conservation: every admitted request is completed or failed.
+        let enqueued = agg("serve_enqueued_total");
+        assert_eq!(enqueued, 12);
+        assert_eq!(agg("serve_completed_total"), 7);
+        assert_eq!(agg("serve_failed_total"), 5, "3 queue expiries + 2 isolated panics");
+        assert_eq!(agg("serve_completed_total") + agg("serve_failed_total"), enqueued);
+        // Dispatched work: everything admitted that did not expire in queue.
+        assert_eq!(agg("serve_batched_requests_total"), 9);
+
+        // The per-model scope mirrors the aggregate exactly (one model).
+        let model_labels = [("model", MODEL)];
+        for name in METRIC_CATALOG.iter().filter(|n| n.ends_with("_total")) {
+            assert_eq!(
+                snap.counter(name, &model_labels),
+                Some(agg(name)),
+                "{name}: model scope mirrors aggregate"
+            );
+        }
+
+        // Stage histograms carry one sample per request that crossed the
+        // stage: 9 dispatched, 7 executed-and-delivered.
+        let hist = |name: &str| snap.histogram(name, &[]).unwrap_or_else(|| panic!("histogram {name}"));
+        assert_eq!(hist("serve_stage_admission_ns").count, 9);
+        assert_eq!(hist("serve_stage_linger_ns").count, 9);
+        assert_eq!(hist("serve_stage_dispatch_ns").count, 9);
+        assert_eq!(hist("serve_stage_execute_ns").count, 7);
+        assert_eq!(hist("serve_stage_delivery_ns").count, 7);
+        assert_eq!(hist("serve_service_ns").count, 7);
+        let latency = hist("serve_latency_ns");
+        assert_eq!(latency.count, 7, "one latency sample per completion");
+        assert_eq!(latency.buckets.iter().map(|&(_, n)| n).sum::<u64>(), latency.count);
+
+        // Quantile error bound, cross-checked against the client's clock:
+        // server-side latency <= client wall time per request, and the
+        // histogram may overshoot the true maximum by at most one bucket
+        // width (MAX_RELATIVE_ERROR).
+        let max_wall = *wall_ns.iter().max().expect("completions");
+        let p100 = latency.quantile(100.0);
+        assert!(p100 > 0);
+        let bound = max_wall + (MAX_RELATIVE_ERROR * max_wall as f64).ceil() as u64;
+        assert!(
+            p100 <= bound,
+            "latency p100 {p100} exceeds client-observed max {max_wall} + bucket error ({bound})"
+        );
+        for pair in [(50.0, 99.0), (99.0, 100.0)] {
+            assert!(latency.quantile(pair.0) <= latency.quantile(pair.1), "quantiles monotone");
+        }
+
+        // Export surface: every catalogued family is present, the JSON
+        // round-trips losslessly, and the Prometheus text parses back.
+        for name in METRIC_CATALOG {
+            assert!(snap.family(name).is_some(), "catalog family {name} missing from snapshot");
+        }
+        let rt = MetricsSnapshot::from_json(&snap.to_json()).expect("json round-trip");
+        assert_eq!(rt, snap, "JSON serialization is lossless");
+        let prom = parse_prometheus(&snap.to_prometheus()).expect("prometheus parses");
+        assert!(!prom.is_empty());
+
+        server.shutdown();
+    });
+}

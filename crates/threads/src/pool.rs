@@ -27,7 +27,7 @@
 use std::any::Any;
 use std::collections::VecDeque;
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
 use crate::cancel::CancelToken;
@@ -76,6 +76,22 @@ struct Team {
     handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
     shutdown: AtomicBool,
     deaths: AtomicUsize,
+    /// When nonzero, worker/region probe spans carry this value as their
+    /// argument instead of the thread id, so an embedder (the serving
+    /// layer) can key kernel activity in the trace by its own request
+    /// trace ID. Zero — the default — preserves the tid convention.
+    trace_tag: AtomicU32,
+}
+
+impl Team {
+    /// The span argument for probe events: the trace tag when set,
+    /// otherwise the caller's default (tid / team size).
+    fn span_arg(&self, default: u32) -> u32 {
+        match self.trace_tag.load(Ordering::Relaxed) {
+            0 => default,
+            tag => tag,
+        }
+    }
 }
 
 /// A lifetime-erased `&(dyn Fn(usize) + Sync)` plus completion accounting.
@@ -311,7 +327,9 @@ fn worker_main(team: Arc<Team>, index: usize) {
             Popped::Job(job) => {
                 watch.pending = Some(Arc::clone(&job.latch));
                 let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
-                    let _busy = ndirect_probe::probe_span!(Worker, job.tid);
+                    // CAST: tid < pool size (a few dozen at most), far below u32::MAX.
+                    let _busy =
+                        ndirect_probe::probe_span!(Worker, team.span_arg(job.tid as u32));
                     // SAFETY: `job.data`/`job.call` were erased from a live
                     // `&F` in `try_run`, which blocks on `latch` until we
                     // count down below.
@@ -347,6 +365,7 @@ impl StaticPool {
             handles: Mutex::new(Vec::with_capacity(size.saturating_sub(1))),
             shutdown: AtomicBool::new(false),
             deaths: AtomicUsize::new(0),
+            trace_tag: AtomicU32::new(0),
         });
         for i in 1..size {
             match spawn_worker(Arc::clone(&team), i) {
@@ -399,6 +418,16 @@ impl StaticPool {
     /// (and healed) over its lifetime. Monotonic; `0` on a healthy pool.
     pub fn worker_deaths(&self) -> usize {
         self.team.deaths.load(Ordering::Acquire)
+    }
+
+    /// Tags subsequent worker/region probe spans with `tag` (a request
+    /// trace ID) instead of the thread-id convention; `0` restores the
+    /// default. The serving layer brackets each `plan.execute` with this
+    /// so kernel spans in the Chrome trace link back to the request batch
+    /// they served. Purely observational: no effect on scheduling, and a
+    /// no-op without the `probe` feature.
+    pub fn set_trace_tag(&self, tag: u32) {
+        self.team.trace_tag.store(tag, Ordering::Relaxed);
     }
 
     /// Respawns any worker whose thread has exited without the death watch
@@ -491,9 +520,9 @@ impl StaticPool {
                 return Err(PoolError::Cancelled);
             }
             ndirect_probe::probe_count!(Regions, 1);
-            let _region = ndirect_probe::probe_span!(Region, 1);
+            let _region = ndirect_probe::probe_span!(Region, self.team.span_arg(1));
             {
-                let _busy = ndirect_probe::probe_span!(Worker, 0);
+                let _busy = ndirect_probe::probe_span!(Worker, self.team.span_arg(0));
                 f(0);
             }
             return Ok(());
@@ -516,7 +545,8 @@ impl StaticPool {
             return Err(PoolError::Cancelled);
         }
         ndirect_probe::probe_count!(Regions, 1);
-        let _region = ndirect_probe::probe_span!(Region, self.size);
+        // CAST: pool size is a small thread count, far below u32::MAX.
+        let _region = ndirect_probe::probe_span!(Region, self.team.span_arg(self.size as u32));
 
         // SAFETY: callers must pass a `data` pointer obtained from `&f` for
         // an `F` that outlives the call; the only call sites are the jobs
@@ -543,7 +573,7 @@ impl StaticPool {
         // The caller is thread 0. Catch its panic so we still reach the
         // barrier (the workers hold pointers into our stack frame).
         let own = std::panic::catch_unwind(AssertUnwindSafe(|| {
-            let _busy = ndirect_probe::probe_span!(Worker, 0);
+            let _busy = ndirect_probe::probe_span!(Worker, self.team.span_arg(0));
             f(0)
         }));
         latch.count_down(own.err());
