@@ -143,7 +143,13 @@ pub fn lex(src: &str) -> Lexed {
                 }
             }
             State::Str => {
-                if b == b'\\' && i + 1 < bytes.len() {
+                if b == b'\\' && bytes.get(i + 1) == Some(&b'\n') {
+                    // `\` line continuation: consume only the backslash so
+                    // the top-of-loop newline handling keeps line numbers
+                    // aligned with the original text.
+                    scrubbed.push(b' ');
+                    i += 1;
+                } else if b == b'\\' && i + 1 < bytes.len() {
                     scrubbed.extend_from_slice(b"  ");
                     i += 2;
                 } else {
@@ -165,7 +171,11 @@ pub fn lex(src: &str) -> Lexed {
                 }
             }
             State::CharLit => {
-                if b == b'\\' && i + 1 < bytes.len() {
+                if b == b'\\' && bytes.get(i + 1) == Some(&b'\n') {
+                    // Malformed source, but line numbers must stay aligned.
+                    scrubbed.push(b' ');
+                    i += 1;
+                } else if b == b'\\' && i + 1 < bytes.len() {
                     scrubbed.extend_from_slice(b"  ");
                     i += 2;
                 } else {
@@ -249,6 +259,17 @@ mod tests {
         assert!(!l.scrubbed.contains("unsafe"));
         assert!(!l.scrubbed.contains("unwrap"));
         assert!(l.scrubbed.contains("let s ="));
+    }
+
+    #[test]
+    fn string_line_continuations_preserve_line_structure() {
+        // A `\` before the newline continues the string onto the next
+        // line; the scrubbed view must keep the newline so every later
+        // line number stays aligned with the original text.
+        let l = lex("let s = \"one \\\n     two\";\nlet after = 1;\n");
+        assert_eq!(l.scrubbed.lines().count(), 3);
+        assert_eq!(l.code_line(2), "let after = 1;");
+        assert!(!l.scrubbed.contains("two"));
     }
 
     #[test]

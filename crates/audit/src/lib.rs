@@ -14,16 +14,32 @@
 //! 5. every crate opts into the workspace lint table, and unsafe-free
 //!    crates `#![forbid(unsafe_code)]`.
 //!
+//! On top of the lexer sits a lightweight item parser ([`parser`]) and a
+//! workspace call graph ([`graph`]) enforcing the whole-program rules:
+//!
+//! 6. `hotpath-no-alloc` — nothing reachable from an `// AUDIT: hotpath`
+//!    root allocates outside an `// AUDIT: cold` region;
+//! 7. `hotpath-no-panic` — the same reachability hits no panicking call
+//!    and no unjustified scalar `[]` indexing;
+//! 8. `ordering-justify` — every atomic `Ordering` argument carries an
+//!    adjacent `// ORDERING:` comment;
+//! 9. `lock-order` — no lock pair is acquired in both orders anywhere,
+//!    propagated through the call graph.
+//!
 //! Violations can only be silenced through the checked-in `audit.allow`
-//! file ([`waiver`]), and unused waivers are themselves violations, so the
-//! gate can never loosen silently. CI runs `cargo run -p ndirect-audit` on
-//! every change (see `.github/workflows/ci.yml`); the dynamic complements
-//! — Miri, ThreadSanitizer, AddressSanitizer — live in the `soundness`
-//! workflow job and DESIGN.md §12.
+//! file ([`waiver`]) or a per-site annotation with a written reason, and
+//! unused waivers are themselves violations, so the gate can never loosen
+//! silently. CI runs `cargo run -p ndirect-audit` on every change (see
+//! `.github/workflows/ci.yml`); the dynamic complements — Miri,
+//! ThreadSanitizer, AddressSanitizer — live in the `soundness` workflow
+//! job and DESIGN.md §12. Rule semantics and the annotation grammar are
+//! documented in DESIGN.md §17.
 
 #![forbid(unsafe_code)]
 
+pub mod graph;
 pub mod lexer;
+pub mod parser;
 pub mod rules;
 pub mod waiver;
 
@@ -44,6 +60,12 @@ pub struct AuditReport {
     pub waived: Vec<Violation>,
     /// Files scanned.
     pub files_scanned: usize,
+    /// Qualified names of the `// AUDIT: hotpath` roots found.
+    pub hot_roots: Vec<String>,
+    /// Qualified names of every function reachable from a hotpath root
+    /// (roots included) — the self-test asserts the paper's execute paths
+    /// and the serve worker loop appear here.
+    pub hot_reachable: Vec<String>,
 }
 
 impl AuditReport {
@@ -104,15 +126,18 @@ pub fn audit_with_waivers(
 ) -> Result<AuditReport, AuditError> {
     let mut violations = Vec::new();
     let mut files_scanned = 0usize;
+    let mut graph_files: Vec<graph::GraphFile> = Vec::new();
+    let dep_cones = dependency_cones(root)?;
 
     for crate_dir in sorted_dirs(&root.join("crates"))? {
         let crate_name = file_name(&crate_dir);
-        let mut crate_sources = Vec::new();
+        let crate_start = graph_files.len();
+        let dep_cone = dep_cones.get(&crate_name).cloned();
 
         // Library sources: all rules. Two passes — the first lexes and
         // collects out-of-line `#[cfg(test)] mod x;` declarations so the
-        // second can classify their target files (`x.rs`, `x/…`) as test
-        // code for the unwrap/cast rules.
+        // second can classify their target files (`x.rs`, `x/mod.rs`, and
+        // everything under `x/`) as test code for the unwrap/cast rules.
         let src = crate_dir.join("src");
         let mut lexed_sources = Vec::new();
         let mut test_files: Vec<PathBuf> = Vec::new();
@@ -120,17 +145,7 @@ pub fn audit_with_waivers(
             let text = read(&file)?;
             let lexed = lexer::lex(&text);
             for name in rules::test_module_decls(&lexed) {
-                // `mod x;` in lib.rs/mod.rs/main.rs resolves next to the
-                // declaring file; in foo.rs it resolves under foo/.
-                let stem = file.file_stem().and_then(|s| s.to_str()).unwrap_or("");
-                let base = match stem {
-                    "lib" | "main" | "mod" => file.parent().map(Path::to_path_buf),
-                    _ => file.parent().map(|p| p.join(stem)),
-                };
-                if let Some(base) = base {
-                    test_files.push(base.join(format!("{name}.rs")));
-                    test_files.push(base.join(&name));
-                }
+                test_files.extend(parser::module_candidates(&file, &name));
             }
             lexed_sources.push((file, lexed));
         }
@@ -148,7 +163,14 @@ pub fn audit_with_waivers(
             };
             violations.extend(rules::check_file(&rel, &lexed, kind));
             files_scanned += 1;
-            crate_sources.push(lexed);
+            graph_files.push(graph::GraphFile {
+                rel,
+                test_regions: rules::test_regions(&lexed),
+                parsed: parser::parse(&lexed),
+                lexed,
+                in_graph: kind.library,
+                dep_cone: dep_cone.clone(),
+            });
         }
 
         // Integration tests and benches: safety-comment + static-mut only.
@@ -166,8 +188,12 @@ pub fn audit_with_waivers(
             }
         }
 
-        check_lint_header(root, &crate_dir, &crate_sources, &mut violations)?;
+        check_lint_header(root, &crate_dir, &graph_files[crate_start..], &mut violations)?;
     }
+
+    // Whole-workspace graph passes (hotpath reachability, lock order).
+    let graph_report = graph::analyze(&graph_files);
+    violations.extend(graph_report.violations);
 
     // Workspace-level integration tests and examples.
     for sub in ["tests", "examples"] {
@@ -219,6 +245,8 @@ pub fn audit_with_waivers(
         violations,
         waived,
         files_scanned,
+        hot_roots: graph_report.hot_roots,
+        hot_reachable: graph_report.hot_reachable,
     })
 }
 
@@ -227,7 +255,7 @@ pub fn audit_with_waivers(
 fn check_lint_header(
     root: &Path,
     crate_dir: &Path,
-    sources: &[lexer::Lexed],
+    sources: &[graph::GraphFile],
     out: &mut Vec<Violation>,
 ) -> Result<(), AuditError> {
     let manifest_path = crate_dir.join("Cargo.toml");
@@ -242,7 +270,7 @@ fn check_lint_header(
         });
     }
     let lib = crate_dir.join("src/lib.rs");
-    if lib.is_file() && !sources.iter().any(rules::uses_unsafe) {
+    if lib.is_file() && !sources.iter().any(|f| rules::uses_unsafe(&f.lexed)) {
         let lib_text = read(&lib)?;
         let scrubbed = lexer::lex(&lib_text).scrubbed;
         if !scrubbed.contains("#![forbid(unsafe_code)]") {
@@ -272,6 +300,70 @@ fn manifest_opts_into_workspace_lints(manifest: &str) -> bool {
         }
     }
     false
+}
+
+/// Per-crate transitive path-dependency cones (crate directory names,
+/// self included), from a line-level scan of each crate's `Cargo.toml`
+/// `[dependencies]` section. Dev-dependencies are ignored: test code never
+/// joins the call graph, and a bench-only edge (e.g. onto the baselines
+/// crate) would re-admit exactly the phantom paths the cone exists to cut.
+fn dependency_cones(
+    root: &Path,
+) -> Result<std::collections::BTreeMap<String, std::collections::BTreeSet<String>>, AuditError> {
+    use std::collections::{BTreeMap, BTreeSet};
+    let mut direct: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    for crate_dir in sorted_dirs(&root.join("crates"))? {
+        let name = file_name(&crate_dir);
+        let manifest = crate_dir.join("Cargo.toml");
+        let mut deps = BTreeSet::new();
+        deps.insert(name.clone());
+        if manifest.is_file() {
+            let mut in_deps = false;
+            for line in read(&manifest)?.lines() {
+                let line = line.trim();
+                if let Some(section) = line.strip_prefix('[') {
+                    let section = section.trim_end_matches(']');
+                    in_deps =
+                        section == "dependencies" || section.starts_with("dependencies.");
+                }
+                if !in_deps {
+                    continue;
+                }
+                // `foo = { path = "../simd" }` / `path = "../simd"` — the
+                // path's last segment is the workspace crate directory.
+                if let Some(rest) = line.split("path = \"").nth(1) {
+                    if let Some(path) = rest.split('"').next() {
+                        if let Some(seg) = path.split('/').next_back() {
+                            deps.insert(seg.to_owned());
+                        }
+                    }
+                }
+            }
+        }
+        direct.insert(name, deps);
+    }
+    // Transitive closure; cycles are impossible in a buildable workspace
+    // but the fixpoint tolerates them anyway.
+    loop {
+        let mut changed = false;
+        let names: Vec<String> = direct.keys().cloned().collect();
+        for name in &names {
+            let reach: BTreeSet<String> = direct[name]
+                .iter()
+                .filter_map(|d| direct.get(d))
+                .flat_map(|s| s.iter().cloned())
+                .collect();
+            if let Some(entry) = direct.get_mut(name) {
+                let before = entry.len();
+                entry.extend(reach);
+                changed |= entry.len() != before;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    Ok(direct)
 }
 
 fn read(path: &Path) -> Result<String, AuditError> {

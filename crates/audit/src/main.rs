@@ -4,13 +4,15 @@
 //! cargo run -p ndirect-audit               # audit the workspace, exit 1 on violations
 //! cargo run -p ndirect-audit -- --list-rules
 //! cargo run -p ndirect-audit -- --root /path/to/tree
+//! cargo run -p ndirect-audit -- --json     # machine-readable findings on stdout
 //! ```
 //!
 //! Exit codes: 0 clean, 1 violations found, 2 usage or I/O error.
 
 #![forbid(unsafe_code)]
 
-use ndirect_audit::rules::Rule;
+use ndirect_audit::rules::{Rule, Violation};
+use ndirect_support::json::Json;
 
 fn main() {
     std::process::exit(run(std::env::args().skip(1).collect()));
@@ -19,12 +21,13 @@ fn main() {
 fn run(args: Vec<String>) -> i32 {
     let mut root = None;
     let mut quiet = false;
+    let mut json = false;
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--list-rules" => {
                 for rule in Rule::ALL {
-                    println!("{:<15} {}", rule.id(), rule.describe());
+                    println!("{:<17} {}", rule.id(), rule.describe());
                 }
                 return 0;
             }
@@ -36,13 +39,15 @@ fn run(args: Vec<String>) -> i32 {
                 }
             },
             "--quiet" => quiet = true,
+            "--json" => json = true,
             "--help" | "-h" => {
                 println!(
                     "ndirect-audit: repo-specific soundness rules over the workspace\n\
                      \n\
-                     USAGE: ndirect-audit [--root DIR] [--list-rules] [--quiet]\n\
+                     USAGE: ndirect-audit [--root DIR] [--list-rules] [--quiet] [--json]\n\
                      \n\
                      Exit codes: 0 clean, 1 violations, 2 usage/IO error.\n\
+                     --json prints a machine-readable findings document on stdout.\n\
                      Waivers: audit.allow at the workspace root, one per line:\n\
                      \x20   <rule-id> <path> -- <reason>"
                 );
@@ -62,6 +67,10 @@ fn run(args: Vec<String>) -> i32 {
             return 2;
         }
     };
+    if json {
+        println!("{}", report_json(&report, &root).pretty());
+        return i32::from(!report.is_clean());
+    }
     for v in &report.violations {
         println!("{v}");
     }
@@ -77,4 +86,44 @@ fn run(args: Vec<String>) -> i32 {
         );
     }
     i32::from(!report.is_clean())
+}
+
+/// The `--json` findings document: a stable, versioned shape for CI
+/// artifacts and the GitHub problem-matcher pipeline.
+fn report_json(report: &ndirect_audit::AuditReport, root: &std::path::Path) -> Json {
+    let finding = |v: &Violation| {
+        Json::Obj(vec![
+            ("file".to_owned(), Json::str(v.file.clone())),
+            ("line".to_owned(), Json::usize(v.line)),
+            ("rule".to_owned(), Json::str(v.rule.id())),
+            ("message".to_owned(), Json::str(v.msg.clone())),
+        ])
+    };
+    Json::Obj(vec![
+        ("version".to_owned(), Json::usize(1)),
+        (
+            "root".to_owned(),
+            Json::str(root.display().to_string()),
+        ),
+        (
+            "files_scanned".to_owned(),
+            Json::usize(report.files_scanned),
+        ),
+        (
+            "violations".to_owned(),
+            Json::Arr(report.violations.iter().map(finding).collect()),
+        ),
+        (
+            "waived".to_owned(),
+            Json::Arr(report.waived.iter().map(finding).collect()),
+        ),
+        (
+            "hot_roots".to_owned(),
+            Json::Arr(report.hot_roots.iter().map(Json::str).collect()),
+        ),
+        (
+            "hot_reachable".to_owned(),
+            Json::Arr(report.hot_reachable.iter().map(Json::str).collect()),
+        ),
+    ])
 }

@@ -1,0 +1,1039 @@
+//! A lightweight item parser over scrubbed source.
+//!
+//! The call-graph rules (DESIGN.md §17) need more than token scans: they
+//! need to know *which function* a call or index expression lives in, what
+//! the function's enclosing `impl` type is, and whether the function (or a
+//! region inside it) carries an `// AUDIT:` annotation. This module grows
+//! that structure out of the [`crate::lexer`]'s scrubbed text — it is a
+//! heuristic item parser, not a real Rust front end:
+//!
+//! * **items** — `fn` declarations with name, body byte-span, enclosing
+//!   `impl`/`trait` target type, and 0-based header line;
+//! * **modules** — out-of-line `mod foo;` declarations, resolved to either
+//!   `foo.rs` or `foo/mod.rs` by [`resolve_module`];
+//! * **calls** — call expressions extracted by identifier + method-name
+//!   heuristics: `name(...)`, `.name(...)`, `Path::name(...)`, `name!(...)`,
+//!   with turbofish (`::<T>`) tolerated;
+//! * **index sites** — scalar subscript expressions `expr[i]` (range
+//!   slices `expr[a..b]` are exempt — see the rule docs for why);
+//! * **annotations** — `// AUDIT: hotpath` / `// AUDIT: cold` markers on
+//!   functions and cold block regions inside bodies.
+//!
+//! Soundness posture: the parser over-approximates calls (a name can
+//! resolve to several same-named functions; a call to an unknown name
+//! resolves to nothing) and never panics on malformed input. The
+//! adversarial fixtures in `tests/graph.rs` pin down the cases that would
+//! otherwise create false edges: macro bodies, nested closures, fn-pointer
+//! types, `impl Trait` returns, raw-string call-lookalikes.
+
+use std::path::{Path, PathBuf};
+
+use crate::lexer::Lexed;
+
+/// How a call expression was written at the site.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CallKind {
+    /// `name(...)` — a free-function call.
+    Free,
+    /// `.name(...)` — a method call; `recv` holds the heuristic receiver
+    /// identifier (the last field/variable name before the dot, with
+    /// trailing index/call groups skipped).
+    Method { recv: String },
+    /// `Qual::name(...)` — a path call; `qual` is the segment immediately
+    /// before the final `::`.
+    Path { qual: String },
+    /// `name!(...)` — a macro invocation.
+    Macro,
+}
+
+/// One extracted call expression.
+#[derive(Clone, Debug)]
+pub struct CallSite {
+    /// Callee identifier (for macros, without the `!`).
+    pub name: String,
+    pub kind: CallKind,
+    /// Byte offset of the identifier in the scrubbed text.
+    pub byte: usize,
+    /// 0-based line.
+    pub line: usize,
+}
+
+/// One scalar subscript `expr[i]` (no `..` at bracket depth 0).
+#[derive(Clone, Debug)]
+pub struct IndexSite {
+    pub byte: usize,
+    pub line: usize,
+}
+
+/// One parsed `fn` item.
+#[derive(Clone, Debug)]
+pub struct FnItem {
+    pub name: String,
+    /// Enclosing `impl`/`trait` target type (first path segment of the
+    /// implemented-for type), e.g. `ConvPlan` for `impl<'f> ConvPlan<'f>`.
+    pub self_ty: Option<String>,
+    /// 0-based line of the `fn` keyword.
+    pub header_line: usize,
+    /// Byte span of the body including braces, in the scrubbed text.
+    /// `None` for bodyless declarations (trait methods, extern fns).
+    pub body: Option<(usize, usize)>,
+    /// `// AUDIT: hotpath` on or above the header — a reachability root.
+    pub hot: bool,
+    /// `// AUDIT: cold` on or above the header — excluded from traversal.
+    pub cold: bool,
+}
+
+impl FnItem {
+    /// `Type::name` or `name`, for reports and the coverage self-test.
+    pub fn qualified(&self) -> String {
+        match &self.self_ty {
+            Some(ty) => format!("{ty}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// An out-of-line `mod foo;` declaration.
+#[derive(Clone, Debug)]
+pub struct ModDecl {
+    pub name: String,
+    /// 0-based line of the `mod` keyword.
+    pub line: usize,
+}
+
+/// Everything the graph passes need from one source file.
+pub struct ParsedFile {
+    pub fns: Vec<FnItem>,
+    pub mods: Vec<ModDecl>,
+    pub calls: Vec<CallSite>,
+    pub indexes: Vec<IndexSite>,
+    /// 0-based line spans of in-body `// AUDIT: cold` regions (from the
+    /// marker line to the close of its enclosing block).
+    pub cold_regions: Vec<(usize, usize)>,
+}
+
+impl ParsedFile {
+    /// Index of the innermost fn whose body span contains `byte`.
+    pub fn fn_at(&self, byte: usize) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        for (i, f) in self.fns.iter().enumerate() {
+            if let Some((a, b)) = f.body {
+                if byte > a && byte < b {
+                    best = match best {
+                        // SAFETY-free heuristic: narrower span wins.
+                        Some(j) if span_len(self.fns[j].body) <= span_len(f.body) => Some(j),
+                        _ => Some(i),
+                    };
+                }
+            }
+        }
+        best
+    }
+
+    /// Whether 0-based `line` falls in an in-body cold region.
+    pub fn in_cold_region(&self, line: usize) -> bool {
+        self.cold_regions.iter().any(|&(a, b)| line >= a && line <= b)
+    }
+}
+
+fn span_len(s: Option<(usize, usize)>) -> usize {
+    s.map_or(usize::MAX, |(a, b)| b - a)
+}
+
+/// Resolves an out-of-line `mod foo;` declared in `decl_file` to its
+/// source: sibling `foo.rs`, or directory module `foo/mod.rs`. In
+/// `lib.rs`/`main.rs`/`mod.rs` the search base is the declaring file's
+/// directory; in `bar.rs` it is `bar/` (the 2018-edition layout).
+pub fn resolve_module(decl_file: &Path, name: &str) -> Option<PathBuf> {
+    let stem = decl_file.file_stem().and_then(|s| s.to_str())?;
+    let base = match stem {
+        "lib" | "main" | "mod" => decl_file.parent()?.to_path_buf(),
+        _ => decl_file.parent()?.join(stem),
+    };
+    let as_file = base.join(format!("{name}.rs"));
+    if as_file.is_file() {
+        return Some(as_file);
+    }
+    let as_dir = base.join(name).join("mod.rs");
+    as_dir.is_file().then_some(as_dir)
+}
+
+/// The candidate paths `resolve_module` probes, for callers that classify
+/// files without touching the filesystem (the test-module exemption walks
+/// a list it built before reading every file).
+pub fn module_candidates(decl_file: &Path, name: &str) -> Vec<PathBuf> {
+    let Some(stem) = decl_file.file_stem().and_then(|s| s.to_str()) else {
+        return Vec::new();
+    };
+    let Some(parent) = decl_file.parent() else {
+        return Vec::new();
+    };
+    let base = match stem {
+        "lib" | "main" | "mod" => parent.to_path_buf(),
+        _ => parent.join(stem),
+    };
+    vec![
+        base.join(format!("{name}.rs")),
+        base.join(name).join("mod.rs"),
+        // Classifying a declaration as test code must cover the module's
+        // whole subtree (`foo/helpers.rs`), so the bare directory is a
+        // prefix candidate too.
+        base.join(name),
+    ]
+}
+
+const KEYWORDS: &[&str] = &[
+    "if", "else", "while", "for", "loop", "match", "return", "fn", "let", "mut", "ref", "move",
+    "in", "as", "box", "await", "unsafe", "const", "static", "pub", "use", "mod", "impl",
+    "trait", "struct", "enum", "union", "where", "dyn", "crate", "self", "Self", "super",
+    "break", "continue", "type", "extern", "yield",
+];
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+/// Parses one lexed file into items, calls, subscripts, and annotations.
+pub fn parse(lexed: &Lexed) -> ParsedFile {
+    let s = &lexed.scrubbed;
+    let bytes = s.as_bytes();
+    let line_starts = line_start_table(bytes);
+    let attr_spans = attribute_spans(bytes);
+    let impls = impl_spans(bytes, &line_starts);
+    let fns = parse_fns(lexed, bytes, &line_starts, &impls);
+    let mods = parse_mods(bytes, &line_starts);
+    let (calls, indexes) = extract_calls(bytes, &line_starts, &attr_spans);
+    let cold_regions = cold_regions(lexed, bytes, &line_starts, &fns);
+    ParsedFile {
+        fns,
+        mods,
+        calls,
+        indexes,
+        cold_regions,
+    }
+}
+
+/// Byte offset of the start of each 0-based line.
+fn line_start_table(bytes: &[u8]) -> Vec<usize> {
+    let mut starts = vec![0usize];
+    for (i, &b) in bytes.iter().enumerate() {
+        if b == b'\n' {
+            starts.push(i + 1);
+        }
+    }
+    starts
+}
+
+fn line_of(line_starts: &[usize], byte: usize) -> usize {
+    match line_starts.binary_search(&byte) {
+        Ok(l) => l,
+        Err(l) => l.saturating_sub(1),
+    }
+}
+
+/// Spans of `#[...]` / `#![...]` attributes (bracket-balanced); call and
+/// index extraction skips them so `#[derive(Clone)]` or
+/// `#[cfg(feature = "x")]` never reads as a call.
+fn attribute_spans(bytes: &[u8]) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    let mut i = 0usize;
+    while i + 1 < bytes.len() {
+        if bytes[i] == b'#' {
+            let open = if bytes[i + 1] == b'[' {
+                i + 1
+            } else if bytes[i + 1] == b'!' && bytes.get(i + 2) == Some(&b'[') {
+                i + 2
+            } else {
+                i += 1;
+                continue;
+            };
+            let mut depth = 0usize;
+            let mut j = open;
+            while j < bytes.len() {
+                match bytes[j] {
+                    b'[' => depth += 1,
+                    b']' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            spans.push((i, j.min(bytes.len())));
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    spans
+}
+
+fn in_spans(spans: &[(usize, usize)], byte: usize) -> bool {
+    spans.iter().any(|&(a, b)| byte >= a && byte <= b)
+}
+
+/// `impl`/`trait` block spans with their target type's first path segment.
+/// For `impl Trait for Type` the type wins; `impl<'f> ConvPlan<'f>` yields
+/// `ConvPlan`; `trait Kernel` yields `Kernel`.
+fn impl_spans(bytes: &[u8], _line_starts: &[usize]) -> Vec<(usize, usize, String)> {
+    let s = unsafe_free_str(bytes);
+    let mut out = Vec::new();
+    for kw in ["impl", "trait"] {
+        let mut at = 0usize;
+        while let Some(p) = find_word_from(s, kw, at) {
+            at = p + kw.len();
+            // Skip generic params `<...>` right after the keyword.
+            let mut j = skip_ws(bytes, at);
+            if bytes.get(j) == Some(&b'<') {
+                j = skip_angles(bytes, j);
+            }
+            // Read the head type path; if a `for` follows, re-read.
+            let (mut ty, mut k) = read_type_head(bytes, j);
+            let k2 = skip_ws(bytes, k);
+            if s[k2..].starts_with("for") && !is_ident_byte(*bytes.get(k2 + 3).unwrap_or(&b' ')) {
+                let (ty2, k3) = read_type_head(bytes, skip_ws(bytes, k2 + 3));
+                ty = ty2;
+                k = k3;
+            }
+            // Find the opening brace (skipping where clauses), then match.
+            let mut m = k;
+            while m < bytes.len() && bytes[m] != b'{' && bytes[m] != b';' {
+                m += 1;
+            }
+            if bytes.get(m) != Some(&b'{') {
+                continue;
+            }
+            let close = match_brace(bytes, m);
+            if !ty.is_empty() {
+                out.push((m, close, ty));
+            }
+        }
+    }
+    out
+}
+
+/// The first path-segment identifier of a type expression starting at `j`
+/// (skipping `&`, `dyn`, `::`), and the byte just past the full head
+/// (generics skipped).
+fn read_type_head(bytes: &[u8], j: usize) -> (String, usize) {
+    let mut j = skip_ws(bytes, j);
+    while j < bytes.len() && (bytes[j] == b'&' || bytes[j] == b'\'') {
+        j += 1;
+        while j < bytes.len() && is_ident_byte(bytes[j]) {
+            j += 1;
+        }
+        j = skip_ws(bytes, j);
+    }
+    let mut seg_start = j;
+    let mut seg_end = j;
+    while j < bytes.len() {
+        let b = bytes[j];
+        if is_ident_byte(b) {
+            j += 1;
+            seg_end = j;
+        } else if b == b':' && bytes.get(j + 1) == Some(&b':') {
+            j += 2;
+            seg_start = j;
+            seg_end = j;
+        } else if b == b'<' {
+            // Generic arguments end the head; the segment stops here.
+            j = skip_angles(bytes, j);
+            break;
+        } else {
+            break;
+        }
+    }
+    // The *last* segment names the type (`crate::plan::ConvPlan`); earlier
+    // segments are modules.
+    let ty = String::from_utf8_lossy(&bytes[seg_start..seg_end.min(bytes.len())]).into_owned();
+    (ty, j)
+}
+
+fn skip_ws(bytes: &[u8], mut j: usize) -> usize {
+    while j < bytes.len() && bytes[j].is_ascii_whitespace() {
+        j += 1;
+    }
+    j
+}
+
+/// Skips a balanced `<...>` group starting at `j` (which must be `<`).
+/// Tolerates `->` inside (it never appears at angle depth 0 within
+/// generics) and gives up at `{`/`;` so malformed input cannot loop.
+fn skip_angles(bytes: &[u8], j: usize) -> usize {
+    let mut depth = 0usize;
+    let mut k = j;
+    while k < bytes.len() {
+        match bytes[k] {
+            b'<' => depth += 1,
+            b'>' => {
+                // `->` is not an angle close.
+                if k > 0 && bytes[k - 1] == b'-' {
+                    k += 1;
+                    continue;
+                }
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return k + 1;
+                }
+            }
+            b'{' | b';' => return k,
+            _ => {}
+        }
+        k += 1;
+    }
+    k
+}
+
+/// Byte of the `}` matching the `{` at `open` (or EOF).
+pub(crate) fn match_brace(bytes: &[u8], open: usize) -> usize {
+    let mut depth = 0usize;
+    let mut j = open;
+    while j < bytes.len() {
+        match bytes[j] {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return j;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    bytes.len().saturating_sub(1)
+}
+
+fn unsafe_free_str(bytes: &[u8]) -> &str {
+    // The scrubbed text is valid UTF-8 by construction (lexer contract).
+    std::str::from_utf8(bytes).unwrap_or("")
+}
+
+fn find_word_from(s: &str, word: &str, from: usize) -> Option<usize> {
+    let bytes = s.as_bytes();
+    let mut at = from;
+    while let Some(p) = s[at..].find(word).map(|p| p + at) {
+        let before_ok = p == 0 || !is_ident_byte(bytes[p - 1]);
+        let end = p + word.len();
+        let after_ok = end >= bytes.len() || !is_ident_byte(bytes[end]);
+        if before_ok && after_ok {
+            return Some(p);
+        }
+        at = p + 1;
+    }
+    None
+}
+
+/// All `fn` items, with annotations read from the comment/attribute block
+/// above the header (same adjacency discipline as `// SAFETY:`).
+fn parse_fns(
+    lexed: &Lexed,
+    bytes: &[u8],
+    line_starts: &[usize],
+    impls: &[(usize, usize, String)],
+) -> Vec<FnItem> {
+    let s = unsafe_free_str(bytes);
+    let mut out = Vec::new();
+    let mut at = 0usize;
+    while let Some(p) = find_word_from(s, "fn", at) {
+        at = p + 2;
+        let mut j = skip_ws(bytes, p + 2);
+        // `fn(` / `fn (` is a pointer *type*, not an item.
+        if !bytes.get(j).copied().is_some_and(is_ident_start) {
+            continue;
+        }
+        let name_start = j;
+        while j < bytes.len() && is_ident_byte(bytes[j]) {
+            j += 1;
+        }
+        let name = s[name_start..j].to_owned();
+        // Signature scan: body `{` at paren/bracket depth 0, or `;` (no
+        // body). Generic bounds may nest angles; braces only appear in the
+        // body itself for the code this parser serves.
+        let mut depth = 0isize;
+        let mut k = j;
+        let mut body = None;
+        while k < bytes.len() {
+            match bytes[k] {
+                b'(' | b'[' => depth += 1,
+                b')' | b']' => depth -= 1,
+                b'{' if depth == 0 => {
+                    let close = match_brace(bytes, k);
+                    body = Some((k, close));
+                    break;
+                }
+                b';' if depth == 0 => break,
+                b'<' => k = skip_angles(bytes, k).saturating_sub(1),
+                _ => {}
+            }
+            k += 1;
+        }
+        let header_line = line_of(line_starts, p);
+        let self_ty = impls
+            .iter()
+            .filter(|(a, b, _)| p > *a && p < *b)
+            .min_by_key(|(a, b, _)| b - a)
+            .map(|(_, _, ty)| ty.clone());
+        let (hot, cold) = fn_annotations(lexed, line_starts, header_line);
+        out.push(FnItem {
+            name,
+            self_ty,
+            header_line,
+            body,
+            hot,
+            cold,
+        });
+    }
+    out
+}
+
+/// Scans the header line and the contiguous comment/attribute/blank block
+/// above it for `// AUDIT: hotpath` / `// AUDIT: cold`.
+fn fn_annotations(lexed: &Lexed, line_starts: &[usize], header_line: usize) -> (bool, bool) {
+    let mut hot = false;
+    let mut cold = false;
+    let mut check = |text: &str| {
+        if text.contains("AUDIT: hotpath") {
+            hot = true;
+        }
+        if text.contains("AUDIT: cold") {
+            cold = true;
+        }
+    };
+    check(lexed.comment_line(header_line));
+    let mut l = header_line;
+    let mut budget = 20usize;
+    while l > 0 && budget > 0 {
+        l -= 1;
+        budget -= 1;
+        let comment = lexed.comment_line(l);
+        let code = lexed.code_line(l).trim().to_owned();
+        if !comment.is_empty() && code.is_empty() {
+            check(comment);
+            continue;
+        }
+        if code.is_empty() || code.starts_with("#[") || code.starts_with("#![") {
+            continue;
+        }
+        break;
+    }
+    let _ = line_starts;
+    (hot, cold)
+}
+
+/// Out-of-line `mod name;` declarations (any visibility, any cfg).
+fn parse_mods(bytes: &[u8], line_starts: &[usize]) -> Vec<ModDecl> {
+    let s = unsafe_free_str(bytes);
+    let mut out = Vec::new();
+    let mut at = 0usize;
+    while let Some(p) = find_word_from(s, "mod", at) {
+        at = p + 3;
+        let mut j = skip_ws(bytes, p + 3);
+        let name_start = j;
+        while j < bytes.len() && is_ident_byte(bytes[j]) {
+            j += 1;
+        }
+        if j == name_start {
+            continue;
+        }
+        let name = s[name_start..j].to_owned();
+        j = skip_ws(bytes, j);
+        if bytes.get(j) == Some(&b';') {
+            out.push(ModDecl {
+                name,
+                line: line_of(line_starts, p),
+            });
+        }
+    }
+    out
+}
+
+/// Call + scalar-subscript extraction over the whole file. Attribute spans
+/// are skipped; everything else (macro bodies included — macro argument
+/// tokens are real code to the rules) is scanned.
+fn extract_calls(
+    bytes: &[u8],
+    line_starts: &[usize],
+    attr_spans: &[(usize, usize)],
+) -> (Vec<CallSite>, Vec<IndexSite>) {
+    let mut calls = Vec::new();
+    let mut indexes = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if in_spans(attr_spans, i) {
+            i += 1;
+            continue;
+        }
+        if b == b'[' {
+            // Subscript if the previous non-ws byte ends a value
+            // expression; array literals/types follow `=`/`(`/`{`/`,`/…
+            let prev = prev_nonws(bytes, i);
+            let is_subscript =
+                prev.is_some_and(|p| is_ident_byte(bytes[p]) || bytes[p] == b')' || bytes[p] == b']');
+            // A macro invocation with bracket delimiters (`vec![…]`,
+            // `matches!`-style) is not a subscript: the `!` sits before.
+            let is_macro = prev.is_some_and(|p| bytes[p] == b'!');
+            if is_subscript && !is_macro {
+                let close = match_bracket(bytes, i);
+                if !has_toplevel_range(bytes, i, close) {
+                    indexes.push(IndexSite {
+                        byte: i,
+                        line: line_of(line_starts, i),
+                    });
+                }
+            }
+            i += 1;
+            continue;
+        }
+        if is_ident_start(b) && prev_is_boundary(bytes, i) {
+            let start = i;
+            while i < bytes.len() && is_ident_byte(bytes[i]) {
+                i += 1;
+            }
+            let name: String = String::from_utf8_lossy(&bytes[start..i]).into_owned();
+            if KEYWORDS.contains(&name.as_str()) {
+                continue;
+            }
+            // `Fn(usize) -> usize` bounds are the one place Rust lets a
+            // trait take parentheses; they are types, never calls.
+            if matches!(name.as_str(), "Fn" | "FnMut" | "FnOnce") {
+                continue;
+            }
+            let mut j = skip_ws(bytes, i);
+            let mut is_macro = false;
+            if bytes.get(j) == Some(&b'!') && bytes.get(j + 1) != Some(&b'=') {
+                is_macro = true;
+                j = skip_ws(bytes, j + 1);
+            }
+            // Turbofish between name and argument list.
+            if !is_macro && bytes.get(j) == Some(&b':') && bytes.get(j + 1) == Some(&b':') {
+                let k = skip_ws(bytes, j + 2);
+                if bytes.get(k) == Some(&b'<') {
+                    j = skip_ws(bytes, skip_angles(bytes, k));
+                } else {
+                    continue; // `name::more` — a path segment, handled at `more`.
+                }
+            }
+            let opens_args = match bytes.get(j) {
+                Some(&b'(') => true,
+                Some(&b'[') | Some(&b'{') if is_macro => true,
+                _ => false,
+            };
+            if !opens_args {
+                continue;
+            }
+            // Classify by what precedes the identifier.
+            let kind = match prev_nonws(bytes, start) {
+                _ if is_macro => CallKind::Macro,
+                Some(p) if bytes[p] == b'.' => CallKind::Method {
+                    recv: receiver_ident(bytes, p),
+                },
+                Some(p) if p > 0 && bytes[p] == b':' && bytes[p - 1] == b':' => {
+                    CallKind::Path {
+                        qual: path_qualifier(bytes, p - 1),
+                    }
+                }
+                Some(p) if bytes[p] == b'n' && word_before_is(bytes, p, "fn") => {
+                    continue; // `fn name(` — a declaration, not a call.
+                }
+                _ => CallKind::Free,
+            };
+            calls.push(CallSite {
+                name,
+                kind,
+                byte: start,
+                line: line_of(line_starts, start),
+            });
+            continue;
+        }
+        i += 1;
+    }
+    (calls, indexes)
+}
+
+fn prev_nonws(bytes: &[u8], i: usize) -> Option<usize> {
+    let mut j = i;
+    while j > 0 {
+        j -= 1;
+        if !bytes[j].is_ascii_whitespace() {
+            return Some(j);
+        }
+    }
+    None
+}
+
+fn prev_is_boundary(bytes: &[u8], i: usize) -> bool {
+    i == 0 || !is_ident_byte(bytes[i - 1])
+}
+
+fn word_before_is(bytes: &[u8], end: usize, word: &str) -> bool {
+    let w = word.as_bytes();
+    if end + 1 < w.len() {
+        return false;
+    }
+    let start = end + 1 - w.len();
+    &bytes[start..=end] == w && (start == 0 || !is_ident_byte(bytes[start - 1]))
+}
+
+/// Byte of the `]` matching the `[` at `open` (or EOF).
+fn match_bracket(bytes: &[u8], open: usize) -> usize {
+    let mut depth = 0usize;
+    let mut j = open;
+    while j < bytes.len() {
+        match bytes[j] {
+            b'[' => depth += 1,
+            b']' => {
+                depth -= 1;
+                if depth == 0 {
+                    return j;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    bytes.len().saturating_sub(1)
+}
+
+/// Whether `bytes[open..=close]` contains a `..` at bracket/paren depth 0
+/// (a range subscript, exempt from the scalar-index rule).
+fn has_toplevel_range(bytes: &[u8], open: usize, close: usize) -> bool {
+    let mut depth = 0usize;
+    let mut j = open + 1;
+    while j < close.min(bytes.len()) {
+        match bytes[j] {
+            b'[' | b'(' => depth += 1,
+            b']' | b')' => depth = depth.saturating_sub(1),
+            b'.' if depth == 0 && bytes.get(j + 1) == Some(&b'.') => return true,
+            _ => {}
+        }
+        j += 1;
+    }
+    false
+}
+
+/// The heuristic receiver identifier of a method call: from the `.` at
+/// `dot`, walk back over trailing `[...]` index groups and `self.`/`Self::`
+/// qualifiers and return the *nearest* field/variable name — the segment
+/// that names the value the method is called on. `self.arena.take()` →
+/// `arena`; `self.inner.queue.lock()` → `queue`; `scratch[tid].lock()` →
+/// `scratch`; `registry().lock()` → `registry` (a call group's callee
+/// names its product). Lock-order identity rides on this.
+fn receiver_ident(bytes: &[u8], dot: usize) -> String {
+    let mut j = dot; // at `.`
+    loop {
+        let Some(p) = prev_nonws(bytes, j) else {
+            return String::new();
+        };
+        match bytes[p] {
+            b']' => {
+                j = match_back(bytes, p, b'[', b']');
+            }
+            b')' => {
+                let open = match_back(bytes, p, b'(', b')');
+                let mut start = open;
+                while start > 0 && is_ident_byte(bytes[start - 1]) {
+                    start -= 1;
+                }
+                return String::from_utf8_lossy(&bytes[start..open]).into_owned();
+            }
+            b'.' => {
+                j = p;
+            }
+            c if is_ident_byte(c) => {
+                let mut start = p;
+                while start > 0 && is_ident_byte(bytes[start - 1]) {
+                    start -= 1;
+                }
+                let ident = String::from_utf8_lossy(&bytes[start..=p]).into_owned();
+                if ident == "self" || ident == "Self" {
+                    j = start;
+                    continue;
+                }
+                return ident;
+            }
+            _ => return String::new(),
+        }
+    }
+}
+
+/// The path segment immediately before the `::` whose first colon sits at
+/// `colon` — `Vec::new` → `Vec`, `crate::conv::pack` → `conv`. Generic
+/// arguments on the qualifier (`Foo::<T>::new`) are skipped.
+fn path_qualifier(bytes: &[u8], colon: usize) -> String {
+    let Some(mut p) = prev_nonws(bytes, colon) else {
+        return String::new();
+    };
+    if bytes[p] == b'>' {
+        // `Foo::<T>::new` — hop over the angle group and its own `::`.
+        let mut depth = 0usize;
+        loop {
+            match bytes[p] {
+                b'>' if p == 0 || bytes[p - 1] != b'-' => depth += 1,
+                b'<' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            if p == 0 {
+                return String::new();
+            }
+            p -= 1;
+        }
+        let Some(q) = prev_nonws(bytes, p) else {
+            return String::new();
+        };
+        if q == 0 || bytes[q] != b':' || bytes[q - 1] != b':' {
+            return String::new();
+        }
+        let Some(r) = prev_nonws(bytes, q - 1) else {
+            return String::new();
+        };
+        p = r;
+    }
+    if !is_ident_byte(bytes[p]) {
+        return String::new();
+    }
+    let mut start = p;
+    while start > 0 && is_ident_byte(bytes[start - 1]) {
+        start -= 1;
+    }
+    String::from_utf8_lossy(&bytes[start..=p]).into_owned()
+}
+
+/// Walks back from the closer at `at` to its matching opener.
+fn match_back(bytes: &[u8], at: usize, open: u8, close: u8) -> usize {
+    let mut depth = 0usize;
+    let mut j = at;
+    loop {
+        if bytes[j] == close {
+            depth += 1;
+        } else if bytes[j] == open {
+            depth -= 1;
+            if depth == 0 {
+                return j;
+            }
+        }
+        if j == 0 {
+            return 0;
+        }
+        j -= 1;
+    }
+}
+
+/// In-body `// AUDIT: cold` markers: each opens a region from its line to
+/// the close of the enclosing brace block. Marker lines already consumed
+/// as *function* annotations (the block above an `fn` header) are skipped.
+fn cold_regions(
+    lexed: &Lexed,
+    bytes: &[u8],
+    line_starts: &[usize],
+    fns: &[FnItem],
+) -> Vec<(usize, usize)> {
+    let mut regions = Vec::new();
+    for (line, comment) in lexed.comments.iter().enumerate() {
+        if !comment.contains("AUDIT: cold") {
+            continue;
+        }
+        // Attached to a following fn header? Then it's a fn annotation.
+        let attached = fns.iter().any(|f| {
+            f.cold && f.header_line >= line && f.header_line.saturating_sub(line) <= 20
+        });
+        if attached && !inside_any_body(fns, line_starts, line) {
+            continue;
+        }
+        let byte = *line_starts.get(line).unwrap_or(&0);
+        // Enclosing block: nearest unmatched `{` before the marker.
+        let Some(open) = enclosing_open_brace(bytes, byte) else {
+            continue;
+        };
+        let close = match_brace(bytes, open);
+        regions.push((line, line_of(line_starts, close)));
+    }
+    regions
+}
+
+fn inside_any_body(fns: &[FnItem], line_starts: &[usize], line: usize) -> bool {
+    let byte = *line_starts.get(line).unwrap_or(&0);
+    fns.iter()
+        .any(|f| f.body.is_some_and(|(a, b)| byte > a && byte < b))
+}
+
+/// The opening `{` of the innermost block containing `byte`.
+pub(crate) fn enclosing_open_brace(bytes: &[u8], byte: usize) -> Option<usize> {
+    let mut stack: Vec<usize> = Vec::new();
+    for (i, &b) in bytes.iter().enumerate().take(byte.min(bytes.len())) {
+        match b {
+            b'{' => stack.push(i),
+            b'}' => {
+                stack.pop();
+            }
+            _ => {}
+        }
+    }
+    stack.last().copied()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> ParsedFile {
+        parse(&lex(src))
+    }
+
+    #[test]
+    fn fn_items_with_impl_context() {
+        let p = parse_src(
+            "impl<'f> ConvPlan<'f> {\n    pub fn execute(&self) {}\n}\n\
+             pub fn free_one() {}\n",
+        );
+        assert_eq!(p.fns.len(), 2);
+        assert_eq!(p.fns[0].qualified(), "ConvPlan::execute");
+        assert_eq!(p.fns[1].qualified(), "free_one");
+    }
+
+    #[test]
+    fn impl_trait_for_type_uses_the_type() {
+        let p = parse_src("impl Drop for Server {\n    fn drop(&mut self) {}\n}\n");
+        assert_eq!(p.fns[0].qualified(), "Server::drop");
+    }
+
+    #[test]
+    fn hot_and_cold_annotations_bind_to_headers() {
+        let p = parse_src(
+            "// AUDIT: hotpath — the paper's inner loop.\npub fn run() { helper(); }\n\n\
+             // AUDIT: cold — error formatting only.\nfn helper() {}\n",
+        );
+        assert!(p.fns[0].hot && !p.fns[0].cold);
+        assert!(p.fns[1].cold && !p.fns[1].hot);
+    }
+
+    #[test]
+    fn calls_are_classified() {
+        let p = parse_src(
+            "fn f(x: &T) {\n    free(1);\n    x.method(2);\n    Qual::path(3);\n    mac!(4);\n}\n",
+        );
+        let kinds: Vec<_> = p.calls.iter().map(|c| (c.name.as_str(), &c.kind)).collect();
+        assert!(kinds.contains(&(("free"), &CallKind::Free)));
+        assert!(p
+            .calls
+            .iter()
+            .any(|c| c.name == "method" && matches!(&c.kind, CallKind::Method { recv } if recv == "x")));
+        assert!(p
+            .calls
+            .iter()
+            .any(|c| c.name == "path" && matches!(&c.kind, CallKind::Path { qual } if qual == "Qual")));
+        assert!(p.calls.iter().any(|c| c.name == "mac" && c.kind == CallKind::Macro));
+    }
+
+    #[test]
+    fn fn_pointer_types_and_impl_trait_are_not_calls_or_items() {
+        let p = parse_src(
+            "struct J { call: unsafe fn(*const (), usize) }\n\
+             fn g() -> impl Fn(usize) -> usize { |x| x }\n\
+             fn h(cb: fn(u32)) { cb(1); }\n",
+        );
+        // Only g and h are items (the pointer types have no name).
+        let names: Vec<_> = p.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["g", "h"]);
+        // `Fn(usize)` in type position must not read as a call to `Fn`.
+        assert!(!p.calls.iter().any(|c| c.name == "Fn"));
+        // But the *value* call through the pointer is a call.
+        assert!(p.calls.iter().any(|c| c.name == "cb"));
+    }
+
+    #[test]
+    fn scalar_subscripts_found_ranges_exempt() {
+        let p = parse_src(
+            "fn f(v: &[u32], i: usize) -> u32 {\n    let a = &v[1..3];\n    let b = v[..];\n    v[i] + a.len() as u32 + b.len() as u32\n}\n",
+        );
+        assert_eq!(p.indexes.len(), 1);
+        assert_eq!(p.indexes[0].line, 3);
+    }
+
+    #[test]
+    fn receiver_of_indexed_chain_is_the_base_ident() {
+        let p = parse_src("fn f() {\n    scratch[tid].lock();\n    self.arena.take();\n}\n");
+        let recv = |name: &str| {
+            p.calls
+                .iter()
+                .find_map(|c| match (&c.kind, c.name.as_str()) {
+                    (CallKind::Method { recv }, n) if n == name => Some(recv.clone()),
+                    _ => None,
+                })
+                .unwrap_or_default()
+        };
+        assert_eq!(recv("lock"), "scratch");
+        assert_eq!(recv("take"), "arena");
+    }
+
+    #[test]
+    fn cold_region_spans_enclosing_block() {
+        let p = parse_src(
+            "fn f(x: Option<u32>) -> u32 {\n    match x {\n        Some(v) => v,\n        None => {\n            // AUDIT: cold — miss path allocates by design.\n            build()\n        }\n    }\n}\n",
+        );
+        assert_eq!(p.cold_regions.len(), 1);
+        let (a, b) = p.cold_regions[0];
+        assert!(a <= 4 && b >= 6, "region {a}..{b} must cover the arm");
+        assert!(p.in_cold_region(5));
+        assert!(!p.in_cold_region(1));
+    }
+
+    #[test]
+    fn out_of_line_mods_are_collected() {
+        let p = parse_src("pub mod conv;\n#[cfg(test)]\nmod tests;\nmod inline { }\n");
+        let names: Vec<_> = p.mods.iter().map(|m| m.name.as_str()).collect();
+        assert_eq!(names, vec!["conv", "tests"]);
+    }
+
+    #[test]
+    fn raw_string_call_lookalikes_create_nothing() {
+        let p = parse_src(
+            "fn f() -> &'static str {\n    r#\"push(1); format!(\"x\"); evil[0]\"#\n}\n",
+        );
+        assert!(p.calls.iter().all(|c| c.name != "push" && c.name != "format"));
+        assert!(p.indexes.is_empty());
+    }
+
+    #[test]
+    fn turbofish_calls_resolve_to_the_name() {
+        let p = parse_src("fn f() {\n    parse::<u32>(\"1\");\n    v.collect::<Vec<_>>();\n}\n");
+        assert!(p.calls.iter().any(|c| c.name == "parse"));
+        assert!(p.calls.iter().any(|c| c.name == "collect"));
+    }
+
+    #[test]
+    fn nested_closures_attribute_calls_to_the_enclosing_fn() {
+        let p = parse_src(
+            "fn outer(pool: &Pool) {\n    pool.run(|tid| {\n        inner(tid);\n    });\n}\n",
+        );
+        let call = p.calls.iter().find(|c| c.name == "inner").expect("found");
+        let idx = p.fn_at(call.byte).expect("in a fn");
+        assert_eq!(p.fns[idx].name, "outer");
+    }
+
+    #[test]
+    fn module_candidates_cover_both_layouts() {
+        let lib = Path::new("/ws/crates/demo/src/lib.rs");
+        let c = module_candidates(lib, "conv");
+        assert!(c.iter().any(|p| p.ends_with("src/conv.rs")));
+        assert!(c.iter().any(|p| p.ends_with("src/conv/mod.rs")));
+        let nested = Path::new("/ws/crates/demo/src/server.rs");
+        let c = module_candidates(nested, "faults");
+        assert!(c.iter().any(|p| p.ends_with("server/faults.rs")));
+        assert!(c.iter().any(|p| p.ends_with("server/faults/mod.rs")));
+    }
+}

@@ -33,6 +33,20 @@ pub enum Rule {
     /// An `audit.allow` waiver that matched no live violation — waivers
     /// must never outlive the code they excuse.
     UnusedWaiver,
+    /// No allocating call (`Vec::new`/`push`/`with_capacity`, `Box::new`,
+    /// `String`, `format!`, `to_vec`, `clone`, …) reachable from an
+    /// `// AUDIT: hotpath` root outside an `// AUDIT: cold` region.
+    HotpathNoAlloc,
+    /// No `panic!`/`unwrap`/`expect`/`assert!`/`unreachable!` and no
+    /// unjustified scalar `[]` indexing reachable from a hotpath root.
+    HotpathNoPanic,
+    /// Every atomic `Ordering` argument (`Relaxed`, `Acquire`, `Release`,
+    /// `AcqRel`, `SeqCst`) in library code carries an adjacent
+    /// `// ORDERING:` comment stating why it suffices.
+    OrderingJustify,
+    /// No pair of `Mutex`/`RwLock` locks acquired in both orders anywhere
+    /// in the workspace (call-graph-propagated).
+    LockOrder,
 }
 
 impl Rule {
@@ -44,6 +58,10 @@ impl Rule {
         Rule::NoStaticMut,
         Rule::LintHeader,
         Rule::UnusedWaiver,
+        Rule::HotpathNoAlloc,
+        Rule::HotpathNoPanic,
+        Rule::OrderingJustify,
+        Rule::LockOrder,
     ];
 
     /// Stable kebab-case id (the `audit.allow` key).
@@ -55,6 +73,10 @@ impl Rule {
             Rule::NoStaticMut => "no-static-mut",
             Rule::LintHeader => "lint-header",
             Rule::UnusedWaiver => "unused-waiver",
+            Rule::HotpathNoAlloc => "hotpath-no-alloc",
+            Rule::HotpathNoPanic => "hotpath-no-panic",
+            Rule::OrderingJustify => "ordering-justify",
+            Rule::LockOrder => "lock-order",
         }
     }
 
@@ -79,6 +101,22 @@ impl Rule {
                  add `#![forbid(unsafe_code)]`"
             }
             Rule::UnusedWaiver => "audit.allow entries must match a live violation",
+            Rule::HotpathNoAlloc => {
+                "no allocating call reachable from an `// AUDIT: hotpath` root \
+                 outside an `// AUDIT: cold` region"
+            }
+            Rule::HotpathNoPanic => {
+                "no panicking call or unjustified scalar `[]` indexing reachable \
+                 from an `// AUDIT: hotpath` root"
+            }
+            Rule::OrderingJustify => {
+                "every atomic Ordering argument needs an adjacent `// ORDERING:` \
+                 comment stating why it suffices"
+            }
+            Rule::LockOrder => {
+                "no lock pair may be acquired in both orders anywhere in the \
+                 workspace (propagated through the call graph)"
+            }
         }
     }
 
@@ -125,8 +163,9 @@ pub struct FileKind {
 }
 
 /// Byte ranges of `#[cfg(test)]` / `#[test]` items, as 0-based line spans.
-/// Unwrap/cast rules skip code inside them.
-fn test_regions(lexed: &Lexed) -> Vec<(usize, usize)> {
+/// Unwrap/cast/ordering rules skip code inside them, and [`crate::graph`]
+/// excludes functions declared there from the call graph.
+pub fn test_regions(lexed: &Lexed) -> Vec<(usize, usize)> {
     let mut regions = Vec::new();
     let s = &lexed.scrubbed;
     let bytes = s.as_bytes();
@@ -290,11 +329,51 @@ pub fn check_file(file: &str, lexed: &Lexed, kind: FileKind) -> Vec<Violation> {
     check_static_mut(file, &lines, &mut out);
     if kind.library {
         check_unwrap(file, &lines, &regions, &mut out);
+        check_ordering(file, lexed, &lines, &regions, &mut out);
     }
     if kind.hot_path {
         check_casts(file, lexed, &lines, &regions, &mut out);
     }
     out
+}
+
+/// Rule 9: atomic `Ordering` arguments need `// ORDERING:` justification.
+///
+/// Lexical on purpose: the five ordering names are unambiguous tokens in
+/// this workspace (`cmp::Ordering`'s variants do not collide), `use`
+/// declarations are skipped, and one comment covers all orderings on its
+/// line (`compare_exchange` takes two).
+fn check_ordering(
+    file: &str,
+    lexed: &Lexed,
+    lines: &[&str],
+    regions: &[(usize, usize)],
+    out: &mut Vec<Violation>,
+) {
+    const ORDERINGS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+    for (ln, line) in lines.iter().enumerate() {
+        if in_regions(regions, ln) {
+            continue;
+        }
+        let trimmed = line.trim_start();
+        if trimmed.starts_with("use ") || trimmed.starts_with("pub use ") {
+            continue;
+        }
+        let Some(ord) = ORDERINGS.iter().find(|o| find_word(line, o).is_some()) else {
+            continue;
+        };
+        if !has_justification(lexed, lines, ln, "ORDERING:") {
+            out.push(Violation {
+                file: file.to_owned(),
+                line: ln + 1,
+                rule: Rule::OrderingJustify,
+                msg: format!(
+                    "atomic ordering `{ord}` without an adjacent `// ORDERING:` \
+                     comment stating why it suffices"
+                ),
+            });
+        }
+    }
 }
 
 /// Rule 1: `// SAFETY:` adjacency for every `unsafe` site.
@@ -484,7 +563,7 @@ fn check_casts(
             }) else {
                 continue;
             };
-            if !has_cast_justification(lexed, lines, ln) {
+            if !has_justification(lexed, lines, ln, "CAST:") {
                 out.push(Violation {
                     file: file.to_owned(),
                     line: ln + 1,
@@ -499,9 +578,10 @@ fn check_casts(
     }
 }
 
-/// `// CAST:` on the same line or in the comment/attribute block above.
-fn has_cast_justification(lexed: &Lexed, lines: &[&str], ln: usize) -> bool {
-    if lexed.comment_line(ln).contains("CAST:") {
+/// A `tag` comment (`CAST:` / `ORDERING:`) on the same line or in the
+/// comment/attribute block above.
+fn has_justification(lexed: &Lexed, lines: &[&str], ln: usize, tag: &str) -> bool {
+    if lexed.comment_line(ln).contains(tag) {
         return true;
     }
     let mut l = ln;
@@ -509,7 +589,7 @@ fn has_cast_justification(lexed: &Lexed, lines: &[&str], ln: usize) -> bool {
     while l > 0 && budget > 0 {
         l -= 1;
         budget -= 1;
-        if lexed.comment_line(l).contains("CAST:") {
+        if lexed.comment_line(l).contains(tag) {
             return true;
         }
         let code = lines.get(l).map_or("", |s| s.trim());

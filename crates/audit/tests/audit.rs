@@ -345,6 +345,156 @@ fn undeclared_sibling_module_still_hits_the_unwrap_rule() {
     assert_eq!(report.violations[0].file, "crates/demo/src/helpers.rs");
 }
 
+#[test]
+fn out_of_line_test_module_as_mod_rs_is_exempt() {
+    // Same exemption as `tests.rs`, but the body lives at `tests/mod.rs` —
+    // the other spelling rustc accepts for `#[cfg(test)] mod tests;`.
+    let ws = FixtureWs::new("oolmod-modrs");
+    ws.write("crates/demo/Cargo.toml", CLEAN_MANIFEST);
+    ws.write(
+        "crates/demo/src/lib.rs",
+        "#![forbid(unsafe_code)]\npub fn f() -> u8 {\n    7\n}\n\n#[cfg(test)]\nmod tests;\n",
+    );
+    ws.write(
+        "crates/demo/src/tests/mod.rs",
+        "#[test]\nfn t() {\n    Some(1).unwrap();\n}\n",
+    );
+    let report = audit_workspace(&ws.root).expect("audit runs");
+    assert!(report.is_clean(), "{:?}", report.violations);
+    assert_eq!(report.files_scanned, 2);
+}
+
+#[test]
+fn undeclared_mod_rs_module_still_hits_the_unwrap_rule() {
+    // Negative polarity: a `helpers/mod.rs` NOT declared under
+    // `#[cfg(test)]` keeps full library rules.
+    let ws = FixtureWs::new("oolmod-modrs-neg");
+    ws.write("crates/demo/Cargo.toml", CLEAN_MANIFEST);
+    ws.write(
+        "crates/demo/src/lib.rs",
+        "#![forbid(unsafe_code)]\npub mod helpers;\n\n#[cfg(test)]\nmod tests;\n",
+    );
+    ws.write(
+        "crates/demo/src/tests/mod.rs",
+        "#[test]\nfn t() {\n    Some(1).unwrap();\n}\n",
+    );
+    ws.write(
+        "crates/demo/src/helpers/mod.rs",
+        "pub fn f(v: Option<u8>) -> u8 {\n    v.unwrap()\n}\n",
+    );
+    let report = audit_workspace(&ws.root).expect("audit runs");
+    assert_eq!(report.violations.len(), 1, "{:?}", report.violations);
+    assert_eq!(report.violations[0].rule, Rule::NoUnwrap);
+    assert_eq!(report.violations[0].file, "crates/demo/src/helpers/mod.rs");
+}
+
+// ---- graph rules, seeded end-to-end ------------------------------------
+
+#[test]
+fn seeded_hot_path_allocation_fails_the_audit() {
+    let ws = FixtureWs::new("hot-alloc");
+    ws.write("crates/demo/Cargo.toml", CLEAN_MANIFEST);
+    ws.write(
+        "crates/demo/src/lib.rs",
+        "#![forbid(unsafe_code)]\n// AUDIT: hotpath\npub fn run(v: &mut Vec<u32>) {\n    fill(v);\n}\nfn fill(v: &mut Vec<u32>) {\n    v.push(1);\n}\n",
+    );
+    let report = audit_workspace(&ws.root).expect("audit runs");
+    assert_eq!(report.violations.len(), 1, "{:?}", report.violations);
+    let v = &report.violations[0];
+    assert_eq!(v.rule, Rule::HotpathNoAlloc);
+    assert_eq!(v.line, 7);
+    assert!(v.msg.contains("run"), "witness path names the root: {}", v.msg);
+}
+
+#[test]
+fn cold_annotation_clears_the_seeded_allocation() {
+    let ws = FixtureWs::new("hot-alloc-cold");
+    ws.write("crates/demo/Cargo.toml", CLEAN_MANIFEST);
+    ws.write(
+        "crates/demo/src/lib.rs",
+        "#![forbid(unsafe_code)]\n// AUDIT: hotpath\npub fn run(v: &mut Vec<u32>) {\n    fill(v);\n}\n// AUDIT: cold — setup only, runs once.\nfn fill(v: &mut Vec<u32>) {\n    v.push(1);\n}\n",
+    );
+    let report = audit_workspace(&ws.root).expect("audit runs");
+    assert!(report.is_clean(), "{:?}", report.violations);
+}
+
+#[test]
+fn seeded_hot_path_indexing_fails_the_audit() {
+    let ws = FixtureWs::new("hot-panic");
+    ws.write("crates/demo/Cargo.toml", CLEAN_MANIFEST);
+    ws.write(
+        "crates/demo/src/lib.rs",
+        "#![forbid(unsafe_code)]\n// AUDIT: hotpath\npub fn run(v: &[u32], i: usize) -> u32 {\n    v[i]\n}\n",
+    );
+    let report = audit_workspace(&ws.root).expect("audit runs");
+    assert_eq!(report.violations.len(), 1, "{:?}", report.violations);
+    assert_eq!(report.violations[0].rule, Rule::HotpathNoPanic);
+    assert_eq!(report.violations[0].line, 4);
+}
+
+#[test]
+fn index_justification_clears_the_seeded_indexing() {
+    let ws = FixtureWs::new("hot-panic-ok");
+    ws.write("crates/demo/Cargo.toml", CLEAN_MANIFEST);
+    ws.write(
+        "crates/demo/src/lib.rs",
+        "#![forbid(unsafe_code)]\n// AUDIT: hotpath\npub fn run(v: &[u32], i: usize) -> u32 {\n    // INDEX: caller guarantees i < v.len().\n    v[i]\n}\n",
+    );
+    let report = audit_workspace(&ws.root).expect("audit runs");
+    assert!(report.is_clean(), "{:?}", report.violations);
+}
+
+#[test]
+fn seeded_unjustified_ordering_fails_the_audit() {
+    let ws = FixtureWs::new("ordering");
+    ws.write("crates/demo/Cargo.toml", CLEAN_MANIFEST);
+    ws.write(
+        "crates/demo/src/lib.rs",
+        "#![forbid(unsafe_code)]\nuse std::sync::atomic::{AtomicU64, Ordering};\npub static C: AtomicU64 = AtomicU64::new(0);\npub fn bump() {\n    C.fetch_add(1, Ordering::Relaxed);\n}\n",
+    );
+    let report = audit_workspace(&ws.root).expect("audit runs");
+    assert_eq!(report.violations.len(), 1, "{:?}", report.violations);
+    assert_eq!(report.violations[0].rule, Rule::OrderingJustify);
+    assert_eq!(report.violations[0].line, 5);
+}
+
+#[test]
+fn ordering_comment_clears_the_seeded_ordering() {
+    let ws = FixtureWs::new("ordering-ok");
+    ws.write("crates/demo/Cargo.toml", CLEAN_MANIFEST);
+    ws.write(
+        "crates/demo/src/lib.rs",
+        "#![forbid(unsafe_code)]\nuse std::sync::atomic::{AtomicU64, Ordering};\npub static C: AtomicU64 = AtomicU64::new(0);\npub fn bump() {\n    C.fetch_add(1, Ordering::Relaxed); // ORDERING: monotonic counter.\n}\n",
+    );
+    let report = audit_workspace(&ws.root).expect("audit runs");
+    assert!(report.is_clean(), "{:?}", report.violations);
+}
+
+#[test]
+fn seeded_lock_inversion_fails_the_audit() {
+    let ws = FixtureWs::new("lock-inv");
+    ws.write("crates/demo/Cargo.toml", CLEAN_MANIFEST);
+    ws.write(
+        "crates/demo/src/lib.rs",
+        "#![forbid(unsafe_code)]\nuse std::sync::Mutex;\npub struct S { a: Mutex<u32>, b: Mutex<u32> }\nimpl S {\n    pub fn fwd(&self) {\n        let _x = self.a.lock();\n        let _y = self.b.lock();\n    }\n    pub fn rev(&self) {\n        let _y = self.b.lock();\n        let _x = self.a.lock();\n    }\n}\n",
+    );
+    let report = audit_workspace(&ws.root).expect("audit runs");
+    assert_eq!(report.violations.len(), 1, "{:?}", report.violations);
+    assert_eq!(report.violations[0].rule, Rule::LockOrder);
+}
+
+#[test]
+fn consistent_lock_order_audits_clean() {
+    let ws = FixtureWs::new("lock-ok");
+    ws.write("crates/demo/Cargo.toml", CLEAN_MANIFEST);
+    ws.write(
+        "crates/demo/src/lib.rs",
+        "#![forbid(unsafe_code)]\nuse std::sync::Mutex;\npub struct S { a: Mutex<u32>, b: Mutex<u32> }\nimpl S {\n    pub fn fwd(&self) {\n        let _x = self.a.lock();\n        let _y = self.b.lock();\n    }\n    pub fn also_fwd(&self) {\n        let _x = self.a.lock();\n        let _y = self.b.lock();\n    }\n}\n",
+    );
+    let report = audit_workspace(&ws.root).expect("audit runs");
+    assert!(report.is_clean(), "{:?}", report.violations);
+}
+
 // ---- self-audit --------------------------------------------------------
 
 /// The gate's anchor: the live workspace must audit clean (violations are
@@ -367,4 +517,41 @@ fn live_workspace_audits_clean() {
             .collect::<Vec<_>>()
             .join("\n")
     );
+}
+
+/// ISSUE 10 acceptance: the hot-path reachability analysis must actually
+/// cover the paper's execute paths and the serve worker loops. If a root
+/// annotation is dropped or resolution regresses so the kernels fall out
+/// of the hot cone, this fails — the allocation/panic rules would be
+/// vacuously green otherwise.
+#[test]
+fn live_hot_reachability_covers_the_execute_and_serve_paths() {
+    let root = workspace_root();
+    let report = audit_workspace(&root).expect("audit runs");
+    for name in [
+        "ConvPlan::execute",
+        "DepthwisePlan::execute",
+        "FusedDwPwPlan::execute",
+        "batcher_loop",
+        "shard_loop",
+    ] {
+        assert!(
+            report.hot_roots.iter().any(|r| r == name),
+            "hot root {name:?} missing; roots = {:?}",
+            report.hot_roots
+        );
+    }
+    // Micro-kernels and the shard execute body are reached *through* the
+    // roots, not annotated themselves — reachability must pull them in.
+    for name in ["compute_strip", "run_tile", "dyn_kernel", "execute_batch"] {
+        assert!(
+            report.hot_reachable.iter().any(|r| r == name),
+            "{name:?} not hot-reachable; cone = {:?}",
+            report.hot_reachable
+        );
+        assert!(
+            !report.hot_roots.iter().any(|r| r == name),
+            "{name:?} should be reached, not a root"
+        );
+    }
 }

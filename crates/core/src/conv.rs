@@ -135,12 +135,13 @@ static SCRATCH_ELEMENT_LIMIT: AtomicUsize = AtomicUsize::new(usize::MAX);
 /// against other convolutions in the process.
 #[doc(hidden)]
 pub fn __set_scratch_element_limit(limit: usize) {
-    SCRATCH_ELEMENT_LIMIT.store(limit, Ordering::Relaxed);
+    SCRATCH_ELEMENT_LIMIT.store(limit, Ordering::Relaxed); // ORDERING: Relaxed — test-only knob; callers serialize externally
 }
 
 /// Allocates one [`Scratch`] per grid thread for `sched`, with every size
 /// product checked. `Err` carries the element count of the request that
 /// failed (overflow or allocator refusal) so the caller can degrade.
+// AUDIT: cold — scratch provisioning; runs on arena miss, never per tile.
 pub(crate) fn try_alloc_scratch(
     sched: &Schedule,
     shape: &ConvShape,
@@ -192,7 +193,7 @@ pub(crate) fn try_alloc_scratch(
         .checked_add(tfbuf_len)
         .and_then(|x| x.checked_mul(threads))
         .ok_or(usize::MAX)?;
-    if total > SCRATCH_ELEMENT_LIMIT.load(Ordering::Relaxed) {
+    if total > SCRATCH_ELEMENT_LIMIT.load(Ordering::Relaxed) { // ORDERING: Relaxed — advisory cap read once per provisioning; independent of other state
         return Err(total);
     }
     (0..threads)
@@ -382,6 +383,9 @@ pub(crate) fn compute_strip(
                         // The drivers pair PerStrip sources only with the
                         // two per-strip packing modes.
                         PackingMode::None | PackingMode::Sliced { .. } => {
+                            // AUDIT: allow(hotpath-no-panic) planner
+                            // invariant; crashing loudly beats silently
+                            // corrupt output.
                             unreachable!("per-strip source under a zero-copy packing mode")
                         }
                     }

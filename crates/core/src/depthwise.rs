@@ -114,12 +114,15 @@ pub(crate) fn depthwise_plane(
                     // Filter taps for the 4 channels at (rr, ss).
                     let mut taps = [0.0f32; 4];
                     for (l, t) in taps.iter_mut().enumerate().take(lanes) {
+                        // INDEX: c0 + l < C (lanes clamp); rr < R, ss < S.
                         *t = fdata[((c0 + l) * r + rr) * s + ss];
                     }
                     let fv = F32x4::from_array(taps);
                     for (wi, a) in acc.iter_mut().enumerate().take(valid_w) {
                         let mut xs = [0.0f32; 4];
                         for (l, x) in xs.iter_mut().enumerate().take(lanes) {
+                            // INDEX: rows holds `lanes` windows of R*win
+                            // floats; wi*stride+ss < win (valid_w clamp).
                             *x = rows[(l * r + rr) * win + wi * stride + ss];
                         }
                         *a = a.fma(fv, F32x4::from_array(xs));
@@ -181,12 +184,15 @@ pub(crate) fn depthwise_slice_into_slab(
                 for ss in 0..s {
                     let mut taps = [0.0f32; 4];
                     for (l, t) in taps.iter_mut().enumerate().take(lanes) {
+                        // INDEX: c0 + l < C (lanes clamp); rr < R, ss < S.
                         *t = fdata[((c0 + l) * r + rr) * s + ss];
                     }
                     let fv = F32x4::from_array(taps);
                     for (wi, a) in acc.iter_mut().enumerate().take(valid_w) {
                         let mut xs = [0.0f32; 4];
                         for (l, x) in xs.iter_mut().enumerate().take(lanes) {
+                            // INDEX: rows holds `lanes` windows of R*win
+                            // floats; wi*stride+ss < win (valid_w clamp).
                             *x = rows[(l * r + rr) * win + wi * stride + ss];
                         }
                         *a = a.fma(fv, F32x4::from_array(xs));
@@ -196,6 +202,8 @@ pub(crate) fn depthwise_slice_into_slab(
             for (wi, a) in acc.iter().enumerate().take(valid_w) {
                 let lanes_arr = a.to_array();
                 for (l, &v) in lanes_arr.iter().enumerate().take(lanes) {
+                    // INDEX: slab is C×len×Q; c0+l < C, oh ∈ [oh0, oh0+len),
+                    // wv + wi < Q by the width-tile walk.
                     slab[((c0 + l) * len + (oh - oh0)) * q + wv + wi] = v;
                 }
             }

@@ -308,6 +308,7 @@ impl<'f> FusedDwPwPlan<'f> {
 
     /// Runs the fused block, *accumulating* into `out` (`(N, K, P, Q)`
     /// `NCHW`). The pool must provide at least the plan's thread count.
+    // AUDIT: hotpath
     pub fn execute(
         &self,
         pool: &StaticPool,
@@ -364,6 +365,7 @@ impl<'f> FusedDwPwPlan<'f> {
             // thread count. The pool barrier orders writes before `run`
             // returns.
             let out_all = &out_shared;
+            // INDEX: tid < threads == set.len() — the pool contract.
             let mut scratch = set[tid]
                 .lock()
                 .unwrap_or_else(|poisoned| poisoned.into_inner());

@@ -28,10 +28,14 @@ pub fn transform_filter_block(
     out: &mut [f32],
 ) {
     let (k, c, r, s) = filter.dims();
+    // AUDIT: allow(hotpath-no-panic) O(1) shape guard at block entry.
     assert!(kt + tkb <= k && ct + tcb <= c, "block out of range");
+    // AUDIT: allow(hotpath-no-panic) O(1) shape guard at block entry.
     assert!(vk >= 1);
     let kvb = tkb.div_ceil(vk);
     let needed = kvb * tcb * r * s * vk;
+    // AUDIT: allow(hotpath-no-panic) O(1) guard protecting the unchecked
+    // transform loop below; a failure is a planner sizing bug.
     assert!(out.len() >= needed, "transform buffer too small");
     for kv in 0..kvb {
         let lanes = vk.min(tkb - kv * vk);
@@ -118,6 +122,7 @@ impl TransformedFilter {
     /// correctly-offset window whose per-channel stride equals the
     /// on-the-fly block's — both layouts index as `((c·R + r)·S + s)·Vk`.
     pub fn block(&self, kv: usize, ct: usize, tcb: usize) -> &[f32] {
+        // AUDIT: allow(hotpath-no-panic) O(1) block-bounds guard.
         assert!(ct + tcb <= self.c);
         let start = (kv * self.c + ct) * self.r * self.s * self.vk;
         let len = tcb * self.r * self.s * self.vk;

@@ -87,6 +87,7 @@ impl Int16Filter {
 
     #[inline]
     fn at(&self, k: usize, c: usize, r: usize, s: usize) -> i16 {
+        // INDEX: callers iterate k < K, c < C, r < R, s < S — flat KCRS.
         self.data[((k * self.c + c) * self.r + r) * self.s + s]
     }
 }

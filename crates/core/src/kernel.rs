@@ -152,6 +152,8 @@ impl RowSource<'_> {
             // Padding rows have no backing storage to return; every kernel
             // routes `Direct` through its dedicated edge-masked path before
             // reaching here.
+            // AUDIT: allow(hotpath-no-panic) driver invariant — Direct
+            // sources take the edge-masked path; loud beats corrupt.
             RowSource::Direct { .. } => unreachable!("Direct rows are edge-masked in the kernels"),
         }
     }
@@ -583,6 +585,8 @@ fn kernel_row_clipped<const VW: usize, const VKV: usize, const STRIDE: usize>(
 fn dyn_kernel(rows: &mut RowSource<'_>, args: &TileArgs<'_>, out: &SharedSlice<'_, f32>) {
     let vk = args.vk;
     let vkv = vk / 4;
+    // AUDIT: allow(hotpath-no-panic) O(1) tile-entry guard sizing the
+    // fixed accumulator array; every `acc` subscript below relies on it.
     assert!(args.valid_w <= VW_MAX && vkv <= VKV_MAX, "tile exceeds dyn kernel bounds");
     let (rdim, sdim, stride) = (args.rdim, args.sdim, args.stride);
     let mut acc = [[F32x4::zero(); VKV_MAX]; VW_MAX];
@@ -616,9 +620,11 @@ fn dyn_kernel(rows: &mut RowSource<'_>, args: &TileArgs<'_>, out: &SharedSlice<'
                         if col < 0 || col >= *w as isize {
                             continue;
                         }
+                        // INDEX: col bounds-checked against [0, w) above.
                         let x = F32x4::splat(brow[col as usize]);
                         for j in 0..vkv {
                             let fv = F32x4::load(&tfrow[ss * vk + j * 4..]);
+                            // INDEX: j < vkv ≤ VKV_MAX (tile-entry assert).
                             accw[j] = accw[j].fma(fv, x);
                         }
                     }
@@ -633,9 +639,11 @@ fn dyn_kernel(rows: &mut RowSource<'_>, args: &TileArgs<'_>, out: &SharedSlice<'
                     &args.tf[((c * rdim + rr) * sdim) * vk..((c * rdim + rr) * sdim + sdim) * vk];
                 for ss in 0..sdim {
                     for wi in 0..args.valid_w {
+                        // INDEX: packed rows span win ≥ (valid_w-1)*stride + sdim floats.
                         let x = F32x4::splat(brow[wi * stride + ss]);
                         for j in 0..vkv {
                             let fv = F32x4::load(&tfrow[ss * vk + j * 4..]);
+                            // INDEX: wi < valid_w ≤ VW_MAX, j < vkv ≤ VKV_MAX (tile-entry assert).
                             acc[wi][j] = acc[wi][j].fma(fv, x);
                         }
                     }

@@ -38,8 +38,11 @@ pub fn transform_filter_nhwc_block(
     out: &mut [f32],
 ) {
     let (k, c, r, s) = filter.dims();
+    // AUDIT: allow(hotpath-no-panic) O(1) shape guard at block entry.
     assert!(kt + tkb <= k && ct + tcb <= c, "block out of range");
     let kvb = tkb.div_ceil(vk);
+    // AUDIT: allow(hotpath-no-panic) O(1) guard protecting the unchecked
+    // transform loop below; a failure is a planner sizing bug.
     assert!(out.len() >= kvb * r * s * tcb * vk, "transform buffer too small");
     for kv in 0..kvb {
         let lanes = vk.min(tkb - kv * vk);
@@ -127,6 +130,8 @@ impl TransformedFilterNhwc {
         debug_assert_eq!(ct % self.tc, 0, "ct must be a tile boundary");
         debug_assert!(ct + tcb <= self.c);
         let blk = self.r * self.s * tcb * self.vk;
+        // INDEX: ct < c and tc divides ct (asserted above), so
+        // ct / tc < offsets.len() — one offset per tile boundary.
         let start = self.offsets[ct / self.tc] + kv * blk;
         &self.data[start..start + blk]
     }
@@ -269,6 +274,8 @@ fn kernel_nhwc_dyn(
     const VW_MAX: usize = crate::kernel::VW_MAX;
     const VKV_MAX: usize = crate::kernel::VKV_MAX;
     let vkv = vk / 4;
+    // AUDIT: allow(hotpath-no-panic) O(1) tile-entry guard sizing the
+    // fixed accumulator array; every `acc` subscript below relies on it.
     assert!(valid_w <= VW_MAX && vkv <= VKV_MAX, "dyn kernel bounds");
     let mut acc = [[F32x4::zero(); VKV_MAX]; VW_MAX];
     for rr in 0..shape_r {
@@ -278,6 +285,8 @@ fn kernel_nhwc_dyn(
             for cc in 0..tcb {
                 let frow = &tap[cc * vk..(cc + 1) * vk];
                 for (wi, accw) in acc.iter_mut().enumerate().take(valid_w) {
+                    // INDEX: packed NHWC rows span win*tcb floats and
+                    // wi*stride + ss < win by the valid_w clamp; cc < tcb.
                     let x = F32x4::splat(brow[(wi * stride + ss) * tcb + cc]);
                     for (j, a) in accw.iter_mut().enumerate().take(vkv) {
                         *a = a.fma(F32x4::load(&frow[j * 4..]), x);

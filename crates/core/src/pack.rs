@@ -112,6 +112,8 @@ pub fn pack_strip(
     geom: StripGeom,
     buf: &mut [f32],
 ) {
+    // AUDIT: allow(hotpath-no-panic) O(1) guard protecting the unchecked
+    // packing loop below; a failure is a planner sizing bug.
     assert!(buf.len() >= tcb * r * geom.win, "packing buffer too small");
     for c in 0..tcb {
         for rr in 0..r {
@@ -146,6 +148,8 @@ pub fn pack_slice_slab(
 ) {
     let row_win = (shape.q() - 1) * shape.stride + shape.s;
     let slab_rows = (slice_len - 1) * shape.stride + shape.r;
+    // AUDIT: allow(hotpath-no-panic) O(1) guard protecting the unchecked
+    // packing loop below; a failure is a planner sizing bug.
     assert!(buf.len() >= tcb * slab_rows * row_win, "slab buffer too small");
     let ih_base = (slice_oh0 * shape.stride) as isize - shape.pad.h as isize;
     let iw0 = -(shape.pad.w as isize);

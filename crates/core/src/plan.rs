@@ -116,6 +116,8 @@ impl<S> Arena<S> {
     pub(crate) fn put(&self, s: S) {
         let mut g = self.lock();
         if g.len() < CACHED_SETS_MAX {
+            // AUDIT: allow(hotpath-no-alloc) bounded arena return — at most
+            // CACHED_SETS_MAX cached sets; amortizes to zero steady-state.
             g.push(s);
         }
     }
@@ -338,6 +340,7 @@ impl<'f> ConvPlan<'f> {
     /// No heap allocation, no filter work beyond the schedule's own
     /// on-the-fly blocks, results bitwise identical to the one-shot entry
     /// points.
+    // AUDIT: hotpath
     pub fn execute(
         &self,
         pool: &StaticPool,
@@ -411,6 +414,7 @@ impl<'f> ConvPlan<'f> {
             PlanFilter::Raw(f) => (None, Some(f.get())),
             // The constructors pair PlanLayout::Nchw only with the two
             // arms above.
+            // AUDIT: allow(hotpath-no-panic) constructor invariant.
             PlanFilter::PackedNhwc(_) => unreachable!("NHWC filter in an NCHW plan"),
         };
         let (p, q) = (shape.p(), shape.q());
@@ -447,6 +451,7 @@ impl<'f> ConvPlan<'f> {
 
             // Per-thread scratch, leased by `execute`; the lock is
             // uncontended (one thread per slot, taken once per region).
+            // INDEX: tid < threads == scratch.len() — the pool contract.
             let mut guard = scratch[tid]
                 .lock()
                 .unwrap_or_else(|poisoned| poisoned.into_inner());
@@ -579,6 +584,7 @@ impl<'f> ConvPlan<'f> {
             PlanFilter::Raw(f) => (None, Some(f.get())),
             // The constructors pair PlanLayout::Nhwc only with the two
             // arms above.
+            // AUDIT: allow(hotpath-no-panic) constructor invariant.
             PlanFilter::Packed(_) => unreachable!("NCHW filter in an NHWC plan"),
         };
         let (p, q) = (shape.p(), shape.q());
@@ -610,6 +616,7 @@ impl<'f> ConvPlan<'f> {
             // rows.
             let out_all = &out_shared;
 
+            // INDEX: tid < threads == scratch.len() — the pool contract.
             let mut guard = scratch[tid]
                 .lock()
                 .unwrap_or_else(|poisoned| poisoned.into_inner());
@@ -637,6 +644,8 @@ impl<'f> ConvPlan<'f> {
                         );
                         transform_filter_nhwc_block(f, kt, tkb, ct, tcb, sched.vk, tfbuf);
                     }
+                    // AUDIT: allow(hotpath-no-alloc) Range<usize> clone —
+                    // Copy-sized iterator state, no heap involved.
                     for row in rows.clone() {
                         let n = row / p;
                         let oh = row % p;
@@ -839,6 +848,7 @@ impl<'f> DepthwisePlan<'f> {
 
     /// Runs the planned depthwise convolution, writing (not accumulating)
     /// `out`. The pool must provide at least the plan's thread count.
+    // AUDIT: hotpath
     pub fn execute(
         &self,
         pool: &StaticPool,
@@ -887,6 +897,7 @@ impl<'f> DepthwisePlan<'f> {
             // Disjointness: each (n, cgroup) item owns its own 4 output
             // planes; the pool barrier orders writes before `run` returns.
             let out_all = &out_shared;
+            // INDEX: tid < threads == set.len() — the pool contract.
             let mut rows = set[tid]
                 .lock()
                 .unwrap_or_else(|poisoned| poisoned.into_inner());

@@ -202,10 +202,13 @@ static COUNTERS: Counters = {
 };
 
 /// Adds `n` to a counter. Compiles to nothing when [`ENABLED`] is false.
+// AUDIT: hotpath
 #[inline(always)]
 pub fn add(counter: Counter, n: u64) {
     if ENABLED {
-        COUNTERS.0[counter as usize].fetch_add(n, Relaxed);
+        // INDEX: Counter discriminants enumerate 0..NUM_COUNTERS, which
+        // sizes the array.
+        COUNTERS.0[counter as usize].fetch_add(n, Relaxed); // ORDERING: Relaxed — monotonic counter bump; publishes no other memory
     }
 }
 
@@ -214,7 +217,7 @@ pub fn add(counter: Counter, n: u64) {
 #[inline]
 pub fn counter(counter: Counter) -> u64 {
     if ENABLED {
-        COUNTERS.0[counter as usize].load(Relaxed)
+        COUNTERS.0[counter as usize].load(Relaxed) // ORDERING: Relaxed — point-in-time read of an independent sum
     } else {
         0
     }
@@ -353,31 +356,33 @@ impl ThreadSlot {
     }
 
     fn record_event(&self, phase: Phase, arg: u32, start_ns: u64, dur_ns: u64) {
-        let idx = self.events_len.fetch_add(1, Relaxed);
+        let idx = self.events_len.fetch_add(1, Relaxed); // ORDERING: Relaxed — claims a slot index in a single-writer ring; no payload ordering
         if idx >= self.events.len() {
             // Park the length at capacity so it can't wrap after ~2^64
             // reservations, and account for the loss.
-            self.events_len.store(self.events.len(), Relaxed);
-            self.dropped.fetch_add(1, Relaxed);
+            self.events_len.store(self.events.len(), Relaxed); // ORDERING: Relaxed — single-writer saturation clamp
+            self.dropped.fetch_add(1, Relaxed); // ORDERING: Relaxed — monotonic drop counter
             add(Counter::EventsDropped, 1);
             return;
         }
+        // INDEX: idx was bounds-checked against events.len() above (the
+        // early return handles the saturated case).
         let slot = &self.events[idx];
         slot.meta
-            .store(((phase as u64) << 32) | arg as u64, Relaxed);
-        slot.start_ns.store(start_ns, Relaxed);
-        slot.dur_ns.store(dur_ns, Relaxed);
+            .store(((phase as u64) << 32) | arg as u64, Relaxed); // ORDERING: Relaxed — single-writer slot; readers accept torn snapshots by design
+        slot.start_ns.store(start_ns, Relaxed); // ORDERING: Relaxed — single-writer slot; readers accept torn snapshots by design
+        slot.dur_ns.store(dur_ns, Relaxed); // ORDERING: Relaxed — single-writer slot; readers accept torn snapshots by design
     }
 
     fn reset(&self) {
         for a in &self.phase_ns {
-            a.store(0, Relaxed);
+            a.store(0, Relaxed); // ORDERING: Relaxed — owner-thread reset; concurrent readers accept mid-reset views
         }
         for a in &self.phase_calls {
-            a.store(0, Relaxed);
+            a.store(0, Relaxed); // ORDERING: Relaxed — owner-thread reset; concurrent readers accept mid-reset views
         }
-        self.events_len.store(0, Relaxed);
-        self.dropped.store(0, Relaxed);
+        self.events_len.store(0, Relaxed); // ORDERING: Relaxed — owner-thread reset; concurrent readers accept mid-reset views
+        self.dropped.store(0, Relaxed); // ORDERING: Relaxed — owner-thread reset; concurrent readers accept mid-reset views
     }
 }
 
@@ -405,7 +410,7 @@ thread_local! {
         let name = std::thread::current()
             .name()
             .map(str::to_owned)
-            .unwrap_or_else(|| format!("thread-{}", ANON.fetch_add(1, Relaxed)));
+            .unwrap_or_else(|| format!("thread-{}", ANON.fetch_add(1, Relaxed))); // ORDERING: Relaxed — unique-id tick; only uniqueness matters
         let slot = Arc::new(ThreadSlot::new(name));
         registry()
             .lock()
@@ -441,8 +446,8 @@ impl Drop for PhaseTimer {
         if let Some(start) = self.start {
             let ns = start.elapsed().as_nanos() as u64;
             with_slot(|s| {
-                s.phase_ns[self.phase as usize].fetch_add(ns, Relaxed);
-                s.phase_calls[self.phase as usize].fetch_add(1, Relaxed);
+                s.phase_ns[self.phase as usize].fetch_add(ns, Relaxed); // ORDERING: Relaxed — per-thread phase accumulator; read racily by design
+                s.phase_calls[self.phase as usize].fetch_add(1, Relaxed); // ORDERING: Relaxed — per-thread phase accumulator; read racily by design
             });
         }
     }
@@ -475,8 +480,8 @@ impl Drop for SpanGuard {
         if let Some(start) = self.start {
             let ns = start.elapsed().as_nanos() as u64;
             with_slot(|s| {
-                s.phase_ns[self.phase as usize].fetch_add(ns, Relaxed);
-                s.phase_calls[self.phase as usize].fetch_add(1, Relaxed);
+                s.phase_ns[self.phase as usize].fetch_add(ns, Relaxed); // ORDERING: Relaxed — per-thread phase accumulator; read racily by design
+                s.phase_calls[self.phase as usize].fetch_add(1, Relaxed); // ORDERING: Relaxed — per-thread phase accumulator; read racily by design
                 s.record_event(self.phase, self.arg, self.start_ns, ns);
             });
         }
@@ -513,12 +518,16 @@ pub fn span(phase: Phase, arg: u32) -> SpanGuard {
 /// and reports the finished interval here from whichever thread observed
 /// the stage end. No-op (nothing evaluated beyond the arguments) when
 /// [`ENABLED`] is false.
+// AUDIT: hotpath
 #[inline]
 pub fn record_span(phase: Phase, arg: u32, start_ns: u64, dur_ns: u64) {
     if ENABLED {
         with_slot(|s| {
-            s.phase_ns[phase as usize].fetch_add(dur_ns, Relaxed);
-            s.phase_calls[phase as usize].fetch_add(1, Relaxed);
+            // INDEX: Phase discriminants enumerate 0..NUM_PHASES, which
+            // sizes both arrays.
+            s.phase_ns[phase as usize].fetch_add(dur_ns, Relaxed); // ORDERING: Relaxed — per-thread phase accumulator; read racily by design
+            // INDEX: same NUM_PHASES bound as the line above.
+            s.phase_calls[phase as usize].fetch_add(1, Relaxed); // ORDERING: Relaxed — per-thread phase accumulator; read racily by design
             s.record_event(phase, arg, start_ns, dur_ns);
         });
     }
@@ -580,7 +589,7 @@ pub fn reset() {
         return;
     }
     for a in &COUNTERS.0 {
-        a.store(0, Relaxed);
+        a.store(0, Relaxed); // ORDERING: Relaxed — reset races with recorders by design (crate docs)
     }
     for slot in registry().lock().unwrap_or_else(|p| p.into_inner()).iter() {
         slot.reset();
@@ -640,26 +649,26 @@ impl TraceReport {
         }
         let mut counters = [0u64; NUM_COUNTERS];
         for (dst, src) in counters.iter_mut().zip(&COUNTERS.0) {
-            *dst = src.load(Relaxed);
+            *dst = src.load(Relaxed); // ORDERING: Relaxed — racy snapshot read; counters are independent sums
         }
         let mut threads = Vec::new();
         for slot in registry().lock().unwrap_or_else(|p| p.into_inner()).iter() {
-            let phase_ns = std::array::from_fn(|i| slot.phase_ns[i].load(Relaxed));
-            let phase_calls = std::array::from_fn(|i| slot.phase_calls[i].load(Relaxed));
-            let len = slot.events_len.load(Relaxed).min(slot.events.len());
+            let phase_ns = std::array::from_fn(|i| slot.phase_ns[i].load(Relaxed)); // ORDERING: Relaxed — racy snapshot read; counters are independent sums
+            let phase_calls = std::array::from_fn(|i| slot.phase_calls[i].load(Relaxed)); // ORDERING: Relaxed — racy snapshot read; counters are independent sums
+            let len = slot.events_len.load(Relaxed).min(slot.events.len()); // ORDERING: Relaxed — racy snapshot read; length is clamped to capacity
             let events: Vec<Event> = slot.events[..len]
                 .iter()
                 .map(|e| {
-                    let meta = e.meta.load(Relaxed);
+                    let meta = e.meta.load(Relaxed); // ORDERING: Relaxed — racy snapshot read; torn events are acceptable
                     Event {
                         phase: Phase::from_u8((meta >> 32) as u8),
                         arg: meta as u32,
-                        start_ns: e.start_ns.load(Relaxed),
-                        dur_ns: e.dur_ns.load(Relaxed),
+                        start_ns: e.start_ns.load(Relaxed), // ORDERING: Relaxed — racy snapshot read; torn events are acceptable
+                        dur_ns: e.dur_ns.load(Relaxed), // ORDERING: Relaxed — racy snapshot read; torn events are acceptable
                     }
                 })
                 .collect();
-            let dropped = slot.dropped.load(Relaxed);
+            let dropped = slot.dropped.load(Relaxed); // ORDERING: Relaxed — racy snapshot read; counters are independent sums
             let quiet = events.is_empty()
                 && dropped == 0
                 && phase_calls.iter().all(|&c| c == 0);

@@ -107,24 +107,26 @@ impl LogHistogram {
     }
 
     /// Records one sample. Lock-free; safe from any thread.
+    // AUDIT: hotpath
     #[inline]
     pub fn record(&self, value: u64) {
-        self.buckets[Self::bucket_index(value)].fetch_add(1, Relaxed);
-        self.count.fetch_add(1, Relaxed);
-        self.sum.fetch_add(value, Relaxed);
+        // INDEX: bucket_index() maps every u64 into 0..BUCKETS.
+        self.buckets[Self::bucket_index(value)].fetch_add(1, Relaxed); // ORDERING: Relaxed — independent monotonic cells; snapshots tolerate skew
+        self.count.fetch_add(1, Relaxed); // ORDERING: Relaxed — independent monotonic cells; snapshots tolerate skew
+        self.sum.fetch_add(value, Relaxed); // ORDERING: Relaxed — independent monotonic cells; snapshots tolerate skew
     }
 
     /// Total samples recorded.
     #[inline]
     pub fn count(&self) -> u64 {
-        self.count.load(Relaxed)
+        self.count.load(Relaxed) // ORDERING: Relaxed — racy read of a monotonic cell
     }
 
     /// Sum of all recorded values (wraps past `u64::MAX`; at 1 sample/µs
     /// of nanosecond-scale values that takes centuries).
     #[inline]
     pub fn sum(&self) -> u64 {
-        self.sum.load(Relaxed)
+        self.sum.load(Relaxed) // ORDERING: Relaxed — racy read of a monotonic cell
     }
 
     /// Live quantile estimate for `q` in percent (`50.0`, `99.0`, …),
@@ -134,7 +136,7 @@ impl LogHistogram {
     pub fn quantile(&self, q: f64) -> u64 {
         let mut total = 0u64;
         for b in &self.buckets {
-            total += b.load(Relaxed);
+            total += b.load(Relaxed); // ORDERING: Relaxed — racy read; quantiles are approximate under concurrency
         }
         if total == 0 {
             return 0;
@@ -142,7 +144,7 @@ impl LogHistogram {
         let rank = rank_for(q, total);
         let mut seen = 0u64;
         for (i, b) in self.buckets.iter().enumerate() {
-            seen += b.load(Relaxed);
+            seen += b.load(Relaxed); // ORDERING: Relaxed — racy read; quantiles are approximate under concurrency
             if seen >= rank {
                 return Self::bucket_upper(i);
             }
@@ -157,7 +159,7 @@ impl LogHistogram {
         let mut buckets = Vec::new();
         let mut count = 0u64;
         for (i, b) in self.buckets.iter().enumerate() {
-            let n = b.load(Relaxed);
+            let n = b.load(Relaxed); // ORDERING: Relaxed — racy read; snapshot recomputes count from buckets
             if n != 0 {
                 buckets.push((i as u32, n));
                 count += n;
@@ -166,7 +168,7 @@ impl LogHistogram {
         HistogramSnapshot {
             buckets,
             count,
-            sum: self.sum.load(Relaxed),
+            sum: self.sum.load(Relaxed), // ORDERING: Relaxed — racy read; snapshot recomputes count from buckets
         }
     }
 }
@@ -305,15 +307,16 @@ impl Counter {
     }
 
     /// Adds `n`.
+    // AUDIT: hotpath
     #[inline]
     pub fn add(&self, n: u64) {
-        self.0.fetch_add(n, Relaxed);
+        self.0.fetch_add(n, Relaxed); // ORDERING: Relaxed — monotonic counter bump; publishes no other memory
     }
 
     /// Current value.
     #[inline]
     pub fn get(&self) -> u64 {
-        self.0.load(Relaxed)
+        self.0.load(Relaxed) // ORDERING: Relaxed — racy read of a monotonic cell
     }
 }
 
@@ -335,19 +338,19 @@ impl Gauge {
     /// Sets the level.
     #[inline]
     pub fn set(&self, v: u64) {
-        self.0.store(v, Relaxed);
+        self.0.store(v, Relaxed); // ORDERING: Relaxed — last-write-wins level; carries no associated data
     }
 
     /// Raises the level to `v` if it is higher (high-water tracking).
     #[inline]
     pub fn set_max(&self, v: u64) {
-        self.0.fetch_max(v, Relaxed);
+        self.0.fetch_max(v, Relaxed); // ORDERING: Relaxed — high-water max; carries no associated data
     }
 
     /// Current level.
     #[inline]
     pub fn get(&self) -> u64 {
-        self.0.load(Relaxed)
+        self.0.load(Relaxed) // ORDERING: Relaxed — racy read of a level value
     }
 }
 
@@ -396,22 +399,24 @@ impl RateWindow {
     }
 
     /// Records `n` events at an explicit probe-epoch timestamp (tests).
+    // AUDIT: hotpath
     pub fn record_at(&self, now_ns: u64, n: u64) {
         let epoch = now_ns / RATE_SLICE_NS + 1;
+        // INDEX: reduced modulo slots.len().
         let slot = &self.slots[(epoch % self.slots.len() as u64) as usize];
-        let seen = slot.epoch.load(Relaxed);
+        let seen = slot.epoch.load(Relaxed); // ORDERING: Relaxed — epoch tag read; CAS below arbitrates resets
         if seen != epoch {
             // First writer into a recycled slice resets it; a lost race
             // means someone else already did.
             if slot
                 .epoch
-                .compare_exchange(seen, epoch, Relaxed, Relaxed)
+                .compare_exchange(seen, epoch, Relaxed, Relaxed) // ORDERING: Relaxed — CAS only elects one resetter; counts are advisory
                 .is_ok()
             {
-                slot.count.store(0, Relaxed);
+                slot.count.store(0, Relaxed); // ORDERING: Relaxed — reset ordered by the epoch CAS win; counts are advisory
             }
         }
-        slot.count.fetch_add(n, Relaxed);
+        slot.count.fetch_add(n, Relaxed); // ORDERING: Relaxed — advisory rate cell; skew within a slice is acceptable
     }
 
     /// Events per second over the window, as of now.
@@ -425,9 +430,9 @@ impl RateWindow {
         let window = self.slots.len() as u64;
         let mut total = 0u64;
         for s in self.slots.iter() {
-            let e = s.epoch.load(Relaxed);
+            let e = s.epoch.load(Relaxed); // ORDERING: Relaxed — racy window read; stale slices age out by epoch
             if e != 0 && e + window > epoch && e <= epoch {
-                total += s.count.load(Relaxed);
+                total += s.count.load(Relaxed); // ORDERING: Relaxed — racy window read; stale slices age out by epoch
             }
         }
         total as f64 / window as f64

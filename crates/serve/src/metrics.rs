@@ -222,6 +222,8 @@ impl ServeMetrics {
     /// histogram record loops over this pair so per-model and aggregate
     /// views stay consistent by construction.
     pub(crate) fn sets(&self, model: usize) -> [&ModelSet; 2] {
+        // INDEX: model indexes were validated against the model table at
+        // submission; one ModelSet exists per registered model.
         [&self.aggregate, &self.models[model]]
     }
 

@@ -106,10 +106,14 @@ impl SubmitQueue {
     pub(crate) fn push(&self, request: Pending) -> Result<usize, Box<(ServeError, Pending)>> {
         let mut st = lock_unpoisoned(&self.state);
         if st.closed {
+            // AUDIT: allow(hotpath-no-alloc) refusal path — boxes the
+            // rejected request back to its caller.
             return Err(Box::new((ServeError::ShuttingDown, request)));
         }
         let depth = st.requests.len();
         if depth >= self.high_water {
+            // AUDIT: allow(hotpath-no-alloc) refusal path — boxes the
+            // rejected request back to its caller.
             return Err(Box::new((
                 ServeError::Overloaded {
                     depth,
@@ -155,9 +159,13 @@ impl SubmitQueue {
         loop {
             // Sweep: fail everything already past its deadline.
             let now = Instant::now();
+            // AUDIT: allow(hotpath-no-alloc) per-wakeup sweep buffer,
+            // bounded by queue depth; amortized across the batch.
             let mut kept = VecDeque::with_capacity(st.requests.len());
             for r in st.requests.drain(..) {
                 if r.expired(now) {
+                    // AUDIT: allow(hotpath-no-alloc) expiry bookkeeping,
+                    // bounded by the number of swept requests.
                     expired.push(r.model);
                     r.expire_in_queue();
                 } else {
@@ -180,9 +188,13 @@ impl SubmitQueue {
                     let mut extra = take_matching(&mut st.requests, head_model, room);
                     for r in extra.drain(..) {
                         if r.expired(now) {
+                            // AUDIT: allow(hotpath-no-alloc) expiry
+                            // bookkeeping, bounded by swept requests.
                             expired.push(r.model);
                             r.expire_in_queue();
                         } else {
+                            // AUDIT: allow(hotpath-no-alloc) per-batch
+                            // control plane, bounded by max_batch.
                             batch.push(r);
                         }
                     }
@@ -211,11 +223,15 @@ impl SubmitQueue {
 /// `t_taken_ns` on everything taken: the admission-wait stage ends here.
 fn take_matching(queue: &mut VecDeque<Pending>, model: usize, limit: usize) -> Vec<Pending> {
     let now_ns = ndirect_probe::now_ns();
+    // AUDIT: allow(hotpath-no-alloc) per-batch control plane — two
+    // buffers bounded by queue depth, amortized across the batch.
     let mut taken = Vec::new();
+    // AUDIT: allow(hotpath-no-alloc) same bound as `taken` above.
     let mut rest = VecDeque::with_capacity(queue.len());
     for mut r in queue.drain(..) {
         if r.model == model && taken.len() < limit {
             r.t_taken_ns = now_ns;
+            // AUDIT: allow(hotpath-no-alloc) bounded by `limit` ≤ max_batch.
             taken.push(r);
         } else {
             rest.push_back(r);

@@ -419,7 +419,7 @@ impl Server {
             ndirect_probe::probe_count!(ServeShed, 1);
             return Err(ServeError::DeadlineExpired { at: ExpiredAt::Arrival });
         }
-        let id = inner.next_id.fetch_add(1, Ordering::Relaxed);
+        let id = inner.next_id.fetch_add(1, Ordering::Relaxed); // ORDERING: Relaxed — ticket id allocation; only uniqueness matters
         let slot = Arc::new(ResponseSlot::default());
         let pending = Pending {
             id,
@@ -546,7 +546,10 @@ impl Drop for Server {
     }
 }
 
+// AUDIT: hotpath
 fn batcher_loop(inner: &Arc<ServerInner>) {
+    // AUDIT: allow(hotpath-no-alloc) loop-local buffer allocated once and
+    // reused (cleared) every wakeup.
     let mut expired = Vec::new();
     loop {
         if let Some(stall) = inner.faults.queue_stall() {
@@ -571,6 +574,7 @@ fn batcher_loop(inner: &Arc<ServerInner>) {
             BatchPlanOutcome::Batch(requests) => {
                 let t_formed_ns = ndirect_probe::now_ns();
                 let n = requests.len() as u64;
+                // INDEX: next_batch only returns non-empty batches.
                 let model = requests[0].model;
                 for r in &requests {
                     // Admission wait ended when `take_matching` stamped the
@@ -602,6 +606,8 @@ fn batcher_loop(inner: &Arc<ServerInner>) {
                 ndirect_probe::probe_count!(ServeDequeued, n);
                 ndirect_probe::probe_count!(ServeBatches, 1);
                 ndirect_probe::probe_count!(ServeBatchedRequests, n);
+                // AUDIT: allow(hotpath-no-alloc) per-batch handoff to the
+                // shard queue; one enqueue per formed batch.
                 inner.dispatch.push(Batch { model, requests, t_formed_ns });
             }
             BatchPlanOutcome::Swept => {}
@@ -611,6 +617,7 @@ fn batcher_loop(inner: &Arc<ServerInner>) {
     inner.dispatch.close();
 }
 
+// AUDIT: hotpath
 fn shard_loop(inner: &Arc<ServerInner>, pool: &Arc<StaticPool>) {
     while let Some(batch) = inner.dispatch.pop() {
         execute_batch(inner, pool, batch);
@@ -626,6 +633,7 @@ enum Exec {
 
 fn execute_batch(inner: &Arc<ServerInner>, pool: &Arc<StaticPool>, batch: Batch) {
     let model_idx = batch.model;
+    // INDEX: model indexes were validated at submission.
     let model = &inner.models[model_idx];
     let t_picked_ns = ndirect_probe::now_ns();
 
@@ -636,6 +644,8 @@ fn execute_batch(inner: &Arc<ServerInner>, pool: &Arc<StaticPool>, batch: Batch)
         .requests
         .into_iter()
         .filter(|r| !r.cancel.is_cancelled())
+        // AUDIT: allow(hotpath-no-alloc) per-batch gather of live
+        // requests; bounded by batch size.
         .collect();
     if live.is_empty() {
         return;
@@ -683,6 +693,7 @@ fn execute_batch(inner: &Arc<ServerInner>, pool: &Arc<StaticPool>, batch: Batch)
     // Tag the pool's worker/region spans with the batch's lead trace ID
     // so kernel activity in the Chrome trace links back to the requests
     // it served.
+    // INDEX: live is non-empty — the empty case returned above.
     pool.set_trace_tag(trace32(live[0].id));
     let t_exec_start_ns = ndirect_probe::now_ns();
     let mut attempts = 0usize;
@@ -692,6 +703,8 @@ fn execute_batch(inner: &Arc<ServerInner>, pool: &Arc<StaticPool>, batch: Batch)
                 std::thread::sleep(delay);
             }
             if poisoned || inner.faults.panic_batch() {
+                // AUDIT: allow(hotpath-no-panic) fault injection, confined
+                // by the surrounding catch_unwind.
                 panic!("injected kernel poison");
             }
             plan.execute(pool, &batch_in, &mut batch_out)
@@ -746,6 +759,7 @@ fn execute_batch(inner: &Arc<ServerInner>, pool: &Arc<StaticPool>, batch: Batch)
 /// under its own `catch_unwind`, so one poisoned request fails alone and
 /// its peers still complete (bitwise identically to the batched run,
 /// thanks to the pinned schedule).
+// AUDIT: cold — panic-recovery path; runs only after a batch panicked.
 fn isolate_batch(inner: &Arc<ServerInner>, pool: &Arc<StaticPool>, model_idx: usize, live: Vec<Pending>) {
     let model = &inner.models[model_idx];
     let (plan, degraded) = match acquire_plan(inner, model_idx, 1, pool.size()) {
@@ -840,6 +854,7 @@ fn deliver(
     r.slot.resolve(Ok(InferResponse { output, late, degraded, batch }));
 }
 
+// AUDIT: cold — failure path; resolves every request with an error.
 fn fail_all(inner: &Arc<ServerInner>, model_idx: usize, live: Vec<Pending>, error: &ServeError) {
     for s in inner.metrics.sets(model_idx) {
         s.failed.add(live.len() as u64);
@@ -858,6 +873,7 @@ fn acquire_plan(
     nb: usize,
     pool_size: usize,
 ) -> Result<(Arc<ConvPlan<'static>>, bool), ServeError> {
+    // INDEX: model indexes were validated at submission.
     let model = &inner.models[model_idx];
     let shape = model.batch_shape(nb);
     let key = PlanKey::with_tag(&shape, &model.filter, pool_size, TAG_PINNED);

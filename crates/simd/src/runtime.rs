@@ -120,6 +120,8 @@ static FORCE_UNSUPPORTED: AtomicBool = AtomicBool::new(false);
 /// Test hook: makes [`verify_host`] fail as if the host CPU lacked the
 /// compiled ISA, so callers' degradation paths can be exercised anywhere.
 pub fn force_unsupported(on: bool) {
+    // ORDERING: SeqCst — cold test hook, never on the per-tile path; the
+    // strongest order keeps it trivially correct.
     FORCE_UNSUPPORTED.store(on, Ordering::SeqCst);
 }
 
@@ -137,6 +139,8 @@ fn rank(isa: Isa) -> u8 {
 /// assume. `Ok` carries the active ISA; `Err` explains the mismatch.
 pub fn verify_host() -> Result<Isa, UnsupportedIsa> {
     let required = compiled_isa();
+    // ORDERING: SeqCst — pairs with the test hook's store; capability
+    // verification runs once at setup, not on the kernel path.
     if FORCE_UNSUPPORTED.load(Ordering::SeqCst) {
         return Err(UnsupportedIsa {
             required,

@@ -25,12 +25,16 @@ impl CancelToken {
 
     /// Marks the token cancelled. Idempotent; visible to all clones.
     pub fn cancel(&self) {
+        // ORDERING: Release — pairs with the Acquire in `is_cancelled` so
+        // everything the canceller wrote before cancelling is visible to
+        // a worker that observes the flag.
         self.cancelled.store(true, Ordering::Release);
     }
 
     /// Whether [`CancelToken::cancel`] has been called on any clone.
     #[inline]
     pub fn is_cancelled(&self) -> bool {
+        // ORDERING: Acquire — pairs with the Release store in `cancel`.
         self.cancelled.load(Ordering::Acquire)
     }
 }

@@ -60,6 +60,8 @@ impl std::fmt::Debug for StaticPool {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("StaticPool")
             .field("size", &self.size)
+            // ORDERING: Relaxed — Debug snapshot; the values are advisory
+            // and no other memory depends on them.
             .field("in_region", &self.in_region.load(Ordering::Relaxed))
             .field("worker_deaths", &self.team.deaths.load(Ordering::Relaxed))
             .finish_non_exhaustive()
@@ -87,6 +89,8 @@ impl Team {
     /// The span argument for probe events: the trace tag when set,
     /// otherwise the caller's default (tid / team size).
     fn span_arg(&self, default: u32) -> u32 {
+        // ORDERING: Relaxed — trace tags are observational; a stale tag
+        // mislabels a probe span at worst.
         match self.trace_tag.load(Ordering::Relaxed) {
             0 => default,
             tag => tag,
@@ -253,6 +257,8 @@ struct RegionGuard<'a>(&'a AtomicBool);
 
 impl Drop for RegionGuard<'_> {
     fn drop(&mut self) {
+        // ORDERING: Release — pairs with the AcqRel swap that opens the
+        // next region, so region N+1 observes region N's effects.
         self.0.store(false, Ordering::Release);
     }
 }
@@ -282,6 +288,9 @@ impl Drop for DeathWatch {
         if !self.armed {
             return;
         }
+        // ORDERING: AcqRel — the Release half publishes the count to the
+        // Acquire loads in `worker_deaths` / kill-injection waits; the
+        // Acquire half keeps successive deaths totally ordered.
         self.team.deaths.fetch_add(1, Ordering::AcqRel);
         if let Some(latch) = self.pending.take() {
             latch.count_down(Some(Box::new(
@@ -299,6 +308,8 @@ impl Drop for DeathWatch {
 /// pool's drop) or the handle table is already drained.
 fn respawn(team: &Arc<Team>, index: usize) -> std::io::Result<()> {
     let mut handles = lock_unpoisoned(&team.handles);
+    // ORDERING: Acquire — pairs with the Release stores on shutdown so a
+    // late respawn sees the close and bails instead of reviving a worker.
     if team.shutdown.load(Ordering::Acquire) || handles.len() < index {
         return Ok(());
     }
@@ -373,6 +384,8 @@ impl StaticPool {
                 Err(e) => {
                     // Unwind: close the board so already-spawned workers
                     // exit, then report.
+                    // ORDERING: Release — pairs with the Acquire load in
+                    // `respawn` so no worker is revived after this point.
                     team.shutdown.store(true, Ordering::Release);
                     team.board.close();
                     for h in lock_unpoisoned(&team.handles).drain(..) {
@@ -417,6 +430,8 @@ impl StaticPool {
     /// Worker health probe: how many worker deaths this pool has detected
     /// (and healed) over its lifetime. Monotonic; `0` on a healthy pool.
     pub fn worker_deaths(&self) -> usize {
+        // ORDERING: Acquire — pairs with the AcqRel fetch_add in the death
+        // watch so the count reflects completed heals.
         self.team.deaths.load(Ordering::Acquire)
     }
 
@@ -427,6 +442,7 @@ impl StaticPool {
     /// they served. Purely observational: no effect on scheduling, and a
     /// no-op without the `probe` feature.
     pub fn set_trace_tag(&self, tag: u32) {
+        // ORDERING: Relaxed — observational only; see `span_arg`.
         self.team.trace_tag.store(tag, Ordering::Relaxed);
     }
 
@@ -509,9 +525,10 @@ impl StaticPool {
             return Err(PoolError::Cancelled);
         }
         if self.size == 1 {
-            // AcqRel: Acquire pairs with the Release in `RegionGuard::drop`
-            // so region N+1 observes region N's effects; the Release half
-            // publishes the flag itself to any concurrent `try_run` caller.
+            // ORDERING: AcqRel — Acquire pairs with the Release in
+            // `RegionGuard::drop` so region N+1 observes region N's
+            // effects; the Release half publishes the flag itself to any
+            // concurrent `try_run` caller.
             if self.in_region.swap(true, Ordering::AcqRel) {
                 return Err(PoolError::NestedRun);
             }
@@ -527,7 +544,8 @@ impl StaticPool {
             }
             return Ok(());
         }
-        // AcqRel for the same pairing as the single-thread path above.
+        // ORDERING: AcqRel for the same pairing as the single-thread path
+        // above.
         if self.in_region.swap(true, Ordering::AcqRel) {
             return Err(PoolError::NestedRun);
         }
@@ -610,6 +628,8 @@ impl StaticPool {
         if self.size == 1 {
             return;
         }
+        // ORDERING: Acquire — pairs with the death watch's AcqRel
+        // fetch_add; the injected kill is detected by the count moving.
         let before = self.team.deaths.load(Ordering::Acquire);
         {
             let mut st = lock_unpoisoned(&self.team.board.queue);
@@ -617,6 +637,7 @@ impl StaticPool {
         }
         self.team.board.available.notify_one();
         let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        // ORDERING: Acquire — same pairing as the `before` load.
         while self.team.deaths.load(Ordering::Acquire) == before
             && std::time::Instant::now() < deadline
         {
@@ -640,6 +661,7 @@ impl Drop for StaticPool {
         // a dying worker's death watch takes that lock, and we may be
         // joining that very thread. A second drain pass collects any
         // replacement installed in the window before the flag was set.
+        // ORDERING: Release — pairs with the Acquire load in `respawn`.
         self.team.shutdown.store(true, Ordering::Release);
         self.team.board.close();
         loop {
